@@ -1,0 +1,97 @@
+//! Ablation benches for DESIGN.md's design decisions D1–D5.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpp_bench::ablation;
+use std::hint::black_box;
+
+fn bench_ablation_pcie_model(c: &mut Criterion) {
+    // D1: the 2-point linear calibration vs the 30-point piecewise one —
+    // the *calibration cost* difference is the paper's argument.
+    let mut group = c.benchmark_group("ablation_pcie_model");
+    group.sample_size(10);
+    group.bench_function("d1_linear_vs_piecewise", |b| {
+        b.iter(|| black_box(ablation::pcie_model_ablation(black_box(5))))
+    });
+    group.finish();
+}
+
+fn bench_ablation_memtype(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_memtype");
+    group.sample_size(10);
+    group.bench_function("d2_pinned_model_on_pageable_reality", |b| {
+        b.iter(|| black_box(ablation::memtype_ablation(black_box(5))))
+    });
+    group.finish();
+}
+
+fn bench_ablation_batching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_batching");
+    group.sample_size(10);
+    group.bench_function("d3_separate_vs_batched_plans", |b| {
+        b.iter(|| black_box(ablation::batching_ablation(black_box(5))))
+    });
+    group.finish();
+}
+
+fn bench_ablation_hints(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_hints");
+    group.sample_size(10);
+    group.bench_function("d5_srad_temporary_hint", |b| {
+        b.iter(|| black_box(ablation::hints_ablation(black_box(5))))
+    });
+    group.finish();
+}
+
+fn bench_sweep_errors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_sweep_errors");
+    group.sample_size(10);
+    group.bench_function("v_a_headline_sweep", |b| {
+        b.iter(|| black_box(ablation::sweep_errors(black_box(5))))
+    });
+    group.finish();
+}
+
+fn bench_fusion_explorer(c: &mut Criterion) {
+    use grophecy::fusion::explore_fusion;
+    use grophecy::machine::MachineConfig;
+    use grophecy::projector::Grophecy;
+    let machine = MachineConfig::anl_eureka_node(5);
+    let mut node = machine.node();
+    let gro = Grophecy::calibrate(&machine, &mut node);
+    let hs = gpp_workloads::hotspot::HotSpot { n: 128 };
+    let proj = gro.project(&hs.program(), &hs.hints());
+    let mut group = c.benchmark_group("ablation_fusion");
+    group.bench_function("d6_fusion_factor_search", |b| {
+        b.iter(|| black_box(explore_fusion(&gro, &proj.kernels[0], 1, 16)))
+    });
+    group.finish();
+}
+
+fn bench_memtype_tradeoff(c: &mut Criterion) {
+    use gpp_pcie::{BusParams, BusSimulator};
+    use grophecy::memtype::DualCalibration;
+    let mut group = c.benchmark_group("ablation_memtype_tradeoff");
+    group.sample_size(10);
+    group.bench_function("vii_dual_calibration_and_explore", |b| {
+        b.iter(|| {
+            let mut bus = BusSimulator::new(BusParams::pcie_v1_x16(), black_box(5));
+            let cal = DualCalibration::run(&mut bus);
+            let hs = gpp_workloads::hotspot::HotSpot { n: 512 };
+            let plan = gpp_datausage::analyze(&hs.program(), &hs.hints());
+            black_box(cal.explore(&plan))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ablation_pcie_model,
+    bench_ablation_memtype,
+    bench_ablation_batching,
+    bench_ablation_hints,
+    bench_sweep_errors,
+    bench_fusion_explorer,
+    bench_memtype_tradeoff
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! The data-usage analyzer and BRS machinery under load: the static-
+//! analysis cost a GROPHECY++ query pays per kernel sequence.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpp_brs::{Section, SectionSet};
+use gpp_datausage::analyze;
+use gpp_skeleton::sections::{read_sets, write_sets};
+use gpp_workloads::{cfd::Cfd, hotspot::HotSpot, srad::Srad, stassuij::Stassuij};
+use std::hint::black_box;
+
+fn bench_analyze(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datausage_analyze");
+    let cases = [
+        ("CFD_233K", Cfd { nel: 232_000 }.case()),
+        ("HotSpot_1024", HotSpot { n: 1024 }.case()),
+        ("SRAD_4096", Srad { n: 4096 }.case()),
+        ("Stassuij", Stassuij::paper().case()),
+    ];
+    for (name, case) in &cases {
+        group.bench_with_input(BenchmarkId::new("plan", name), case, |b, case| {
+            b.iter(|| black_box(analyze(&case.program, &case.hints)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_section_extraction(c: &mut Criterion) {
+    let case = Srad { n: 4096 }.case();
+    c.bench_function("brs_read_write_sets_srad", |b| {
+        b.iter(|| {
+            for k in &case.program.kernels {
+                black_box(read_sets(k, &case.program));
+                black_box(write_sets(k, &case.program));
+            }
+        })
+    });
+}
+
+fn bench_section_algebra(c: &mut Criterion) {
+    // The union/subtract workload the analyzer generates: many
+    // overlapping 2-D boxes.
+    c.bench_function("brs_union_100_boxes", |b| {
+        b.iter(|| {
+            let mut set = SectionSet::empty(2);
+            for k in 0..100i64 {
+                set.insert(Section::dense(&[(k, k + 40), (k % 7, k % 7 + 40)]));
+            }
+            black_box(set.element_count())
+        })
+    });
+    c.bench_function("brs_subtract_checkerboard", |b| {
+        b.iter(|| {
+            let mut set = SectionSet::from_section(Section::dense(&[(0, 255), (0, 255)]));
+            for k in 0..16i64 {
+                set.subtract_section(&Section::dense(&[(k * 16, k * 16 + 7), (0, 255)]));
+            }
+            black_box(set.element_count())
+        })
+    });
+}
+
+criterion_group!(benches, bench_analyze, bench_section_extraction, bench_section_algebra);
+criterion_main!(benches);

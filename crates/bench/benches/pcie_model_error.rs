@@ -1,0 +1,45 @@
+//! Figure 4: calibration and validation of the linear transfer model.
+//!
+//! Benchmarks the two-point calibration itself (the thing GROPHECY++
+//! runs automatically on a new system), a single model evaluation (the
+//! thing projections do constantly), and the full Figure 4 validation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpp_bench::pcie_exp::{fig4_data, repeatability};
+use gpp_pcie::{BusParams, BusSimulator, Calibrator};
+use std::hint::black_box;
+
+fn bench_calibration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_calibration");
+    group.sample_size(20);
+    group.bench_function("two_point_both_directions", |b| {
+        b.iter(|| {
+            let mut bus = BusSimulator::new(BusParams::pcie_v1_x16(), black_box(3));
+            black_box(Calibrator::default().calibrate(&mut bus))
+        })
+    });
+    group.finish();
+}
+
+fn bench_model_predict(c: &mut Criterion) {
+    let mut bus = BusSimulator::new(BusParams::pcie_v1_x16(), 3);
+    let model = Calibrator::default().calibrate(&mut bus);
+    c.bench_function("fig4_model_predict", |b| {
+        b.iter(|| black_box(model.h2d.predict(black_box(8 << 20))))
+    });
+}
+
+fn bench_validation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_validation");
+    group.sample_size(10);
+    group.bench_function("full_sweep_both_directions", |b| {
+        b.iter(|| black_box(fig4_data(black_box(3))))
+    });
+    group.bench_function("repeatability_experiment", |b| {
+        b.iter(|| black_box(repeatability(black_box(3))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_calibration, bench_model_predict, bench_validation);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Figures 2 & 3: the transfer-time sweep (pinned/pageable × H2D/D2H)
+//! and the pinned-over-pageable speedup derived from it.
+//!
+//! Benchmarks both the individual simulated transfers at representative
+//! sizes and the full 30-point × 4-curve sweep that regenerates Figure 2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpp_bench::pcie_exp::fig2_data;
+use gpp_pcie::{Bus, BusParams, BusSimulator, Direction, MemType};
+use std::hint::black_box;
+
+fn bench_single_transfers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_single_transfer");
+    group.sample_size(20);
+    for pow in [0u32, 10, 20, 29] {
+        let bytes = 1u64 << pow;
+        for mem in MemType::ALL {
+            let mut bus = BusSimulator::new(BusParams::pcie_v1_x16(), 1);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{mem}"), bytes),
+                &bytes,
+                |b, &bytes| {
+                    b.iter(|| {
+                        black_box(bus.transfer(
+                            black_box(bytes),
+                            Direction::HostToDevice,
+                            mem,
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_full_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_full_sweep");
+    group.sample_size(10);
+    group.bench_function("30_sizes_x_4_curves_x_10_runs", |b| {
+        b.iter(|| black_box(fig2_data(black_box(7))))
+    });
+    group.finish();
+}
+
+fn bench_fig3_speedups(c: &mut Criterion) {
+    // Figure 3 is a pure post-processing of Figure 2's data.
+    let data = fig2_data(7);
+    let mut group = c.benchmark_group("fig3_speedup_derivation");
+    group.bench_function("derive_pinned_over_pageable", |b| {
+        b.iter(|| {
+            let s: f64 = data
+                .rows
+                .iter()
+                .map(|r| r.pageable_h2d / r.pinned_h2d + r.pageable_d2h / r.pinned_d2h)
+                .sum();
+            black_box(s)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_transfers, bench_full_fig2, bench_fig3_speedups);
+criterion_main!(benches);

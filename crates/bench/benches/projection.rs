@@ -1,0 +1,87 @@
+//! Tables I & II, Figures 5, 6, 7, 9, 11: per-application projection and
+//! measurement.
+//!
+//! One benchmark per application covering the projection path (what a
+//! GROPHECY++ user pays per what-if query) and one for the full
+//! ten-case evaluation that regenerates both tables.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpp_bench::eval::evaluate_all;
+use gpp_workloads::{cfd::Cfd, hotspot::HotSpot, paper_cases, srad::Srad, stassuij::Stassuij};
+use grophecy::machine::MachineConfig;
+use grophecy::measurement::measure;
+use grophecy::projector::Grophecy;
+use std::hint::black_box;
+
+fn bench_project_per_app(c: &mut Criterion) {
+    let machine = MachineConfig::anl_eureka_node(7);
+    let mut node = machine.node();
+    let gro = Grophecy::calibrate(&machine, &mut node);
+
+    let mut group = c.benchmark_group("fig7_9_11_project");
+    group.sample_size(20);
+    let cases = [
+        ("CFD_97K", Cfd { nel: 97_000 }.case()),
+        ("HotSpot_1024", HotSpot { n: 1024 }.case()),
+        ("SRAD_2048", Srad { n: 2048 }.case()),
+        ("Stassuij", Stassuij::paper().case()),
+    ];
+    for (name, case) in &cases {
+        group.bench_with_input(BenchmarkId::new("project", name), case, |b, case| {
+            b.iter(|| black_box(gro.project(&case.program, &case.hints)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("table1_measure");
+    group.sample_size(10);
+    for (name, case) in &cases {
+        let proj = gro.project(&case.program, &case.hints);
+        group.bench_with_input(BenchmarkId::new("measure", name), case, |b, case| {
+            b.iter(|| black_box(measure(&mut node, &case.program, &proj)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_full_evaluation");
+    group.sample_size(10);
+    group.bench_function("all_ten_cases", |b| {
+        b.iter(|| black_box(evaluate_all(black_box(7))))
+    });
+    group.finish();
+}
+
+fn bench_fig5_fig6_reports(c: &mut Criterion) {
+    let ev = evaluate_all(7);
+    let mut group = c.benchmark_group("fig5_fig6_reports");
+    group.bench_function("speedup_reports_all_cases", |b| {
+        b.iter(|| {
+            let total: f64 = ev
+                .cases
+                .iter()
+                .map(|case| case.speedup_report().error_combined())
+                .sum();
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+fn bench_skeleton_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("skeleton_construction");
+    group.bench_function("all_paper_skeletons", |b| {
+        b.iter(|| black_box(paper_cases().len()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_project_per_app,
+    bench_full_evaluation,
+    bench_fig5_fig6_reports,
+    bench_skeleton_build
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Regenerates the paper's tables and figures on the simulated testbed.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro <experiment>...        # table1 table2 fig2..fig12 ablations all
+//! ```
+
+use gpp_bench::eval::{evaluate_all, Evaluation, EVAL_SEED};
+use gpp_bench::{ablation, render};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--json");
+    let ids: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        vec![
+            "fig2", "fig3", "fig4", "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+            "fig11", "fig12", "table2", "ablations", "memtype", "crossmachine",
+        ]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    // The application experiments share one evaluation run (one machine,
+    // one calibration — the paper's methodology).
+    let needs_eval = ids.iter().any(|id| {
+        matches!(
+            *id,
+            "table1" | "table2" | "fig5" | "fig6" | "fig7" | "fig8" | "fig9" | "fig10" | "fig11"
+                | "fig12"
+        )
+    });
+    let ev: Option<Evaluation> = needs_eval.then(|| {
+        eprintln!("running full evaluation (10 cases) on the simulated ANL Eureka node...");
+        evaluate_all(EVAL_SEED)
+    });
+    let ev = ev.as_ref();
+
+    for id in ids {
+        let out = match id {
+            "fig2" => render::fig2(EVAL_SEED),
+            "fig3" => render::fig3(EVAL_SEED),
+            "fig4" => render::fig4(EVAL_SEED),
+            "table1" => render::table1(ev.expect("eval")),
+            "table2" if json => {
+                use grophecy::report::{speedup_json, Json};
+                Json::Arr(
+                    ev.expect("eval")
+                        .cases
+                        .iter()
+                        .map(|c| speedup_json(&c.speedup_report()))
+                        .collect(),
+                )
+                .render()
+            }
+            "table2" => render::table2(ev.expect("eval")),
+            "fig5" => render::fig5(ev.expect("eval")),
+            "fig6" => render::fig6(ev.expect("eval")),
+            "fig7" => render::fig_speedup_by_size(ev.expect("eval"), "CFD", "7"),
+            "fig8" => render::fig_speedup_by_iters(ev.expect("eval"), "CFD", "233K", "8"),
+            "fig9" => render::fig_speedup_by_size(ev.expect("eval"), "HotSpot", "9"),
+            "fig10" => {
+                render::fig_speedup_by_iters(ev.expect("eval"), "HotSpot", "1024", "10")
+            }
+            "fig11" => render::fig_speedup_by_size(ev.expect("eval"), "SRAD", "11"),
+            "fig12" => render::fig_speedup_by_iters(ev.expect("eval"), "SRAD", "4096", "12"),
+            "ablations" => ablation::render(EVAL_SEED),
+            "memtype" => render::memtype(EVAL_SEED),
+            "crossmachine" => gpp_bench::eval::cross_machine(EVAL_SEED),
+            other => {
+                eprintln!("unknown experiment `{other}`; known: fig2..fig12, table1, table2, ablations, memtype, all");
+                std::process::exit(2);
+            }
+        };
+        println!("{out}");
+    }
+}

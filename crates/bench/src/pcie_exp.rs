@@ -1,0 +1,150 @@
+//! The synthetic PCIe experiments (Figures 2, 3, 4 — §III-C, §V-A).
+
+use gpp_pcie::{BusParams, BusSimulator, Calibrator, Direction, MemType, SweepValidation};
+
+/// One row of the Figure 2 sweep.
+pub struct Fig2Row {
+    /// Transfer size.
+    pub bytes: u64,
+    /// Mean measured pinned H2D time, seconds.
+    pub pinned_h2d: f64,
+    /// Mean measured pinned D2H time.
+    pub pinned_d2h: f64,
+    /// Mean measured pageable H2D time.
+    pub pageable_h2d: f64,
+    /// Mean measured pageable D2H time.
+    pub pageable_d2h: f64,
+    /// Linear-model prediction, H2D (pinned).
+    pub model_h2d: f64,
+    /// Linear-model prediction, D2H (pinned).
+    pub model_d2h: f64,
+}
+
+/// Figure 2's full dataset.
+pub struct Fig2Data {
+    /// Rows for every power-of-two size, 1 B ..= 512 MB.
+    pub rows: Vec<Fig2Row>,
+}
+
+/// Measures the Figure 2 sweep: 10 runs per point, plus the calibrated
+/// model overlay.
+pub fn fig2_data(seed: u64) -> Fig2Data {
+    let mut bus = BusSimulator::new(BusParams::pcie_v1_x16(), seed);
+    let model = Calibrator::default().calibrate(&mut bus);
+    let mean = |bus: &mut BusSimulator, bytes: u64, dir, mem| -> f64 {
+        use gpp_pcie::Bus;
+        (0..10).map(|_| bus.transfer(bytes, dir, mem)).sum::<f64>() / 10.0
+    };
+    let rows = (0..=29)
+        .map(|p| {
+            let bytes = 1u64 << p;
+            Fig2Row {
+                bytes,
+                pinned_h2d: mean(&mut bus, bytes, Direction::HostToDevice, MemType::Pinned),
+                pinned_d2h: mean(&mut bus, bytes, Direction::DeviceToHost, MemType::Pinned),
+                pageable_h2d: mean(&mut bus, bytes, Direction::HostToDevice, MemType::Pageable),
+                pageable_d2h: mean(&mut bus, bytes, Direction::DeviceToHost, MemType::Pageable),
+                model_h2d: model.h2d.predict(bytes),
+                model_d2h: model.d2h.predict(bytes),
+            }
+        })
+        .collect();
+    Fig2Data { rows }
+}
+
+/// Figure 4's dataset: error magnitude per size, both directions.
+pub struct Fig4Data {
+    /// `(bytes, h2d error %, d2h error %)`.
+    pub rows: Vec<(u64, f64, f64)>,
+    /// Mean error magnitude H2D.
+    pub mean_h2d: f64,
+    /// Mean error magnitude D2H.
+    pub mean_d2h: f64,
+    /// Max error magnitude H2D.
+    pub max_h2d: f64,
+    /// Max error magnitude D2H.
+    pub max_d2h: f64,
+}
+
+/// Runs the Figure 4 validation: calibrate, then sweep and compare.
+pub fn fig4_data(seed: u64) -> Fig4Data {
+    let mut bus = BusSimulator::new(BusParams::pcie_v1_x16(), seed);
+    let model = Calibrator::default().calibrate(&mut bus);
+    let h2d =
+        SweepValidation::paper_sweep(&mut bus, &model, Direction::HostToDevice, MemType::Pinned);
+    let d2h =
+        SweepValidation::paper_sweep(&mut bus, &model, Direction::DeviceToHost, MemType::Pinned);
+    let rows = h2d
+        .points
+        .iter()
+        .zip(&d2h.points)
+        .map(|(a, b)| (a.bytes, a.error(), b.error()))
+        .collect();
+    Fig4Data {
+        rows,
+        mean_h2d: h2d.mean_error(),
+        mean_d2h: d2h.mean_error(),
+        max_h2d: h2d.max_error(),
+        max_d2h: d2h.max_error(),
+    }
+}
+
+/// The §V-A repeatability experiment: use one sweep's measurements to
+/// predict a second sweep on the same machine; returns the mean error
+/// magnitudes (h2d, d2h). This bounds how much of the model error is
+/// inherent measurement variation.
+pub fn repeatability(seed: u64) -> (f64, f64) {
+    use gpp_pcie::Bus;
+    let mut bus = BusSimulator::new(BusParams::pcie_v1_x16(), seed);
+    let mut err = [0.0f64; 2];
+    for (k, dir) in Direction::ALL.into_iter().enumerate() {
+        let mut pairs = Vec::new();
+        for p in 0..=29 {
+            let bytes = 1u64 << p;
+            let first: f64 =
+                (0..10).map(|_| bus.transfer(bytes, dir, MemType::Pinned)).sum::<f64>() / 10.0;
+            let second: f64 =
+                (0..10).map(|_| bus.transfer(bytes, dir, MemType::Pinned)).sum::<f64>() / 10.0;
+            pairs.push((first, second));
+        }
+        err[k] = gpp_pcie::mean_error_magnitude(&pairs);
+    }
+    (err[0], err[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_reproduces_paper_shape() {
+        let d = fig2_data(11);
+        assert_eq!(d.rows.len(), 30);
+        // Pinned beats pageable at large sizes...
+        let big = d.rows.last().unwrap();
+        assert!(big.pageable_h2d > big.pinned_h2d * 1.2);
+        assert!(big.pageable_d2h > big.pinned_d2h * 1.2);
+        // ...but small pageable H2D transfers win (paper Fig. 3).
+        let small = &d.rows[8]; // 256 B
+        assert!(small.pageable_h2d < small.pinned_h2d);
+        // The model overlay tracks the pinned measurements at large sizes.
+        assert!((big.model_h2d / big.pinned_h2d - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn fig4_errors_match_paper_band() {
+        // §V-A: mean errors 2.0% / 0.8%, max 6.4% / 3.3%. Our simulated
+        // day lands in the same band (a few percent mean).
+        let d = fig4_data(11);
+        assert!(d.mean_h2d < 6.0, "mean h2d {}", d.mean_h2d);
+        assert!(d.mean_d2h < 6.0, "mean d2h {}", d.mean_d2h);
+        assert!(d.max_h2d < 40.0);
+    }
+
+    #[test]
+    fn repeatability_bounds_inherent_variation() {
+        let (h, d) = repeatability(11);
+        assert!(h < 5.0, "h2d repeatability {h}");
+        assert!(d < 5.0, "d2h repeatability {d}");
+    }
+}

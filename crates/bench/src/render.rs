@@ -1,0 +1,302 @@
+//! Text rendering of every table and figure.
+
+use crate::eval::Evaluation;
+use crate::pcie_exp;
+use gpp_pcie::error_magnitude;
+
+/// Renders Table I: measured kernel/transfer times, percent transfer,
+/// transfer sizes.
+pub fn table1(ev: &Evaluation) -> String {
+    let mut s = String::new();
+    s.push_str("TABLE I — measured kernel & data transfer times (simulated testbed)\n");
+    s.push_str(&format!(
+        "{:<9} {:>12} {:>11} {:>12} {:>9} {:>10} {:>11}\n",
+        "App", "Data Size", "Kernel(ms)", "Transfer(ms)", "%Transfer", "Input(MB)", "Output(MB)"
+    ));
+    for c in &ev.cases {
+        let m = &c.measurement;
+        let p = &c.projection.plan;
+        s.push_str(&format!(
+            "{:<9} {:>12} {:>11.2} {:>12.2} {:>9.0} {:>10.1} {:>11.1}\n",
+            c.app,
+            c.dataset,
+            m.kernel_time * 1e3,
+            m.transfer_time * 1e3,
+            m.percent_transfer(),
+            p.h2d_bytes() as f64 / (1 << 20) as f64,
+            p.d2h_bytes() as f64 / (1 << 20) as f64,
+        ));
+    }
+    s
+}
+
+/// Renders Table II: speedup-prediction error for the three predictors.
+pub fn table2(ev: &Evaluation) -> String {
+    let mut s = String::new();
+    s.push_str("TABLE II — error magnitude of the predicted GPU speedup\n");
+    s.push_str(&format!(
+        "{:<9} {:>12} {:>12} {:>14} {:>18} {:>9} {:>9}\n",
+        "App", "Data Set", "KernelOnly%", "TransferOnly%", "Kernel+Transfer%", "Meas.x", "Pred.x"
+    ));
+    for c in &ev.cases {
+        let r = c.speedup_report();
+        s.push_str(&format!(
+            "{:<9} {:>12} {:>12.0} {:>14.0} {:>18.0} {:>9.2} {:>9.2}\n",
+            c.app,
+            c.dataset,
+            r.error_kernel_only(),
+            r.error_transfer_only(),
+            r.error_combined(),
+            r.measured,
+            r.predicted_combined,
+        ));
+    }
+    s.push_str(&format!(
+        "{:<22} {:>12.0} {:>14.0} {:>18.0}\n",
+        "Average (data sets)",
+        ev.average_error_by_dataset(|r| r.error_kernel_only()),
+        ev.average_error_by_dataset(|r| r.error_transfer_only()),
+        ev.average_error_by_dataset(|r| r.error_combined()),
+    ));
+    s.push_str(&format!(
+        "{:<22} {:>12.0} {:>14.0} {:>18.0}\n",
+        "Average (applications)",
+        ev.average_error_by_app(|r| r.error_kernel_only()),
+        ev.average_error_by_app(|r| r.error_transfer_only()),
+        ev.average_error_by_app(|r| r.error_combined()),
+    ));
+    s
+}
+
+/// Renders Figure 2: transfer time vs size, pinned & pageable, both
+/// directions, with the linear-model overlay.
+pub fn fig2(seed: u64) -> String {
+    let d = pcie_exp::fig2_data(seed);
+    let mut s = String::new();
+    s.push_str("FIGURE 2 — transfer time (us) vs size; measured + model prediction\n");
+    s.push_str(&format!(
+        "{:>10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
+        "bytes", "pin-h2d", "pin-d2h", "page-h2d", "page-d2h", "model-h2d", "model-d2h"
+    ));
+    for row in &d.rows {
+        s.push_str(&format!(
+            "{:>10} {:>12.2} {:>12.2} {:>12.2} {:>12.2} {:>12.2} {:>12.2}\n",
+            row.bytes,
+            row.pinned_h2d * 1e6,
+            row.pinned_d2h * 1e6,
+            row.pageable_h2d * 1e6,
+            row.pageable_d2h * 1e6,
+            row.model_h2d * 1e6,
+            row.model_d2h * 1e6,
+        ));
+    }
+    s
+}
+
+/// Renders Figure 3: pinned-over-pageable speedup vs size.
+pub fn fig3(seed: u64) -> String {
+    let d = pcie_exp::fig2_data(seed);
+    let mut s = String::new();
+    s.push_str("FIGURE 3 — speedup of pinned over pageable transfers\n");
+    s.push_str(&format!("{:>10} {:>10} {:>10}\n", "bytes", "h2d", "d2h"));
+    for row in &d.rows {
+        s.push_str(&format!(
+            "{:>10} {:>10.2} {:>10.2}\n",
+            row.bytes,
+            row.pageable_h2d / row.pinned_h2d,
+            row.pageable_d2h / row.pinned_d2h,
+        ));
+    }
+    s
+}
+
+/// Renders Figure 4: model error magnitude per transfer size.
+pub fn fig4(seed: u64) -> String {
+    let d = pcie_exp::fig4_data(seed);
+    let mut s = String::new();
+    s.push_str("FIGURE 4 — |error| of the transfer-time model per size (pinned)\n");
+    s.push_str(&format!("{:>10} {:>10} {:>10}\n", "bytes", "h2d err%", "d2h err%"));
+    for (bytes, e_h2d, e_d2h) in &d.rows {
+        s.push_str(&format!("{bytes:>10} {e_h2d:>10.2} {e_d2h:>10.2}\n"));
+    }
+    s.push_str(&format!(
+        "mean: h2d {:.2}%  d2h {:.2}%   max: h2d {:.2}%  d2h {:.2}%\n",
+        d.mean_h2d, d.mean_d2h, d.max_h2d, d.max_d2h
+    ));
+    s
+}
+
+/// Renders Figure 5: predicted vs measured time for every application
+/// transfer.
+pub fn fig5(ev: &Evaluation) -> String {
+    let mut s = String::new();
+    s.push_str("FIGURE 5 — predicted vs measured time for each transfer (ms)\n");
+    s.push_str(&format!(
+        "{:<9} {:>12} {:<14} {:>10} {:>10} {:>8}\n",
+        "App", "Data Size", "Array", "Meas(ms)", "Pred(ms)", "Err%"
+    ));
+    let mut errs = Vec::new();
+    for c in &ev.cases {
+        for ((t, meas), pred) in
+            c.measurement.transfer_times.iter().zip(&c.projection.transfer_times)
+        {
+            let err = error_magnitude(*pred, *meas);
+            errs.push(err);
+            s.push_str(&format!(
+                "{:<9} {:>12} {:<14} {:>10.3} {:>10.3} {:>8.1}\n",
+                c.app,
+                c.dataset,
+                t.name,
+                meas * 1e3,
+                pred * 1e3,
+                err
+            ));
+        }
+    }
+    s.push_str(&format!(
+        "average prediction error across all transfers: {:.1}%\n",
+        errs.iter().sum::<f64>() / errs.len() as f64
+    ));
+    s
+}
+
+/// Renders Figure 6: per-case transfer error vs kernel error.
+pub fn fig6(ev: &Evaluation) -> String {
+    let mut s = String::new();
+    s.push_str("FIGURE 6 — transfer vs kernel prediction error per case\n");
+    s.push_str(&format!(
+        "{:<9} {:>12} {:>14} {:>14}\n",
+        "App", "Data Size", "KernelErr%", "TransferErr%"
+    ));
+    for c in &ev.cases {
+        let r = c.speedup_report();
+        s.push_str(&format!(
+            "{:<9} {:>12} {:>14.1} {:>14.1}\n",
+            c.app, c.dataset, r.kernel_time_error, r.transfer_time_error
+        ));
+    }
+    s
+}
+
+/// Renders Figures 7/9/11: speedup across data sizes for one application.
+pub fn fig_speedup_by_size(ev: &Evaluation, app: &str, fig: &str) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "FIGURE {fig} — {app}: measured & predicted GPU speedup by data size\n"
+    ));
+    s.push_str(&format!(
+        "{:>12} {:>9} {:>16} {:>19}\n",
+        "Data Size", "Measured", "Pred(w/transfer)", "Pred(w/o transfer)"
+    ));
+    for c in ev.cases.iter().filter(|c| c.app == app) {
+        let r = c.speedup_report();
+        s.push_str(&format!(
+            "{:>12} {:>9.2} {:>16.2} {:>19.2}\n",
+            c.dataset, r.measured, r.predicted_combined, r.predicted_kernel_only
+        ));
+    }
+    s
+}
+
+/// Renders Figures 8/10/12: speedup vs iteration count for one case.
+pub fn fig_speedup_by_iters(ev: &Evaluation, app: &str, dataset: &str, fig: &str) -> String {
+    let c = ev.case(app, dataset);
+    let series = c.sweep([1, 2, 4, 8, 16, 32, 64, 128, 256]);
+    let mut s = String::new();
+    s.push_str(&format!(
+        "FIGURE {fig} — {app} {dataset}: speedup vs iteration count\n"
+    ));
+    s.push_str(&format!(
+        "{:>7} {:>9} {:>16} {:>19}\n",
+        "iters", "Measured", "Pred(w/transfer)", "Pred(w/o transfer)"
+    ));
+    for p in &series.points {
+        s.push_str(&format!(
+            "{:>7} {:>9.2} {:>16.2} {:>19.2}\n",
+            p.iters, p.measured, p.with_transfer, p.without_transfer
+        ));
+    }
+    let lim = grophecy::speedup::SpeedupSeries::limit(&c.projection, &c.measurement);
+    s.push_str(&format!(
+        "limit:  measured {:.2}  predicted {:.2}  (error {:.1}%)\n",
+        lim.measured,
+        lim.with_transfer,
+        error_magnitude(lim.with_transfer, lim.measured)
+    ));
+    if let Some(n) = series.twice_as_accurate_until() {
+        s.push_str(&format!(
+            "transfer-aware prediction ≥2x more accurate up to {n} iterations\n"
+        ));
+    }
+    s
+}
+
+/// Renders the §VII future-work experiment: the pinned/pageable +
+/// allocation-overhead tradeoff per workload.
+pub fn memtype(seed: u64) -> String {
+    use gpp_pcie::{BusParams, BusSimulator};
+    use grophecy::memtype::DualCalibration;
+    let mut bus = BusSimulator::new(BusParams::pcie_v1_x16(), seed);
+    let cal = DualCalibration::run(&mut bus);
+    let mut s = String::new();
+    s.push_str("MEMTYPE TRADEOFF (paper §VII future work, implemented)\n");
+    s.push_str(&format!(
+        "{:<9} {:>12} {:>11} {:>11} {:>12} {:>12} {:>10}\n",
+        "App", "Data Size", "pin xfer", "page xfer", "pin alloc", "page alloc", "crossover"
+    ));
+    for case in gpp_workloads::paper_cases() {
+        let plan = gpp_datausage::analyze(&case.program, &case.hints);
+        let r = cal.explore(&plan);
+        s.push_str(&format!(
+            "{:<9} {:>12} {:>9.2}ms {:>9.2}ms {:>10.2}ms {:>10.2}ms {:>10}\n",
+            case.app,
+            case.dataset,
+            r.pinned_transfer * 1e3,
+            r.pageable_transfer * 1e3,
+            r.pinned_alloc * 1e3,
+            r.pageable_alloc * 1e3,
+            match r.pageable_wins_below_sessions {
+                Some(u32::MAX) => "always page".to_string(),
+                Some(n) => format!("{n} sess."),
+                None => "always pin".to_string(),
+            }
+        ));
+    }
+    s.push_str(
+        "crossover = offload sessions below which pageable memory wins\n(allocation cost amortizes; the paper's pinned assumption suits repeated offloads).\n",
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{evaluate_all, EVAL_SEED};
+
+    #[test]
+    fn tables_render_all_cases() {
+        let ev = evaluate_all(EVAL_SEED);
+        let t1 = table1(&ev);
+        assert_eq!(t1.lines().count(), 2 + 10);
+        assert!(t1.contains("CFD") && t1.contains("Stassuij"));
+        let t2 = table2(&ev);
+        assert!(t2.contains("Average (applications)"));
+    }
+
+    #[test]
+    fn memtype_renders_all_cases() {
+        let m = memtype(EVAL_SEED);
+        assert!(m.contains("Stassuij") && m.contains("crossover"));
+        assert_eq!(m.lines().count(), 2 + 10 + 2);
+    }
+
+    #[test]
+    fn figures_render() {
+        let ev = evaluate_all(EVAL_SEED);
+        assert!(fig5(&ev).contains("average prediction error"));
+        assert!(fig6(&ev).contains("KernelErr%"));
+        assert!(fig_speedup_by_size(&ev, "HotSpot", "9").contains("1024"));
+        let f8 = fig_speedup_by_iters(&ev, "CFD", "233K", "8");
+        assert!(f8.contains("limit:"));
+    }
+}

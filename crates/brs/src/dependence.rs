@@ -1,0 +1,114 @@
+//! Dependence classification between array accesses.
+//!
+//! GROPHECY uses section overlap plus access kinds to determine the
+//! dependencies among BRSs (paper §III-B): a *flow* dependence (write→read)
+//! means a later kernel consumes data produced by an earlier one on the
+//! device, so that section need **not** cross the bus; *anti* and *output*
+//! dependencies constrain kernel fusion and enforce the global
+//! synchronization points that split multi-kernel applications like CFD.
+
+use crate::{AccessKind, Section};
+
+/// The classic dependence taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DependenceKind {
+    /// Write then read (true/RAW): the consumer needs the producer's data.
+    Flow,
+    /// Read then write (WAR): the write must not clobber a pending read.
+    Anti,
+    /// Write then write (WAW): ordering of stores matters.
+    Output,
+    /// Read then read: not a dependence, but reported for reuse analysis.
+    Input,
+}
+
+impl DependenceKind {
+    /// True for dependencies that require ordering (everything but Input).
+    pub fn is_ordering(self) -> bool {
+        !matches!(self, DependenceKind::Input)
+    }
+}
+
+impl std::fmt::Display for DependenceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DependenceKind::Flow => "flow",
+            DependenceKind::Anti => "anti",
+            DependenceKind::Output => "output",
+            DependenceKind::Input => "input",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Classifies the dependence between an earlier access (`first`) and a later
+/// access (`second`) to the *same array*, or `None` if their sections are
+/// disjoint.
+///
+/// Section intersection is exact (see [`Section::intersect`]), so a `Some`
+/// result is a genuine element-level overlap, not a conservative guess.
+pub fn classify_dependence(
+    first_kind: AccessKind,
+    first_section: &Section,
+    second_kind: AccessKind,
+    second_section: &Section,
+) -> Option<DependenceKind> {
+    if !first_section.overlaps(second_section) {
+        return None;
+    }
+    Some(match (first_kind, second_kind) {
+        (AccessKind::Write, AccessKind::Read) => DependenceKind::Flow,
+        (AccessKind::Read, AccessKind::Write) => DependenceKind::Anti,
+        (AccessKind::Write, AccessKind::Write) => DependenceKind::Output,
+        (AccessKind::Read, AccessKind::Read) => DependenceKind::Input,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sec(lo: i64, hi: i64) -> Section {
+        Section::dense(&[(lo, hi)])
+    }
+
+    #[test]
+    fn flow_dependence() {
+        let d = classify_dependence(AccessKind::Write, &sec(0, 9), AccessKind::Read, &sec(5, 14));
+        assert_eq!(d, Some(DependenceKind::Flow));
+        assert!(d.unwrap().is_ordering());
+    }
+
+    #[test]
+    fn anti_dependence() {
+        let d = classify_dependence(AccessKind::Read, &sec(0, 9), AccessKind::Write, &sec(9, 20));
+        assert_eq!(d, Some(DependenceKind::Anti));
+    }
+
+    #[test]
+    fn output_dependence() {
+        let d = classify_dependence(AccessKind::Write, &sec(0, 9), AccessKind::Write, &sec(0, 9));
+        assert_eq!(d, Some(DependenceKind::Output));
+    }
+
+    #[test]
+    fn input_is_not_ordering() {
+        let d = classify_dependence(AccessKind::Read, &sec(0, 9), AccessKind::Read, &sec(0, 9));
+        assert_eq!(d, Some(DependenceKind::Input));
+        assert!(!d.unwrap().is_ordering());
+    }
+
+    #[test]
+    fn disjoint_sections_no_dependence() {
+        let d = classify_dependence(AccessKind::Write, &sec(0, 4), AccessKind::Read, &sec(5, 9));
+        assert_eq!(d, None);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DependenceKind::Flow.to_string(), "flow");
+        assert_eq!(DependenceKind::Anti.to_string(), "anti");
+        assert_eq!(DependenceKind::Output.to_string(), "output");
+        assert_eq!(DependenceKind::Input.to_string(), "input");
+    }
+}

@@ -1,0 +1,374 @@
+//! Multi-dimensional bounded regular sections: cartesian products of
+//! strided intervals.
+
+use crate::interval::Interval;
+
+/// A multi-dimensional bounded regular section: one [`Interval`] per array
+/// dimension, denoting their cartesian product.
+///
+/// A `Section` with zero dimensions denotes a scalar (exactly one element).
+/// A `Section` is empty iff any of its dimensions is empty; empty sections
+/// are canonicalized so that *all* dimensions are the empty interval.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Section {
+    dims: Vec<Interval>,
+}
+
+impl Section {
+    /// Builds a section from per-dimension intervals, canonicalizing
+    /// emptiness.
+    pub fn new(dims: Vec<Interval>) -> Self {
+        if dims.iter().any(Interval::is_empty) {
+            let n = dims.len();
+            return Section { dims: vec![Interval::empty(); n] };
+        }
+        Section { dims }
+    }
+
+    /// A dense section from `(lo, hi)` bounds per dimension.
+    pub fn dense(bounds: &[(i64, i64)]) -> Self {
+        Section::new(bounds.iter().map(|&(lo, hi)| Interval::dense(lo, hi)).collect())
+    }
+
+    /// The section covering an entire array of the given extents
+    /// (`0 ..= extent-1` per dimension).
+    pub fn whole(extents: &[usize]) -> Self {
+        Section::new(
+            extents
+                .iter()
+                .map(|&e| {
+                    if e == 0 {
+                        Interval::empty()
+                    } else {
+                        Interval::dense(0, e as i64 - 1)
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    /// A scalar section (zero dimensions, one element).
+    pub fn scalar() -> Self {
+        Section { dims: Vec::new() }
+    }
+
+    /// An empty section of the given dimensionality.
+    pub fn empty(ndims: usize) -> Self {
+        Section { dims: vec![Interval::empty(); ndims] }
+    }
+
+    /// The per-dimension intervals.
+    #[inline]
+    pub fn dims(&self) -> &[Interval] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn ndims(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// True if the section contains no elements.
+    ///
+    /// Note a zero-dimensional section is a scalar and is *not* empty.
+    pub fn is_empty(&self) -> bool {
+        self.dims.iter().any(Interval::is_empty)
+    }
+
+    /// True if every dimension is dense (stride 1).
+    pub fn is_dense(&self) -> bool {
+        self.dims.iter().all(Interval::is_dense)
+    }
+
+    /// Exact number of elements in the section.
+    pub fn element_count(&self) -> u64 {
+        if self.is_empty() {
+            return 0;
+        }
+        self.dims.iter().map(Interval::count).product()
+    }
+
+    /// Size in bytes given the element width.
+    pub fn byte_count(&self, elem_bytes: usize) -> u64 {
+        self.element_count() * elem_bytes as u64
+    }
+
+    /// True if the point (one coordinate per dimension) lies in the section.
+    ///
+    /// # Panics
+    /// Panics if `point.len() != self.ndims()`.
+    pub fn contains_point(&self, point: &[i64]) -> bool {
+        assert_eq!(point.len(), self.ndims(), "point dimensionality mismatch");
+        !self.is_empty() && self.dims.iter().zip(point).all(|(d, &x)| d.contains(x))
+    }
+
+    /// True if `other` is entirely contained in `self`. Exact.
+    pub fn contains_section(&self, other: &Section) -> bool {
+        assert_eq!(self.ndims(), other.ndims(), "section dimensionality mismatch");
+        if other.is_empty() {
+            return true;
+        }
+        if self.is_empty() {
+            return false;
+        }
+        self.dims
+            .iter()
+            .zip(&other.dims)
+            .all(|(a, b)| a.contains_interval(b))
+    }
+
+    /// Exact intersection (`INTERSECT` of the paper): the cartesian product
+    /// of per-dimension intersections.
+    ///
+    /// # Panics
+    /// Panics if dimensionalities differ.
+    pub fn intersect(&self, other: &Section) -> Section {
+        assert_eq!(self.ndims(), other.ndims(), "section dimensionality mismatch");
+        Section::new(
+            self.dims
+                .iter()
+                .zip(&other.dims)
+                .map(|(a, b)| a.intersect(b))
+                .collect(),
+        )
+    }
+
+    /// True if the sections share at least one element. Exact.
+    pub fn overlaps(&self, other: &Section) -> bool {
+        !self.intersect(other).is_empty()
+    }
+
+    /// The single-section hull (`UNION` merge of Havlak–Kennedy): smallest
+    /// regular section containing both. Over-approximates whenever the true
+    /// union is not a regular section (e.g. two disjoint boxes).
+    ///
+    /// For exact unions use [`crate::SectionSet`].
+    pub fn hull(&self, other: &Section) -> Section {
+        assert_eq!(self.ndims(), other.ndims(), "section dimensionality mismatch");
+        if self.is_empty() {
+            return other.clone();
+        }
+        if other.is_empty() {
+            return self.clone();
+        }
+        Section::new(
+            self.dims
+                .iter()
+                .zip(&other.dims)
+                .map(|(a, b)| a.hull(b))
+                .collect(),
+        )
+    }
+
+    /// Exact subtraction `self \ other` for **dense** sections, returned as
+    /// a list of disjoint dense sections (at most `2 * ndims` pieces).
+    ///
+    /// Uses the standard hyper-rectangle splitting: peel off the part of
+    /// `self` outside `other` one dimension at a time.
+    ///
+    /// # Panics
+    /// Panics if either section is non-dense or dimensionalities differ.
+    pub fn subtract_dense(&self, other: &Section) -> Vec<Section> {
+        assert_eq!(self.ndims(), other.ndims(), "section dimensionality mismatch");
+        assert!(
+            self.is_dense() && other.is_dense(),
+            "subtract_dense requires dense sections"
+        );
+        if self.is_empty() {
+            return Vec::new();
+        }
+        let overlap = self.intersect(other);
+        if overlap.is_empty() {
+            return vec![self.clone()];
+        }
+        if other.contains_section(self) {
+            return Vec::new();
+        }
+        let mut pieces = Vec::new();
+        // `remaining` shrinks toward the overlap as we peel each dimension.
+        let mut remaining = self.dims.clone();
+        for d in 0..self.ndims() {
+            let (left, right) = remaining[d].subtract_dense(&overlap.dims[d]);
+            for part in [left, right] {
+                if !part.is_empty() {
+                    let mut dims = remaining.clone();
+                    dims[d] = part;
+                    pieces.push(Section::new(dims));
+                }
+            }
+            remaining[d] = overlap.dims[d];
+        }
+        pieces
+    }
+
+    /// Iterate all points (row-major). For tests and tiny sections only.
+    pub fn iter_points(&self) -> Box<dyn Iterator<Item = Vec<i64>> + '_> {
+        if self.is_empty() {
+            return Box::new(std::iter::empty());
+        }
+        if self.dims.is_empty() {
+            return Box::new(std::iter::once(Vec::new()));
+        }
+        let head = self.dims[0];
+        let tail = Section { dims: self.dims[1..].to_vec() };
+        Box::new(head.iter().flat_map(move |x| {
+            let tail = tail.clone();
+            tail.iter_points()
+                .map(move |mut rest| {
+                    rest.insert(0, x);
+                    rest
+                })
+                .collect::<Vec<_>>()
+        }))
+    }
+}
+
+impl std::fmt::Display for Section {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_empty() {
+            return write!(f, "∅");
+        }
+        write!(f, "(")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whole_and_counts() {
+        let s = Section::whole(&[4, 5]);
+        assert_eq!(s.element_count(), 20);
+        assert_eq!(s.byte_count(4), 80);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn whole_with_zero_extent_is_empty() {
+        let s = Section::whole(&[4, 0]);
+        assert!(s.is_empty());
+        assert_eq!(s.element_count(), 0);
+    }
+
+    #[test]
+    fn scalar_has_one_element() {
+        let s = Section::scalar();
+        assert_eq!(s.element_count(), 1);
+        assert!(!s.is_empty());
+        assert_eq!(s.ndims(), 0);
+    }
+
+    #[test]
+    fn emptiness_canonicalization() {
+        let s = Section::new(vec![Interval::dense(0, 5), Interval::empty()]);
+        assert!(s.is_empty());
+        assert!(s.dims().iter().all(Interval::is_empty));
+        assert_eq!(s, Section::empty(2));
+    }
+
+    #[test]
+    fn contains_point_2d() {
+        let s = Section::dense(&[(0, 3), (2, 5)]);
+        assert!(s.contains_point(&[0, 2]));
+        assert!(s.contains_point(&[3, 5]));
+        assert!(!s.contains_point(&[4, 2]));
+        assert!(!s.contains_point(&[0, 1]));
+    }
+
+    #[test]
+    fn intersect_2d() {
+        let a = Section::dense(&[(0, 10), (0, 10)]);
+        let b = Section::dense(&[(5, 15), (8, 20)]);
+        let c = a.intersect(&b);
+        assert_eq!(c, Section::dense(&[(5, 10), (8, 10)]));
+        assert_eq!(c.element_count(), 6 * 3);
+    }
+
+    #[test]
+    fn intersect_disjoint_in_one_dim_is_empty() {
+        let a = Section::dense(&[(0, 10), (0, 3)]);
+        let b = Section::dense(&[(0, 10), (4, 9)]);
+        assert!(a.intersect(&b).is_empty());
+        assert!(!a.overlaps(&b));
+    }
+
+    #[test]
+    fn hull_covers_both() {
+        let a = Section::dense(&[(0, 2), (0, 2)]);
+        let b = Section::dense(&[(8, 9), (1, 4)]);
+        let h = a.hull(&b);
+        assert!(h.contains_section(&a));
+        assert!(h.contains_section(&b));
+        assert_eq!(h, Section::dense(&[(0, 9), (0, 4)]));
+    }
+
+    #[test]
+    fn subtract_dense_interior_hole() {
+        // 10x10 minus interior 4x4 leaves 100-16=84 elements in 4 pieces.
+        let a = Section::dense(&[(0, 9), (0, 9)]);
+        let b = Section::dense(&[(3, 6), (3, 6)]);
+        let pieces = a.subtract_dense(&b);
+        assert_eq!(pieces.len(), 4);
+        let total: u64 = pieces.iter().map(Section::element_count).sum();
+        assert_eq!(total, 84);
+        // Pieces must be disjoint from b and from each other.
+        for p in &pieces {
+            assert!(!p.overlaps(&b));
+        }
+        for i in 0..pieces.len() {
+            for j in (i + 1)..pieces.len() {
+                assert!(!pieces[i].overlaps(&pieces[j]), "{i} vs {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn subtract_dense_disjoint_returns_self() {
+        let a = Section::dense(&[(0, 4), (0, 4)]);
+        let b = Section::dense(&[(10, 14), (0, 4)]);
+        let pieces = a.subtract_dense(&b);
+        assert_eq!(pieces, vec![a]);
+    }
+
+    #[test]
+    fn subtract_dense_covered_returns_nothing() {
+        let a = Section::dense(&[(2, 4), (2, 4)]);
+        let b = Section::dense(&[(0, 9), (0, 9)]);
+        assert!(a.subtract_dense(&b).is_empty());
+    }
+
+    #[test]
+    fn subtract_dense_edge_overlap() {
+        // Strip off the left 3 columns.
+        let a = Section::dense(&[(0, 9), (0, 9)]);
+        let b = Section::dense(&[(0, 9), (0, 2)]);
+        let pieces = a.subtract_dense(&b);
+        let total: u64 = pieces.iter().map(Section::element_count).sum();
+        assert_eq!(total, 70);
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = Section::dense(&[(0, 3), (1, 7)]);
+        assert_eq!(s.to_string(), "([0:3], [1:7])");
+        assert_eq!(Section::empty(2).to_string(), "∅");
+    }
+
+    #[test]
+    fn iter_points_matches_count() {
+        let s = Section::new(vec![Interval::new(0, 4, 2), Interval::dense(1, 3)]);
+        let pts: Vec<_> = s.iter_points().collect();
+        assert_eq!(pts.len() as u64, s.element_count());
+        assert!(pts.contains(&vec![2, 2]));
+        assert!(!pts.contains(&vec![1, 2]));
+    }
+}

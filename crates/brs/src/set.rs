@@ -1,0 +1,399 @@
+//! Sets of bounded regular sections with exact union semantics for dense
+//! sections.
+//!
+//! The paper's analysis needs the `UNION` of all read-but-not-written
+//! sections (host→device traffic) and the `UNION` of all written sections
+//! (device→host traffic), with exact element counts so that transfer sizes —
+//! and hence transfer-time predictions — are correct. A single regular
+//! section cannot represent an arbitrary union, so [`SectionSet`] maintains a
+//! list of **pairwise-disjoint** sections and counts elements by summing.
+
+use crate::section::Section;
+
+/// A union of bounded regular sections over one array.
+///
+/// Invariant: the stored sections are pairwise disjoint, so
+/// [`element_count`](SectionSet::element_count) is an exact sum.
+///
+/// Dense sections are handled exactly. Inserting a **strided** section
+/// falls back to inserting its dense bounding box (a documented
+/// over-approximation, safe for transfer sizing — see crate docs); the
+/// fallback is observable via [`SectionSet::is_exact`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SectionSet {
+    ndims: usize,
+    parts: Vec<Section>,
+    exact: bool,
+}
+
+impl SectionSet {
+    /// An empty set over arrays of `ndims` dimensions.
+    pub fn empty(ndims: usize) -> Self {
+        SectionSet { ndims, parts: Vec::new(), exact: true }
+    }
+
+    /// A set containing one section.
+    pub fn from_section(s: Section) -> Self {
+        let mut set = SectionSet::empty(s.ndims());
+        set.insert(s);
+        set
+    }
+
+    /// Dimensionality of member sections.
+    #[inline]
+    pub fn ndims(&self) -> usize {
+        self.ndims
+    }
+
+    /// The disjoint pieces making up the union.
+    #[inline]
+    pub fn parts(&self) -> &[Section] {
+        &self.parts
+    }
+
+    /// True if no element is in the set.
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// False if any operation had to over-approximate (strided insert or
+    /// strided subtraction); counts are then upper bounds.
+    #[inline]
+    pub fn is_exact(&self) -> bool {
+        self.exact
+    }
+
+    /// Inserts a section, keeping parts disjoint (`UNION`).
+    ///
+    /// Dense sections are decomposed exactly. A strided section is widened
+    /// to its dense bounding box first, marking the set inexact — the
+    /// Havlak–Kennedy merge direction, a superset.
+    pub fn insert(&mut self, s: Section) {
+        assert_eq!(s.ndims(), self.ndims, "section dimensionality mismatch");
+        if s.is_empty() {
+            return;
+        }
+        let s = if s.is_dense() {
+            s
+        } else {
+            self.exact = false;
+            densify(&s)
+        };
+        // Insert s minus everything already present; pieces stay disjoint.
+        let mut incoming = vec![s];
+        for existing in &self.parts {
+            let mut next = Vec::with_capacity(incoming.len());
+            for piece in incoming {
+                next.extend(piece.subtract_dense(existing));
+            }
+            incoming = next;
+            if incoming.is_empty() {
+                return;
+            }
+        }
+        self.parts.extend(incoming);
+    }
+
+    /// Unions another set into this one.
+    pub fn union_with(&mut self, other: &SectionSet) {
+        for p in &other.parts {
+            self.insert(p.clone());
+        }
+        self.exact &= other.exact;
+    }
+
+    /// Removes every element of `s` from the set.
+    ///
+    /// Exact for dense `s`; a strided `s` is *shrunk to nothing removed*
+    /// (i.e. the subtraction is skipped and the set marked inexact) because
+    /// removing a bounding box would under-approximate, which is unsafe for
+    /// transfer sizing.
+    pub fn subtract_section(&mut self, s: &Section) {
+        assert_eq!(s.ndims(), self.ndims, "section dimensionality mismatch");
+        if s.is_empty() {
+            return;
+        }
+        if !s.is_dense() {
+            self.exact = false;
+            return;
+        }
+        let mut next = Vec::with_capacity(self.parts.len());
+        for p in std::mem::take(&mut self.parts) {
+            next.extend(p.subtract_dense(s));
+        }
+        self.parts = next;
+    }
+
+    /// Removes every element of `other` from the set (same caveats as
+    /// [`subtract_section`](SectionSet::subtract_section)).
+    pub fn subtract(&mut self, other: &SectionSet) {
+        for p in &other.parts {
+            self.subtract_section(p);
+        }
+        self.exact &= other.exact;
+    }
+
+    /// True if the point lies in the union.
+    pub fn contains_point(&self, point: &[i64]) -> bool {
+        self.parts.iter().any(|p| p.contains_point(point))
+    }
+
+    /// True if the whole section `s` is covered by the union.
+    ///
+    /// Implemented as `s \ set == ∅`; exact for dense `s`.
+    pub fn covers(&self, s: &Section) -> bool {
+        if s.is_empty() {
+            return true;
+        }
+        if !s.is_dense() {
+            // Conservative: only report covered if the bounding box is.
+            return self.covers(&densify(s));
+        }
+        let mut rest = vec![s.clone()];
+        for p in &self.parts {
+            let mut next = Vec::with_capacity(rest.len());
+            for piece in rest {
+                next.extend(piece.subtract_dense(p));
+            }
+            rest = next;
+            if rest.is_empty() {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// True if `s` overlaps any element of the union. Exact.
+    pub fn overlaps(&self, s: &Section) -> bool {
+        self.parts.iter().any(|p| p.overlaps(s))
+    }
+
+    /// Exact element count (an upper bound if [`is_exact`](Self::is_exact)
+    /// is false).
+    pub fn element_count(&self) -> u64 {
+        self.parts.iter().map(Section::element_count).sum()
+    }
+
+    /// Byte count given the element width.
+    pub fn byte_count(&self, elem_bytes: usize) -> u64 {
+        self.element_count() * elem_bytes as u64
+    }
+
+    /// The bounding regular section of the whole set (useful when a single
+    /// contiguous transfer is preferred over many small ones).
+    pub fn bounding_section(&self) -> Section {
+        let mut it = self.parts.iter();
+        match it.next() {
+            None => Section::empty(self.ndims),
+            Some(first) => it.fold(first.clone(), |acc, p| acc.hull(p)),
+        }
+    }
+
+    /// Number of disjoint pieces.
+    pub fn piece_count(&self) -> usize {
+        self.parts.len()
+    }
+}
+
+impl std::fmt::Display for SectionSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.parts.is_empty() {
+            return write!(f, "∅");
+        }
+        for (i, p) in self.parts.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∪ ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Dense bounding box of a (possibly strided) section.
+fn densify(s: &Section) -> Section {
+    Section::new(
+        s.dims()
+            .iter()
+            .map(|d| {
+                if d.is_empty() {
+                    crate::Interval::empty()
+                } else {
+                    crate::Interval::dense(d.lo(), d.hi())
+                }
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sec(b: &[(i64, i64)]) -> Section {
+        Section::dense(b)
+    }
+
+    #[test]
+    fn empty_set() {
+        let s = SectionSet::empty(2);
+        assert!(s.is_empty());
+        assert_eq!(s.element_count(), 0);
+        assert!(s.is_exact());
+        assert_eq!(s.to_string(), "∅");
+    }
+
+    #[test]
+    fn insert_disjoint_sums() {
+        let mut s = SectionSet::empty(1);
+        s.insert(sec(&[(0, 9)]));
+        s.insert(sec(&[(20, 29)]));
+        assert_eq!(s.element_count(), 20);
+        assert_eq!(s.piece_count(), 2);
+    }
+
+    #[test]
+    fn insert_overlapping_counts_once() {
+        let mut s = SectionSet::empty(1);
+        s.insert(sec(&[(0, 9)]));
+        s.insert(sec(&[(5, 14)]));
+        assert_eq!(s.element_count(), 15);
+    }
+
+    #[test]
+    fn insert_contained_is_noop() {
+        let mut s = SectionSet::empty(2);
+        s.insert(sec(&[(0, 9), (0, 9)]));
+        s.insert(sec(&[(2, 4), (3, 7)]));
+        assert_eq!(s.element_count(), 100);
+        assert_eq!(s.piece_count(), 1);
+    }
+
+    #[test]
+    fn overlapping_2d_union_exact() {
+        // Two 10x10 squares overlapping in a 5x5 corner: 100+100-25.
+        let mut s = SectionSet::empty(2);
+        s.insert(sec(&[(0, 9), (0, 9)]));
+        s.insert(sec(&[(5, 14), (5, 14)]));
+        assert_eq!(s.element_count(), 175);
+        assert!(s.is_exact());
+    }
+
+    #[test]
+    fn three_way_union_brute_force() {
+        let boxes = [
+            sec(&[(0, 6), (0, 6)]),
+            sec(&[(4, 10), (2, 8)]),
+            sec(&[(2, 12), (5, 5)]),
+        ];
+        let mut s = SectionSet::empty(2);
+        for b in &boxes {
+            s.insert(b.clone());
+        }
+        // Brute-force count over the bounding grid.
+        let mut n = 0u64;
+        for x in 0..=12i64 {
+            for y in 0..=8i64 {
+                if boxes.iter().any(|b| b.contains_point(&[x, y])) {
+                    n += 1;
+                }
+            }
+        }
+        assert_eq!(s.element_count(), n);
+    }
+
+    #[test]
+    fn subtract_section_exact() {
+        let mut s = SectionSet::from_section(sec(&[(0, 9), (0, 9)]));
+        s.subtract_section(&sec(&[(0, 9), (0, 4)]));
+        assert_eq!(s.element_count(), 50);
+        s.subtract_section(&sec(&[(0, 4), (0, 9)]));
+        assert_eq!(s.element_count(), 25);
+    }
+
+    #[test]
+    fn covers_detects_full_coverage_across_pieces() {
+        let mut s = SectionSet::empty(1);
+        s.insert(sec(&[(0, 4)]));
+        s.insert(sec(&[(5, 9)]));
+        assert!(s.covers(&sec(&[(2, 7)])));
+        assert!(!s.covers(&sec(&[(8, 12)])));
+        assert!(s.covers(&Section::empty(1)));
+    }
+
+    #[test]
+    fn union_with_merges_sets() {
+        let mut a = SectionSet::from_section(sec(&[(0, 9)]));
+        let b = SectionSet::from_section(sec(&[(5, 19)]));
+        a.union_with(&b);
+        assert_eq!(a.element_count(), 20);
+    }
+
+    #[test]
+    fn strided_insert_marks_inexact_and_overapproximates() {
+        let strided = Section::new(vec![crate::Interval::new(0, 98, 2)]);
+        let mut s = SectionSet::empty(1);
+        s.insert(strided.clone());
+        assert!(!s.is_exact());
+        // Upper bound: bounding box has 99 elements >= true 50.
+        assert!(s.element_count() >= strided.element_count());
+        assert_eq!(s.element_count(), 99);
+    }
+
+    #[test]
+    fn strided_subtract_is_skipped_for_safety() {
+        let mut s = SectionSet::from_section(sec(&[(0, 99)]));
+        let strided = Section::new(vec![crate::Interval::new(0, 98, 2)]);
+        s.subtract_section(&strided);
+        // Nothing removed (safe over-approximation), flagged inexact.
+        assert_eq!(s.element_count(), 100);
+        assert!(!s.is_exact());
+    }
+
+    #[test]
+    fn bounding_section_hulls_everything() {
+        let mut s = SectionSet::empty(2);
+        s.insert(sec(&[(0, 1), (0, 1)]));
+        s.insert(sec(&[(10, 11), (5, 6)]));
+        assert_eq!(s.bounding_section(), sec(&[(0, 11), (0, 6)]));
+    }
+
+    #[test]
+    fn contains_point_across_pieces() {
+        let mut s = SectionSet::empty(1);
+        s.insert(sec(&[(0, 2)]));
+        s.insert(sec(&[(10, 12)]));
+        assert!(s.contains_point(&[1]));
+        assert!(s.contains_point(&[11]));
+        assert!(!s.contains_point(&[5]));
+    }
+
+    #[test]
+    fn scalar_sections_behave_as_single_elements() {
+        let mut s = SectionSet::empty(0);
+        s.insert(Section::scalar());
+        assert_eq!(s.element_count(), 1);
+        s.insert(Section::scalar()); // idempotent: same single point
+        assert_eq!(s.element_count(), 1);
+        assert!(s.covers(&Section::scalar()));
+        s.subtract_section(&Section::scalar());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn overlaps_across_pieces() {
+        let mut s = SectionSet::empty(1);
+        s.insert(sec(&[(0, 4)]));
+        s.insert(sec(&[(10, 14)]));
+        assert!(s.overlaps(&sec(&[(3, 11)])));
+        assert!(!s.overlaps(&sec(&[(5, 9)])));
+    }
+
+    #[test]
+    fn insert_empty_is_noop() {
+        let mut s = SectionSet::empty(3);
+        s.insert(Section::empty(3));
+        assert!(s.is_empty());
+        assert!(s.is_exact());
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests for the BRS algebra.
+//!
+//! These check the algebraic laws the data-usage analyzer relies on:
+//! intersection exactness, hull supersetting, and exact disjoint-union
+//! counting for dense sections.
+
+use gpp_brs::{Interval, Section, SectionSet};
+use proptest::prelude::*;
+
+/// Strategy for arbitrary strided intervals over a small universe so that
+/// brute-force enumeration stays cheap.
+fn interval() -> impl Strategy<Value = Interval> {
+    (0i64..40, 0i64..40, 1i64..6).prop_map(|(lo, span, stride)| Interval::new(lo, lo + span, stride))
+}
+
+/// Strategy for dense 2-D sections.
+fn dense_section2() -> impl Strategy<Value = Section> {
+    ((0i64..20, 0i64..10), (0i64..20, 0i64..10)).prop_map(|((l0, s0), (l1, s1))| {
+        Section::dense(&[(l0, l0 + s0), (l1, l1 + s1)])
+    })
+}
+
+fn members(i: &Interval) -> Vec<i64> {
+    i.iter().collect()
+}
+
+proptest! {
+    #[test]
+    fn intersect_is_exact(a in interval(), b in interval()) {
+        let c = a.intersect(&b);
+        let sa = members(&a);
+        let sb = members(&b);
+        let expect: Vec<i64> = sa.iter().copied().filter(|x| sb.contains(x)).collect();
+        prop_assert_eq!(members(&c), expect);
+    }
+
+    #[test]
+    fn intersect_commutative(a in interval(), b in interval()) {
+        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+    }
+
+    #[test]
+    fn intersect_with_self_is_identity(a in interval()) {
+        prop_assert_eq!(a.intersect(&a), a);
+    }
+
+    #[test]
+    fn hull_is_superset(a in interval(), b in interval()) {
+        let h = a.hull(&b);
+        for x in a.iter().chain(b.iter()) {
+            prop_assert!(h.contains(x), "hull {} missing {}", h, x);
+        }
+    }
+
+    #[test]
+    fn hull_commutative(a in interval(), b in interval()) {
+        prop_assert_eq!(a.hull(&b), b.hull(&a));
+    }
+
+    #[test]
+    fn hull_absorbs_intersection(a in interval(), b in interval()) {
+        // a ∩ b ⊆ hull(a, b)
+        let c = a.intersect(&b);
+        let h = a.hull(&b);
+        prop_assert!(h.contains_interval(&c));
+    }
+
+    #[test]
+    fn contains_interval_matches_membership(a in interval(), b in interval()) {
+        let expect = members(&b).iter().all(|&x| a.contains(x));
+        prop_assert_eq!(a.contains_interval(&b), expect);
+    }
+
+    #[test]
+    fn count_matches_iteration(a in interval()) {
+        prop_assert_eq!(a.count() as usize, members(&a).len());
+    }
+
+    #[test]
+    fn section_intersect_exact(a in dense_section2(), b in dense_section2()) {
+        let c = a.intersect(&b);
+        let mut n = 0u64;
+        for x in 0..40i64 {
+            for y in 0..40i64 {
+                if a.contains_point(&[x, y]) && b.contains_point(&[x, y]) {
+                    n += 1;
+                }
+            }
+        }
+        prop_assert_eq!(c.element_count(), n);
+    }
+
+    #[test]
+    fn subtract_dense_partitions(a in dense_section2(), b in dense_section2()) {
+        // a = (a \ b) ⊎ (a ∩ b), all pieces disjoint.
+        let pieces = a.subtract_dense(&b);
+        let inter = a.intersect(&b);
+        let total: u64 =
+            pieces.iter().map(Section::element_count).sum::<u64>() + inter.element_count();
+        prop_assert_eq!(total, a.element_count());
+        for p in &pieces {
+            prop_assert!(!p.overlaps(&b));
+            prop_assert!(a.contains_section(p));
+        }
+        for i in 0..pieces.len() {
+            for j in (i + 1)..pieces.len() {
+                prop_assert!(!pieces[i].overlaps(&pieces[j]));
+            }
+        }
+    }
+
+    #[test]
+    fn set_union_counts_exactly(sections in prop::collection::vec(dense_section2(), 1..6)) {
+        let mut set = SectionSet::empty(2);
+        for s in &sections {
+            set.insert(s.clone());
+        }
+        prop_assert!(set.is_exact());
+        let mut n = 0u64;
+        for x in 0..40i64 {
+            for y in 0..40i64 {
+                if sections.iter().any(|s| s.contains_point(&[x, y])) {
+                    n += 1;
+                }
+            }
+        }
+        prop_assert_eq!(set.element_count(), n);
+    }
+
+    #[test]
+    fn set_insert_idempotent(s in dense_section2()) {
+        let mut set = SectionSet::empty(2);
+        set.insert(s.clone());
+        let once = set.element_count();
+        set.insert(s);
+        prop_assert_eq!(set.element_count(), once);
+    }
+
+    #[test]
+    fn set_subtract_then_count(a in dense_section2(), b in dense_section2()) {
+        let mut set = SectionSet::from_section(a.clone());
+        set.subtract_section(&b);
+        let expect = a.element_count() - a.intersect(&b).element_count();
+        prop_assert_eq!(set.element_count(), expect);
+    }
+
+    #[test]
+    fn set_covers_iff_no_remainder(a in dense_section2(), b in dense_section2()) {
+        let set = SectionSet::from_section(a.clone());
+        let covered = set.covers(&b);
+        let expect = a.contains_section(&b);
+        prop_assert_eq!(covered, expect);
+    }
+
+    #[test]
+    fn set_union_order_independent(
+        sections in prop::collection::vec(dense_section2(), 1..5),
+    ) {
+        let mut fwd = SectionSet::empty(2);
+        for s in &sections {
+            fwd.insert(s.clone());
+        }
+        let mut rev = SectionSet::empty(2);
+        for s in sections.iter().rev() {
+            rev.insert(s.clone());
+        }
+        prop_assert_eq!(fwd.element_count(), rev.element_count());
+    }
+}

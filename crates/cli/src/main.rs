@@ -1,0 +1,294 @@
+//! `gpp` — the GROPHECY++ command-line tool.
+//!
+//! ```text
+//! gpp project  <file.gsk> [options]   project kernel + transfer times
+//! gpp measure  <file.gsk> [options]   project, then "measure" on the
+//!                                     simulated node and compare
+//! gpp analyze  <file.gsk> [options]   print the transfer plan
+//! gpp deps     <file.gsk>             inter-kernel dependence report
+//! gpp calibrate [options]             run the two-point PCIe calibration
+//! gpp fmt      <file.gsk>             parse and re-emit (normalize)
+//!
+//! options:
+//!   --machine eureka|v2     target system (default eureka)
+//!   --profile               (project) print simulated kernel profiles
+//!   --seed N                noise seed (default 2013)
+//!   --iters N               iteration count for speedups (default 1)
+//!   --temporary NAME        hint: array is a device-side temporary
+//!   --sparse NAME=BYTES     hint: bound a sparse array's useful bytes
+//! ```
+
+use gpp_datausage::{analyze, Hints};
+use gpp_skeleton::text;
+use gpp_skeleton::Program;
+use grophecy::machine::MachineConfig;
+use grophecy::measurement::measure;
+use grophecy::projector::Grophecy;
+use grophecy::speedup::SpeedupReport;
+use std::process::ExitCode;
+
+struct Options {
+    machine: String,
+    seed: u64,
+    iters: u32,
+    temporaries: Vec<String>,
+    sparse: Vec<(String, u64)>,
+    file: Option<String>,
+    profile: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!("{}", include_str!("main.rs").lines().skip(2).take(16).map(|l| l.trim_start_matches("//!").trim_start()).collect::<Vec<_>>().join("\n"));
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        return usage();
+    };
+    let mut opt = Options {
+        machine: "eureka".into(),
+        seed: 2013,
+        iters: 1,
+        temporaries: Vec::new(),
+        sparse: Vec::new(),
+        file: None,
+        profile: false,
+    };
+    let mut args = args.peekable();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--machine" => opt.machine = args.next().unwrap_or_default(),
+            "--seed" => {
+                opt.seed = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(v) => v,
+                    None => {
+                        eprintln!("--seed needs an integer");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--iters" => {
+                opt.iters = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(v) => v,
+                    None => {
+                        eprintln!("--iters needs an integer");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--profile" => opt.profile = true,
+            "--temporary" => match args.next() {
+                Some(n) => opt.temporaries.push(n),
+                None => {
+                    eprintln!("--temporary needs an array name");
+                    return ExitCode::from(2);
+                }
+            },
+            "--sparse" => {
+                let Some(spec) = args.next() else {
+                    eprintln!("--sparse needs NAME=BYTES");
+                    return ExitCode::from(2);
+                };
+                let Some((name, bytes)) = spec.split_once('=') else {
+                    eprintln!("--sparse needs NAME=BYTES, got `{spec}`");
+                    return ExitCode::from(2);
+                };
+                let Ok(bytes) = bytes.parse() else {
+                    eprintln!("bad byte count in `{spec}`");
+                    return ExitCode::from(2);
+                };
+                opt.sparse.push((name.to_string(), bytes));
+            }
+            other if opt.file.is_none() && !other.starts_with("--") => {
+                opt.file = Some(other.to_string())
+            }
+            other => {
+                eprintln!("unknown option `{other}`");
+                return usage();
+            }
+        }
+    }
+
+    match cmd.as_str() {
+        "project" => with_program(&opt, cmd_project),
+        "measure" => with_program(&opt, cmd_measure),
+        "analyze" => with_program(&opt, cmd_analyze),
+        "deps" => with_program(&opt, |p, _, _| {
+            let deps = gpp_datausage::dependences(p);
+            print!("{}", gpp_datausage::dependence::render(p, &deps));
+            let resident = gpp_datausage::device_resident_arrays(p);
+            if !resident.is_empty() {
+                let names: Vec<&str> =
+                    resident.iter().map(|a| p.array(*a).name.as_str()).collect();
+                println!(
+                    "device-resident across kernels (never cross the bus): {}",
+                    names.join(", ")
+                );
+            }
+            ExitCode::SUCCESS
+        }),
+        "fmt" => with_program(&opt, |p, _, _| {
+            print!("{}", text::to_text(p));
+            ExitCode::SUCCESS
+        }),
+        "calibrate" => cmd_calibrate(&opt),
+        _ => usage(),
+    }
+}
+
+fn machine_for(opt: &Options) -> Option<MachineConfig> {
+    match opt.machine.as_str() {
+        "eureka" => Some(MachineConfig::anl_eureka_node(opt.seed)),
+        "v2" => Some(MachineConfig::pcie_v2_gt200_node(opt.seed)),
+        other => {
+            eprintln!("unknown machine `{other}` (known: eureka, v2)");
+            None
+        }
+    }
+}
+
+fn with_program(
+    opt: &Options,
+    f: impl FnOnce(&Program, &Hints, &Options) -> ExitCode,
+) -> ExitCode {
+    let Some(path) = &opt.file else {
+        eprintln!("this command needs a skeleton file");
+        return ExitCode::from(2);
+    };
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let program = match text::parse(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{path}:{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut hints = Hints::new();
+    for name in &opt.temporaries {
+        let Some(a) = program.array_by_name(name) else {
+            eprintln!("--temporary: no array named `{name}`");
+            return ExitCode::FAILURE;
+        };
+        hints = hints.temporary(a.id);
+    }
+    for (name, bytes) in &opt.sparse {
+        let Some(a) = program.array_by_name(name) else {
+            eprintln!("--sparse: no array named `{name}`");
+            return ExitCode::FAILURE;
+        };
+        hints = hints.sparse_bound(a.id, *bytes);
+    }
+    f(&program, &hints, opt)
+}
+
+fn cmd_project(program: &Program, hints: &Hints, opt: &Options) -> ExitCode {
+    let Some(machine) = machine_for(opt) else { return ExitCode::from(2) };
+    let mut node = machine.node();
+    let gro = Grophecy::calibrate(&machine, &mut node);
+    let proj = gro.project(program, hints);
+    println!("machine: {}", machine.name);
+    println!("PCIe:    h2d {} | d2h {}", gro.pcie_model().h2d, gro.pcie_model().d2h);
+    println!();
+    for k in &proj.kernels {
+        println!(
+            "kernel {:<24} {:>10.3} ms   ({}, {})",
+            k.name,
+            k.time * 1e3,
+            k.config,
+            k.bound
+        );
+    }
+    if opt.profile {
+        println!();
+        for (kernel, kp) in program.kernels.iter().zip(&proj.kernels) {
+            let inst = grophecy::lowering::lower_kernel(kernel, program, kp.config);
+            print!("{}", gpp_gpu_sim::profile(&machine.gpu, &inst));
+        }
+    }
+    println!("\n{}", proj.plan);
+    println!("projected kernel time   : {:>10.3} ms x {} iter(s)", proj.kernel_time * 1e3, opt.iters);
+    println!("projected transfer time : {:>10.3} ms", proj.transfer_time * 1e3);
+    println!("projected total GPU time: {:>10.3} ms", proj.total_time(opt.iters) * 1e3);
+    ExitCode::SUCCESS
+}
+
+fn cmd_measure(program: &Program, hints: &Hints, opt: &Options) -> ExitCode {
+    let Some(machine) = machine_for(opt) else { return ExitCode::from(2) };
+    let mut node = machine.node();
+    let gro = Grophecy::calibrate(&machine, &mut node);
+    let proj = gro.project(program, hints);
+    let meas = measure(&mut node, program, &proj);
+    let r = SpeedupReport::build(&program.name, "cli", &proj, &meas, opt.iters);
+    println!("machine: {}", machine.name);
+    println!(
+        "\n{:<26} {:>12} {:>12} {:>8}",
+        "", "predicted", "measured", "err%"
+    );
+    println!(
+        "{:<26} {:>9.3} ms {:>9.3} ms {:>8.1}",
+        "kernel time",
+        proj.kernel_time * 1e3,
+        meas.kernel_time * 1e3,
+        r.kernel_time_error
+    );
+    println!(
+        "{:<26} {:>9.3} ms {:>9.3} ms {:>8.1}",
+        "transfer time",
+        proj.transfer_time * 1e3,
+        meas.transfer_time * 1e3,
+        r.transfer_time_error
+    );
+    println!(
+        "{:<26} {:>9.3} ms {:>9.3} ms",
+        "total GPU time",
+        proj.total_time(opt.iters) * 1e3,
+        meas.total_time(opt.iters) * 1e3
+    );
+    println!("{:<26} {:>9.3} ms", "measured CPU time", meas.cpu_total(opt.iters) * 1e3);
+    println!(
+        "\nspeedup: measured {:.2}x | predicted {:.2}x (kernel-only {:.2}x, transfer-only {:.2}x)",
+        r.measured, r.predicted_combined, r.predicted_kernel_only, r.predicted_transfer_only
+    );
+    println!(
+        "verdict: {}",
+        if r.predicted_combined >= 1.0 { "port it" } else { "don't port" }
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_analyze(program: &Program, hints: &Hints, _opt: &Options) -> ExitCode {
+    let plan = analyze(program, hints);
+    print!("{plan}");
+    if !plan.is_exact() {
+        println!("note: conservative sizes present — add --sparse hints to tighten them.");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_calibrate(opt: &Options) -> ExitCode {
+    use gpp_pcie::{Direction, MemType, SweepValidation};
+    let Some(machine) = machine_for(opt) else { return ExitCode::from(2) };
+    let mut node = machine.node();
+    let gro = Grophecy::calibrate(&machine, &mut node);
+    println!("machine: {}", machine.name);
+    println!("h2d: {}", gro.pcie_model().h2d);
+    println!("d2h: {}", gro.pcie_model().d2h);
+    for dir in Direction::ALL {
+        let v = SweepValidation::paper_sweep(&mut node.bus, gro.pcie_model(), dir, MemType::Pinned);
+        println!(
+            "{dir}: mean error {:.2}%  max {:.2}%  (above 1 MB: {:.2}%)",
+            v.mean_error(),
+            v.max_error(),
+            v.mean_error_above(1 << 20)
+        );
+    }
+    ExitCode::SUCCESS
+}

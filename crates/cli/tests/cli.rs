@@ -1,0 +1,115 @@
+//! End-to-end tests of the `gpp` binary.
+
+use std::process::Command;
+
+fn gpp() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gpp"))
+}
+
+fn skeleton_path(name: &str) -> String {
+    format!("{}/../../skeletons/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn analyze_prints_transfer_plan() {
+    let out = gpp()
+        .args(["analyze", &skeleton_path("hotspot_1024.gsk")])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("temp"), "{stdout}");
+    assert!(stdout.contains("power"));
+    assert!(stdout.contains("to-device"));
+    assert!(stdout.contains("from-device"));
+}
+
+#[test]
+fn project_reports_kernel_and_transfer_times() {
+    let out = gpp()
+        .args(["project", &skeleton_path("hotspot_1024.gsk")])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("projected kernel time"));
+    assert!(stdout.contains("projected transfer time"));
+    assert!(stdout.contains("Eureka"));
+}
+
+#[test]
+fn measure_vector_add_says_dont_port() {
+    let out = gpp()
+        .args(["measure", &skeleton_path("vector_add.gsk")])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("don't port"), "{stdout}");
+}
+
+#[test]
+fn measure_stassuij_with_hints_flips_verdict() {
+    let out = gpp()
+        .args([
+            "measure",
+            &skeleton_path("spmm_stassuij.gsk"),
+            "--sparse",
+            "csr_vals=5280",
+            "--sparse",
+            "csr_col=2640",
+            "--sparse",
+            "csr_ptr=532",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Kernel-only says port; full model says don't.
+    assert!(stdout.contains("don't port"), "{stdout}");
+}
+
+#[test]
+fn fmt_roundtrips() {
+    let out = gpp().args(["fmt", &skeleton_path("vector_add.gsk")]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("program vector-add"));
+    // Feeding the formatted output back in parses identically.
+    let tmp = std::env::temp_dir().join("gpp_fmt_roundtrip.gsk");
+    std::fs::write(&tmp, text.as_bytes()).unwrap();
+    let out2 = gpp().args(["fmt", tmp.to_str().unwrap()]).output().unwrap();
+    assert_eq!(out.stdout, out2.stdout);
+}
+
+#[test]
+fn calibrate_reports_model() {
+    let out = gpp().args(["calibrate", "--machine", "v2"]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("h2d: T(d)"));
+    assert!(stdout.contains("mean error"));
+}
+
+#[test]
+fn bad_inputs_fail_cleanly() {
+    // Unknown file.
+    let out = gpp().args(["project", "/nonexistent.gsk"]).output().unwrap();
+    assert!(!out.status.success());
+    // Parse error with a line number.
+    let tmp = std::env::temp_dir().join("gpp_bad.gsk");
+    std::fs::write(&tmp, "program p\nkernel k\n  wat\n").unwrap();
+    let out = gpp().args(["analyze", tmp.to_str().unwrap()]).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 3"), "{stderr}");
+    // Unknown machine.
+    let out = gpp().args(["calibrate", "--machine", "quantum"]).output().unwrap();
+    assert!(!out.status.success());
+    // Unknown hint target.
+    let out = gpp()
+        .args(["analyze", &skeleton_path("vector_add.gsk"), "--temporary", "nope"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}

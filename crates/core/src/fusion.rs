@@ -1,0 +1,145 @@
+//! Temporal kernel fusion: "Multiple invocations of the same kernel
+//! across several iterations can be fused together" (§IV-B, on HotSpot).
+//!
+//! Fusing `f` time steps into one launch trades two costs:
+//!
+//! * **saves** `f−1` of every `f` kernel-launch overheads, and
+//! * **pays** redundant halo work — each fused step widens the region a
+//!   block must read and compute by the stencil's halo, so per-step work
+//!   grows roughly linearly in `f` at a rate set by the halo-to-tile
+//!   ratio (classic temporal blocking / trapezoidal tiling).
+//!
+//! For launch-overhead-dominated cases (small grids, e.g. HotSpot 64×64)
+//! the optimum is `f > 1`; for large grids the redundancy dominates
+//! immediately and `f = 1` wins — which is why the paper's measured
+//! configurations run one invocation per iteration.
+
+use crate::projector::Grophecy;
+use gpp_gpu_model::KernelProjection;
+
+/// The fusion exploration for one kernel.
+#[derive(Debug, Clone)]
+pub struct FusionAnalysis {
+    /// Kernel name.
+    pub kernel: String,
+    /// `(factor, projected seconds per iteration)` for each candidate.
+    pub candidates: Vec<(u32, f64)>,
+    /// The factor with the lowest per-iteration time.
+    pub best_factor: u32,
+    /// Projected per-iteration time at `best_factor`.
+    pub best_time: f64,
+    /// Per-iteration time without fusion (factor 1).
+    pub unfused_time: f64,
+}
+
+impl FusionAnalysis {
+    /// Fractional improvement of the best factor over no fusion.
+    pub fn saving(&self) -> f64 {
+        1.0 - self.best_time / self.unfused_time
+    }
+}
+
+/// Explores fusion factors `1..=max_factor` for a projected kernel.
+///
+/// `halo` is the stencil's dependency radius in elements per step (1 for
+/// a 5-point stencil; 0 for embarrassingly parallel kernels, which then
+/// always prefer the maximum factor since fusing is free of redundancy).
+pub fn explore_fusion(
+    gro: &Grophecy,
+    projection: &KernelProjection,
+    halo: u32,
+    max_factor: u32,
+) -> FusionAnalysis {
+    let launch = gro.gpu_spec().launch_overhead;
+    let exec = (projection.time - launch).max(0.0);
+    // Redundancy growth per additional fused step: the block's tile edge
+    // gains 2·halo elements of re-computation per step.
+    let tile_edge = (projection.config.block_threads as f64).sqrt().max(1.0);
+    let rho = 2.0 * halo as f64 / tile_edge;
+
+    let per_iteration = |f: u32| -> f64 {
+        let f64f = f as f64;
+        exec * (1.0 + rho * (f64f - 1.0)) + launch / f64f
+    };
+
+    let candidates: Vec<(u32, f64)> =
+        (1..=max_factor.max(1)).map(|f| (f, per_iteration(f))).collect();
+    let &(best_factor, best_time) = candidates
+        .iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("at least factor 1");
+    FusionAnalysis {
+        kernel: projection.name.clone(),
+        candidates,
+        best_factor,
+        best_time,
+        unfused_time: per_iteration(1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineConfig;
+    use crate::projector::Grophecy;
+    use gpp_datausage::Hints;
+    use gpp_workloads::hotspot::HotSpot;
+
+    fn gro() -> Grophecy {
+        let machine = MachineConfig::anl_eureka_node(3);
+        let mut node = machine.node();
+        Grophecy::calibrate(&machine, &mut node)
+    }
+
+    #[test]
+    fn tiny_grid_wants_fusion() {
+        // HotSpot 64²: the kernel is launch-overhead-dominated, so fusing
+        // several steps per launch wins despite the halo redundancy.
+        let gro = gro();
+        let hs = HotSpot { n: 64 };
+        let proj = gro.project(&hs.program(), &hs.hints());
+        let fa = explore_fusion(&gro, &proj.kernels[0], 1, 16);
+        assert!(fa.best_factor > 1, "best factor {}", fa.best_factor);
+        assert!(fa.saving() > 0.10, "saving {}", fa.saving());
+    }
+
+    #[test]
+    fn large_grid_rejects_fusion() {
+        // HotSpot 1024²: execution dwarfs launch overhead; redundancy
+        // makes any fusion a loss — matching the paper's unfused runs.
+        let gro = gro();
+        let hs = HotSpot { n: 1024 };
+        let proj = gro.project(&hs.program(), &hs.hints());
+        let fa = explore_fusion(&gro, &proj.kernels[0], 1, 16);
+        assert_eq!(fa.best_factor, 1);
+        assert_eq!(fa.best_time, fa.unfused_time);
+        assert_eq!(fa.saving(), 0.0);
+    }
+
+    #[test]
+    fn halo_free_kernels_fuse_maximally() {
+        // With no halo there is no redundancy: every saved launch is pure
+        // profit, so the explorer takes the cap.
+        let gro = gro();
+        let hs = HotSpot { n: 256 };
+        let proj = gro.project(&hs.program(), &hs.hints());
+        let fa = explore_fusion(&gro, &proj.kernels[0], 0, 8);
+        assert_eq!(fa.best_factor, 8);
+        assert!(fa.best_time < fa.unfused_time);
+    }
+
+    #[test]
+    fn candidates_cover_the_range_and_are_consistent() {
+        let gro = gro();
+        let hs = HotSpot { n: 128 };
+        let proj = gro.project(&hs.program(), &hs.hints());
+        let fa = explore_fusion(&gro, &proj.kernels[0], 1, 12);
+        assert_eq!(fa.candidates.len(), 12);
+        assert!(fa
+            .candidates
+            .iter()
+            .all(|&(_, t)| t >= fa.best_time));
+        assert_eq!(fa.candidates[0].1, fa.unfused_time);
+        let _ = Hints::new(); // silence unused-import lint paths in some cfgs
+    }
+}

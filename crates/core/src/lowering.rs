@@ -1,0 +1,137 @@
+//! Lowering: from a chosen transformation to a concrete kernel instance.
+//!
+//! The paper's measured numbers come from hand-written CUDA kernels "that
+//! employ the same optimization strategies suggested by GROPHECY" (§IV-A).
+//! Our equivalent: take the transformation GROPHECY++ selected, apply it to
+//! the kernel's characteristics, and emit the `gpp_gpu_sim::KernelInstance`
+//! the hardware simulator executes. The instance carries detail the
+//! analytic model ignored — per-access alignment flags in particular — so
+//! the simulator resolves the things a real GPU would.
+
+use gpp_gpu_model::{synthesize_transformed, Transformation};
+use gpp_gpu_sim::{KernelInstance, MemOp, ThreadProgram};
+use gpp_skeleton::{Kernel, KernelCharacteristics, Program};
+
+/// Lowers a kernel from the program, re-deriving its characteristics with
+/// the transformation's thread-axis choice (loop interchange).
+pub fn lower_kernel(kernel: &Kernel, program: &Program, config: Transformation) -> KernelInstance {
+    let chars = match config.thread_axis {
+        Some(axis) => kernel.characteristics_with_axis(program, axis),
+        None => kernel.characteristics(program),
+    };
+    lower(&chars, config)
+}
+
+/// Lowers one kernel (with its chosen transformation) to an executable
+/// instance.
+pub fn lower(chars: &KernelCharacteristics, config: Transformation) -> KernelInstance {
+    let synth = synthesize_transformed(chars, config);
+
+    let mut mem_ops: Vec<MemOp> = synth
+        .global_ops
+        .iter()
+        .map(|acc| MemOp {
+            bytes: acc.elem_bytes as u32,
+            class: acc.class,
+            count: acc.per_thread,
+            is_load: acc.kind.is_read(),
+            shared: false,
+            aligned: acc.aligned,
+        })
+        .collect();
+
+    if synth.shared_accesses > 0.0 {
+        mem_ops.push(MemOp {
+            bytes: 4,
+            class: gpp_skeleton::CoalesceClass::Coalesced,
+            count: synth.shared_accesses,
+            is_load: true,
+            shared: true,
+            aligned: true,
+        });
+    }
+
+    KernelInstance {
+        name: chars.name.clone(),
+        grid_blocks: synth.threads.div_ceil(config.block_threads as u64).max(1),
+        block_threads: config.block_threads,
+        regs_per_thread: synth.regs_per_thread,
+        shared_per_block: synth.shared_per_block,
+        program: ThreadProgram {
+            compute_slots: synth.compute_slots,
+            mem_ops,
+            syncs: synth.syncs,
+            active_fraction: synth.active_fraction,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpp_skeleton::builder::{idx, ProgramBuilder};
+    use gpp_skeleton::{ElemType, Flops};
+
+    fn stencil_chars() -> KernelCharacteristics {
+        let n = 512usize;
+        let mut p = ProgramBuilder::new("s");
+        let a = p.array("in", ElemType::F32, &[n, n]);
+        let b = p.array("out", ElemType::F32, &[n, n]);
+        let mut k = p.kernel("k");
+        let i = k.parallel_loop("i", (n - 2) as u64);
+        let j = k.parallel_loop("j", (n - 2) as u64);
+        k.statement()
+            .read(a, &[idx(i), idx(j) + 1])
+            .read(a, &[idx(i) + 1, idx(j)])
+            .read(a, &[idx(i) + 1, idx(j) + 1])
+            .read(a, &[idx(i) + 1, idx(j) + 2])
+            .read(a, &[idx(i) + 2, idx(j) + 1])
+            .write(b, &[idx(i) + 1, idx(j) + 1])
+            .flops(Flops { adds: 8, muls: 3, ..Flops::default() })
+            .finish();
+        k.finish();
+        let prog = p.build().unwrap();
+        prog.kernels[0].characteristics(&prog)
+    }
+
+    #[test]
+    fn plain_lowering_preserves_refs_and_alignment() {
+        let chars = stencil_chars();
+        let cfg = Transformation { block_threads: 256, use_shared: false, unroll: 1, thread_axis: None };
+        let inst = lower(&chars, cfg);
+        assert_eq!(inst.block_threads, 256);
+        assert_eq!(inst.program.mem_ops.len(), 6);
+        // Column-offset refs are misaligned; only the offset-0 column is
+        // segment-aligned.
+        let misaligned = inst.program.mem_ops.iter().filter(|m| !m.aligned).count();
+        assert!(misaligned >= 4, "misaligned = {misaligned}");
+        assert_eq!(inst.program.syncs, 0);
+        assert_eq!(inst.shared_per_block, 0);
+    }
+
+    #[test]
+    fn shared_lowering_stages_reuse_group() {
+        let chars = stencil_chars();
+        let cfg = Transformation { block_threads: 256, use_shared: true, unroll: 1, thread_axis: None };
+        let inst = lower(&chars, cfg);
+        // All 5 stencil loads staged: remaining globals = tile fill + store.
+        let globals: Vec<_> = inst.program.mem_ops.iter().filter(|m| !m.shared).collect();
+        assert_eq!(globals.len(), 2);
+        // The tile fill inherits the halo's misalignment (unpadded
+        // stencil); the store keeps its offset misalignment too.
+        assert!(globals.iter().any(|m| m.is_load && !m.aligned));
+        let shared: Vec<_> = inst.program.mem_ops.iter().filter(|m| m.shared).collect();
+        assert_eq!(shared.len(), 1);
+        assert_eq!(shared[0].count, 5.0);
+        assert_eq!(inst.program.syncs, 2);
+        assert!(inst.shared_per_block > 0);
+    }
+
+    #[test]
+    fn grid_rounds_up_and_is_never_zero() {
+        let chars = KernelCharacteristics { threads: 100, ..stencil_chars() };
+        let cfg = Transformation { block_threads: 256, use_shared: false, unroll: 1, thread_axis: None };
+        let inst = lower(&chars, cfg);
+        assert_eq!(inst.grid_blocks, 1);
+    }
+}

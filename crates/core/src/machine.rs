@@ -1,0 +1,115 @@
+//! The modeled system: configuration + the simulated node.
+
+use gpp_cpu_sim::{CpuParams, CpuSim};
+use gpp_gpu_model::GpuSpec;
+use gpp_gpu_sim::{DeviceParams, GpuSim};
+use gpp_pcie::{BusParams, BusSimulator};
+
+/// Everything that defines one target system.
+///
+/// The `gpu_spec` is the *datasheet* the analytic model sees; `gpu`, `cpu`
+/// and `bus` parameterize the simulators that stand in for the physical
+/// hardware. Keeping them separate is what makes the projection honest —
+/// the model plans from public numbers while "reality" has its own.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Name, for reports.
+    pub name: String,
+    /// The GPU datasheet the analytic model uses.
+    pub gpu_spec: GpuSpec,
+    /// The simulated GPU hardware.
+    pub gpu: DeviceParams,
+    /// The simulated host CPU.
+    pub cpu: CpuParams,
+    /// The simulated PCIe bus.
+    pub bus: BusParams,
+    /// Noise seed for the whole node ("which day you measured on").
+    pub seed: u64,
+}
+
+impl MachineConfig {
+    /// The paper's testbed: one node of Argonne's data analysis and
+    /// visualization cluster (Eureka): Xeon E5405 + Quadro FX 5600 on
+    /// PCIe v1 x16 (§IV-A).
+    pub fn anl_eureka_node(seed: u64) -> Self {
+        MachineConfig {
+            name: "ANL Eureka node (simulated): Xeon E5405 + Quadro FX 5600, PCIe v1 x16".into(),
+            gpu_spec: GpuSpec::quadro_fx_5600(),
+            gpu: DeviceParams::quadro_fx_5600(),
+            cpu: CpuParams::xeon_e5405(),
+            bus: BusParams::pcie_v1_x16(),
+            seed,
+        }
+    }
+
+    /// A newer-generation comparison system (Nehalem host + GT200 GPU on
+    /// PCIe v2), for cross-system experiments.
+    pub fn pcie_v2_gt200_node(seed: u64) -> Self {
+        MachineConfig {
+            name: "PCIe v2 node (simulated): Xeon X5550 + Tesla C1060".into(),
+            gpu_spec: GpuSpec::tesla_c1060(),
+            gpu: DeviceParams::tesla_c1060(),
+            cpu: CpuParams::xeon_x5550(),
+            bus: BusParams::pcie_v2_x16(),
+            seed,
+        }
+    }
+
+    /// A noise-free copy (for exactness tests).
+    pub fn quiet(mut self) -> Self {
+        self.gpu = self.gpu.quiet();
+        self.bus = self.bus.quiet();
+        self
+    }
+
+    /// Instantiates the simulated hardware.
+    pub fn node(&self) -> SimulatedNode {
+        SimulatedNode {
+            gpu: GpuSim::new(self.gpu.clone(), self.seed),
+            cpu: CpuSim::new(self.cpu.clone()),
+            bus: BusSimulator::new(self.bus.clone(), self.seed.wrapping_add(1)),
+        }
+    }
+}
+
+/// The simulated hardware node: what "measured" means in this repo.
+#[derive(Debug, Clone)]
+pub struct SimulatedNode {
+    /// The GPU.
+    pub gpu: GpuSim,
+    /// The host CPU.
+    pub cpu: CpuSim,
+    /// The PCIe bus between them.
+    pub bus: BusSimulator,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpp_pcie::Bus as _;
+
+    #[test]
+    fn eureka_node_wires_the_right_parts() {
+        let m = MachineConfig::anl_eureka_node(1);
+        assert!(m.name.contains("Eureka"));
+        assert_eq!(m.gpu.sms, 16);
+        assert_eq!(m.cpu.cores, 4);
+        let node = m.node();
+        assert_eq!(node.gpu.device().sms, 16);
+        assert!(node.bus.describe().contains("V1"));
+    }
+
+    #[test]
+    fn quiet_node_strips_noise() {
+        let m = MachineConfig::anl_eureka_node(1).quiet();
+        assert_eq!(m.gpu.noise_rel_sigma, 0.0);
+        assert_eq!(m.bus.noise_rel_sigma, 0.0);
+    }
+
+    #[test]
+    fn v2_node_differs() {
+        let m = MachineConfig::pcie_v2_gt200_node(1);
+        assert_eq!(m.gpu.sms, 30);
+        assert!(m.bus.effective_pinned_bw() > 5e9);
+    }
+}

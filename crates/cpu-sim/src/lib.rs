@@ -1,0 +1,40 @@
+//! Multicore CPU timing simulator.
+//!
+//! The paper's methodology (§IV-A) measures the *CPU* execution time of the
+//! ported region directly on the host — an OpenMP implementation running 8
+//! threads on a hyper-threaded quad-core Intel Xeon E5405 — and divides it
+//! by the (predicted or measured) GPU time to obtain the speedup. We have
+//! no 2007 Harpertown node, so this crate supplies its timing substitute: a
+//! roofline-style multicore model with parallel efficiency, cache
+//! filtering, and per-region (OpenMP fork/join) overhead.
+//!
+//! Only the CPU/GPU time *ratio* matters for reproducing the paper's
+//! speedup shapes, and all four workloads are memory-bandwidth-bound on
+//! this class of machine, which a roofline model captures faithfully.
+//!
+//! # Example
+//!
+//! ```
+//! use gpp_cpu_sim::{CpuParams, CpuSim, WorkEstimate};
+//!
+//! let cpu = CpuSim::new(CpuParams::xeon_e5405());
+//! let w = WorkEstimate {
+//!     flops: 1e7,
+//!     dram_bytes: 12.0 * (1 << 20) as f64,
+//!     working_set: 12 << 20,
+//!     random_lines: 0.0,
+//!     invocations: 1,
+//!     parallel_fraction: 0.99,
+//! };
+//! let t = cpu.region_time(&w);
+//! assert!(t > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod params;
+pub mod sim;
+
+pub use params::CpuParams;
+pub use sim::{CpuSim, WorkEstimate};

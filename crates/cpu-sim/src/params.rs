@@ -1,0 +1,121 @@
+//! CPU hardware parameterization.
+
+/// Parameters of the modeled multicore CPU.
+#[derive(Debug, Clone)]
+pub struct CpuParams {
+    /// Physical cores.
+    pub cores: u32,
+    /// Threads the OpenMP region runs (the paper uses 8).
+    pub threads: u32,
+    /// Core clock in Hz.
+    pub freq_hz: f64,
+    /// Peak single-precision flops per cycle per core (SSE width × ports).
+    pub flops_per_cycle: f64,
+    /// Fraction of peak flop rate real loop nests achieve (compiler
+    /// vectorization quality, dependency stalls).
+    pub compute_efficiency: f64,
+    /// Sustained DRAM bandwidth in bytes/second for the whole socket
+    /// (shared by all cores — the front-side bus on Harpertown).
+    pub mem_bw: f64,
+    /// Last-level cache capacity in bytes (2 × 6 MB L2 on the E5405).
+    pub llc_bytes: u64,
+    /// Multithreaded scaling efficiency at `threads` threads, in (0, 1]:
+    /// the achieved fraction of `min(threads, cores)`-way speedup for the
+    /// compute-bound part.
+    pub parallel_efficiency: f64,
+    /// OpenMP parallel-region fork/join overhead per invocation, seconds.
+    pub region_overhead: f64,
+    /// Sustained random cache-line fetch rate for the whole socket,
+    /// lines/second (DRAM latency bound with modest memory-level
+    /// parallelism). Gather-heavy codes like CFD's unstructured flux
+    /// loop pay this instead of streaming bandwidth.
+    pub random_line_rate: f64,
+}
+
+impl CpuParams {
+    /// The paper's host: Intel Xeon E5405 ("Harpertown", quad-core, 2 GHz,
+    /// 12 MB L2, 1333 MT/s FSB) running the region with 8 OpenMP threads.
+    pub fn xeon_e5405() -> Self {
+        CpuParams {
+            cores: 4,
+            threads: 8,
+            freq_hz: 2.0e9,
+            flops_per_cycle: 8.0,       // 4-wide SSE mul + add
+            compute_efficiency: 0.055,  // scalar compiled loops: far from
+                                        // peak SSE (no vectorization,
+                                        // dependency chains, address math)
+            mem_bw: 6.4e9,              // sustained FSB bandwidth
+            llc_bytes: 6 << 20,         // one die's 6 MB L2 (the pair is
+                                        // split and poorly shared)
+            parallel_efficiency: 0.80,
+            region_overhead: 8.0e-6,
+            random_line_rate: 140.0e6,
+        }
+    }
+
+    /// A newer-generation host for cross-machine experiments: Intel Xeon
+    /// X5550 ("Nehalem", quad-core + SMT, 2.66 GHz, integrated memory
+    /// controller with ~3x the sustained bandwidth of the FSB).
+    pub fn xeon_x5550() -> Self {
+        CpuParams {
+            cores: 4,
+            threads: 8,
+            freq_hz: 2.66e9,
+            flops_per_cycle: 8.0,
+            compute_efficiency: 0.07, // better OoO + SMT helps scalar code
+            mem_bw: 18.0e9,           // triple-channel DDR3
+            llc_bytes: 8 << 20,
+            parallel_efficiency: 0.85,
+            region_overhead: 6.0e-6,
+            random_line_rate: 260.0e6,
+        }
+    }
+
+    /// Peak compute throughput of the socket, flops per second.
+    pub fn peak_flops(&self) -> f64 {
+        self.cores as f64 * self.freq_hz * self.flops_per_cycle
+    }
+
+    /// Achievable compute throughput: peak × efficiency × parallel
+    /// scaling (threads beyond physical cores add nothing on this model —
+    /// Harpertown has no SMT benefit for flop-bound code).
+    pub fn effective_flops(&self) -> f64 {
+        let active = self.threads.min(self.cores) as f64;
+        active / self.cores as f64
+            * self.peak_flops()
+            * self.compute_efficiency
+            * self.parallel_efficiency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e5405_peaks() {
+        let p = CpuParams::xeon_e5405();
+        assert_eq!(p.peak_flops(), 64e9); // 4 cores × 2 GHz × 8
+        assert!(p.effective_flops() < p.peak_flops());
+        assert!(p.effective_flops() > 1e9);
+    }
+
+    #[test]
+    fn nehalem_outclasses_harpertown() {
+        let old = CpuParams::xeon_e5405();
+        let new = CpuParams::xeon_x5550();
+        assert!(new.effective_flops() > old.effective_flops());
+        assert!(new.mem_bw > 2.0 * old.mem_bw);
+        assert!(new.random_line_rate > old.random_line_rate);
+    }
+
+    #[test]
+    fn extra_threads_beyond_cores_do_not_help() {
+        let mut p = CpuParams::xeon_e5405();
+        let at8 = p.effective_flops();
+        p.threads = 16;
+        assert_eq!(p.effective_flops(), at8);
+        p.threads = 2;
+        assert!(p.effective_flops() < at8);
+    }
+}

@@ -1,0 +1,225 @@
+//! Roofline timing of parallel regions.
+
+use crate::params::CpuParams;
+
+/// Summarized work of one parallel region execution (one "kernel" on the
+/// CPU side).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkEstimate {
+    /// Raw floating-point operations.
+    pub flops: f64,
+    /// Bytes that must come from / go to DRAM (after cache filtering by
+    /// the caller: arrays re-traversed while resident in LLC don't count).
+    pub dram_bytes: f64,
+    /// Total bytes the region touches (for LLC-residency bonus).
+    pub working_set: u64,
+    /// Random (uncacheable-pattern) cache-line fetches, each paying DRAM
+    /// latency rather than streaming bandwidth.
+    pub random_lines: f64,
+    /// Number of parallel-region invocations this estimate covers (each
+    /// pays the fork/join overhead).
+    pub invocations: u32,
+    /// Amdahl parallel fraction of the region (serial remainder runs on
+    /// one core).
+    pub parallel_fraction: f64,
+}
+
+impl WorkEstimate {
+    /// Arithmetic intensity, flops per DRAM byte.
+    pub fn intensity(&self) -> f64 {
+        if self.dram_bytes == 0.0 {
+            f64::INFINITY
+        } else {
+            self.flops / self.dram_bytes
+        }
+    }
+}
+
+/// The CPU timing simulator. See crate docs.
+#[derive(Debug, Clone)]
+pub struct CpuSim {
+    params: CpuParams,
+}
+
+impl CpuSim {
+    /// Creates a simulator for the given CPU.
+    pub fn new(params: CpuParams) -> Self {
+        CpuSim { params }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &CpuParams {
+        &self.params
+    }
+
+    /// Executes (times) one parallel region.
+    ///
+    /// Roofline: the parallel part takes
+    /// `max(compute_time, memory_time)`, the serial remainder runs at
+    /// single-core compute speed, and each invocation pays fork/join
+    /// overhead. If the working set fits in the last-level cache, DRAM
+    /// traffic is reduced (lines already resident between invocations).
+    pub fn region_time(&self, w: &WorkEstimate) -> f64 {
+        let p = &self.params;
+        assert!(
+            (0.0..=1.0).contains(&w.parallel_fraction),
+            "parallel fraction must be in [0,1]"
+        );
+        let dram_bytes = if w.working_set <= p.llc_bytes {
+            // Warm LLC: only compulsory misses (~1/4 of the traffic) hit
+            // DRAM on repeat traversals.
+            w.dram_bytes * 0.25
+        } else {
+            w.dram_bytes
+        };
+        let par_flops = w.flops * w.parallel_fraction;
+        let ser_flops = w.flops - par_flops;
+        let compute = par_flops / p.effective_flops();
+        let memory = dram_bytes / p.mem_bw + w.random_lines / p.random_line_rate;
+        let serial = ser_flops
+            / (p.freq_hz * p.flops_per_cycle * p.compute_efficiency);
+        compute.max(memory) + serial + w.invocations as f64 * p.region_overhead
+    }
+
+    /// Times an iterative application: `iters` repetitions of the region.
+    /// (The CPU needs no per-iteration data transfer, so this is linear.)
+    pub fn iterative_time(&self, w: &WorkEstimate, iters: u32) -> f64 {
+        self.region_time(w) * iters as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim() -> CpuSim {
+        CpuSim::new(CpuParams::xeon_e5405())
+    }
+
+    fn streaming(bytes: f64) -> WorkEstimate {
+        WorkEstimate {
+            flops: bytes / 4.0, // 1 flop per element
+            dram_bytes: bytes,
+            working_set: bytes as u64,
+            invocations: 1,
+            parallel_fraction: 1.0,
+            random_lines: 0.0,
+        }
+    }
+
+    #[test]
+    fn bandwidth_bound_region_matches_roofline() {
+        let s = sim();
+        let bytes = 512.0 * (1 << 20) as f64;
+        let t = s.region_time(&streaming(bytes));
+        let expect = bytes / s.params().mem_bw + s.params().region_overhead;
+        assert!((t - expect).abs() / expect < 1e-9, "{t} vs {expect}");
+    }
+
+    #[test]
+    fn compute_bound_region_scales_with_flops() {
+        let s = sim();
+        let w = WorkEstimate {
+            flops: 1e10,
+            dram_bytes: 1e6,
+            working_set: 1 << 30, // don't trigger cache bonus
+            invocations: 1,
+            parallel_fraction: 1.0,
+            random_lines: 0.0,
+        };
+        let t = s.region_time(&w);
+        let expect = 1e10 / s.params().effective_flops() + s.params().region_overhead;
+        assert!((t - expect).abs() / expect < 1e-9);
+    }
+
+    #[test]
+    fn cache_resident_working_set_is_faster() {
+        let s = sim();
+        let small = WorkEstimate {
+            flops: 1e6,
+            dram_bytes: 4e6,
+            working_set: 4 << 20, // fits the 6 MB LLC
+            invocations: 1,
+            parallel_fraction: 1.0,
+            random_lines: 0.0,
+        };
+        let big = WorkEstimate { working_set: 64 << 20, ..small };
+        assert!(s.region_time(&small) < s.region_time(&big));
+    }
+
+    #[test]
+    fn serial_fraction_adds_amdahl_penalty() {
+        let s = sim();
+        let full = WorkEstimate {
+            flops: 1e9,
+            dram_bytes: 1.0,
+            working_set: 1 << 30,
+            invocations: 1,
+            parallel_fraction: 1.0,
+            random_lines: 0.0,
+        };
+        let half = WorkEstimate { parallel_fraction: 0.5, ..full };
+        assert!(s.region_time(&half) > s.region_time(&full));
+    }
+
+    #[test]
+    fn invocation_overhead_accumulates() {
+        let s = sim();
+        let one = WorkEstimate { invocations: 1, ..streaming(1e6) };
+        let many = WorkEstimate { invocations: 100, ..streaming(1e6) };
+        let diff = s.region_time(&many) - s.region_time(&one);
+        assert!((diff - 99.0 * s.params().region_overhead).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iterative_time_is_linear() {
+        let s = sim();
+        let w = streaming(64.0 * (1 << 20) as f64);
+        let t1 = s.iterative_time(&w, 1);
+        let t10 = s.iterative_time(&w, 10);
+        assert!((t10 - 10.0 * t1).abs() / t10 < 1e-12);
+    }
+
+    #[test]
+    fn intensity_helper() {
+        let w = streaming(4.0);
+        assert_eq!(w.intensity(), 0.25);
+        let inf = WorkEstimate { dram_bytes: 0.0, ..w };
+        assert_eq!(inf.intensity(), f64::INFINITY);
+    }
+
+    #[test]
+    fn random_lines_add_latency_cost() {
+        let s = sim();
+        let base = streaming(1e6);
+        let gathering = WorkEstimate { random_lines: 1e7, ..base };
+        let dt = s.region_time(&gathering) - s.region_time(&base);
+        assert!((dt - 1e7 / s.params().random_line_rate).abs() / dt < 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel fraction")]
+    fn bad_parallel_fraction_panics() {
+        let w = WorkEstimate { parallel_fraction: 1.5, ..streaming(1.0) };
+        sim().region_time(&w);
+    }
+
+    #[test]
+    fn hotspot_scale_sanity() {
+        // 1024x1024 stencil, ~12 bytes/cell DRAM, ~10 flops/cell:
+        // about 2 ms on this class of machine — the right order for the
+        // paper's HotSpot CPU times.
+        let s = sim();
+        let cells = 1024.0 * 1024.0;
+        let w = WorkEstimate {
+            flops: cells * 10.0,
+            dram_bytes: cells * 12.0,
+            working_set: (cells as u64) * 12,
+            invocations: 1,
+            parallel_fraction: 0.995,
+            random_lines: 0.0,
+        };
+        let t = s.region_time(&w);
+        assert!((5e-4..1e-2).contains(&t), "t = {t}");
+    }
+}

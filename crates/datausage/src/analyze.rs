@@ -1,0 +1,265 @@
+//! The dataflow analysis over kernel sequences.
+
+use crate::hints::Hints;
+use crate::plan::{Transfer, TransferDir, TransferPlan};
+use gpp_brs::{ArrayId, SectionSet};
+use gpp_skeleton::sections::{read_sets, write_sets};
+use gpp_skeleton::Program;
+use std::collections::BTreeMap;
+
+/// Runs the data usage analysis on a program (a sequence of kernels), in
+/// kernel order, producing the transfer plan.
+///
+/// Algorithm (paper §III-B): walk kernels in order, maintaining the union
+/// of device-written sections per array. For each kernel, any read section
+/// not covered by prior device writes must be transferred host→device.
+/// The union of all written sections, minus hinted temporaries, must come
+/// back device→host.
+pub fn analyze(program: &Program, hints: &Hints) -> TransferPlan {
+    let mut written: BTreeMap<ArrayId, SectionSet> = BTreeMap::new();
+    let mut inbound: BTreeMap<ArrayId, SectionSet> = BTreeMap::new();
+
+    for kernel in &program.kernels {
+        for (array, read) in read_sets(kernel, program) {
+            let mut need = read;
+            if let Some(w) = written.get(&array) {
+                need.subtract(w);
+            }
+            if need.is_empty() {
+                continue;
+            }
+            match inbound.get_mut(&array) {
+                Some(set) => set.union_with(&need),
+                None => {
+                    inbound.insert(array, need);
+                }
+            }
+        }
+        for (array, wset) in write_sets(kernel, program) {
+            match written.get_mut(&array) {
+                Some(set) => set.union_with(&wset),
+                None => {
+                    written.insert(array, wset);
+                }
+            }
+        }
+    }
+
+    let h2d = inbound
+        .into_iter()
+        .map(|(array, set)| make_transfer(program, hints, array, &set, TransferDir::ToDevice))
+        .collect();
+
+    let d2h = written
+        .into_iter()
+        .filter(|(array, _)| !hints.is_temporary(*array))
+        .map(|(array, set)| make_transfer(program, hints, array, &set, TransferDir::FromDevice))
+        .collect();
+
+    TransferPlan { h2d, d2h }
+}
+
+/// Builds one transfer record, applying the sparse fallback / hint rules.
+fn make_transfer(
+    program: &Program,
+    hints: &Hints,
+    array: ArrayId,
+    set: &SectionSet,
+    dir: TransferDir,
+) -> Transfer {
+    let decl = program.array(array);
+    let (bytes, exact) = if decl.sparse {
+        match hints.sparse_bytes(array) {
+            // The user bounded the useful contents.
+            Some(b) => (b.min(decl.byte_count()), true),
+            // Conservative: the whole allocation may be referenced.
+            None => (decl.byte_count(), false),
+        }
+    } else {
+        let b = set.byte_count(decl.elem.bytes()).min(decl.byte_count());
+        (b, set.is_exact())
+    };
+    Transfer { array, name: decl.name.clone(), bytes, dir, exact }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpp_skeleton::builder::{idx, irr, ProgramBuilder};
+    use gpp_skeleton::{ElemType, Flops};
+
+    /// SRAD-like shape: k1 reads img, writes coeff; k2 reads img+coeff,
+    /// writes img.
+    fn srad_like(n: usize) -> (Program, ArrayId, ArrayId) {
+        let mut p = ProgramBuilder::new("srad-like");
+        let img = p.array("img", ElemType::F32, &[n, n]);
+        let coeff = p.array("coeff", ElemType::F32, &[n, n]);
+        let mut k1 = p.kernel("prep");
+        let i = k1.parallel_loop("i", n as u64);
+        let j = k1.parallel_loop("j", n as u64);
+        k1.statement()
+            .read(img, &[idx(i), idx(j)])
+            .write(coeff, &[idx(i), idx(j)])
+            .flops(Flops { adds: 4, divs: 1, ..Flops::default() })
+            .finish();
+        k1.finish();
+        let mut k2 = p.kernel("update");
+        let i = k2.parallel_loop("i", n as u64);
+        let j = k2.parallel_loop("j", n as u64);
+        k2.statement()
+            .read(img, &[idx(i), idx(j)])
+            .read(coeff, &[idx(i), idx(j)])
+            .write(img, &[idx(i), idx(j)])
+            .flops(Flops { adds: 6, muls: 2, ..Flops::default() })
+            .finish();
+        k2.finish();
+        let prog = p.build().unwrap();
+        (prog, img, coeff)
+    }
+
+    #[test]
+    fn device_produced_data_is_not_sent() {
+        let (prog, img, coeff) = srad_like(256);
+        let plan = analyze(&prog, &Hints::new());
+        // Only img goes in: coeff is written by k1 before k2 reads it.
+        assert_eq!(plan.h2d.len(), 1);
+        assert_eq!(plan.h2d[0].array, img);
+        assert_eq!(plan.h2d[0].bytes, 256 * 256 * 4);
+        // Without hints, both written arrays come back.
+        assert_eq!(plan.d2h.len(), 2);
+        let _ = coeff;
+    }
+
+    #[test]
+    fn temporary_hint_skips_copy_back() {
+        let (prog, img, coeff) = srad_like(256);
+        let plan = analyze(&prog, &Hints::new().temporary(coeff));
+        assert_eq!(plan.d2h.len(), 1);
+        assert_eq!(plan.d2h[0].array, img);
+        assert!(plan.is_exact());
+    }
+
+    #[test]
+    fn partial_prior_write_sends_remainder() {
+        // k1 writes the first half of x; k2 reads all of x:
+        // only the unwritten second half needs transferring.
+        let mut p = ProgramBuilder::new("halves");
+        let x = p.array("x", ElemType::F32, &[1000]);
+        let y = p.array("y", ElemType::F32, &[1000]);
+        let mut k1 = p.kernel("k1");
+        let i = k1.parallel_loop("i", 500);
+        k1.statement().write(x, &[idx(i)]).finish();
+        k1.finish();
+        let mut k2 = p.kernel("k2");
+        let i = k2.parallel_loop("i", 1000);
+        k2.statement().read(x, &[idx(i)]).write(y, &[idx(i)]).finish();
+        k2.finish();
+        let prog = p.build().unwrap();
+        let plan = analyze(&prog, &Hints::new());
+        let x_in = plan.h2d.iter().find(|t| t.array == x).unwrap();
+        assert_eq!(x_in.bytes, 500 * 4);
+    }
+
+    #[test]
+    fn read_after_own_write_in_same_kernel_still_transfers() {
+        // Within one kernel, reads are processed before writes take
+        // effect (per-kernel granularity: the read may race the write on
+        // device, so the input must be present).
+        let mut p = ProgramBuilder::new("rw");
+        let x = p.array("x", ElemType::F32, &[100]);
+        let mut k = p.kernel("k");
+        let i = k.parallel_loop("i", 100);
+        k.statement().read(x, &[idx(i)]).write(x, &[idx(i)]).finish();
+        k.finish();
+        let prog = p.build().unwrap();
+        let plan = analyze(&prog, &Hints::new());
+        assert_eq!(plan.h2d_bytes(), 400);
+        assert_eq!(plan.d2h_bytes(), 400);
+    }
+
+    #[test]
+    fn sparse_array_conservative_then_hinted() {
+        let mut p = ProgramBuilder::new("spmv");
+        let vals = p.sparse_array("vals", ElemType::F64, &[10_000]);
+        let x = p.array("x", ElemType::F64, &[100]);
+        let y = p.array("y", ElemType::F64, &[100]);
+        let mut k = p.kernel("k");
+        let i = k.parallel_loop("i", 100);
+        k.statement()
+            .read_ix(vals, &[irr()])
+            .read_ix(x, &[irr()])
+            .write(y, &[idx(i)])
+            .finish();
+        k.finish();
+        let prog = p.build().unwrap();
+
+        // Conservative: whole vals allocation.
+        let plan = analyze(&prog, &Hints::new());
+        let v = plan.h2d.iter().find(|t| t.name == "vals").unwrap();
+        assert_eq!(v.bytes, 80_000);
+        assert!(!v.exact);
+
+        // Hinted: only nnz × 8 bytes.
+        let plan = analyze(&prog, &Hints::new().sparse_bound(prog.array_by_name("vals").unwrap().id, 3456 * 8));
+        let v = plan.h2d.iter().find(|t| t.name == "vals").unwrap();
+        assert_eq!(v.bytes, 3456 * 8);
+        assert!(v.exact);
+    }
+
+    #[test]
+    fn sparse_hint_clamped_to_allocation() {
+        let mut p = ProgramBuilder::new("clamp");
+        let v = p.sparse_array("v", ElemType::F32, &[10]);
+        let mut k = p.kernel("k");
+        let i = k.parallel_loop("i", 10);
+        k.statement().read(v, &[idx(i)]).finish();
+        k.finish();
+        let prog = p.build().unwrap();
+        let plan = analyze(&prog, &Hints::new().sparse_bound(v, 1 << 30));
+        assert_eq!(plan.h2d[0].bytes, 40);
+    }
+
+    #[test]
+    fn untouched_arrays_do_not_transfer() {
+        let mut p = ProgramBuilder::new("unused");
+        let a = p.array("a", ElemType::F32, &[100]);
+        let _unused = p.array("unused", ElemType::F64, &[1 << 20]);
+        let mut k = p.kernel("k");
+        let i = k.parallel_loop("i", 100);
+        k.statement().read(a, &[idx(i)]).write(a, &[idx(i)]).finish();
+        k.finish();
+        let prog = p.build().unwrap();
+        let plan = analyze(&prog, &Hints::new());
+        assert_eq!(plan.transfer_count(), 2);
+        assert!(plan.all().all(|t| t.name == "a"));
+    }
+
+    #[test]
+    fn stencil_halo_is_counted() {
+        // Writes cover the interior; reads cover everything: the halo ring
+        // must be sent even though the interior is overwritten later...
+        // and since reads precede writes in kernel order, the *whole* read
+        // section goes in (nothing was written before this first kernel).
+        let mut p = ProgramBuilder::new("stencil");
+        let n = 64usize;
+        let a = p.array("a", ElemType::F32, &[n, n]);
+        let mut k = p.kernel("k");
+        let i = k.parallel_loop("i", (n - 2) as u64);
+        let j = k.parallel_loop("j", (n - 2) as u64);
+        k.statement()
+            .read(a, &[idx(i), idx(j) + 1])
+            .read(a, &[idx(i) + 1, idx(j)])
+            .read(a, &[idx(i) + 1, idx(j) + 1])
+            .read(a, &[idx(i) + 1, idx(j) + 2])
+            .read(a, &[idx(i) + 2, idx(j) + 1])
+            .write(a, &[idx(i) + 1, idx(j) + 1])
+            .finish();
+        k.finish();
+        let prog = p.build().unwrap();
+        let plan = analyze(&prog, &Hints::new());
+        // Reads: cross pattern union = everything except the 4 corners.
+        assert_eq!(plan.h2d_bytes(), (64 * 64 - 4) * 4);
+        // Writes: interior only.
+        assert_eq!(plan.d2h_bytes(), 62 * 62 * 4);
+    }
+}

@@ -1,0 +1,80 @@
+//! User hints that refine the conservative analysis.
+
+use gpp_brs::ArrayId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Optional user-supplied knowledge the analyzer cannot derive statically.
+///
+/// * *Temporaries*: "Users can optionally provide hints to specify written
+///   data that serve as temporaries. Temporary data need not be
+///   transferred back to the CPU" (§III-B).
+/// * *Sparse bounds*: for irregular arrays, the actual number of useful
+///   bytes (e.g. `nnz × elem` for a CSR values vector), replacing the
+///   whole-allocation conservative assumption.
+#[derive(Debug, Clone, Default)]
+pub struct Hints {
+    temporaries: BTreeSet<ArrayId>,
+    sparse_bytes: BTreeMap<ArrayId, u64>,
+}
+
+impl Hints {
+    /// No hints: the fully conservative analysis.
+    pub fn new() -> Self {
+        Hints::default()
+    }
+
+    /// Marks an array as a device-side temporary (not copied back).
+    #[must_use]
+    pub fn temporary(mut self, array: ArrayId) -> Self {
+        self.temporaries.insert(array);
+        self
+    }
+
+    /// Bounds the useful bytes of a sparse array.
+    #[must_use]
+    pub fn sparse_bound(mut self, array: ArrayId, bytes: u64) -> Self {
+        self.sparse_bytes.insert(array, bytes);
+        self
+    }
+
+    /// True if the array is hinted as a temporary.
+    pub fn is_temporary(&self, array: ArrayId) -> bool {
+        self.temporaries.contains(&array)
+    }
+
+    /// The hinted byte bound for a sparse array, if any.
+    pub fn sparse_bytes(&self, array: ArrayId) -> Option<u64> {
+        self.sparse_bytes.get(&array).copied()
+    }
+
+    /// Number of hints supplied (for reports).
+    pub fn len(&self) -> usize {
+        self.temporaries.len() + self.sparse_bytes.len()
+    }
+
+    /// True if no hints were supplied.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates() {
+        let h = Hints::new()
+            .temporary(ArrayId(1))
+            .temporary(ArrayId(2))
+            .sparse_bound(ArrayId(3), 4096);
+        assert!(h.is_temporary(ArrayId(1)));
+        assert!(h.is_temporary(ArrayId(2)));
+        assert!(!h.is_temporary(ArrayId(3)));
+        assert_eq!(h.sparse_bytes(ArrayId(3)), Some(4096));
+        assert_eq!(h.sparse_bytes(ArrayId(1)), None);
+        assert_eq!(h.len(), 3);
+        assert!(!h.is_empty());
+        assert!(Hints::new().is_empty());
+    }
+}

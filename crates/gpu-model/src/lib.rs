@@ -1,0 +1,40 @@
+//! The GROPHECY analytic GPU performance model.
+//!
+//! This crate is our reimplementation of the projection engine of
+//! GROPHECY (Meng, Morozov, Kumaran, Vishwanath, Uram — SC'11), the
+//! framework the paper extends. Given a kernel's synthesized
+//! characteristics (from `gpp-skeleton`) and a GPU *datasheet*
+//! ([`GpuSpec`]), it:
+//!
+//! 1. enumerates a space of code transformations — thread-block geometry,
+//!    shared-memory staging of reusable loads, unrolling
+//!    ([`transform::candidate_space`]),
+//! 2. synthesizes the performance characteristics each transformed kernel
+//!    would have ([`transform::SynthesizedKernel`]),
+//! 3. projects each candidate's execution time with an MWP/CWP-style
+//!    analytic throughput model ([`project::project`]), and
+//! 4. reports the best achievable time and the transformation that
+//!    reaches it ([`project::project_best`]) — "GROPHECY projects the best
+//!    achievable performance and the transformations necessary to reach
+//!    that performance" (paper §II-C).
+//!
+//! The model sees only *public* information: the code skeleton and the
+//! device datasheet. It does **not** see the timing simulator's internal
+//! parameters (scattered-traffic DRAM derating, exact latency, launch
+//! overhead, wave quantization), so its projections carry an honest error
+//! of the magnitude the paper reports for kernel times (~15% average,
+//! §I) — that asymmetry is deliberate and is what makes the downstream
+//! validation meaningful.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod occupancy;
+pub mod project;
+pub mod spec;
+pub mod transform;
+
+pub use occupancy::ModelOccupancy;
+pub use project::{project, project_best, KernelProjection, ProjectionBound};
+pub use spec::GpuSpec;
+pub use transform::{candidate_space, synthesize_transformed, SynthesizedKernel, Transformation};

@@ -1,0 +1,89 @@
+//! The model's occupancy calculator (the public CUDA occupancy rules).
+
+use crate::spec::GpuSpec;
+use crate::transform::SynthesizedKernel;
+
+/// Occupancy as the analytic model computes it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelOccupancy {
+    /// Resident blocks per SM.
+    pub blocks_per_sm: u32,
+    /// Resident warps per SM.
+    pub warps_per_sm: u32,
+}
+
+impl ModelOccupancy {
+    /// Applies the standard occupancy rules. Returns `None` if one block
+    /// cannot run at all (the search then skips the candidate).
+    pub fn compute(spec: &GpuSpec, k: &SynthesizedKernel) -> Option<Self> {
+        let block = k.config.block_threads;
+        if block > spec.max_threads_per_block {
+            return None;
+        }
+        let regs_per_block = k.regs_per_thread * block;
+        if regs_per_block > spec.regs_per_sm || k.shared_per_block > spec.shared_per_sm {
+            return None;
+        }
+        let by_blocks = spec.max_blocks_per_sm;
+        let by_threads = spec.max_threads_per_sm / block;
+        let by_shared =
+            spec.shared_per_sm.checked_div(k.shared_per_block).unwrap_or(u32::MAX);
+        let by_regs = spec.regs_per_sm.checked_div(regs_per_block).unwrap_or(u32::MAX);
+        let mut blocks = by_blocks.min(by_threads).min(by_shared).min(by_regs).max(1);
+        // A small grid cannot fill the SMs even if resources would allow.
+        let grid_blocks = (k.threads.max(1)).div_ceil(block as u64);
+        let grid_share = grid_blocks.div_ceil(spec.sms as u64);
+        blocks = blocks.min(grid_share.max(1) as u32);
+        let warps_per_block = block.div_ceil(spec.warp_size);
+        Some(ModelOccupancy { blocks_per_sm: blocks, warps_per_sm: blocks * warps_per_block })
+    }
+
+    /// Fraction of the SM's warp slots occupied.
+    pub fn fraction(&self, spec: &GpuSpec) -> f64 {
+        self.warps_per_sm as f64 / (spec.max_threads_per_sm / spec.warp_size) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::Transformation;
+
+    fn kernel(block: u32, regs: u32, shared: u32) -> SynthesizedKernel {
+        SynthesizedKernel {
+            config: Transformation { block_threads: block, use_shared: shared > 0, unroll: 1, thread_axis: None },
+            threads: 1 << 20,
+            compute_slots: 10.0,
+            shared_accesses: 0.0,
+            global_ops: vec![],
+            syncs: 0,
+            active_fraction: 1.0,
+            regs_per_thread: regs,
+            shared_per_block: shared,
+        }
+    }
+
+    #[test]
+    fn matches_hand_calculation() {
+        let spec = GpuSpec::quadro_fx_5600();
+        let o = ModelOccupancy::compute(&spec, &kernel(256, 10, 0)).unwrap();
+        assert_eq!(o.blocks_per_sm, 3); // 768 / 256
+        assert_eq!(o.warps_per_sm, 24);
+        assert_eq!(o.fraction(&spec), 1.0);
+    }
+
+    #[test]
+    fn shared_memory_limits() {
+        let spec = GpuSpec::quadro_fx_5600();
+        let o = ModelOccupancy::compute(&spec, &kernel(128, 10, 6 << 10)).unwrap();
+        assert_eq!(o.blocks_per_sm, 2); // 16 KB / 6 KB
+    }
+
+    #[test]
+    fn impossible_block_returns_none() {
+        let spec = GpuSpec::quadro_fx_5600();
+        assert!(ModelOccupancy::compute(&spec, &kernel(1024, 10, 0)).is_none());
+        assert!(ModelOccupancy::compute(&spec, &kernel(512, 64, 0)).is_none());
+        assert!(ModelOccupancy::compute(&spec, &kernel(128, 10, 20 << 10)).is_none());
+    }
+}

@@ -1,0 +1,126 @@
+//! The GPU *datasheet*: what an analytic model is allowed to know.
+
+/// Publicly documented device parameters — the inputs GROPHECY's
+/// "GPU performance model \[that\] can be configured to reflect different
+/// GPU architectures" (§II-C) takes.
+///
+/// Deliberately absent (the simulator knows them; the model must not):
+/// measured DRAM efficiency, scattered-traffic derating, exact load
+/// latency, launch overhead, misalignment penalties.
+#[derive(Debug, Clone)]
+pub struct GpuSpec {
+    /// Marketing name.
+    pub name: String,
+    /// Streaming multiprocessors.
+    pub sms: u32,
+    /// Scalar processors per SM.
+    pub sps_per_sm: u32,
+    /// Threads per warp.
+    pub warp_size: u32,
+    /// Shader clock, Hz.
+    pub clock_hz: f64,
+    /// Peak DRAM bandwidth from the datasheet, bytes/second.
+    pub mem_bw: f64,
+    /// The model's standard bandwidth derate assumption: real kernels
+    /// reach ~85% of datasheet bandwidth. (A textbook rule of thumb —
+    /// optimistic for scatter-heavy kernels, which is a real error
+    /// source.)
+    pub bw_derate: f64,
+    /// The model's assumed global-load latency in cycles (the usual
+    /// "400–600 cycles" folklore number; we take 450).
+    pub mem_latency_cycles: f64,
+    /// Memory segment size for coalescing math, bytes.
+    pub segment_bytes: u32,
+    /// Max resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Max resident blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// Max threads per block.
+    pub max_threads_per_block: u32,
+    /// Shared memory per SM, bytes.
+    pub shared_per_sm: u32,
+    /// Registers per SM.
+    pub regs_per_sm: u32,
+    /// Kernel launch overhead, seconds — public knowledge from vendor
+    /// documentation and microbenchmarks (~10 us in the CUDA 2.x era).
+    pub launch_overhead: f64,
+    /// Cost of a misaligned-but-sequential half-warp access in 64-byte
+    /// segment-equivalents — public knowledge from the CUDA programming
+    /// guide: 16 separate 32-byte transactions (= 8 segment-equivalents)
+    /// on compute capability < 1.2 (G80); 2 on relaxed-coalescing parts
+    /// (GT200+).
+    pub misaligned_halfwarp_transactions: f64,
+}
+
+impl GpuSpec {
+    /// The paper's device, from its public datasheet.
+    pub fn quadro_fx_5600() -> Self {
+        GpuSpec {
+            name: "Quadro FX 5600".into(),
+            sms: 16,
+            sps_per_sm: 8,
+            warp_size: 32,
+            clock_hz: 1.35e9,
+            mem_bw: 76.8e9,
+            bw_derate: 0.80,
+            mem_latency_cycles: 450.0,
+            segment_bytes: 64,
+            max_threads_per_sm: 768,
+            max_blocks_per_sm: 8,
+            max_threads_per_block: 512,
+            shared_per_sm: 16 << 10,
+            regs_per_sm: 8192,
+            launch_overhead: 10.0e-6,
+            misaligned_halfwarp_transactions: 8.0,
+        }
+    }
+
+    /// Tesla C1060 datasheet, for cross-device projection experiments.
+    pub fn tesla_c1060() -> Self {
+        GpuSpec {
+            name: "Tesla C1060".into(),
+            sms: 30,
+            sps_per_sm: 8,
+            warp_size: 32,
+            clock_hz: 1.296e9,
+            mem_bw: 102.0e9,
+            bw_derate: 0.80,
+            mem_latency_cycles: 450.0,
+            segment_bytes: 64,
+            max_threads_per_sm: 1024,
+            max_blocks_per_sm: 8,
+            max_threads_per_block: 512,
+            shared_per_sm: 16 << 10,
+            regs_per_sm: 16384,
+            launch_overhead: 8.0e-6,
+            misaligned_halfwarp_transactions: 2.0,
+        }
+    }
+
+    /// Cycles to issue one instruction for a whole warp.
+    pub fn cycles_per_warp_inst(&self) -> f64 {
+        self.warp_size as f64 / self.sps_per_sm as f64
+    }
+
+    /// The bandwidth the model plans with.
+    pub fn assumed_mem_bw(&self) -> f64 {
+        self.mem_bw * self.bw_derate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datasheet_values() {
+        let s = GpuSpec::quadro_fx_5600();
+        assert_eq!(s.cycles_per_warp_inst(), 4.0);
+        assert!((s.assumed_mem_bw() - 76.8e9 * 0.80).abs() < 1.0);
+    }
+
+    #[test]
+    fn c1060_has_more_sms() {
+        assert!(GpuSpec::tesla_c1060().sms > GpuSpec::quadro_fx_5600().sms);
+    }
+}

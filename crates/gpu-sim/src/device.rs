@@ -1,0 +1,173 @@
+//! GPU hardware parameterization.
+
+/// Parameters of the simulated GPU.
+#[derive(Debug, Clone)]
+pub struct DeviceParams {
+    /// Marketing name, for reports.
+    pub name: String,
+    /// Streaming multiprocessors.
+    pub sms: u32,
+    /// Scalar processors (CUDA cores) per SM.
+    pub sps_per_sm: u32,
+    /// Threads per warp.
+    pub warp_size: u32,
+    /// Shader clock in Hz (instruction issue rate).
+    pub clock_hz: f64,
+    /// Peak DRAM bandwidth, bytes/second.
+    pub mem_bw: f64,
+    /// Fraction of peak DRAM bandwidth achievable by real access streams.
+    pub mem_efficiency: f64,
+    /// Global-memory load latency in shader cycles.
+    pub mem_latency_cycles: f64,
+    /// Memory transaction (segment) size in bytes for a half-warp access.
+    pub segment_bytes: u32,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// Maximum threads per block.
+    pub max_threads_per_block: u32,
+    /// Shared memory per SM, bytes.
+    pub shared_per_sm: u32,
+    /// Register file per SM, 32-bit registers.
+    pub regs_per_sm: u32,
+    /// Device memory capacity, bytes.
+    pub dram_bytes: u64,
+    /// Fixed kernel launch overhead, seconds (driver + command processor,
+    /// ~10–20 µs in the CUDA 2.x era).
+    pub launch_overhead: f64,
+    /// Relative run-to-run noise sigma on kernel times.
+    pub noise_rel_sigma: f64,
+    /// Penalty multiplier for misaligned-but-sequential half-warp accesses,
+    /// in 64-byte-segment equivalents. G80 coalescing requires alignment;
+    /// a misaligned half-warp issues 16 separate 32-byte transactions =
+    /// 8 segment-equivalents (CUDA 1.x programming guide).
+    pub misaligned_factor: f64,
+    /// DRAM efficiency achieved by *scattered* transaction streams
+    /// (strided/irregular/misaligned) relative to streaming ones: random
+    /// segment addresses thrash GDDR3 row buffers. Analytic models
+    /// typically assume one uniform derate — a real source of kernel-time
+    /// prediction error for gather-heavy codes like CFD.
+    pub scatter_efficiency: f64,
+    /// Issue throughput of special-function (transcendental) ops relative
+    /// to simple ALU ops (G80: 2 SFUs per 8 SPs).
+    pub sfu_slowdown: f64,
+}
+
+impl DeviceParams {
+    /// The paper's GPU: NVIDIA Quadro FX 5600 (G80, 1.5 GB GDDR3).
+    ///
+    /// 16 SMs × 8 SPs at 1.35 GHz; 384-bit interface at 1600 MT/s →
+    /// 76.8 GB/s peak.
+    pub fn quadro_fx_5600() -> Self {
+        DeviceParams {
+            name: "Quadro FX 5600 (simulated)".into(),
+            sms: 16,
+            sps_per_sm: 8,
+            warp_size: 32,
+            clock_hz: 1.35e9,
+            mem_bw: 76.8e9,
+            mem_efficiency: 0.78,
+            mem_latency_cycles: 520.0,
+            segment_bytes: 64,
+            max_threads_per_sm: 768,
+            max_blocks_per_sm: 8,
+            max_threads_per_block: 512,
+            shared_per_sm: 16 << 10,
+            regs_per_sm: 8192,
+            dram_bytes: 1536 << 20,
+            launch_overhead: 13.0e-6,
+            noise_rel_sigma: 0.015,
+            misaligned_factor: 8.0,
+            scatter_efficiency: 0.62,
+            sfu_slowdown: 4.0,
+        }
+    }
+
+    /// A GT200-class part (Tesla C1060) for cross-device experiments:
+    /// relaxed coalescing (smaller misalignment penalty), more SMs,
+    /// more registers.
+    pub fn tesla_c1060() -> Self {
+        DeviceParams {
+            name: "Tesla C1060 (simulated)".into(),
+            sms: 30,
+            sps_per_sm: 8,
+            warp_size: 32,
+            clock_hz: 1.296e9,
+            mem_bw: 102.0e9,
+            mem_efficiency: 0.80,
+            mem_latency_cycles: 550.0,
+            segment_bytes: 64,
+            max_threads_per_sm: 1024,
+            max_blocks_per_sm: 8,
+            max_threads_per_block: 512,
+            shared_per_sm: 16 << 10,
+            regs_per_sm: 16384,
+            dram_bytes: 4096 << 20,
+            launch_overhead: 10.0e-6,
+            noise_rel_sigma: 0.015,
+            misaligned_factor: 2.0,
+            scatter_efficiency: 0.65,
+            sfu_slowdown: 4.0,
+        }
+    }
+
+    /// A noise-free copy (for exactness tests).
+    pub fn quiet(mut self) -> Self {
+        self.noise_rel_sigma = 0.0;
+        self
+    }
+
+    /// Peak single-precision throughput in flops/second (MAD counted as
+    /// one instruction slot here, so this is instruction-issue rate).
+    pub fn peak_issue_rate(&self) -> f64 {
+        self.sms as f64 * self.sps_per_sm as f64 * self.clock_hz
+    }
+
+    /// Achievable DRAM bandwidth, bytes/second.
+    pub fn effective_mem_bw(&self) -> f64 {
+        self.mem_bw * self.mem_efficiency
+    }
+
+    /// Cycles for one SM to issue one instruction for a full warp
+    /// (warp_size / sps_per_sm; 4 on G80).
+    pub fn cycles_per_warp_inst(&self) -> f64 {
+        self.warp_size as f64 / self.sps_per_sm as f64
+    }
+
+    /// Warps per SM when `threads` threads are resident.
+    pub fn warps_for_threads(&self, threads: u32) -> u32 {
+        threads.div_ceil(self.warp_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fx5600_headline_numbers() {
+        let d = DeviceParams::quadro_fx_5600();
+        assert_eq!(d.sms * d.sps_per_sm, 128);
+        assert_eq!(d.peak_issue_rate(), 128.0 * 1.35e9);
+        assert_eq!(d.mem_bw, 76.8e9);
+        assert_eq!(d.cycles_per_warp_inst(), 4.0);
+        assert_eq!(d.warps_for_threads(768), 24);
+        assert_eq!(d.warps_for_threads(100), 4);
+    }
+
+    #[test]
+    fn c1060_is_bigger() {
+        let a = DeviceParams::quadro_fx_5600();
+        let b = DeviceParams::tesla_c1060();
+        assert!(b.sms > a.sms);
+        assert!(b.mem_bw > a.mem_bw);
+        assert!(b.misaligned_factor < a.misaligned_factor);
+    }
+
+    #[test]
+    fn quiet_strips_noise() {
+        let d = DeviceParams::quadro_fx_5600().quiet();
+        assert_eq!(d.noise_rel_sigma, 0.0);
+    }
+}

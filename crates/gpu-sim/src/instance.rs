@@ -1,0 +1,159 @@
+//! Lowered kernel instances — the concrete form a kernel takes after
+//! GROPHECY picks a transformation (grid/block geometry, shared-memory
+//! staging, etc.). This is the simulator's input, standing in for the
+//! hand-written CUDA implementation of the paper's methodology ("the real
+//! kernel execution time is measured using a hand-coded version of the
+//! kernel that employs the same optimization strategies suggested by
+//! GROPHECY", §IV-A).
+
+use gpp_skeleton::CoalesceClass;
+
+/// One global- or shared-memory access stream executed by every thread.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemOp {
+    /// Element size in bytes.
+    pub bytes: u32,
+    /// Coalescing behaviour across the threads of a half-warp.
+    pub class: CoalesceClass,
+    /// Times each thread executes this access.
+    pub count: f64,
+    /// True for loads, false for stores.
+    pub is_load: bool,
+    /// True if the access is served from on-chip shared memory (placed
+    /// there by a staging transformation) rather than DRAM.
+    pub shared: bool,
+    /// True if the base address is segment-aligned for the half-warp.
+    /// G80 coalescing requires alignment; stencil neighbour loads
+    /// (`x[i±1]`) are the classic misaligned case.
+    pub aligned: bool,
+}
+
+impl MemOp {
+    /// A simple aligned, coalesced global load executed `count` times.
+    pub fn coalesced_load(bytes: u32, count: f64) -> Self {
+        MemOp { bytes, class: CoalesceClass::Coalesced, count, is_load: true, shared: false, aligned: true }
+    }
+
+    /// A simple aligned, coalesced global store executed `count` times.
+    pub fn coalesced_store(bytes: u32, count: f64) -> Self {
+        MemOp { bytes, class: CoalesceClass::Coalesced, count, is_load: false, shared: false, aligned: true }
+    }
+}
+
+/// The per-thread instruction summary of a lowered kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadProgram {
+    /// Throughput-weighted ALU instruction slots per thread (see
+    /// `gpp_skeleton::Flops::weighted`), excluding memory instructions.
+    pub compute_slots: f64,
+    /// Memory access streams.
+    pub mem_ops: Vec<MemOp>,
+    /// `__syncthreads()` barriers per thread.
+    pub syncs: u32,
+    /// Fraction of warp lanes doing useful work through divergent regions
+    /// (1.0 = uniform control flow). The warp pays for all lanes, so
+    /// effective compute cycles scale by `1/active_fraction`.
+    pub active_fraction: f64,
+}
+
+impl ThreadProgram {
+    /// Global-memory (non-shared) bytes requested per thread.
+    pub fn global_bytes_per_thread(&self) -> f64 {
+        self.mem_ops
+            .iter()
+            .filter(|m| !m.shared)
+            .map(|m| m.bytes as f64 * m.count)
+            .sum()
+    }
+
+    /// Number of global memory instructions per thread.
+    pub fn global_mem_insts(&self) -> f64 {
+        self.mem_ops.iter().filter(|m| !m.shared).map(|m| m.count).sum()
+    }
+}
+
+/// A fully specified kernel launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelInstance {
+    /// Kernel name, for reports.
+    pub name: String,
+    /// Number of thread blocks in the grid.
+    pub grid_blocks: u64,
+    /// Threads per block.
+    pub block_threads: u32,
+    /// Registers per thread (occupancy limiter).
+    pub regs_per_thread: u32,
+    /// Shared memory per block, bytes (occupancy limiter).
+    pub shared_per_block: u32,
+    /// What each thread does.
+    pub program: ThreadProgram,
+}
+
+impl KernelInstance {
+    /// Total threads in the launch.
+    pub fn total_threads(&self) -> u64 {
+        self.grid_blocks * self.block_threads as u64
+    }
+
+    /// Total global-memory traffic requested (before segment waste).
+    pub fn total_global_bytes(&self) -> f64 {
+        self.total_threads() as f64 * self.program.global_bytes_per_thread()
+    }
+
+    /// Convenience constructor for a dense 1-D data-parallel kernel.
+    pub fn dense_1d(
+        name: impl Into<String>,
+        threads: u64,
+        block_threads: u32,
+        program: ThreadProgram,
+    ) -> Self {
+        assert!(block_threads > 0, "block size must be positive");
+        KernelInstance {
+            name: name.into(),
+            grid_blocks: threads.div_ceil(block_threads as u64),
+            block_threads,
+            regs_per_thread: 16,
+            shared_per_block: 0,
+            program,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prog() -> ThreadProgram {
+        ThreadProgram {
+            compute_slots: 10.0,
+            mem_ops: vec![
+                MemOp::coalesced_load(4, 2.0),
+                MemOp::coalesced_store(4, 1.0),
+                MemOp { shared: true, ..MemOp::coalesced_load(4, 3.0) },
+            ],
+            syncs: 1,
+            active_fraction: 1.0,
+        }
+    }
+
+    #[test]
+    fn per_thread_byte_accounting_excludes_shared() {
+        let p = prog();
+        assert_eq!(p.global_bytes_per_thread(), 12.0);
+        assert_eq!(p.global_mem_insts(), 3.0);
+    }
+
+    #[test]
+    fn dense_1d_rounds_grid_up() {
+        let k = KernelInstance::dense_1d("k", 1000, 256, prog());
+        assert_eq!(k.grid_blocks, 4);
+        assert_eq!(k.total_threads(), 1024);
+        assert_eq!(k.total_global_bytes(), 1024.0 * 12.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size")]
+    fn zero_block_rejected() {
+        let _ = KernelInstance::dense_1d("k", 10, 0, prog());
+    }
+}

@@ -1,0 +1,177 @@
+//! Occupancy calculation: how many blocks and warps fit on one SM.
+
+use crate::device::DeviceParams;
+use crate::instance::KernelInstance;
+
+/// Resolved SM residency for a kernel on a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Occupancy {
+    /// Resident blocks per SM.
+    pub blocks_per_sm: u32,
+    /// Resident warps per SM.
+    pub warps_per_sm: u32,
+    /// Which resource bound the occupancy.
+    pub limiter: Limiter,
+}
+
+/// The resource that limited occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Limiter {
+    /// The per-SM block cap.
+    Blocks,
+    /// The per-SM thread cap.
+    Threads,
+    /// Shared-memory capacity.
+    SharedMem,
+    /// Register-file capacity.
+    Registers,
+    /// The grid has fewer blocks than one full SM complement.
+    GridSize,
+}
+
+impl Occupancy {
+    /// Computes the occupancy of `kernel` on `device`.
+    ///
+    /// # Panics
+    /// Panics if the block simply cannot run (too many threads per block,
+    /// or one block's shared memory / registers exceed the SM).
+    pub fn compute(device: &DeviceParams, kernel: &KernelInstance) -> Self {
+        assert!(
+            kernel.block_threads <= device.max_threads_per_block,
+            "block of {} threads exceeds device limit {}",
+            kernel.block_threads,
+            device.max_threads_per_block
+        );
+        let regs_per_block = kernel.regs_per_thread * kernel.block_threads;
+        assert!(
+            regs_per_block <= device.regs_per_sm,
+            "one block needs {} registers; SM has {}",
+            regs_per_block,
+            device.regs_per_sm
+        );
+        assert!(
+            kernel.shared_per_block <= device.shared_per_sm,
+            "one block needs {} B shared memory; SM has {}",
+            kernel.shared_per_block,
+            device.shared_per_sm
+        );
+
+        let by_blocks = device.max_blocks_per_sm;
+        let by_threads = device.max_threads_per_sm / kernel.block_threads;
+        let by_shared =
+            device.shared_per_sm.checked_div(kernel.shared_per_block).unwrap_or(u32::MAX);
+        let by_regs = device.regs_per_sm.checked_div(regs_per_block).unwrap_or(u32::MAX);
+
+        let mut blocks = by_blocks.min(by_threads).min(by_shared).min(by_regs);
+        let mut limiter = if blocks == by_blocks {
+            Limiter::Blocks
+        } else if blocks == by_threads {
+            Limiter::Threads
+        } else if blocks == by_shared {
+            Limiter::SharedMem
+        } else {
+            Limiter::Registers
+        };
+
+        // A small grid may not fill even one SM complement.
+        let grid_share = kernel.grid_blocks.div_ceil(device.sms as u64);
+        if (grid_share as u32) < blocks {
+            blocks = grid_share as u32;
+            limiter = Limiter::GridSize;
+        }
+        let blocks = blocks.max(1);
+
+        Occupancy {
+            blocks_per_sm: blocks,
+            warps_per_sm: blocks * device.warps_for_threads(kernel.block_threads),
+            limiter,
+        }
+    }
+
+    /// Occupancy as a fraction of the device's warp capacity.
+    pub fn fraction(&self, device: &DeviceParams) -> f64 {
+        let max_warps = device.max_threads_per_sm / device.warp_size;
+        self.warps_per_sm as f64 / max_warps as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::ThreadProgram;
+
+    fn device() -> DeviceParams {
+        DeviceParams::quadro_fx_5600()
+    }
+
+    fn kernel(block: u32, regs: u32, shared: u32, grid: u64) -> KernelInstance {
+        KernelInstance {
+            name: "k".into(),
+            grid_blocks: grid,
+            block_threads: block,
+            regs_per_thread: regs,
+            shared_per_block: shared,
+            program: ThreadProgram {
+                compute_slots: 1.0,
+                mem_ops: vec![],
+                syncs: 0,
+                active_fraction: 1.0,
+            },
+        }
+    }
+
+    #[test]
+    fn thread_limited_occupancy() {
+        // 256-thread blocks, tiny regs: 768/256 = 3 blocks, 24 warps.
+        let o = Occupancy::compute(&device(), &kernel(256, 10, 0, 1000));
+        assert_eq!(o.blocks_per_sm, 3);
+        assert_eq!(o.warps_per_sm, 24);
+        assert_eq!(o.limiter, Limiter::Threads);
+        assert_eq!(o.fraction(&device()), 1.0);
+    }
+
+    #[test]
+    fn block_limited_occupancy() {
+        // 32-thread blocks: the 8-block cap binds before the thread cap.
+        let o = Occupancy::compute(&device(), &kernel(32, 10, 0, 1000));
+        assert_eq!(o.blocks_per_sm, 8);
+        assert_eq!(o.warps_per_sm, 8);
+        assert_eq!(o.limiter, Limiter::Blocks);
+    }
+
+    #[test]
+    fn register_limited_occupancy() {
+        // 256 threads × 20 regs = 5120 regs/block; 8192/5120 = 1 block.
+        let o = Occupancy::compute(&device(), &kernel(256, 20, 0, 1000));
+        assert_eq!(o.blocks_per_sm, 1);
+        assert_eq!(o.limiter, Limiter::Registers);
+    }
+
+    #[test]
+    fn shared_limited_occupancy() {
+        // 8 KB shared per block: 16 KB / 8 KB = 2 blocks.
+        let o = Occupancy::compute(&device(), &kernel(128, 8, 8 << 10, 1000));
+        assert_eq!(o.blocks_per_sm, 2);
+        assert_eq!(o.limiter, Limiter::SharedMem);
+    }
+
+    #[test]
+    fn small_grid_limits_occupancy() {
+        // 16 blocks over 16 SMs: one block per SM regardless of resources.
+        let o = Occupancy::compute(&device(), &kernel(64, 10, 0, 16));
+        assert_eq!(o.blocks_per_sm, 1);
+        assert_eq!(o.limiter, Limiter::GridSize);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds device limit")]
+    fn oversize_block_panics() {
+        let _ = Occupancy::compute(&device(), &kernel(1024, 10, 0, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "registers")]
+    fn unrunnable_register_block_panics() {
+        let _ = Occupancy::compute(&device(), &kernel(512, 100, 0, 10));
+    }
+}

@@ -1,0 +1,113 @@
+//! An `nvprof`-style profile report for simulated kernels.
+//!
+//! The simulator resolves detail the analytic model never sees; this
+//! module renders that detail for humans — useful when diagnosing *why* a
+//! projection missed (is the kernel latency-bound? how much traffic is
+//! segment waste? did the tail wave matter?).
+
+use crate::device::DeviceParams;
+use crate::instance::KernelInstance;
+use crate::occupancy::Limiter;
+use crate::timing::time_kernel;
+
+/// Produces a multi-line profile of one kernel on one device.
+pub fn profile(device: &DeviceParams, kernel: &KernelInstance) -> String {
+    use std::fmt::Write as _;
+    let b = time_kernel(device, kernel);
+    let secs = b.cycles / device.clock_hz;
+    let useful: f64 = kernel.total_global_bytes();
+    let eff_bw = if secs > 0.0 { b.dram_bytes / secs } else { 0.0 };
+
+    let mut s = String::new();
+    let _ = writeln!(s, "== profile: {} on {} ==", kernel.name, device.name);
+    let _ = writeln!(
+        s,
+        "grid {} blocks x {} threads = {} threads",
+        kernel.grid_blocks,
+        kernel.block_threads,
+        kernel.total_threads()
+    );
+    let _ = writeln!(
+        s,
+        "occupancy: {} blocks/SM, {} warps/SM ({:.0}% of capacity), limited by {}",
+        b.occupancy.blocks_per_sm,
+        b.occupancy.warps_per_sm,
+        b.occupancy.fraction(device) * 100.0,
+        match b.occupancy.limiter {
+            Limiter::Blocks => "the block cap",
+            Limiter::Threads => "the thread cap",
+            Limiter::SharedMem => "shared memory",
+            Limiter::Registers => "registers",
+            Limiter::GridSize => "grid size",
+        }
+    );
+    let _ = writeln!(
+        s,
+        "waves: {} full{}",
+        b.full_waves,
+        if b.has_partial_wave { " + 1 partial (tail)" } else { "" }
+    );
+    let _ = writeln!(s, "bound: {}", b.bound);
+    let _ = writeln!(
+        s,
+        "dram traffic: {:.2} MB moved for {:.2} MB useful ({:.0}% overhead)",
+        b.dram_bytes / (1 << 20) as f64,
+        useful / (1 << 20) as f64,
+        if useful > 0.0 { (b.dram_bytes / useful - 1.0) * 100.0 } else { 0.0 }
+    );
+    let _ = writeln!(
+        s,
+        "time: {:.3} ms exec (+{:.1} us launch), {:.1} GB/s effective",
+        secs * 1e3,
+        device.launch_overhead * 1e6,
+        eff_bw / 1e9
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{MemOp, ThreadProgram};
+
+    fn kernel(threads: u64, aligned: bool) -> KernelInstance {
+        KernelInstance::dense_1d(
+            "probe",
+            threads,
+            256,
+            ThreadProgram {
+                compute_slots: 8.0,
+                mem_ops: vec![MemOp { aligned, ..MemOp::coalesced_load(4, 2.0) }],
+                syncs: 0,
+                active_fraction: 1.0,
+            },
+        )
+    }
+
+    #[test]
+    fn profile_mentions_the_essentials() {
+        let d = DeviceParams::quadro_fx_5600();
+        let p = profile(&d, &kernel(1 << 20, true));
+        for needle in ["occupancy", "waves", "bound", "dram traffic", "effective"] {
+            assert!(p.contains(needle), "missing {needle} in:\n{p}");
+        }
+        assert!(p.contains("probe"));
+    }
+
+    #[test]
+    fn misalignment_shows_as_traffic_overhead() {
+        let d = DeviceParams::quadro_fx_5600();
+        let ok = profile(&d, &kernel(1 << 20, true));
+        let bad = profile(&d, &kernel(1 << 20, false));
+        assert!(ok.contains("(0% overhead)"), "{ok}");
+        assert!(!bad.contains("(0% overhead)"), "{bad}");
+    }
+
+    #[test]
+    fn tail_wave_is_reported() {
+        let d = DeviceParams::quadro_fx_5600();
+        // One block more than a whole number of waves.
+        let p = profile(&d, &kernel(49 * 256, true));
+        assert!(p.contains("partial"), "{p}");
+    }
+}

@@ -1,0 +1,247 @@
+//! A CUDA-like device runtime facade: device memory allocation with
+//! capacity accounting, streams, and event timing over the simulator.
+//!
+//! The paper's workloads must actually fit in the Quadro FX 5600's 1.5 GB
+//! before any timing matters (`cudaMalloc` fails otherwise); this module
+//! provides that reality check plus the small host-API surface a ported
+//! application would use.
+
+use crate::device::DeviceParams;
+use crate::instance::KernelInstance;
+use crate::sim::{GpuSim, KernelTiming};
+use std::collections::BTreeMap;
+
+/// Errors the device runtime can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// The allocation does not fit in device memory.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes currently free.
+        free: u64,
+    },
+    /// A buffer id was used after being freed (or never existed).
+    InvalidBuffer(u64),
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::OutOfMemory { requested, free } => write!(
+                f,
+                "device out of memory: requested {requested} B with only {free} B free"
+            ),
+            RuntimeError::InvalidBuffer(id) => write!(f, "invalid device buffer id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// A handle to one device allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DeviceBuffer {
+    id: u64,
+    bytes: u64,
+}
+
+impl DeviceBuffer {
+    /// The allocation size.
+    pub fn len(&self) -> u64 {
+        self.bytes
+    }
+
+    /// True for zero-byte allocations.
+    pub fn is_empty(&self) -> bool {
+        self.bytes == 0
+    }
+}
+
+/// Device memory book-keeping (a simple first-fit-by-size accounting — we
+/// track capacity, not fragmentation).
+#[derive(Debug, Clone)]
+pub struct DeviceMemory {
+    capacity: u64,
+    allocations: BTreeMap<u64, u64>,
+    next_id: u64,
+    peak: u64,
+}
+
+impl DeviceMemory {
+    /// A fresh memory of the given capacity.
+    pub fn new(capacity: u64) -> Self {
+        DeviceMemory { capacity, allocations: BTreeMap::new(), next_id: 1, peak: 0 }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.allocations.values().sum()
+    }
+
+    /// Bytes currently free.
+    pub fn free_bytes(&self) -> u64 {
+        self.capacity - self.used()
+    }
+
+    /// High-water mark of allocated bytes.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Allocates `bytes` (like `cudaMalloc`).
+    pub fn alloc(&mut self, bytes: u64) -> Result<DeviceBuffer, RuntimeError> {
+        if bytes > self.free_bytes() {
+            return Err(RuntimeError::OutOfMemory { requested: bytes, free: self.free_bytes() });
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.allocations.insert(id, bytes);
+        self.peak = self.peak.max(self.used());
+        Ok(DeviceBuffer { id, bytes })
+    }
+
+    /// Frees a buffer (like `cudaFree`).
+    pub fn free(&mut self, buf: DeviceBuffer) -> Result<(), RuntimeError> {
+        self.allocations
+            .remove(&buf.id)
+            .map(|_| ())
+            .ok_or(RuntimeError::InvalidBuffer(buf.id))
+    }
+}
+
+/// A CUDA-like context over the simulator: device memory plus in-order
+/// kernel execution with event timestamps.
+pub struct DeviceContext {
+    memory: DeviceMemory,
+    sim: GpuSim,
+    /// Simulated device clock: seconds of GPU work submitted so far.
+    timeline: f64,
+}
+
+impl DeviceContext {
+    /// Creates a context for a device with a noise seed.
+    pub fn new(device: DeviceParams, seed: u64) -> Self {
+        let memory = DeviceMemory::new(device.dram_bytes);
+        DeviceContext { memory, sim: GpuSim::new(device, seed), timeline: 0.0 }
+    }
+
+    /// The memory book-keeper.
+    pub fn memory(&mut self) -> &mut DeviceMemory {
+        &mut self.memory
+    }
+
+    /// Launches a kernel in order; returns its timing and advances the
+    /// device timeline (the "stream").
+    pub fn launch(&mut self, kernel: &KernelInstance) -> KernelTiming {
+        let t = self.sim.launch(kernel);
+        self.timeline += t.time;
+        t
+    }
+
+    /// Seconds of device work submitted so far (an "event" at stream end).
+    pub fn elapsed(&self) -> f64 {
+        self.timeline
+    }
+
+    /// Resets the event timeline (like re-recording a start event).
+    pub fn reset_timeline(&mut self) {
+        self.timeline = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{MemOp, ThreadProgram};
+
+    fn ctx() -> DeviceContext {
+        DeviceContext::new(DeviceParams::quadro_fx_5600().quiet(), 1)
+    }
+
+    #[test]
+    fn alloc_free_accounting() {
+        let mut c = ctx();
+        let cap = c.memory().capacity();
+        assert_eq!(cap, 1536 << 20);
+        let a = c.memory().alloc(100 << 20).unwrap();
+        let b = c.memory().alloc(200 << 20).unwrap();
+        assert_eq!(c.memory().used(), 300 << 20);
+        assert_eq!(c.memory().peak(), 300 << 20);
+        c.memory().free(a).unwrap();
+        assert_eq!(c.memory().used(), 200 << 20);
+        assert_eq!(c.memory().peak(), 300 << 20); // peak sticks
+        c.memory().free(b).unwrap();
+        assert_eq!(c.memory().free_bytes(), cap);
+    }
+
+    #[test]
+    fn oom_is_reported_not_silent() {
+        let mut c = ctx();
+        let _big = c.memory().alloc(1400 << 20).unwrap();
+        let err = c.memory().alloc(200 << 20).unwrap_err();
+        match err {
+            RuntimeError::OutOfMemory { requested, free } => {
+                assert_eq!(requested, 200 << 20);
+                assert!(free < 200 << 20);
+            }
+            other => panic!("wrong error {other}"),
+        }
+        assert!(err.to_string().contains("out of memory"));
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let mut c = ctx();
+        let a = c.memory().alloc(1024).unwrap();
+        c.memory().free(a).unwrap();
+        assert_eq!(c.memory().free(a), Err(RuntimeError::InvalidBuffer(a.id)));
+    }
+
+    #[test]
+    fn timeline_accumulates_launches() {
+        let mut c = ctx();
+        let k = KernelInstance::dense_1d(
+            "k",
+            1 << 20,
+            256,
+            ThreadProgram {
+                compute_slots: 4.0,
+                mem_ops: vec![MemOp::coalesced_load(4, 1.0)],
+                syncs: 0,
+                active_fraction: 1.0,
+            },
+        );
+        let t1 = c.launch(&k).time;
+        let t2 = c.launch(&k).time;
+        assert!((c.elapsed() - (t1 + t2)).abs() < 1e-12);
+        c.reset_timeline();
+        assert_eq!(c.elapsed(), 0.0);
+    }
+
+    #[test]
+    fn paper_workloads_fit_in_fx5600_memory() {
+        // The largest paper dataset (SRAD 4096²: two 64 MB arrays) must
+        // fit comfortably in 1.5 GB.
+        let mut c = ctx();
+        let img = c.memory().alloc(64 << 20).unwrap();
+        let coeff = c.memory().alloc(64 << 20).unwrap();
+        assert!(c.memory().free_bytes() > 1 << 30);
+        c.memory().free(img).unwrap();
+        c.memory().free(coeff).unwrap();
+    }
+
+    #[test]
+    fn buffer_len_helpers() {
+        let mut c = ctx();
+        let a = c.memory().alloc(0).unwrap();
+        assert!(a.is_empty());
+        let b = c.memory().alloc(42).unwrap();
+        assert_eq!(b.len(), 42);
+    }
+}

@@ -1,0 +1,158 @@
+//! The top-level GPU simulator: timing + launch overhead + noise.
+
+use crate::device::DeviceParams;
+use crate::instance::KernelInstance;
+use crate::timing::{time_kernel, TimingBreakdown};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of one simulated kernel launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelTiming {
+    /// End-to-end kernel time in seconds (launch overhead + execution +
+    /// noise).
+    pub time: f64,
+    /// The noise-free execution-only time in seconds.
+    pub ideal_exec: f64,
+    /// Detailed decomposition.
+    pub breakdown: TimingBreakdown,
+}
+
+/// The simulated GPU. Holds the device description and the noise RNG;
+/// deterministic given the seed.
+#[derive(Debug, Clone)]
+pub struct GpuSim {
+    device: DeviceParams,
+    rng: StdRng,
+    launches: u64,
+}
+
+impl GpuSim {
+    /// Creates a simulator for a device with a noise seed.
+    pub fn new(device: DeviceParams, seed: u64) -> Self {
+        GpuSim { device, rng: StdRng::seed_from_u64(seed), launches: 0 }
+    }
+
+    /// The device description.
+    pub fn device(&self) -> &DeviceParams {
+        &self.device
+    }
+
+    /// Kernel launches so far.
+    pub fn launch_count(&self) -> u64 {
+        self.launches
+    }
+
+    /// Noise-free end-to-end time for a kernel (for tests and averaging
+    /// limits).
+    pub fn ideal_time(&self, kernel: &KernelInstance) -> f64 {
+        let b = time_kernel(&self.device, kernel);
+        self.device.launch_overhead + b.cycles / self.device.clock_hz
+    }
+
+    /// Launches a kernel: returns its simulated timing with noise.
+    pub fn launch(&mut self, kernel: &KernelInstance) -> KernelTiming {
+        let breakdown = time_kernel(&self.device, kernel);
+        let exec = breakdown.cycles / self.device.clock_hz;
+        self.launches += 1;
+        // Run-to-run noise: GPU clocks are stable, so this is small and
+        // multiplicative, plus sub-microsecond launch jitter.
+        let sigma = self.device.noise_rel_sigma;
+        let u1: f64 = self.rng.gen_range(1e-12..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..std::f64::consts::TAU);
+        let z = (-2.0 * u1.ln()).sqrt() * u2.cos();
+        let jitter = (0.3e-6 * (-2.0 * u1.ln()).sqrt() * u2.sin()).abs();
+        let time =
+            (self.device.launch_overhead + exec * (1.0 + sigma * z) + jitter).max(exec * 0.5);
+        KernelTiming { time, ideal_exec: exec, breakdown }
+    }
+
+    /// Launches a kernel `runs` times and returns the arithmetic-mean time
+    /// (the paper's measurement protocol: ten separate runs, §IV-A).
+    pub fn mean_time(&mut self, kernel: &KernelInstance, runs: u32) -> f64 {
+        let runs = runs.max(1);
+        (0..runs).map(|_| self.launch(kernel).time).sum::<f64>() / runs as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{MemOp, ThreadProgram};
+
+    fn kernel(threads: u64) -> KernelInstance {
+        KernelInstance::dense_1d(
+            "k",
+            threads,
+            256,
+            ThreadProgram {
+                compute_slots: 4.0,
+                mem_ops: vec![MemOp::coalesced_load(4, 2.0), MemOp::coalesced_store(4, 1.0)],
+                syncs: 0,
+                active_fraction: 1.0,
+            },
+        )
+    }
+
+    #[test]
+    fn launch_overhead_floors_small_kernels() {
+        let sim = GpuSim::new(DeviceParams::quadro_fx_5600().quiet(), 1);
+        let t = sim.ideal_time(&kernel(32));
+        assert!(t >= sim.device().launch_overhead);
+        assert!(t < 2.0 * sim.device().launch_overhead + 1e-3);
+    }
+
+    #[test]
+    fn large_kernel_time_scales_roughly_linearly() {
+        let sim = GpuSim::new(DeviceParams::quadro_fx_5600().quiet(), 1);
+        let t1 = sim.ideal_time(&kernel(1 << 20));
+        let t16 = sim.ideal_time(&kernel(1 << 24));
+        let ratio = (t16 - sim.device().launch_overhead) / (t1 - sim.device().launch_overhead);
+        assert!((14.0..18.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn seeded_determinism() {
+        let mut a = GpuSim::new(DeviceParams::quadro_fx_5600(), 9);
+        let mut b = GpuSim::new(DeviceParams::quadro_fx_5600(), 9);
+        assert_eq!(a.launch(&kernel(1 << 20)).time, b.launch(&kernel(1 << 20)).time);
+        assert_eq!(a.launch_count(), 1);
+    }
+
+    #[test]
+    fn mean_time_converges_to_ideal() {
+        let mut sim = GpuSim::new(DeviceParams::quadro_fx_5600(), 3);
+        let ideal = sim.ideal_time(&kernel(1 << 22));
+        let mean = sim.mean_time(&kernel(1 << 22), 50);
+        assert!((mean / ideal - 1.0).abs() < 0.03, "{mean} vs {ideal}");
+    }
+
+    #[test]
+    fn vector_add_sanity_vs_paper_background() {
+        // §II-B: vector addition on a Quadro FX 5600 is bandwidth-bound at
+        // ~77 GB/s peak. 2 × 16M-float inputs + 1 output = 192 MB; the
+        // kernel should take ~3 ms (192 MB / ~60 GB/s effective).
+        let sim = GpuSim::new(DeviceParams::quadro_fx_5600().quiet(), 1);
+        let k = KernelInstance::dense_1d(
+            "vadd",
+            1 << 24,
+            256,
+            ThreadProgram {
+                compute_slots: 1.0,
+                mem_ops: vec![MemOp::coalesced_load(4, 2.0), MemOp::coalesced_store(4, 1.0)],
+                syncs: 0,
+                active_fraction: 1.0,
+            },
+        );
+        let t = sim.ideal_time(&k);
+        assert!((2.5e-3..4.5e-3).contains(&t), "t = {t}");
+    }
+
+    #[test]
+    fn faster_device_is_faster() {
+        let g80 = GpuSim::new(DeviceParams::quadro_fx_5600().quiet(), 1);
+        let gt200 = GpuSim::new(DeviceParams::tesla_c1060().quiet(), 1);
+        let k = kernel(1 << 24);
+        assert!(gt200.ideal_time(&k) < g80.ideal_time(&k));
+    }
+}

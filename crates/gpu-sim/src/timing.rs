@@ -1,0 +1,411 @@
+//! The wave-based SM timing engine.
+//!
+//! Blocks are scheduled onto SMs in *waves* of `SMs × blocks_per_SM`
+//! blocks. For each wave the SM time is the maximum of three bounds:
+//!
+//! * **compute-bound** — every resident warp's arithmetic issued back to
+//!   back (`W × compute_cycles_per_warp`),
+//! * **bandwidth-bound** — the wave's DRAM traffic (with G80 segment
+//!   granularity and coalescing waste) through the SM's bandwidth share,
+//! * **latency-bound** — one warp's serial critical path
+//!   (`mem_insts × latency + compute`); with few resident warps nothing
+//!   hides DRAM latency and the SM idles.
+//!
+//! This is the max-form of Hong & Kim's MWP/CWP analysis, applied per wave
+//! so that the trailing partial wave (fewer blocks, fewer warps) runs at
+//! its own, lower occupancy — the "tail effect".
+
+use crate::device::DeviceParams;
+use crate::instance::{KernelInstance, MemOp, ThreadProgram};
+use crate::occupancy::Occupancy;
+use gpp_skeleton::CoalesceClass;
+
+/// Which bound dominated the kernel's execution time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bound {
+    /// Arithmetic throughput.
+    Compute,
+    /// DRAM bandwidth.
+    Bandwidth,
+    /// Exposed memory latency (insufficient warps).
+    Latency,
+}
+
+impl std::fmt::Display for Bound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Bound::Compute => write!(f, "compute"),
+            Bound::Bandwidth => write!(f, "bandwidth"),
+            Bound::Latency => write!(f, "latency"),
+        }
+    }
+}
+
+/// Detailed timing decomposition of one simulated kernel launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingBreakdown {
+    /// Total shader cycles across all waves.
+    pub cycles: f64,
+    /// Full waves executed.
+    pub full_waves: u64,
+    /// True if a trailing partial wave ran.
+    pub has_partial_wave: bool,
+    /// The dominating bound of a full wave.
+    pub bound: Bound,
+    /// Occupancy used by full waves.
+    pub occupancy: Occupancy,
+    /// DRAM bytes actually moved (including segment waste).
+    pub dram_bytes: f64,
+    /// Per-full-wave cycles, for diagnostics.
+    pub cycles_per_wave: f64,
+}
+
+/// Per-warp derived quantities.
+struct WarpCosts {
+    /// Arithmetic + shared-memory + sync issue cycles per warp.
+    compute_cycles: f64,
+    /// Global memory instructions per warp (per-thread count; warp issues
+    /// one instruction for all lanes).
+    mem_insts: f64,
+    /// DRAM bytes moved per warp in streaming (row-buffer-friendly)
+    /// transaction patterns.
+    stream_bytes: f64,
+    /// DRAM bytes moved per warp in scattered patterns, serviced at
+    /// `scatter_efficiency` of streaming bandwidth.
+    scatter_bytes: f64,
+}
+
+impl WarpCosts {
+    fn dram_bytes(&self) -> f64 {
+        self.stream_bytes + self.scatter_bytes
+    }
+}
+
+/// DRAM transactions per half-warp for one access, including alignment
+/// and wide-element effects.
+fn transactions_per_halfwarp(device: &DeviceParams, op: &MemOp) -> f64 {
+    let half = (device.warp_size / 2) as f64;
+    match op.class {
+        CoalesceClass::Coalesced => {
+            // A half-warp touches half×bytes contiguous bytes =
+            // that many segments if aligned.
+            let segs = (half * op.bytes as f64 / device.segment_bytes as f64).ceil().max(1.0);
+            if op.aligned {
+                segs
+            } else {
+                // G80 strict coalescing: misalignment serializes (up to
+                // one transaction per lane, device-dependent factor).
+                (segs * device.misaligned_factor).min(half)
+            }
+        }
+        CoalesceClass::Broadcast => 1.0,
+        CoalesceClass::Strided(s) => (s as f64).min(half),
+        CoalesceClass::Irregular => half,
+    }
+}
+
+fn warp_costs(device: &DeviceParams, prog: &ThreadProgram) -> WarpCosts {
+    let cpi = device.cycles_per_warp_inst();
+    let divergence = 1.0 / prog.active_fraction.clamp(1e-6, 1.0);
+
+    let shared_insts: f64 = prog.mem_ops.iter().filter(|m| m.shared).map(|m| m.count).sum();
+    // Arithmetic + shared-memory accesses issue from the same pipeline;
+    // barriers cost a pipeline drain each.
+    let compute_cycles = (prog.compute_slots + shared_insts) * cpi * divergence
+        + prog.syncs as f64 * 24.0;
+
+    let mut mem_insts = 0.0;
+    let mut stream_bytes = 0.0;
+    let mut scatter_bytes = 0.0;
+    for op in prog.mem_ops.iter().filter(|m| !m.shared) {
+        mem_insts += op.count;
+        let trans = transactions_per_halfwarp(device, op);
+        // Two half-warps per warp; each transaction moves a full segment.
+        let bytes = op.count * 2.0 * trans * device.segment_bytes as f64;
+        // Misaligned-but-sequential accesses still walk consecutive DRAM
+        // rows, so they count as streaming; only strided/irregular
+        // patterns thrash row buffers.
+        let streaming =
+            matches!(op.class, CoalesceClass::Coalesced | CoalesceClass::Broadcast);
+        if streaming {
+            stream_bytes += bytes;
+        } else {
+            scatter_bytes += bytes;
+        }
+    }
+
+    WarpCosts { compute_cycles, mem_insts, stream_bytes, scatter_bytes }
+}
+
+/// Cycles for one wave with `warps` resident warps per SM.
+fn wave_cycles(device: &DeviceParams, costs: &WarpCosts, warps: u32) -> (f64, Bound) {
+    let w = warps as f64;
+    let compute_total = w * costs.compute_cycles;
+    // The SM's share of device bandwidth, expressed in cycles to service
+    // the wave's traffic; scattered traffic runs at reduced DRAM
+    // efficiency (row-buffer thrash).
+    let bw_per_sm = device.effective_mem_bw() / device.sms as f64;
+    let service_bytes =
+        costs.stream_bytes + costs.scatter_bytes / device.scatter_efficiency;
+    let bandwidth_total = w * service_bytes / bw_per_sm * device.clock_hz;
+    // One warp's serial critical path: issue each memory instruction, wait
+    // out its latency, interleave compute.
+    let latency_total = costs.mem_insts * device.mem_latency_cycles + costs.compute_cycles;
+
+    let cycles = compute_total.max(bandwidth_total).max(latency_total);
+    let bound = if cycles == compute_total && compute_total >= bandwidth_total {
+        Bound::Compute
+    } else if cycles == bandwidth_total {
+        Bound::Bandwidth
+    } else {
+        Bound::Latency
+    };
+    (cycles, bound)
+}
+
+/// Computes the full timing decomposition of a kernel on a device.
+pub fn time_kernel(device: &DeviceParams, kernel: &KernelInstance) -> TimingBreakdown {
+    let occ = Occupancy::compute(device, kernel);
+    let costs = warp_costs(device, &kernel.program);
+
+    let blocks_per_wave = (device.sms * occ.blocks_per_sm) as u64;
+    let full_waves = kernel.grid_blocks / blocks_per_wave;
+    let rem_blocks = kernel.grid_blocks % blocks_per_wave;
+
+    let (per_wave, bound) = wave_cycles(device, &costs, occ.warps_per_sm);
+    let mut cycles = full_waves as f64 * per_wave;
+
+    if rem_blocks > 0 {
+        // The tail wave: remaining blocks spread over the SMs.
+        let tail_blocks_per_sm = rem_blocks.div_ceil(device.sms as u64) as u32;
+        let tail_warps = tail_blocks_per_sm * device.warps_for_threads(kernel.block_threads);
+        let (tail_cycles, _) = wave_cycles(device, &costs, tail_warps);
+        cycles += tail_cycles;
+    }
+
+    let warps_per_block = device.warps_for_threads(kernel.block_threads) as f64;
+    let dram_bytes = kernel.grid_blocks as f64 * warps_per_block * costs.dram_bytes();
+
+    TimingBreakdown {
+        cycles,
+        full_waves,
+        has_partial_wave: rem_blocks > 0,
+        bound,
+        occupancy: occ,
+        dram_bytes,
+        cycles_per_wave: per_wave,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{KernelInstance, MemOp, ThreadProgram};
+
+    fn device() -> DeviceParams {
+        DeviceParams::quadro_fx_5600()
+    }
+
+    fn streaming_kernel(threads: u64) -> KernelInstance {
+        KernelInstance::dense_1d(
+            "stream",
+            threads,
+            256,
+            ThreadProgram {
+                compute_slots: 2.0,
+                mem_ops: vec![MemOp::coalesced_load(4, 2.0), MemOp::coalesced_store(4, 1.0)],
+                syncs: 0,
+                active_fraction: 1.0,
+            },
+        )
+    }
+
+    #[test]
+    fn streaming_kernel_is_bandwidth_bound() {
+        let t = time_kernel(&device(), &streaming_kernel(1 << 22));
+        assert_eq!(t.bound, Bound::Bandwidth);
+        // 4M threads × 12 B = 48 MB of useful traffic; with 64 B segments
+        // and perfect coalescing there is no waste.
+        assert!((t.dram_bytes - 48.0 * (1 << 20) as f64).abs() < 1e3, "{}", t.dram_bytes);
+        // Time ≈ bytes / effective bw.
+        let secs = t.cycles / device().clock_hz;
+        let expect = t.dram_bytes / device().effective_mem_bw();
+        assert!((secs / expect - 1.0).abs() < 0.10, "{secs} vs {expect}");
+    }
+
+    #[test]
+    fn compute_heavy_kernel_is_compute_bound() {
+        let k = KernelInstance::dense_1d(
+            "fma",
+            1 << 22,
+            256,
+            ThreadProgram {
+                compute_slots: 500.0,
+                mem_ops: vec![MemOp::coalesced_load(4, 1.0)],
+                syncs: 0,
+                active_fraction: 1.0,
+            },
+        );
+        let t = time_kernel(&device(), &k);
+        assert_eq!(t.bound, Bound::Compute);
+    }
+
+    #[test]
+    fn tiny_grid_is_latency_bound() {
+        let k = KernelInstance::dense_1d(
+            "tiny",
+            64,
+            64,
+            ThreadProgram {
+                compute_slots: 2.0,
+                mem_ops: vec![MemOp::coalesced_load(4, 1.0)],
+                syncs: 0,
+                active_fraction: 1.0,
+            },
+        );
+        let t = time_kernel(&device(), &k);
+        assert_eq!(t.bound, Bound::Latency);
+        assert_eq!(t.full_waves, 0);
+        assert!(t.has_partial_wave);
+    }
+
+    #[test]
+    fn irregular_access_inflates_traffic() {
+        let mut k = streaming_kernel(1 << 20);
+        k.program.mem_ops[0].class = CoalesceClass::Irregular;
+        let t_bad = time_kernel(&device(), &k);
+        let t_good = time_kernel(&device(), &streaming_kernel(1 << 20));
+        assert!(t_bad.dram_bytes > 5.0 * t_good.dram_bytes);
+        assert!(t_bad.cycles > t_good.cycles);
+    }
+
+    #[test]
+    fn misaligned_coalesced_pays_penalty() {
+        let mut k = streaming_kernel(1 << 20);
+        k.program.mem_ops[0].aligned = false;
+        let t_mis = time_kernel(&device(), &k);
+        let t_ok = time_kernel(&device(), &streaming_kernel(1 << 20));
+        assert!(t_mis.dram_bytes > 2.0 * t_ok.dram_bytes);
+        // On a relaxed-coalescing device the penalty shrinks.
+        let t_c1060 = time_kernel(&DeviceParams::tesla_c1060(), &k);
+        let frac_g80 = t_mis.dram_bytes / t_ok.dram_bytes;
+        let t_ok_c1060 = time_kernel(
+            &DeviceParams::tesla_c1060(),
+            &streaming_kernel(1 << 20),
+        );
+        let frac_gt200 = t_c1060.dram_bytes / t_ok_c1060.dram_bytes;
+        assert!(frac_gt200 < frac_g80);
+    }
+
+    #[test]
+    fn divergence_slows_compute() {
+        let mk = |frac: f64| {
+            KernelInstance::dense_1d(
+                "div",
+                1 << 20,
+                256,
+                ThreadProgram {
+                    compute_slots: 300.0,
+                    mem_ops: vec![],
+                    syncs: 0,
+                    active_fraction: frac,
+                },
+            )
+        };
+        let t_full = time_kernel(&device(), &mk(1.0));
+        let t_half = time_kernel(&device(), &mk(0.5));
+        assert!((t_half.cycles / t_full.cycles - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn wave_quantization_tail() {
+        // One extra block beyond a whole number of waves costs a whole
+        // extra (low-occupancy) wave, not 1/Nth of one.
+        let d = device();
+        let probe = streaming_kernel(256);
+        let occ = crate::occupancy::Occupancy::compute(&d, &{
+            let mut k = probe.clone();
+            k.grid_blocks = u64::MAX / 1024; // big grid: resource-limited occupancy
+            k
+        });
+        let wave_blocks = (d.sms * occ.blocks_per_sm) as u64;
+        let t_full = time_kernel(&d, &streaming_kernel(wave_blocks * 256));
+        let t_plus1 = time_kernel(&d, &streaming_kernel((wave_blocks + 1) * 256));
+        assert_eq!(t_full.full_waves, 1);
+        assert!(!t_full.has_partial_wave);
+        assert!(t_plus1.has_partial_wave);
+        // The tail wave costs real time: far worse than linear scaling.
+        assert!(t_plus1.cycles > t_full.cycles * 1.05);
+    }
+
+    #[test]
+    fn shared_ops_cost_issue_slots_not_bandwidth() {
+        let base = streaming_kernel(1 << 20);
+        let mut shared = base.clone();
+        shared.program.mem_ops.push(MemOp {
+            shared: true,
+            ..MemOp::coalesced_load(4, 10.0)
+        });
+        let t_base = time_kernel(&device(), &base);
+        let t_shared = time_kernel(&device(), &shared);
+        assert_eq!(t_base.dram_bytes, t_shared.dram_bytes);
+        // Still bandwidth bound here, so cycles barely move; but the
+        // compute component exists. With only shared ops left, the kernel
+        // becomes compute-(issue-)bound and has zero DRAM traffic:
+        let mut heavy = shared.clone();
+        heavy.program.mem_ops.retain(|m| m.shared);
+        heavy.program.compute_slots = 0.0;
+        let t_heavy = time_kernel(&device(), &heavy);
+        assert_eq!(t_heavy.bound, Bound::Compute);
+        assert_eq!(t_heavy.dram_bytes, 0.0);
+        assert!(t_heavy.cycles > 0.0);
+    }
+
+    #[test]
+    fn wide_elements_take_multiple_segments() {
+        // 16-byte elements: a half-warp touches 256 B = 4 segments.
+        let k = KernelInstance::dense_1d(
+            "wide",
+            1 << 20,
+            256,
+            ThreadProgram {
+                compute_slots: 1.0,
+                mem_ops: vec![MemOp::coalesced_load(16, 1.0)],
+                syncs: 0,
+                active_fraction: 1.0,
+            },
+        );
+        let t = time_kernel(&device(), &k);
+        // Useful = wasteless: 1M × 16 B.
+        assert!((t.dram_bytes - (1u64 << 20) as f64 * 16.0).abs() < 1e3);
+    }
+
+    #[test]
+    fn broadcast_is_never_worse_than_coalesced() {
+        // For 4-byte elements a half-warp's coalesced footprint is exactly
+        // one segment, so broadcast ties; for wide elements broadcast needs
+        // fewer segments and wins.
+        let mut k4 = streaming_kernel(1 << 20);
+        k4.program.mem_ops[0].class = CoalesceClass::Broadcast;
+        let t4 = time_kernel(&device(), &k4);
+        let t4_coal = time_kernel(&device(), &streaming_kernel(1 << 20));
+        assert!(t4.dram_bytes <= t4_coal.dram_bytes);
+
+        let wide = |class| {
+            KernelInstance::dense_1d(
+                "wide",
+                1 << 20,
+                256,
+                ThreadProgram {
+                    compute_slots: 1.0,
+                    mem_ops: vec![MemOp { class, ..MemOp::coalesced_load(16, 1.0) }],
+                    syncs: 0,
+                    active_fraction: 1.0,
+                },
+            )
+        };
+        let t_b = time_kernel(&device(), &wide(CoalesceClass::Broadcast));
+        let t_c = time_kernel(&device(), &wide(CoalesceClass::Coalesced));
+        assert!(t_b.dram_bytes < t_c.dram_bytes);
+    }
+}

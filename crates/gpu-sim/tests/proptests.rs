@@ -1,0 +1,165 @@
+//! Property tests for the GPU timing simulator: monotonicity, occupancy
+//! limits, and accounting invariants.
+
+use gpp_gpu_sim::{DeviceParams, GpuSim, KernelInstance, MemOp, Occupancy, ThreadProgram};
+use gpp_skeleton::CoalesceClass;
+use proptest::prelude::*;
+
+fn any_class() -> impl Strategy<Value = CoalesceClass> {
+    prop_oneof![
+        Just(CoalesceClass::Coalesced),
+        Just(CoalesceClass::Broadcast),
+        (2u32..32).prop_map(CoalesceClass::Strided),
+        Just(CoalesceClass::Irregular),
+    ]
+}
+
+fn any_program() -> impl Strategy<Value = ThreadProgram> {
+    (
+        0.0f64..200.0,
+        prop::collection::vec(
+            (prop_oneof![Just(4u32), Just(8), Just(16)], any_class(), 1.0f64..8.0, any::<bool>(), any::<bool>()),
+            0..5,
+        ),
+        0u32..3,
+        0.25f64..=1.0,
+    )
+        .prop_map(|(slots, ops, syncs, active)| ThreadProgram {
+            compute_slots: slots,
+            mem_ops: ops
+                .into_iter()
+                .map(|(bytes, class, count, is_load, aligned)| MemOp {
+                    bytes,
+                    class,
+                    count,
+                    is_load,
+                    shared: false,
+                    aligned,
+                })
+                .collect(),
+            syncs,
+            active_fraction: active,
+        })
+}
+
+fn kernel(threads: u64, block: u32, program: ThreadProgram) -> KernelInstance {
+    KernelInstance::dense_1d("k", threads, block, program)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn time_is_positive_and_finite(
+        threads in 1u64..(1 << 22),
+        block in prop_oneof![Just(64u32), Just(128), Just(256)],
+        program in any_program(),
+    ) {
+        let sim = GpuSim::new(DeviceParams::quadro_fx_5600().quiet(), 0);
+        let t = sim.ideal_time(&kernel(threads, block, program));
+        prop_assert!(t.is_finite() && t > 0.0);
+    }
+
+    #[test]
+    fn more_threads_never_run_faster(
+        threads in 256u64..(1 << 20),
+        extra in 1u64..(1 << 18),
+        program in any_program(),
+    ) {
+        let sim = GpuSim::new(DeviceParams::quadro_fx_5600().quiet(), 0);
+        let t1 = sim.ideal_time(&kernel(threads, 256, program.clone()));
+        let t2 = sim.ideal_time(&kernel(threads + extra, 256, program));
+        prop_assert!(t2 >= t1 * 0.999, "t1={t1}, t2={t2}");
+    }
+
+    #[test]
+    fn more_compute_never_runs_faster(
+        threads in 256u64..(1 << 20),
+        program in any_program(),
+        extra_slots in 1.0f64..500.0,
+    ) {
+        let sim = GpuSim::new(DeviceParams::quadro_fx_5600().quiet(), 0);
+        let mut heavier = program.clone();
+        heavier.compute_slots += extra_slots;
+        let t1 = sim.ideal_time(&kernel(threads, 256, program));
+        let t2 = sim.ideal_time(&kernel(threads, 256, heavier));
+        prop_assert!(t2 >= t1);
+    }
+
+    #[test]
+    fn occupancy_respects_all_caps(
+        block in prop_oneof![Just(64u32), Just(128), Just(192), Just(256), Just(384), Just(512)],
+        regs in 4u32..16,
+        shared in prop_oneof![Just(0u32), Just(2048), Just(4096), Just(8192)],
+        grid in 1u64..10_000,
+    ) {
+        let d = DeviceParams::quadro_fx_5600();
+        let k = KernelInstance {
+            name: "k".into(),
+            grid_blocks: grid,
+            block_threads: block,
+            regs_per_thread: regs,
+            shared_per_block: shared,
+            program: ThreadProgram {
+                compute_slots: 1.0,
+                mem_ops: vec![],
+                syncs: 0,
+                active_fraction: 1.0,
+            },
+        };
+        if regs * block > d.regs_per_sm {
+            return Ok(()); // unrunnable; constructor panics are tested elsewhere
+        }
+        let occ = Occupancy::compute(&d, &k);
+        prop_assert!(occ.blocks_per_sm >= 1);
+        prop_assert!(occ.blocks_per_sm <= d.max_blocks_per_sm);
+        prop_assert!(occ.blocks_per_sm * block <= d.max_threads_per_sm.max(block));
+        if shared > 0 {
+            prop_assert!(occ.blocks_per_sm * shared <= d.shared_per_sm);
+        }
+        prop_assert!(occ.blocks_per_sm * regs * block <= d.regs_per_sm.max(regs * block));
+        prop_assert!(occ.fraction(&d) <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn dram_traffic_at_least_useful_bytes(
+        threads in 256u64..(1 << 20),
+        count in 1.0f64..8.0,
+        class in any_class(),
+        aligned in any::<bool>(),
+    ) {
+        // Segment granularity and penalties only ever add traffic.
+        let d = DeviceParams::quadro_fx_5600();
+        let k = kernel(
+            threads,
+            256,
+            ThreadProgram {
+                compute_slots: 1.0,
+                mem_ops: vec![MemOp { bytes: 4, class, count, is_load: true, shared: false, aligned }],
+                syncs: 0,
+                active_fraction: 1.0,
+            },
+        );
+        let b = gpp_gpu_sim::timing::time_kernel(&d, &k);
+        let useful = k.total_threads() as f64 * 4.0 * count;
+        prop_assert!(b.dram_bytes >= useful * 0.999, "{} < {}", b.dram_bytes, useful);
+    }
+
+    #[test]
+    fn noise_averages_out(seed in 0u64..100) {
+        let mut sim = GpuSim::new(DeviceParams::quadro_fx_5600(), seed);
+        let k = kernel(
+            1 << 20,
+            256,
+            ThreadProgram {
+                compute_slots: 8.0,
+                mem_ops: vec![MemOp::coalesced_load(4, 2.0)],
+                syncs: 0,
+                active_fraction: 1.0,
+            },
+        );
+        let ideal = sim.ideal_time(&k);
+        let mean = sim.mean_time(&k, 30);
+        prop_assert!((mean / ideal - 1.0).abs() < 0.05, "mean {mean} vs {ideal}");
+    }
+}

@@ -1,0 +1,79 @@
+//! PCIe data-transfer modeling: the heart of GROPHECY++'s extension.
+//!
+//! The paper's first contribution (§III-C) is *"a simple but accurate model
+//! for predicting PCIe transfer time that requires only two measurements to
+//! derive parameters"*:
+//!
+//! ```text
+//! T(d) = α + β·d        (Equation 1)
+//! ```
+//!
+//! where `α` is the fixed per-transfer latency (~10 µs on the paper's
+//! system) and `1/β` the asymptotic bandwidth (~2.5 GB/s on PCIe v1 x16
+//! with pinned memory). `α` is measured as the time of a 1-byte transfer,
+//! `β` from a single large (512 MB) transfer, each averaged over ten runs.
+//!
+//! This crate provides:
+//!
+//! * [`sim::BusSimulator`] — a mechanistic PCIe bus simulator standing in
+//!   for the physical bus (we have no GPU): packetized DMA with per-TLP
+//!   framing overhead, pinned vs pageable staging behaviour, direction
+//!   asymmetry, and seeded measurement noise. This is the "real hardware"
+//!   that the empirical model is calibrated against and validated on.
+//! * [`model::LinearModel`] — Equation 1.
+//! * [`calibrate::Calibrator`] — the two-point synthetic benchmark
+//!   (automatically run "on each new system", i.e. for each bus instance).
+//! * [`piecewise::PiecewiseModel`] — a log-size interpolation alternative
+//!   used by the ablation study to show two points are enough (DESIGN.md
+//!   D1).
+//! * [`alloc::AllocModel`] — memory-allocation overhead, the paper's
+//!   stated future work (§VII), included as an optional projection term.
+//!
+//! # Example
+//!
+//! ```
+//! use gpp_pcie::{BusSimulator, BusParams, Calibrator};
+//!
+//! let mut bus = BusSimulator::new(BusParams::pcie_v1_x16(), 42);
+//! let model = Calibrator::default().calibrate(&mut bus);
+//! let t = model.h2d.predict(8 << 20); // 8 MB host-to-device, seconds
+//! assert!(t > 0.0025 && t < 0.0045); // ~3.2 ms at ~2.5 GB/s
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod calibrate;
+pub mod error;
+pub mod model;
+pub mod params;
+pub mod piecewise;
+pub mod replay;
+pub mod sim;
+
+pub use alloc::AllocModel;
+pub use calibrate::{CalibratedBus, Calibrator};
+pub use error::{error_magnitude, mean_error_magnitude, SweepValidation};
+pub use model::LinearModel;
+pub use params::{BusParams, Direction, MemType, PcieGen};
+pub use piecewise::PiecewiseModel;
+pub use replay::RecordedBus;
+pub use sim::BusSimulator;
+
+/// Abstraction over anything that can move bytes between host and device
+/// and report how long it took, in seconds.
+///
+/// The calibrator and validators are written against this trait, exactly as
+/// GROPHECY++'s synthetic benchmark is written against CUDA's `cudaMemcpy`:
+/// the model never sees inside the bus, only end-to-end timings.
+pub trait Bus {
+    /// Transfers `bytes` in direction `dir` using memory type `mem`,
+    /// returning the elapsed wall time in seconds.
+    fn transfer(&mut self, bytes: u64, dir: Direction, mem: MemType) -> f64;
+
+    /// Human-readable description of the bus (for reports).
+    fn describe(&self) -> String {
+        "unnamed bus".to_string()
+    }
+}

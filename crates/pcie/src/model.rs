@@ -1,0 +1,148 @@
+//! Equation 1: the two-parameter linear transfer-time model.
+
+/// The paper's linear model `T(d) = α + β·d` (Equation 1).
+///
+/// `α` is the fixed per-transfer overhead in seconds ("the latency of
+/// sending the first byte"); `β` is seconds per byte (the inverse of the
+/// asymptotic bandwidth).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearModel {
+    /// Fixed latency, seconds.
+    pub alpha: f64,
+    /// Seconds per byte.
+    pub beta: f64,
+}
+
+impl LinearModel {
+    /// Creates a model from explicit parameters.
+    ///
+    /// # Panics
+    /// Panics if either parameter is negative or non-finite.
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be >= 0, got {alpha}");
+        assert!(beta.is_finite() && beta >= 0.0, "beta must be >= 0, got {beta}");
+        LinearModel { alpha, beta }
+    }
+
+    /// Derives the model from the two calibration measurements (§III-C):
+    /// `t_small` = measured time of a 1-byte transfer (becomes α), and
+    /// `t_large` over `s_large` bytes (their ratio becomes β).
+    pub fn from_two_points(t_small: f64, t_large: f64, s_large: u64) -> Self {
+        LinearModel::new(t_small, t_large / s_large as f64)
+    }
+
+    /// Predicted transfer time in seconds for `d` bytes.
+    pub fn predict(&self, d: u64) -> f64 {
+        self.alpha + self.beta * d as f64
+    }
+
+    /// Asymptotic bandwidth `1/β` in bytes per second.
+    pub fn bandwidth(&self) -> f64 {
+        if self.beta == 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / self.beta
+        }
+    }
+
+    /// The transfer size at which fixed overhead and streaming time are
+    /// equal (`α = β·d`): below this, latency dominates; above, bandwidth.
+    pub fn breakeven_bytes(&self) -> f64 {
+        if self.beta == 0.0 {
+            f64::INFINITY
+        } else {
+            self.alpha / self.beta
+        }
+    }
+}
+
+impl std::fmt::Display for LinearModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "T(d) = {:.2} us + d / {:.2} GB/s",
+            self.alpha * 1e6,
+            self.bandwidth() / 1e9
+        )
+    }
+}
+
+/// A calibrated model pair for one memory type: one linear model per
+/// transfer direction (the paper calibrates each independently — Fig. 2
+/// shows distinct curves for each direction).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DirectionalModel {
+    /// Host→device model.
+    pub h2d: LinearModel,
+    /// Device→host model.
+    pub d2h: LinearModel,
+}
+
+impl DirectionalModel {
+    /// Predicts a transfer in the given direction.
+    pub fn predict(&self, d: u64, dir: crate::Direction) -> f64 {
+        match dir {
+            crate::Direction::HostToDevice => self.h2d.predict(d),
+            crate::Direction::DeviceToHost => self.d2h.predict(d),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Direction;
+
+    #[test]
+    fn predict_is_affine() {
+        let m = LinearModel::new(10e-6, 1.0 / 2.5e9);
+        assert!((m.predict(0) - 10e-6).abs() < 1e-15);
+        let one_mb = m.predict(1 << 20);
+        assert!((one_mb - (10e-6 + (1 << 20) as f64 / 2.5e9)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn from_two_points_matches_paper_procedure() {
+        // t_S = 10 us; 512 MB takes 0.2 s → β = 0.2 / 512MB.
+        let m = LinearModel::from_two_points(10e-6, 0.2, 512 << 20);
+        assert_eq!(m.alpha, 10e-6);
+        assert!((m.bandwidth() - (512u64 << 20) as f64 / 0.2).abs() < 1.0);
+    }
+
+    #[test]
+    fn bandwidth_and_breakeven() {
+        let m = LinearModel::new(10e-6, 4e-10); // 2.5 GB/s
+        assert!((m.bandwidth() - 2.5e9).abs() < 1.0);
+        assert!((m.breakeven_bytes() - 25_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn zero_beta_edge_cases() {
+        let m = LinearModel::new(1e-6, 0.0);
+        assert_eq!(m.bandwidth(), f64::INFINITY);
+        assert_eq!(m.breakeven_bytes(), f64::INFINITY);
+        assert_eq!(m.predict(u64::MAX), 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be")]
+    fn negative_alpha_rejected() {
+        let _ = LinearModel::new(-1.0, 0.0);
+    }
+
+    #[test]
+    fn directional_dispatch() {
+        let dm = DirectionalModel {
+            h2d: LinearModel::new(1e-6, 1e-9),
+            d2h: LinearModel::new(2e-6, 2e-9),
+        };
+        assert!(dm.predict(1000, Direction::HostToDevice) < dm.predict(1000, Direction::DeviceToHost));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let m = LinearModel::new(10e-6, 4e-10);
+        let s = m.to_string();
+        assert!(s.contains("10.00 us") && s.contains("2.50 GB/s"), "{s}");
+    }
+}

@@ -1,0 +1,248 @@
+//! Bus parameterization: link generations, memory types, directions.
+
+/// Transfer direction across the bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// CPU (host) memory → GPU (device) memory.
+    HostToDevice,
+    /// GPU (device) memory → CPU (host) memory.
+    DeviceToHost,
+}
+
+impl Direction {
+    /// Both directions, in the order the paper reports them.
+    pub const ALL: [Direction; 2] = [Direction::HostToDevice, Direction::DeviceToHost];
+}
+
+impl std::fmt::Display for Direction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Direction::HostToDevice => write!(f, "CPU-to-GPU"),
+            Direction::DeviceToHost => write!(f, "GPU-to-CPU"),
+        }
+    }
+}
+
+/// Host memory type the transfer originates from / lands in (§III-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemType {
+    /// Page-locked memory (`cudaHostAlloc`): the DMA engine reads/writes it
+    /// directly at full bus bandwidth.
+    Pinned,
+    /// Ordinary pageable memory (`malloc`): the driver stages the transfer
+    /// through internal pinned bounce buffers, chunk by chunk.
+    Pageable,
+}
+
+impl MemType {
+    /// Both types, pinned first.
+    pub const ALL: [MemType; 2] = [MemType::Pinned, MemType::Pageable];
+}
+
+impl std::fmt::Display for MemType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemType::Pinned => write!(f, "pinned"),
+            MemType::Pageable => write!(f, "pageable"),
+        }
+    }
+}
+
+/// PCI Express generation (per-lane raw signalling rate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PcieGen {
+    /// 2.5 GT/s per lane, 8b/10b encoding → 250 MB/s per lane.
+    V1,
+    /// 5 GT/s per lane, 8b/10b encoding → 500 MB/s per lane.
+    V2,
+    /// 8 GT/s per lane, 128b/130b encoding → ~985 MB/s per lane.
+    V3,
+}
+
+impl PcieGen {
+    /// Usable data rate per lane in bytes/second (after line encoding).
+    pub fn lane_bytes_per_sec(self) -> f64 {
+        match self {
+            PcieGen::V1 => 250.0e6,
+            PcieGen::V2 => 500.0e6,
+            PcieGen::V3 => 984.6e6,
+        }
+    }
+}
+
+/// Full mechanistic parameter set of the simulated bus.
+///
+/// Defaults ([`BusParams::pcie_v1_x16`]) are tuned to the paper's testbed —
+/// a Quadro FX 5600 in a PCIe v1 x16 slot — whose measured characteristics
+/// are given in §III-C: α on the order of 10 µs and ~2.5 GB/s pinned
+/// bandwidth.
+#[derive(Debug, Clone)]
+pub struct BusParams {
+    /// Link generation.
+    pub gen: PcieGen,
+    /// Number of lanes (x16 for GPU slots).
+    pub lanes: u32,
+    /// Max TLP payload in bytes (128 B is typical for gen-1 chipsets).
+    pub max_payload: u32,
+    /// Per-TLP framing + header + DLLP/ACK overhead in byte-times.
+    pub tlp_overhead: u32,
+    /// Fraction of theoretical packet throughput actually achieved
+    /// (flow-control stalls, replay, root-complex inefficiency).
+    pub link_efficiency: f64,
+    /// Fixed host-side DMA setup latency, seconds (driver call, doorbell,
+    /// descriptor fetch) for host→device.
+    pub dma_setup_h2d: f64,
+    /// Same for device→host (readbacks are slightly slower: completion
+    /// credits & posted-write draining).
+    pub dma_setup_d2h: f64,
+    /// Host memcpy bandwidth for pageable staging copies, bytes/sec.
+    pub host_copy_bw: f64,
+    /// Size of the driver's pinned staging chunks for pageable transfers.
+    pub staging_chunk: u64,
+    /// Per-chunk overhead for pageable transfers, seconds (page-table walk
+    /// and queueing per staging buffer).
+    pub staging_overhead: f64,
+    /// Fraction of staging copy time overlapped with DMA of the previous
+    /// chunk (driver double-buffers).
+    pub staging_overlap: f64,
+    /// Threshold below which small pageable host→device transfers take the
+    /// driver's immediate-write fast path (copied inline into the command
+    /// buffer, skipping DMA setup). This reproduces the paper's observation
+    /// (Fig. 3) that pageable beats pinned for H2D transfers < 2 KB.
+    pub pageable_fastpath_bytes: u64,
+    /// Latency of the fast path, seconds.
+    pub pageable_fastpath_latency: f64,
+    /// Relative (multiplicative) noise sigma on each transfer.
+    pub noise_rel_sigma: f64,
+    /// Absolute jitter sigma in seconds (dominates small transfers).
+    pub noise_abs_sigma: f64,
+    /// Probability of an OS hiccup making a transfer 2–3× slower — the
+    /// paper's "inexplicably high variability" outliers (§V-A, Fig. 5).
+    pub hiccup_prob: f64,
+}
+
+impl BusParams {
+    /// The paper's testbed: PCIe v1 x16 slot feeding a Quadro FX 5600.
+    ///
+    /// Large-transfer pinned bandwidth works out to ≈ 2.5 GB/s and the
+    /// one-byte latency to ≈ 10 µs, matching §III-C.
+    pub fn pcie_v1_x16() -> Self {
+        BusParams {
+            gen: PcieGen::V1,
+            lanes: 16,
+            max_payload: 128,
+            tlp_overhead: 24,
+            link_efficiency: 0.74,
+            dma_setup_h2d: 9.5e-6,
+            dma_setup_d2h: 11.0e-6,
+            host_copy_bw: 3.2e9,
+            staging_chunk: 64 << 10,
+            staging_overhead: 6.0e-6,
+            staging_overlap: 0.55,
+            pageable_fastpath_bytes: 2 << 10,
+            pageable_fastpath_latency: 6.5e-6,
+            noise_rel_sigma: 0.012,
+            noise_abs_sigma: 0.35e-6,
+            hiccup_prob: 0.004,
+        }
+    }
+
+    /// A PCIe v2 x16 system (~6 GB/s effective), for cross-system tests.
+    pub fn pcie_v2_x16() -> Self {
+        BusParams {
+            gen: PcieGen::V2,
+            lanes: 16,
+            max_payload: 256,
+            tlp_overhead: 24,
+            link_efficiency: 0.82,
+            dma_setup_h2d: 7.0e-6,
+            dma_setup_d2h: 8.0e-6,
+            host_copy_bw: 6.0e9,
+            ..Self::pcie_v1_x16()
+        }
+    }
+
+    /// A PCIe v3 x16 system (~12 GB/s effective), for cross-system tests.
+    pub fn pcie_v3_x16() -> Self {
+        BusParams {
+            gen: PcieGen::V3,
+            lanes: 16,
+            max_payload: 256,
+            tlp_overhead: 26,
+            link_efficiency: 0.85,
+            dma_setup_h2d: 5.0e-6,
+            dma_setup_d2h: 6.0e-6,
+            host_copy_bw: 10.0e9,
+            ..Self::pcie_v1_x16()
+        }
+    }
+
+    /// An idealized noise-free copy of these parameters (for exactness
+    /// tests: the linear model should fit a quiet bus almost perfectly).
+    pub fn quiet(mut self) -> Self {
+        self.noise_rel_sigma = 0.0;
+        self.noise_abs_sigma = 0.0;
+        self.hiccup_prob = 0.0;
+        self
+    }
+
+    /// Raw link bandwidth in bytes/second (lanes × per-lane rate).
+    pub fn raw_link_bw(&self) -> f64 {
+        self.lanes as f64 * self.gen.lane_bytes_per_sec()
+    }
+
+    /// Effective large-transfer pinned bandwidth in bytes/second after
+    /// packet framing and link efficiency.
+    pub fn effective_pinned_bw(&self) -> f64 {
+        let payload_frac =
+            self.max_payload as f64 / (self.max_payload + self.tlp_overhead) as f64;
+        self.raw_link_bw() * payload_frac * self.link_efficiency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v1_x16_effective_bandwidth_matches_paper() {
+        let p = BusParams::pcie_v1_x16();
+        assert_eq!(p.raw_link_bw(), 4.0e9);
+        let bw = p.effective_pinned_bw();
+        // §III-C: "approximately 2.5 GB/s".
+        assert!((2.3e9..2.7e9).contains(&bw), "effective bw = {bw}");
+    }
+
+    #[test]
+    fn generations_are_ordered() {
+        assert!(PcieGen::V1.lane_bytes_per_sec() < PcieGen::V2.lane_bytes_per_sec());
+        assert!(PcieGen::V2.lane_bytes_per_sec() < PcieGen::V3.lane_bytes_per_sec());
+    }
+
+    #[test]
+    fn v2_and_v3_are_faster() {
+        let v1 = BusParams::pcie_v1_x16().effective_pinned_bw();
+        let v2 = BusParams::pcie_v2_x16().effective_pinned_bw();
+        let v3 = BusParams::pcie_v3_x16().effective_pinned_bw();
+        assert!(v1 < v2 && v2 < v3);
+        // §II-B quotes ~3 / 6 / 12 GB/s effective for v1/v2/v3.
+        assert!((5.0e9..8.0e9).contains(&v2), "v2 bw = {v2}");
+        assert!((10.0e9..14.0e9).contains(&v3), "v3 bw = {v3}");
+    }
+
+    #[test]
+    fn quiet_removes_noise() {
+        let p = BusParams::pcie_v1_x16().quiet();
+        assert_eq!(p.noise_rel_sigma, 0.0);
+        assert_eq!(p.noise_abs_sigma, 0.0);
+        assert_eq!(p.hiccup_prob, 0.0);
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(Direction::HostToDevice.to_string(), "CPU-to-GPU");
+        assert_eq!(Direction::DeviceToHost.to_string(), "GPU-to-CPU");
+        assert_eq!(MemType::Pinned.to_string(), "pinned");
+        assert_eq!(MemType::Pageable.to_string(), "pageable");
+    }
+}

@@ -1,0 +1,160 @@
+//! A richer empirical model for the ablation study (DESIGN.md D1).
+//!
+//! The paper argues that a two-point linear model is sufficient. To test
+//! that claim we also implement the obvious richer alternative: measure
+//! *every* power-of-two size and interpolate log-linearly between them.
+//! The ablation bench compares both against held-out measurements; the
+//! linear model should be within a few percent of the piecewise model for
+//! sizes above ~1 KB, supporting the paper's simplicity argument.
+
+use crate::params::{Direction, MemType};
+use crate::Bus;
+
+/// Piecewise log-size interpolation model built from a full sweep of
+/// power-of-two calibration measurements.
+#[derive(Debug, Clone)]
+pub struct PiecewiseModel {
+    /// `(bytes, seconds)` knots, ascending in bytes.
+    knots: Vec<(u64, f64)>,
+}
+
+impl PiecewiseModel {
+    /// Builds the model from explicit knots.
+    ///
+    /// # Panics
+    /// Panics if fewer than two knots are given or they are not strictly
+    /// ascending in size.
+    pub fn from_knots(knots: Vec<(u64, f64)>) -> Self {
+        assert!(knots.len() >= 2, "need at least two knots");
+        assert!(
+            knots.windows(2).all(|w| w[0].0 < w[1].0),
+            "knots must be strictly ascending"
+        );
+        PiecewiseModel { knots }
+    }
+
+    /// Calibrates by measuring every power-of-two size in
+    /// `lo_pow ..= hi_pow`, `runs` averaged transfers each. This costs
+    /// `(hi-lo+1) × runs` transfers versus the linear model's `2 × runs` —
+    /// the cost the paper avoids.
+    pub fn calibrate(
+        bus: &mut dyn Bus,
+        dir: Direction,
+        mem: MemType,
+        lo_pow: u32,
+        hi_pow: u32,
+        runs: u32,
+    ) -> Self {
+        let runs = runs.max(1);
+        let knots = (lo_pow..=hi_pow)
+            .map(|p| {
+                let bytes = 1u64 << p;
+                let t: f64 =
+                    (0..runs).map(|_| bus.transfer(bytes, dir, mem)).sum::<f64>() / runs as f64;
+                (bytes, t)
+            })
+            .collect();
+        PiecewiseModel::from_knots(knots)
+    }
+
+    /// Number of calibration measurements this model required.
+    pub fn knot_count(&self) -> usize {
+        self.knots.len()
+    }
+
+    /// Predicted time for `d` bytes: exact at knots, log-log interpolated
+    /// between them, linearly extrapolated (in time per byte) beyond the
+    /// ends.
+    pub fn predict(&self, d: u64) -> f64 {
+        let d = d.max(1);
+        let first = self.knots[0];
+        let last = *self.knots.last().expect("non-empty by construction");
+        if d <= first.0 {
+            return first.1;
+        }
+        if d >= last.0 {
+            // Extrapolate at the final marginal bandwidth.
+            let prev = self.knots[self.knots.len() - 2];
+            let per_byte = (last.1 - prev.1) / (last.0 - prev.0) as f64;
+            return last.1 + per_byte * (d - last.0) as f64;
+        }
+        let i = self.knots.partition_point(|&(b, _)| b <= d) - 1;
+        let (b0, t0) = self.knots[i];
+        let (b1, t1) = self.knots[i + 1];
+        if b0 == d {
+            return t0;
+        }
+        // Log-log interpolation tracks power-law behaviour across decades.
+        let f = ((d as f64).ln() - (b0 as f64).ln()) / ((b1 as f64).ln() - (b0 as f64).ln());
+        (t0.ln() + f * (t1.ln() - t0.ln())).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::BusParams;
+    use crate::sim::BusSimulator;
+
+    fn quiet_model() -> (BusSimulator, PiecewiseModel) {
+        let mut bus = BusSimulator::new(BusParams::pcie_v1_x16().quiet(), 1);
+        let m = PiecewiseModel::calibrate(&mut bus, Direction::HostToDevice, MemType::Pinned, 0, 29, 3);
+        (bus, m)
+    }
+
+    #[test]
+    fn exact_at_knots_on_quiet_bus() {
+        let (bus, m) = quiet_model();
+        for p in [0u32, 10, 20, 29] {
+            let bytes = 1u64 << p;
+            let ideal = bus.ideal_time(bytes, Direction::HostToDevice, MemType::Pinned);
+            let pred = m.predict(bytes);
+            assert!((pred / ideal - 1.0).abs() < 1e-9, "2^{p}: {pred} vs {ideal}");
+        }
+    }
+
+    #[test]
+    fn interpolation_between_knots_is_close() {
+        let (bus, m) = quiet_model();
+        for bytes in [3u64, 1500, 300_000, 5_000_000, 100_000_000] {
+            let ideal = bus.ideal_time(bytes, Direction::HostToDevice, MemType::Pinned);
+            let pred = m.predict(bytes);
+            let err = (pred / ideal - 1.0).abs();
+            assert!(err < 0.10, "{bytes} B: err {err}");
+        }
+    }
+
+    #[test]
+    fn extrapolation_beyond_largest_knot() {
+        let (bus, m) = quiet_model();
+        let bytes = 1u64 << 31; // 2 GB, beyond the 512 MB sweep
+        let ideal = bus.ideal_time(bytes, Direction::HostToDevice, MemType::Pinned);
+        let pred = m.predict(bytes);
+        assert!((pred / ideal - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn below_smallest_knot_clamps() {
+        let m = PiecewiseModel::from_knots(vec![(8, 1e-5), (16, 2e-5)]);
+        assert_eq!(m.predict(1), 1e-5);
+        assert_eq!(m.predict(0), 1e-5);
+    }
+
+    #[test]
+    fn knot_count_reports_calibration_cost() {
+        let (_, m) = quiet_model();
+        assert_eq!(m.knot_count(), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn one_knot_rejected() {
+        let _ = PiecewiseModel::from_knots(vec![(8, 1e-5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unordered_knots_rejected() {
+        let _ = PiecewiseModel::from_knots(vec![(16, 1e-5), (8, 2e-5)]);
+    }
+}

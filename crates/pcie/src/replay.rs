@@ -1,0 +1,221 @@
+//! A trace-driven bus: calibrate GROPHECY++ against *recorded*
+//! measurements from a real machine.
+//!
+//! The paper's synthetic benchmark runs on live hardware; when porting
+//! this framework to a machine you cannot run code on (or when replaying
+//! a published dataset), a table of `(bytes, direction, memtype, seconds)`
+//! samples stands in. [`RecordedBus`] interpolates the table log-linearly
+//! in size — the same scheme as [`crate::PiecewiseModel`] — so the
+//! calibrator and validators work unmodified against it.
+//!
+//! The text format is one sample per line (`#` comments allowed):
+//!
+//! ```text
+//! # bytes  direction  memtype  seconds
+//! 1        h2d        pinned   9.9e-6
+//! 536870912 h2d       pinned   0.215
+//! ```
+
+use crate::params::{Direction, MemType};
+use crate::piecewise::PiecewiseModel;
+use crate::Bus;
+use std::collections::BTreeMap;
+
+/// A bus that replays recorded transfer times. Deterministic: repeated
+/// queries return identical values (a recorded trace has no fresh noise).
+#[derive(Debug, Clone)]
+pub struct RecordedBus {
+    /// One interpolation model per (direction, memtype) curve.
+    curves: BTreeMap<(u8, u8), PiecewiseModel>,
+    name: String,
+}
+
+fn key(dir: Direction, mem: MemType) -> (u8, u8) {
+    (
+        match dir {
+            Direction::HostToDevice => 0,
+            Direction::DeviceToHost => 1,
+        },
+        match mem {
+            MemType::Pinned => 0,
+            MemType::Pageable => 1,
+        },
+    )
+}
+
+/// A trace-parsing failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    /// Offending line.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl RecordedBus {
+    /// Builds a bus from explicit samples.
+    ///
+    /// Each `(direction, memtype)` curve needs at least two samples.
+    /// Curves with no samples simply reject queries (panic) — record what
+    /// you intend to use.
+    pub fn from_samples(
+        name: impl Into<String>,
+        samples: &[(u64, Direction, MemType, f64)],
+    ) -> Result<Self, TraceError> {
+        let mut grouped: BTreeMap<(u8, u8), Vec<(u64, f64)>> = BTreeMap::new();
+        for &(bytes, dir, mem, secs) in samples {
+            grouped.entry(key(dir, mem)).or_default().push((bytes, secs));
+        }
+        let mut curves = BTreeMap::new();
+        for (k, mut pts) in grouped {
+            pts.sort_by_key(|&(b, _)| b);
+            pts.dedup_by_key(|&mut (b, _)| b);
+            if pts.len() < 2 {
+                return Err(TraceError {
+                    line: 0,
+                    message: "each recorded curve needs at least two distinct sizes".into(),
+                });
+            }
+            curves.insert(k, PiecewiseModel::from_knots(pts));
+        }
+        Ok(RecordedBus { curves, name: name.into() })
+    }
+
+    /// Parses the one-sample-per-line text format.
+    pub fn parse(name: impl Into<String>, input: &str) -> Result<Self, TraceError> {
+        let mut samples = Vec::new();
+        for (lineno, raw) in input.lines().enumerate() {
+            let lineno = lineno + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut w = line.split_whitespace();
+            let mut field = |what: &str| {
+                w.next().ok_or(TraceError { line: lineno, message: format!("missing {what}") })
+            };
+            let bytes: u64 = field("bytes")?
+                .parse()
+                .map_err(|_| TraceError { line: lineno, message: "bad byte count".into() })?;
+            let dir = match field("direction")? {
+                "h2d" => Direction::HostToDevice,
+                "d2h" => Direction::DeviceToHost,
+                other => {
+                    return Err(TraceError {
+                        line: lineno,
+                        message: format!("direction must be h2d|d2h, got `{other}`"),
+                    })
+                }
+            };
+            let mem = match field("memtype")? {
+                "pinned" => MemType::Pinned,
+                "pageable" => MemType::Pageable,
+                other => {
+                    return Err(TraceError {
+                        line: lineno,
+                        message: format!("memtype must be pinned|pageable, got `{other}`"),
+                    })
+                }
+            };
+            let secs: f64 = field("seconds")?
+                .parse()
+                .map_err(|_| TraceError { line: lineno, message: "bad seconds".into() })?;
+            if !(secs.is_finite() && secs > 0.0) {
+                return Err(TraceError { line: lineno, message: "seconds must be positive".into() });
+            }
+            samples.push((bytes, dir, mem, secs));
+        }
+        Self::from_samples(name, &samples)
+    }
+
+    /// True if the trace covers this (direction, memtype) curve.
+    pub fn covers(&self, dir: Direction, mem: MemType) -> bool {
+        self.curves.contains_key(&key(dir, mem))
+    }
+}
+
+impl Bus for RecordedBus {
+    fn transfer(&mut self, bytes: u64, dir: Direction, mem: MemType) -> f64 {
+        let curve = self
+            .curves
+            .get(&key(dir, mem))
+            .unwrap_or_else(|| panic!("recorded trace has no {dir}/{mem} samples"));
+        curve.predict(bytes)
+    }
+
+    fn describe(&self) -> String {
+        format!("recorded trace `{}` ({} curves)", self.name, self.curves.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Calibrator;
+
+    const TRACE: &str = "\
+# A hand-recorded PCIe v1 pinned trace.
+1          h2d pinned 9.9e-6
+1024       h2d pinned 1.03e-5
+1048576    h2d pinned 4.3e-4
+536870912  h2d pinned 0.215
+1          d2h pinned 1.13e-5
+1048576    d2h pinned 4.4e-4
+536870912  d2h pinned 0.216
+";
+
+    #[test]
+    fn parses_and_replays() {
+        let mut bus = RecordedBus::parse("eureka", TRACE).unwrap();
+        assert!(bus.covers(Direction::HostToDevice, MemType::Pinned));
+        assert!(!bus.covers(Direction::HostToDevice, MemType::Pageable));
+        let t = bus.transfer(1024, Direction::HostToDevice, MemType::Pinned);
+        assert!((t - 1.03e-5).abs() < 1e-12); // exact at a knot
+        // Deterministic replay.
+        assert_eq!(t, bus.transfer(1024, Direction::HostToDevice, MemType::Pinned));
+        assert!(bus.describe().contains("eureka"));
+    }
+
+    #[test]
+    fn calibrator_works_against_a_trace() {
+        let mut bus = RecordedBus::parse("eureka", TRACE).unwrap();
+        let model = Calibrator::default().calibrate(&mut bus);
+        // α comes straight from the recorded 1-byte sample.
+        assert!((model.h2d.alpha - 9.9e-6).abs() < 1e-9);
+        // β from the 512 MB sample: 0.215 s / 512 MB ≈ 2.50 GB/s.
+        assert!((model.h2d.bandwidth() / 1e9 - 2.497).abs() < 0.02);
+    }
+
+    #[test]
+    fn interpolates_between_knots() {
+        let mut bus = RecordedBus::parse("t", TRACE).unwrap();
+        let t = bus.transfer(2048, Direction::HostToDevice, MemType::Pinned);
+        assert!(t > 1.03e-5 && t < 4.3e-4);
+    }
+
+    #[test]
+    fn parse_errors_carry_lines() {
+        let e = RecordedBus::parse("x", "1 sideways pinned 1e-6\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.to_string().contains("h2d|d2h"));
+        let e = RecordedBus::parse("x", "1 h2d pinned -3.0\n").unwrap_err();
+        assert!(e.message.contains("positive"));
+        let e = RecordedBus::parse("x", "1 h2d pinned 1e-6\n").unwrap_err();
+        assert!(e.message.contains("two distinct sizes"));
+    }
+
+    #[test]
+    #[should_panic(expected = "no CPU-to-GPU/pageable samples")]
+    fn uncovered_curve_panics_loudly() {
+        let mut bus = RecordedBus::parse("t", TRACE).unwrap();
+        let _ = bus.transfer(1024, Direction::HostToDevice, MemType::Pageable);
+    }
+}

@@ -1,0 +1,261 @@
+//! The mechanistic bus simulator — our stand-in for physical PCIe hardware.
+//!
+//! The simulator computes transfer times from first principles (packet
+//! framing, DMA setup, staging copies) rather than from the paper's linear
+//! model, so calibrating the linear model against it and then validating
+//! the fit is a genuine experiment: the linear model is an *approximation*
+//! of a nonlinear, noisy mechanism, exactly as on real hardware. In
+//! particular the simulator reproduces the qualitative features of the
+//! paper's Figure 2/3:
+//!
+//! * a latency floor of ~10 µs for small pinned transfers,
+//! * ~2.5 GB/s asymptotic pinned bandwidth on the v1 x16 preset,
+//! * pageable transfers slower than pinned everywhere **except** small
+//!   host→device transfers (< 2 KB), where the driver's immediate-write
+//!   fast path wins,
+//! * extra non-linearity for pageable transfers at intermediate sizes
+//!   (staging-chunk granularity), and
+//! * measurement noise with rare large outliers.
+
+use crate::params::{BusParams, Direction, MemType};
+use crate::Bus;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Simulated PCIe bus + DMA engine. See module docs.
+///
+/// All timing is deterministic given the seed; the RNG advances once per
+/// transfer, so replaying the same sequence of transfers reproduces the
+/// same timings ("same machine, same day").
+#[derive(Debug, Clone)]
+pub struct BusSimulator {
+    params: BusParams,
+    rng: StdRng,
+    transfers: u64,
+    bytes_moved: u64,
+}
+
+impl BusSimulator {
+    /// Creates a simulator with the given parameters and noise seed.
+    pub fn new(params: BusParams, seed: u64) -> Self {
+        BusSimulator { params, rng: StdRng::seed_from_u64(seed), transfers: 0, bytes_moved: 0 }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &BusParams {
+        &self.params
+    }
+
+    /// Number of transfers performed so far.
+    pub fn transfer_count(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Total bytes moved so far.
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_moved
+    }
+
+    /// The noise-free transfer time: the deterministic mechanism only.
+    /// Exposed for tests and for the "infinite averaging" limit.
+    pub fn ideal_time(&self, bytes: u64, dir: Direction, mem: MemType) -> f64 {
+        let p = &self.params;
+        let bytes = bytes.max(1);
+        match mem {
+            MemType::Pinned => self.dma_time(bytes, dir),
+            MemType::Pageable => {
+                if dir == Direction::HostToDevice && bytes <= p.pageable_fastpath_bytes {
+                    // Immediate write into the command buffer: no DMA setup,
+                    // but the copy itself runs at host-write speed.
+                    return p.pageable_fastpath_latency + bytes as f64 / p.host_copy_bw;
+                }
+                // Staged through pinned bounce buffers, chunk by chunk.
+                let chunks = bytes.div_ceil(p.staging_chunk).max(1);
+                let copy_time =
+                    bytes as f64 / p.host_copy_bw + chunks as f64 * p.staging_overhead;
+                let dma_time = self.dma_time(bytes, dir);
+                // The driver double-buffers: part of the copy hides under
+                // the DMA of the previous chunk.
+                let exposed = (1.0 - p.staging_overlap) * copy_time.min(dma_time);
+                copy_time.max(dma_time) + exposed
+            }
+        }
+    }
+
+    /// Pinned-path DMA time: setup latency + packetized wire time.
+    fn dma_time(&self, bytes: u64, dir: Direction) -> f64 {
+        let p = &self.params;
+        let setup = match dir {
+            Direction::HostToDevice => p.dma_setup_h2d,
+            Direction::DeviceToHost => p.dma_setup_d2h,
+        };
+        let packets = bytes.div_ceil(p.max_payload as u64);
+        let wire_bytes = bytes + packets * p.tlp_overhead as u64;
+        setup + wire_bytes as f64 / (p.raw_link_bw() * p.link_efficiency)
+    }
+
+    /// Draws the multiplicative + additive noise for one transfer.
+    fn noise(&mut self, ideal: f64) -> f64 {
+        let p_hiccup = self.params.hiccup_prob;
+        let rel = self.params.noise_rel_sigma;
+        let abs = self.params.noise_abs_sigma;
+        // Box-Muller normal from two uniforms (avoids a rand_distr dep).
+        let u1: f64 = self.rng.gen_range(1e-12..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..std::f64::consts::TAU);
+        let z = (-2.0 * u1.ln()).sqrt() * u2.cos();
+        let z2 = (-2.0 * u1.ln()).sqrt() * u2.sin();
+        let mut t = ideal * (1.0 + rel * z) + (abs * z2).abs();
+        // An OS preemption / interrupt storm: an *additive* stall of a few
+        // scheduler quanta. The chance of being preempted scales with how
+        // long the transfer is exposed, so microsecond-scale calibration
+        // transfers are effectively immune, millisecond-scale application
+        // transfers occasionally double (the paper's CFD outlier, §V-A),
+        // and a 512 MB calibration run barely moves.
+        let p = (p_hiccup * (ideal / 0.5e-3).clamp(0.02, 2.0)).min(1.0);
+        if p > 0.0 && self.rng.gen_bool(p) {
+            t += self.rng.gen_range(0.8e-3..3.0e-3);
+        }
+        t.max(ideal * 0.5)
+    }
+}
+
+impl Bus for BusSimulator {
+    fn transfer(&mut self, bytes: u64, dir: Direction, mem: MemType) -> f64 {
+        let ideal = self.ideal_time(bytes, dir, mem);
+        self.transfers += 1;
+        self.bytes_moved += bytes;
+        self.noise(ideal)
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "simulated PCIe {:?} x{} ({:.2} GB/s effective pinned)",
+            self.params.gen,
+            self.params.lanes,
+            self.params.effective_pinned_bw() / 1e9
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_bus() -> BusSimulator {
+        BusSimulator::new(BusParams::pcie_v1_x16().quiet(), 1)
+    }
+
+    #[test]
+    fn small_pinned_transfer_hits_latency_floor() {
+        let bus = quiet_bus();
+        let t = bus.ideal_time(1, Direction::HostToDevice, MemType::Pinned);
+        // ~9.5 µs setup + negligible wire time.
+        assert!((9.0e-6..11.0e-6).contains(&t), "t = {t}");
+    }
+
+    #[test]
+    fn large_pinned_transfer_hits_asymptotic_bandwidth() {
+        let bus = quiet_bus();
+        let bytes = 512u64 << 20;
+        let t = bus.ideal_time(bytes, Direction::HostToDevice, MemType::Pinned);
+        let bw = bytes as f64 / t;
+        assert!((2.3e9..2.7e9).contains(&bw), "bw = {bw}");
+    }
+
+    #[test]
+    fn d2h_is_slower_than_h2d_at_small_sizes() {
+        let bus = quiet_bus();
+        let h = bus.ideal_time(1, Direction::HostToDevice, MemType::Pinned);
+        let d = bus.ideal_time(1, Direction::DeviceToHost, MemType::Pinned);
+        assert!(d > h);
+    }
+
+    #[test]
+    fn pageable_slower_than_pinned_at_large_sizes() {
+        let bus = quiet_bus();
+        for dir in Direction::ALL {
+            let pin = bus.ideal_time(64 << 20, dir, MemType::Pinned);
+            let page = bus.ideal_time(64 << 20, dir, MemType::Pageable);
+            assert!(page > pin * 1.2, "{dir}: pinned {pin}, pageable {page}");
+        }
+    }
+
+    #[test]
+    fn small_pageable_h2d_beats_pinned() {
+        // Paper Fig. 3: for CPU→GPU transfers < 2 KB, pageable wins.
+        let bus = quiet_bus();
+        let pin = bus.ideal_time(1024, Direction::HostToDevice, MemType::Pinned);
+        let page = bus.ideal_time(1024, Direction::HostToDevice, MemType::Pageable);
+        assert!(page < pin, "pinned {pin}, pageable {page}");
+        // ... but not for GPU→CPU.
+        let pin = bus.ideal_time(1024, Direction::DeviceToHost, MemType::Pinned);
+        let page = bus.ideal_time(1024, Direction::DeviceToHost, MemType::Pageable);
+        assert!(page > pin);
+    }
+
+    #[test]
+    fn time_is_monotone_in_size() {
+        let bus = quiet_bus();
+        for mem in MemType::ALL {
+            for dir in Direction::ALL {
+                let mut prev = 0.0;
+                for p in 0..29 {
+                    let t = bus.ideal_time(1u64 << p, dir, mem);
+                    assert!(t >= prev, "{mem} {dir} at 2^{p}: {t} < {prev}");
+                    prev = t;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let mut a = BusSimulator::new(BusParams::pcie_v1_x16(), 7);
+        let mut b = BusSimulator::new(BusParams::pcie_v1_x16(), 7);
+        for p in [0u64, 10, 20, 28] {
+            let ta = a.transfer(1 << p, Direction::HostToDevice, MemType::Pinned);
+            let tb = b.transfer(1 << p, Direction::HostToDevice, MemType::Pinned);
+            assert_eq!(ta, tb);
+        }
+        let mut c = BusSimulator::new(BusParams::pcie_v1_x16(), 8);
+        let tc = c.transfer(1 << 20, Direction::HostToDevice, MemType::Pinned);
+        let ta = a.transfer(1 << 20, Direction::HostToDevice, MemType::Pinned);
+        assert_ne!(ta, tc);
+    }
+
+    #[test]
+    fn noisy_times_track_ideal_times() {
+        let mut bus = BusSimulator::new(BusParams::pcie_v1_x16(), 3);
+        let ideal = bus.ideal_time(16 << 20, Direction::HostToDevice, MemType::Pinned);
+        let mut sum = 0.0;
+        let n = 50;
+        for _ in 0..n {
+            sum += bus.transfer(16 << 20, Direction::HostToDevice, MemType::Pinned);
+        }
+        let mean = sum / n as f64;
+        assert!((mean / ideal - 1.0).abs() < 0.08, "mean {mean} vs ideal {ideal}");
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut bus = quiet_bus();
+        bus.transfer(100, Direction::HostToDevice, MemType::Pinned);
+        bus.transfer(200, Direction::DeviceToHost, MemType::Pageable);
+        assert_eq!(bus.transfer_count(), 2);
+        assert_eq!(bus.bytes_moved(), 300);
+    }
+
+    #[test]
+    fn zero_byte_transfer_counts_as_one_byte() {
+        let bus = quiet_bus();
+        let t0 = bus.ideal_time(0, Direction::HostToDevice, MemType::Pinned);
+        let t1 = bus.ideal_time(1, Direction::HostToDevice, MemType::Pinned);
+        assert_eq!(t0, t1);
+    }
+
+    #[test]
+    fn describe_mentions_generation() {
+        let bus = quiet_bus();
+        assert!(bus.describe().contains("V1"));
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests for the PCIe stack: monotonicity of the mechanism,
+//! exactness of the linear fit on quiet buses, robustness of calibration.
+
+use gpp_pcie::{Bus, BusParams, BusSimulator, Calibrator, Direction, LinearModel, MemType};
+use proptest::prelude::*;
+
+fn any_dir() -> impl Strategy<Value = Direction> {
+    prop_oneof![Just(Direction::HostToDevice), Just(Direction::DeviceToHost)]
+}
+
+fn any_mem() -> impl Strategy<Value = MemType> {
+    prop_oneof![Just(MemType::Pinned), Just(MemType::Pageable)]
+}
+
+proptest! {
+    #[test]
+    fn ideal_time_is_monotone_in_size(
+        bytes in 1u64..(1 << 28),
+        extra in 1u64..(1 << 20),
+        dir in any_dir(),
+        mem in any_mem(),
+    ) {
+        let bus = BusSimulator::new(BusParams::pcie_v1_x16().quiet(), 0);
+        prop_assert!(bus.ideal_time(bytes + extra, dir, mem) >= bus.ideal_time(bytes, dir, mem));
+    }
+
+    #[test]
+    fn ideal_time_is_positive_and_finite(
+        bytes in 0u64..(1 << 30),
+        dir in any_dir(),
+        mem in any_mem(),
+    ) {
+        let bus = BusSimulator::new(BusParams::pcie_v1_x16().quiet(), 0);
+        let t = bus.ideal_time(bytes, dir, mem);
+        prop_assert!(t.is_finite() && t > 0.0);
+    }
+
+    #[test]
+    fn noisy_time_stays_within_sane_envelope(
+        bytes in 1u64..(1 << 28),
+        dir in any_dir(),
+        seed in 0u64..1000,
+    ) {
+        let mut bus = BusSimulator::new(BusParams::pcie_v1_x16(), seed);
+        let ideal = bus.ideal_time(bytes, dir, MemType::Pinned);
+        let t = bus.transfer(bytes, dir, MemType::Pinned);
+        // Never below half the mechanism, never above ideal + hiccup cap
+        // + generous relative margin.
+        prop_assert!(t >= ideal * 0.5);
+        prop_assert!(t <= ideal * 1.5 + 4e-3, "t={t}, ideal={ideal}");
+    }
+
+    #[test]
+    fn linear_model_predict_is_affine(
+        alpha in 0.0f64..1e-3,
+        inv_bw in 1e-11f64..1e-8,
+        a in 0u64..(1 << 28),
+        b in 0u64..(1 << 28),
+    ) {
+        let m = LinearModel::new(alpha, inv_bw);
+        let direct = m.predict(a + b);
+        let sum = m.predict(a) + m.predict(b) - alpha; // affine, not linear
+        prop_assert!((direct - sum).abs() < 1e-12 * direct.max(1.0));
+    }
+
+    #[test]
+    fn calibration_on_quiet_bus_predicts_large_transfers_exactly(
+        pow in 20u32..29,
+        seed in 0u64..50,
+    ) {
+        let mut bus = BusSimulator::new(BusParams::pcie_v1_x16().quiet(), seed);
+        let model = Calibrator::default().calibrate(&mut bus);
+        let bytes = 1u64 << pow;
+        let ideal = bus.ideal_time(bytes, Direction::HostToDevice, MemType::Pinned);
+        let pred = model.h2d.predict(bytes);
+        // On a noise-free mechanism the fit is near-perfect above the
+        // latency-dominated regime.
+        prop_assert!((pred / ideal - 1.0).abs() < 0.02, "pred {pred} vs ideal {ideal}");
+    }
+
+    #[test]
+    fn calibration_is_stable_across_seeds(seed in 0u64..200) {
+        // Whatever day you calibrate on, α and β land in tight bands:
+        // the duration-scaled hiccup model cannot poison the 2-point fit.
+        let mut bus = BusSimulator::new(BusParams::pcie_v1_x16(), seed);
+        let m = Calibrator::default().calibrate(&mut bus);
+        prop_assert!((8.0e-6..13.0e-6).contains(&m.h2d.alpha), "alpha {}", m.h2d.alpha);
+        prop_assert!((2.2e9..2.8e9).contains(&m.h2d.bandwidth()), "bw {}", m.h2d.bandwidth());
+        prop_assert!((9.0e-6..15.0e-6).contains(&m.d2h.alpha));
+    }
+
+    #[test]
+    fn faster_generations_are_strictly_faster(
+        bytes in (1u64 << 16)..(1 << 28),
+        dir in any_dir(),
+    ) {
+        let v1 = BusSimulator::new(BusParams::pcie_v1_x16().quiet(), 0);
+        let v2 = BusSimulator::new(BusParams::pcie_v2_x16().quiet(), 0);
+        let v3 = BusSimulator::new(BusParams::pcie_v3_x16().quiet(), 0);
+        let (t1, t2, t3) = (
+            v1.ideal_time(bytes, dir, MemType::Pinned),
+            v2.ideal_time(bytes, dir, MemType::Pinned),
+            v3.ideal_time(bytes, dir, MemType::Pinned),
+        );
+        prop_assert!(t1 > t2 && t2 > t3);
+    }
+
+    #[test]
+    fn breakeven_is_consistent(alpha in 1e-7f64..1e-4, inv_bw in 1e-11f64..1e-8) {
+        let m = LinearModel::new(alpha, inv_bw);
+        let d = m.breakeven_bytes();
+        // At the break-even size, fixed and streaming components match.
+        prop_assert!(((m.beta * d) / m.alpha - 1.0).abs() < 1e-9);
+    }
+}

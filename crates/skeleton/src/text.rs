@@ -1,0 +1,612 @@
+//! A plain-text format for code skeletons — the `.gsk` files the CLI
+//! consumes.
+//!
+//! GROPHECY's users author skeletons by hand from their CPU code; a small
+//! declarative format keeps that workflow out of Rust source. The format
+//! is line-oriented; `#` starts a comment. Example:
+//!
+//! ```text
+//! program hotspot-1024
+//! array temp     f32 [1024, 1024]
+//! array power    f32 [1024, 1024]
+//! array temp_out f32 [1024, 1024]
+//!
+//! kernel hotspot_step
+//!   parallel i 1024
+//!   parallel j 1024
+//!   stmt adds=10 muls=6
+//!     read  temp  [i-1, j]
+//!     read  temp  [i+1, j]
+//!     read  temp  [i, j-1]
+//!     read  temp  [i, j+1]
+//!     read  temp  [i, j]
+//!     read  power [i, j]
+//!     write temp_out [i, j]
+//! ```
+//!
+//! Grammar (indentation is ignored; nesting is implied by order):
+//!
+//! ```text
+//! program <name>
+//! array <name> <f32|f64|i32|i64|c64|c128> [e1, e2, ...] [sparse]
+//! kernel <name> [gpu_scale=<x>] [cpu_scale=<x>]
+//!   parallel <var> <trip> | serial <var> <trip>
+//!   stmt [adds=N] [muls=N] [divs=N] [specials=N] [compares=N] [active=F]
+//!     read|write <array> [<index>, <index>, ...]
+//! ```
+//!
+//! Index expressions: affine combinations of loop variables and integers
+//! (`i`, `i+1`, `2*i-3`, `4*i+j`, `7`), `?` for an irregular index, or
+//! `?<span>` for a bounded-irregular one (e.g. `?8`).
+//!
+//! [`to_text`] writes the same format back out; `parse(to_text(p)) == p`.
+
+use crate::expr::{AffineExpr, IndexExpr, LoopId};
+use crate::ir::{ElemType, Flops, Program};
+use crate::ProgramBuilder;
+use gpp_brs::AccessKind;
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending input.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, message: message.into() }
+}
+
+/// Parses a `.gsk` skeleton document.
+pub fn parse(input: &str) -> Result<Program, ParseError> {
+    let mut builder: Option<ProgramBuilder> = None;
+    // Kernel under construction: (name, gpu_scale, cpu_scale, loops,
+    // statements).
+    struct PendStmt {
+        flops: Flops,
+        active: f64,
+        refs: Vec<(String, Vec<IndexExpr>, AccessKind, usize)>,
+    }
+    struct PendKernel {
+        name: String,
+        gpu_scale: f64,
+        cpu_scale: f64,
+        loops: Vec<(String, u64, bool)>,
+        stmts: Vec<PendStmt>,
+    }
+    let mut kernel: Option<PendKernel> = None;
+    let mut done: Vec<PendKernel> = Vec::new();
+
+    for (lineno, raw) in input.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        let head = words.next().expect("nonempty line has a word");
+        match head {
+            "program" => {
+                if builder.is_some() {
+                    return Err(err(lineno, "duplicate `program` line"));
+                }
+                let name = words.next().ok_or_else(|| err(lineno, "program needs a name"))?;
+                builder = Some(ProgramBuilder::new(name));
+            }
+            "array" => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, "`array` before `program`"))?;
+                let name =
+                    words.next().ok_or_else(|| err(lineno, "array needs a name"))?.to_string();
+                let elem = match words.next() {
+                    Some("f32") => ElemType::F32,
+                    Some("f64") => ElemType::F64,
+                    Some("i32") => ElemType::I32,
+                    Some("i64") => ElemType::I64,
+                    Some("c64") => ElemType::C64,
+                    Some("c128") => ElemType::C128,
+                    other => {
+                        return Err(err(lineno, format!("unknown element type {other:?}")));
+                    }
+                };
+                let rest: String = words.collect::<Vec<_>>().join(" ");
+                let (extents_src, sparse) = match rest.strip_suffix("sparse") {
+                    Some(pre) => (pre.trim(), true),
+                    None => (rest.as_str(), false),
+                };
+                let extents = parse_extents(extents_src, lineno)?;
+                if sparse {
+                    b.sparse_array(name, elem, &extents);
+                } else {
+                    b.array(name, elem, &extents);
+                }
+            }
+            "kernel" => {
+                if builder.is_none() {
+                    return Err(err(lineno, "`kernel` before `program`"));
+                }
+                if let Some(k) = kernel.take() {
+                    done.push(k);
+                }
+                let name =
+                    words.next().ok_or_else(|| err(lineno, "kernel needs a name"))?.to_string();
+                let mut gpu_scale = 1.0;
+                let mut cpu_scale = 1.0;
+                for w in words {
+                    if let Some(v) = w.strip_prefix("gpu_scale=") {
+                        gpu_scale =
+                            v.parse().map_err(|_| err(lineno, format!("bad gpu_scale `{v}`")))?;
+                    } else if let Some(v) = w.strip_prefix("cpu_scale=") {
+                        cpu_scale =
+                            v.parse().map_err(|_| err(lineno, format!("bad cpu_scale `{v}`")))?;
+                    } else {
+                        return Err(err(lineno, format!("unknown kernel option `{w}`")));
+                    }
+                }
+                kernel = Some(PendKernel {
+                    name,
+                    gpu_scale,
+                    cpu_scale,
+                    loops: Vec::new(),
+                    stmts: Vec::new(),
+                });
+            }
+            "parallel" | "serial" => {
+                let k = kernel
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, format!("`{head}` outside a kernel")))?;
+                if !k.stmts.is_empty() {
+                    return Err(err(lineno, "loops must precede statements"));
+                }
+                let var =
+                    words.next().ok_or_else(|| err(lineno, "loop needs a variable name"))?;
+                let trip: u64 = words
+                    .next()
+                    .ok_or_else(|| err(lineno, "loop needs a trip count"))?
+                    .parse()
+                    .map_err(|_| err(lineno, "trip count must be an integer"))?;
+                k.loops.push((var.to_string(), trip, head == "parallel"));
+            }
+            "stmt" => {
+                let k = kernel
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, "`stmt` outside a kernel"))?;
+                let mut flops = Flops::default();
+                let mut active = 1.0f64;
+                for w in words {
+                    let (key, val) = w
+                        .split_once('=')
+                        .ok_or_else(|| err(lineno, format!("expected key=value, got `{w}`")))?;
+                    match key {
+                        "active" => {
+                            active = val
+                                .parse()
+                                .map_err(|_| err(lineno, format!("bad active `{val}`")))?
+                        }
+                        _ => {
+                            let n: u32 = val
+                                .parse()
+                                .map_err(|_| err(lineno, format!("bad count `{val}`")))?;
+                            match key {
+                                "adds" => flops.adds = n,
+                                "muls" => flops.muls = n,
+                                "divs" => flops.divs = n,
+                                "specials" => flops.specials = n,
+                                "compares" => flops.compares = n,
+                                _ => {
+                                    return Err(err(lineno, format!("unknown stmt key `{key}`")))
+                                }
+                            }
+                        }
+                    }
+                }
+                k.stmts.push(PendStmt { flops, active, refs: Vec::new() });
+            }
+            "read" | "write" => {
+                let k = kernel
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, format!("`{head}` outside a kernel")))?;
+                let stmt = k
+                    .stmts
+                    .last_mut()
+                    .ok_or_else(|| err(lineno, format!("`{head}` before any `stmt`")))?;
+                let array =
+                    words.next().ok_or_else(|| err(lineno, "reference needs an array"))?;
+                let rest: String = words.collect::<Vec<_>>().join(" ");
+                let loop_names: Vec<&str> = k.loops.iter().map(|(n, _, _)| n.as_str()).collect();
+                let index = parse_index_list(&rest, &loop_names, lineno)?;
+                let kind =
+                    if head == "read" { AccessKind::Read } else { AccessKind::Write };
+                stmt.refs.push((array.to_string(), index, kind, lineno));
+            }
+            other => return Err(err(lineno, format!("unknown directive `{other}`"))),
+        }
+    }
+    if let Some(k) = kernel.take() {
+        done.push(k);
+    }
+
+    let mut b = builder.ok_or_else(|| err(1, "missing `program` line"))?;
+    for pk in done {
+        let mut kb = b.kernel(&pk.name);
+        kb.gpu_compute_scale(pk.gpu_scale);
+        kb.cpu_compute_scale(pk.cpu_scale);
+        for (name, trip, parallel) in &pk.loops {
+            if *parallel {
+                kb.parallel_loop(name.clone(), *trip);
+            } else {
+                kb.serial_loop(name.clone(), *trip);
+            }
+        }
+        for st in pk.stmts {
+            let mut sb = kb.statement().flops(st.flops);
+            if st.active != 1.0 {
+                sb = sb.active(st.active);
+            }
+            for (array, index, kind, line) in st.refs {
+                let id = resolve_array(&mut sb, &array, line)?;
+                sb = match kind {
+                    AccessKind::Read => sb.read_ix(id, &index),
+                    AccessKind::Write => sb.write_ix(id, &index),
+                };
+            }
+            sb.finish();
+        }
+        kb.finish();
+    }
+    b.build().map_err(|e| err(0, format!("validation failed: {e}")))
+}
+
+/// Looks an array up by name through the statement builder's program.
+fn resolve_array(
+    sb: &mut crate::builder::StatementBuilder<'_, '_>,
+    name: &str,
+    line: usize,
+) -> Result<gpp_brs::ArrayId, ParseError> {
+    sb.lookup_array(name)
+        .ok_or_else(|| err(line, format!("unknown array `{name}`")))
+}
+
+fn parse_extents(src: &str, line: usize) -> Result<Vec<usize>, ParseError> {
+    let src = src.trim();
+    let inner = src
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| err(line, format!("extents must be bracketed, got `{src}`")))?;
+    inner
+        .split(',')
+        .map(|p| {
+            p.trim()
+                .parse::<usize>()
+                .map_err(|_| err(line, format!("bad extent `{}`", p.trim())))
+        })
+        .collect()
+}
+
+fn parse_index_list(
+    src: &str,
+    loops: &[&str],
+    line: usize,
+) -> Result<Vec<IndexExpr>, ParseError> {
+    let src = src.trim();
+    let inner = src
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| err(line, format!("index list must be bracketed, got `{src}`")))?;
+    inner
+        .split(',')
+        .map(|p| parse_index(p.trim(), loops, line))
+        .collect()
+}
+
+/// Parses one index expression: `?`, `?<span>`, or an affine combination
+/// like `2*i - 3 + j`.
+fn parse_index(src: &str, loops: &[&str], line: usize) -> Result<IndexExpr, ParseError> {
+    if src == "?" {
+        return Ok(IndexExpr::Irregular);
+    }
+    if let Some(span) = src.strip_prefix('?') {
+        let span: u32 =
+            span.parse().map_err(|_| err(line, format!("bad irregular span `{span}`")))?;
+        return Ok(IndexExpr::IrregularBounded(span));
+    }
+    // Tokenize into signed terms.
+    let mut expr = AffineExpr::constant(0);
+    // Normalize: ensure a leading sign, then split on +/- keeping signs.
+    let cleaned: String = src.chars().filter(|c| !c.is_whitespace()).collect();
+    if cleaned.is_empty() {
+        return Err(err(line, "empty index expression"));
+    }
+    let mut terms = Vec::new();
+    let mut current = String::new();
+    for (k, ch) in cleaned.char_indices() {
+        if (ch == '+' || ch == '-') && k != 0 {
+            terms.push(std::mem::take(&mut current));
+        }
+        current.push(ch);
+    }
+    terms.push(current);
+    for t in terms {
+        let (sign, body) = match t.strip_prefix('-') {
+            Some(b) => (-1i64, b),
+            None => (1, t.strip_prefix('+').unwrap_or(&t)),
+        };
+        if body.is_empty() {
+            return Err(err(line, format!("dangling sign in `{src}`")));
+        }
+        // Forms: `<int>`, `<var>`, `<int>*<var>`.
+        if let Some((coeff, var)) = body.split_once('*') {
+            let c: i64 =
+                coeff.parse().map_err(|_| err(line, format!("bad coefficient `{coeff}`")))?;
+            let li = loop_index(var, loops, line, src)?;
+            expr.add_term(LoopId(li as u32), sign * c);
+        } else if let Ok(c) = body.parse::<i64>() {
+            expr.offset += sign * c;
+        } else {
+            let li = loop_index(body, loops, line, src)?;
+            expr.add_term(LoopId(li as u32), sign);
+        }
+    }
+    Ok(IndexExpr::Affine(expr))
+}
+
+fn loop_index(var: &str, loops: &[&str], line: usize, ctx: &str) -> Result<usize, ParseError> {
+    loops
+        .iter()
+        .position(|l| *l == var)
+        .ok_or_else(|| err(line, format!("unknown loop variable `{var}` in `{ctx}`")))
+}
+
+/// Renders a program back to the text format. `parse(to_text(p))`
+/// reproduces `p` (modulo whitespace).
+pub fn to_text(p: &Program) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "program {}", p.name);
+    for a in &p.arrays {
+        let elem = match a.elem {
+            ElemType::F32 => "f32",
+            ElemType::F64 => "f64",
+            ElemType::I32 => "i32",
+            ElemType::I64 => "i64",
+            ElemType::C64 => "c64",
+            ElemType::C128 => "c128",
+        };
+        let extents: Vec<String> = a.extents.iter().map(usize::to_string).collect();
+        let _ = writeln!(
+            s,
+            "array {} {} [{}]{}",
+            a.name,
+            elem,
+            extents.join(", "),
+            if a.sparse { " sparse" } else { "" }
+        );
+    }
+    for k in &p.kernels {
+        let _ = write!(s, "\nkernel {}", k.name);
+        if k.gpu_compute_scale != 1.0 {
+            let _ = write!(s, " gpu_scale={}", k.gpu_compute_scale);
+        }
+        if k.cpu_compute_scale != 1.0 {
+            let _ = write!(s, " cpu_scale={}", k.cpu_compute_scale);
+        }
+        let _ = writeln!(s);
+        for l in &k.loops {
+            let _ = writeln!(
+                s,
+                "  {} {} {}",
+                if l.parallel { "parallel" } else { "serial" },
+                l.name,
+                l.trip
+            );
+        }
+        for st in &k.statements {
+            let f = &st.flops;
+            let _ = write!(s, "  stmt");
+            for (key, v) in [
+                ("adds", f.adds),
+                ("muls", f.muls),
+                ("divs", f.divs),
+                ("specials", f.specials),
+                ("compares", f.compares),
+            ] {
+                if v > 0 {
+                    let _ = write!(s, " {key}={v}");
+                }
+            }
+            if st.active_fraction != 1.0 {
+                let _ = write!(s, " active={}", st.active_fraction);
+            }
+            let _ = writeln!(s);
+            for r in &st.refs {
+                let kind = if r.kind.is_read() { "read " } else { "write" };
+                let ix: Vec<String> = r
+                    .index
+                    .iter()
+                    .map(|e| match e {
+                        IndexExpr::Irregular => "?".to_string(),
+                        IndexExpr::IrregularBounded(sp) => format!("?{sp}"),
+                        IndexExpr::Affine(a) => render_affine(a, &k.loops),
+                    })
+                    .collect();
+                let _ = writeln!(
+                    s,
+                    "    {kind} {} [{}]",
+                    p.array(r.array).name,
+                    ix.join(", ")
+                );
+            }
+        }
+    }
+    s
+}
+
+fn render_affine(e: &AffineExpr, loops: &[crate::ir::Loop]) -> String {
+    if e.terms.is_empty() {
+        return e.offset.to_string();
+    }
+    let mut s = String::new();
+    for (k, (l, c)) in e.terms.iter().enumerate() {
+        let var = &loops[l.index()].name;
+        match (k, *c) {
+            (0, 1) => s.push_str(var),
+            (0, -1) => {
+                s.push('-');
+                s.push_str(var);
+            }
+            (0, c) => s.push_str(&format!("{c}*{var}")),
+            (_, 1) => s.push_str(&format!("+{var}")),
+            (_, -1) => s.push_str(&format!("-{var}")),
+            (_, c) if c > 0 => s.push_str(&format!("+{c}*{var}")),
+            (_, c) => s.push_str(&format!("{c}*{var}")),
+        }
+    }
+    match e.offset {
+        0 => {}
+        o if o > 0 => s.push_str(&format!("+{o}")),
+        o => s.push_str(&o.to_string()),
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CoalesceClass;
+
+    const HOTSPOT: &str = r#"
+# A HotSpot-like stencil.
+program hotspot-64
+array temp     f32 [64, 64]
+array power    f32 [64, 64]
+array temp_out f32 [64, 64]
+
+kernel hotspot_step
+  parallel i 64
+  parallel j 64
+  stmt adds=10 muls=6
+    read  temp  [i-1, j]
+    read  temp  [i+1, j]
+    read  temp  [i, j-1]
+    read  temp  [i, j+1]
+    read  temp  [i, j]
+    read  power [i, j]
+    write temp_out [i, j]
+"#;
+
+    #[test]
+    fn parses_hotspot() {
+        let p = parse(HOTSPOT).unwrap();
+        assert_eq!(p.name, "hotspot-64");
+        assert_eq!(p.arrays.len(), 3);
+        assert_eq!(p.kernels.len(), 1);
+        let k = &p.kernels[0];
+        assert_eq!(k.parallel_tasks(), 64 * 64);
+        assert_eq!(k.statements[0].refs.len(), 7);
+        let chars = k.characteristics(&p);
+        assert!(chars.sharable_load_fraction > 0.5);
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let p = parse(HOTSPOT).unwrap();
+        let text = to_text(&p);
+        let p2 = parse(&text).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn roundtrips_every_paper_feature() {
+        let src = r#"
+program full
+array a f32 [100]
+array b c128 [10, 20]
+array v f64 [345] sparse
+
+kernel k1 gpu_scale=38 cpu_scale=0.45
+  parallel r 10
+  parallel c 20
+  serial k 5
+  stmt adds=4 muls=4 active=0.85
+    read v [10*r+k]
+    read b [?8, c]
+    read a [?]
+    write b [r, c]
+  stmt divs=1 specials=2 compares=3
+    read a [2*r-1]
+"#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.kernels[0].gpu_compute_scale, 38.0);
+        assert_eq!(p.kernels[0].cpu_compute_scale, 0.45);
+        let text = to_text(&p);
+        assert_eq!(parse(&text).unwrap(), p);
+    }
+
+    #[test]
+    fn index_expression_parsing() {
+        let loops = ["i", "j"];
+        let ix = parse_index("2*i - 3 + j", &loops, 1).unwrap();
+        let IndexExpr::Affine(e) = ix else { panic!("expected affine") };
+        assert_eq!(e.coeff(LoopId(0)), 2);
+        assert_eq!(e.coeff(LoopId(1)), 1);
+        assert_eq!(e.offset, -3);
+        assert_eq!(parse_index("?", &loops, 1).unwrap(), IndexExpr::Irregular);
+        assert_eq!(parse_index("?16", &loops, 1).unwrap(), IndexExpr::IrregularBounded(16));
+        assert!(matches!(
+            parse_index("7", &loops, 1).unwrap(),
+            IndexExpr::Affine(e) if e.is_constant() && e.offset == 7
+        ));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let bad = "program x\narray a f32 [10]\nkernel k\n  parallel i 10\n  stmt\n    read zzz [i]\n";
+        let e = parse(bad).unwrap_err();
+        assert_eq!(e.line, 6);
+        assert!(e.to_string().contains("zzz"));
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        assert!(parse("").is_err());
+        assert!(parse("array a f32 [10]").is_err()); // before program
+        assert!(parse("program p\nfoo bar").is_err());
+        assert!(parse("program p\narray a f32 10").is_err()); // no brackets
+        assert!(parse("program p\narray a f32 [10]\nkernel k\n  stmt\n").is_err()); // no loops
+        let e = parse("program p\narray a f32 [10]\nkernel k\n  parallel i 10\n  read a [i]\n")
+            .unwrap_err();
+        assert!(e.message.contains("before any `stmt`"));
+    }
+
+    #[test]
+    fn parsed_skeleton_classifies_like_builder() {
+        let p = parse(HOTSPOT).unwrap();
+        let chars = p.kernels[0].characteristics(&p);
+        // Row-offset reads are misaligned-coalesced, center is aligned.
+        let coalesced = chars
+            .accesses
+            .iter()
+            .filter(|a| a.class == CoalesceClass::Coalesced)
+            .count();
+        assert_eq!(coalesced, 7);
+        assert!(chars.accesses.iter().any(|a| a.aligned));
+        assert!(chars.accesses.iter().any(|a| !a.aligned));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = "# top\nprogram p # trailing\n\narray a f32 [4] # comment\nkernel k\n  parallel i 4\n  stmt adds=1\n    read a [i]\n";
+        assert!(parse(src).is_ok());
+    }
+}

@@ -1,0 +1,248 @@
+//! Structural validation of programs.
+
+use crate::expr::IndexExpr;
+use crate::ir::Program;
+
+/// Reasons a skeleton is rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// A reference names an array id not declared in the program.
+    UnknownArray {
+        /// Offending kernel.
+        kernel: String,
+        /// The raw id referenced.
+        array: u32,
+    },
+    /// A reference's index count differs from the array's dimensionality.
+    DimMismatch {
+        /// Offending kernel.
+        kernel: String,
+        /// Array name.
+        array: String,
+        /// Declared dimensionality.
+        expected: usize,
+        /// Indices supplied.
+        got: usize,
+    },
+    /// An index expression names a loop that does not exist in the kernel.
+    UnknownLoop {
+        /// Offending kernel.
+        kernel: String,
+        /// The raw loop id referenced.
+        loop_id: u32,
+    },
+    /// A loop has a zero trip count.
+    ZeroTrip {
+        /// Offending kernel.
+        kernel: String,
+        /// Loop name.
+        loop_name: String,
+    },
+    /// A kernel has no loops at all.
+    EmptyLoopNest {
+        /// Offending kernel.
+        kernel: String,
+    },
+    /// A kernel has no parallel loop, so it cannot be offloaded.
+    NoParallelism {
+        /// Offending kernel.
+        kernel: String,
+    },
+    /// An array is declared with a zero extent.
+    ZeroExtent {
+        /// Array name.
+        array: String,
+    },
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidationError::UnknownArray { kernel, array } => {
+                write!(f, "kernel `{kernel}` references undeclared array id {array}")
+            }
+            ValidationError::DimMismatch { kernel, array, expected, got } => write!(
+                f,
+                "kernel `{kernel}` indexes array `{array}` with {got} indices, \
+                 but it has {expected} dimensions"
+            ),
+            ValidationError::UnknownLoop { kernel, loop_id } => {
+                write!(f, "kernel `{kernel}` index expression uses unknown loop {loop_id}")
+            }
+            ValidationError::ZeroTrip { kernel, loop_name } => {
+                write!(f, "kernel `{kernel}` loop `{loop_name}` has a zero trip count")
+            }
+            ValidationError::EmptyLoopNest { kernel } => {
+                write!(f, "kernel `{kernel}` has no loops")
+            }
+            ValidationError::NoParallelism { kernel } => {
+                write!(f, "kernel `{kernel}` has no parallel loop and cannot be offloaded")
+            }
+            ValidationError::ZeroExtent { array } => {
+                write!(f, "array `{array}` has a zero extent")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Checks structural well-formedness of a program.
+pub fn validate(p: &Program) -> Result<(), ValidationError> {
+    for a in &p.arrays {
+        if a.extents.contains(&0) {
+            return Err(ValidationError::ZeroExtent { array: a.name.clone() });
+        }
+    }
+    for k in &p.kernels {
+        if k.loops.is_empty() {
+            return Err(ValidationError::EmptyLoopNest { kernel: k.name.clone() });
+        }
+        if !k.loops.iter().any(|l| l.parallel) {
+            return Err(ValidationError::NoParallelism { kernel: k.name.clone() });
+        }
+        for l in &k.loops {
+            if l.trip == 0 {
+                return Err(ValidationError::ZeroTrip {
+                    kernel: k.name.clone(),
+                    loop_name: l.name.clone(),
+                });
+            }
+        }
+        for s in &k.statements {
+            for r in &s.refs {
+                let Some(decl) = p.arrays.get(r.array.index()) else {
+                    return Err(ValidationError::UnknownArray {
+                        kernel: k.name.clone(),
+                        array: r.array.0,
+                    });
+                };
+                if r.index.len() != decl.ndims() {
+                    return Err(ValidationError::DimMismatch {
+                        kernel: k.name.clone(),
+                        array: decl.name.clone(),
+                        expected: decl.ndims(),
+                        got: r.index.len(),
+                    });
+                }
+                for ix in &r.index {
+                    if let IndexExpr::Affine(e) = ix {
+                        for &(l, _) in &e.terms {
+                            if l.index() >= k.loops.len() {
+                                return Err(ValidationError::UnknownLoop {
+                                    kernel: k.name.clone(),
+                                    loop_id: l.0,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{idx, ProgramBuilder};
+    use crate::expr::{AffineExpr, LoopId};
+    use crate::ir::{ArrayRef, ElemType, Flops, Kernel, Loop, Statement};
+    use gpp_brs::{AccessKind, ArrayId};
+
+    fn good() -> Program {
+        let mut p = ProgramBuilder::new("ok");
+        let a = p.array("a", ElemType::F32, &[64]);
+        let mut k = p.kernel("k");
+        let i = k.parallel_loop("i", 64);
+        k.statement()
+            .read(a, &[idx(i)])
+            .flops(Flops { adds: 1, ..Flops::default() })
+            .finish();
+        k.finish();
+        p.build().unwrap()
+    }
+
+    #[test]
+    fn good_program_validates() {
+        assert!(validate(&good()).is_ok());
+    }
+
+    #[test]
+    fn unknown_array_detected() {
+        let mut p = good();
+        p.kernels[0].statements[0].refs.push(ArrayRef {
+            array: ArrayId(99),
+            index: vec![AffineExpr::var(LoopId(0)).into()],
+            kind: AccessKind::Read,
+        });
+        let e = validate(&p).unwrap_err();
+        assert!(matches!(e, ValidationError::UnknownArray { .. }));
+        assert!(e.to_string().contains("undeclared array"));
+    }
+
+    #[test]
+    fn unknown_loop_detected() {
+        let mut p = good();
+        p.kernels[0].statements[0].refs[0].index =
+            vec![AffineExpr::var(LoopId(5)).into()];
+        let e = validate(&p).unwrap_err();
+        assert!(matches!(e, ValidationError::UnknownLoop { loop_id: 5, .. }));
+    }
+
+    #[test]
+    fn empty_loop_nest_detected() {
+        let mut p = good();
+        p.kernels.push(Kernel {
+            name: "empty".into(),
+            loops: vec![],
+            statements: vec![],
+            gpu_compute_scale: 1.0,
+            cpu_compute_scale: 1.0,
+        });
+        assert!(matches!(
+            validate(&p).unwrap_err(),
+            ValidationError::EmptyLoopNest { .. }
+        ));
+    }
+
+    #[test]
+    fn no_parallelism_detected() {
+        let mut p = good();
+        p.kernels.push(Kernel {
+            name: "serial".into(),
+            loops: vec![Loop { name: "t".into(), trip: 4, parallel: false }],
+            statements: vec![Statement {
+                refs: vec![],
+                flops: Flops::default(),
+                active_fraction: 1.0,
+            }],
+            gpu_compute_scale: 1.0,
+            cpu_compute_scale: 1.0,
+        });
+        assert!(matches!(
+            validate(&p).unwrap_err(),
+            ValidationError::NoParallelism { .. }
+        ));
+    }
+
+    #[test]
+    fn zero_extent_detected() {
+        let mut p = good();
+        p.arrays[0].extents = vec![0];
+        assert!(matches!(validate(&p).unwrap_err(), ValidationError::ZeroExtent { .. }));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = ValidationError::DimMismatch {
+            kernel: "k".into(),
+            array: "a".into(),
+            expected: 2,
+            got: 1,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("k") && msg.contains("a") && msg.contains("2") && msg.contains("1"));
+    }
+}

@@ -1,0 +1,193 @@
+//! Bulk-synchronous execution semantics: why the kernel splits exist.
+//!
+//! The paper notes that CFD's "two kernels are separated in order to
+//! enforce global synchronization so that an array can be consumed before
+//! it is updated" (§IV-B), and SRAD's two kernels have a producer/consumer
+//! dependence on the coefficient array. A GPU kernel boundary is the only
+//! global barrier available, so the kernel decomposition *is* the
+//! synchronization structure — and the data usage analyzer's notion of
+//! "kernel sequence" rests on it.
+//!
+//! This module validates those semantics functionally: executing each
+//! workload as bulk-synchronous steps (all reads of a phase see the
+//! pre-phase state) matches the reference implementation, while the
+//! *fused* variant — updating in place without the barrier, as a
+//! single-kernel port would — produces different (wrong) results. That
+//! divergence is the empirical justification for the kernel splits the
+//! skeletons declare.
+
+use crate::srad;
+
+/// SRAD executed the wrong way: coefficient computation and image update
+/// fused into one in-place sweep, so later pixels consume *updated*
+/// neighbours and freshly written coefficients — what a single-kernel GPU
+/// port without a global barrier would race into (here made deterministic
+/// by sweeping in row-major order).
+pub fn srad_fused_inplace(img: &mut [f32], n: usize, q0sqr: f32) {
+    let mut coeff = vec![1.0f32; n * n];
+    for r in 1..n - 1 {
+        for c in 1..n - 1 {
+            // Phase-1 math for this pixel (using possibly-updated img!).
+            let jc = img[r * n + c];
+            let dn = img[(r - 1) * n + c] - jc;
+            let ds = img[(r + 1) * n + c] - jc;
+            let dw = img[r * n + c - 1] - jc;
+            let de = img[r * n + c + 1] - jc;
+            let g2 = (dn * dn + ds * ds + dw * dw + de * de) / (jc * jc);
+            let l = (dn + ds + dw + de) / jc;
+            let num = 0.5 * g2 - (1.0 / 16.0) * l * l;
+            let den = 1.0 + 0.25 * l;
+            let qsqr = num / (den * den);
+            let d = (qsqr - q0sqr) / (q0sqr * (1.0 + q0sqr));
+            coeff[r * n + c] = (1.0 / (1.0 + d)).clamp(0.0, 1.0);
+            // Phase-2 update immediately (south/east coefficients not yet
+            // computed this sweep — they hold stale values).
+            let cn = coeff[r * n + c];
+            let cs = coeff[(r + 1) * n + c];
+            let cw = coeff[r * n + c];
+            let ce = coeff[r * n + c + 1];
+            img[r * n + c] = jc + 0.25 * srad::LAMBDA * (cn * dn + cs * ds + cw * dw + ce * de);
+        }
+    }
+}
+
+/// One properly synchronized SRAD iteration (the two-kernel structure).
+pub fn srad_bsp_step(img: &mut [f32], n: usize) {
+    let (mean, var) = srad::roi_stats(img, n);
+    let q0sqr = var / (mean * mean);
+    let mut coeff = vec![0.0f32; n * n];
+    srad::prep(img, &mut coeff, n, q0sqr);
+    srad::update(img, &coeff, n);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfd::{self, FlowState, Mesh, NVAR};
+    use crate::hotspot::{self, HotSpot, ThermalParams};
+    use crate::srad::Srad;
+
+    /// HotSpot: the ping-pong (separate output array) is load-bearing.
+    /// Updating the grid in place changes results, because north/west
+    /// neighbours would already hold time-step t+1 values.
+    #[test]
+    fn hotspot_in_place_update_diverges() {
+        let hs = HotSpot { n: 64 };
+        let (temp, power) = hs.initial_state();
+        let p = ThermalParams::default();
+
+        let mut proper = vec![0.0f32; 64 * 64];
+        hotspot::step_seq(&temp, &power, &mut proper, 64, &p);
+
+        // In-place (wrong) variant.
+        let mut fused = temp.clone();
+        for r in 1..63 {
+            for c in 1..63 {
+                let t = fused[r * 64 + c];
+                let tn = fused[(r - 1) * 64 + c];
+                let ts = fused[(r + 1) * 64 + c];
+                let tw = fused[r * 64 + c - 1];
+                let te = fused[r * 64 + c + 1];
+                fused[r * 64 + c] = t
+                    + p.step_div_cap
+                        * (power[r * 64 + c]
+                            + p.ry * (tn + ts - 2.0 * t)
+                            + p.rx * (tw + te - 2.0 * t)
+                            + p.rz * (p.amb - t));
+            }
+        }
+        let max_diff = proper
+            .iter()
+            .zip(&fused)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_diff > 1e-4, "in-place update did not diverge ({max_diff})");
+    }
+
+    /// SRAD: fusing the two kernels (no barrier between coefficient
+    /// production and consumption) produces a different image — the reason
+    /// the skeleton declares two kernels with a flow dependence.
+    #[test]
+    fn srad_fused_kernels_diverge() {
+        let s = Srad { n: 64 };
+        let reference = {
+            let mut img = s.initial_image();
+            srad_bsp_step(&mut img, 64);
+            img
+        };
+        let fused = {
+            let mut img = s.initial_image();
+            let (mean, var) = srad::roi_stats(&img, 64);
+            srad_fused_inplace(&mut img, 64, var / (mean * mean));
+            img
+        };
+        let max_diff = reference
+            .iter()
+            .zip(&fused)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_diff > 1e-3, "fused SRAD did not diverge ({max_diff})");
+        // And repeated proper steps stay stable (sanity).
+        let mut img = s.initial_image();
+        for _ in 0..5 {
+            srad_bsp_step(&mut img, 64);
+        }
+        assert!(img.iter().all(|v| v.is_finite() && *v > 0.0));
+    }
+
+    /// CFD: updating `variables` while other elements still need to read
+    /// neighbour state (fusing compute_flux with time_step) changes the
+    /// result — the global synchronization the paper's kernel split
+    /// enforces.
+    #[test]
+    fn cfd_fused_flux_timestep_diverges() {
+        let nel = 2048;
+        let mesh = Mesh::synthetic(nel, 3);
+        let mut sf = vec![0.0f32; nel];
+
+        // Proper: flux for everyone, barrier, then update.
+        let mut proper = FlowState::initial(nel);
+        let mut fluxes = vec![0.0f32; NVAR * nel];
+        cfd::compute_step_factor(&proper, &mesh.areas, &mut sf);
+        cfd::compute_flux(&proper, &mesh, &mut fluxes);
+        cfd::time_step(&mut proper, &sf, &fluxes);
+
+        // Fused: update each element as soon as its flux is known, so
+        // later elements read already-advanced neighbours. Sweep a window
+        // across the density discontinuity (the flow is locally uniform
+        // elsewhere, where fluxes vanish and fusion is coincidentally
+        // harmless).
+        let mut fused = FlowState::initial(nel);
+        cfd::compute_step_factor(&fused, &mesh.areas, &mut sf);
+        let window = (nel / 3 - 32)..(nel / 3 + 32);
+        for i in window.clone() {
+            let mut one = vec![0.0f32; NVAR * nel];
+            // Reuse the library flux routine on the *current* (partially
+            // updated) state, then apply just element i's update.
+            cfd::compute_flux(&fused, &mesh, &mut one);
+            for v in 0..NVAR {
+                fused.vars[v * nel + i] -= sf[i] * one[v * nel + i];
+            }
+        }
+        let mut max_diff = 0.0f32;
+        for i in window {
+            for v in 0..NVAR {
+                max_diff =
+                    max_diff.max((proper.vars[v * nel + i] - fused.vars[v * nel + i]).abs());
+            }
+        }
+        assert!(max_diff > 1e-6, "fused CFD did not diverge ({max_diff})");
+    }
+
+    /// The analyzer agrees with the BSP structure: SRAD's `coeff` flows
+    /// across the kernel boundary on the device, which is only sound
+    /// because the boundary is a global barrier.
+    #[test]
+    fn analyzer_relies_on_kernel_barriers() {
+        let s = Srad { n: 256 };
+        let plan = gpp_datausage::analyze(&s.program(), &s.hints());
+        // coeff never crosses the bus precisely because kernel 1 finishes
+        // (barrier) before kernel 2 starts.
+        assert!(plan.all().all(|t| t.name != "coeff"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests for the workload numerics: the physical/algebraic laws
+//! each algorithm must satisfy regardless of input.
+
+use gpp_workloads::hotspot::{self, ThermalParams};
+use gpp_workloads::stassuij::{self, Csr};
+use gpp_workloads::{cfd, srad};
+use proptest::prelude::*;
+
+fn small_grid(seed: u64, n: usize) -> (Vec<f32>, Vec<f32>) {
+    // Deterministic pseudo-random temperature/power fields.
+    let mut s = seed.wrapping_mul(2654435761).wrapping_add(1);
+    let mut next = move || {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((s >> 33) as f32) / (u32::MAX >> 1) as f32
+    };
+    let temp = (0..n * n).map(|_| 70.0 + 30.0 * next()).collect();
+    let power = (0..n * n).map(|_| 0.5 * next()).collect();
+    (temp, power)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// HotSpot's update is linear in (temp, power): superposition holds.
+    /// step(t1 + t2, p1 + p2) == step(t1, p1) + step(t2, p2) − baseline
+    /// correction for the affine ambient term.
+    #[test]
+    fn hotspot_update_is_affine(seed in 0u64..500) {
+        let n = 16;
+        let p = ThermalParams::default();
+        let (t1, p1) = small_grid(seed, n);
+        let (t2, p2) = small_grid(seed ^ 0xdead, n);
+
+        let run = |t: &[f32], pw: &[f32]| {
+            let mut out = vec![0.0f32; n * n];
+            hotspot::step_seq(t, pw, &mut out, n, &p);
+            out
+        };
+        // Affine map: f(x) = A x + b. Then f(x1) + f(x2) − f(x̄) with
+        // x̄ = (x1 + x2) − x12 tests linearity of A: use the identity
+        // f(x1 + x2 − x0) = f(x1) + f(x2) − f(x0).
+        let (t0, p0) = small_grid(seed ^ 0xbeef, n);
+        let t_combo: Vec<f32> =
+            (0..n * n).map(|k| t1[k] + t2[k] - t0[k]).collect();
+        let p_combo: Vec<f32> =
+            (0..n * n).map(|k| p1[k] + p2[k] - p0[k]).collect();
+        let lhs = run(&t_combo, &p_combo);
+        let (r1, r2, r0) = (run(&t1, &p1), run(&t2, &p2), run(&t0, &p0));
+        for k in 0..n * n {
+            let rhs = r1[k] + r2[k] - r0[k];
+            prop_assert!((lhs[k] - rhs).abs() < 1e-3, "cell {k}: {} vs {rhs}", lhs[k]);
+        }
+    }
+
+    /// HotSpot parallel == sequential on arbitrary fields.
+    #[test]
+    fn hotspot_par_matches_seq(seed in 0u64..500, n in 8usize..48) {
+        let (temp, power) = small_grid(seed, n);
+        let p = ThermalParams::default();
+        let mut a = vec![0.0f32; n * n];
+        let mut b = vec![0.0f32; n * n];
+        hotspot::step_seq(&temp, &power, &mut a, n, &p);
+        hotspot::step_par(&temp, &power, &mut b, n, &p);
+        prop_assert_eq!(a, b);
+    }
+
+    /// SRAD coefficients stay in [0, 1] for any positive image.
+    #[test]
+    fn srad_coefficients_normalized(seed in 0u64..200) {
+        let n = 32;
+        let (img, _) = small_grid(seed, n);
+        let (mean, var) = srad::roi_stats(&img, n);
+        let mut coeff = vec![0.0f32; n * n];
+        srad::prep(&img, &mut coeff, n, (var / (mean * mean)).max(1e-6));
+        prop_assert!(coeff.iter().all(|c| (0.0..=1.0).contains(c)));
+    }
+
+    /// Stassuij's product is linear in the sparse operator: scaling every
+    /// value scales the output.
+    #[test]
+    fn stassuij_linear_in_operator(seed in 0u64..100, scale in 1.0f64..5.0) {
+        let csr = Csr::synthetic(4, seed);
+        let mut scaled = csr.clone();
+        for v in &mut scaled.vals {
+            *v *= scale;
+        }
+        let b = stassuij::synthetic_dense(seed ^ 7);
+        let mut c1 = vec![(0.0, 0.0); stassuij::N * stassuij::M];
+        let mut c2 = vec![(0.0, 0.0); stassuij::N * stassuij::M];
+        stassuij::spmm_par(&csr, &b, &mut c1);
+        stassuij::spmm_par(&scaled, &b, &mut c2);
+        for (x, y) in c1.iter().zip(&c2) {
+            prop_assert!((x.0 * scale - y.0).abs() < 1e-9);
+            prop_assert!((x.1 * scale - y.1).abs() < 1e-9);
+        }
+    }
+
+    /// CFD: uniform states are fixed points on any synthetic mesh seed.
+    #[test]
+    fn cfd_uniform_fixed_point_any_mesh(seed in 0u64..100) {
+        let nel = 1024;
+        let mesh = cfd::Mesh::synthetic(nel, seed);
+        let mut state = cfd::FlowState::uniform(nel);
+        let before = state.vars.clone();
+        let mut sf = vec![0.0; nel];
+        let mut fluxes = vec![0.0; cfd::NVAR * nel];
+        cfd::iterate(&mut state, &mesh, &mut sf, &mut fluxes);
+        for (a, b) in state.vars.iter().zip(&before) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    /// CSR generation invariants across seeds and densities.
+    #[test]
+    fn csr_invariants(seed in 0u64..300, nnz_per_row in 2usize..12) {
+        let csr = Csr::synthetic(nnz_per_row, seed);
+        prop_assert_eq!(csr.row_ptr.len(), stassuij::N + 1);
+        prop_assert_eq!(*csr.row_ptr.last().unwrap() as usize, csr.nnz());
+        prop_assert!(csr.row_ptr.windows(2).all(|w| w[0] < w[1]),
+            "every row must be non-empty");
+        // Columns sorted and deduplicated within each row.
+        for r in 0..stassuij::N {
+            let row = &csr.col_idx[csr.row_ptr[r] as usize..csr.row_ptr[r + 1] as usize];
+            prop_assert!(row.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

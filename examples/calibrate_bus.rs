@@ -1,0 +1,44 @@
+//! Bus calibration walkthrough: the paper's §III-C synthetic benchmark,
+//! run against three "machines" (PCIe generations), with a validation
+//! sweep per machine.
+//!
+//! ```text
+//! cargo run --release --example calibrate_bus
+//! ```
+
+use gpp_pcie::{
+    Bus, BusParams, BusSimulator, Calibrator, Direction, MemType, SweepValidation,
+};
+
+fn main() {
+    for (name, params) in [
+        ("PCIe v1 x16 (the paper's machine)", BusParams::pcie_v1_x16()),
+        ("PCIe v2 x16", BusParams::pcie_v2_x16()),
+        ("PCIe v3 x16", BusParams::pcie_v3_x16()),
+    ] {
+        let mut bus = BusSimulator::new(params, 99);
+        println!("=== {name}: {}", bus.describe());
+
+        // The two-point calibration: one tiny transfer for alpha, one huge
+        // transfer for beta, ten runs each, per direction.
+        let model = Calibrator::default().calibrate(&mut bus);
+        println!("  h2d: {}", model.h2d);
+        println!("  d2h: {}", model.d2h);
+        println!(
+            "  latency/bandwidth break-even at {:.0} KB",
+            model.h2d.breakeven_bytes() / 1024.0
+        );
+
+        // Validate across the full 1 B .. 512 MB sweep (paper §V-A).
+        for dir in Direction::ALL {
+            let v = SweepValidation::paper_sweep(&mut bus, &model, dir, MemType::Pinned);
+            println!(
+                "  {dir}: mean error {:.2}%  max {:.2}%  (above 1MB: {:.2}%)",
+                v.mean_error(),
+                v.max_error(),
+                v.mean_error_above(1 << 20)
+            );
+        }
+        println!();
+    }
+}

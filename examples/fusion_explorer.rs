@@ -1,0 +1,50 @@
+//! Temporal kernel fusion explorer (§IV-B: "Multiple invocations of the
+//! same kernel across several iterations can be fused together").
+//!
+//! For each HotSpot grid size, projects the per-iteration time at fusion
+//! factors 1..16 and reports the optimum: small grids are launch-bound
+//! and want deep fusion; large grids are bandwidth-bound and run best
+//! unfused — matching the configurations the paper measures.
+//!
+//! ```text
+//! cargo run --release --example fusion_explorer
+//! ```
+
+use gpp_workloads::hotspot::HotSpot;
+use grophecy::fusion::explore_fusion;
+use grophecy::machine::MachineConfig;
+use grophecy::projector::Grophecy;
+
+fn main() {
+    let machine = MachineConfig::anl_eureka_node(31);
+    let mut node = machine.node();
+    let gro = Grophecy::calibrate(&machine, &mut node);
+
+    println!("machine: {}\n", machine.name);
+    println!(
+        "{:>12} {:>14} {:>12} {:>16} {:>9}",
+        "grid", "unfused/iter", "best factor", "fused/iter", "saving"
+    );
+    for n in [64usize, 128, 256, 512, 1024, 2048] {
+        let hs = HotSpot { n };
+        let proj = gro.project(&hs.program(), &hs.hints());
+        let fa = explore_fusion(&gro, &proj.kernels[0], 1, 16);
+        println!(
+            "{:>12} {:>11.3} us {:>12} {:>13.3} us {:>8.1}%",
+            hs.label(),
+            fa.unfused_time * 1e6,
+            fa.best_factor,
+            fa.best_time * 1e6,
+            fa.saving() * 100.0
+        );
+    }
+
+    println!("\nfull candidate curve for 64 x 64:");
+    let hs = HotSpot { n: 64 };
+    let proj = gro.project(&hs.program(), &hs.hints());
+    let fa = explore_fusion(&gro, &proj.kernels[0], 1, 16);
+    for (f, t) in &fa.candidates {
+        let marker = if *f == fa.best_factor { "  <= best" } else { "" };
+        println!("  fuse {f:>2} steps/launch: {:>8.3} us/iter{marker}", t * 1e6);
+    }
+}

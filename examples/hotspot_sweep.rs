@@ -1,0 +1,79 @@
+//! HotSpot grid-size and iteration sweep (§IV-B's amortization argument).
+//!
+//! "As the number of iterations grows, the data transfer overhead is
+//! amortized over a larger amount of computation, and the speedup of the
+//! GPU over the CPU increases. If we ignore the data transfer time, the
+//! speedup is fixed regardless of the iteration count."
+//!
+//! Also demonstrates the functional side: the same HotSpot algorithm the
+//! skeleton describes is executed numerically and checked for physical
+//! sanity before any timing is reported.
+//!
+//! ```text
+//! cargo run --release --example hotspot_sweep
+//! ```
+
+use gpp_workloads::hotspot::{run, HotSpot, ThermalParams};
+use grophecy::machine::MachineConfig;
+use grophecy::measurement::measure;
+use grophecy::projector::Grophecy;
+use grophecy::speedup::SpeedupSeries;
+
+fn main() {
+    // Numerics first: run the real algorithm so we trust the skeleton.
+    let hs = HotSpot { n: 256 };
+    let (temp, power) = hs.initial_state();
+    let after = run(&temp, &power, 256, 100, &ThermalParams::default());
+    let mean =
+        |g: &[f32]| g.iter().map(|t| *t as f64).sum::<f64>() / g.len() as f64;
+    println!(
+        "functional check: 100 steps on a 256x256 die, mean temperature {:.2} -> {:.2} C",
+        mean(&temp),
+        mean(&after)
+    );
+    assert!(after.iter().all(|t| t.is_finite()), "simulation diverged");
+
+    let machine = MachineConfig::anl_eureka_node(17);
+    let mut node = machine.node();
+    let gro = Grophecy::calibrate(&machine, &mut node);
+
+    println!("\nGrid-size sweep (1 iteration):");
+    println!(
+        "{:>12} {:>10} {:>12} {:>10} {:>10}",
+        "grid", "kernel(ms)", "transfer(ms)", "pred.x", "meas.x"
+    );
+    for n in [64usize, 128, 256, 512, 1024, 2048] {
+        let hs = HotSpot { n };
+        let proj = gro.project(&hs.program(), &hs.hints());
+        let meas = measure(&mut node, &hs.program(), &proj);
+        println!(
+            "{:>12} {:>10.3} {:>12.3} {:>10.2} {:>10.2}",
+            hs.label(),
+            meas.kernel_time * 1e3,
+            meas.transfer_time * 1e3,
+            proj.speedup(meas.cpu_time, 1),
+            meas.speedup(1),
+        );
+    }
+
+    println!("\nIteration sweep (1024 x 1024):");
+    let hs = HotSpot { n: 1024 };
+    let proj = gro.project(&hs.program(), &hs.hints());
+    let meas = measure(&mut node, &hs.program(), &proj);
+    let series = SpeedupSeries::sweep("HotSpot", hs.label(), &proj, &meas, [1, 4, 16, 64, 256, 1024]);
+    println!(
+        "{:>7} {:>10} {:>16} {:>18}",
+        "iters", "measured", "pred w/transfer", "pred w/o transfer"
+    );
+    for p in &series.points {
+        println!(
+            "{:>7} {:>10.2} {:>16.2} {:>18.2}",
+            p.iters, p.measured, p.with_transfer, p.without_transfer
+        );
+    }
+    let lim = SpeedupSeries::limit(&proj, &meas);
+    println!("{:>7} {:>10.2} {:>16.2} {:>18.2}", "inf", lim.measured, lim.with_transfer, lim.without_transfer);
+    if let Some(n) = series.twice_as_accurate_until() {
+        println!("\ntransfer-aware prediction is >=2x more accurate up to {n} iterations");
+    }
+}

@@ -1,0 +1,68 @@
+//! Offload advisor: the paper's motivating use case.
+//!
+//! "Application developers often ponder the viability of using GPUs to
+//! benefit their science and whether it is indeed worth investing the time
+//! and effort to port their code" (§II-C). This example runs GROPHECY++
+//! over all four evaluation workloads and prints a port / don't-port
+//! verdict for each, showing how the kernel-only view (plain GROPHECY)
+//! and the transfer-aware view (GROPHECY++) can disagree — Stassuij being
+//! the cautionary tale (§V-B-4).
+//!
+//! ```text
+//! cargo run --release --example offload_advisor [iterations]
+//! ```
+
+use gpp_workloads::paper_cases;
+use grophecy::machine::MachineConfig;
+use grophecy::measurement::measure;
+use grophecy::projector::Grophecy;
+
+fn main() {
+    let iters: u32 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("iterations must be a number"))
+        .unwrap_or(1);
+
+    let machine = MachineConfig::anl_eureka_node(7);
+    let mut node = machine.node();
+    let gro = Grophecy::calibrate(&machine, &mut node);
+    println!("advising for: {}  ({iters} iteration(s))\n", machine.name);
+    println!(
+        "{:<9} {:>14} | {:>12} {:>12} | {:>10} {:>10} | advice",
+        "App", "Data", "naive pred", "GROPHECY++", "actual", "correct?"
+    );
+
+    let mut naive_right = 0;
+    let mut aware_right = 0;
+    let mut total = 0;
+    for case in paper_cases() {
+        let proj = gro.project(&case.program, &case.hints);
+        let meas = measure(&mut node, &case.program, &proj);
+        let cpu = meas.cpu_total(iters);
+        let naive = proj.speedup_kernel_only(cpu, iters);
+        let aware = proj.speedup(cpu, iters);
+        let actual = meas.speedup(iters);
+        let naive_ok = (naive >= 1.0) == (actual >= 1.0);
+        let aware_ok = (aware >= 1.0) == (actual >= 1.0);
+        naive_right += naive_ok as u32;
+        aware_right += aware_ok as u32;
+        total += 1;
+        println!(
+            "{:<9} {:>14} | {:>11.2}x {:>11.2}x | {:>9.2}x {:>10} | {}",
+            case.app,
+            case.dataset,
+            naive,
+            aware,
+            actual,
+            if aware_ok { "yes" } else { "NO" },
+            match (aware >= 1.0, naive >= 1.0) {
+                (true, _) => "port it",
+                (false, true) => "DON'T port (naive view says yes!)",
+                (false, false) => "don't port",
+            }
+        );
+    }
+    println!(
+        "\nport/don't-port verdicts correct: naive {naive_right}/{total}, GROPHECY++ {aware_right}/{total}"
+    );
+}

@@ -1,0 +1,72 @@
+//! Quickstart: the paper's §II-B vector-addition story, end to end.
+//!
+//! Vector addition looks like a perfect GPU workload — massively parallel,
+//! and the GPU has 2.4× the CPU's memory bandwidth. GROPHECY++ shows why
+//! it isn't: once the input vectors must cross the PCIe bus, the CPU wins
+//! by an order of magnitude.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use gpp_datausage::Hints;
+use gpp_skeleton::builder::{idx, ProgramBuilder};
+use gpp_skeleton::{ElemType, Flops};
+use grophecy::machine::MachineConfig;
+use grophecy::measurement::measure;
+use grophecy::projector::Grophecy;
+
+fn main() {
+    // 1. Describe the CPU code as a code skeleton: c[i] = a[i] + b[i].
+    let n = 1usize << 24; // 16M floats per vector
+    let mut p = ProgramBuilder::new("vector-add");
+    let a = p.array("a", ElemType::F32, &[n]);
+    let b = p.array("b", ElemType::F32, &[n]);
+    let c = p.array("c", ElemType::F32, &[n]);
+    let mut k = p.kernel("add");
+    let i = k.parallel_loop("i", n as u64);
+    k.statement()
+        .read(a, &[idx(i)])
+        .read(b, &[idx(i)])
+        .write(c, &[idx(i)])
+        .flops(Flops { adds: 1, ..Flops::default() })
+        .finish();
+    k.finish();
+    let program = p.build().expect("valid skeleton");
+
+    // 2. Point GROPHECY++ at a machine. Construction runs the two-point
+    //    PCIe calibration benchmark automatically (paper §III-C).
+    let machine = MachineConfig::anl_eureka_node(42);
+    let mut node = machine.node();
+    let gro = Grophecy::calibrate(&machine, &mut node);
+    println!("machine : {}", machine.name);
+    println!("PCIe fit: {}", gro.pcie_model().h2d);
+
+    // 3. Project.
+    let hints = Hints::new();
+    let proj = gro.project(&program, &hints);
+    println!("\n{}", proj.plan);
+    println!("projected kernel time   : {:>8.3} ms", proj.kernel_time * 1e3);
+    println!("projected transfer time : {:>8.3} ms", proj.transfer_time * 1e3);
+    println!("projected total GPU time: {:>8.3} ms", proj.total_time(1) * 1e3);
+
+    // 4. Compare against the "real" machine (the simulated node).
+    let meas = measure(&mut node, &program, &proj);
+    println!("\nmeasured CPU time       : {:>8.3} ms", meas.cpu_time * 1e3);
+    println!("measured GPU total      : {:>8.3} ms", meas.total_time(1) * 1e3);
+
+    let kernel_only = proj.speedup_kernel_only(meas.cpu_time, 1);
+    let with_transfer = proj.speedup(meas.cpu_time, 1);
+    println!("\nkernel-only projected speedup : {kernel_only:.2}x  <- the naive view");
+    println!("transfer-aware projected speedup: {with_transfer:.2}x");
+    println!("measured speedup               : {:.2}x", meas.speedup(1));
+
+    if with_transfer < 1.0 {
+        println!(
+            "\nverdict: do NOT port — data transfer erases the GPU's {:.1}x kernel advantage.",
+            kernel_only
+        );
+    } else {
+        println!("\nverdict: port it.");
+    }
+}

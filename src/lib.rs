@@ -1,0 +1,22 @@
+//! GROPHECY++ — GPU performance projection with data transfer modeling.
+//!
+//! Umbrella crate re-exporting the full framework. See the individual
+//! component crates for details:
+//!
+//! * [`brs`] — bounded regular section algebra,
+//! * [`skeleton`] — the code-skeleton IR GROPHECY consumes,
+//! * [`pcie`] — PCIe bus simulator + empirical linear transfer model,
+//! * [`cpu_sim`] / [`gpu_sim`] — the simulated "measured" hardware,
+//! * [`gpu_model`] — the analytic GPU kernel-time projection,
+//! * [`datausage`] — the data usage analyzer,
+//! * [`core`] — the integrated GROPHECY++ projector.
+
+pub use gpp_brs as brs;
+pub use gpp_cpu_sim as cpu_sim;
+pub use gpp_datausage as datausage;
+pub use gpp_gpu_model as gpu_model;
+pub use gpp_gpu_sim as gpu_sim;
+pub use gpp_pcie as pcie;
+pub use gpp_skeleton as skeleton;
+pub use gpp_workloads as workloads;
+pub use grophecy as core;

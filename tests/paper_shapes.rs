@@ -1,0 +1,207 @@
+//! The headline reproduction tests: every qualitative claim of the
+//! paper's evaluation (§V) must hold on the simulated testbed.
+//!
+//! These are the assertions DESIGN.md §3 calls the "success criteria":
+//! who wins, by roughly what factor, and where the crossovers fall.
+
+use gpp_bench::eval::{evaluate_all, Evaluation, EVAL_SEED};
+
+fn eval() -> &'static Evaluation {
+    use std::sync::OnceLock;
+    static EVAL: OnceLock<Evaluation> = OnceLock::new();
+    EVAL.get_or_init(|| evaluate_all(EVAL_SEED))
+}
+
+/// Table I: "For all applications and data sets, with the exception of
+/// HotSpot's smallest data set, the transfer time is greater than the
+/// kernel execution time."
+///
+/// (On our simulated node the exception does not materialize — HotSpot
+/// 64×64's kernel is launch-overhead-dominated and still shorter than its
+/// transfers — so we assert the dominant claim for every case and record
+/// the 64×64 deviation in EXPERIMENTS.md.)
+#[test]
+fn transfer_time_dominates_kernel_time() {
+    for c in &eval().cases {
+        let m = &c.measurement;
+        assert!(
+            m.transfer_time > m.kernel_time,
+            "{} {}: kernel {:.3} ms vs transfer {:.3} ms",
+            c.app,
+            c.dataset,
+            m.kernel_time * 1e3,
+            m.transfer_time * 1e3
+        );
+    }
+}
+
+/// Table I's Percent Transfer column sits in the 60–90% band for the
+/// large datasets (paper: 63–79%).
+#[test]
+fn percent_transfer_band() {
+    for c in &eval().cases {
+        if c.dataset.contains("64 x 64") {
+            continue; // tiny case, launch-overhead regime
+        }
+        let pct = c.measurement.percent_transfer();
+        assert!(
+            (55.0..92.0).contains(&pct),
+            "{} {}: {pct:.0}% transfer",
+            c.app,
+            c.dataset
+        );
+    }
+}
+
+/// Table II: the three predictors order as the paper reports —
+/// kernel-only is catastrophically wrong, transfer-only much better,
+/// kernel+transfer best.
+#[test]
+fn predictor_error_ordering() {
+    let ev = eval();
+    let kernel_only = ev.average_error_by_app(|r| r.error_kernel_only());
+    let transfer_only = ev.average_error_by_app(|r| r.error_transfer_only());
+    let combined = ev.average_error_by_app(|r| r.error_combined());
+    assert!(
+        kernel_only > 2.0 * transfer_only,
+        "kernel-only {kernel_only:.0}% vs transfer-only {transfer_only:.0}%"
+    );
+    assert!(
+        transfer_only > 2.0 * combined,
+        "transfer-only {transfer_only:.0}% vs combined {combined:.0}%"
+    );
+    // Paper: 255% → 68% → 9%. Same orders of magnitude here.
+    assert!(kernel_only > 150.0);
+    assert!(combined < 25.0, "combined error {combined:.0}%");
+}
+
+/// §V-B: kernel-only projections overpredict the speedup severalfold for
+/// every application.
+#[test]
+fn kernel_only_overpredicts_everywhere() {
+    for c in &eval().cases {
+        let r = c.speedup_report();
+        assert!(
+            r.predicted_kernel_only > 1.9 * r.measured,
+            "{} {}: kernel-only {:.2}x vs measured {:.2}x",
+            c.app,
+            c.dataset,
+            r.predicted_kernel_only,
+            r.measured
+        );
+    }
+}
+
+/// §V-B-4, the Stassuij flip: the kernel-only projection says the GPU
+/// wins, reality (and the transfer-aware projection) says it loses.
+#[test]
+fn stassuij_flips_from_speedup_to_slowdown() {
+    let c = eval().case("Stassuij", "132");
+    let r = c.speedup_report();
+    assert!(r.predicted_kernel_only > 1.0, "naive view must predict a win");
+    assert!(r.measured < 1.0, "reality must be a slowdown");
+    assert!(r.predicted_combined < 1.0, "GROPHECY++ must catch it");
+    // Paper: predicted 0.38x vs actual 0.39x (1.6% error). Ours lands in
+    // the same sub-1.0 regime with a small combined error.
+    assert!(r.error_combined() < 10.0, "combined error {:.1}%", r.error_combined());
+}
+
+/// §V-B: iteration sweeps — the two predictions converge as transfers
+/// amortize, and the transfer-aware one is ≥2× more accurate at small
+/// iteration counts (Figures 8/10/12).
+#[test]
+fn iteration_sweeps_converge_and_favor_transfer_awareness() {
+    let ev = eval();
+    for (app, dataset) in [("CFD", "233K"), ("HotSpot", "1024"), ("SRAD", "4096")] {
+        let c = ev.case(app, dataset);
+        let s = c.sweep([1, 2, 4, 8, 16, 32, 64, 128, 256]);
+        // Monotone amortization.
+        for w in s.points.windows(2) {
+            assert!(
+                w[1].measured >= w[0].measured * 0.999,
+                "{app}: speedup not monotone in iterations"
+            );
+        }
+        // Convergence of the two predictors.
+        let gap0 = (s.points[0].with_transfer - s.points[0].without_transfer).abs();
+        let gap_end = (s.points[8].with_transfer - s.points[8].without_transfer).abs();
+        assert!(gap_end < gap0 * 0.15, "{app}: predictions did not converge");
+        // The paper's ≥2x-accuracy window exists (≥ 4 iterations here).
+        let until = s.twice_as_accurate_until().unwrap_or(0);
+        assert!(until >= 4, "{app}: 2x-accuracy window only {until} iterations");
+    }
+}
+
+/// §V-A headline numbers: per-transfer prediction error across all
+/// application transfers averages in the single digits (paper: 7.6%), and
+/// the transfer-time error per case averages ~8%.
+#[test]
+fn transfer_prediction_error_band() {
+    let ev = eval();
+    let mut errs = Vec::new();
+    for c in &ev.cases {
+        for ((_, meas), pred) in
+            c.measurement.transfer_times.iter().zip(&c.projection.transfer_times)
+        {
+            errs.push(gpp_pcie::error_magnitude(*pred, *meas));
+        }
+    }
+    let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+    assert!(mean < 12.0, "mean per-transfer error {mean:.1}%");
+
+    let per_case: f64 = ev
+        .cases
+        .iter()
+        .map(|c| c.speedup_report().transfer_time_error)
+        .sum::<f64>()
+        / ev.cases.len() as f64;
+    assert!(per_case < 12.0, "mean per-case transfer error {per_case:.1}%");
+}
+
+/// §I headline: kernel-time prediction error averages ~15% in the paper;
+/// ours must stay within a comparable band (under ~50% for the worst
+/// gather-heavy app, much less for the stencils).
+#[test]
+fn kernel_prediction_error_band() {
+    let ev = eval();
+    for c in &ev.cases {
+        let r = c.speedup_report();
+        let bound = if c.app == "CFD" { 55.0 } else { 30.0 };
+        assert!(
+            r.kernel_time_error < bound,
+            "{} {}: kernel error {:.1}%",
+            c.app,
+            c.dataset,
+            r.kernel_time_error
+        );
+    }
+}
+
+/// CFD is the app whose kernel-time error dominates (Figure 6): the model
+/// underpredicts gather-heavy kernels because it assumes one uniform DRAM
+/// derate.
+#[test]
+fn cfd_kernel_error_dominates_like_fig6() {
+    let ev = eval();
+    let cfd = ev.case("CFD", "233K").speedup_report();
+    assert!(cfd.kernel_time_error > cfd.transfer_time_error);
+    // And it is an *under*prediction.
+    let c = ev.case("CFD", "233K");
+    assert!(c.projection.kernel_time < c.measurement.kernel_time);
+    // Stencil apps keep kernel errors small at their largest sizes.
+    let srad = ev.case("SRAD", "4096").speedup_report();
+    assert!(srad.kernel_time_error < cfd.kernel_time_error);
+}
+
+/// Determinism: the whole evaluation is reproducible bit-for-bit for a
+/// given seed.
+#[test]
+fn evaluation_is_deterministic() {
+    let a = evaluate_all(99);
+    let b = evaluate_all(99);
+    for (x, y) in a.cases.iter().zip(&b.cases) {
+        assert_eq!(x.measurement.kernel_time, y.measurement.kernel_time);
+        assert_eq!(x.measurement.transfer_time, y.measurement.transfer_time);
+        assert_eq!(x.projection.kernel_time, y.projection.kernel_time);
+    }
+}
