@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local CI: formatting, lints, and the tier-1 gate.
+# Usage: ./ci.sh  (add CARGO_FLAGS=--offline when the registry is absent)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+CARGO_FLAGS=${CARGO_FLAGS:---offline}
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings)"
+cargo clippy $CARGO_FLAGS --workspace --all-targets -- -D warnings
+
+echo "== tier-1: build + tests"
+cargo build $CARGO_FLAGS --release
+cargo test $CARGO_FLAGS -q
+
+echo "CI OK"

@@ -59,5 +59,10 @@ fn bench_section_algebra(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_analyze, bench_section_extraction, bench_section_algebra);
+criterion_group!(
+    benches,
+    bench_analyze,
+    bench_section_extraction,
+    bench_section_algebra
+);
 criterion_main!(benches);

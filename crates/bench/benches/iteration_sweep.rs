@@ -8,23 +8,33 @@ use std::hint::black_box;
 fn bench_sweeps(c: &mut Criterion) {
     let ev = evaluate_all(EVAL_SEED);
     let mut group = c.benchmark_group("fig8_10_12_iteration_sweeps");
-    for (fig, app, dataset) in
-        [("fig8_CFD", "CFD", "233K"), ("fig10_HotSpot", "HotSpot", "1024"), ("fig12_SRAD", "SRAD", "4096")]
-    {
+    for (fig, app, dataset) in [
+        ("fig8_CFD", "CFD", "233K"),
+        ("fig10_HotSpot", "HotSpot", "1024"),
+        ("fig12_SRAD", "SRAD", "4096"),
+    ] {
         let case = ev.case(app, dataset);
-        group.bench_with_input(BenchmarkId::new("sweep_256_points", fig), &case, |b, case| {
-            b.iter(|| {
-                let s = case.sweep(1..=256);
-                black_box(s.points.len())
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("limit_and_window", fig), &case, |b, case| {
-            b.iter(|| {
-                let s = case.sweep([1, 2, 4, 8, 16, 32, 64, 128, 256]);
-                let lim = SpeedupSeries::limit(&case.projection, &case.measurement);
-                black_box((s.twice_as_accurate_until(), lim.measured))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sweep_256_points", fig),
+            &case,
+            |b, case| {
+                b.iter(|| {
+                    let s = case.sweep(1..=256);
+                    black_box(s.points.len())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("limit_and_window", fig),
+            &case,
+            |b, case| {
+                b.iter(|| {
+                    let s = case.sweep([1, 2, 4, 8, 16, 32, 64, 128, 256]);
+                    let lim = SpeedupSeries::limit(&case.projection, &case.measurement);
+                    black_box((s.twice_as_accurate_until(), lim.measured))
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -41,5 +41,10 @@ fn bench_validation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_calibration, bench_model_predict, bench_validation);
+criterion_group!(
+    benches,
+    bench_calibration,
+    bench_model_predict,
+    bench_validation
+);
 criterion_main!(benches);

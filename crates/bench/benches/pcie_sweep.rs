@@ -21,11 +21,7 @@ fn bench_single_transfers(c: &mut Criterion) {
                 &bytes,
                 |b, &bytes| {
                     b.iter(|| {
-                        black_box(bus.transfer(
-                            black_box(bytes),
-                            Direction::HostToDevice,
-                            mem,
-                        ))
+                        black_box(bus.transfer(black_box(bytes), Direction::HostToDevice, mem))
                     })
                 },
             );
@@ -60,5 +56,10 @@ fn bench_fig3_speedups(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_single_transfers, bench_full_fig2, bench_fig3_speedups);
+criterion_group!(
+    benches,
+    bench_single_transfers,
+    bench_full_fig2,
+    bench_fig3_speedups
+);
 criterion_main!(benches);

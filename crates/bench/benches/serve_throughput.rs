@@ -1,0 +1,92 @@
+//! Throughput of the `gpp-serve` projection service: what the caches buy.
+//!
+//! Three tiers, slowest to fastest:
+//!   * `cold`   — fresh service per request: pays calibration + projection
+//!     (the one-shot CLI cost a server is meant to amortize);
+//!   * `warm`   — calibration cached, projection recomputed (a stream of
+//!     distinct what-if queries against one machine);
+//!   * `cached` — both caches hit (a repeated query): the steady state.
+//!
+//! Plus one end-to-end TCP tier (`wire_cached`) that includes framing and
+//! loopback networking on top of the cached handler path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpp_serve::{Client, Command, Request, ServeConfig, Server, ServiceState};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn project_payload(seed: u64) -> String {
+    let mut req = Request::new(Command::Project);
+    req.seed = seed;
+    req.skeleton = include_str!("../../../skeletons/vector_add.gsk").to_string();
+    req.encode()
+}
+
+fn bench_handler_tiers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(10);
+
+    group.bench_function("cold_fresh_service", |b| {
+        let payload = project_payload(2013);
+        b.iter(|| {
+            let state = ServiceState::new(ServeConfig::default());
+            black_box(state.handle(&payload, 0))
+        })
+    });
+
+    group.bench_function("warm_calibration_cached", |b| {
+        let state = ServiceState::new(ServeConfig::default());
+        state.handle(&project_payload(2013), 0);
+        // Distinct sparse hints defeat the projection memo while reusing
+        // the (machine, seed) calibration.
+        let payloads: Vec<String> = (0..64u64)
+            .map(|i| {
+                let mut req = Request::new(Command::Project);
+                req.skeleton = include_str!("../../../skeletons/vector_add.gsk").to_string();
+                req.sparse = vec![("a".to_string(), 1 << 20 | i)];
+                req.encode()
+            })
+            .collect();
+        let mut next = 0usize;
+        b.iter(|| {
+            let payload = &payloads[next % payloads.len()];
+            next += 1;
+            black_box(state.handle(payload, 0))
+        })
+    });
+
+    group.bench_function("cached_repeat_query", |b| {
+        let state = ServiceState::new(ServeConfig::default());
+        let payload = project_payload(2013);
+        state.handle(&payload, 0);
+        b.iter(|| black_box(state.handle(&payload, 0)))
+    });
+
+    group.finish();
+}
+
+fn bench_wire_round_trip(c: &mut Criterion) {
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let handle = server.spawn().expect("spawn server");
+    let mut client = Client::connect(handle.addr(), Duration::from_secs(30)).expect("connect");
+    let mut req = Request::new(Command::Project);
+    req.skeleton = include_str!("../../../skeletons/vector_add.gsk").to_string();
+    client.call(&req).expect("prime the caches");
+
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(20);
+    group.bench_function("wire_cached", |b| {
+        b.iter(|| black_box(client.call(&req).expect("round trip")))
+    });
+    group.finish();
+
+    drop(client);
+    handle.shutdown_and_join().expect("clean shutdown");
+}
+
+criterion_group!(benches, bench_handler_tiers, bench_wire_round_trip);
+criterion_main!(benches);

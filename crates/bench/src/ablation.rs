@@ -13,8 +13,14 @@ pub fn pcie_model_ablation(seed: u64) -> (f64, f64, usize, usize) {
     use gpp_pcie::Bus;
     let mut bus = BusSimulator::new(BusParams::pcie_v1_x16(), seed);
     let linear = Calibrator::default().calibrate(&mut bus);
-    let piecewise =
-        PiecewiseModel::calibrate(&mut bus, Direction::HostToDevice, MemType::Pinned, 0, 29, 10);
+    let piecewise = PiecewiseModel::calibrate(
+        &mut bus,
+        Direction::HostToDevice,
+        MemType::Pinned,
+        0,
+        29,
+        10,
+    );
 
     // Held-out validation points: odd sizes, not powers of two, above the
     // paper's "errors vanish above 1 KB" regime.
@@ -121,8 +127,10 @@ pub fn hints_ablation(seed: u64) -> Vec<(usize, f64, f64)> {
 pub fn sweep_errors(seed: u64) -> (f64, f64) {
     let mut bus = BusSimulator::new(BusParams::pcie_v1_x16(), seed);
     let model = Calibrator::default().calibrate(&mut bus);
-    let h = SweepValidation::paper_sweep(&mut bus, &model, Direction::HostToDevice, MemType::Pinned);
-    let d = SweepValidation::paper_sweep(&mut bus, &model, Direction::DeviceToHost, MemType::Pinned);
+    let h =
+        SweepValidation::paper_sweep(&mut bus, &model, Direction::HostToDevice, MemType::Pinned);
+    let d =
+        SweepValidation::paper_sweep(&mut bus, &model, Direction::DeviceToHost, MemType::Pinned);
     (h.mean_error(), d.mean_error())
 }
 

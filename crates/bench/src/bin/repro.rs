@@ -15,8 +15,22 @@ fn main() {
     args.retain(|a| a != "--json");
     let ids: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
-            "fig2", "fig3", "fig4", "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-            "fig11", "fig12", "table2", "ablations", "memtype", "crossmachine",
+            "fig2",
+            "fig3",
+            "fig4",
+            "table1",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "table2",
+            "ablations",
+            "memtype",
+            "crossmachine",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -27,7 +41,15 @@ fn main() {
     let needs_eval = ids.iter().any(|id| {
         matches!(
             *id,
-            "table1" | "table2" | "fig5" | "fig6" | "fig7" | "fig8" | "fig9" | "fig10" | "fig11"
+            "table1"
+                | "table2"
+                | "fig5"
+                | "fig6"
+                | "fig7"
+                | "fig8"
+                | "fig9"
+                | "fig10"
+                | "fig11"
                 | "fig12"
         )
     });
@@ -60,9 +82,7 @@ fn main() {
             "fig7" => render::fig_speedup_by_size(ev.expect("eval"), "CFD", "7"),
             "fig8" => render::fig_speedup_by_iters(ev.expect("eval"), "CFD", "233K", "8"),
             "fig9" => render::fig_speedup_by_size(ev.expect("eval"), "HotSpot", "9"),
-            "fig10" => {
-                render::fig_speedup_by_iters(ev.expect("eval"), "HotSpot", "1024", "10")
-            }
+            "fig10" => render::fig_speedup_by_iters(ev.expect("eval"), "HotSpot", "1024", "10"),
             "fig11" => render::fig_speedup_by_size(ev.expect("eval"), "SRAD", "11"),
             "fig12" => render::fig_speedup_by_iters(ev.expect("eval"), "SRAD", "4096", "12"),
             "ablations" => ablation::render(EVAL_SEED),

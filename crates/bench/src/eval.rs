@@ -25,12 +25,24 @@ pub struct CaseResult {
 impl CaseResult {
     /// The Table II row at one iteration.
     pub fn speedup_report(&self) -> SpeedupReport {
-        SpeedupReport::build(self.app, &self.dataset, &self.projection, &self.measurement, 1)
+        SpeedupReport::build(
+            self.app,
+            &self.dataset,
+            &self.projection,
+            &self.measurement,
+            1,
+        )
     }
 
     /// An iteration sweep (Figures 8/10/12).
     pub fn sweep(&self, iters: impl IntoIterator<Item = u32>) -> SpeedupSeries {
-        SpeedupSeries::sweep(self.app, &self.dataset, &self.projection, &self.measurement, iters)
+        SpeedupSeries::sweep(
+            self.app,
+            &self.dataset,
+            &self.projection,
+            &self.measurement,
+            iters,
+        )
     }
 }
 
@@ -50,11 +62,23 @@ pub fn evaluate_all(seed: u64) -> Evaluation {
     let gro = Grophecy::calibrate(&machine, &mut node);
     let cases = paper_cases()
         .into_iter()
-        .map(|WorkloadCase { app, dataset, program, hints }| {
-            let projection = gro.project(&program, &hints);
-            let measurement = measure(&mut node, &program, &projection);
-            CaseResult { app, dataset, projection, measurement }
-        })
+        .map(
+            |WorkloadCase {
+                 app,
+                 dataset,
+                 program,
+                 hints,
+             }| {
+                let projection = gro.project(&program, &hints);
+                let measurement = measure(&mut node, &program, &projection);
+                CaseResult {
+                    app,
+                    dataset,
+                    projection,
+                    measurement,
+                }
+            },
+        )
         .collect();
     Evaluation { machine, cases }
 }
@@ -99,14 +123,23 @@ impl Evaluation {
 /// projected bottleneck shifts.
 pub fn cross_machine(seed: u64) -> String {
     use std::fmt::Write as _;
-    let machines =
-        [MachineConfig::anl_eureka_node(seed), MachineConfig::pcie_v2_gt200_node(seed)];
+    let machines = [
+        MachineConfig::anl_eureka_node(seed),
+        MachineConfig::pcie_v2_gt200_node(seed),
+    ];
     let mut rows: Vec<Vec<String>> = Vec::new();
     for m in &machines {
         let mut node = m.node();
         let gro = Grophecy::calibrate(m, &mut node);
-        for (k, WorkloadCase { app, dataset, program, hints }) in
-            paper_cases().into_iter().enumerate()
+        for (
+            k,
+            WorkloadCase {
+                app,
+                dataset,
+                program,
+                hints,
+            },
+        ) in paper_cases().into_iter().enumerate()
         {
             let proj = gro.project(&program, &hints);
             if rows.len() <= k {
@@ -129,9 +162,11 @@ pub fn cross_machine(seed: u64) -> String {
     for r in rows {
         let _ = writeln!(s, "{}  | v1/G80: {} | v2/GT200: {}", r[0], r[1], r[2]);
     }
-    s.push_str("faster links shrink the transfer share, but it stays substantial —
+    s.push_str(
+        "faster links shrink the transfer share, but it stays substantial —
 the paper's conclusion survives a hardware generation.
-");
+",
+    );
     s
 }
 

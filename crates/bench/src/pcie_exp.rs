@@ -101,10 +101,14 @@ pub fn repeatability(seed: u64) -> (f64, f64) {
         let mut pairs = Vec::new();
         for p in 0..=29 {
             let bytes = 1u64 << p;
-            let first: f64 =
-                (0..10).map(|_| bus.transfer(bytes, dir, MemType::Pinned)).sum::<f64>() / 10.0;
-            let second: f64 =
-                (0..10).map(|_| bus.transfer(bytes, dir, MemType::Pinned)).sum::<f64>() / 10.0;
+            let first: f64 = (0..10)
+                .map(|_| bus.transfer(bytes, dir, MemType::Pinned))
+                .sum::<f64>()
+                / 10.0;
+            let second: f64 = (0..10)
+                .map(|_| bus.transfer(bytes, dir, MemType::Pinned))
+                .sum::<f64>()
+                / 10.0;
             pairs.push((first, second));
         }
         err[k] = gpp_pcie::mean_error_magnitude(&pairs);

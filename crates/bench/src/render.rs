@@ -115,7 +115,10 @@ pub fn fig4(seed: u64) -> String {
     let d = pcie_exp::fig4_data(seed);
     let mut s = String::new();
     s.push_str("FIGURE 4 — |error| of the transfer-time model per size (pinned)\n");
-    s.push_str(&format!("{:>10} {:>10} {:>10}\n", "bytes", "h2d err%", "d2h err%"));
+    s.push_str(&format!(
+        "{:>10} {:>10} {:>10}\n",
+        "bytes", "h2d err%", "d2h err%"
+    ));
     for (bytes, e_h2d, e_d2h) in &d.rows {
         s.push_str(&format!("{bytes:>10} {e_h2d:>10.2} {e_d2h:>10.2}\n"));
     }
@@ -137,8 +140,11 @@ pub fn fig5(ev: &Evaluation) -> String {
     ));
     let mut errs = Vec::new();
     for c in &ev.cases {
-        for ((t, meas), pred) in
-            c.measurement.transfer_times.iter().zip(&c.projection.transfer_times)
+        for ((t, meas), pred) in c
+            .measurement
+            .transfer_times
+            .iter()
+            .zip(&c.projection.transfer_times)
         {
             let err = error_magnitude(*pred, *meas);
             errs.push(err);

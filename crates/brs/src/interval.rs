@@ -22,7 +22,12 @@ pub struct Interval {
 impl Interval {
     /// The canonical empty interval.
     pub const fn empty() -> Self {
-        Interval { lo: 0, hi: -1, stride: 1, empty: true }
+        Interval {
+            lo: 0,
+            hi: -1,
+            stride: 1,
+            empty: true,
+        }
     }
 
     /// A dense (stride-1) interval covering `lo ..= hi`.
@@ -51,9 +56,19 @@ impl Interval {
         let span = hi - lo;
         let hi = lo + (span / stride) * stride;
         if lo == hi {
-            Interval { lo, hi, stride: 1, empty: false }
+            Interval {
+                lo,
+                hi,
+                stride: 1,
+                empty: false,
+            }
         } else {
-            Interval { lo, hi, stride, empty: false }
+            Interval {
+                lo,
+                hi,
+                stride,
+                empty: false,
+            }
         }
     }
 

@@ -56,7 +56,9 @@ pub use set::SectionSet;
 ///
 /// `ArrayId`s are allocated by whoever builds the program representation
 /// (see the `gpp-skeleton` crate) and are only meaningful within that scope.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct ArrayId(pub u32);
 
 impl ArrayId {

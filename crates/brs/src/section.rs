@@ -20,14 +20,21 @@ impl Section {
     pub fn new(dims: Vec<Interval>) -> Self {
         if dims.iter().any(Interval::is_empty) {
             let n = dims.len();
-            return Section { dims: vec![Interval::empty(); n] };
+            return Section {
+                dims: vec![Interval::empty(); n],
+            };
         }
         Section { dims }
     }
 
     /// A dense section from `(lo, hi)` bounds per dimension.
     pub fn dense(bounds: &[(i64, i64)]) -> Self {
-        Section::new(bounds.iter().map(|&(lo, hi)| Interval::dense(lo, hi)).collect())
+        Section::new(
+            bounds
+                .iter()
+                .map(|&(lo, hi)| Interval::dense(lo, hi))
+                .collect(),
+        )
     }
 
     /// The section covering an entire array of the given extents
@@ -54,7 +61,9 @@ impl Section {
 
     /// An empty section of the given dimensionality.
     pub fn empty(ndims: usize) -> Self {
-        Section { dims: vec![Interval::empty(); ndims] }
+        Section {
+            dims: vec![Interval::empty(); ndims],
+        }
     }
 
     /// The per-dimension intervals.
@@ -105,7 +114,11 @@ impl Section {
 
     /// True if `other` is entirely contained in `self`. Exact.
     pub fn contains_section(&self, other: &Section) -> bool {
-        assert_eq!(self.ndims(), other.ndims(), "section dimensionality mismatch");
+        assert_eq!(
+            self.ndims(),
+            other.ndims(),
+            "section dimensionality mismatch"
+        );
         if other.is_empty() {
             return true;
         }
@@ -124,7 +137,11 @@ impl Section {
     /// # Panics
     /// Panics if dimensionalities differ.
     pub fn intersect(&self, other: &Section) -> Section {
-        assert_eq!(self.ndims(), other.ndims(), "section dimensionality mismatch");
+        assert_eq!(
+            self.ndims(),
+            other.ndims(),
+            "section dimensionality mismatch"
+        );
         Section::new(
             self.dims
                 .iter()
@@ -145,7 +162,11 @@ impl Section {
     ///
     /// For exact unions use [`crate::SectionSet`].
     pub fn hull(&self, other: &Section) -> Section {
-        assert_eq!(self.ndims(), other.ndims(), "section dimensionality mismatch");
+        assert_eq!(
+            self.ndims(),
+            other.ndims(),
+            "section dimensionality mismatch"
+        );
         if self.is_empty() {
             return other.clone();
         }
@@ -170,7 +191,11 @@ impl Section {
     /// # Panics
     /// Panics if either section is non-dense or dimensionalities differ.
     pub fn subtract_dense(&self, other: &Section) -> Vec<Section> {
-        assert_eq!(self.ndims(), other.ndims(), "section dimensionality mismatch");
+        assert_eq!(
+            self.ndims(),
+            other.ndims(),
+            "section dimensionality mismatch"
+        );
         assert!(
             self.is_dense() && other.is_dense(),
             "subtract_dense requires dense sections"
@@ -211,7 +236,9 @@ impl Section {
             return Box::new(std::iter::once(Vec::new()));
         }
         let head = self.dims[0];
-        let tail = Section { dims: self.dims[1..].to_vec() };
+        let tail = Section {
+            dims: self.dims[1..].to_vec(),
+        };
         Box::new(head.iter().flat_map(move |x| {
             let tail = tail.clone();
             tail.iter_points()

@@ -29,7 +29,11 @@ pub struct SectionSet {
 impl SectionSet {
     /// An empty set over arrays of `ndims` dimensions.
     pub fn empty(ndims: usize) -> Self {
-        SectionSet { ndims, parts: Vec::new(), exact: true }
+        SectionSet {
+            ndims,
+            parts: Vec::new(),
+            exact: true,
+        }
     }
 
     /// A set containing one section.

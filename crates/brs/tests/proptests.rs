@@ -10,14 +10,14 @@ use proptest::prelude::*;
 /// Strategy for arbitrary strided intervals over a small universe so that
 /// brute-force enumeration stays cheap.
 fn interval() -> impl Strategy<Value = Interval> {
-    (0i64..40, 0i64..40, 1i64..6).prop_map(|(lo, span, stride)| Interval::new(lo, lo + span, stride))
+    (0i64..40, 0i64..40, 1i64..6)
+        .prop_map(|(lo, span, stride)| Interval::new(lo, lo + span, stride))
 }
 
 /// Strategy for dense 2-D sections.
 fn dense_section2() -> impl Strategy<Value = Section> {
-    ((0i64..20, 0i64..10), (0i64..20, 0i64..10)).prop_map(|((l0, s0), (l1, s1))| {
-        Section::dense(&[(l0, l0 + s0), (l1, l1 + s1)])
-    })
+    ((0i64..20, 0i64..10), (0i64..20, 0i64..10))
+        .prop_map(|((l0, s0), (l1, s1))| Section::dense(&[(l0, l0 + s0), (l1, l1 + s1)]))
 }
 
 fn members(i: &Interval) -> Vec<i64> {

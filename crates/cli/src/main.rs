@@ -1,22 +1,4 @@
-//! `gpp` — the GROPHECY++ command-line tool.
-//!
-//! ```text
-//! gpp project  <file.gsk> [options]   project kernel + transfer times
-//! gpp measure  <file.gsk> [options]   project, then "measure" on the
-//!                                     simulated node and compare
-//! gpp analyze  <file.gsk> [options]   print the transfer plan
-//! gpp deps     <file.gsk>             inter-kernel dependence report
-//! gpp calibrate [options]             run the two-point PCIe calibration
-//! gpp fmt      <file.gsk>             parse and re-emit (normalize)
-//!
-//! options:
-//!   --machine eureka|v2     target system (default eureka)
-//!   --profile               (project) print simulated kernel profiles
-//!   --seed N                noise seed (default 2013)
-//!   --iters N               iteration count for speedups (default 1)
-//!   --temporary NAME        hint: array is a device-side temporary
-//!   --sparse NAME=BYTES     hint: bound a sparse array's useful bytes
-//! ```
+//! `gpp` — the GROPHECY++ command-line tool. Run `gpp --help` for usage.
 
 use gpp_datausage::{analyze, Hints};
 use gpp_skeleton::text;
@@ -35,10 +17,44 @@ struct Options {
     sparse: Vec<(String, u64)>,
     file: Option<String>,
     profile: bool,
+    addr: String,
+    workers: usize,
+    queue_depth: usize,
+    timeout_secs: u64,
+    remote_command: String,
 }
 
+const USAGE: &str = "\
+gpp — the GROPHECY++ offload advisor
+
+usage:
+  gpp project  <file.gsk> [options]   project kernel + transfer times
+  gpp measure  <file.gsk> [options]   project, then \"measure\" on the
+                                      simulated node and compare
+  gpp analyze  <file.gsk> [options]   print the transfer plan
+  gpp deps     <file.gsk>             inter-kernel dependence report
+  gpp calibrate [options]             run the two-point PCIe calibration
+  gpp fmt      <file.gsk>             parse and re-emit (normalize)
+  gpp serve    [options]              run the projection service (TCP)
+  gpp request  [file.gsk] [options]   send one request to a running server
+
+options:
+  --machine eureka|v2     target system (default eureka)
+  --profile               (project) print simulated kernel profiles
+  --seed N                noise seed (default 2013)
+  --iters N               iteration count for speedups (default 1)
+  --temporary NAME        hint: array is a device-side temporary
+  --sparse NAME=BYTES     hint: bound a sparse array's useful bytes
+  --addr HOST:PORT        (serve/request) address (default 127.0.0.1:4513)
+  --workers N             (serve) worker threads (default 4)
+  --queue-depth N         (serve) bounded accept queue (default 64)
+  --timeout SECS          (serve/request) per-request budget (default 30)
+  --command NAME          (request) project|measure|analyze|deps|calibrate|
+                          stats|ping (default project)
+  --help, -h              print this help";
+
 fn usage() -> ExitCode {
-    eprintln!("{}", include_str!("main.rs").lines().skip(2).take(16).map(|l| l.trim_start_matches("//!").trim_start()).collect::<Vec<_>>().join("\n"));
+    eprintln!("{USAGE}");
     ExitCode::from(2)
 }
 
@@ -47,6 +63,10 @@ fn main() -> ExitCode {
     let Some(cmd) = args.next() else {
         return usage();
     };
+    if cmd == "--help" || cmd == "-h" || cmd == "help" {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
     let mut opt = Options {
         machine: "eureka".into(),
         seed: 2013,
@@ -55,6 +75,11 @@ fn main() -> ExitCode {
         sparse: Vec::new(),
         file: None,
         profile: false,
+        addr: "127.0.0.1:4513".into(),
+        workers: 4,
+        queue_depth: 64,
+        timeout_secs: 30,
+        remote_command: "project".into(),
     };
     let mut args = args.peekable();
     while let Some(a) = args.next() {
@@ -101,6 +126,51 @@ fn main() -> ExitCode {
                 };
                 opt.sparse.push((name.to_string(), bytes));
             }
+            "--addr" => match args.next() {
+                Some(a) => opt.addr = a,
+                None => {
+                    eprintln!("--addr needs HOST:PORT");
+                    return ExitCode::from(2);
+                }
+            },
+            "--workers" => {
+                opt.workers = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(v) => v,
+                    None => {
+                        eprintln!("--workers needs an integer");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--queue-depth" => {
+                opt.queue_depth = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(v) => v,
+                    None => {
+                        eprintln!("--queue-depth needs an integer");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--timeout" => {
+                opt.timeout_secs = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(v) => v,
+                    None => {
+                        eprintln!("--timeout needs an integer (seconds)");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--command" => match args.next() {
+                Some(c) => opt.remote_command = c,
+                None => {
+                    eprintln!("--command needs a command name");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
             other if opt.file.is_none() && !other.starts_with("--") => {
                 opt.file = Some(other.to_string())
             }
@@ -120,8 +190,7 @@ fn main() -> ExitCode {
             print!("{}", gpp_datausage::dependence::render(p, &deps));
             let resident = gpp_datausage::device_resident_arrays(p);
             if !resident.is_empty() {
-                let names: Vec<&str> =
-                    resident.iter().map(|a| p.array(*a).name.as_str()).collect();
+                let names: Vec<&str> = resident.iter().map(|a| p.array(*a).name.as_str()).collect();
                 println!(
                     "device-resident across kernels (never cross the bus): {}",
                     names.join(", ")
@@ -134,7 +203,12 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }),
         "calibrate" => cmd_calibrate(&opt),
-        _ => usage(),
+        "serve" => cmd_serve(&opt),
+        "request" => cmd_request(&opt),
+        other => {
+            eprintln!("unknown command `{other}`\n");
+            usage()
+        }
     }
 }
 
@@ -149,10 +223,7 @@ fn machine_for(opt: &Options) -> Option<MachineConfig> {
     }
 }
 
-fn with_program(
-    opt: &Options,
-    f: impl FnOnce(&Program, &Hints, &Options) -> ExitCode,
-) -> ExitCode {
+fn with_program(opt: &Options, f: impl FnOnce(&Program, &Hints, &Options) -> ExitCode) -> ExitCode {
     let Some(path) = &opt.file else {
         eprintln!("this command needs a skeleton file");
         return ExitCode::from(2);
@@ -190,12 +261,18 @@ fn with_program(
 }
 
 fn cmd_project(program: &Program, hints: &Hints, opt: &Options) -> ExitCode {
-    let Some(machine) = machine_for(opt) else { return ExitCode::from(2) };
+    let Some(machine) = machine_for(opt) else {
+        return ExitCode::from(2);
+    };
     let mut node = machine.node();
     let gro = Grophecy::calibrate(&machine, &mut node);
     let proj = gro.project(program, hints);
     println!("machine: {}", machine.name);
-    println!("PCIe:    h2d {} | d2h {}", gro.pcie_model().h2d, gro.pcie_model().d2h);
+    println!(
+        "PCIe:    h2d {} | d2h {}",
+        gro.pcie_model().h2d,
+        gro.pcie_model().d2h
+    );
     println!();
     for k in &proj.kernels {
         println!(
@@ -214,14 +291,26 @@ fn cmd_project(program: &Program, hints: &Hints, opt: &Options) -> ExitCode {
         }
     }
     println!("\n{}", proj.plan);
-    println!("projected kernel time   : {:>10.3} ms x {} iter(s)", proj.kernel_time * 1e3, opt.iters);
-    println!("projected transfer time : {:>10.3} ms", proj.transfer_time * 1e3);
-    println!("projected total GPU time: {:>10.3} ms", proj.total_time(opt.iters) * 1e3);
+    println!(
+        "projected kernel time   : {:>10.3} ms x {} iter(s)",
+        proj.kernel_time * 1e3,
+        opt.iters
+    );
+    println!(
+        "projected transfer time : {:>10.3} ms",
+        proj.transfer_time * 1e3
+    );
+    println!(
+        "projected total GPU time: {:>10.3} ms",
+        proj.total_time(opt.iters) * 1e3
+    );
     ExitCode::SUCCESS
 }
 
 fn cmd_measure(program: &Program, hints: &Hints, opt: &Options) -> ExitCode {
-    let Some(machine) = machine_for(opt) else { return ExitCode::from(2) };
+    let Some(machine) = machine_for(opt) else {
+        return ExitCode::from(2);
+    };
     let mut node = machine.node();
     let gro = Grophecy::calibrate(&machine, &mut node);
     let proj = gro.project(program, hints);
@@ -252,14 +341,22 @@ fn cmd_measure(program: &Program, hints: &Hints, opt: &Options) -> ExitCode {
         proj.total_time(opt.iters) * 1e3,
         meas.total_time(opt.iters) * 1e3
     );
-    println!("{:<26} {:>9.3} ms", "measured CPU time", meas.cpu_total(opt.iters) * 1e3);
+    println!(
+        "{:<26} {:>9.3} ms",
+        "measured CPU time",
+        meas.cpu_total(opt.iters) * 1e3
+    );
     println!(
         "\nspeedup: measured {:.2}x | predicted {:.2}x (kernel-only {:.2}x, transfer-only {:.2}x)",
         r.measured, r.predicted_combined, r.predicted_kernel_only, r.predicted_transfer_only
     );
     println!(
         "verdict: {}",
-        if r.predicted_combined >= 1.0 { "port it" } else { "don't port" }
+        if r.predicted_combined >= 1.0 {
+            "port it"
+        } else {
+            "don't port"
+        }
     );
     ExitCode::SUCCESS
 }
@@ -273,9 +370,89 @@ fn cmd_analyze(program: &Program, hints: &Hints, _opt: &Options) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_serve(opt: &Options) -> ExitCode {
+    use gpp_serve::{server::signals, ServeConfig, Server};
+    use std::time::Duration;
+    let config = ServeConfig {
+        addr: opt.addr.clone(),
+        workers: opt.workers,
+        queue_depth: opt.queue_depth,
+        request_timeout: Duration::from_secs(opt.timeout_secs),
+        ..ServeConfig::default()
+    };
+    let server = match Server::bind(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {}: {e}", opt.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    signals::install();
+    match server.local_addr() {
+        Ok(addr) => eprintln!(
+            "gpp-serve listening on {addr} ({} workers, queue {})",
+            opt.workers, opt.queue_depth
+        ),
+        Err(e) => eprintln!("gpp-serve listening ({e})"),
+    }
+    if let Err(e) = server.run() {
+        eprintln!("gpp-serve failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("gpp-serve: drained and stopped");
+    ExitCode::SUCCESS
+}
+
+fn cmd_request(opt: &Options) -> ExitCode {
+    use gpp_serve::{request_once, Command, Request};
+    use std::time::Duration;
+    let Some(command) = Command::parse(&opt.remote_command) else {
+        eprintln!(
+            "unknown request command `{}` (known: project, measure, analyze, deps, calibrate, stats, ping)",
+            opt.remote_command
+        );
+        return ExitCode::from(2);
+    };
+    let mut req = Request::new(command);
+    req.machine = opt.machine.clone();
+    req.seed = opt.seed;
+    req.iters = opt.iters;
+    req.temporaries = opt.temporaries.clone();
+    req.sparse = opt.sparse.clone();
+    if command.needs_skeleton() {
+        let Some(path) = &opt.file else {
+            eprintln!("`gpp request --command {command}` needs a skeleton file");
+            return ExitCode::from(2);
+        };
+        req.skeleton = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    }
+    match request_once(&opt.addr, &req, Duration::from_secs(opt.timeout_secs)) {
+        Ok(response) => {
+            println!("{response}");
+            if response.starts_with("{\"ok\":false") {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("request to {} failed: {e}", opt.addr);
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn cmd_calibrate(opt: &Options) -> ExitCode {
     use gpp_pcie::{Direction, MemType, SweepValidation};
-    let Some(machine) = machine_for(opt) else { return ExitCode::from(2) };
+    let Some(machine) = machine_for(opt) else {
+        return ExitCode::from(2);
+    };
     let mut node = machine.node();
     let gro = Grophecy::calibrate(&machine, &mut node);
     println!("machine: {}", machine.name);

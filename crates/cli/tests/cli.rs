@@ -71,7 +71,10 @@ fn measure_stassuij_with_hints_flips_verdict() {
 
 #[test]
 fn fmt_roundtrips() {
-    let out = gpp().args(["fmt", &skeleton_path("vector_add.gsk")]).output().unwrap();
+    let out = gpp()
+        .args(["fmt", &skeleton_path("vector_add.gsk")])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.starts_with("program vector-add"));
@@ -84,7 +87,10 @@ fn fmt_roundtrips() {
 
 #[test]
 fn calibrate_reports_model() {
-    let out = gpp().args(["calibrate", "--machine", "v2"]).output().unwrap();
+    let out = gpp()
+        .args(["calibrate", "--machine", "v2"])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("h2d: T(d)"));
@@ -94,21 +100,35 @@ fn calibrate_reports_model() {
 #[test]
 fn bad_inputs_fail_cleanly() {
     // Unknown file.
-    let out = gpp().args(["project", "/nonexistent.gsk"]).output().unwrap();
+    let out = gpp()
+        .args(["project", "/nonexistent.gsk"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     // Parse error with a line number.
     let tmp = std::env::temp_dir().join("gpp_bad.gsk");
     std::fs::write(&tmp, "program p\nkernel k\n  wat\n").unwrap();
-    let out = gpp().args(["analyze", tmp.to_str().unwrap()]).output().unwrap();
+    let out = gpp()
+        .args(["analyze", tmp.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("line 3"), "{stderr}");
     // Unknown machine.
-    let out = gpp().args(["calibrate", "--machine", "quantum"]).output().unwrap();
+    let out = gpp()
+        .args(["calibrate", "--machine", "quantum"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     // Unknown hint target.
     let out = gpp()
-        .args(["analyze", &skeleton_path("vector_add.gsk"), "--temporary", "nope"])
+        .args([
+            "analyze",
+            &skeleton_path("vector_add.gsk"),
+            "--temporary",
+            "nope",
+        ])
         .output()
         .unwrap();
     assert!(!out.status.success());

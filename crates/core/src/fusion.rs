@@ -62,8 +62,9 @@ pub fn explore_fusion(
         exec * (1.0 + rho * (f64f - 1.0)) + launch / f64f
     };
 
-    let candidates: Vec<(u32, f64)> =
-        (1..=max_factor.max(1)).map(|f| (f, per_iteration(f))).collect();
+    let candidates: Vec<(u32, f64)> = (1..=max_factor.max(1))
+        .map(|f| (f, per_iteration(f)))
+        .collect();
     let &(best_factor, best_time) = candidates
         .iter()
         .min_by(|a, b| a.1.total_cmp(&b.1))
@@ -135,10 +136,7 @@ mod tests {
         let proj = gro.project(&hs.program(), &hs.hints());
         let fa = explore_fusion(&gro, &proj.kernels[0], 1, 12);
         assert_eq!(fa.candidates.len(), 12);
-        assert!(fa
-            .candidates
-            .iter()
-            .all(|&(_, t)| t >= fa.best_time));
+        assert!(fa.candidates.iter().all(|&(_, t)| t >= fa.best_time));
         assert_eq!(fa.candidates[0].1, fa.unfused_time);
         let _ = Hints::new(); // silence unused-import lint paths in some cfgs
     }

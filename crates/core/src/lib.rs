@@ -73,7 +73,7 @@ pub mod speedup;
 
 pub use fusion::{explore_fusion, FusionAnalysis};
 pub use machine::{MachineConfig, SimulatedNode};
-pub use memtype::{DualCalibration, MemTypeReport};
 pub use measurement::{measure, AppMeasurement};
+pub use memtype::{DualCalibration, MemTypeReport};
 pub use projector::{AppProjection, Grophecy};
 pub use speedup::{SpeedupReport, SpeedupSeries};

@@ -87,7 +87,11 @@ mod tests {
             .read(a, &[idx(i) + 1, idx(j) + 2])
             .read(a, &[idx(i) + 2, idx(j) + 1])
             .write(b, &[idx(i) + 1, idx(j) + 1])
-            .flops(Flops { adds: 8, muls: 3, ..Flops::default() })
+            .flops(Flops {
+                adds: 8,
+                muls: 3,
+                ..Flops::default()
+            })
             .finish();
         k.finish();
         let prog = p.build().unwrap();
@@ -97,7 +101,12 @@ mod tests {
     #[test]
     fn plain_lowering_preserves_refs_and_alignment() {
         let chars = stencil_chars();
-        let cfg = Transformation { block_threads: 256, use_shared: false, unroll: 1, thread_axis: None };
+        let cfg = Transformation {
+            block_threads: 256,
+            use_shared: false,
+            unroll: 1,
+            thread_axis: None,
+        };
         let inst = lower(&chars, cfg);
         assert_eq!(inst.block_threads, 256);
         assert_eq!(inst.program.mem_ops.len(), 6);
@@ -112,7 +121,12 @@ mod tests {
     #[test]
     fn shared_lowering_stages_reuse_group() {
         let chars = stencil_chars();
-        let cfg = Transformation { block_threads: 256, use_shared: true, unroll: 1, thread_axis: None };
+        let cfg = Transformation {
+            block_threads: 256,
+            use_shared: true,
+            unroll: 1,
+            thread_axis: None,
+        };
         let inst = lower(&chars, cfg);
         // All 5 stencil loads staged: remaining globals = tile fill + store.
         let globals: Vec<_> = inst.program.mem_ops.iter().filter(|m| !m.shared).collect();
@@ -129,8 +143,16 @@ mod tests {
 
     #[test]
     fn grid_rounds_up_and_is_never_zero() {
-        let chars = KernelCharacteristics { threads: 100, ..stencil_chars() };
-        let cfg = Transformation { block_threads: 256, use_shared: false, unroll: 1, thread_axis: None };
+        let chars = KernelCharacteristics {
+            threads: 100,
+            ..stencil_chars()
+        };
+        let cfg = Transformation {
+            block_threads: 256,
+            use_shared: false,
+            unroll: 1,
+            thread_axis: None,
+        };
         let inst = lower(&chars, cfg);
         assert_eq!(inst.grid_blocks, 1);
     }

@@ -107,7 +107,13 @@ pub fn measure(
 
     let cpu_time = node.cpu.region_time(&cpu_work(program));
 
-    AppMeasurement { kernel_times, kernel_time, transfer_times, transfer_time, cpu_time }
+    AppMeasurement {
+        kernel_times,
+        kernel_time,
+        transfer_times,
+        transfer_time,
+        cpu_time,
+    }
 }
 
 /// Derives the CPU-side work estimate of the ported region: total flops,
@@ -186,7 +192,10 @@ mod tests {
             .read(a, &[idx(i)])
             .read(b, &[idx(i)])
             .write(c, &[idx(i)])
-            .flops(Flops { adds: 1, ..Flops::default() })
+            .flops(Flops {
+                adds: 1,
+                ..Flops::default()
+            })
             .finish();
         k.finish();
         p.build().unwrap()

@@ -68,9 +68,16 @@ impl DualCalibration {
     /// Calibrates both memory types on a bus.
     pub fn run(bus: &mut dyn Bus) -> Self {
         let pinned = Calibrator::default().calibrate(bus);
-        let pageable =
-            Calibrator { mem: MemType::Pageable, ..Calibrator::default() }.calibrate(bus);
-        DualCalibration { pinned, pageable, alloc: AllocModel::cuda2_era() }
+        let pageable = Calibrator {
+            mem: MemType::Pageable,
+            ..Calibrator::default()
+        }
+        .calibrate(bus);
+        DualCalibration {
+            pinned,
+            pageable,
+            alloc: AllocModel::cuda2_era(),
+        }
     }
 
     /// Projects the plan's transfer time under one memory type's model.
@@ -132,11 +139,7 @@ impl Grophecy {
     /// a program's transfer plan on the given bus. (The projector itself
     /// stays pinned-only, matching the paper's assumption; this is the
     /// opt-in future-work analysis.)
-    pub fn explore_memtype(
-        &self,
-        bus: &mut dyn Bus,
-        plan: &TransferPlan,
-    ) -> MemTypeReport {
+    pub fn explore_memtype(&self, bus: &mut dyn Bus, plan: &TransferPlan) -> MemTypeReport {
         DualCalibration::run(bus).explore(plan)
     }
 }

@@ -78,13 +78,23 @@ impl Grophecy {
     /// Builds a projector from an already-fitted PCIe model (used by
     /// ablations that want to inject specific α/β values).
     pub fn with_model(spec: GpuSpec, pcie: DirectionalModel) -> Self {
-        Grophecy { spec, pcie, mem: MemType::Pinned, alloc: None }
+        Grophecy {
+            spec,
+            pcie,
+            mem: MemType::Pinned,
+            alloc: None,
+        }
     }
 
     /// Calibrates against any [`Bus`] implementation.
     pub fn calibrate_on_bus(spec: GpuSpec, bus: &mut dyn Bus) -> Self {
         let pcie = Calibrator::default().calibrate(bus);
-        Grophecy { spec, pcie, mem: MemType::Pinned, alloc: None }
+        Grophecy {
+            spec,
+            pcie,
+            mem: MemType::Pinned,
+            alloc: None,
+        }
     }
 
     /// Enables the allocation-overhead term (paper future work, §VII).
@@ -150,13 +160,24 @@ impl Grophecy {
 
         let alloc_time = self.alloc.map_or(0.0, |a| {
             let device_bytes: u64 = plan.all().map(|t| t.bytes).sum();
-            a.offload_setup(device_bytes, plan.h2d_bytes().max(plan.d2h_bytes()), match self.mem {
-                MemType::Pinned => MemType::Pinned,
-                MemType::Pageable => MemType::Pageable,
-            })
+            a.offload_setup(
+                device_bytes,
+                plan.h2d_bytes().max(plan.d2h_bytes()),
+                match self.mem {
+                    MemType::Pinned => MemType::Pinned,
+                    MemType::Pageable => MemType::Pageable,
+                },
+            )
         });
 
-        AppProjection { kernels, kernel_time, plan, transfer_times, transfer_time, alloc_time }
+        AppProjection {
+            kernels,
+            kernel_time,
+            plan,
+            transfer_times,
+            transfer_time,
+            alloc_time,
+        }
     }
 }
 
@@ -177,7 +198,10 @@ mod tests {
             .read(a, &[idx(i)])
             .read(b, &[idx(i)])
             .write(c, &[idx(i)])
-            .flops(Flops { adds: 1, ..Flops::default() })
+            .flops(Flops {
+                adds: 1,
+                ..Flops::default()
+            })
             .finish();
         k.finish();
         p.build().unwrap()
@@ -230,7 +254,11 @@ mod tests {
     fn calibrated_model_matches_bus_scale() {
         let gro = projector();
         let m = gro.pcie_model();
-        assert!((8.0e-6..13.0e-6).contains(&m.h2d.alpha), "alpha {}", m.h2d.alpha);
+        assert!(
+            (8.0e-6..13.0e-6).contains(&m.h2d.alpha),
+            "alpha {}",
+            m.h2d.alpha
+        );
         assert!((2.2e9..2.8e9).contains(&m.h2d.bandwidth()));
     }
 
@@ -250,7 +278,10 @@ mod tests {
         k.statement()
             .read(a, &[idx(j), idx(i)])
             .write(b, &[idx(j), idx(i)])
-            .flops(Flops { adds: 1, ..Flops::default() })
+            .flops(Flops {
+                adds: 1,
+                ..Flops::default()
+            })
             .finish();
         k.finish();
         let program = p.build().unwrap();
@@ -283,8 +314,8 @@ mod tests {
     fn alloc_model_adds_setup_cost() {
         let machine = MachineConfig::anl_eureka_node(7);
         let mut node = machine.node();
-        let gro = Grophecy::calibrate(&machine, &mut node)
-            .with_alloc_model(AllocModel::cuda2_era());
+        let gro =
+            Grophecy::calibrate(&machine, &mut node).with_alloc_model(AllocModel::cuda2_era());
         let proj = gro.project(&vadd(1 << 22), &Hints::new());
         assert!(proj.alloc_time > 0.0);
         let plain = projector().project(&vadd(1 << 22), &Hints::new());

@@ -31,7 +31,12 @@ pub enum Json {
 impl Json {
     /// Object constructor.
     pub fn obj(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
-        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
     }
 
     /// Renders to a compact JSON string.
@@ -66,9 +71,7 @@ impl Json {
                         '\n' => out.push_str("\\n"),
                         '\r' => out.push_str("\\r"),
                         '\t' => out.push_str("\\t"),
-                        c if (c as u32) < 0x20 => {
-                            out.push_str(&format!("\\u{:04x}", c as u32))
-                        }
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
                         c => out.push(c),
                     }
                 }
@@ -177,10 +180,16 @@ pub fn speedup_json(r: &SpeedupReport) -> Json {
         ("iters", Json::Num(r.iters as f64)),
         ("measured", Json::Num(r.measured)),
         ("predicted_kernel_only", Json::Num(r.predicted_kernel_only)),
-        ("predicted_transfer_only", Json::Num(r.predicted_transfer_only)),
+        (
+            "predicted_transfer_only",
+            Json::Num(r.predicted_transfer_only),
+        ),
         ("predicted_combined", Json::Num(r.predicted_combined)),
         ("error_kernel_only_pct", Json::Num(r.error_kernel_only())),
-        ("error_transfer_only_pct", Json::Num(r.error_transfer_only())),
+        (
+            "error_transfer_only_pct",
+            Json::Num(r.error_transfer_only()),
+        ),
         ("error_combined_pct", Json::Num(r.error_combined())),
         ("kernel_time_error_pct", Json::Num(r.kernel_time_error)),
         ("transfer_time_error_pct", Json::Num(r.transfer_time_error)),

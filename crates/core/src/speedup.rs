@@ -130,7 +130,11 @@ impl SpeedupSeries {
                 }
             })
             .collect();
-        SpeedupSeries { app: app.into(), dataset: dataset.into(), points }
+        SpeedupSeries {
+            app: app.into(),
+            dataset: dataset.into(),
+            points,
+        }
     }
 
     /// The asymptotic (infinite-iteration) limit of each curve:
@@ -185,7 +189,12 @@ mod tests {
             .read(a, &[idx(i) + 1, idx(j) + 2])
             .read(a, &[idx(i) + 2, idx(j) + 1])
             .write(b, &[idx(i) + 1, idx(j) + 1])
-            .flops(Flops { adds: 8, muls: 4, divs: 1, ..Flops::default() })
+            .flops(Flops {
+                adds: 8,
+                muls: 4,
+                divs: 1,
+                ..Flops::default()
+            })
             .finish();
         k.finish();
         p.build().unwrap()
@@ -233,13 +242,7 @@ mod tests {
     #[test]
     fn transfer_aware_is_twice_as_accurate_for_a_while() {
         let (proj, meas) = full_run(1024);
-        let s = SpeedupSeries::sweep(
-            "stencil",
-            "1024",
-            &proj,
-            &meas,
-            [1, 2, 4, 8, 16, 32, 64],
-        );
+        let s = SpeedupSeries::sweep("stencil", "1024", &proj, &meas, [1, 2, 4, 8, 16, 32, 64]);
         let until = s.twice_as_accurate_until();
         assert!(until.is_some(), "transfer-aware never 2x better");
         assert!(until.unwrap() >= 4, "only until {:?}", until);

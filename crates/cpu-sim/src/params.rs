@@ -40,13 +40,13 @@ impl CpuParams {
             cores: 4,
             threads: 8,
             freq_hz: 2.0e9,
-            flops_per_cycle: 8.0,       // 4-wide SSE mul + add
-            compute_efficiency: 0.055,  // scalar compiled loops: far from
-                                        // peak SSE (no vectorization,
-                                        // dependency chains, address math)
-            mem_bw: 6.4e9,              // sustained FSB bandwidth
-            llc_bytes: 6 << 20,         // one die's 6 MB L2 (the pair is
-                                        // split and poorly shared)
+            flops_per_cycle: 8.0,      // 4-wide SSE mul + add
+            compute_efficiency: 0.055, // scalar compiled loops: far from
+            // peak SSE (no vectorization,
+            // dependency chains, address math)
+            mem_bw: 6.4e9,      // sustained FSB bandwidth
+            llc_bytes: 6 << 20, // one die's 6 MB L2 (the pair is
+            // split and poorly shared)
             parallel_efficiency: 0.80,
             region_overhead: 8.0e-6,
             random_line_rate: 140.0e6,

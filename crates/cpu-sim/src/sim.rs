@@ -76,8 +76,7 @@ impl CpuSim {
         let ser_flops = w.flops - par_flops;
         let compute = par_flops / p.effective_flops();
         let memory = dram_bytes / p.mem_bw + w.random_lines / p.random_line_rate;
-        let serial = ser_flops
-            / (p.freq_hz * p.flops_per_cycle * p.compute_efficiency);
+        let serial = ser_flops / (p.freq_hz * p.flops_per_cycle * p.compute_efficiency);
         compute.max(memory) + serial + w.invocations as f64 * p.region_overhead
     }
 
@@ -143,7 +142,10 @@ mod tests {
             parallel_fraction: 1.0,
             random_lines: 0.0,
         };
-        let big = WorkEstimate { working_set: 64 << 20, ..small };
+        let big = WorkEstimate {
+            working_set: 64 << 20,
+            ..small
+        };
         assert!(s.region_time(&small) < s.region_time(&big));
     }
 
@@ -158,15 +160,24 @@ mod tests {
             parallel_fraction: 1.0,
             random_lines: 0.0,
         };
-        let half = WorkEstimate { parallel_fraction: 0.5, ..full };
+        let half = WorkEstimate {
+            parallel_fraction: 0.5,
+            ..full
+        };
         assert!(s.region_time(&half) > s.region_time(&full));
     }
 
     #[test]
     fn invocation_overhead_accumulates() {
         let s = sim();
-        let one = WorkEstimate { invocations: 1, ..streaming(1e6) };
-        let many = WorkEstimate { invocations: 100, ..streaming(1e6) };
+        let one = WorkEstimate {
+            invocations: 1,
+            ..streaming(1e6)
+        };
+        let many = WorkEstimate {
+            invocations: 100,
+            ..streaming(1e6)
+        };
         let diff = s.region_time(&many) - s.region_time(&one);
         assert!((diff - 99.0 * s.params().region_overhead).abs() < 1e-12);
     }
@@ -184,7 +195,10 @@ mod tests {
     fn intensity_helper() {
         let w = streaming(4.0);
         assert_eq!(w.intensity(), 0.25);
-        let inf = WorkEstimate { dram_bytes: 0.0, ..w };
+        let inf = WorkEstimate {
+            dram_bytes: 0.0,
+            ..w
+        };
         assert_eq!(inf.intensity(), f64::INFINITY);
     }
 
@@ -192,7 +206,10 @@ mod tests {
     fn random_lines_add_latency_cost() {
         let s = sim();
         let base = streaming(1e6);
-        let gathering = WorkEstimate { random_lines: 1e7, ..base };
+        let gathering = WorkEstimate {
+            random_lines: 1e7,
+            ..base
+        };
         let dt = s.region_time(&gathering) - s.region_time(&base);
         assert!((dt - 1e7 / s.params().random_line_rate).abs() / dt < 0.3);
     }
@@ -200,7 +217,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "parallel fraction")]
     fn bad_parallel_fraction_panics() {
-        let w = WorkEstimate { parallel_fraction: 1.5, ..streaming(1.0) };
+        let w = WorkEstimate {
+            parallel_fraction: 1.5,
+            ..streaming(1.0)
+        };
         sim().region_time(&w);
     }
 

@@ -79,7 +79,13 @@ fn make_transfer(
         let b = set.byte_count(decl.elem.bytes()).min(decl.byte_count());
         (b, set.is_exact())
     };
-    Transfer { array, name: decl.name.clone(), bytes, dir, exact }
+    Transfer {
+        array,
+        name: decl.name.clone(),
+        bytes,
+        dir,
+        exact,
+    }
 }
 
 #[cfg(test)]
@@ -100,7 +106,11 @@ mod tests {
         k1.statement()
             .read(img, &[idx(i), idx(j)])
             .write(coeff, &[idx(i), idx(j)])
-            .flops(Flops { adds: 4, divs: 1, ..Flops::default() })
+            .flops(Flops {
+                adds: 4,
+                divs: 1,
+                ..Flops::default()
+            })
             .finish();
         k1.finish();
         let mut k2 = p.kernel("update");
@@ -110,7 +120,11 @@ mod tests {
             .read(img, &[idx(i), idx(j)])
             .read(coeff, &[idx(i), idx(j)])
             .write(img, &[idx(i), idx(j)])
-            .flops(Flops { adds: 6, muls: 2, ..Flops::default() })
+            .flops(Flops {
+                adds: 6,
+                muls: 2,
+                ..Flops::default()
+            })
             .finish();
         k2.finish();
         let prog = p.build().unwrap();
@@ -152,7 +166,10 @@ mod tests {
         k1.finish();
         let mut k2 = p.kernel("k2");
         let i = k2.parallel_loop("i", 1000);
-        k2.statement().read(x, &[idx(i)]).write(y, &[idx(i)]).finish();
+        k2.statement()
+            .read(x, &[idx(i)])
+            .write(y, &[idx(i)])
+            .finish();
         k2.finish();
         let prog = p.build().unwrap();
         let plan = analyze(&prog, &Hints::new());
@@ -169,7 +186,10 @@ mod tests {
         let x = p.array("x", ElemType::F32, &[100]);
         let mut k = p.kernel("k");
         let i = k.parallel_loop("i", 100);
-        k.statement().read(x, &[idx(i)]).write(x, &[idx(i)]).finish();
+        k.statement()
+            .read(x, &[idx(i)])
+            .write(x, &[idx(i)])
+            .finish();
         k.finish();
         let prog = p.build().unwrap();
         let plan = analyze(&prog, &Hints::new());
@@ -200,7 +220,10 @@ mod tests {
         assert!(!v.exact);
 
         // Hinted: only nnz × 8 bytes.
-        let plan = analyze(&prog, &Hints::new().sparse_bound(prog.array_by_name("vals").unwrap().id, 3456 * 8));
+        let plan = analyze(
+            &prog,
+            &Hints::new().sparse_bound(prog.array_by_name("vals").unwrap().id, 3456 * 8),
+        );
         let v = plan.h2d.iter().find(|t| t.name == "vals").unwrap();
         assert_eq!(v.bytes, 3456 * 8);
         assert!(v.exact);
@@ -226,7 +249,10 @@ mod tests {
         let _unused = p.array("unused", ElemType::F64, &[1 << 20]);
         let mut k = p.kernel("k");
         let i = k.parallel_loop("i", 100);
-        k.statement().read(a, &[idx(i)]).write(a, &[idx(i)]).finish();
+        k.statement()
+            .read(a, &[idx(i)])
+            .write(a, &[idx(i)])
+            .finish();
         k.finish();
         let prog = p.build().unwrap();
         let plan = analyze(&prog, &Hints::new());

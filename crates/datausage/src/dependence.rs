@@ -35,8 +35,11 @@ pub struct Dependence {
 /// information but impose no ordering.
 pub fn dependences(program: &Program) -> Vec<Dependence> {
     // Collect per-kernel accesses once.
-    let per_kernel: Vec<_> =
-        program.kernels.iter().map(|k| kernel_accesses(k, program)).collect();
+    let per_kernel: Vec<_> = program
+        .kernels
+        .iter()
+        .map(|k| kernel_accesses(k, program))
+        .collect();
 
     let mut out = Vec::new();
     for from in 0..per_kernel.len() {
@@ -51,8 +54,7 @@ pub fn dependences(program: &Program) -> Vec<Dependence> {
                     if from == to && a.kind == b.kind {
                         continue;
                     }
-                    if let Some(kind) =
-                        classify_dependence(a.kind, &a.section, b.kind, &b.section)
+                    if let Some(kind) = classify_dependence(a.kind, &a.section, b.kind, &b.section)
                     {
                         if !kind.is_ordering() {
                             continue;
@@ -79,7 +81,12 @@ pub fn dependences(program: &Program) -> Vec<Dependence> {
 pub fn render(program: &Program, deps: &[Dependence]) -> String {
     use std::fmt::Write as _;
     let mut s = String::new();
-    let _ = writeln!(s, "dependences for `{}` ({} edges):", program.name, deps.len());
+    let _ = writeln!(
+        s,
+        "dependences for `{}` ({} edges):",
+        program.name,
+        deps.len()
+    );
     for d in deps {
         let _ = writeln!(
             s,
@@ -122,7 +129,10 @@ mod tests {
         let coeff = p.array("coeff", ElemType::F32, &[256]);
         let mut k1 = p.kernel("prep");
         let i = k1.parallel_loop("i", 256);
-        k1.statement().read(img, &[idx(i)]).write(coeff, &[idx(i)]).finish();
+        k1.statement()
+            .read(img, &[idx(i)])
+            .write(coeff, &[idx(i)])
+            .finish();
         k1.finish();
         let mut k2 = p.kernel("update");
         let i = k2.parallel_loop("i", 256);
@@ -169,11 +179,17 @@ mod tests {
         let b = pb.array("b", ElemType::F32, &[64]);
         let mut k1 = pb.kernel("ka");
         let i = k1.parallel_loop("i", 64);
-        k1.statement().read(a, &[idx(i)]).write(a, &[idx(i)]).finish();
+        k1.statement()
+            .read(a, &[idx(i)])
+            .write(a, &[idx(i)])
+            .finish();
         k1.finish();
         let mut k2 = pb.kernel("kb");
         let i = k2.parallel_loop("i", 64);
-        k2.statement().read(b, &[idx(i)]).write(b, &[idx(i)]).finish();
+        k2.statement()
+            .read(b, &[idx(i)])
+            .write(b, &[idx(i)])
+            .finish();
         k2.finish();
         let p = pb.build().unwrap();
         let cross: Vec<_> = dependences(&p)
@@ -200,7 +216,10 @@ mod tests {
             .into_iter()
             .filter(|d| d.from_kernel != d.to_kernel)
             .collect();
-        assert!(cross.is_empty(), "exact sections must see the halves as disjoint");
+        assert!(
+            cross.is_empty(),
+            "exact sections must see the halves as disjoint"
+        );
     }
 
     #[test]

@@ -149,7 +149,13 @@ mod tests {
     use super::*;
 
     fn t(id: u32, bytes: u64, dir: TransferDir, exact: bool) -> Transfer {
-        Transfer { array: ArrayId(id), name: format!("a{id}"), bytes, dir, exact }
+        Transfer {
+            array: ArrayId(id),
+            name: format!("a{id}"),
+            bytes,
+            dir,
+            exact,
+        }
     }
 
     fn plan() -> TransferPlan {
@@ -182,7 +188,10 @@ mod tests {
 
     #[test]
     fn batched_empty_side_stays_empty() {
-        let p = TransferPlan { h2d: vec![t(0, 10, TransferDir::ToDevice, true)], d2h: vec![] };
+        let p = TransferPlan {
+            h2d: vec![t(0, 10, TransferDir::ToDevice, true)],
+            d2h: vec![],
+        };
         let b = p.batched();
         assert_eq!(b.h2d.len(), 1);
         assert!(b.d2h.is_empty());

@@ -14,7 +14,7 @@ use std::collections::BTreeMap;
 fn random_program() -> impl Strategy<Value = Program> {
     let ref_strategy = (0usize..3, 0i64..16, any::<bool>());
     (
-        1usize..4,                                     // arrays
+        1usize..4, // arrays
         prop::collection::vec(
             prop::collection::vec(ref_strategy, 1..5), // refs per kernel
             1..4,                                      // kernels
@@ -22,8 +22,9 @@ fn random_program() -> impl Strategy<Value = Program> {
     )
         .prop_map(|(narrays, kernels)| {
             let mut p = ProgramBuilder::new("random");
-            let ids: Vec<_> =
-                (0..narrays).map(|a| p.array(format!("a{a}"), ElemType::F32, &[64])).collect();
+            let ids: Vec<_> = (0..narrays)
+                .map(|a| p.array(format!("a{a}"), ElemType::F32, &[64]))
+                .collect();
             for (ki, refs) in kernels.into_iter().enumerate() {
                 let mut k = p.kernel(format!("k{ki}"));
                 let i = k.parallel_loop("i", 32);

@@ -26,16 +26,24 @@ impl ModelOccupancy {
         }
         let by_blocks = spec.max_blocks_per_sm;
         let by_threads = spec.max_threads_per_sm / block;
-        let by_shared =
-            spec.shared_per_sm.checked_div(k.shared_per_block).unwrap_or(u32::MAX);
-        let by_regs = spec.regs_per_sm.checked_div(regs_per_block).unwrap_or(u32::MAX);
+        let by_shared = spec
+            .shared_per_sm
+            .checked_div(k.shared_per_block)
+            .unwrap_or(u32::MAX);
+        let by_regs = spec
+            .regs_per_sm
+            .checked_div(regs_per_block)
+            .unwrap_or(u32::MAX);
         let mut blocks = by_blocks.min(by_threads).min(by_shared).min(by_regs).max(1);
         // A small grid cannot fill the SMs even if resources would allow.
         let grid_blocks = (k.threads.max(1)).div_ceil(block as u64);
         let grid_share = grid_blocks.div_ceil(spec.sms as u64);
         blocks = blocks.min(grid_share.max(1) as u32);
         let warps_per_block = block.div_ceil(spec.warp_size);
-        Some(ModelOccupancy { blocks_per_sm: blocks, warps_per_sm: blocks * warps_per_block })
+        Some(ModelOccupancy {
+            blocks_per_sm: blocks,
+            warps_per_sm: blocks * warps_per_block,
+        })
     }
 
     /// Fraction of the SM's warp slots occupied.
@@ -51,7 +59,12 @@ mod tests {
 
     fn kernel(block: u32, regs: u32, shared: u32) -> SynthesizedKernel {
         SynthesizedKernel {
-            config: Transformation { block_threads: block, use_shared: shared > 0, unroll: 1, thread_axis: None },
+            config: Transformation {
+                block_threads: block,
+                use_shared: shared > 0,
+                unroll: 1,
+                thread_axis: None,
+            },
             threads: 1 << 20,
             compute_slots: 10.0,
             shared_accesses: 0.0,

@@ -19,7 +19,9 @@
 
 use crate::occupancy::ModelOccupancy;
 use crate::spec::GpuSpec;
-use crate::transform::{candidate_space, synthesize_transformed, SynthesizedKernel, Transformation};
+use crate::transform::{
+    candidate_space, synthesize_transformed, SynthesizedKernel, Transformation,
+};
 use gpp_skeleton::KernelCharacteristics;
 
 /// Pipeline-drain cost of one `__syncthreads()`, in cycles.
@@ -66,11 +68,7 @@ pub struct KernelProjection {
 /// Projects the execution time of one synthesized kernel.
 ///
 /// Returns `None` if the configuration cannot run (occupancy = 0).
-pub fn project(
-    name: &str,
-    spec: &GpuSpec,
-    kernel: &SynthesizedKernel,
-) -> Option<KernelProjection> {
+pub fn project(name: &str, spec: &GpuSpec, kernel: &SynthesizedKernel) -> Option<KernelProjection> {
     let occ = ModelOccupancy::compute(spec, kernel)?;
     let cpi = spec.cycles_per_warp_inst();
     let warp_size = spec.warp_size as f64;
@@ -95,8 +93,8 @@ pub fn project(
     // overlap on an SM.
     let mem_insts = kernel.global_mem_insts();
     let critical_path = mem_insts * spec.mem_latency_cycles + warp_cycles;
-    let latency_time = total_warps * critical_path
-        / (occ.warps_per_sm as f64 * spec.sms as f64 * spec.clock_hz);
+    let latency_time =
+        total_warps * critical_path / (occ.warps_per_sm as f64 * spec.sms as f64 * spec.clock_hz);
 
     let exec = compute_time.max(memory_time).max(latency_time);
     let time = exec + spec.launch_overhead;
@@ -159,7 +157,10 @@ mod tests {
             .read(a, &[idx(i)])
             .read(b, &[idx(i)])
             .write(c, &[idx(i)])
-            .flops(Flops { adds: 1, ..Flops::default() })
+            .flops(Flops {
+                adds: 1,
+                ..Flops::default()
+            })
             .finish();
         k.finish();
         p.build().unwrap()
@@ -179,7 +180,11 @@ mod tests {
             .read(a, &[idx(i) + 1, idx(j) + 2])
             .read(a, &[idx(i) + 2, idx(j) + 1])
             .write(b, &[idx(i) + 1, idx(j) + 1])
-            .flops(Flops { adds: 10, muls: 4, ..Flops::default() })
+            .flops(Flops {
+                adds: 10,
+                muls: 4,
+                ..Flops::default()
+            })
             .finish();
         k.finish();
         p.build().unwrap()
@@ -194,7 +199,12 @@ mod tests {
         assert_eq!(best.bound, ProjectionBound::Memory);
         // 16M threads × 12 B / (76.8 GB/s × 0.85) ≈ 3.08 ms + launch.
         let expect = (1u64 << 24) as f64 * 12.0 / (76.8e9 * 0.80) + spec.launch_overhead;
-        assert!((best.time / expect - 1.0).abs() < 0.01, "{} vs {}", best.time, expect);
+        assert!(
+            (best.time / expect - 1.0).abs() < 0.01,
+            "{} vs {}",
+            best.time,
+            expect
+        );
         assert!(all.len() > 3);
     }
 
@@ -219,9 +229,7 @@ mod tests {
         let chars = prog.kernels[0].characteristics(&prog);
         let spec = GpuSpec::quadro_fx_5600();
         let (best, all) = project_best("add", &chars, &spec);
-        assert!(all
-            .iter()
-            .any(|p| p.bound == ProjectionBound::Latency));
+        assert!(all.iter().any(|p| p.bound == ProjectionBound::Latency));
         assert!(best.config.block_threads >= 256, "best: {}", best.config);
         let worst = all.last().unwrap();
         assert_eq!(worst.bound, ProjectionBound::Latency);

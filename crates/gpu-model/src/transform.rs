@@ -38,7 +38,12 @@ pub struct Transformation {
 impl Transformation {
     /// A default-mapped transformation with the given block size.
     pub fn with_block(block_threads: u32) -> Self {
-        Transformation { block_threads, use_shared: false, unroll: 1, thread_axis: None }
+        Transformation {
+            block_threads,
+            use_shared: false,
+            unroll: 1,
+            thread_axis: None,
+        }
     }
 }
 
@@ -49,7 +54,11 @@ impl std::fmt::Display for Transformation {
             "block={}{}{}{}",
             self.block_threads,
             if self.use_shared { ", smem" } else { "" },
-            if self.unroll > 1 { format!(", unroll={}", self.unroll) } else { String::new() },
+            if self.unroll > 1 {
+                format!(", unroll={}", self.unroll)
+            } else {
+                String::new()
+            },
             match self.thread_axis {
                 Some(l) => format!(", axis=i{}", l.0),
                 None => String::new(),
@@ -67,9 +76,16 @@ const BASE_REGS: u32 = 10;
 /// reusable loads; unrolling only when there is a serial loop to unroll.
 pub fn candidate_space(chars: &KernelCharacteristics, spec: &GpuSpec) -> Vec<Transformation> {
     let mut out = Vec::new();
-    let shared_options: &[bool] =
-        if chars.sharable_load_fraction > 0.0 { &[false, true] } else { &[false] };
-    let unroll_options: &[u8] = if chars.serial_iters > 1 { &[1, 2, 4] } else { &[1] };
+    let shared_options: &[bool] = if chars.sharable_load_fraction > 0.0 {
+        &[false, true]
+    } else {
+        &[false]
+    };
+    let unroll_options: &[u8] = if chars.serial_iters > 1 {
+        &[1, 2, 4]
+    } else {
+        &[1]
+    };
     for &block_threads in &[64u32, 128, 192, 256, 384, 512] {
         if block_threads > spec.max_threads_per_block {
             continue;
@@ -223,13 +239,10 @@ impl SynthesizedKernel {
                     // per-transaction penalty of the target architecture.
                     CoalesceClass::Coalesced if op.aligned => half * op.elem_bytes as f64,
                     CoalesceClass::Coalesced => {
-                        spec.misaligned_halfwarp_transactions.min(half)
-                            * spec.segment_bytes as f64
+                        spec.misaligned_halfwarp_transactions.min(half) * spec.segment_bytes as f64
                     }
                     CoalesceClass::Broadcast => spec.segment_bytes as f64,
-                    CoalesceClass::Strided(s) => {
-                        (s as f64).min(half) * spec.segment_bytes as f64
-                    }
+                    CoalesceClass::Strided(s) => (s as f64).min(half) * spec.segment_bytes as f64,
                     CoalesceClass::Irregular => half * spec.segment_bytes as f64,
                 };
                 op.per_thread * per_halfwarp / half
@@ -264,7 +277,11 @@ mod tests {
             .read(a, &[idx(i) + 1, idx(j) + 2])
             .read(a, &[idx(i) + 2, idx(j) + 1])
             .write(b, &[idx(i) + 1, idx(j) + 1])
-            .flops(Flops { adds: 6, muls: 4, ..Flops::default() })
+            .flops(Flops {
+                adds: 6,
+                muls: 4,
+                ..Flops::default()
+            })
             .finish();
         k.finish();
         let prog = p.build().unwrap();
@@ -282,7 +299,10 @@ mod tests {
             .read(a, &[idx(i)])
             .read(b, &[idx(i)])
             .write(c, &[idx(i)])
-            .flops(Flops { adds: 1, ..Flops::default() })
+            .flops(Flops {
+                adds: 1,
+                ..Flops::default()
+            })
             .finish();
         k.finish();
         let prog = p.build().unwrap();
@@ -306,11 +326,21 @@ mod tests {
         let spec = GpuSpec::quadro_fx_5600();
         let plain = synthesize_transformed(
             &chars,
-            Transformation { block_threads: 256, use_shared: false, unroll: 1, thread_axis: None },
+            Transformation {
+                block_threads: 256,
+                use_shared: false,
+                unroll: 1,
+                thread_axis: None,
+            },
         );
         let staged = synthesize_transformed(
             &chars,
-            Transformation { block_threads: 256, use_shared: true, unroll: 1, thread_axis: None },
+            Transformation {
+                block_threads: 256,
+                use_shared: true,
+                unroll: 1,
+                thread_axis: None,
+            },
         );
         assert!(staged.global_bytes_per_thread(&spec) < plain.global_bytes_per_thread(&spec));
         assert!(staged.shared_accesses > 0.0);
@@ -321,14 +351,27 @@ mod tests {
 
     #[test]
     fn unroll_trims_compute_and_costs_registers() {
-        let chars = KernelCharacteristics { serial_iters: 8, ..stencil_chars() };
+        let chars = KernelCharacteristics {
+            serial_iters: 8,
+            ..stencil_chars()
+        };
         let plain = synthesize_transformed(
             &chars,
-            Transformation { block_threads: 128, use_shared: false, unroll: 1, thread_axis: None },
+            Transformation {
+                block_threads: 128,
+                use_shared: false,
+                unroll: 1,
+                thread_axis: None,
+            },
         );
         let unrolled = synthesize_transformed(
             &chars,
-            Transformation { block_threads: 128, use_shared: false, unroll: 4, thread_axis: None },
+            Transformation {
+                block_threads: 128,
+                use_shared: false,
+                unroll: 4,
+                thread_axis: None,
+            },
         );
         assert!(unrolled.compute_slots < plain.compute_slots);
         assert!(unrolled.regs_per_thread > plain.regs_per_thread);
@@ -340,7 +383,12 @@ mod tests {
         let spec = GpuSpec::quadro_fx_5600();
         let s = synthesize_transformed(
             &chars,
-            Transformation { block_threads: 256, use_shared: false, unroll: 1, thread_axis: None },
+            Transformation {
+                block_threads: 256,
+                use_shared: false,
+                unroll: 1,
+                thread_axis: None,
+            },
         );
         // 2 loads + 1 store of 4 B, all coalesced: 12 useful bytes.
         assert!((s.global_bytes_per_thread(&spec) - 12.0).abs() < 1e-12);
@@ -349,7 +397,12 @@ mod tests {
 
     #[test]
     fn display_mentions_options() {
-        let t = Transformation { block_threads: 128, use_shared: true, unroll: 4, thread_axis: None };
+        let t = Transformation {
+            block_threads: 128,
+            use_shared: true,
+            unroll: 4,
+            thread_axis: None,
+        };
         let s = t.to_string();
         assert!(s.contains("128") && s.contains("smem") && s.contains("unroll=4"));
     }

@@ -8,12 +8,16 @@ use proptest::prelude::*;
 /// A simple parameterized streaming kernel's characteristics.
 fn chars(n: u64, loads: u8, flops: u32) -> KernelCharacteristics {
     let mut p = ProgramBuilder::new("t");
-    let arrays: Vec<_> =
-        (0..loads.max(1)).map(|k| p.array(format!("a{k}"), ElemType::F32, &[n as usize])).collect();
+    let arrays: Vec<_> = (0..loads.max(1))
+        .map(|k| p.array(format!("a{k}"), ElemType::F32, &[n as usize]))
+        .collect();
     let out = p.array("out", ElemType::F32, &[n as usize]);
     let mut k = p.kernel("k");
     let i = k.parallel_loop("i", n);
-    let mut s = k.statement().flops(Flops { adds: flops, ..Flops::default() });
+    let mut s = k.statement().flops(Flops {
+        adds: flops,
+        ..Flops::default()
+    });
     for a in &arrays {
         s = s.read(*a, &[idx(i)]);
     }

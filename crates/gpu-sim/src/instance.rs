@@ -31,12 +31,26 @@ pub struct MemOp {
 impl MemOp {
     /// A simple aligned, coalesced global load executed `count` times.
     pub fn coalesced_load(bytes: u32, count: f64) -> Self {
-        MemOp { bytes, class: CoalesceClass::Coalesced, count, is_load: true, shared: false, aligned: true }
+        MemOp {
+            bytes,
+            class: CoalesceClass::Coalesced,
+            count,
+            is_load: true,
+            shared: false,
+            aligned: true,
+        }
     }
 
     /// A simple aligned, coalesced global store executed `count` times.
     pub fn coalesced_store(bytes: u32, count: f64) -> Self {
-        MemOp { bytes, class: CoalesceClass::Coalesced, count, is_load: false, shared: false, aligned: true }
+        MemOp {
+            bytes,
+            class: CoalesceClass::Coalesced,
+            count,
+            is_load: false,
+            shared: false,
+            aligned: true,
+        }
     }
 }
 
@@ -68,7 +82,11 @@ impl ThreadProgram {
 
     /// Number of global memory instructions per thread.
     pub fn global_mem_insts(&self) -> f64 {
-        self.mem_ops.iter().filter(|m| !m.shared).map(|m| m.count).sum()
+        self.mem_ops
+            .iter()
+            .filter(|m| !m.shared)
+            .map(|m| m.count)
+            .sum()
     }
 }
 
@@ -129,7 +147,10 @@ mod tests {
             mem_ops: vec![
                 MemOp::coalesced_load(4, 2.0),
                 MemOp::coalesced_store(4, 1.0),
-                MemOp { shared: true, ..MemOp::coalesced_load(4, 3.0) },
+                MemOp {
+                    shared: true,
+                    ..MemOp::coalesced_load(4, 3.0)
+                },
             ],
             syncs: 1,
             active_fraction: 1.0,

@@ -58,9 +58,14 @@ impl Occupancy {
 
         let by_blocks = device.max_blocks_per_sm;
         let by_threads = device.max_threads_per_sm / kernel.block_threads;
-        let by_shared =
-            device.shared_per_sm.checked_div(kernel.shared_per_block).unwrap_or(u32::MAX);
-        let by_regs = device.regs_per_sm.checked_div(regs_per_block).unwrap_or(u32::MAX);
+        let by_shared = device
+            .shared_per_sm
+            .checked_div(kernel.shared_per_block)
+            .unwrap_or(u32::MAX);
+        let by_regs = device
+            .regs_per_sm
+            .checked_div(regs_per_block)
+            .unwrap_or(u32::MAX);
 
         let mut blocks = by_blocks.min(by_threads).min(by_shared).min(by_regs);
         let mut limiter = if blocks == by_blocks {

@@ -45,7 +45,11 @@ pub fn profile(device: &DeviceParams, kernel: &KernelInstance) -> String {
         s,
         "waves: {} full{}",
         b.full_waves,
-        if b.has_partial_wave { " + 1 partial (tail)" } else { "" }
+        if b.has_partial_wave {
+            " + 1 partial (tail)"
+        } else {
+            ""
+        }
     );
     let _ = writeln!(s, "bound: {}", b.bound);
     let _ = writeln!(
@@ -53,7 +57,11 @@ pub fn profile(device: &DeviceParams, kernel: &KernelInstance) -> String {
         "dram traffic: {:.2} MB moved for {:.2} MB useful ({:.0}% overhead)",
         b.dram_bytes / (1 << 20) as f64,
         useful / (1 << 20) as f64,
-        if useful > 0.0 { (b.dram_bytes / useful - 1.0) * 100.0 } else { 0.0 }
+        if useful > 0.0 {
+            (b.dram_bytes / useful - 1.0) * 100.0
+        } else {
+            0.0
+        }
     );
     let _ = writeln!(
         s,
@@ -77,7 +85,10 @@ mod tests {
             256,
             ThreadProgram {
                 compute_slots: 8.0,
-                mem_ops: vec![MemOp { aligned, ..MemOp::coalesced_load(4, 2.0) }],
+                mem_ops: vec![MemOp {
+                    aligned,
+                    ..MemOp::coalesced_load(4, 2.0)
+                }],
                 syncs: 0,
                 active_fraction: 1.0,
             },

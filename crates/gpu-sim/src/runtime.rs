@@ -71,7 +71,12 @@ pub struct DeviceMemory {
 impl DeviceMemory {
     /// A fresh memory of the given capacity.
     pub fn new(capacity: u64) -> Self {
-        DeviceMemory { capacity, allocations: BTreeMap::new(), next_id: 1, peak: 0 }
+        DeviceMemory {
+            capacity,
+            allocations: BTreeMap::new(),
+            next_id: 1,
+            peak: 0,
+        }
     }
 
     /// Capacity in bytes.
@@ -97,7 +102,10 @@ impl DeviceMemory {
     /// Allocates `bytes` (like `cudaMalloc`).
     pub fn alloc(&mut self, bytes: u64) -> Result<DeviceBuffer, RuntimeError> {
         if bytes > self.free_bytes() {
-            return Err(RuntimeError::OutOfMemory { requested: bytes, free: self.free_bytes() });
+            return Err(RuntimeError::OutOfMemory {
+                requested: bytes,
+                free: self.free_bytes(),
+            });
         }
         let id = self.next_id;
         self.next_id += 1;
@@ -128,7 +136,11 @@ impl DeviceContext {
     /// Creates a context for a device with a noise seed.
     pub fn new(device: DeviceParams, seed: u64) -> Self {
         let memory = DeviceMemory::new(device.dram_bytes);
-        DeviceContext { memory, sim: GpuSim::new(device, seed), timeline: 0.0 }
+        DeviceContext {
+            memory,
+            sim: GpuSim::new(device, seed),
+            timeline: 0.0,
+        }
     }
 
     /// The memory book-keeper.

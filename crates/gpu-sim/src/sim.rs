@@ -30,7 +30,11 @@ pub struct GpuSim {
 impl GpuSim {
     /// Creates a simulator for a device with a noise seed.
     pub fn new(device: DeviceParams, seed: u64) -> Self {
-        GpuSim { device, rng: StdRng::seed_from_u64(seed), launches: 0 }
+        GpuSim {
+            device,
+            rng: StdRng::seed_from_u64(seed),
+            launches: 0,
+        }
     }
 
     /// The device description.
@@ -64,7 +68,11 @@ impl GpuSim {
         let jitter = (0.3e-6 * (-2.0 * u1.ln()).sqrt() * u2.sin()).abs();
         let time =
             (self.device.launch_overhead + exec * (1.0 + sigma * z) + jitter).max(exec * 0.5);
-        KernelTiming { time, ideal_exec: exec, breakdown }
+        KernelTiming {
+            time,
+            ideal_exec: exec,
+            breakdown,
+        }
     }
 
     /// Launches a kernel `runs` times and returns the arithmetic-mean time
@@ -87,7 +95,10 @@ mod tests {
             256,
             ThreadProgram {
                 compute_slots: 4.0,
-                mem_ops: vec![MemOp::coalesced_load(4, 2.0), MemOp::coalesced_store(4, 1.0)],
+                mem_ops: vec![
+                    MemOp::coalesced_load(4, 2.0),
+                    MemOp::coalesced_store(4, 1.0),
+                ],
                 syncs: 0,
                 active_fraction: 1.0,
             },
@@ -115,7 +126,10 @@ mod tests {
     fn seeded_determinism() {
         let mut a = GpuSim::new(DeviceParams::quadro_fx_5600(), 9);
         let mut b = GpuSim::new(DeviceParams::quadro_fx_5600(), 9);
-        assert_eq!(a.launch(&kernel(1 << 20)).time, b.launch(&kernel(1 << 20)).time);
+        assert_eq!(
+            a.launch(&kernel(1 << 20)).time,
+            b.launch(&kernel(1 << 20)).time
+        );
         assert_eq!(a.launch_count(), 1);
     }
 
@@ -139,7 +153,10 @@ mod tests {
             256,
             ThreadProgram {
                 compute_slots: 1.0,
-                mem_ops: vec![MemOp::coalesced_load(4, 2.0), MemOp::coalesced_store(4, 1.0)],
+                mem_ops: vec![
+                    MemOp::coalesced_load(4, 2.0),
+                    MemOp::coalesced_store(4, 1.0),
+                ],
                 syncs: 0,
                 active_fraction: 1.0,
             },

@@ -89,7 +89,9 @@ fn transactions_per_halfwarp(device: &DeviceParams, op: &MemOp) -> f64 {
         CoalesceClass::Coalesced => {
             // A half-warp touches half×bytes contiguous bytes =
             // that many segments if aligned.
-            let segs = (half * op.bytes as f64 / device.segment_bytes as f64).ceil().max(1.0);
+            let segs = (half * op.bytes as f64 / device.segment_bytes as f64)
+                .ceil()
+                .max(1.0);
             if op.aligned {
                 segs
             } else {
@@ -108,11 +110,16 @@ fn warp_costs(device: &DeviceParams, prog: &ThreadProgram) -> WarpCosts {
     let cpi = device.cycles_per_warp_inst();
     let divergence = 1.0 / prog.active_fraction.clamp(1e-6, 1.0);
 
-    let shared_insts: f64 = prog.mem_ops.iter().filter(|m| m.shared).map(|m| m.count).sum();
+    let shared_insts: f64 = prog
+        .mem_ops
+        .iter()
+        .filter(|m| m.shared)
+        .map(|m| m.count)
+        .sum();
     // Arithmetic + shared-memory accesses issue from the same pipeline;
     // barriers cost a pipeline drain each.
-    let compute_cycles = (prog.compute_slots + shared_insts) * cpi * divergence
-        + prog.syncs as f64 * 24.0;
+    let compute_cycles =
+        (prog.compute_slots + shared_insts) * cpi * divergence + prog.syncs as f64 * 24.0;
 
     let mut mem_insts = 0.0;
     let mut stream_bytes = 0.0;
@@ -125,8 +132,10 @@ fn warp_costs(device: &DeviceParams, prog: &ThreadProgram) -> WarpCosts {
         // Misaligned-but-sequential accesses still walk consecutive DRAM
         // rows, so they count as streaming; only strided/irregular
         // patterns thrash row buffers.
-        let streaming =
-            matches!(op.class, CoalesceClass::Coalesced | CoalesceClass::Broadcast);
+        let streaming = matches!(
+            op.class,
+            CoalesceClass::Coalesced | CoalesceClass::Broadcast
+        );
         if streaming {
             stream_bytes += bytes;
         } else {
@@ -134,7 +143,12 @@ fn warp_costs(device: &DeviceParams, prog: &ThreadProgram) -> WarpCosts {
         }
     }
 
-    WarpCosts { compute_cycles, mem_insts, stream_bytes, scatter_bytes }
+    WarpCosts {
+        compute_cycles,
+        mem_insts,
+        stream_bytes,
+        scatter_bytes,
+    }
 }
 
 /// Cycles for one wave with `warps` resident warps per SM.
@@ -145,8 +159,7 @@ fn wave_cycles(device: &DeviceParams, costs: &WarpCosts, warps: u32) -> (f64, Bo
     // the wave's traffic; scattered traffic runs at reduced DRAM
     // efficiency (row-buffer thrash).
     let bw_per_sm = device.effective_mem_bw() / device.sms as f64;
-    let service_bytes =
-        costs.stream_bytes + costs.scatter_bytes / device.scatter_efficiency;
+    let service_bytes = costs.stream_bytes + costs.scatter_bytes / device.scatter_efficiency;
     let bandwidth_total = w * service_bytes / bw_per_sm * device.clock_hz;
     // One warp's serial critical path: issue each memory instruction, wait
     // out its latency, interleave compute.
@@ -213,7 +226,10 @@ mod tests {
             256,
             ThreadProgram {
                 compute_slots: 2.0,
-                mem_ops: vec![MemOp::coalesced_load(4, 2.0), MemOp::coalesced_store(4, 1.0)],
+                mem_ops: vec![
+                    MemOp::coalesced_load(4, 2.0),
+                    MemOp::coalesced_store(4, 1.0),
+                ],
                 syncs: 0,
                 active_fraction: 1.0,
             },
@@ -226,7 +242,11 @@ mod tests {
         assert_eq!(t.bound, Bound::Bandwidth);
         // 4M threads × 12 B = 48 MB of useful traffic; with 64 B segments
         // and perfect coalescing there is no waste.
-        assert!((t.dram_bytes - 48.0 * (1 << 20) as f64).abs() < 1e3, "{}", t.dram_bytes);
+        assert!(
+            (t.dram_bytes - 48.0 * (1 << 20) as f64).abs() < 1e3,
+            "{}",
+            t.dram_bytes
+        );
         // Time ≈ bytes / effective bw.
         let secs = t.cycles / device().clock_hz;
         let expect = t.dram_bytes / device().effective_mem_bw();
@@ -289,10 +309,7 @@ mod tests {
         // On a relaxed-coalescing device the penalty shrinks.
         let t_c1060 = time_kernel(&DeviceParams::tesla_c1060(), &k);
         let frac_g80 = t_mis.dram_bytes / t_ok.dram_bytes;
-        let t_ok_c1060 = time_kernel(
-            &DeviceParams::tesla_c1060(),
-            &streaming_kernel(1 << 20),
-        );
+        let t_ok_c1060 = time_kernel(&DeviceParams::tesla_c1060(), &streaming_kernel(1 << 20));
         let frac_gt200 = t_c1060.dram_bytes / t_ok_c1060.dram_bytes;
         assert!(frac_gt200 < frac_g80);
     }
@@ -398,7 +415,10 @@ mod tests {
                 256,
                 ThreadProgram {
                     compute_slots: 1.0,
-                    mem_ops: vec![MemOp { class, ..MemOp::coalesced_load(16, 1.0) }],
+                    mem_ops: vec![MemOp {
+                        class,
+                        ..MemOp::coalesced_load(16, 1.0)
+                    }],
                     syncs: 0,
                     active_fraction: 1.0,
                 },

@@ -18,7 +18,13 @@ fn any_program() -> impl Strategy<Value = ThreadProgram> {
     (
         0.0f64..200.0,
         prop::collection::vec(
-            (prop_oneof![Just(4u32), Just(8), Just(16)], any_class(), 1.0f64..8.0, any::<bool>(), any::<bool>()),
+            (
+                prop_oneof![Just(4u32), Just(8), Just(16)],
+                any_class(),
+                1.0f64..8.0,
+                any::<bool>(),
+                any::<bool>(),
+            ),
             0..5,
         ),
         0u32..3,

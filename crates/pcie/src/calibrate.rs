@@ -30,7 +30,12 @@ pub struct Calibrator {
 
 impl Default for Calibrator {
     fn default() -> Self {
-        Calibrator { small_bytes: 1, large_bytes: 512 << 20, runs: 10, mem: MemType::Pinned }
+        Calibrator {
+            small_bytes: 1,
+            large_bytes: 512 << 20,
+            runs: 10,
+            mem: MemType::Pinned,
+        }
     }
 }
 
@@ -53,8 +58,9 @@ impl Calibrator {
 
     fn mean_time(&self, bus: &mut dyn Bus, bytes: u64, dir: Direction) -> f64 {
         let runs = self.runs.max(1);
-        let mut samples: Vec<f64> =
-            (0..runs).map(|_| bus.transfer(bytes, dir, self.mem)).collect();
+        let mut samples: Vec<f64> = (0..runs)
+            .map(|_| bus.transfer(bytes, dir, self.mem))
+            .collect();
         // The paper averages ten runs "to reduce the impact of noise"; we
         // additionally trim the extremes so a single OS preemption landing
         // on a microsecond-scale calibration transfer cannot poison α —
@@ -84,7 +90,11 @@ struct MemTypeKey(MemType);
 impl<B: Bus> CalibratedBus<B> {
     /// Wraps a bus with a calibrator.
     pub fn new(bus: B, calibrator: Calibrator) -> Self {
-        CalibratedBus { bus: Mutex::new(bus), calibrator, cache: Mutex::new(HashMap::new()) }
+        CalibratedBus {
+            bus: Mutex::new(bus),
+            calibrator,
+            cache: Mutex::new(HashMap::new()),
+        }
     }
 
     /// The calibrated model for a memory type, measuring it on first
@@ -123,8 +133,16 @@ mod tests {
         let m = Calibrator::default().calibrate(&mut bus);
         // α should be the small-transfer latency (~9.5/11 µs),
         // 1/β the effective bandwidth (~2.5 GB/s).
-        assert!((9.0e-6..10.5e-6).contains(&m.h2d.alpha), "alpha {}", m.h2d.alpha);
-        assert!((10.5e-6..12.0e-6).contains(&m.d2h.alpha), "alpha {}", m.d2h.alpha);
+        assert!(
+            (9.0e-6..10.5e-6).contains(&m.h2d.alpha),
+            "alpha {}",
+            m.h2d.alpha
+        );
+        assert!(
+            (10.5e-6..12.0e-6).contains(&m.d2h.alpha),
+            "alpha {}",
+            m.d2h.alpha
+        );
         assert!((2.3e9..2.7e9).contains(&m.h2d.bandwidth()));
     }
 
@@ -177,7 +195,10 @@ mod tests {
     #[test]
     fn zero_runs_clamped_to_one() {
         let mut bus = BusSimulator::new(BusParams::pcie_v1_x16().quiet(), 1);
-        let cal = Calibrator { runs: 0, ..Calibrator::default() };
+        let cal = Calibrator {
+            runs: 0,
+            ..Calibrator::default()
+        };
         let m = cal.calibrate(&mut bus);
         assert!(m.h2d.alpha > 0.0);
     }

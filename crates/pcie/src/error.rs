@@ -14,7 +14,10 @@ use crate::Bus;
 /// # Panics
 /// Panics if `measured` is not strictly positive.
 pub fn error_magnitude(predicted: f64, measured: f64) -> f64 {
-    assert!(measured > 0.0, "measured value must be positive, got {measured}");
+    assert!(
+        measured > 0.0,
+        "measured value must be positive, got {measured}"
+    );
     ((predicted - measured) / measured).abs() * 100.0
 }
 
@@ -23,7 +26,11 @@ pub fn mean_error_magnitude(pairs: &[(f64, f64)]) -> f64 {
     if pairs.is_empty() {
         return 0.0;
     }
-    pairs.iter().map(|&(p, m)| error_magnitude(p, m)).sum::<f64>() / pairs.len() as f64
+    pairs
+        .iter()
+        .map(|&(p, m)| error_magnitude(p, m))
+        .sum::<f64>()
+        / pairs.len() as f64
 }
 
 /// One row of the validation sweep: a transfer size with its measured and
@@ -80,7 +87,11 @@ impl SweepValidation {
                     .map(|_| bus.transfer(bytes, dir, mem))
                     .sum::<f64>()
                     / runs as f64;
-                SweepPoint { bytes, measured, predicted: model.predict(bytes, dir) }
+                SweepPoint {
+                    bytes,
+                    measured,
+                    predicted: model.predict(bytes, dir),
+                }
             })
             .collect();
         SweepValidation { dir, mem, points }
@@ -106,7 +117,10 @@ impl SweepValidation {
 
     /// Maximum error magnitude across sizes.
     pub fn max_error(&self) -> f64 {
-        self.points.iter().map(SweepPoint::error).fold(0.0, f64::max)
+        self.points
+            .iter()
+            .map(SweepPoint::error)
+            .fold(0.0, f64::max)
     }
 
     /// Mean error over only the points at or above the given size — the
@@ -158,9 +172,18 @@ mod tests {
     fn quiet_sweep_error_is_tiny_at_large_sizes() {
         let mut bus = BusSimulator::new(BusParams::pcie_v1_x16().quiet(), 1);
         let model = Calibrator::default().calibrate(&mut bus);
-        let v = SweepValidation::paper_sweep(&mut bus, &model, Direction::HostToDevice, MemType::Pinned);
+        let v = SweepValidation::paper_sweep(
+            &mut bus,
+            &model,
+            Direction::HostToDevice,
+            MemType::Pinned,
+        );
         // Above 1 MB the linear model matches the mechanism almost exactly.
-        assert!(v.mean_error_above(1 << 20) < 0.5, "err {}", v.mean_error_above(1 << 20));
+        assert!(
+            v.mean_error_above(1 << 20) < 0.5,
+            "err {}",
+            v.mean_error_above(1 << 20)
+        );
         assert_eq!(v.points.len(), 30);
     }
 
@@ -180,11 +203,21 @@ mod tests {
     #[test]
     fn error_is_larger_at_small_sizes() {
         // Paper: "the relative error is larger at smaller data sizes".
-        let mut bus = BusSimulator::new(BusParams::pcie_v1_x16(), 11);
-        let model = Calibrator::default().calibrate(&mut bus);
-        let v = SweepValidation::paper_sweep(&mut bus, &model, Direction::HostToDevice, MemType::Pinned);
-        let small = mean_of(&v.points[0..10]);
-        let large = mean_of(&v.points[20..30]);
+        // A statistical property, so aggregate over several noise seeds
+        // rather than depending on one RNG stream landing favorably.
+        let (mut small, mut large) = (0.0, 0.0);
+        for seed in 1..=8 {
+            let mut bus = BusSimulator::new(BusParams::pcie_v1_x16(), seed);
+            let model = Calibrator::default().calibrate(&mut bus);
+            let v = SweepValidation::paper_sweep(
+                &mut bus,
+                &model,
+                Direction::HostToDevice,
+                MemType::Pinned,
+            );
+            small += mean_of(&v.points[0..10]);
+            large += mean_of(&v.points[20..30]);
+        }
         assert!(small > large, "small {small} vs large {large}");
     }
 
@@ -194,7 +227,11 @@ mod tests {
 
     #[test]
     fn sweep_point_error() {
-        let p = SweepPoint { bytes: 1024, measured: 2.0, predicted: 2.2 };
+        let p = SweepPoint {
+            bytes: 1024,
+            measured: 2.0,
+            predicted: 2.2,
+        };
         assert!((p.error() - 10.0).abs() < 1e-9);
     }
 }

@@ -19,8 +19,14 @@ impl LinearModel {
     /// # Panics
     /// Panics if either parameter is negative or non-finite.
     pub fn new(alpha: f64, beta: f64) -> Self {
-        assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be >= 0, got {alpha}");
-        assert!(beta.is_finite() && beta >= 0.0, "beta must be >= 0, got {beta}");
+        assert!(
+            alpha.is_finite() && alpha >= 0.0,
+            "alpha must be >= 0, got {alpha}"
+        );
+        assert!(
+            beta.is_finite() && beta >= 0.0,
+            "beta must be >= 0, got {beta}"
+        );
         LinearModel { alpha, beta }
     }
 
@@ -136,7 +142,9 @@ mod tests {
             h2d: LinearModel::new(1e-6, 1e-9),
             d2h: LinearModel::new(2e-6, 2e-9),
         };
-        assert!(dm.predict(1000, Direction::HostToDevice) < dm.predict(1000, Direction::DeviceToHost));
+        assert!(
+            dm.predict(1000, Direction::HostToDevice) < dm.predict(1000, Direction::DeviceToHost)
+        );
     }
 
     #[test]

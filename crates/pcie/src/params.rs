@@ -194,8 +194,7 @@ impl BusParams {
     /// Effective large-transfer pinned bandwidth in bytes/second after
     /// packet framing and link efficiency.
     pub fn effective_pinned_bw(&self) -> f64 {
-        let payload_frac =
-            self.max_payload as f64 / (self.max_payload + self.tlp_overhead) as f64;
+        let payload_frac = self.max_payload as f64 / (self.max_payload + self.tlp_overhead) as f64;
         self.raw_link_bw() * payload_frac * self.link_efficiency
     }
 }

@@ -49,8 +49,10 @@ impl PiecewiseModel {
         let knots = (lo_pow..=hi_pow)
             .map(|p| {
                 let bytes = 1u64 << p;
-                let t: f64 =
-                    (0..runs).map(|_| bus.transfer(bytes, dir, mem)).sum::<f64>() / runs as f64;
+                let t: f64 = (0..runs)
+                    .map(|_| bus.transfer(bytes, dir, mem))
+                    .sum::<f64>()
+                    / runs as f64;
                 (bytes, t)
             })
             .collect();
@@ -98,7 +100,8 @@ mod tests {
 
     fn quiet_model() -> (BusSimulator, PiecewiseModel) {
         let mut bus = BusSimulator::new(BusParams::pcie_v1_x16().quiet(), 1);
-        let m = PiecewiseModel::calibrate(&mut bus, Direction::HostToDevice, MemType::Pinned, 0, 29, 3);
+        let m =
+            PiecewiseModel::calibrate(&mut bus, Direction::HostToDevice, MemType::Pinned, 0, 29, 3);
         (bus, m)
     }
 
@@ -109,7 +112,10 @@ mod tests {
             let bytes = 1u64 << p;
             let ideal = bus.ideal_time(bytes, Direction::HostToDevice, MemType::Pinned);
             let pred = m.predict(bytes);
-            assert!((pred / ideal - 1.0).abs() < 1e-9, "2^{p}: {pred} vs {ideal}");
+            assert!(
+                (pred / ideal - 1.0).abs() < 1e-9,
+                "2^{p}: {pred} vs {ideal}"
+            );
         }
     }
 

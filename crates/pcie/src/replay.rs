@@ -72,7 +72,10 @@ impl RecordedBus {
     ) -> Result<Self, TraceError> {
         let mut grouped: BTreeMap<(u8, u8), Vec<(u64, f64)>> = BTreeMap::new();
         for &(bytes, dir, mem, secs) in samples {
-            grouped.entry(key(dir, mem)).or_default().push((bytes, secs));
+            grouped
+                .entry(key(dir, mem))
+                .or_default()
+                .push((bytes, secs));
         }
         let mut curves = BTreeMap::new();
         for (k, mut pts) in grouped {
@@ -86,7 +89,10 @@ impl RecordedBus {
             }
             curves.insert(k, PiecewiseModel::from_knots(pts));
         }
-        Ok(RecordedBus { curves, name: name.into() })
+        Ok(RecordedBus {
+            curves,
+            name: name.into(),
+        })
     }
 
     /// Parses the one-sample-per-line text format.
@@ -100,11 +106,15 @@ impl RecordedBus {
             }
             let mut w = line.split_whitespace();
             let mut field = |what: &str| {
-                w.next().ok_or(TraceError { line: lineno, message: format!("missing {what}") })
+                w.next().ok_or(TraceError {
+                    line: lineno,
+                    message: format!("missing {what}"),
+                })
             };
-            let bytes: u64 = field("bytes")?
-                .parse()
-                .map_err(|_| TraceError { line: lineno, message: "bad byte count".into() })?;
+            let bytes: u64 = field("bytes")?.parse().map_err(|_| TraceError {
+                line: lineno,
+                message: "bad byte count".into(),
+            })?;
             let dir = match field("direction")? {
                 "h2d" => Direction::HostToDevice,
                 "d2h" => Direction::DeviceToHost,
@@ -125,11 +135,15 @@ impl RecordedBus {
                     })
                 }
             };
-            let secs: f64 = field("seconds")?
-                .parse()
-                .map_err(|_| TraceError { line: lineno, message: "bad seconds".into() })?;
+            let secs: f64 = field("seconds")?.parse().map_err(|_| TraceError {
+                line: lineno,
+                message: "bad seconds".into(),
+            })?;
             if !(secs.is_finite() && secs > 0.0) {
-                return Err(TraceError { line: lineno, message: "seconds must be positive".into() });
+                return Err(TraceError {
+                    line: lineno,
+                    message: "seconds must be positive".into(),
+                });
             }
             samples.push((bytes, dir, mem, secs));
         }
@@ -152,7 +166,11 @@ impl Bus for RecordedBus {
     }
 
     fn describe(&self) -> String {
-        format!("recorded trace `{}` ({} curves)", self.name, self.curves.len())
+        format!(
+            "recorded trace `{}` ({} curves)",
+            self.name,
+            self.curves.len()
+        )
     }
 }
 
@@ -179,8 +197,11 @@ mod tests {
         assert!(!bus.covers(Direction::HostToDevice, MemType::Pageable));
         let t = bus.transfer(1024, Direction::HostToDevice, MemType::Pinned);
         assert!((t - 1.03e-5).abs() < 1e-12); // exact at a knot
-        // Deterministic replay.
-        assert_eq!(t, bus.transfer(1024, Direction::HostToDevice, MemType::Pinned));
+                                              // Deterministic replay.
+        assert_eq!(
+            t,
+            bus.transfer(1024, Direction::HostToDevice, MemType::Pinned)
+        );
         assert!(bus.describe().contains("eureka"));
     }
 

@@ -38,7 +38,12 @@ pub struct BusSimulator {
 impl BusSimulator {
     /// Creates a simulator with the given parameters and noise seed.
     pub fn new(params: BusParams, seed: u64) -> Self {
-        BusSimulator { params, rng: StdRng::seed_from_u64(seed), transfers: 0, bytes_moved: 0 }
+        BusSimulator {
+            params,
+            rng: StdRng::seed_from_u64(seed),
+            transfers: 0,
+            bytes_moved: 0,
+        }
     }
 
     /// The configured parameters.
@@ -71,8 +76,7 @@ impl BusSimulator {
                 }
                 // Staged through pinned bounce buffers, chunk by chunk.
                 let chunks = bytes.div_ceil(p.staging_chunk).max(1);
-                let copy_time =
-                    bytes as f64 / p.host_copy_bw + chunks as f64 * p.staging_overhead;
+                let copy_time = bytes as f64 / p.host_copy_bw + chunks as f64 * p.staging_overhead;
                 let dma_time = self.dma_time(bytes, dir);
                 // The driver double-buffers: part of the copy hides under
                 // the DMA of the previous chunk.
@@ -233,7 +237,10 @@ mod tests {
             sum += bus.transfer(16 << 20, Direction::HostToDevice, MemType::Pinned);
         }
         let mean = sum / n as f64;
-        assert!((mean / ideal - 1.0).abs() < 0.08, "mean {mean} vs ideal {ideal}");
+        assert!(
+            (mean / ideal - 1.0).abs() < 0.08,
+            "mean {mean} vs ideal {ideal}"
+        );
     }
 
     #[test]

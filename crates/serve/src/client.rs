@@ -1,0 +1,58 @@
+//! A small blocking client for the `gpp-serve` wire protocol.
+
+use crate::protocol::{read_frame, write_frame, Request};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A connected client. One client = one TCP connection; requests can be
+/// issued back to back on it (the protocol is frame-per-request).
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects with a connect/read/write timeout.
+    pub fn connect(addr: impl ToSocketAddrs, timeout: Duration) -> io::Result<Client> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address resolved"))?;
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { stream })
+    }
+
+    /// Sends one request and returns the raw response JSON.
+    pub fn call(&mut self, request: &Request) -> io::Result<String> {
+        write_frame(&mut self.stream, &request.encode())?;
+        read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed before replying",
+            )
+        })
+    }
+
+    /// Sends a raw payload (already-encoded header + body).
+    pub fn call_raw(&mut self, payload: &str) -> io::Result<String> {
+        write_frame(&mut self.stream, payload)?;
+        read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed before replying",
+            )
+        })
+    }
+}
+
+/// One-shot convenience: connect, send, return the response JSON.
+pub fn request_once(
+    addr: impl ToSocketAddrs,
+    request: &Request,
+    timeout: Duration,
+) -> io::Result<String> {
+    Client::connect(addr, timeout)?.call(request)
+}

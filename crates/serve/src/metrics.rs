@@ -1,0 +1,188 @@
+//! Service counters and latency tracking for the `stats` command.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// How many recent request latencies the percentile window keeps.
+const LATENCY_WINDOW: usize = 4096;
+
+/// Lock-free counters plus a bounded latency reservoir.
+///
+/// Counters are relaxed atomics — they are monotone tallies, and the
+/// `stats` reader tolerates being a few increments behind the workers.
+pub struct Metrics {
+    started: Instant,
+    /// Requests that produced an `ok` response.
+    pub served_ok: AtomicU64,
+    /// Requests that produced a structured error response.
+    pub served_err: AtomicU64,
+    /// Connections rejected with `busy` because the queue was full.
+    pub rejected_busy: AtomicU64,
+    /// Requests that exceeded their compute deadline.
+    pub timeouts: AtomicU64,
+    /// Calibration cache hits / misses.
+    pub calib_hits: AtomicU64,
+    pub calib_misses: AtomicU64,
+    /// Projection memo hits / misses.
+    pub proj_hits: AtomicU64,
+    pub proj_misses: AtomicU64,
+    /// Ring buffer of recent request latencies, microseconds.
+    latencies_us: Mutex<Ring>,
+}
+
+struct Ring {
+    buf: Vec<u64>,
+    next: usize,
+    filled: bool,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            started: Instant::now(),
+            served_ok: AtomicU64::new(0),
+            served_err: AtomicU64::new(0),
+            rejected_busy: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            calib_hits: AtomicU64::new(0),
+            calib_misses: AtomicU64::new(0),
+            proj_hits: AtomicU64::new(0),
+            proj_misses: AtomicU64::new(0),
+            latencies_us: Mutex::new(Ring {
+                buf: Vec::with_capacity(LATENCY_WINDOW),
+                next: 0,
+                filled: false,
+            }),
+        }
+    }
+}
+
+/// A point-in-time copy of every counter, plus derived percentiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    pub uptime: Duration,
+    pub served_ok: u64,
+    pub served_err: u64,
+    pub rejected_busy: u64,
+    pub timeouts: u64,
+    pub calib_hits: u64,
+    pub calib_misses: u64,
+    pub proj_hits: u64,
+    pub proj_misses: u64,
+    /// Median / tail latency over the recent window, microseconds.
+    /// Zero when no request completed yet.
+    pub p50_latency_us: u64,
+    pub p99_latency_us: u64,
+    /// Requests sitting in the accept queue right now.
+    pub queue_depth: usize,
+    /// Entries in the projection memo right now.
+    pub proj_cache_len: usize,
+    /// Entries in the calibration cache right now.
+    pub calib_cache_len: usize,
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one completed request's wall time.
+    pub fn record_latency(&self, elapsed: Duration) {
+        let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
+        let mut ring = self.latencies_us.lock();
+        if ring.buf.len() < LATENCY_WINDOW {
+            ring.buf.push(us);
+        } else {
+            let next = ring.next;
+            ring.buf[next] = us;
+            ring.filled = true;
+        }
+        ring.next = (ring.next + 1) % LATENCY_WINDOW;
+    }
+
+    /// Captures a snapshot; queue/cache gauges are supplied by the caller.
+    pub fn snapshot(
+        &self,
+        queue_depth: usize,
+        proj_cache_len: usize,
+        calib_cache_len: usize,
+    ) -> StatsSnapshot {
+        let (p50, p99) = {
+            let ring = self.latencies_us.lock();
+            percentiles(&ring.buf)
+        };
+        StatsSnapshot {
+            uptime: self.started.elapsed(),
+            served_ok: self.served_ok.load(Ordering::Relaxed),
+            served_err: self.served_err.load(Ordering::Relaxed),
+            rejected_busy: self.rejected_busy.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            calib_hits: self.calib_hits.load(Ordering::Relaxed),
+            calib_misses: self.calib_misses.load(Ordering::Relaxed),
+            proj_hits: self.proj_hits.load(Ordering::Relaxed),
+            proj_misses: self.proj_misses.load(Ordering::Relaxed),
+            p50_latency_us: p50,
+            p99_latency_us: p99,
+            queue_depth,
+            proj_cache_len,
+            calib_cache_len,
+        }
+    }
+
+    /// Bumps a counter by one (helper so call sites stay terse).
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn percentiles(samples: &[u64]) -> (u64, u64) {
+    if samples.is_empty() {
+        return (0, 0);
+    }
+    let mut s = samples.to_vec();
+    s.sort_unstable();
+    // Nearest-rank method: the p-th percentile is the ceil(p*n)-th sample.
+    let rank = |p: f64| -> u64 {
+        let idx = ((s.len() as f64 * p).ceil() as usize).clamp(1, s.len()) - 1;
+        s[idx]
+    };
+    (rank(0.50), rank(0.99))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_known_distribution() {
+        let m = Metrics::new();
+        for us in 1..=100u64 {
+            m.record_latency(Duration::from_micros(us));
+        }
+        let s = m.snapshot(3, 2, 1);
+        assert_eq!(s.p50_latency_us, 50);
+        assert_eq!(s.p99_latency_us, 99);
+        assert_eq!(s.queue_depth, 3);
+        assert_eq!(s.proj_cache_len, 2);
+        assert_eq!(s.calib_cache_len, 1);
+    }
+
+    #[test]
+    fn ring_wraps_at_window() {
+        let m = Metrics::new();
+        for _ in 0..(LATENCY_WINDOW + 10) {
+            m.record_latency(Duration::from_micros(7));
+        }
+        let s = m.snapshot(0, 0, 0);
+        assert_eq!(s.p50_latency_us, 7);
+        assert_eq!(s.p99_latency_us, 7);
+    }
+
+    #[test]
+    fn empty_window_reports_zero() {
+        let m = Metrics::new();
+        let s = m.snapshot(0, 0, 0);
+        assert_eq!((s.p50_latency_us, s.p99_latency_us), (0, 0));
+    }
+}

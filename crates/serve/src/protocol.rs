@@ -1,0 +1,376 @@
+//! The `gpp-serve` wire protocol: length-prefixed frames carrying a
+//! request header line plus an optional `.gsk` skeleton body.
+//!
+//! A frame is `<decimal-length>\n<payload>` where `length` is the byte
+//! count of `payload`. A request payload is:
+//!
+//! ```text
+//! gpp/1 <command> [key=value ...]\n
+//! <skeleton text...>
+//! ```
+//!
+//! Commands: `project`, `measure`, `analyze`, `deps`, `calibrate`,
+//! `stats`, `ping`. Options: `machine=eureka|v2`, `seed=N`, `iters=N`,
+//! `temporary=a,b` (device-temporary hint), `sparse=name:bytes,...`
+//! (sparse-bound hint). Responses are a single JSON object:
+//! `{"ok":true,...}` or `{"ok":false,"error":{"kind":...,"message":...}}`.
+
+use std::io::{self, Read, Write};
+
+/// Protocol magic for version 1.
+pub const MAGIC: &str = "gpp/1";
+
+/// Frames larger than this are rejected (malformed or abusive clients).
+pub const MAX_FRAME_BYTES: usize = 8 << 20;
+
+/// A service command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Command {
+    /// Project kernel + transfer times for a skeleton.
+    Project,
+    /// Project, then measure on the simulated node and compare.
+    Measure,
+    /// Print the transfer plan.
+    Analyze,
+    /// Inter-kernel dependence report.
+    Deps,
+    /// Two-point PCIe calibration summary for a machine.
+    Calibrate,
+    /// Service counters: requests, cache hits, latency percentiles.
+    Stats,
+    /// Liveness probe.
+    Ping,
+}
+
+impl Command {
+    pub fn parse(s: &str) -> Option<Command> {
+        Some(match s {
+            "project" => Command::Project,
+            "measure" => Command::Measure,
+            "analyze" => Command::Analyze,
+            "deps" => Command::Deps,
+            "calibrate" => Command::Calibrate,
+            "stats" => Command::Stats,
+            "ping" => Command::Ping,
+            _ => return None,
+        })
+    }
+
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Command::Project => "project",
+            Command::Measure => "measure",
+            Command::Analyze => "analyze",
+            Command::Deps => "deps",
+            Command::Calibrate => "calibrate",
+            Command::Stats => "stats",
+            Command::Ping => "ping",
+        }
+    }
+
+    /// Whether the command carries a skeleton body.
+    pub fn needs_skeleton(&self) -> bool {
+        matches!(
+            self,
+            Command::Project | Command::Measure | Command::Analyze | Command::Deps
+        )
+    }
+}
+
+impl std::fmt::Display for Command {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    pub command: Command,
+    /// Target machine: `eureka` or `v2`.
+    pub machine: String,
+    /// Noise seed for the simulated node.
+    pub seed: u64,
+    /// Iteration count for totals/speedups.
+    pub iters: u32,
+    /// Arrays hinted as device-side temporaries (names).
+    pub temporaries: Vec<String>,
+    /// Sparse-bound hints: (array name, useful bytes).
+    pub sparse: Vec<(String, u64)>,
+    /// Skeleton source text (commands that need one).
+    pub skeleton: String,
+}
+
+impl Request {
+    /// A request with default options.
+    pub fn new(command: Command) -> Request {
+        Request {
+            command,
+            machine: "eureka".to_string(),
+            seed: 2013,
+            iters: 1,
+            temporaries: Vec::new(),
+            sparse: Vec::new(),
+            skeleton: String::new(),
+        }
+    }
+
+    /// Canonical header + body payload for this request.
+    pub fn encode(&self) -> String {
+        let mut header = format!("{MAGIC} {}", self.command);
+        if self.machine != "eureka" {
+            header.push_str(&format!(" machine={}", self.machine));
+        }
+        if self.seed != 2013 {
+            header.push_str(&format!(" seed={}", self.seed));
+        }
+        if self.iters != 1 {
+            header.push_str(&format!(" iters={}", self.iters));
+        }
+        if !self.temporaries.is_empty() {
+            header.push_str(&format!(" temporary={}", self.temporaries.join(",")));
+        }
+        if !self.sparse.is_empty() {
+            let spec: Vec<String> = self
+                .sparse
+                .iter()
+                .map(|(n, b)| format!("{n}:{b}"))
+                .collect();
+            header.push_str(&format!(" sparse={}", spec.join(",")));
+        }
+        header.push('\n');
+        header.push_str(&self.skeleton);
+        header
+    }
+
+    /// Parses a request payload (header line + optional body).
+    pub fn decode(payload: &str) -> Result<Request, ProtocolError> {
+        let (header, body) = match payload.split_once('\n') {
+            Some((h, b)) => (h, b),
+            None => (payload, ""),
+        };
+        let mut tokens = header.split_ascii_whitespace();
+        match tokens.next() {
+            Some(m) if m == MAGIC => {}
+            other => {
+                return Err(ProtocolError::new(
+                    "bad-magic",
+                    format!("expected `{MAGIC}`, got `{}`", other.unwrap_or("")),
+                ))
+            }
+        }
+        let command = match tokens.next() {
+            Some(c) => Command::parse(c).ok_or_else(|| {
+                ProtocolError::new("bad-command", format!("unknown command `{c}`"))
+            })?,
+            None => return Err(ProtocolError::new("bad-command", "missing command")),
+        };
+        let mut req = Request::new(command);
+        for tok in tokens {
+            let Some((key, value)) = tok.split_once('=') else {
+                return Err(ProtocolError::new(
+                    "bad-option",
+                    format!("expected key=value, got `{tok}`"),
+                ));
+            };
+            match key {
+                "machine" => req.machine = value.to_string(),
+                "seed" => {
+                    req.seed = value.parse().map_err(|_| {
+                        ProtocolError::new(
+                            "bad-option",
+                            format!("seed=`{value}` is not an integer"),
+                        )
+                    })?
+                }
+                "iters" => {
+                    req.iters = value.parse().map_err(|_| {
+                        ProtocolError::new(
+                            "bad-option",
+                            format!("iters=`{value}` is not an integer"),
+                        )
+                    })?
+                }
+                "temporary" => req.temporaries.extend(
+                    value
+                        .split(',')
+                        .filter(|s| !s.is_empty())
+                        .map(str::to_string),
+                ),
+                "sparse" => {
+                    for spec in value.split(',').filter(|s| !s.is_empty()) {
+                        let Some((name, bytes)) = spec.split_once(':') else {
+                            return Err(ProtocolError::new(
+                                "bad-option",
+                                format!("sparse spec `{spec}` is not name:bytes"),
+                            ));
+                        };
+                        let bytes = bytes.parse().map_err(|_| {
+                            ProtocolError::new(
+                                "bad-option",
+                                format!("sparse bytes `{bytes}` is not an integer"),
+                            )
+                        })?;
+                        req.sparse.push((name.to_string(), bytes));
+                    }
+                }
+                _ => {
+                    return Err(ProtocolError::new(
+                        "bad-option",
+                        format!("unknown option `{key}`"),
+                    ))
+                }
+            }
+        }
+        if command.needs_skeleton() && body.trim().is_empty() {
+            return Err(ProtocolError::new(
+                "missing-skeleton",
+                format!("command `{command}` needs a skeleton body"),
+            ));
+        }
+        req.skeleton = body.to_string();
+        Ok(req)
+    }
+}
+
+/// A structured protocol-level error (also serialized into responses).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError {
+    /// Stable machine-readable kind: `busy`, `timeout`, `parse`, ...
+    pub kind: String,
+    pub message: String,
+}
+
+impl ProtocolError {
+    pub fn new(kind: impl Into<String>, message: impl Into<String>) -> Self {
+        ProtocolError {
+            kind: kind.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.kind, self.message)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Writes one `<len>\n<payload>` frame.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
+    let bytes = payload.as_bytes();
+    w.write_all(format!("{}\n", bytes.len()).as_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()
+}
+
+/// Reads one frame; `Ok(None)` on clean EOF before any length byte.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
+    // Read the decimal length terminated by '\n', byte by byte (frames are
+    // tiny relative to the skeleton body that follows).
+    let mut len: usize = 0;
+    let mut saw_digit = false;
+    let mut byte = [0u8; 1];
+    loop {
+        match r.read(&mut byte)? {
+            0 => {
+                if saw_digit {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "EOF inside frame length",
+                    ));
+                }
+                return Ok(None);
+            }
+            _ => match byte[0] {
+                b'0'..=b'9' => {
+                    saw_digit = true;
+                    len = len
+                        .checked_mul(10)
+                        .and_then(|l| l.checked_add((byte[0] - b'0') as usize))
+                        .filter(|l| *l <= MAX_FRAME_BYTES)
+                        .ok_or_else(|| {
+                            io::Error::new(io::ErrorKind::InvalidData, "frame length too large")
+                        })?;
+                }
+                b'\n' if saw_digit => break,
+                b'\r' => {}
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("bad byte {other:#x} in frame length"),
+                    ))
+                }
+            },
+        }
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame payload is not UTF-8"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "hello\nworld").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("hello\nworld"));
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn frame_rejects_garbage_and_oversize() {
+        let mut r = &b"xyz\nfoo"[..];
+        assert!(read_frame(&mut r).is_err());
+        let huge = format!("{}\n", MAX_FRAME_BYTES + 1);
+        let mut r = huge.as_bytes();
+        assert!(read_frame(&mut r).is_err());
+        let mut r = &b"12"[..]; // EOF mid-length
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn request_roundtrip_with_options() {
+        let mut req = Request::new(Command::Project);
+        req.machine = "v2".into();
+        req.seed = 7;
+        req.iters = 50;
+        req.temporaries = vec!["tmp".into()];
+        req.sparse = vec![("val".into(), 4096)];
+        req.skeleton = "program p\n".into();
+        let decoded = Request::decode(&req.encode()).unwrap();
+        assert_eq!(decoded, req);
+    }
+
+    #[test]
+    fn decode_rejects_bad_requests() {
+        assert_eq!(
+            Request::decode("nope/9 project\nx").unwrap_err().kind,
+            "bad-magic"
+        );
+        assert_eq!(
+            Request::decode("gpp/1 explode\nx").unwrap_err().kind,
+            "bad-command"
+        );
+        assert_eq!(
+            Request::decode("gpp/1 project seed=abc\nx")
+                .unwrap_err()
+                .kind,
+            "bad-option"
+        );
+        assert_eq!(
+            Request::decode("gpp/1 project\n").unwrap_err().kind,
+            "missing-skeleton"
+        );
+        assert!(Request::decode("gpp/1 stats").is_ok());
+        assert!(Request::decode("gpp/1 ping").is_ok());
+    }
+}

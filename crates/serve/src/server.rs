@@ -1,0 +1,266 @@
+//! The TCP front-end: accept loop, bounded queue, worker pool, shutdown.
+//!
+//! Architecture (no async runtime — sanctioned crates only):
+//!
+//! ```text
+//!              accept loop (non-blocking + poll)
+//!                   │ try_send
+//!                   ▼
+//!        crossbeam bounded channel  ──full──► immediate `busy` reply
+//!                   │ recv
+//!        ┌──────────┼──────────┐
+//!        ▼          ▼          ▼
+//!     worker 0   worker 1   worker N      (crossbeam scoped threads)
+//!        └── ServiceState::handle ──► length-prefixed JSON reply
+//! ```
+//!
+//! Shutdown: a shared `AtomicBool` (set programmatically or by the
+//! SIGINT/SIGTERM handler) stops the accept loop; dropping the sender
+//! lets each worker drain the queue and finish in-flight requests before
+//! the pool joins — no request that was accepted is abandoned.
+
+use crate::protocol::{read_frame, write_frame};
+use crate::service::{busy_response, ServeConfig, ServiceState};
+use crossbeam::channel::{bounded, Receiver, TrySendError};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How often the accept loop re-checks the shutdown flag while idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// A bound, ready-to-run server.
+pub struct Server {
+    state: Arc<ServiceState>,
+    listener: TcpListener,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the configured address (port 0 gives an ephemeral port).
+    pub fn bind(config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        Ok(Server {
+            state: Arc::new(ServiceState::new(config)),
+            listener,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The flag that stops the server when set.
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        self.shutdown.clone()
+    }
+
+    /// Shared service state (stats, caches) — for embedding and tests.
+    pub fn state(&self) -> Arc<ServiceState> {
+        self.state.clone()
+    }
+
+    /// Runs until the shutdown flag is set (blocking). Returns once every
+    /// queued and in-flight request has been answered.
+    pub fn run(self) -> io::Result<()> {
+        let Server {
+            state,
+            listener,
+            shutdown,
+        } = self;
+        listener.set_nonblocking(true)?;
+        let workers = state.config.workers.max(1);
+        let (tx, rx) = bounded::<TcpStream>(state.config.queue_depth.max(1));
+
+        crossbeam::thread::scope(|scope| {
+            for w in 0..workers {
+                let rx: Receiver<TcpStream> = rx.clone();
+                let state = state.clone();
+                scope.spawn(move |_| worker_loop(w, &rx, &state));
+            }
+            // Accept loop — owns `tx`; dropping it on exit disconnects the
+            // workers once the queue drains.
+            loop {
+                if shutdown.load(Ordering::SeqCst) || signals::requested() {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((stream, _peer)) => match tx.try_send(stream) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(stream)) => {
+                            state.note_busy();
+                            reply_busy(stream);
+                        }
+                        Err(TrySendError::Disconnected(_)) => break,
+                    },
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        eprintln!("gpp-serve: accept failed: {e}");
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                }
+            }
+            drop(tx);
+        })
+        .expect("gpp-serve worker panicked");
+        Ok(())
+    }
+
+    /// Runs the server on a background thread; returns a handle with the
+    /// bound address and a clean shutdown path. Used by tests and by
+    /// embedders that need the calling thread back.
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let shutdown = self.shutdown_flag();
+        let state = self.state();
+        let thread = std::thread::Builder::new()
+            .name("gpp-serve-acceptor".to_string())
+            .spawn(move || self.run())?;
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            state,
+            thread,
+        })
+    }
+}
+
+/// Handle to a server running on a background thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    state: Arc<ServiceState>,
+    thread: std::thread::JoinHandle<io::Result<()>>,
+}
+
+impl ServerHandle {
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn state(&self) -> Arc<ServiceState> {
+        self.state.clone()
+    }
+
+    /// Requests shutdown and waits for the drain to complete.
+    pub fn shutdown_and_join(self) -> io::Result<()> {
+        self.shutdown.store(true, Ordering::SeqCst);
+        match self.thread.join() {
+            Ok(r) => r,
+            Err(_) => Err(io::Error::other("gpp-serve server thread panicked")),
+        }
+    }
+}
+
+fn worker_loop(worker: usize, rx: &Receiver<TcpStream>, state: &ServiceState) {
+    // recv() drains remaining queued connections after the acceptor drops
+    // the sender, then reports Disconnected — exactly the shutdown drain
+    // semantics we want.
+    while let Ok(stream) = rx.recv() {
+        if let Err(e) = serve_connection(stream, rx, state) {
+            // Client went away mid-request or a socket error: not fatal to
+            // the server; note it and move on.
+            if e.kind() != io::ErrorKind::UnexpectedEof {
+                eprintln!("gpp-serve: worker {worker}: connection error: {e}");
+            }
+        }
+    }
+}
+
+/// Serves one connection: any number of request frames until EOF.
+fn serve_connection(
+    mut stream: TcpStream,
+    rx: &Receiver<TcpStream>,
+    state: &ServiceState,
+) -> io::Result<()> {
+    let io_budget = state.config.request_timeout;
+    stream.set_read_timeout(Some(io_budget))?;
+    stream.set_write_timeout(Some(io_budget))?;
+    stream.set_nodelay(true).ok();
+    while let Some(payload) = read_frame(&mut stream)? {
+        let response = state.handle(&payload, rx.len());
+        write_frame(&mut stream, &response)?;
+    }
+    Ok(())
+}
+
+/// Fast-path rejection when the queue is full: reply `busy` and hang up
+/// without processing the request, on a short-lived thread so the accept
+/// loop keeps accepting. After the reply we send FIN and drain whatever
+/// the client already wrote — closing with unread data in the receive
+/// buffer makes the kernel RST the connection, which can destroy the
+/// reply before the client reads it.
+fn reply_busy(mut stream: TcpStream) {
+    std::thread::spawn(move || {
+        stream
+            .set_read_timeout(Some(Duration::from_millis(500)))
+            .ok();
+        stream
+            .set_write_timeout(Some(Duration::from_millis(500)))
+            .ok();
+        stream.set_nodelay(true).ok();
+        let _ = write_frame(&mut stream, &busy_response());
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let mut sink = [0u8; 1024];
+        while matches!(io::Read::read(&mut stream, &mut sink), Ok(n) if n > 0) {}
+    });
+}
+
+/// SIGINT / SIGTERM → shutdown flag, without any signal-handling crate.
+pub mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static SHUTDOWN_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    /// Whether a termination signal arrived since [`install`].
+    pub fn requested() -> bool {
+        SHUTDOWN_REQUESTED.load(Ordering::SeqCst)
+    }
+
+    #[cfg(unix)]
+    mod imp {
+        use super::SHUTDOWN_REQUESTED;
+        use std::sync::atomic::Ordering;
+
+        // Setting an atomic flag is async-signal-safe; everything else
+        // happens on the accept loop's next poll tick.
+        extern "C" fn on_signal(_signum: i32) {
+            SHUTDOWN_REQUESTED.store(true, Ordering::SeqCst);
+        }
+
+        extern "C" {
+            // From libc, which std already links. usize holds the handler
+            // function pointer (sighandler_t).
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+
+        pub fn install() {
+            unsafe {
+                signal(SIGINT, on_signal as *const () as usize);
+                signal(SIGTERM, on_signal as *const () as usize);
+            }
+        }
+    }
+
+    #[cfg(not(unix))]
+    mod imp {
+        pub fn install() {}
+    }
+
+    /// Installs SIGINT/SIGTERM handlers that set the shutdown flag. The
+    /// CLI calls this for `gpp serve`; embedded servers (tests) usually
+    /// prefer the handle's programmatic flag.
+    pub fn install() {
+        imp::install();
+    }
+}

@@ -1,0 +1,522 @@
+//! The request handlers: protocol commands → `grophecy::report` JSON.
+//!
+//! [`ServiceState`] is the shared, thread-safe heart of the server: the
+//! calibration cache, the projection memo, and the metrics. Handlers are
+//! pure functions of (state, request) so they can be driven by the TCP
+//! worker pool, by benchmarks, or by tests without any networking.
+
+use crate::cache::{fnv1a, CalibKey, CalibrationCache, ProjectionCache, ProjectionKey};
+use crate::metrics::{Metrics, StatsSnapshot};
+use crate::protocol::{Command, ProtocolError, Request};
+use gpp_datausage::{analyze, Hints};
+use gpp_pcie::{Direction, MemType, SweepValidation};
+use gpp_skeleton::text;
+use gpp_skeleton::Program;
+use grophecy::machine::MachineConfig;
+use grophecy::measurement::measure;
+use grophecy::projector::{AppProjection, Grophecy};
+use grophecy::report::{measurement_json, projection_json, speedup_json, Json};
+use grophecy::speedup::SpeedupReport;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tunables for one service instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:4513` (port 0 = ephemeral).
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Bounded accept-queue depth; connections beyond it get `busy`.
+    pub queue_depth: usize,
+    /// Compute budget per request; exceeding it returns `timeout`.
+    pub request_timeout: Duration,
+    /// Capacity of the projection LRU memo.
+    pub projection_cache: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:4513".to_string(),
+            workers: 4,
+            queue_depth: 64,
+            request_timeout: Duration::from_secs(30),
+            projection_cache: 128,
+        }
+    }
+}
+
+/// Shared state behind every worker.
+pub struct ServiceState {
+    pub config: ServeConfig,
+    pub calibrations: CalibrationCache,
+    pub projections: ProjectionCache,
+    pub metrics: Metrics,
+}
+
+impl ServiceState {
+    pub fn new(config: ServeConfig) -> Self {
+        ServiceState {
+            projections: ProjectionCache::new(config.projection_cache),
+            calibrations: CalibrationCache::new(),
+            metrics: Metrics::new(),
+            config,
+        }
+    }
+
+    /// Decodes and executes one request payload, returning the response
+    /// JSON. Also tallies latency and outcome counters. `queue_depth` is
+    /// the current accept-queue length (a gauge the handler can't know).
+    pub fn handle(&self, payload: &str, queue_depth: usize) -> String {
+        let start = Instant::now();
+        let result = Request::decode(payload)
+            .map_err(|e| ProtocolError::new("parse", e.to_string()))
+            .and_then(|req| self.dispatch(&req, start, queue_depth));
+        let response = match result {
+            Ok(json) => {
+                Metrics::bump(&self.metrics.served_ok);
+                json
+            }
+            Err(e) => {
+                Metrics::bump(&self.metrics.served_err);
+                if e.kind == "timeout" {
+                    Metrics::bump(&self.metrics.timeouts);
+                }
+                error_json(&e)
+            }
+        };
+        self.metrics.record_latency(start.elapsed());
+        response.render()
+    }
+
+    fn dispatch(
+        &self,
+        req: &Request,
+        start: Instant,
+        queue_depth: usize,
+    ) -> Result<Json, ProtocolError> {
+        match req.command {
+            Command::Ping => Ok(Json::obj([
+                ("ok", Json::Bool(true)),
+                ("command", Json::Str("ping".into())),
+            ])),
+            Command::Stats => Ok(self.stats_json(queue_depth)),
+            Command::Calibrate => self.cmd_calibrate(req),
+            Command::Project => self.cmd_project(req, start),
+            Command::Measure => self.cmd_measure(req, start),
+            Command::Analyze => self.cmd_analyze(req),
+            Command::Deps => self.cmd_deps(req),
+        }
+    }
+
+    fn check_deadline(&self, start: Instant) -> Result<(), ProtocolError> {
+        if start.elapsed() > self.config.request_timeout {
+            return Err(ProtocolError::new(
+                "timeout",
+                format!(
+                    "request exceeded its {:.1}s compute budget",
+                    self.config.request_timeout.as_secs_f64()
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Resolves the calibrated projector for (machine, seed), via cache.
+    fn projector(&self, req: &Request) -> Result<Arc<Grophecy>, ProtocolError> {
+        let machine = machine_by_name(&req.machine, req.seed)?;
+        let key = CalibKey {
+            machine: req.machine.clone(),
+            seed: req.seed,
+        };
+        let (gro, hit) = self.calibrations.get_or_calibrate(key, || {
+            let mut node = machine.node();
+            Grophecy::calibrate(&machine, &mut node)
+        });
+        Metrics::bump(if hit {
+            &self.metrics.calib_hits
+        } else {
+            &self.metrics.calib_misses
+        });
+        Ok(gro)
+    }
+
+    /// Parses the skeleton and resolves hint names.
+    fn program_and_hints(&self, req: &Request) -> Result<(Program, Hints), ProtocolError> {
+        let program = text::parse(&req.skeleton)
+            .map_err(|e| ProtocolError::new("skeleton", e.to_string()))?;
+        let mut hints = Hints::new();
+        for name in &req.temporaries {
+            let a = program.array_by_name(name).ok_or_else(|| {
+                ProtocolError::new(
+                    "unknown-array",
+                    format!("temporary `{name}` is not an array"),
+                )
+            })?;
+            hints = hints.temporary(a.id);
+        }
+        for (name, bytes) in &req.sparse {
+            let a = program.array_by_name(name).ok_or_else(|| {
+                ProtocolError::new("unknown-array", format!("sparse `{name}` is not an array"))
+            })?;
+            hints = hints.sparse_bound(a.id, *bytes);
+        }
+        Ok((program, hints))
+    }
+
+    /// Projects via the LRU memo. The key hashes the *normalized* program
+    /// text, so formatting-only differences still hit.
+    fn project_cached(
+        &self,
+        req: &Request,
+        gro: &Grophecy,
+        program: &Program,
+        hints: &Hints,
+    ) -> (Arc<AppProjection>, bool) {
+        let key = ProjectionKey {
+            machine: req.machine.clone(),
+            seed: req.seed,
+            skeleton_hash: fnv1a(text::to_text(program).as_bytes()),
+            hints_hash: fnv1a(hints_fingerprint(req).as_bytes()),
+        };
+        if let Some(p) = self.projections.get(&key) {
+            Metrics::bump(&self.metrics.proj_hits);
+            return (p, true);
+        }
+        Metrics::bump(&self.metrics.proj_misses);
+        let proj = Arc::new(gro.project(program, hints));
+        self.projections.insert(key, proj.clone());
+        (proj, false)
+    }
+
+    fn cmd_project(&self, req: &Request, start: Instant) -> Result<Json, ProtocolError> {
+        let (program, hints) = self.program_and_hints(req)?;
+        self.check_deadline(start)?;
+        let gro = self.projector(req)?;
+        self.check_deadline(start)?;
+        let (proj, cached) = self.project_cached(req, &gro, &program, &hints);
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("command", Json::Str("project".into())),
+            ("machine", Json::Str(req.machine.clone())),
+            ("seed", Json::Num(req.seed as f64)),
+            ("iters", Json::Num(req.iters as f64)),
+            ("cached", Json::Bool(cached)),
+            (
+                "pcie",
+                Json::obj([
+                    ("h2d", Json::Str(gro.pcie_model().h2d.to_string())),
+                    ("d2h", Json::Str(gro.pcie_model().d2h.to_string())),
+                ]),
+            ),
+            ("projection", projection_json(&proj)),
+            ("total_seconds", Json::Num(proj.total_time(req.iters))),
+        ]))
+    }
+
+    fn cmd_measure(&self, req: &Request, start: Instant) -> Result<Json, ProtocolError> {
+        let (program, hints) = self.program_and_hints(req)?;
+        self.check_deadline(start)?;
+        // The measurement path replays the single-shot sequence exactly
+        // (fresh node, calibration consuming the same RNG stream as the
+        // CLI) so served responses are bit-identical to `gpp measure`.
+        // Measurements are side-effectful on the node, so they bypass the
+        // projection memo by design.
+        let machine = machine_by_name(&req.machine, req.seed)?;
+        let mut node = machine.node();
+        let gro = Grophecy::calibrate(&machine, &mut node);
+        let proj = gro.project(&program, &hints);
+        self.check_deadline(start)?;
+        let meas = measure(&mut node, &program, &proj);
+        let r = SpeedupReport::build(&program.name, "serve", &proj, &meas, req.iters);
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("command", Json::Str("measure".into())),
+            ("machine", Json::Str(req.machine.clone())),
+            ("seed", Json::Num(req.seed as f64)),
+            ("iters", Json::Num(req.iters as f64)),
+            ("projection", projection_json(&proj)),
+            ("measurement", measurement_json(&meas)),
+            ("speedup", speedup_json(&r)),
+        ]))
+    }
+
+    fn cmd_analyze(&self, req: &Request) -> Result<Json, ProtocolError> {
+        let (program, hints) = self.program_and_hints(req)?;
+        let plan = analyze(&program, &hints);
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("command", Json::Str("analyze".into())),
+            (
+                "transfers",
+                Json::Arr(
+                    plan.all()
+                        .map(|t| {
+                            Json::obj([
+                                ("array", Json::Str(t.name.clone())),
+                                ("bytes", Json::Num(t.bytes as f64)),
+                                ("direction", Json::Str(t.dir.to_string())),
+                                ("exact", Json::Bool(t.exact)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("exact", Json::Bool(plan.is_exact())),
+            ("text", Json::Str(plan.to_string())),
+        ]))
+    }
+
+    fn cmd_deps(&self, req: &Request) -> Result<Json, ProtocolError> {
+        let (program, _hints) = self.program_and_hints(req)?;
+        let deps = gpp_datausage::dependences(&program);
+        let resident = gpp_datausage::device_resident_arrays(&program);
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("command", Json::Str("deps".into())),
+            (
+                "report",
+                Json::Str(gpp_datausage::dependence::render(&program, &deps)),
+            ),
+            (
+                "device_resident",
+                Json::Arr(
+                    resident
+                        .iter()
+                        .map(|a| Json::Str(program.array(*a).name.clone()))
+                        .collect(),
+                ),
+            ),
+        ]))
+    }
+
+    fn cmd_calibrate(&self, req: &Request) -> Result<Json, ProtocolError> {
+        // Full single-shot sequence: the sweep validation consumes the
+        // node's RNG stream right after calibration, like `gpp calibrate`.
+        let machine = machine_by_name(&req.machine, req.seed)?;
+        let mut node = machine.node();
+        let gro = Grophecy::calibrate(&machine, &mut node);
+        let sweeps = Direction::ALL
+            .into_iter()
+            .map(|dir| {
+                let v = SweepValidation::paper_sweep(
+                    &mut node.bus,
+                    gro.pcie_model(),
+                    dir,
+                    MemType::Pinned,
+                );
+                Json::obj([
+                    ("direction", Json::Str(dir.to_string())),
+                    ("mean_error_pct", Json::Num(v.mean_error())),
+                    ("max_error_pct", Json::Num(v.max_error())),
+                    (
+                        "mean_error_above_1mb_pct",
+                        Json::Num(v.mean_error_above(1 << 20)),
+                    ),
+                ])
+            })
+            .collect();
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("command", Json::Str("calibrate".into())),
+            ("machine", Json::Str(req.machine.clone())),
+            ("seed", Json::Num(req.seed as f64)),
+            ("h2d", Json::Str(gro.pcie_model().h2d.to_string())),
+            ("d2h", Json::Str(gro.pcie_model().d2h.to_string())),
+            ("sweeps", Json::Arr(sweeps)),
+        ]))
+    }
+
+    /// The `stats` response body.
+    pub fn stats_json(&self, queue_depth: usize) -> Json {
+        let s = self.snapshot(queue_depth);
+        Json::obj([
+            ("ok", Json::Bool(true)),
+            ("command", Json::Str("stats".into())),
+            (
+                "stats",
+                Json::obj([
+                    ("uptime_seconds", Json::Num(s.uptime.as_secs_f64())),
+                    ("served_ok", Json::Num(s.served_ok as f64)),
+                    ("served_err", Json::Num(s.served_err as f64)),
+                    ("rejected_busy", Json::Num(s.rejected_busy as f64)),
+                    ("timeouts", Json::Num(s.timeouts as f64)),
+                    ("calibration_hits", Json::Num(s.calib_hits as f64)),
+                    ("calibration_misses", Json::Num(s.calib_misses as f64)),
+                    ("projection_hits", Json::Num(s.proj_hits as f64)),
+                    ("projection_misses", Json::Num(s.proj_misses as f64)),
+                    ("p50_latency_us", Json::Num(s.p50_latency_us as f64)),
+                    ("p99_latency_us", Json::Num(s.p99_latency_us as f64)),
+                    ("queue_depth", Json::Num(s.queue_depth as f64)),
+                    (
+                        "projection_cache_entries",
+                        Json::Num(s.proj_cache_len as f64),
+                    ),
+                    (
+                        "calibration_cache_entries",
+                        Json::Num(s.calib_cache_len as f64),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
+    /// A typed snapshot (used by tests and the CLI).
+    pub fn snapshot(&self, queue_depth: usize) -> StatsSnapshot {
+        self.metrics
+            .snapshot(queue_depth, self.projections.len(), self.calibrations.len())
+    }
+
+    /// Marks one busy rejection (called by the acceptor).
+    pub fn note_busy(&self) {
+        self.metrics.rejected_busy.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Resolves a machine name to its configuration.
+pub fn machine_by_name(name: &str, seed: u64) -> Result<MachineConfig, ProtocolError> {
+    match name {
+        "eureka" => Ok(MachineConfig::anl_eureka_node(seed)),
+        "v2" => Ok(MachineConfig::pcie_v2_gt200_node(seed)),
+        other => Err(ProtocolError::new(
+            "unknown-machine",
+            format!("unknown machine `{other}` (known: eureka, v2)"),
+        )),
+    }
+}
+
+/// Canonical, order-insensitive fingerprint of a request's hints.
+fn hints_fingerprint(req: &Request) -> String {
+    let mut temps = req.temporaries.clone();
+    temps.sort();
+    let mut sparse: Vec<String> = req.sparse.iter().map(|(n, b)| format!("{n}:{b}")).collect();
+    sparse.sort();
+    format!("t={};s={}", temps.join(","), sparse.join(","))
+}
+
+/// The structured error response body.
+pub fn error_json(e: &ProtocolError) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            Json::obj([
+                ("kind", Json::Str(e.kind.clone())),
+                ("message", Json::Str(e.message.clone())),
+            ]),
+        ),
+    ])
+}
+
+/// The canonical `busy` response payload (used by the acceptor fast path).
+pub fn busy_response() -> String {
+    error_json(&ProtocolError::new(
+        "busy",
+        "server at capacity: accept queue is full, retry later",
+    ))
+    .render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VEC_ADD: &str = include_str!("../../../skeletons/vector_add.gsk");
+
+    fn state() -> ServiceState {
+        ServiceState::new(ServeConfig::default())
+    }
+
+    fn payload(cmd: &str, body: &str) -> String {
+        format!("gpp/1 {cmd}\n{body}")
+    }
+
+    #[test]
+    fn ping_and_stats_respond() {
+        let s = state();
+        assert!(s.handle("gpp/1 ping", 0).contains("\"ok\":true"));
+        let stats = s.handle("gpp/1 stats", 3).to_string();
+        assert!(stats.contains("\"queue_depth\":3"), "{stats}");
+    }
+
+    #[test]
+    fn project_hits_cache_on_repeat() {
+        let s = state();
+        let first = s.handle(&payload("project", VEC_ADD), 0);
+        assert!(first.contains("\"ok\":true"), "{first}");
+        assert!(first.contains("\"cached\":false"));
+        let second = s.handle(&payload("project", VEC_ADD), 0);
+        assert!(second.contains("\"cached\":true"), "{second}");
+        let snap = s.snapshot(0);
+        assert_eq!((snap.proj_misses, snap.proj_hits), (1, 1));
+        assert_eq!((snap.calib_misses, snap.calib_hits >= 1), (1, true));
+        // Identical result either way.
+        assert_eq!(
+            first.replace("\"cached\":false", ""),
+            second.replace("\"cached\":true", "")
+        );
+    }
+
+    #[test]
+    fn formatting_only_changes_share_a_cache_entry() {
+        let s = state();
+        let spaced = VEC_ADD.replace('\n', "\n\n");
+        s.handle(&payload("project", VEC_ADD), 0);
+        let second = s.handle(&payload("project", &spaced), 0);
+        assert!(second.contains("\"cached\":true"), "{second}");
+    }
+
+    #[test]
+    fn different_options_do_not_share_entries() {
+        let s = state();
+        s.handle(&payload("project", VEC_ADD), 0);
+        let other_seed = s.handle(&format!("gpp/1 project seed=99\n{VEC_ADD}"), 0);
+        assert!(other_seed.contains("\"cached\":false"));
+        let other_machine = s.handle(&format!("gpp/1 project machine=v2\n{VEC_ADD}"), 0);
+        assert!(other_machine.contains("\"cached\":false"));
+        assert_eq!(s.snapshot(0).proj_misses, 3);
+    }
+
+    #[test]
+    fn errors_are_structured() {
+        let s = state();
+        let bad = s.handle("gpp/1 project\n", 0);
+        assert!(
+            bad.contains("\"ok\":false") && bad.contains("\"kind\":\"parse\""),
+            "{bad}"
+        );
+        let unk = s.handle(&payload("project machine=cray", VEC_ADD), 0);
+        assert!(unk.contains("unknown-machine"), "{unk}");
+        let arr = s.handle(&format!("gpp/1 project temporary=ghost\n{VEC_ADD}"), 0);
+        assert!(arr.contains("unknown-array"), "{arr}");
+        assert_eq!(s.snapshot(0).served_err, 3);
+    }
+
+    #[test]
+    fn measure_analyze_deps_calibrate_respond() {
+        let s = state();
+        for cmd in ["measure", "analyze", "deps"] {
+            let out = s.handle(&payload(cmd, VEC_ADD), 0);
+            assert!(out.contains("\"ok\":true"), "{cmd}: {out}");
+        }
+        let cal = s.handle("gpp/1 calibrate machine=v2", 0);
+        assert!(
+            cal.contains("\"ok\":true") && cal.contains("mean_error_pct"),
+            "{cal}"
+        );
+    }
+
+    #[test]
+    fn timeout_budget_is_enforced() {
+        let cfg = ServeConfig {
+            request_timeout: Duration::from_secs(0),
+            ..ServeConfig::default()
+        };
+        let s = ServiceState::new(cfg);
+        let out = s.handle(&payload("project", VEC_ADD), 0);
+        assert!(out.contains("\"kind\":\"timeout\""), "{out}");
+        assert_eq!(s.snapshot(0).timeouts, 1);
+    }
+}

@@ -1,0 +1,181 @@
+//! End-to-end tests: a real server on an ephemeral port, hammered by
+//! concurrent TCP clients, checked against the single-shot handler for
+//! bit-identical responses, plus backpressure and shutdown-drain checks.
+
+use gpp_serve::{Client, Command, Request, ServeConfig, Server, ServiceState};
+use std::net::TcpStream;
+use std::time::Duration;
+
+const VECTOR_ADD: &str = include_str!("../../../skeletons/vector_add.gsk");
+const HOTSPOT: &str = include_str!("../../../skeletons/hotspot_1024.gsk");
+
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(20);
+
+fn ephemeral_config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServeConfig::default()
+    }
+}
+
+fn project_request(skeleton: &str, seed: u64) -> Request {
+    let mut req = Request::new(Command::Project);
+    req.seed = seed;
+    req.skeleton = skeleton.to_string();
+    req
+}
+
+/// What a one-shot, in-process invocation returns for this payload —
+/// the same pipeline the CLI runs, with no server in between.
+fn single_shot(req: &Request) -> String {
+    ServiceState::new(ServeConfig::default()).handle(&req.encode(), 0)
+}
+
+#[test]
+fn concurrent_clients_match_single_shot_output() {
+    const CLIENTS: usize = 8;
+    let server = Server::bind(ephemeral_config()).unwrap();
+    let handle = server.spawn().unwrap();
+    let addr = handle.addr();
+
+    // Distinct seeds and a mix of skeletons: every request is a cache
+    // miss, so each response must be computed under concurrency and still
+    // equal the single-shot answer.
+    let requests: Vec<Request> = (0..CLIENTS)
+        .map(|i| {
+            let skeleton = if i % 2 == 0 { VECTOR_ADD } else { HOTSPOT };
+            project_request(skeleton, 3000 + i as u64)
+        })
+        .collect();
+
+    let responses: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = requests
+            .iter()
+            .map(|req| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr, CLIENT_TIMEOUT).unwrap();
+                    client.call(req).unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (req, response) in requests.iter().zip(&responses) {
+        assert_eq!(
+            response,
+            &single_shot(req),
+            "concurrent response diverged from single-shot for seed {}",
+            req.seed
+        );
+    }
+
+    let stats = handle.state().snapshot(0);
+    assert_eq!(stats.served_ok, CLIENTS as u64);
+    assert_eq!(stats.served_err, 0);
+    assert_eq!(stats.rejected_busy, 0);
+    handle.shutdown_and_join().unwrap();
+}
+
+#[test]
+fn repeated_request_hits_projection_cache() {
+    let server = Server::bind(ephemeral_config()).unwrap();
+    let handle = server.spawn().unwrap();
+    let mut client = Client::connect(handle.addr(), CLIENT_TIMEOUT).unwrap();
+
+    let req = project_request(VECTOR_ADD, 2013);
+    let first = client.call(&req).unwrap();
+    let second = client.call(&req).unwrap();
+    assert!(
+        first.contains("\"cached\":false"),
+        "first call should miss: {first}"
+    );
+    assert!(
+        second.contains("\"cached\":true"),
+        "second call should hit: {second}"
+    );
+    // The memo must not change the answer.
+    assert_eq!(first.replace("\"cached\":false", "\"cached\":true"), second);
+
+    // The hit is visible through the wire-level stats command too.
+    let mut stats_req = Request::new(Command::Stats);
+    stats_req.command = Command::Stats;
+    let stats = client.call(&stats_req).unwrap();
+    assert!(stats.contains("\"projection_hits\":1"), "stats: {stats}");
+    assert!(stats.contains("\"projection_misses\":1"), "stats: {stats}");
+    assert!(stats.contains("\"calibration_hits\":1"), "stats: {stats}");
+    assert!(stats.contains("\"calibration_misses\":1"), "stats: {stats}");
+    handle.shutdown_and_join().unwrap();
+}
+
+#[test]
+fn over_capacity_requests_get_structured_busy_error() {
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue_depth: 1,
+        request_timeout: Duration::from_secs(5),
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(config).unwrap();
+    let handle = server.spawn().unwrap();
+    let addr = handle.addr();
+
+    // Two idle connections: one parks the single worker (blocked reading
+    // a frame that never comes), the next fills the depth-1 queue. The
+    // stagger lets the worker dequeue the first before the second lands,
+    // so the second occupies the queue slot instead of racing it.
+    let holder_a = TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+    let holder_b = TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+
+    // Now every further connection must be turned away immediately with
+    // the structured busy error, not queued and not hung.
+    let mut saw_busy = false;
+    for _ in 0..20 {
+        let mut client = Client::connect(addr, CLIENT_TIMEOUT).unwrap();
+        let response = client.call(&Request::new(Command::Ping)).unwrap();
+        if response.contains("\"kind\":\"busy\"") {
+            assert!(
+                response.starts_with("{\"ok\":false"),
+                "busy reply: {response}"
+            );
+            saw_busy = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(
+        saw_busy,
+        "no connection was rejected while the queue was full"
+    );
+    assert!(handle.state().snapshot(0).rejected_busy >= 1);
+
+    drop((holder_a, holder_b));
+    handle.shutdown_and_join().unwrap();
+}
+
+#[test]
+fn shutdown_drains_in_flight_requests() {
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        ..ephemeral_config()
+    };
+    let server = Server::bind(config).unwrap();
+    let handle = server.spawn().unwrap();
+    let addr = handle.addr();
+
+    let worker = std::thread::spawn(move || {
+        let mut client = Client::connect(addr, CLIENT_TIMEOUT).unwrap();
+        client.call(&project_request(HOTSPOT, 4242)).unwrap()
+    });
+    // Let the request reach the worker, then ask the server to stop while
+    // it is (likely) still computing. The accepted request must still get
+    // its full answer before the server exits.
+    std::thread::sleep(Duration::from_millis(20));
+    handle.shutdown_and_join().unwrap();
+    let response = worker.join().unwrap();
+    assert_eq!(response, single_shot(&project_request(HOTSPOT, 4242)));
+}

@@ -45,7 +45,11 @@ pub struct ProgramBuilder {
 impl ProgramBuilder {
     /// Starts a new program skeleton.
     pub fn new(name: impl Into<String>) -> Self {
-        ProgramBuilder { name: name.into(), arrays: Vec::new(), kernels: Vec::new() }
+        ProgramBuilder {
+            name: name.into(),
+            arrays: Vec::new(),
+            kernels: Vec::new(),
+        }
     }
 
     /// Declares a dense array and returns its id.
@@ -98,7 +102,11 @@ impl ProgramBuilder {
 
     /// Validates and produces the program.
     pub fn build(self) -> Result<Program, ValidationError> {
-        let p = Program { name: self.name, arrays: self.arrays, kernels: self.kernels };
+        let p = Program {
+            name: self.name,
+            arrays: self.arrays,
+            kernels: self.kernels,
+        };
         validate(&p)?;
         Ok(p)
     }
@@ -132,7 +140,11 @@ impl<'p> KernelBuilder<'p> {
 
     fn add_loop(&mut self, name: impl Into<String>, trip: u64, parallel: bool) -> LoopId {
         let id = LoopId(self.loops.len() as u32);
-        self.loops.push(Loop { name: name.into(), trip, parallel });
+        self.loops.push(Loop {
+            name: name.into(),
+            trip,
+            parallel,
+        });
         id
     }
 
@@ -152,7 +164,10 @@ impl<'p> KernelBuilder<'p> {
     /// # Panics
     /// Panics if `scale <= 0`.
     pub fn cpu_compute_scale(&mut self, scale: f64) {
-        assert!(scale > 0.0, "cpu_compute_scale must be positive, got {scale}");
+        assert!(
+            scale > 0.0,
+            "cpu_compute_scale must be positive, got {scale}"
+        );
         self.cpu_compute_scale = scale;
     }
 
@@ -189,7 +204,12 @@ pub struct StatementBuilder<'k, 'p> {
 impl StatementBuilder<'_, '_> {
     /// Resolves an array id by name (used by the text-format parser).
     pub fn lookup_array(&self, name: &str) -> Option<ArrayId> {
-        self.kernel.program.arrays.iter().find(|a| a.name == name).map(|a| a.id)
+        self.kernel
+            .program
+            .arrays
+            .iter()
+            .find(|a| a.name == name)
+            .map(|a| a.id)
     }
 
     /// Adds a read of `array` at the given affine indices.
@@ -214,13 +234,21 @@ impl StatementBuilder<'_, '_> {
 
     /// Adds a read with arbitrary (possibly irregular) indices.
     pub fn read_ix(mut self, array: ArrayId, index: &[IndexExpr]) -> Self {
-        self.refs.push(ArrayRef { array, index: index.to_vec(), kind: AccessKind::Read });
+        self.refs.push(ArrayRef {
+            array,
+            index: index.to_vec(),
+            kind: AccessKind::Read,
+        });
         self
     }
 
     /// Adds a write with arbitrary (possibly irregular) indices.
     pub fn write_ix(mut self, array: ArrayId, index: &[IndexExpr]) -> Self {
-        self.refs.push(ArrayRef { array, index: index.to_vec(), kind: AccessKind::Write });
+        self.refs.push(ArrayRef {
+            array,
+            index: index.to_vec(),
+            kind: AccessKind::Write,
+        });
         self
     }
 
@@ -270,7 +298,10 @@ mod tests {
             .read(a, &[idx(i)])
             .read(b, &[idx(i)])
             .write(c, &[idx(i)])
-            .flops(Flops { adds: 1, ..Flops::default() })
+            .flops(Flops {
+                adds: 1,
+                ..Flops::default()
+            })
             .finish();
         k.finish();
         let prog = p.build().unwrap();

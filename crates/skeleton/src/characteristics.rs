@@ -271,8 +271,16 @@ pub fn synthesize_with_axis(
         flops_per_thread,
         weighted_ops_per_thread: weighted_ops,
         accesses,
-        avg_active_fraction: if frac_weight > 0.0 { frac_sum / frac_weight } else { 1.0 },
-        sharable_load_fraction: if total_loads > 0.0 { sharable_loads / total_loads } else { 0.0 },
+        avg_active_fraction: if frac_weight > 0.0 {
+            frac_sum / frac_weight
+        } else {
+            1.0
+        },
+        sharable_load_fraction: if total_loads > 0.0 {
+            sharable_loads / total_loads
+        } else {
+            0.0
+        },
     }
 }
 
@@ -368,7 +376,10 @@ mod tests {
             .read(a, &[idx(i)])
             .read(b, &[idx(i)])
             .write(c, &[idx(i)])
-            .flops(Flops { adds: 1, ..Flops::default() })
+            .flops(Flops {
+                adds: 1,
+                ..Flops::default()
+            })
             .finish();
         k.finish();
         let prog = p.build().unwrap();
@@ -377,7 +388,10 @@ mod tests {
         assert_eq!(ch.serial_iters, 1);
         assert_eq!(ch.flops_per_thread, 1.0);
         assert_eq!(ch.accesses.len(), 3);
-        assert!(ch.accesses.iter().all(|a| a.class == CoalesceClass::Coalesced));
+        assert!(ch
+            .accesses
+            .iter()
+            .all(|a| a.class == CoalesceClass::Coalesced));
         assert_eq!(ch.bytes_read_per_thread(), 8.0);
         assert_eq!(ch.bytes_written_per_thread(), 4.0);
         assert!((ch.arithmetic_intensity() - 1.0 / 12.0).abs() < 1e-12);
@@ -402,7 +416,11 @@ mod tests {
             .read(a, &[idx(i) + 1, idx(j) + 1])
             .read(a, &[idx(i) + 1, idx(j) + 2])
             .write(b, &[idx(i) + 1, idx(j) + 1])
-            .flops(Flops { adds: 4, muls: 2, ..Flops::default() });
+            .flops(Flops {
+                adds: 4,
+                muls: 2,
+                ..Flops::default()
+            });
         s.finish();
         k.finish();
         let prog = p.build().unwrap();
@@ -464,12 +482,18 @@ mod tests {
         let i = k.parallel_loop("i", 64);
         k.statement()
             .read(a, &[idx(i)])
-            .flops(Flops { adds: 10, ..Flops::default() })
+            .flops(Flops {
+                adds: 10,
+                ..Flops::default()
+            })
             .active(1.0)
             .finish();
         k.statement()
             .write(a, &[idx(i)])
-            .flops(Flops { adds: 10, ..Flops::default() })
+            .flops(Flops {
+                adds: 10,
+                ..Flops::default()
+            })
             .active(0.5)
             .finish();
         k.finish();
@@ -489,7 +513,10 @@ mod tests {
         let t = k.serial_loop("t", 16);
         k.statement()
             .read(a, &[idx(i), idx(t)])
-            .flops(Flops { muls: 2, ..Flops::default() })
+            .flops(Flops {
+                muls: 2,
+                ..Flops::default()
+            })
             .finish();
         k.finish();
         let prog = p.build().unwrap();

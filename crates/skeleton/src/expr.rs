@@ -31,17 +31,26 @@ pub struct AffineExpr {
 impl AffineExpr {
     /// The constant expression `c`.
     pub fn constant(c: i64) -> Self {
-        AffineExpr { terms: Vec::new(), offset: c }
+        AffineExpr {
+            terms: Vec::new(),
+            offset: c,
+        }
     }
 
     /// The expression `1·loop + 0`.
     pub fn var(loop_id: LoopId) -> Self {
-        AffineExpr { terms: vec![(loop_id, 1)], offset: 0 }
+        AffineExpr {
+            terms: vec![(loop_id, 1)],
+            offset: 0,
+        }
     }
 
     /// The expression `coeff·loop + offset`.
     pub fn scaled(loop_id: LoopId, coeff: i64, offset: i64) -> Self {
-        let mut e = AffineExpr { terms: Vec::new(), offset };
+        let mut e = AffineExpr {
+            terms: Vec::new(),
+            offset,
+        };
         if coeff != 0 {
             e.terms.push((loop_id, coeff));
         }

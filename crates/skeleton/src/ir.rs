@@ -111,7 +111,10 @@ impl Flops {
     /// instruction slots the statement occupies per thread. Divides cost
     /// ~8 slots and specials ~4 on G80-class hardware; compares 1.
     pub fn weighted(&self) -> f64 {
-        self.adds as f64 + self.muls as f64 + 8.0 * self.divs as f64 + 4.0 * self.specials as f64
+        self.adds as f64
+            + self.muls as f64
+            + 8.0 * self.divs as f64
+            + 4.0 * self.specials as f64
             + self.compares as f64
     }
 
@@ -310,9 +313,21 @@ mod tests {
         Kernel {
             name: "k".into(),
             loops: vec![
-                Loop { name: "i".into(), trip: 100, parallel: true },
-                Loop { name: "t".into(), trip: 4, parallel: false },
-                Loop { name: "j".into(), trip: 50, parallel: true },
+                Loop {
+                    name: "i".into(),
+                    trip: 100,
+                    parallel: true,
+                },
+                Loop {
+                    name: "t".into(),
+                    trip: 4,
+                    parallel: false,
+                },
+                Loop {
+                    name: "j".into(),
+                    trip: 50,
+                    parallel: true,
+                },
             ],
             statements: vec![Statement {
                 refs: vec![ArrayRef {
@@ -320,7 +335,11 @@ mod tests {
                     index: vec![AffineExpr::var(LoopId(0)).into()],
                     kind: AccessKind::Read,
                 }],
-                flops: Flops { adds: 2, muls: 1, ..Flops::default() },
+                flops: Flops {
+                    adds: 2,
+                    muls: 1,
+                    ..Flops::default()
+                },
                 active_fraction: 0.5,
             }],
             gpu_compute_scale: 1.0,
@@ -353,10 +372,19 @@ mod tests {
 
     #[test]
     fn flops_weighting() {
-        let f = Flops { adds: 2, muls: 3, divs: 1, specials: 1, compares: 2 };
+        let f = Flops {
+            adds: 2,
+            muls: 3,
+            divs: 1,
+            specials: 1,
+            compares: 2,
+        };
         assert_eq!(f.total(), 9);
         assert_eq!(f.weighted(), 2.0 + 3.0 + 8.0 + 4.0 + 2.0);
-        let g = f.plus(&Flops { adds: 1, ..Flops::default() });
+        let g = f.plus(&Flops {
+            adds: 1,
+            ..Flops::default()
+        });
         assert_eq!(g.adds, 3);
     }
 
@@ -381,7 +409,11 @@ mod tests {
         assert_eq!(k.thread_axis(), Some(LoopId(2)));
         let serial = Kernel {
             name: "s".into(),
-            loops: vec![Loop { name: "t".into(), trip: 5, parallel: false }],
+            loops: vec![Loop {
+                name: "t".into(),
+                trip: 5,
+                parallel: false,
+            }],
             statements: vec![],
             gpu_compute_scale: 1.0,
             cpu_compute_scale: 1.0,

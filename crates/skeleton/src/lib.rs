@@ -60,7 +60,9 @@ pub mod text;
 pub mod validate;
 
 pub use builder::ProgramBuilder;
-pub use characteristics::{synthesize_with_axis, CoalesceClass, KernelCharacteristics, MemAccessChar};
+pub use characteristics::{
+    synthesize_with_axis, CoalesceClass, KernelCharacteristics, MemAccessChar,
+};
 pub use expr::{AffineExpr, IndexExpr, LoopId};
 pub use gpp_brs::{AccessKind, ArrayId};
 pub use ir::{ArrayDecl, ArrayRef, ElemType, Flops, Kernel, Loop, Program, Statement};

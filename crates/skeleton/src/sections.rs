@@ -115,7 +115,10 @@ mod tests {
             .read(a, &[idx(i) + 2, idx(j) + 2])
             .read(a, &[idx(i) + 1, idx(j) + 1])
             .write(b, &[idx(i) + 1, idx(j) + 1])
-            .flops(Flops { adds: 4, ..Flops::default() })
+            .flops(Flops {
+                adds: 4,
+                ..Flops::default()
+            })
             .finish();
         k.finish();
         p.build().unwrap()
@@ -132,10 +135,7 @@ mod tests {
         assert_eq!(set.element_count(), 4090);
         assert!(set.is_exact());
         // And the bounding hull is the whole array.
-        assert_eq!(
-            set.bounding_section(),
-            Section::dense(&[(0, 63), (0, 63)])
-        );
+        assert_eq!(set.bounding_section(), Section::dense(&[(0, 63), (0, 63)]));
     }
 
     #[test]

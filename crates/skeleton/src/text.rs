@@ -64,7 +64,10 @@ impl std::fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError { line, message: message.into() }
+    ParseError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Parses a `.gsk` skeleton document.
@@ -100,15 +103,19 @@ pub fn parse(input: &str) -> Result<Program, ParseError> {
                 if builder.is_some() {
                     return Err(err(lineno, "duplicate `program` line"));
                 }
-                let name = words.next().ok_or_else(|| err(lineno, "program needs a name"))?;
+                let name = words
+                    .next()
+                    .ok_or_else(|| err(lineno, "program needs a name"))?;
                 builder = Some(ProgramBuilder::new(name));
             }
             "array" => {
                 let b = builder
                     .as_mut()
                     .ok_or_else(|| err(lineno, "`array` before `program`"))?;
-                let name =
-                    words.next().ok_or_else(|| err(lineno, "array needs a name"))?.to_string();
+                let name = words
+                    .next()
+                    .ok_or_else(|| err(lineno, "array needs a name"))?
+                    .to_string();
                 let elem = match words.next() {
                     Some("f32") => ElemType::F32,
                     Some("f64") => ElemType::F64,
@@ -139,17 +146,21 @@ pub fn parse(input: &str) -> Result<Program, ParseError> {
                 if let Some(k) = kernel.take() {
                     done.push(k);
                 }
-                let name =
-                    words.next().ok_or_else(|| err(lineno, "kernel needs a name"))?.to_string();
+                let name = words
+                    .next()
+                    .ok_or_else(|| err(lineno, "kernel needs a name"))?
+                    .to_string();
                 let mut gpu_scale = 1.0;
                 let mut cpu_scale = 1.0;
                 for w in words {
                     if let Some(v) = w.strip_prefix("gpu_scale=") {
-                        gpu_scale =
-                            v.parse().map_err(|_| err(lineno, format!("bad gpu_scale `{v}`")))?;
+                        gpu_scale = v
+                            .parse()
+                            .map_err(|_| err(lineno, format!("bad gpu_scale `{v}`")))?;
                     } else if let Some(v) = w.strip_prefix("cpu_scale=") {
-                        cpu_scale =
-                            v.parse().map_err(|_| err(lineno, format!("bad cpu_scale `{v}`")))?;
+                        cpu_scale = v
+                            .parse()
+                            .map_err(|_| err(lineno, format!("bad cpu_scale `{v}`")))?;
                     } else {
                         return Err(err(lineno, format!("unknown kernel option `{w}`")));
                     }
@@ -169,8 +180,9 @@ pub fn parse(input: &str) -> Result<Program, ParseError> {
                 if !k.stmts.is_empty() {
                     return Err(err(lineno, "loops must precede statements"));
                 }
-                let var =
-                    words.next().ok_or_else(|| err(lineno, "loop needs a variable name"))?;
+                let var = words
+                    .next()
+                    .ok_or_else(|| err(lineno, "loop needs a variable name"))?;
                 let trip: u64 = words
                     .next()
                     .ok_or_else(|| err(lineno, "loop needs a trip count"))?
@@ -204,14 +216,16 @@ pub fn parse(input: &str) -> Result<Program, ParseError> {
                                 "divs" => flops.divs = n,
                                 "specials" => flops.specials = n,
                                 "compares" => flops.compares = n,
-                                _ => {
-                                    return Err(err(lineno, format!("unknown stmt key `{key}`")))
-                                }
+                                _ => return Err(err(lineno, format!("unknown stmt key `{key}`"))),
                             }
                         }
                     }
                 }
-                k.stmts.push(PendStmt { flops, active, refs: Vec::new() });
+                k.stmts.push(PendStmt {
+                    flops,
+                    active,
+                    refs: Vec::new(),
+                });
             }
             "read" | "write" => {
                 let k = kernel
@@ -221,13 +235,17 @@ pub fn parse(input: &str) -> Result<Program, ParseError> {
                     .stmts
                     .last_mut()
                     .ok_or_else(|| err(lineno, format!("`{head}` before any `stmt`")))?;
-                let array =
-                    words.next().ok_or_else(|| err(lineno, "reference needs an array"))?;
+                let array = words
+                    .next()
+                    .ok_or_else(|| err(lineno, "reference needs an array"))?;
                 let rest: String = words.collect::<Vec<_>>().join(" ");
                 let loop_names: Vec<&str> = k.loops.iter().map(|(n, _, _)| n.as_str()).collect();
                 let index = parse_index_list(&rest, &loop_names, lineno)?;
-                let kind =
-                    if head == "read" { AccessKind::Read } else { AccessKind::Write };
+                let kind = if head == "read" {
+                    AccessKind::Read
+                } else {
+                    AccessKind::Write
+                };
                 stmt.refs.push((array.to_string(), index, kind, lineno));
             }
             other => return Err(err(lineno, format!("unknown directive `{other}`"))),
@@ -265,7 +283,8 @@ pub fn parse(input: &str) -> Result<Program, ParseError> {
         }
         kb.finish();
     }
-    b.build().map_err(|e| err(0, format!("validation failed: {e}")))
+    b.build()
+        .map_err(|e| err(0, format!("validation failed: {e}")))
 }
 
 /// Looks an array up by name through the statement builder's program.
@@ -294,11 +313,7 @@ fn parse_extents(src: &str, line: usize) -> Result<Vec<usize>, ParseError> {
         .collect()
 }
 
-fn parse_index_list(
-    src: &str,
-    loops: &[&str],
-    line: usize,
-) -> Result<Vec<IndexExpr>, ParseError> {
+fn parse_index_list(src: &str, loops: &[&str], line: usize) -> Result<Vec<IndexExpr>, ParseError> {
     let src = src.trim();
     let inner = src
         .strip_prefix('[')
@@ -317,8 +332,9 @@ fn parse_index(src: &str, loops: &[&str], line: usize) -> Result<IndexExpr, Pars
         return Ok(IndexExpr::Irregular);
     }
     if let Some(span) = src.strip_prefix('?') {
-        let span: u32 =
-            span.parse().map_err(|_| err(line, format!("bad irregular span `{span}`")))?;
+        let span: u32 = span
+            .parse()
+            .map_err(|_| err(line, format!("bad irregular span `{span}`")))?;
         return Ok(IndexExpr::IrregularBounded(span));
     }
     // Tokenize into signed terms.
@@ -347,8 +363,9 @@ fn parse_index(src: &str, loops: &[&str], line: usize) -> Result<IndexExpr, Pars
         }
         // Forms: `<int>`, `<var>`, `<int>*<var>`.
         if let Some((coeff, var)) = body.split_once('*') {
-            let c: i64 =
-                coeff.parse().map_err(|_| err(line, format!("bad coefficient `{coeff}`")))?;
+            let c: i64 = coeff
+                .parse()
+                .map_err(|_| err(line, format!("bad coefficient `{coeff}`")))?;
             let li = loop_index(var, loops, line, src)?;
             expr.add_term(LoopId(li as u32), sign * c);
         } else if let Ok(c) = body.parse::<i64>() {
@@ -557,12 +574,17 @@ kernel k1 gpu_scale=38 cpu_scale=0.45
     fn index_expression_parsing() {
         let loops = ["i", "j"];
         let ix = parse_index("2*i - 3 + j", &loops, 1).unwrap();
-        let IndexExpr::Affine(e) = ix else { panic!("expected affine") };
+        let IndexExpr::Affine(e) = ix else {
+            panic!("expected affine")
+        };
         assert_eq!(e.coeff(LoopId(0)), 2);
         assert_eq!(e.coeff(LoopId(1)), 1);
         assert_eq!(e.offset, -3);
         assert_eq!(parse_index("?", &loops, 1).unwrap(), IndexExpr::Irregular);
-        assert_eq!(parse_index("?16", &loops, 1).unwrap(), IndexExpr::IrregularBounded(16));
+        assert_eq!(
+            parse_index("?16", &loops, 1).unwrap(),
+            IndexExpr::IrregularBounded(16)
+        );
         assert!(matches!(
             parse_index("7", &loops, 1).unwrap(),
             IndexExpr::Affine(e) if e.is_constant() && e.offset == 7
@@ -571,7 +593,8 @@ kernel k1 gpu_scale=38 cpu_scale=0.45
 
     #[test]
     fn errors_carry_line_numbers() {
-        let bad = "program x\narray a f32 [10]\nkernel k\n  parallel i 10\n  stmt\n    read zzz [i]\n";
+        let bad =
+            "program x\narray a f32 [10]\nkernel k\n  parallel i 10\n  stmt\n    read zzz [i]\n";
         let e = parse(bad).unwrap_err();
         assert_eq!(e.line, 6);
         assert!(e.to_string().contains("zzz"));

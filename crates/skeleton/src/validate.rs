@@ -59,24 +59,41 @@ impl std::fmt::Display for ValidationError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ValidationError::UnknownArray { kernel, array } => {
-                write!(f, "kernel `{kernel}` references undeclared array id {array}")
+                write!(
+                    f,
+                    "kernel `{kernel}` references undeclared array id {array}"
+                )
             }
-            ValidationError::DimMismatch { kernel, array, expected, got } => write!(
+            ValidationError::DimMismatch {
+                kernel,
+                array,
+                expected,
+                got,
+            } => write!(
                 f,
                 "kernel `{kernel}` indexes array `{array}` with {got} indices, \
                  but it has {expected} dimensions"
             ),
             ValidationError::UnknownLoop { kernel, loop_id } => {
-                write!(f, "kernel `{kernel}` index expression uses unknown loop {loop_id}")
+                write!(
+                    f,
+                    "kernel `{kernel}` index expression uses unknown loop {loop_id}"
+                )
             }
             ValidationError::ZeroTrip { kernel, loop_name } => {
-                write!(f, "kernel `{kernel}` loop `{loop_name}` has a zero trip count")
+                write!(
+                    f,
+                    "kernel `{kernel}` loop `{loop_name}` has a zero trip count"
+                )
             }
             ValidationError::EmptyLoopNest { kernel } => {
                 write!(f, "kernel `{kernel}` has no loops")
             }
             ValidationError::NoParallelism { kernel } => {
-                write!(f, "kernel `{kernel}` has no parallel loop and cannot be offloaded")
+                write!(
+                    f,
+                    "kernel `{kernel}` has no parallel loop and cannot be offloaded"
+                )
             }
             ValidationError::ZeroExtent { array } => {
                 write!(f, "array `{array}` has a zero extent")
@@ -91,15 +108,21 @@ impl std::error::Error for ValidationError {}
 pub fn validate(p: &Program) -> Result<(), ValidationError> {
     for a in &p.arrays {
         if a.extents.contains(&0) {
-            return Err(ValidationError::ZeroExtent { array: a.name.clone() });
+            return Err(ValidationError::ZeroExtent {
+                array: a.name.clone(),
+            });
         }
     }
     for k in &p.kernels {
         if k.loops.is_empty() {
-            return Err(ValidationError::EmptyLoopNest { kernel: k.name.clone() });
+            return Err(ValidationError::EmptyLoopNest {
+                kernel: k.name.clone(),
+            });
         }
         if !k.loops.iter().any(|l| l.parallel) {
-            return Err(ValidationError::NoParallelism { kernel: k.name.clone() });
+            return Err(ValidationError::NoParallelism {
+                kernel: k.name.clone(),
+            });
         }
         for l in &k.loops {
             if l.trip == 0 {
@@ -158,7 +181,10 @@ mod tests {
         let i = k.parallel_loop("i", 64);
         k.statement()
             .read(a, &[idx(i)])
-            .flops(Flops { adds: 1, ..Flops::default() })
+            .flops(Flops {
+                adds: 1,
+                ..Flops::default()
+            })
             .finish();
         k.finish();
         p.build().unwrap()
@@ -185,8 +211,7 @@ mod tests {
     #[test]
     fn unknown_loop_detected() {
         let mut p = good();
-        p.kernels[0].statements[0].refs[0].index =
-            vec![AffineExpr::var(LoopId(5)).into()];
+        p.kernels[0].statements[0].refs[0].index = vec![AffineExpr::var(LoopId(5)).into()];
         let e = validate(&p).unwrap_err();
         assert!(matches!(e, ValidationError::UnknownLoop { loop_id: 5, .. }));
     }
@@ -212,7 +237,11 @@ mod tests {
         let mut p = good();
         p.kernels.push(Kernel {
             name: "serial".into(),
-            loops: vec![Loop { name: "t".into(), trip: 4, parallel: false }],
+            loops: vec![Loop {
+                name: "t".into(),
+                trip: 4,
+                parallel: false,
+            }],
             statements: vec![Statement {
                 refs: vec![],
                 flops: Flops::default(),
@@ -231,7 +260,10 @@ mod tests {
     fn zero_extent_detected() {
         let mut p = good();
         p.arrays[0].extents = vec![0];
-        assert!(matches!(validate(&p).unwrap_err(), ValidationError::ZeroExtent { .. }));
+        assert!(matches!(
+            validate(&p).unwrap_err(),
+            ValidationError::ZeroExtent { .. }
+        ));
     }
 
     #[test]

@@ -44,12 +44,15 @@ fn any_program() -> impl Strategy<Value = Program> {
         prop::collection::vec((any_elem(), 1usize..3, any::<bool>()), 1..4), // arrays
         prop::collection::vec(
             (
-                1.0f64..4.0,                                        // gpu scale
-                0.5f64..1.5,                                        // cpu scale
-                1usize..3,                                          // parallel loops
-                0usize..2,                                          // serial loops
+                1.0f64..4.0, // gpu scale
+                0.5f64..1.5, // cpu scale
+                1usize..3,   // parallel loops
+                0usize..2,   // serial loops
                 prop::collection::vec(
-                    (prop::collection::vec((index.clone(), any::<bool>()), 1..4), 0u32..9),
+                    (
+                        prop::collection::vec((index.clone(), any::<bool>()), 1..4),
+                        0u32..9,
+                    ),
                     1..3,
                 ), // statements: refs + flop count
             ),
@@ -100,9 +103,9 @@ fn any_program() -> impl Strategy<Value = Program> {
                                     IndexKind::VarPlus(o) => {
                                         IndexExpr::Affine(AffineExpr::var(lid) + o)
                                     }
-                                    IndexKind::Scaled(c, o) => IndexExpr::Affine(
-                                        AffineExpr::scaled(lid, c, o),
-                                    ),
+                                    IndexKind::Scaled(c, o) => {
+                                        IndexExpr::Affine(AffineExpr::scaled(lid, c, o))
+                                    }
                                     IndexKind::Const(c) => {
                                         IndexExpr::Affine(AffineExpr::constant(c))
                                     }
@@ -111,7 +114,11 @@ fn any_program() -> impl Strategy<Value = Program> {
                                 }
                             })
                             .collect();
-                        s = if is_write { s.write_ix(arr, &ix) } else { s.read_ix(arr, &ix) };
+                        s = if is_write {
+                            s.write_ix(arr, &ix)
+                        } else {
+                            s.read_ix(arr, &ix)
+                        };
                     }
                     s.finish();
                 }

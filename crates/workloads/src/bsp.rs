@@ -88,12 +88,11 @@ mod tests {
                 let ts = fused[(r + 1) * 64 + c];
                 let tw = fused[r * 64 + c - 1];
                 let te = fused[r * 64 + c + 1];
-                fused[r * 64 + c] = t
-                    + p.step_div_cap
-                        * (power[r * 64 + c]
-                            + p.ry * (tn + ts - 2.0 * t)
-                            + p.rx * (tw + te - 2.0 * t)
-                            + p.rz * (p.amb - t));
+                fused[r * 64 + c] = t + p.step_div_cap
+                    * (power[r * 64 + c]
+                        + p.ry * (tn + ts - 2.0 * t)
+                        + p.rx * (tw + te - 2.0 * t)
+                        + p.rz * (p.amb - t));
             }
         }
         let max_diff = proper
@@ -101,7 +100,10 @@ mod tests {
             .zip(&fused)
             .map(|(a, b)| (a - b).abs())
             .fold(0.0f32, f32::max);
-        assert!(max_diff > 1e-4, "in-place update did not diverge ({max_diff})");
+        assert!(
+            max_diff > 1e-4,
+            "in-place update did not diverge ({max_diff})"
+        );
     }
 
     /// SRAD: fusing the two kernels (no barrier between coefficient
@@ -172,8 +174,7 @@ mod tests {
         let mut max_diff = 0.0f32;
         for i in window {
             for v in 0..NVAR {
-                max_diff =
-                    max_diff.max((proper.vars[v * nel + i] - fused.vars[v * nel + i]).abs());
+                max_diff = max_diff.max((proper.vars[v * nel + i] - fused.vars[v * nel + i]).abs());
             }
         }
         assert!(max_diff > 1e-6, "fused CFD did not diverge ({max_diff})");

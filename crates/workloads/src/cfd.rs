@@ -92,7 +92,12 @@ impl Mesh {
             normals[3 * nel + i] = -b;
             areas[i] = rng.gen_range(0.8..1.2);
         }
-        Mesh { nel, neighbors, normals, areas }
+        Mesh {
+            nel,
+            neighbors,
+            normals,
+            areas,
+        }
     }
 }
 
@@ -111,7 +116,11 @@ impl FlowState {
     pub fn initial(nel: usize) -> FlowState {
         let mut vars = vec![0.0f32; NVAR * nel];
         for i in 0..nel {
-            let rho = if (nel / 3..2 * nel / 3).contains(&i) { 1.2 } else { 1.0 };
+            let rho = if (nel / 3..2 * nel / 3).contains(&i) {
+                1.2
+            } else {
+                1.0
+            };
             let u = 0.3f32;
             let p = 1.0f32;
             vars[i] = rho;
@@ -268,7 +277,13 @@ impl Cfd {
         }
         s.read(areas, &[idx(i)])
             .write(sf, &[idx(i)])
-            .flops(Flops { adds: 6, muls: 8, divs: 2, specials: 2, compares: 2 })
+            .flops(Flops {
+                adds: 6,
+                muls: 8,
+                divs: 2,
+                specials: 2,
+                compares: 2,
+            })
             .finish();
         k1.finish();
 
@@ -293,8 +308,14 @@ impl Cfd {
         for v in 0..NVAR as i64 {
             s = s.write(fluxes, &[cst(v), idx(i)]);
         }
-        s.flops(Flops { adds: 44, muls: 52, divs: 4, specials: 4, compares: 8 })
-            .finish();
+        s.flops(Flops {
+            adds: 44,
+            muls: 52,
+            divs: 4,
+            specials: 4,
+            compares: 8,
+        })
+        .finish();
         k2.finish();
 
         // Kernel 3: time integration.
@@ -307,7 +328,12 @@ impl Cfd {
             s = s.read(vars, &[cst(v), idx(i)]);
             s = s.write(vars, &[cst(v), idx(i)]);
         }
-        s.flops(Flops { adds: 5, muls: 5, ..Flops::default() }).finish();
+        s.flops(Flops {
+            adds: 5,
+            muls: 5,
+            ..Flops::default()
+        })
+        .finish();
         k3.finish();
 
         p.build().expect("cfd skeleton is well-formed")
@@ -383,7 +409,10 @@ mod tests {
         let mesh = Mesh::synthetic(4096, 9);
         let mut state = FlowState::initial(4096);
         let intermediate = |v: &[f32]| {
-            v[..4096].iter().filter(|d| (1.02..1.18).contains(*d)).count()
+            v[..4096]
+                .iter()
+                .filter(|d| (1.02..1.18).contains(*d))
+                .count()
         };
         let before = intermediate(&state.vars);
         assert_eq!(before, 0);

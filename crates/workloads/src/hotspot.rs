@@ -34,7 +34,13 @@ pub struct ThermalParams {
 
 impl Default for ThermalParams {
     fn default() -> Self {
-        ThermalParams { ry: 0.1, rx: 0.1, rz: 0.0125, step_div_cap: 0.5, amb: 80.0 }
+        ThermalParams {
+            ry: 0.1,
+            rx: 0.1,
+            rz: 0.0125,
+            step_div_cap: 0.5,
+            amb: 80.0,
+        }
     }
 }
 
@@ -75,7 +81,11 @@ impl HotSpot {
             .read(temp, &[idx(i), idx(j)]) // centre
             .read(power, &[idx(i), idx(j)])
             .write(temp_out, &[idx(i), idx(j)])
-            .flops(Flops { adds: 10, muls: 6, ..Flops::default() })
+            .flops(Flops {
+                adds: 10,
+                muls: 6,
+                ..Flops::default()
+            })
             .finish();
         k.finish();
         p.build().expect("hotspot skeleton is well-formed")
@@ -145,7 +155,14 @@ pub fn step_par(temp: &[f32], power: &[f32], out: &mut [f32], n: usize, p: &Ther
 }
 
 #[inline]
-fn cell_update(temp: &[f32], power: &[f32], n: usize, r: usize, c: usize, p: &ThermalParams) -> f32 {
+fn cell_update(
+    temp: &[f32],
+    power: &[f32],
+    n: usize,
+    r: usize,
+    c: usize,
+    p: &ThermalParams,
+) -> f32 {
     let t = temp[r * n + c];
     let tn = temp[(r - 1) * n + c];
     let ts = temp[(r + 1) * n + c];

@@ -63,7 +63,12 @@ impl Srad {
             .read(img, &[idx(i), idx(j) + 1])
             .read(img, &[idx(i), idx(j)])
             .write(coeff, &[idx(i), idx(j)])
-            .flops(Flops { adds: 12, muls: 10, divs: 3, ..Flops::default() })
+            .flops(Flops {
+                adds: 12,
+                muls: 10,
+                divs: 3,
+                ..Flops::default()
+            })
             .finish();
         k1.finish();
 
@@ -80,7 +85,11 @@ impl Srad {
             .read(img, &[idx(i), idx(j) + 1])
             .read(img, &[idx(i), idx(j)])
             .write(img, &[idx(i), idx(j)])
-            .flops(Flops { adds: 10, muls: 8, ..Flops::default() })
+            .flops(Flops {
+                adds: 10,
+                muls: 8,
+                ..Flops::default()
+            })
             .finish();
         k2.finish();
 
@@ -112,7 +121,9 @@ impl Srad {
             .map(|k| {
                 let (r, c) = (k / n, k % n);
                 let base = 100.0 + 50.0 * ((r as f32 / n as f32) + (c as f32 / n as f32));
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let u = ((state >> 33) as f32) / (u32::MAX >> 1) as f32; // [0,2)
                 base * (0.75 + 0.25 * u)
             })

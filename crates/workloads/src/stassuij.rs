@@ -51,7 +51,9 @@ impl Csr {
         let mut vals = Vec::new();
         row_ptr.push(0u32);
         for r in 0..N {
-            let k = rng.gen_range(avg_nnz_per_row / 2..=avg_nnz_per_row * 3 / 2).max(1);
+            let k = rng
+                .gen_range(avg_nnz_per_row / 2..=avg_nnz_per_row * 3 / 2)
+                .max(1);
             let mut cols: Vec<u32> = (0..k)
                 .map(|_| {
                     // Band-biased column choice.
@@ -69,7 +71,11 @@ impl Csr {
             }
             row_ptr.push(col_idx.len() as u32);
         }
-        Csr { row_ptr, col_idx, vals }
+        Csr {
+            row_ptr,
+            col_idx,
+            vals,
+        }
     }
 
     /// Number of stored entries.
@@ -157,7 +163,9 @@ pub fn dense_reference(a: &Csr, b: &[C64]) -> Vec<C64> {
 /// Seeded dense complex input.
 pub fn synthetic_dense(seed: u64) -> Vec<C64> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..N * M).map(|_| (rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect()
+    (0..N * M)
+        .map(|_| (rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+        .collect()
 }
 
 /// The Stassuij workload.
@@ -170,7 +178,9 @@ pub struct Stassuij {
 impl Stassuij {
     /// The paper's single configuration.
     pub fn paper() -> Self {
-        Stassuij { csr: Csr::synthetic(5, 2013) }
+        Stassuij {
+            csr: Csr::synthetic(5, 2013),
+        }
     }
 
     /// Data-size label (the paper prints none; we use the shape).
@@ -227,13 +237,20 @@ impl Stassuij {
                 b,
                 &[irrb((N / 4) as u32), IndexExpr::Affine(AffineExpr::var(cj))],
             )
-            .flops(Flops { adds: 4, muls: 4, ..Flops::default() })
+            .flops(Flops {
+                adds: 4,
+                muls: 4,
+                ..Flops::default()
+            })
             .finish();
 
         k.statement()
             .read(c, &[idx(r), idx(cj)])
             .write(c, &[idx(r), idx(cj)])
-            .flops(Flops { adds: 4, ..Flops::default() })
+            .flops(Flops {
+                adds: 4,
+                ..Flops::default()
+            })
             .active(1.0)
             .finish();
 
@@ -321,8 +338,16 @@ mod tests {
         let s = Stassuij::paper();
         let plan = gpp_datausage::analyze(&s.program(), &s.hints());
         let mb = |b: u64| b as f64 / (1 << 20) as f64;
-        assert!((8.0..9.5).contains(&mb(plan.h2d_bytes())), "in {}", mb(plan.h2d_bytes()));
-        assert!((4.0..4.5).contains(&mb(plan.d2h_bytes())), "out {}", mb(plan.d2h_bytes()));
+        assert!(
+            (8.0..9.5).contains(&mb(plan.h2d_bytes())),
+            "in {}",
+            mb(plan.h2d_bytes())
+        );
+        assert!(
+            (4.0..4.5).contains(&mb(plan.d2h_bytes())),
+            "out {}",
+            mb(plan.d2h_bytes())
+        );
     }
 
     #[test]

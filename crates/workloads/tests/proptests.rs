@@ -10,7 +10,9 @@ fn small_grid(seed: u64, n: usize) -> (Vec<f32>, Vec<f32>) {
     // Deterministic pseudo-random temperature/power fields.
     let mut s = seed.wrapping_mul(2654435761).wrapping_add(1);
     let mut next = move || {
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((s >> 33) as f32) / (u32::MAX >> 1) as f32
     };
     let temp = (0..n * n).map(|_| 70.0 + 30.0 * next()).collect();

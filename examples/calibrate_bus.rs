@@ -6,13 +6,14 @@
 //! cargo run --release --example calibrate_bus
 //! ```
 
-use gpp_pcie::{
-    Bus, BusParams, BusSimulator, Calibrator, Direction, MemType, SweepValidation,
-};
+use gpp_pcie::{Bus, BusParams, BusSimulator, Calibrator, Direction, MemType, SweepValidation};
 
 fn main() {
     for (name, params) in [
-        ("PCIe v1 x16 (the paper's machine)", BusParams::pcie_v1_x16()),
+        (
+            "PCIe v1 x16 (the paper's machine)",
+            BusParams::pcie_v1_x16(),
+        ),
         ("PCIe v2 x16", BusParams::pcie_v2_x16()),
         ("PCIe v3 x16", BusParams::pcie_v3_x16()),
     ] {

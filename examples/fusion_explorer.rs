@@ -44,7 +44,14 @@ fn main() {
     let proj = gro.project(&hs.program(), &hs.hints());
     let fa = explore_fusion(&gro, &proj.kernels[0], 1, 16);
     for (f, t) in &fa.candidates {
-        let marker = if *f == fa.best_factor { "  <= best" } else { "" };
-        println!("  fuse {f:>2} steps/launch: {:>8.3} us/iter{marker}", t * 1e6);
+        let marker = if *f == fa.best_factor {
+            "  <= best"
+        } else {
+            ""
+        };
+        println!(
+            "  fuse {f:>2} steps/launch: {:>8.3} us/iter{marker}",
+            t * 1e6
+        );
     }
 }

@@ -24,8 +24,7 @@ fn main() {
     let hs = HotSpot { n: 256 };
     let (temp, power) = hs.initial_state();
     let after = run(&temp, &power, 256, 100, &ThermalParams::default());
-    let mean =
-        |g: &[f32]| g.iter().map(|t| *t as f64).sum::<f64>() / g.len() as f64;
+    let mean = |g: &[f32]| g.iter().map(|t| *t as f64).sum::<f64>() / g.len() as f64;
     println!(
         "functional check: 100 steps on a 256x256 die, mean temperature {:.2} -> {:.2} C",
         mean(&temp),
@@ -60,7 +59,13 @@ fn main() {
     let hs = HotSpot { n: 1024 };
     let proj = gro.project(&hs.program(), &hs.hints());
     let meas = measure(&mut node, &hs.program(), &proj);
-    let series = SpeedupSeries::sweep("HotSpot", hs.label(), &proj, &meas, [1, 4, 16, 64, 256, 1024]);
+    let series = SpeedupSeries::sweep(
+        "HotSpot",
+        hs.label(),
+        &proj,
+        &meas,
+        [1, 4, 16, 64, 256, 1024],
+    );
     println!(
         "{:>7} {:>10} {:>16} {:>18}",
         "iters", "measured", "pred w/transfer", "pred w/o transfer"
@@ -72,7 +77,10 @@ fn main() {
         );
     }
     let lim = SpeedupSeries::limit(&proj, &meas);
-    println!("{:>7} {:>10.2} {:>16.2} {:>18.2}", "inf", lim.measured, lim.with_transfer, lim.without_transfer);
+    println!(
+        "{:>7} {:>10.2} {:>16.2} {:>18.2}",
+        "inf", lim.measured, lim.with_transfer, lim.without_transfer
+    );
     if let Some(n) = series.twice_as_accurate_until() {
         println!("\ntransfer-aware prediction is >=2x more accurate up to {n} iterations");
     }

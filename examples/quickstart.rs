@@ -29,7 +29,10 @@ fn main() {
         .read(a, &[idx(i)])
         .read(b, &[idx(i)])
         .write(c, &[idx(i)])
-        .flops(Flops { adds: 1, ..Flops::default() })
+        .flops(Flops {
+            adds: 1,
+            ..Flops::default()
+        })
         .finish();
     k.finish();
     let program = p.build().expect("valid skeleton");
@@ -46,14 +49,29 @@ fn main() {
     let hints = Hints::new();
     let proj = gro.project(&program, &hints);
     println!("\n{}", proj.plan);
-    println!("projected kernel time   : {:>8.3} ms", proj.kernel_time * 1e3);
-    println!("projected transfer time : {:>8.3} ms", proj.transfer_time * 1e3);
-    println!("projected total GPU time: {:>8.3} ms", proj.total_time(1) * 1e3);
+    println!(
+        "projected kernel time   : {:>8.3} ms",
+        proj.kernel_time * 1e3
+    );
+    println!(
+        "projected transfer time : {:>8.3} ms",
+        proj.transfer_time * 1e3
+    );
+    println!(
+        "projected total GPU time: {:>8.3} ms",
+        proj.total_time(1) * 1e3
+    );
 
     // 4. Compare against the "real" machine (the simulated node).
     let meas = measure(&mut node, &program, &proj);
-    println!("\nmeasured CPU time       : {:>8.3} ms", meas.cpu_time * 1e3);
-    println!("measured GPU total      : {:>8.3} ms", meas.total_time(1) * 1e3);
+    println!(
+        "\nmeasured CPU time       : {:>8.3} ms",
+        meas.cpu_time * 1e3
+    );
+    println!(
+        "measured GPU total      : {:>8.3} ms",
+        meas.total_time(1) * 1e3
+    );
 
     let kernel_only = proj.speedup_kernel_only(meas.cpu_time, 1);
     let with_transfer = proj.speedup(meas.cpu_time, 1);

@@ -1,0 +1,230 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, `Criterion::{bench_function,
+//! benchmark_group}`, `BenchmarkGroup::{sample_size, bench_function,
+//! bench_with_input, finish}`, `BenchmarkId`, `Bencher::iter` — with a
+//! simple wall-clock measurement loop: warm up briefly, then time
+//! `sample_size` samples and report min / median / mean.
+//!
+//! Test-mode compatibility: `cargo test` also executes `harness = false`
+//! bench binaries (without the `--bench` flag `cargo bench` passes); in
+//! that mode each benchmark runs exactly one iteration so the tier-1
+//! suite stays fast. Force full measurement with `CRITERION_FULL=1`.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers work.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_id}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+fn quick_mode() -> bool {
+    // `cargo bench` passes `--bench` to harness=false binaries; `cargo
+    // test` does not. Only measure for real under `cargo bench` (or when
+    // forced), so the tier-1 test suite stays fast.
+    let full = std::env::args().any(|a| a == "--bench")
+        || std::env::var("CRITERION_FULL").is_ok_and(|v| v == "1");
+    !full
+}
+
+/// Passed to bench closures; times the measurement routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    quick: bool,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records per-iteration wall time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.quick {
+            let start = Instant::now();
+            std_black_box(routine());
+            self.samples.push(start.elapsed());
+            return;
+        }
+        // Warmup + calibration: target ~10ms per sample batch.
+        let start = Instant::now();
+        std_black_box(routine());
+        let one = start.elapsed().max(Duration::from_nanos(1));
+        let per_sample =
+            (Duration::from_millis(10).as_nanos() / one.as_nanos()).clamp(1, 10_000) as u32;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                std_black_box(routine());
+            }
+            self.samples.push(start.elapsed() / per_sample);
+        }
+    }
+}
+
+fn report(name: &str, samples: &[Duration]) {
+    let mut s: Vec<Duration> = samples.to_vec();
+    if s.is_empty() {
+        return;
+    }
+    s.sort_unstable();
+    let min = s[0];
+    let median = s[s.len() / 2];
+    let mean = s.iter().sum::<Duration>() / s.len() as u32;
+    println!("bench {name:<55} min {min:>12.3?}  median {median:>12.3?}  mean {mean:>12.3?}");
+}
+
+fn run_one(name: &str, sample_size: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+        quick: quick_mode(),
+    };
+    f(&mut b);
+    report(name, &b.samples);
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, self.sample_size, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.id), self.sample_size, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.id), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Groups bench functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_example(c: &mut Criterion) {
+        c.bench_function("fib_ish", |b| {
+            b.iter(|| (0..100u64).fold(0u64, |a, x| a.wrapping_add(x * x)))
+        });
+        let mut g = c.benchmark_group("grouped");
+        g.sample_size(5);
+        g.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, bench_example);
+
+    #[test]
+    fn harness_runs() {
+        // No `--bench` flag under the test harness, so this exercises the
+        // quick path end to end.
+        benches();
+    }
+}

@@ -1,0 +1,34 @@
+//! Offline stand-in for `serde`.
+//!
+//! The registry is unreachable in the build environment, so this crate
+//! provides just enough of serde's surface for the workspace to compile:
+//! the `Serialize`/`Deserialize` trait names (blanket-implemented, so
+//! bounds like `T: Serialize` are always satisfiable) and the derive
+//! macros (which expand to nothing). No serialization is performed —
+//! everything machine-readable in this repo goes through the hand-rolled
+//! JSON emitter in `grophecy::report`.
+
+/// Marker stand-in for `serde::Serialize`. Blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`. Blanket-implemented.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+// Derive macros live in the macro namespace, the traits above in the type
+// namespace — both can be imported with `use serde::{Serialize, ...}`,
+// exactly like the real crate.
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,50 @@
+//! The `.gsk` text format must round-trip: `to_text` is a faithful
+//! serialization of what `parse` produced, and formatting (`gpp fmt`,
+//! which is parse + `to_text`) is idempotent. Checked against every
+//! shipped skeleton so new example files are covered automatically.
+
+use gpp_skeleton::text;
+use std::path::PathBuf;
+
+fn shipped_skeletons() -> Vec<(PathBuf, String)> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("skeletons");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .map(|entry| entry.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "gsk"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "no .gsk files under {}", dir.display());
+    files
+        .into_iter()
+        .map(|p| {
+            let src = std::fs::read_to_string(&p).unwrap();
+            (p, src)
+        })
+        .collect()
+}
+
+#[test]
+fn parse_to_text_parse_is_identity() {
+    for (path, src) in shipped_skeletons() {
+        let program = text::parse(&src).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let rendered = text::to_text(&program);
+        let reparsed =
+            text::parse(&rendered).unwrap_or_else(|e| panic!("{} (re-parse): {e}", path.display()));
+        assert_eq!(
+            program,
+            reparsed,
+            "{}: parse(to_text(p)) != p",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn fmt_is_idempotent() {
+    for (path, src) in shipped_skeletons() {
+        let once = text::to_text(&text::parse(&src).unwrap());
+        let twice = text::to_text(&text::parse(&once).unwrap());
+        assert_eq!(once, twice, "{}: fmt(fmt(x)) != fmt(x)", path.display());
+    }
+}

@@ -98,12 +98,19 @@ fn kernel_only_overpredicts_everywhere() {
 fn stassuij_flips_from_speedup_to_slowdown() {
     let c = eval().case("Stassuij", "132");
     let r = c.speedup_report();
-    assert!(r.predicted_kernel_only > 1.0, "naive view must predict a win");
+    assert!(
+        r.predicted_kernel_only > 1.0,
+        "naive view must predict a win"
+    );
     assert!(r.measured < 1.0, "reality must be a slowdown");
     assert!(r.predicted_combined < 1.0, "GROPHECY++ must catch it");
     // Paper: predicted 0.38x vs actual 0.39x (1.6% error). Ours lands in
     // the same sub-1.0 regime with a small combined error.
-    assert!(r.error_combined() < 10.0, "combined error {:.1}%", r.error_combined());
+    assert!(
+        r.error_combined() < 10.0,
+        "combined error {:.1}%",
+        r.error_combined()
+    );
 }
 
 /// §V-B: iteration sweeps — the two predictions converge as transfers
@@ -128,7 +135,10 @@ fn iteration_sweeps_converge_and_favor_transfer_awareness() {
         assert!(gap_end < gap0 * 0.15, "{app}: predictions did not converge");
         // The paper's ≥2x-accuracy window exists (≥ 4 iterations here).
         let until = s.twice_as_accurate_until().unwrap_or(0);
-        assert!(until >= 4, "{app}: 2x-accuracy window only {until} iterations");
+        assert!(
+            until >= 4,
+            "{app}: 2x-accuracy window only {until} iterations"
+        );
     }
 }
 
@@ -140,8 +150,11 @@ fn transfer_prediction_error_band() {
     let ev = eval();
     let mut errs = Vec::new();
     for c in &ev.cases {
-        for ((_, meas), pred) in
-            c.measurement.transfer_times.iter().zip(&c.projection.transfer_times)
+        for ((_, meas), pred) in c
+            .measurement
+            .transfer_times
+            .iter()
+            .zip(&c.projection.transfer_times)
         {
             errs.push(gpp_pcie::error_magnitude(*pred, *meas));
         }
@@ -155,7 +168,10 @@ fn transfer_prediction_error_band() {
         .map(|c| c.speedup_report().transfer_time_error)
         .sum::<f64>()
         / ev.cases.len() as f64;
-    assert!(per_case < 12.0, "mean per-case transfer error {per_case:.1}%");
+    assert!(
+        per_case < 12.0,
+        "mean per-case transfer error {per_case:.1}%"
+    );
 }
 
 /// §I headline: kernel-time prediction error averages ~15% in the paper;

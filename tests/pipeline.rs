@@ -18,7 +18,11 @@ fn saxpy(n: usize) -> Program {
         .read(x, &[idx(i)])
         .read(y, &[idx(i)])
         .write(y, &[idx(i)])
-        .flops(Flops { adds: 1, muls: 1, ..Flops::default() })
+        .flops(Flops {
+            adds: 1,
+            muls: 1,
+            ..Flops::default()
+        })
         .finish();
     k.finish();
     p.build().unwrap()
