@@ -12,6 +12,9 @@ cargo fmt --all -- --check
 echo "== cargo clippy (deny warnings)"
 cargo clippy $CARGO_FLAGS --workspace --all-targets -- -D warnings
 
+echo "== benches compile"
+cargo bench $CARGO_FLAGS --no-run
+
 echo "== tier-1: build + tests"
 cargo build $CARGO_FLAGS --release
 cargo test $CARGO_FLAGS -q

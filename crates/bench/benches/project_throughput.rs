@@ -1,0 +1,143 @@
+//! Throughput of the transformation-space search itself: serial
+//! exhaustive vs pool-parallel exhaustive vs parallel + prune + memo, on
+//! the largest paper workload (CFD at 232K elements — three kernels, the
+//! widest candidate space in the suite).
+//!
+//! The timed region is exactly the kernel × axis × transformation search
+//! (`project_best_with` over every task the app projector would spawn);
+//! characteristics extraction and the transfer-plan analysis are hoisted
+//! because no search option touches them. All three arms produce
+//! bit-identical projections (the determinism suite asserts this); only
+//! wall-clock differs.
+//!
+//! Writes `BENCH_project.json` at the repository root with per-arm
+//! timings and the speedups over the serial baseline.
+//!
+//! Not a criterion harness: the serial arm must pin `GPP_THREADS=1` via
+//! `gpp_par::set_threads`, which is process-global state a shared
+//! criterion runner would race on.
+
+use gpp_skeleton::KernelCharacteristics;
+use gpp_workloads::cfd::Cfd;
+use grophecy::report::Json;
+use std::hint::black_box;
+use std::time::Instant;
+
+const ITERS: u32 = 20;
+
+struct Arm {
+    name: &'static str,
+    threads: usize,
+    opts: gpp_gpu_model::SearchOpts,
+}
+
+fn main() {
+    let spec = gpp_gpu_model::GpuSpec::quadro_fx_5600();
+    let case = Cfd {
+        nel: *Cfd::PAPER_SIZES.last().unwrap(),
+    }
+    .case();
+
+    // The same task list `Grophecy::project_with` flattens: one search
+    // per (kernel, thread-axis candidate).
+    let tasks: Vec<(String, KernelCharacteristics)> = case
+        .program
+        .kernels
+        .iter()
+        .flat_map(|k| {
+            k.axis_candidates().into_iter().map(|axis| {
+                (
+                    k.name.clone(),
+                    k.characteristics_with_axis(&case.program, axis),
+                )
+            })
+        })
+        .collect();
+    let candidates: usize = tasks
+        .iter()
+        .map(|(_, c)| gpp_gpu_model::candidate_space(c, &spec).len())
+        .sum();
+
+    let arms = [
+        Arm {
+            name: "serial_exhaustive",
+            threads: 1,
+            opts: gpp_gpu_model::SearchOpts::exhaustive(),
+        },
+        Arm {
+            name: "parallel_exhaustive",
+            threads: 0, // 0 = unset: GPP_THREADS or available parallelism
+            opts: gpp_gpu_model::SearchOpts::exhaustive(),
+        },
+        Arm {
+            name: "parallel_prune",
+            threads: 0,
+            opts: gpp_gpu_model::SearchOpts::default(),
+        },
+    ];
+
+    let run = |opts: gpp_gpu_model::SearchOpts| {
+        for (name, chars) in &tasks {
+            black_box(gpp_gpu_model::project_best_with(name, chars, &spec, opts));
+        }
+    };
+
+    let mut results: Vec<(&'static str, f64, f64)> = Vec::new();
+    for arm in &arms {
+        gpp_par::set_threads(arm.threads);
+        // One untimed pass so every arm runs against warm caches — the
+        // memo arm's steady state is the quantity of interest (a serve
+        // deployment pays synthesis once per distinct kernel).
+        run(arm.opts);
+        let mut times = Vec::with_capacity(ITERS as usize);
+        for _ in 0..ITERS {
+            let t0 = Instant::now();
+            run(arm.opts);
+            times.push(t0.elapsed().as_secs_f64());
+        }
+        let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        eprintln!(
+            "{:<22} min {:>9.3} ms  mean {:>9.3} ms",
+            arm.name,
+            min * 1e3,
+            mean * 1e3
+        );
+        results.push((arm.name, min, mean));
+    }
+    gpp_par::set_threads(0);
+
+    let serial_min = results[0].1;
+    let (hits, misses) = gpp_gpu_model::synth_memo_stats();
+    let json = Json::obj([
+        ("bench", Json::Str("project_throughput".to_string())),
+        ("workload", Json::Str(format!("CFD {}", case.dataset))),
+        ("searches_per_iter", Json::Num(tasks.len() as f64)),
+        ("candidates_per_iter", Json::Num(candidates as f64)),
+        ("iters", Json::Num(f64::from(ITERS))),
+        ("threads", Json::Num(gpp_par::configured_threads() as f64)),
+        (
+            "arms",
+            Json::Arr(
+                results
+                    .iter()
+                    .map(|(name, min, mean)| {
+                        Json::obj([
+                            ("name", Json::Str((*name).to_string())),
+                            ("min_s", Json::Num(*min)),
+                            ("mean_s", Json::Num(*mean)),
+                            ("speedup_vs_serial", Json::Num(serial_min / min)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("memo_hits", Json::Num(hits as f64)),
+        ("memo_misses", Json::Num(misses as f64)),
+    ]);
+    let out = json.render();
+    println!("{out}");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_project.json");
+    std::fs::write(path, format!("{out}\n")).expect("write BENCH_project.json");
+    eprintln!("wrote {path}");
+}

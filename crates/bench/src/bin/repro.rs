@@ -59,40 +59,46 @@ fn main() {
     });
     let ev = ev.as_ref();
 
-    for id in ids {
-        let out = match id {
-            "fig2" => render::fig2(EVAL_SEED),
-            "fig3" => render::fig3(EVAL_SEED),
-            "fig4" => render::fig4(EVAL_SEED),
-            "table1" => render::table1(ev.expect("eval")),
-            "table2" if json => {
-                use grophecy::report::{speedup_json, Json};
-                Json::Arr(
-                    ev.expect("eval")
-                        .cases
-                        .iter()
-                        .map(|c| speedup_json(&c.speedup_report()))
-                        .collect(),
-                )
-                .render()
-            }
-            "table2" => render::table2(ev.expect("eval")),
-            "fig5" => render::fig5(ev.expect("eval")),
-            "fig6" => render::fig6(ev.expect("eval")),
-            "fig7" => render::fig_speedup_by_size(ev.expect("eval"), "CFD", "7"),
-            "fig8" => render::fig_speedup_by_iters(ev.expect("eval"), "CFD", "233K", "8"),
-            "fig9" => render::fig_speedup_by_size(ev.expect("eval"), "HotSpot", "9"),
-            "fig10" => render::fig_speedup_by_iters(ev.expect("eval"), "HotSpot", "1024", "10"),
-            "fig11" => render::fig_speedup_by_size(ev.expect("eval"), "SRAD", "11"),
-            "fig12" => render::fig_speedup_by_iters(ev.expect("eval"), "SRAD", "4096", "12"),
-            "ablations" => ablation::render(EVAL_SEED),
-            "memtype" => render::memtype(EVAL_SEED),
-            "crossmachine" => gpp_bench::eval::cross_machine(EVAL_SEED),
-            other => {
-                eprintln!("unknown experiment `{other}`; known: fig2..fig12, table1, table2, ablations, memtype, all");
-                std::process::exit(2);
-            }
-        };
+    // Experiments are independent once the shared evaluation exists:
+    // render them on the pool and print in request order.
+    let outputs = gpp_par::par_map(ids.len(), |i| render_one(ids[i], json, ev));
+    for out in outputs {
         println!("{out}");
+    }
+}
+
+fn render_one(id: &str, json: bool, ev: Option<&Evaluation>) -> String {
+    match id {
+        "fig2" => render::fig2(EVAL_SEED),
+        "fig3" => render::fig3(EVAL_SEED),
+        "fig4" => render::fig4(EVAL_SEED),
+        "table1" => render::table1(ev.expect("eval")),
+        "table2" if json => {
+            use grophecy::report::{speedup_json, Json};
+            Json::Arr(
+                ev.expect("eval")
+                    .cases
+                    .iter()
+                    .map(|c| speedup_json(&c.speedup_report()))
+                    .collect(),
+            )
+            .render()
+        }
+        "table2" => render::table2(ev.expect("eval")),
+        "fig5" => render::fig5(ev.expect("eval")),
+        "fig6" => render::fig6(ev.expect("eval")),
+        "fig7" => render::fig_speedup_by_size(ev.expect("eval"), "CFD", "7"),
+        "fig8" => render::fig_speedup_by_iters(ev.expect("eval"), "CFD", "233K", "8"),
+        "fig9" => render::fig_speedup_by_size(ev.expect("eval"), "HotSpot", "9"),
+        "fig10" => render::fig_speedup_by_iters(ev.expect("eval"), "HotSpot", "1024", "10"),
+        "fig11" => render::fig_speedup_by_size(ev.expect("eval"), "SRAD", "11"),
+        "fig12" => render::fig_speedup_by_iters(ev.expect("eval"), "SRAD", "4096", "12"),
+        "ablations" => ablation::render(EVAL_SEED),
+        "memtype" => render::memtype(EVAL_SEED),
+        "crossmachine" => gpp_bench::eval::cross_machine(EVAL_SEED),
+        other => {
+            eprintln!("unknown experiment `{other}`; known: fig2..fig12, table1, table2, ablations, memtype, all");
+            std::process::exit(2);
+        }
     }
 }

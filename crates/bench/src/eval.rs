@@ -60,16 +60,27 @@ pub fn evaluate_all(seed: u64) -> Evaluation {
     let machine = MachineConfig::anl_eureka_node(seed);
     let mut node = machine.node();
     let gro = Grophecy::calibrate(&machine, &mut node);
-    let cases = paper_cases()
+    let cases_in = paper_cases();
+    // Projections are pure and independent — fan them out on the shared
+    // pool. Measurements consume the node's RNG stream, so they run
+    // serially afterwards, in Table I order, keeping every sampled value
+    // identical to the sequential evaluation.
+    let projections = gpp_par::par_map(cases_in.len(), |i| {
+        gro.project(&cases_in[i].program, &cases_in[i].hints)
+    });
+    let cases = cases_in
         .into_iter()
+        .zip(projections)
         .map(
-            |WorkloadCase {
-                 app,
-                 dataset,
-                 program,
-                 hints,
-             }| {
-                let projection = gro.project(&program, &hints);
+            |(
+                WorkloadCase {
+                    app,
+                    dataset,
+                    program,
+                    hints: _,
+                },
+                projection,
+            )| {
                 let measurement = measure(&mut node, &program, &projection);
                 CaseResult {
                     app,
@@ -131,19 +142,13 @@ pub fn cross_machine(seed: u64) -> String {
     for m in &machines {
         let mut node = m.node();
         let gro = Grophecy::calibrate(m, &mut node);
-        for (
-            k,
-            WorkloadCase {
-                app,
-                dataset,
-                program,
-                hints,
-            },
-        ) in paper_cases().into_iter().enumerate()
-        {
-            let proj = gro.project(&program, &hints);
+        let cases = paper_cases();
+        let projs = gpp_par::par_map(cases.len(), |i| {
+            gro.project(&cases[i].program, &cases[i].hints)
+        });
+        for (k, (case, proj)) in cases.iter().zip(&projs).enumerate() {
             if rows.len() <= k {
-                rows.push(vec![format!("{app:<9} {dataset:>14}")]);
+                rows.push(vec![format!("{:<9} {:>14}", case.app, case.dataset)]);
             }
             rows[k].push(format!(
                 "{:>8.2}ms kern + {:>8.2}ms xfer ({:>2.0}%)",

@@ -1,0 +1,80 @@
+//! The parallel projection engine's central guarantee: the projection a
+//! user sees is bit-identical to the serial exhaustive search — at any
+//! thread count, with and without pruning and the synthesis memo.
+//!
+//! `Debug` for `f64` prints the shortest string that round-trips, so two
+//! projections render identically iff every float in them has the same
+//! bits.
+
+use gpp_gpu_model::{project_all, project_best_with, SearchOpts};
+use gpp_workloads::paper_cases;
+use grophecy::machine::MachineConfig;
+use grophecy::projector::Grophecy;
+
+const SEED: u64 = 2013;
+
+#[test]
+fn projections_are_bit_identical_across_thread_counts_and_options() {
+    let machine = MachineConfig::anl_eureka_node(SEED);
+    let mut node = machine.node();
+    let gro = Grophecy::calibrate(&machine, &mut node);
+
+    for case in paper_cases() {
+        // The reference: the exact serial seed code path.
+        gpp_par::set_threads(1);
+        let reference = format!(
+            "{:?}",
+            gro.project_with(&case.program, &case.hints, SearchOpts::exhaustive())
+        );
+        for threads in [1, 2, 8] {
+            gpp_par::set_threads(threads);
+            for (label, opts) in [
+                ("exhaustive", SearchOpts::exhaustive()),
+                ("prune+memo", SearchOpts::default()),
+            ] {
+                let got = format!("{:?}", gro.project_with(&case.program, &case.hints, opts));
+                assert_eq!(
+                    got, reference,
+                    "{} {}: {} projection at {} threads diverged from serial",
+                    case.app, case.dataset, label, threads
+                );
+            }
+        }
+        gpp_par::set_threads(0);
+    }
+}
+
+#[test]
+fn pruning_never_changes_the_selected_best_config() {
+    let spec = MachineConfig::anl_eureka_node(SEED).gpu_spec;
+    for case in paper_cases() {
+        for kernel in &case.program.kernels {
+            for axis in kernel.axis_candidates() {
+                let chars = kernel.characteristics_with_axis(&case.program, axis);
+                let (exhaustive_best, _) = project_all(&kernel.name, &chars, &spec);
+                for opts in [
+                    SearchOpts::default(),
+                    SearchOpts {
+                        prune: true,
+                        memo: false,
+                    },
+                    SearchOpts {
+                        prune: false,
+                        memo: true,
+                    },
+                ] {
+                    let pruned = project_best_with(&kernel.name, &chars, &spec, opts);
+                    assert_eq!(
+                        format!("{:?}", pruned),
+                        format!("{:?}", exhaustive_best),
+                        "{} {} kernel {}: {:?} changed the selected best",
+                        case.app,
+                        case.dataset,
+                        kernel.name,
+                        opts
+                    );
+                }
+            }
+        }
+    }
+}

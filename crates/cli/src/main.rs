@@ -40,6 +40,8 @@ usage:
 
 options:
   --machine eureka|v2     target system (default eureka)
+  --threads N             projection search threads (default: GPP_THREADS
+                          env, else all cores; 1 = exact serial path)
   --profile               (project) print simulated kernel profiles
   --seed N                noise seed (default 2013)
   --iters N               iteration count for speedups (default 1)
@@ -103,6 +105,13 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--threads" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(v) if v >= 1 => gpp_par::set_threads(v),
+                _ => {
+                    eprintln!("--threads needs an integer >= 1");
+                    return ExitCode::from(2);
+                }
+            },
             "--profile" => opt.profile = true,
             "--temporary" => match args.next() {
                 Some(n) => opt.temporaries.push(n),

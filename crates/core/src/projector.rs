@@ -2,7 +2,7 @@
 
 use crate::machine::{MachineConfig, SimulatedNode};
 use gpp_datausage::{analyze, Hints, TransferDir, TransferPlan};
-use gpp_gpu_model::{project_best, GpuSpec, KernelProjection};
+use gpp_gpu_model::{project_best_with, GpuSpec, KernelProjection, SearchOpts};
 use gpp_pcie::model::DirectionalModel;
 use gpp_pcie::{AllocModel, Bus, Calibrator, Direction, MemType};
 use gpp_skeleton::Program;
@@ -25,12 +25,19 @@ pub struct AppProjection {
     /// Best projection per kernel, in program order.
     pub kernels: Vec<KernelProjection>,
     /// Σ best kernel times, seconds (one iteration).
+    ///
+    /// **Invariant:** always a *serial, program-order* reduction over
+    /// `kernels`, even when the per-kernel searches ran in parallel —
+    /// float summation order must never depend on `GPP_THREADS`.
     pub kernel_time: f64,
     /// The transfer plan from the data usage analyzer.
     pub plan: TransferPlan,
     /// Per-transfer predicted times, parallel to `plan.all()` order.
     pub transfer_times: Vec<f64>,
     /// Σ predicted transfer times, seconds.
+    ///
+    /// **Invariant:** a serial, plan-order reduction over
+    /// `transfer_times`, for the same reason as `kernel_time`.
     pub transfer_time: f64,
     /// Optional one-time allocation overhead (future-work feature, §VII).
     pub alloc_time: f64,
@@ -130,25 +137,63 @@ impl Grophecy {
     /// every parallel loop is tried as the thread axis, since the mapping
     /// determines every coalescing class.
     pub fn project(&self, program: &Program, hints: &Hints) -> AppProjection {
-        let kernels: Vec<KernelProjection> = program
+        self.project_with(program, hints, SearchOpts::default())
+    }
+
+    /// [`Grophecy::project`] with explicit search options (benchmarks and
+    /// the determinism suite compare the code paths).
+    ///
+    /// The kernel × axis × transformation search is flattened into one
+    /// task list and distributed over the `gpp-par` global pool; results
+    /// land in pre-sized index slots and every reduction below is serial
+    /// in program order, so the projection is bit-identical to the serial
+    /// path (`GPP_THREADS=1`) at any thread count.
+    pub fn project_with(
+        &self,
+        program: &Program,
+        hints: &Hints,
+        opts: SearchOpts,
+    ) -> AppProjection {
+        // One task per (kernel, axis-candidate) pair.
+        let tasks: Vec<(usize, usize, gpp_skeleton::LoopId)> = program
             .kernels
             .iter()
-            .map(|k| {
-                let mut best: Option<KernelProjection> = None;
-                for (ai, axis) in k.axis_candidates().into_iter().enumerate() {
-                    let chars = k.characteristics_with_axis(program, axis);
-                    let (mut proj, _) = project_best(&k.name, &chars, &self.spec);
-                    // Record non-default axis choices so the lowering (and
-                    // reports) reproduce the same mapping. Index 0 is the
-                    // innermost parallel loop — the default.
-                    proj.config.thread_axis = (ai > 0).then_some(axis);
-                    if best.as_ref().is_none_or(|b| proj.time < b.time) {
-                        best = Some(proj);
-                    }
-                }
-                best.expect("kernel has at least one parallel loop (validated)")
+            .enumerate()
+            .flat_map(|(ki, k)| {
+                k.axis_candidates()
+                    .into_iter()
+                    .enumerate()
+                    .map(move |(ai, axis)| (ki, ai, axis))
             })
             .collect();
+        let searched: Vec<KernelProjection> = gpp_par::par_map(tasks.len(), |t| {
+            let (ki, ai, axis) = tasks[t];
+            let k = &program.kernels[ki];
+            let chars = k.characteristics_with_axis(program, axis);
+            let mut proj = project_best_with(&k.name, &chars, &self.spec, opts);
+            // Record non-default axis choices so the lowering (and
+            // reports) reproduce the same mapping. Index 0 is the
+            // innermost parallel loop — the default.
+            proj.config.thread_axis = (ai > 0).then_some(axis);
+            proj
+        });
+
+        // Serial reduction, kernel by kernel in axis-candidate order:
+        // strict `<` keeps the earliest axis on ties, exactly like the
+        // serial loop.
+        let mut kernels: Vec<KernelProjection> = Vec::with_capacity(program.kernels.len());
+        for (ki, _) in program.kernels.iter().enumerate() {
+            let mut best: Option<&KernelProjection> = None;
+            for ((tki, _, _), proj) in tasks.iter().zip(&searched) {
+                if *tki == ki && best.is_none_or(|b| proj.time < b.time) {
+                    best = Some(proj);
+                }
+            }
+            kernels.push(
+                best.expect("kernel has at least one parallel loop (validated)")
+                    .clone(),
+            );
+        }
         let kernel_time = kernels.iter().map(|k| k.time).sum();
 
         let plan = analyze(program, hints);
@@ -296,7 +341,7 @@ mod tests {
         );
         // Compare against the default-axis best.
         let chars = program.kernels[0].characteristics(&program);
-        let (default_best, _) = project_best("k", &chars, gro.gpu_spec());
+        let default_best = gpp_gpu_model::project_best("k", &chars, gro.gpu_spec());
         assert!(
             best.time < default_best.time * 0.5,
             "interchange {} vs default {}",

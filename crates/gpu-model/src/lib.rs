@@ -18,6 +18,11 @@
 //!    achievable performance and the transformations necessary to reach
 //!    that performance" (paper §II-C).
 //!
+//! The search runs on the `gpp-par` global pool with a branch-and-bound
+//! prune (memory-roofline lower bound) and a process-wide synthesis memo;
+//! all three are observationally pure — the selected best projection is
+//! bit-identical to the serial exhaustive search at any `GPP_THREADS`.
+//!
 //! The model sees only *public* information: the code skeleton and the
 //! device datasheet. It does **not** see the timing simulator's internal
 //! parameters (scattered-traffic DRAM derating, exact latency, launch
@@ -35,6 +40,12 @@ pub mod spec;
 pub mod transform;
 
 pub use occupancy::ModelOccupancy;
-pub use project::{project, project_best, KernelProjection, ProjectionBound};
+pub use project::{
+    project, project_all, project_best, project_best_with, KernelProjection, ProjectionBound,
+    SearchOpts,
+};
 pub use spec::GpuSpec;
-pub use transform::{candidate_space, synthesize_transformed, SynthesizedKernel, Transformation};
+pub use transform::{
+    candidate_space, synth_memo_stats, synthesize_cached, synthesize_cached_keyed,
+    synthesize_transformed, CharsKey, SynthesizedKernel, Transformation,
+};

@@ -20,9 +20,11 @@
 use crate::occupancy::ModelOccupancy;
 use crate::spec::GpuSpec;
 use crate::transform::{
-    candidate_space, synthesize_transformed, SynthesizedKernel, Transformation,
+    candidate_space, synthesize_cached_keyed, synthesize_transformed, CharsKey, SynthesizedKernel,
+    Transformation,
 };
 use gpp_skeleton::KernelCharacteristics;
+use std::sync::Mutex;
 
 /// Pipeline-drain cost of one `__syncthreads()`, in cycles.
 const BARRIER_CYCLES: f64 = 24.0;
@@ -65,10 +67,32 @@ pub struct KernelProjection {
     pub dram_bytes: f64,
 }
 
+/// The name-free evaluation of one candidate (what the search actually
+/// computes; the winner gets its `String` name exactly once).
+#[derive(Debug, Clone, Copy)]
+struct Eval {
+    time: f64,
+    bound: ProjectionBound,
+    occupancy: ModelOccupancy,
+    dram_bytes: f64,
+}
+
 /// Projects the execution time of one synthesized kernel.
 ///
 /// Returns `None` if the configuration cannot run (occupancy = 0).
 pub fn project(name: &str, spec: &GpuSpec, kernel: &SynthesizedKernel) -> Option<KernelProjection> {
+    let ev = project_inner(spec, kernel)?;
+    Some(KernelProjection {
+        name: name.to_string(),
+        config: kernel.config,
+        time: ev.time,
+        bound: ev.bound,
+        occupancy: ev.occupancy,
+        dram_bytes: ev.dram_bytes,
+    })
+}
+
+fn project_inner(spec: &GpuSpec, kernel: &SynthesizedKernel) -> Option<Eval> {
     let occ = ModelOccupancy::compute(spec, kernel)?;
     let cpi = spec.cycles_per_warp_inst();
     let warp_size = spec.warp_size as f64;
@@ -106,9 +130,7 @@ pub fn project(name: &str, spec: &GpuSpec, kernel: &SynthesizedKernel) -> Option
         ProjectionBound::Latency
     };
 
-    Some(KernelProjection {
-        name: name.to_string(),
-        config: kernel.config,
+    Some(Eval {
         time,
         bound,
         occupancy: occ,
@@ -116,20 +138,178 @@ pub fn project(name: &str, spec: &GpuSpec, kernel: &SynthesizedKernel) -> Option
     })
 }
 
-/// Explores the whole transformation space and returns the best projection
-/// plus every candidate (for reports): "GROPHECY projects the best
-/// achievable performance and the transformations necessary to reach that
-/// performance".
-pub fn project_best(
+/// Options controlling the transformation-space search. The defaults are
+/// what production paths use; both switches are observationally pure —
+/// they change wall-clock time, never the selected best projection.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchOpts {
+    /// Branch-and-bound prune: skip a candidate whose analytic lower
+    /// bound (memory-traffic roofline + launch overhead) already loses
+    /// to the best time found so far.
+    pub prune: bool,
+    /// Route synthesis through the process-wide memo
+    /// ([`synthesize_cached`]).
+    pub memo: bool,
+}
+
+impl Default for SearchOpts {
+    fn default() -> Self {
+        SearchOpts {
+            prune: true,
+            memo: true,
+        }
+    }
+}
+
+impl SearchOpts {
+    /// The legacy exhaustive search: no pruning, no memo. With
+    /// `GPP_THREADS=1` this is bit-for-bit the serial seed code path.
+    pub fn exhaustive() -> Self {
+        SearchOpts {
+            prune: false,
+            memo: false,
+        }
+    }
+}
+
+/// The best-so-far prune threshold: the lexicographic minimum of
+/// `(time, candidate index)` over everything evaluated so far. Ordering
+/// by index as the tie-break makes pruning safe under *any* evaluation
+/// order: a candidate is skipped only if it provably loses that
+/// tie-break to an already-evaluated candidate, which the final winner
+/// beats or equals.
+struct Threshold {
+    time: f64,
+    idx: usize,
+}
+
+/// Explores the transformation space and returns only the best
+/// projection — the hot path (the core projector calls this once per
+/// kernel × axis). Work is distributed over the `gpp-par` global pool
+/// and reduced serially in candidate-index order, so the result is
+/// bit-identical to the serial exhaustive search at any thread count,
+/// with or without pruning.
+pub fn project_best(name: &str, chars: &KernelCharacteristics, spec: &GpuSpec) -> KernelProjection {
+    project_best_with(name, chars, spec, SearchOpts::default())
+}
+
+/// [`project_best`] with explicit search options (benchmarks and the
+/// determinism suite compare the paths).
+pub fn project_best_with(
+    name: &str,
+    chars: &KernelCharacteristics,
+    spec: &GpuSpec,
+    opts: SearchOpts,
+) -> KernelProjection {
+    let candidates = candidate_space(chars, spec);
+    // One fingerprint per search, shared by every candidate's memo lookup.
+    let memo_key = opts.memo.then(|| CharsKey::of(chars));
+
+    // Memory traffic is invariant across block size and unroll factor —
+    // it depends only on whether reusable loads are staged (see
+    // `synthesize_transformed`: staging rewrites the access streams, the
+    // other knobs touch compute slots and resources). One synthesis per
+    // staging option therefore yields an *exact* per-candidate memory
+    // roofline, and
+    //     time(c) = max(compute, memory, latency) + launch ≥ memory(c) + launch
+    // makes it a valid lower bound for the prune.
+    let lower_bounds: [Option<f64>; 2] = if opts.prune && !candidates.is_empty() {
+        let mut lb = [None, None];
+        for use_shared in [false, true] {
+            if candidates.iter().any(|c| c.use_shared == use_shared) {
+                let probe = Transformation {
+                    use_shared,
+                    unroll: 1,
+                    thread_axis: None,
+                    ..candidates[0]
+                };
+                let synth = synthesize_for(chars, probe, memo_key);
+                let dram = chars.threads as f64 * synth.global_bytes_per_thread(spec);
+                lb[use_shared as usize] = Some(dram / spec.assumed_mem_bw() + spec.launch_overhead);
+            }
+        }
+        lb
+    } else {
+        [None, None]
+    };
+
+    let threshold = Mutex::new(Threshold {
+        time: f64::INFINITY,
+        idx: usize::MAX,
+    });
+    let evals: Vec<Option<Eval>> = gpp_par::par_map(candidates.len(), |i| {
+        let config = candidates[i];
+        if let Some(lb) = lower_bounds[config.use_shared as usize] {
+            let t = threshold.lock().unwrap();
+            if lb > t.time || (lb == t.time && i > t.idx) {
+                return None; // provably loses the (time, index) tie-break
+            }
+        }
+        let synth = synthesize_for(chars, config, memo_key);
+        let ev = project_inner(spec, &synth)?;
+        if opts.prune {
+            let mut t = threshold.lock().unwrap();
+            if ev.time < t.time || (ev.time == t.time && i < t.idx) {
+                *t = Threshold {
+                    time: ev.time,
+                    idx: i,
+                };
+            }
+        }
+        Some(ev)
+    });
+
+    // Serial index-ordered reduction: first strict minimum wins, exactly
+    // like the seed's stable sort-by-time.
+    let mut best: Option<(usize, Eval)> = None;
+    for (i, ev) in evals.into_iter().enumerate() {
+        if let Some(ev) = ev {
+            if best.is_none_or(|(_, b)| ev.time < b.time) {
+                best = Some((i, ev));
+            }
+        }
+    }
+    let (idx, ev) = best.unwrap_or_else(|| {
+        panic!("no runnable transformation for kernel `{name}` — block sizes exhausted")
+    });
+    KernelProjection {
+        name: name.to_string(),
+        config: candidates[idx],
+        time: ev.time,
+        bound: ev.bound,
+        occupancy: ev.occupancy,
+        dram_bytes: ev.dram_bytes,
+    }
+}
+
+/// Explores the whole transformation space and materializes every
+/// candidate for reports, sorted by projected time: "GROPHECY projects
+/// the best achievable performance and the transformations necessary to
+/// reach that performance". Never prunes (a report wants the losers
+/// too); the hot path should call [`project_best`] instead.
+pub fn project_all(
     name: &str,
     chars: &KernelCharacteristics,
     spec: &GpuSpec,
 ) -> (KernelProjection, Vec<KernelProjection>) {
-    let mut all: Vec<KernelProjection> = candidate_space(chars, spec)
-        .into_iter()
-        .filter_map(|config| {
-            let synth = synthesize_transformed(chars, config);
-            project(name, spec, &synth)
+    let candidates = candidate_space(chars, spec);
+    let evals: Vec<Option<Eval>> = gpp_par::par_map(candidates.len(), |i| {
+        let synth = synthesize_transformed(chars, candidates[i]);
+        project_inner(spec, &synth)
+    });
+    let mut all: Vec<KernelProjection> = candidates
+        .iter()
+        .zip(evals)
+        .filter_map(|(config, ev)| {
+            let ev = ev?;
+            Some(KernelProjection {
+                name: name.to_string(),
+                config: *config,
+                time: ev.time,
+                bound: ev.bound,
+                occupancy: ev.occupancy,
+                dram_bytes: ev.dram_bytes,
+            })
         })
         .collect();
     assert!(
@@ -138,6 +318,20 @@ pub fn project_best(
     );
     all.sort_by(|a, b| a.time.total_cmp(&b.time));
     (all[0].clone(), all)
+}
+
+/// Synthesis with or without the process-wide memo. The memo holds
+/// exactly the value the direct path computes (synthesis is pure), so
+/// both arms are interchangeable bit-for-bit.
+fn synthesize_for(
+    chars: &KernelCharacteristics,
+    config: Transformation,
+    memo_key: Option<CharsKey>,
+) -> std::sync::Arc<SynthesizedKernel> {
+    match memo_key {
+        Some(key) => synthesize_cached_keyed(key, chars, config),
+        None => std::sync::Arc::new(synthesize_transformed(chars, config)),
+    }
 }
 
 #[cfg(test)]
@@ -195,7 +389,7 @@ mod tests {
         let prog = vadd_program(1 << 24);
         let chars = prog.kernels[0].characteristics(&prog);
         let spec = GpuSpec::quadro_fx_5600();
-        let (best, all) = project_best("add", &chars, &spec);
+        let (best, all) = project_all("add", &chars, &spec);
         assert_eq!(best.bound, ProjectionBound::Memory);
         // 16M threads × 12 B / (76.8 GB/s × 0.85) ≈ 3.08 ms + launch.
         let expect = (1u64 << 24) as f64 * 12.0 / (76.8e9 * 0.80) + spec.launch_overhead;
@@ -213,7 +407,7 @@ mod tests {
         let prog = stencil_program(1024);
         let chars = prog.kernels[0].characteristics(&prog);
         let spec = GpuSpec::quadro_fx_5600();
-        let (best, all) = project_best("k", &chars, &spec);
+        let (best, all) = project_all("k", &chars, &spec);
         assert!(best.config.use_shared, "best config: {}", best.config);
         // The best projection beats the worst by a meaningful factor.
         let worst = all.last().unwrap();
@@ -228,7 +422,7 @@ mod tests {
         let prog = vadd_program(2048);
         let chars = prog.kernels[0].characteristics(&prog);
         let spec = GpuSpec::quadro_fx_5600();
-        let (best, all) = project_best("add", &chars, &spec);
+        let (best, all) = project_all("add", &chars, &spec);
         assert!(all.iter().any(|p| p.bound == ProjectionBound::Latency));
         assert!(best.config.block_threads >= 256, "best: {}", best.config);
         let worst = all.last().unwrap();
@@ -240,8 +434,8 @@ mod tests {
     fn faster_device_projects_faster() {
         let prog = vadd_program(1 << 24);
         let chars = prog.kernels[0].characteristics(&prog);
-        let (g80, _) = project_best("add", &chars, &GpuSpec::quadro_fx_5600());
-        let (gt200, _) = project_best("add", &chars, &GpuSpec::tesla_c1060());
+        let g80 = project_best("add", &chars, &GpuSpec::quadro_fx_5600());
+        let gt200 = project_best("add", &chars, &GpuSpec::tesla_c1060());
         assert!(gt200.time < g80.time);
     }
 
@@ -252,8 +446,8 @@ mod tests {
         let spec = GpuSpec::quadro_fx_5600();
         let cs = small.kernels[0].characteristics(&small);
         let cb = big.kernels[0].characteristics(&big);
-        let (ps, _) = project_best("add", &cs, &spec);
-        let (pb, _) = project_best("add", &cb, &spec);
+        let ps = project_best("add", &cs, &spec);
+        let pb = project_best("add", &cb, &spec);
         let ratio = pb.time / ps.time;
         assert!((12.0..20.0).contains(&ratio), "ratio {ratio}");
     }

@@ -17,9 +17,12 @@
 
 use crate::spec::GpuSpec;
 use gpp_skeleton::{CoalesceClass, KernelCharacteristics, MemAccessChar};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// One candidate code transformation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Transformation {
     /// Threads per block.
     pub block_threads: u32,
@@ -223,6 +226,153 @@ pub fn synthesize_transformed(
         regs_per_thread: regs,
         shared_per_block,
     }
+}
+
+/// Entries the synthesis memo holds before it is wiped (a safety valve
+/// for unbounded what-if streams, not a tuning knob — entries are tiny).
+const MEMO_CAP: usize = 8192;
+
+type MemoKey = (u128, Transformation);
+type Memo = Mutex<HashMap<MemoKey, Arc<SynthesizedKernel>, BuildFnv>>;
+
+/// FNV-1a for the memo map. The key's first component is already a
+/// high-entropy fingerprint, so SipHash's DoS resistance buys nothing
+/// here and costs ~100 ns on every probe of the search hot loop.
+struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl std::hash::Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+    fn write_u8(&mut self, v: u8) {
+        self.write_u64(v as u64);
+    }
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64);
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x100_0000_01b3);
+    }
+    fn write_u128(&mut self, v: u128) {
+        self.write_u64(v as u64);
+        self.write_u64((v >> 64) as u64);
+    }
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+type BuildFnv = std::hash::BuildHasherDefault<FnvHasher>;
+
+static MEMO: OnceLock<Memo> = OnceLock::new();
+static MEMO_HITS: AtomicU64 = AtomicU64::new(0);
+static MEMO_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// `(hits, misses)` of the synthesis memo since process start.
+pub fn synth_memo_stats() -> (u64, u64) {
+    (
+        MEMO_HITS.load(Ordering::Relaxed),
+        MEMO_MISSES.load(Ordering::Relaxed),
+    )
+}
+
+/// A precomputed memo key for one kernel's characteristics. Computing
+/// the fingerprint walks every access, so the search computes it once
+/// per kernel and reuses it across the whole candidate space.
+#[derive(Debug, Clone, Copy)]
+pub struct CharsKey(u128);
+
+impl CharsKey {
+    /// Fingerprints the characteristics.
+    pub fn of(chars: &KernelCharacteristics) -> CharsKey {
+        CharsKey(chars_fingerprint(chars))
+    }
+}
+
+/// [`synthesize_transformed`] behind a process-wide memo keyed by
+/// (characteristics fingerprint, config). Synthesis is a pure function
+/// of that key, so a hit returns exactly the value a miss would compute
+/// — repeated projections of the same kernels (iteration sweeps, served
+/// what-if streams) skip the synthesis work entirely.
+pub fn synthesize_cached(
+    chars: &KernelCharacteristics,
+    config: Transformation,
+) -> Arc<SynthesizedKernel> {
+    synthesize_cached_keyed(CharsKey::of(chars), chars, config)
+}
+
+/// [`synthesize_cached`] with the characteristics fingerprint already
+/// computed (the hot path: one fingerprint per search, not per
+/// candidate).
+pub fn synthesize_cached_keyed(
+    key: CharsKey,
+    chars: &KernelCharacteristics,
+    config: Transformation,
+) -> Arc<SynthesizedKernel> {
+    let key = (key.0, config);
+    let memo = MEMO.get_or_init(Default::default);
+    if let Some(hit) = memo.lock().unwrap().get(&key) {
+        MEMO_HITS.fetch_add(1, Ordering::Relaxed);
+        return hit.clone();
+    }
+    MEMO_MISSES.fetch_add(1, Ordering::Relaxed);
+    let value = Arc::new(synthesize_transformed(chars, config));
+    let mut guard = memo.lock().unwrap();
+    if guard.len() >= MEMO_CAP {
+        guard.clear();
+    }
+    guard.insert(key, value.clone());
+    value
+}
+
+/// A 128-bit structural fingerprint of the characteristics (two FNV-1a
+/// streams over a canonical field encoding; the kernel name is excluded
+/// so same-shape kernels share entries). Collisions would need both
+/// 64-bit halves to collide on the same `Transformation`.
+fn chars_fingerprint(chars: &KernelCharacteristics) -> u128 {
+    // FNV-1a over whole 64-bit words, both streams folded in one pass
+    // with no staging buffer — this runs once per transformation search,
+    // but a search over a hot kernel is itself only microseconds.
+    let mut h1: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut h2: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut push = |v: u64| {
+        h1 = (h1 ^ v).wrapping_mul(0x100_0000_01b3);
+        h2 = (h2 ^ v).wrapping_mul(0x100_0000_01b3);
+    };
+    push(chars.threads);
+    push(chars.serial_iters);
+    push(chars.flops_per_thread.to_bits());
+    push(chars.weighted_ops_per_thread.to_bits());
+    push(chars.avg_active_fraction.to_bits());
+    push(chars.sharable_load_fraction.to_bits());
+    push(chars.accesses.len() as u64);
+    for a in &chars.accesses {
+        push(a.array.0 as u64);
+        push(a.kind.is_read() as u64);
+        push(a.elem_bytes as u64);
+        push(match a.class {
+            CoalesceClass::Coalesced => 1,
+            CoalesceClass::Broadcast => 2,
+            CoalesceClass::Strided(s) => 0x100 + s as u64,
+            CoalesceClass::Irregular => 3,
+        });
+        push(a.per_thread.to_bits());
+        push(a.sharable as u64);
+        push(a.aligned as u64);
+        push(a.reuse_group.map_or(u64::MAX, |g| g as u64));
+    }
+    ((h1 as u128) << 64) | h2 as u128
 }
 
 impl SynthesizedKernel {

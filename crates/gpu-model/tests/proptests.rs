@@ -1,6 +1,8 @@
 //! Property tests for the analytic GPU model.
 
-use gpp_gpu_model::{candidate_space, project, project_best, synthesize_transformed, GpuSpec};
+use gpp_gpu_model::{
+    candidate_space, project, project_all, project_best, synthesize_transformed, GpuSpec,
+};
 use gpp_skeleton::builder::{idx, ProgramBuilder};
 use gpp_skeleton::{ElemType, Flops, KernelCharacteristics};
 use proptest::prelude::*;
@@ -39,7 +41,7 @@ proptest! {
     ) {
         let c = chars(n, loads, flops);
         let spec = GpuSpec::quadro_fx_5600();
-        let (best, all) = project_best("k", &c, &spec);
+        let (best, all) = project_all("k", &c, &spec);
         prop_assert!(all.iter().all(|p| p.time >= best.time));
         prop_assert!(best.time.is_finite() && best.time > 0.0);
     }
@@ -52,7 +54,7 @@ proptest! {
         flops in 0u32..32,
     ) {
         let spec = GpuSpec::quadro_fx_5600();
-        let t = |c: &KernelCharacteristics| project_best("k", c, &spec).0.time;
+        let t = |c: &KernelCharacteristics| project_best("k", c, &spec).time;
         let base = t(&chars(n, loads, flops));
         prop_assert!(t(&chars(n * 2, loads, flops)) >= base * 0.99);
         prop_assert!(t(&chars(n, loads + 1, flops)) >= base * 0.99);
@@ -93,8 +95,8 @@ proptest! {
         let mut better = base.clone();
         better.sms *= 2;
         better.mem_bw *= 2.0;
-        let t_base = project_best("k", &c, &base).0.time;
-        let t_better = project_best("k", &c, &better).0.time;
+        let t_base = project_best("k", &c, &base).time;
+        let t_better = project_best("k", &c, &better).time;
         prop_assert!(t_better <= t_base * 1.001, "{t_better} > {t_base}");
     }
 
@@ -107,7 +109,7 @@ proptest! {
     ) {
         let c = chars(n, loads, 4);
         let spec = GpuSpec::quadro_fx_5600();
-        let (best, _) = project_best("k", &c, &spec);
+        let best = project_best("k", &c, &spec);
         let useful = n as f64 * 4.0 * (loads as f64 + 1.0);
         prop_assert!((best.dram_bytes / useful - 1.0).abs() < 1e-9);
     }

@@ -27,12 +27,14 @@ pub struct Metrics {
     /// Projection memo hits / misses.
     pub proj_hits: AtomicU64,
     pub proj_misses: AtomicU64,
-    /// Ring buffer of recent request latencies, microseconds.
+    /// Ring buffer of recent request latencies, microseconds, split into
+    /// (queued, compute): time spent waiting in the accept queue vs time
+    /// inside the handler.
     latencies_us: Mutex<Ring>,
 }
 
 struct Ring {
-    buf: Vec<u64>,
+    buf: Vec<(u64, u64)>,
     next: usize,
     filled: bool,
 }
@@ -70,10 +72,17 @@ pub struct StatsSnapshot {
     pub calib_misses: u64,
     pub proj_hits: u64,
     pub proj_misses: u64,
-    /// Median / tail latency over the recent window, microseconds.
-    /// Zero when no request completed yet.
+    /// Median / tail total latency (queued + compute) over the recent
+    /// window, microseconds. Zero when no request completed yet.
     pub p50_latency_us: u64,
     pub p99_latency_us: u64,
+    /// Time spent waiting in the accept queue before a worker picked the
+    /// connection up.
+    pub p50_queued_us: u64,
+    pub p99_queued_us: u64,
+    /// Time spent inside the handler (parse + compute + render).
+    pub p50_compute_us: u64,
+    pub p99_compute_us: u64,
     /// Requests sitting in the accept queue right now.
     pub queue_depth: usize,
     /// Entries in the projection memo right now.
@@ -87,15 +96,17 @@ impl Metrics {
         Self::default()
     }
 
-    /// Records one completed request's wall time.
-    pub fn record_latency(&self, elapsed: Duration) {
-        let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
+    /// Records one completed request's wall time, split into the queue
+    /// wait (accept to worker pickup) and the handler's compute time.
+    pub fn record_latency(&self, queued: Duration, compute: Duration) {
+        let us = |d: Duration| d.as_micros().min(u64::MAX as u128) as u64;
+        let sample = (us(queued), us(compute));
         let mut ring = self.latencies_us.lock();
         if ring.buf.len() < LATENCY_WINDOW {
-            ring.buf.push(us);
+            ring.buf.push(sample);
         } else {
             let next = ring.next;
-            ring.buf[next] = us;
+            ring.buf[next] = sample;
             ring.filled = true;
         }
         ring.next = (ring.next + 1) % LATENCY_WINDOW;
@@ -108,9 +119,13 @@ impl Metrics {
         proj_cache_len: usize,
         calib_cache_len: usize,
     ) -> StatsSnapshot {
-        let (p50, p99) = {
+        let (total, queued, compute) = {
             let ring = self.latencies_us.lock();
-            percentiles(&ring.buf)
+            (
+                percentiles(ring.buf.iter().map(|&(q, c)| q + c)),
+                percentiles(ring.buf.iter().map(|&(q, _)| q)),
+                percentiles(ring.buf.iter().map(|&(_, c)| c)),
+            )
         };
         StatsSnapshot {
             uptime: self.started.elapsed(),
@@ -122,8 +137,12 @@ impl Metrics {
             calib_misses: self.calib_misses.load(Ordering::Relaxed),
             proj_hits: self.proj_hits.load(Ordering::Relaxed),
             proj_misses: self.proj_misses.load(Ordering::Relaxed),
-            p50_latency_us: p50,
-            p99_latency_us: p99,
+            p50_latency_us: total.0,
+            p99_latency_us: total.1,
+            p50_queued_us: queued.0,
+            p99_queued_us: queued.1,
+            p50_compute_us: compute.0,
+            p99_compute_us: compute.1,
             queue_depth,
             proj_cache_len,
             calib_cache_len,
@@ -136,11 +155,11 @@ impl Metrics {
     }
 }
 
-fn percentiles(samples: &[u64]) -> (u64, u64) {
-    if samples.is_empty() {
+fn percentiles(samples: impl Iterator<Item = u64>) -> (u64, u64) {
+    let mut s: Vec<u64> = samples.collect();
+    if s.is_empty() {
         return (0, 0);
     }
-    let mut s = samples.to_vec();
     s.sort_unstable();
     // Nearest-rank method: the p-th percentile is the ceil(p*n)-th sample.
     let rank = |p: f64| -> u64 {
@@ -158,7 +177,7 @@ mod tests {
     fn percentiles_of_known_distribution() {
         let m = Metrics::new();
         for us in 1..=100u64 {
-            m.record_latency(Duration::from_micros(us));
+            m.record_latency(Duration::ZERO, Duration::from_micros(us));
         }
         let s = m.snapshot(3, 2, 1);
         assert_eq!(s.p50_latency_us, 50);
@@ -169,10 +188,26 @@ mod tests {
     }
 
     #[test]
+    fn queued_and_compute_split_is_tracked() {
+        let m = Metrics::new();
+        for us in 1..=100u64 {
+            m.record_latency(Duration::from_micros(us * 10), Duration::from_micros(us));
+        }
+        let s = m.snapshot(0, 0, 0);
+        assert_eq!(s.p50_queued_us, 500);
+        assert_eq!(s.p99_queued_us, 990);
+        assert_eq!(s.p50_compute_us, 50);
+        assert_eq!(s.p99_compute_us, 99);
+        // Total is the per-request sum, not the sum of percentiles.
+        assert_eq!(s.p50_latency_us, 550);
+        assert_eq!(s.p99_latency_us, 1089);
+    }
+
+    #[test]
     fn ring_wraps_at_window() {
         let m = Metrics::new();
         for _ in 0..(LATENCY_WINDOW + 10) {
-            m.record_latency(Duration::from_micros(7));
+            m.record_latency(Duration::from_micros(2), Duration::from_micros(5));
         }
         let s = m.snapshot(0, 0, 0);
         assert_eq!(s.p50_latency_us, 7);

@@ -26,7 +26,7 @@ use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How often the accept loop re-checks the shutdown flag while idle.
 const ACCEPT_POLL: Duration = Duration::from_millis(10);
@@ -74,11 +74,13 @@ impl Server {
         } = self;
         listener.set_nonblocking(true)?;
         let workers = state.config.workers.max(1);
-        let (tx, rx) = bounded::<TcpStream>(state.config.queue_depth.max(1));
+        // Each queue entry carries its enqueue instant so the worker can
+        // attribute the accept-queue wait separately from compute time.
+        let (tx, rx) = bounded::<(TcpStream, Instant)>(state.config.queue_depth.max(1));
 
         crossbeam::thread::scope(|scope| {
             for w in 0..workers {
-                let rx: Receiver<TcpStream> = rx.clone();
+                let rx: Receiver<(TcpStream, Instant)> = rx.clone();
                 let state = state.clone();
                 scope.spawn(move |_| worker_loop(w, &rx, &state));
             }
@@ -89,9 +91,9 @@ impl Server {
                     break;
                 }
                 match listener.accept() {
-                    Ok((stream, _peer)) => match tx.try_send(stream) {
+                    Ok((stream, _peer)) => match tx.try_send((stream, Instant::now())) {
                         Ok(()) => {}
-                        Err(TrySendError::Full(stream)) => {
+                        Err(TrySendError::Full((stream, _))) => {
                             state.note_busy();
                             reply_busy(stream);
                         }
@@ -159,12 +161,12 @@ impl ServerHandle {
     }
 }
 
-fn worker_loop(worker: usize, rx: &Receiver<TcpStream>, state: &ServiceState) {
+fn worker_loop(worker: usize, rx: &Receiver<(TcpStream, Instant)>, state: &ServiceState) {
     // recv() drains remaining queued connections after the acceptor drops
     // the sender, then reports Disconnected — exactly the shutdown drain
     // semantics we want.
-    while let Ok(stream) = rx.recv() {
-        if let Err(e) = serve_connection(stream, rx, state) {
+    while let Ok((stream, enqueued)) = rx.recv() {
+        if let Err(e) = serve_connection(stream, enqueued.elapsed(), rx, state) {
             // Client went away mid-request or a socket error: not fatal to
             // the server; note it and move on.
             if e.kind() != io::ErrorKind::UnexpectedEof {
@@ -174,18 +176,23 @@ fn worker_loop(worker: usize, rx: &Receiver<TcpStream>, state: &ServiceState) {
     }
 }
 
-/// Serves one connection: any number of request frames until EOF.
+/// Serves one connection: any number of request frames until EOF. The
+/// connection's queue wait is attributed to its first request; follow-up
+/// frames on the same connection never waited, so they record zero.
 fn serve_connection(
     mut stream: TcpStream,
-    rx: &Receiver<TcpStream>,
+    queued: Duration,
+    rx: &Receiver<(TcpStream, Instant)>,
     state: &ServiceState,
 ) -> io::Result<()> {
     let io_budget = state.config.request_timeout;
     stream.set_read_timeout(Some(io_budget))?;
     stream.set_write_timeout(Some(io_budget))?;
     stream.set_nodelay(true).ok();
+    let mut queued = queued;
     while let Some(payload) = read_frame(&mut stream)? {
-        let response = state.handle(&payload, rx.len());
+        let response = state.handle_timed(&payload, rx.len(), queued);
+        queued = Duration::ZERO;
         write_frame(&mut stream, &response)?;
     }
     Ok(())

@@ -70,6 +70,13 @@ impl ServiceState {
     /// JSON. Also tallies latency and outcome counters. `queue_depth` is
     /// the current accept-queue length (a gauge the handler can't know).
     pub fn handle(&self, payload: &str, queue_depth: usize) -> String {
+        self.handle_timed(payload, queue_depth, Duration::ZERO)
+    }
+
+    /// [`ServiceState::handle`] with the time the request already spent
+    /// waiting in the accept queue, so the latency window can attribute
+    /// queueing and compute separately.
+    pub fn handle_timed(&self, payload: &str, queue_depth: usize, queued: Duration) -> String {
         let start = Instant::now();
         let result = Request::decode(payload)
             .map_err(|e| ProtocolError::new("parse", e.to_string()))
@@ -87,7 +94,7 @@ impl ServiceState {
                 error_json(&e)
             }
         };
-        self.metrics.record_latency(start.elapsed());
+        self.metrics.record_latency(queued, start.elapsed());
         response.render()
     }
 
@@ -332,6 +339,7 @@ impl ServiceState {
     /// The `stats` response body.
     pub fn stats_json(&self, queue_depth: usize) -> Json {
         let s = self.snapshot(queue_depth);
+        let pool = gpp_par::Pool::global().stats();
         Json::obj([
             ("ok", Json::Bool(true)),
             ("command", Json::Str("stats".into())),
@@ -349,6 +357,10 @@ impl ServiceState {
                     ("projection_misses", Json::Num(s.proj_misses as f64)),
                     ("p50_latency_us", Json::Num(s.p50_latency_us as f64)),
                     ("p99_latency_us", Json::Num(s.p99_latency_us as f64)),
+                    ("p50_queued_us", Json::Num(s.p50_queued_us as f64)),
+                    ("p99_queued_us", Json::Num(s.p99_queued_us as f64)),
+                    ("p50_compute_us", Json::Num(s.p50_compute_us as f64)),
+                    ("p99_compute_us", Json::Num(s.p99_compute_us as f64)),
                     ("queue_depth", Json::Num(s.queue_depth as f64)),
                     (
                         "projection_cache_entries",
@@ -357,6 +369,15 @@ impl ServiceState {
                     (
                         "calibration_cache_entries",
                         Json::Num(s.calib_cache_len as f64),
+                    ),
+                    (
+                        "pool",
+                        Json::obj([
+                            ("threads", Json::Num(pool.threads as f64)),
+                            ("busy_workers", Json::Num(pool.busy_workers as f64)),
+                            ("tasks_executed", Json::Num(pool.tasks_executed as f64)),
+                            ("parallel_regions", Json::Num(pool.parallel_regions as f64)),
+                        ]),
                     ),
                 ]),
             ),
