@@ -19,4 +19,10 @@ echo "== tier-1: build + tests"
 cargo build $CARGO_FLAGS --release
 cargo test $CARGO_FLAGS -q
 
+echo "== chaos suite (pinned fault plan)"
+# The chaos tests pin their own seeds (7, 42, 2013); the env var pins the
+# plan for anything that consults GPP_FAULT_PLAN during the run.
+GPP_FAULT_PLAN='seed=2013;pcie.transfer.error:p=0.02' \
+    cargo test $CARGO_FLAGS -q -p gpp-serve --test chaos
+
 echo "CI OK"

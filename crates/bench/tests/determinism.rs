@@ -44,6 +44,54 @@ fn projections_are_bit_identical_across_thread_counts_and_options() {
     }
 }
 
+/// The fault-injection hooks must be invisible when no plan is armed: an
+/// empty plan routed through the fault-aware calibration path must yield
+/// a projector and projections bit-identical to the plain path — same RNG
+/// draws, same floats, same everything.
+#[test]
+fn empty_fault_plan_is_bit_identical_to_plain_path() {
+    use gpp_fault::{FaultInjector, FaultPlan};
+    use std::sync::Arc;
+
+    let machine = MachineConfig::anl_eureka_node(SEED);
+
+    let mut plain_node = machine.node();
+    let plain = Grophecy::calibrate(&machine, &mut plain_node);
+
+    let mut faulty_node = machine.node();
+    let injector = Arc::new(FaultInjector::new(FaultPlan::empty()));
+    let faulty = Grophecy::try_calibrate(&machine, &mut faulty_node, injector.clone())
+        .expect("empty plan cannot fail calibration");
+
+    assert_eq!(injector.total_fired(), 0);
+    assert_eq!(
+        plain.pcie_model().h2d.alpha.to_bits(),
+        faulty.pcie_model().h2d.alpha.to_bits()
+    );
+    assert_eq!(
+        plain.pcie_model().h2d.beta.to_bits(),
+        faulty.pcie_model().h2d.beta.to_bits()
+    );
+    assert_eq!(
+        plain.pcie_model().d2h.alpha.to_bits(),
+        faulty.pcie_model().d2h.alpha.to_bits()
+    );
+    assert_eq!(
+        plain.pcie_model().d2h.beta.to_bits(),
+        faulty.pcie_model().d2h.beta.to_bits()
+    );
+
+    for case in paper_cases() {
+        let want = format!("{:?}", plain.project(&case.program, &case.hints));
+        let got = format!("{:?}", faulty.project(&case.program, &case.hints));
+        assert_eq!(
+            got, want,
+            "{} {}: projection through the empty-plan path diverged",
+            case.app, case.dataset
+        );
+    }
+}
+
 #[test]
 fn pruning_never_changes_the_selected_best_config() {
     let spec = MachineConfig::anl_eureka_node(SEED).gpu_spec;

@@ -22,6 +22,7 @@ struct Options {
     queue_depth: usize,
     timeout_secs: u64,
     remote_command: String,
+    fault_plan: Option<String>,
 }
 
 const USAGE: &str = "\
@@ -53,6 +54,9 @@ options:
   --timeout SECS          (serve/request) per-request budget (default 30)
   --command NAME          (request) project|measure|analyze|deps|calibrate|
                           stats|ping (default project)
+  --fault-plan PLAN       (serve) seeded fault-injection plan, e.g.
+                          `seed=7;pcie.transfer.error:p=0.05` (default:
+                          GPP_FAULT_PLAN env, else no faults)
   --help, -h              print this help";
 
 fn usage() -> ExitCode {
@@ -82,6 +86,7 @@ fn main() -> ExitCode {
         queue_depth: 64,
         timeout_secs: 30,
         remote_command: "project".into(),
+        fault_plan: None,
     };
     let mut args = args.peekable();
     while let Some(a) = args.next() {
@@ -169,6 +174,13 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--fault-plan" => match args.next() {
+                Some(p) => opt.fault_plan = Some(p),
+                None => {
+                    eprintln!("--fault-plan needs a plan string");
+                    return ExitCode::from(2);
+                }
+            },
             "--command" => match args.next() {
                 Some(c) => opt.remote_command = c,
                 None => {
@@ -380,13 +392,36 @@ fn cmd_analyze(program: &Program, hints: &Hints, _opt: &Options) -> ExitCode {
 }
 
 fn cmd_serve(opt: &Options) -> ExitCode {
+    use gpp_fault::{FaultInjector, FaultPlan};
     use gpp_serve::{server::signals, ServeConfig, Server};
+    use std::sync::Arc;
     use std::time::Duration;
+    // --fault-plan wins; otherwise GPP_FAULT_PLAN; otherwise no faults.
+    let faults = match &opt.fault_plan {
+        Some(spec) => match spec.parse::<FaultPlan>() {
+            Ok(plan) => Arc::new(FaultInjector::new(plan)),
+            Err(e) => {
+                eprintln!("--fault-plan: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => match FaultInjector::from_env() {
+            Ok(inj) => inj,
+            Err(e) => {
+                eprintln!("{}: {e}", gpp_fault::ENV_FAULT_PLAN);
+                return ExitCode::from(2);
+            }
+        },
+    };
+    if faults.is_active() {
+        eprintln!("gpp-serve: fault injection armed: {}", faults.plan());
+    }
     let config = ServeConfig {
         addr: opt.addr.clone(),
         workers: opt.workers,
         queue_depth: opt.queue_depth,
         request_timeout: Duration::from_secs(opt.timeout_secs),
+        faults,
         ..ServeConfig::default()
     };
     let server = match Server::bind(config) {

@@ -2,10 +2,12 @@
 
 use crate::machine::{MachineConfig, SimulatedNode};
 use gpp_datausage::{analyze, Hints, TransferDir, TransferPlan};
+use gpp_fault::FaultInjector;
 use gpp_gpu_model::{project_best_with, GpuSpec, KernelProjection, SearchOpts};
 use gpp_pcie::model::DirectionalModel;
-use gpp_pcie::{AllocModel, Bus, Calibrator, Direction, MemType};
+use gpp_pcie::{AllocModel, Bus, CalibrationError, Calibrator, Direction, FaultyBus, MemType};
 use gpp_skeleton::Program;
+use std::sync::Arc;
 
 /// The calibrated GROPHECY++ instance for one machine.
 ///
@@ -80,6 +82,35 @@ impl Grophecy {
             mem: MemType::Pinned,
             alloc: None,
         }
+    }
+
+    /// Fault-aware calibration: like [`Grophecy::calibrate`], but wires a
+    /// fault injector through the whole node — the bus is wrapped in a
+    /// [`FaultyBus`] and calibrated via the outlier-rejecting
+    /// [`Calibrator::calibrate_checked`] path, and the node's GPU is armed
+    /// so later measurements see transient launch faults.
+    ///
+    /// With an **inactive** injector this delegates to the plain path, so
+    /// fault-free runs stay bit-identical to builds without fault support
+    /// (the robust path's validation probes would otherwise consume extra
+    /// bus-RNG draws and shift every downstream measurement).
+    pub fn try_calibrate(
+        machine: &MachineConfig,
+        node: &mut SimulatedNode,
+        faults: Arc<FaultInjector>,
+    ) -> Result<Self, CalibrationError> {
+        if !faults.is_active() {
+            return Ok(Self::calibrate(machine, node));
+        }
+        node.gpu.arm_faults(faults.clone());
+        let mut bus = FaultyBus::new(&mut node.bus, faults);
+        let pcie = Calibrator::default().calibrate_checked(&mut bus)?;
+        Ok(Grophecy {
+            spec: machine.gpu_spec.clone(),
+            pcie,
+            mem: MemType::Pinned,
+            alloc: None,
+        })
     }
 
     /// Builds a projector from an already-fitted PCIe model (used by
@@ -353,6 +384,53 @@ mod tests {
         let mut node = machine.node();
         let meas = crate::measurement::measure(&mut node, &program, &proj);
         assert!(meas.kernel_time < default_best.time * 2.0);
+    }
+
+    #[test]
+    fn try_calibrate_with_empty_plan_is_bit_identical() {
+        let machine = MachineConfig::anl_eureka_node(7);
+        let mut node = machine.node();
+        let plain = Grophecy::calibrate(&machine, &mut node);
+        let mut node = machine.node();
+        let faulted =
+            Grophecy::try_calibrate(&machine, &mut node, FaultInjector::disabled()).unwrap();
+        let (p, f) = (plain.pcie_model(), faulted.pcie_model());
+        assert_eq!(p.h2d.alpha.to_bits(), f.h2d.alpha.to_bits());
+        assert_eq!(p.h2d.beta.to_bits(), f.h2d.beta.to_bits());
+        assert_eq!(p.d2h.alpha.to_bits(), f.d2h.alpha.to_bits());
+        assert_eq!(p.d2h.beta.to_bits(), f.d2h.beta.to_bits());
+    }
+
+    #[test]
+    fn try_calibrate_survives_sporadic_outliers() {
+        let machine = MachineConfig::anl_eureka_node(7);
+        let mut node = machine.node();
+        let plan: gpp_fault::FaultPlan = "seed=2;pcie.calibration.outlier:p=0.2,factor=40"
+            .parse()
+            .unwrap();
+        let faults = Arc::new(FaultInjector::new(plan));
+        let gro = Grophecy::try_calibrate(&machine, &mut node, faults.clone()).unwrap();
+        let m = gro.pcie_model();
+        assert!(
+            (8.0e-6..13.0e-6).contains(&m.h2d.alpha),
+            "alpha {}",
+            m.h2d.alpha
+        );
+        assert!((2.2e9..2.8e9).contains(&m.h2d.bandwidth()));
+        assert!(faults.total_fired() > 0);
+    }
+
+    #[test]
+    fn try_calibrate_reports_hopeless_buses() {
+        let machine = MachineConfig::anl_eureka_node(7);
+        let mut node = machine.node();
+        let plan: gpp_fault::FaultPlan = "pcie.transfer.error:always".parse().unwrap();
+        let Err(err) =
+            Grophecy::try_calibrate(&machine, &mut node, Arc::new(FaultInjector::new(plan)))
+        else {
+            panic!("calibration should have failed");
+        };
+        assert!(err.to_string().contains("calibration failed"));
     }
 
     #[test]

@@ -23,6 +23,13 @@ pub enum RuntimeError {
     },
     /// A buffer id was used after being freed (or never existed).
     InvalidBuffer(u64),
+    /// A kernel launch failed transiently (driver hiccup, ECC retry) —
+    /// only ever produced under an active fault plan; retrying is expected
+    /// to succeed.
+    TransientFault {
+        /// The simulator's launch counter when the fault fired.
+        launch: u64,
+    },
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -33,6 +40,9 @@ impl std::fmt::Display for RuntimeError {
                 "device out of memory: requested {requested} B with only {free} B free"
             ),
             RuntimeError::InvalidBuffer(id) => write!(f, "invalid device buffer id {id}"),
+            RuntimeError::TransientFault { launch } => {
+                write!(f, "transient device fault at kernel launch {launch}")
+            }
         }
     }
 }

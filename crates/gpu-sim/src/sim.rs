@@ -2,9 +2,17 @@
 
 use crate::device::DeviceParams;
 use crate::instance::KernelInstance;
+use crate::runtime::RuntimeError;
 use crate::timing::{time_kernel, TimingBreakdown};
+use gpp_fault::FaultInjector;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// How many transient launch faults [`GpuSim::mean_time`] absorbs per
+/// measurement run before propagating the timing of the last attempt
+/// anyway (mirrors a driver-level retry).
+pub const MAX_LAUNCH_RETRIES: u32 = 8;
 
 /// Result of one simulated kernel launch.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,6 +33,7 @@ pub struct GpuSim {
     device: DeviceParams,
     rng: StdRng,
     launches: u64,
+    faults: Arc<FaultInjector>,
 }
 
 impl GpuSim {
@@ -34,7 +43,16 @@ impl GpuSim {
             device,
             rng: StdRng::seed_from_u64(seed),
             launches: 0,
+            faults: FaultInjector::disabled(),
         }
+    }
+
+    /// Arms the device with a fault injector: subsequent launches consult
+    /// [`gpp_fault::GPU_LAUNCH_TRANSIENT`]. An inactive injector leaves
+    /// every code path (and the noise RNG stream) bit-identical to an
+    /// unarmed simulator.
+    pub fn arm_faults(&mut self, faults: Arc<FaultInjector>) {
+        self.faults = faults;
     }
 
     /// The device description.
@@ -75,11 +93,50 @@ impl GpuSim {
         }
     }
 
+    /// Fallible launch: like [`GpuSim::launch`], but an armed fault
+    /// injector may fail the attempt with
+    /// [`RuntimeError::TransientFault`]. The kernel still ran (the launch
+    /// counter and noise RNG advance), only its completion was lost —
+    /// exactly how a transient driver error presents.
+    pub fn try_launch(&mut self, kernel: &KernelInstance) -> Result<KernelTiming, RuntimeError> {
+        let timing = self.launch(kernel);
+        if self.faults.is_active() && self.faults.fires(gpp_fault::GPU_LAUNCH_TRANSIENT) {
+            return Err(RuntimeError::TransientFault {
+                launch: self.launches,
+            });
+        }
+        Ok(timing)
+    }
+
+    /// One measurement run: retries transient faults up to
+    /// [`MAX_LAUNCH_RETRIES`] times, then gives up and uses the last
+    /// attempt's timing (a measurement loop must terminate even under an
+    /// `always`-firing plan). With an inactive injector this is exactly
+    /// one [`GpuSim::launch`].
+    fn launch_measured(&mut self, kernel: &KernelInstance) -> KernelTiming {
+        let mut timing = self.launch(kernel);
+        if !self.faults.is_active() {
+            return timing;
+        }
+        let mut retries = 0;
+        while self.faults.fires(gpp_fault::GPU_LAUNCH_TRANSIENT) && retries < MAX_LAUNCH_RETRIES {
+            timing = self.launch(kernel);
+            retries += 1;
+        }
+        timing
+    }
+
     /// Launches a kernel `runs` times and returns the arithmetic-mean time
     /// (the paper's measurement protocol: ten separate runs, §IV-A).
+    /// Transient injected faults are retried per run, so a measurement
+    /// taken under a sporadic fault plan still reflects completed
+    /// launches.
     pub fn mean_time(&mut self, kernel: &KernelInstance, runs: u32) -> f64 {
         let runs = runs.max(1);
-        (0..runs).map(|_| self.launch(kernel).time).sum::<f64>() / runs as f64
+        (0..runs)
+            .map(|_| self.launch_measured(kernel).time)
+            .sum::<f64>()
+            / runs as f64
     }
 }
 
@@ -139,6 +196,62 @@ mod tests {
         let ideal = sim.ideal_time(&kernel(1 << 22));
         let mean = sim.mean_time(&kernel(1 << 22), 50);
         assert!((mean / ideal - 1.0).abs() < 0.03, "{mean} vs {ideal}");
+    }
+
+    #[test]
+    fn armed_empty_plan_is_bit_identical_to_unarmed() {
+        let k = kernel(1 << 20);
+        let mut plain = GpuSim::new(DeviceParams::quadro_fx_5600(), 9);
+        let mut armed = GpuSim::new(DeviceParams::quadro_fx_5600(), 9);
+        armed.arm_faults(FaultInjector::disabled());
+        for _ in 0..5 {
+            assert_eq!(
+                plain.launch(&k).time.to_bits(),
+                armed.try_launch(&k).unwrap().time.to_bits()
+            );
+        }
+        assert_eq!(
+            plain.mean_time(&k, 10).to_bits(),
+            armed.mean_time(&k, 10).to_bits()
+        );
+    }
+
+    #[test]
+    fn transient_faults_fail_try_launch_per_plan() {
+        let plan: gpp_fault::FaultPlan = "gpu.launch.transient:every=2".parse().unwrap();
+        let mut sim = GpuSim::new(DeviceParams::quadro_fx_5600(), 9);
+        sim.arm_faults(std::sync::Arc::new(FaultInjector::new(plan)));
+        let k = kernel(1 << 20);
+        assert!(sim.try_launch(&k).is_ok());
+        let err = sim.try_launch(&k).unwrap_err();
+        assert_eq!(err, RuntimeError::TransientFault { launch: 2 });
+        assert!(err.to_string().contains("transient device fault"));
+    }
+
+    #[test]
+    fn mean_time_retries_through_sporadic_transients() {
+        let plan: gpp_fault::FaultPlan = "seed=4;gpu.launch.transient:p=0.3".parse().unwrap();
+        let mut sim = GpuSim::new(DeviceParams::quadro_fx_5600(), 3);
+        sim.arm_faults(std::sync::Arc::new(FaultInjector::new(plan)));
+        let k = kernel(1 << 22);
+        let ideal = sim.ideal_time(&k);
+        let mean = sim.mean_time(&k, 50);
+        assert!((mean / ideal - 1.0).abs() < 0.05, "{mean} vs {ideal}");
+        assert!(sim.launch_count() > 50, "retries should add launches");
+    }
+
+    #[test]
+    fn mean_time_terminates_under_always_firing_plan() {
+        let plan: gpp_fault::FaultPlan = "gpu.launch.transient:always".parse().unwrap();
+        let mut sim = GpuSim::new(DeviceParams::quadro_fx_5600(), 3);
+        sim.arm_faults(std::sync::Arc::new(FaultInjector::new(plan)));
+        let t = sim.mean_time(&kernel(1 << 20), 3);
+        assert!(t.is_finite() && t > 0.0);
+        assert_eq!(
+            sim.launch_count(),
+            3 * (u64::from(MAX_LAUNCH_RETRIES) + 1),
+            "each run retries exactly the budget"
+        );
     }
 
     #[test]

@@ -73,7 +73,170 @@ impl Calibrator {
         }
         samples.iter().sum::<f64>() / samples.len() as f64
     }
+
+    /// Fault-tolerant calibration: like [`Calibrator::calibrate`], but
+    /// built for buses that can fail or lie (a [`crate::FaultyBus`], a
+    /// contended real machine). Differences from the plain path:
+    ///
+    /// * each fit point is a **median of k** samples taken with
+    ///   [`Bus::try_transfer`], retrying failed attempts under a bounded
+    ///   budget;
+    /// * the fitted line is **validated** against fresh probes at 64 KiB
+    ///   (α-sensitive) and 8 MiB (β-sensitive); a probe deviating beyond a
+    ///   relative residual threshold triggers a re-measure with a larger k;
+    /// * after [`MAX_FIT_ATTEMPTS`] the structured [`CalibrationError`]
+    ///   reports which direction failed and why.
+    ///
+    /// The plain path stays untouched so a run without faults remains
+    /// bit-identical to earlier releases; callers switch to this method
+    /// only when a fault plan is active (see `Grophecy::try_calibrate`).
+    pub fn calibrate_checked(
+        &self,
+        bus: &mut dyn Bus,
+    ) -> Result<DirectionalModel, CalibrationError> {
+        Ok(DirectionalModel {
+            h2d: self.calibrate_direction_checked(bus, Direction::HostToDevice)?,
+            d2h: self.calibrate_direction_checked(bus, Direction::DeviceToHost)?,
+        })
+    }
+
+    /// The fault-tolerant path for a single direction. See
+    /// [`Calibrator::calibrate_checked`].
+    pub fn calibrate_direction_checked(
+        &self,
+        bus: &mut dyn Bus,
+        dir: Direction,
+    ) -> Result<LinearModel, CalibrationError> {
+        let fail = |attempts: u32, message: String| CalibrationError {
+            direction: dir,
+            attempts,
+            message,
+        };
+        let mut k = self.runs.max(3);
+        let mut last_reason = String::new();
+        for attempt in 1..=MAX_FIT_ATTEMPTS {
+            let t_small = self
+                .robust_median(bus, self.small_bytes, dir, k)
+                .map_err(|m| fail(attempt, m))?;
+            let t_large = self
+                .robust_median(bus, self.large_bytes, dir, k)
+                .map_err(|m| fail(attempt, m))?;
+            // A fit point corrupted badly enough to invert the ordering
+            // would make LinearModel::new panic; treat it as a failed
+            // attempt instead.
+            if !(t_small.is_finite() && t_large.is_finite() && t_small > 0.0 && t_small < t_large) {
+                last_reason = format!("degenerate fit points t_small={t_small} t_large={t_large}");
+                k = k * 2 + 1;
+                continue;
+            }
+            let model = LinearModel::from_two_points(t_small, t_large, self.large_bytes);
+            match self.validate_fit(bus, dir, &model) {
+                Ok(()) => return Ok(model),
+                Err(reason) => {
+                    last_reason = reason;
+                    k = k * 2 + 1;
+                }
+            }
+        }
+        Err(fail(
+            MAX_FIT_ATTEMPTS,
+            format!("fit never validated: {last_reason}"),
+        ))
+    }
+
+    /// Median of `k` successful samples, retrying injected transfer errors
+    /// under a bounded budget (4 failures per wanted sample).
+    fn robust_median(
+        &self,
+        bus: &mut dyn Bus,
+        bytes: u64,
+        dir: Direction,
+        k: u32,
+    ) -> Result<f64, String> {
+        let mut samples: Vec<f64> = Vec::with_capacity(k as usize);
+        let mut failures: u32 = 0;
+        let budget = k * 4;
+        while samples.len() < k as usize {
+            match bus.try_transfer(bytes, dir, self.mem) {
+                Ok(t) => samples.push(t),
+                Err(e) => {
+                    failures += 1;
+                    if failures > budget {
+                        return Err(format!(
+                            "retry budget exhausted after {failures} failed transfers of \
+                             {bytes} B: {e}"
+                        ));
+                    }
+                }
+            }
+        }
+        samples.sort_by(f64::total_cmp);
+        let mid = samples.len() / 2;
+        Ok(if samples.len() % 2 == 1 {
+            samples[mid]
+        } else {
+            0.5 * (samples[mid - 1] + samples[mid])
+        })
+    }
+
+    /// Probes the fitted line at an α-sensitive and a β-sensitive size and
+    /// rejects it when a probe's relative residual exceeds its threshold.
+    fn validate_fit(
+        &self,
+        bus: &mut dyn Bus,
+        dir: Direction,
+        model: &LinearModel,
+    ) -> Result<(), String> {
+        for (bytes, threshold) in VALIDATION_PROBES {
+            let measured = self.robust_median(bus, bytes, dir, 5)?;
+            let predicted = model.predict(bytes);
+            let residual = (measured - predicted).abs() / measured.max(f64::MIN_POSITIVE);
+            if residual > threshold {
+                return Err(format!(
+                    "probe at {bytes} B off the fitted line: measured {measured:.3e} s, \
+                     predicted {predicted:.3e} s (relative residual {residual:.2} > {threshold})"
+                ));
+            }
+        }
+        Ok(())
+    }
 }
+
+/// Fit/validate rounds before [`Calibrator::calibrate_checked`] gives up.
+pub const MAX_FIT_ATTEMPTS: u32 = 3;
+
+/// Validation probe sizes and their relative residual thresholds. 64 KiB
+/// sits near the latency/bandwidth break-even (α-sensitive); 8 MiB is
+/// firmly bandwidth-bound (β-sensitive). Thresholds are loose enough for
+/// the linear model's known small-size error (the paper's Fig. 2 shows
+/// the model is least accurate below ~1 MiB) but far tighter than the
+/// ~20× distortion an undetected outlier inflicts on a fit point.
+pub const VALIDATION_PROBES: [(u64, f64); 2] = [(64 << 10, 0.50), (8 << 20, 0.35)];
+
+/// Calibration failed even after bounded retry and re-measurement —
+/// either the transfer-error retry budget ran out or no fit ever passed
+/// probe validation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationError {
+    /// The direction being calibrated when the budget ran out.
+    pub direction: Direction,
+    /// How many fit/validate rounds were spent.
+    pub attempts: u32,
+    /// What went wrong on the last round.
+    pub message: String,
+}
+
+impl std::fmt::Display for CalibrationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "calibration failed ({:?}, {} attempts): {}",
+            self.direction, self.attempts, self.message
+        )
+    }
+}
+
+impl std::error::Error for CalibrationError {}
 
 /// A bus wrapper that lazily calibrates on first use and caches the model —
 /// mirroring GROPHECY++'s "automatically invoked when run on a new system"
@@ -190,6 +353,73 @@ mod tests {
         let cb = CalibratedBus::new(bus, Calibrator::default());
         let t = cb.predict(8 << 20, Direction::HostToDevice, MemType::Pinned);
         assert!((2.5e-3..4.5e-3).contains(&t), "t = {t}");
+    }
+
+    #[test]
+    fn checked_path_matches_plain_on_clean_bus() {
+        let cal = Calibrator::default();
+        let mut bus = BusSimulator::new(BusParams::pcie_v1_x16(), 31);
+        let plain = cal.calibrate(&mut bus);
+        let mut bus = BusSimulator::new(BusParams::pcie_v1_x16(), 31);
+        let checked = cal.calibrate_checked(&mut bus).unwrap();
+        let rel = |a: f64, b: f64| (a - b).abs() / a;
+        assert!(rel(plain.h2d.alpha, checked.h2d.alpha) < 0.2);
+        assert!(rel(plain.h2d.beta, checked.h2d.beta) < 0.05);
+    }
+
+    #[test]
+    fn checked_path_survives_sporadic_outliers() {
+        use crate::faulty::FaultyBus;
+        use gpp_fault::{FaultInjector, FaultPlan};
+        use std::sync::Arc;
+
+        // 20% of all samples inflated 50×: the plain trimmed mean breaks
+        // (expected ~2 outliers among 10 runs, only 1 trimmed), the
+        // median-of-k checked path recovers the true line.
+        let plan: FaultPlan = "seed=3;pcie.calibration.outlier:p=0.2,factor=50"
+            .parse()
+            .unwrap();
+        let inner = BusSimulator::new(BusParams::pcie_v1_x16().quiet(), 8);
+        let mut bus = FaultyBus::new(inner, Arc::new(FaultInjector::new(plan)));
+        let m = Calibrator::default().calibrate_checked(&mut bus).unwrap();
+        assert!(
+            (9.0e-6..10.5e-6).contains(&m.h2d.alpha),
+            "alpha {}",
+            m.h2d.alpha
+        );
+        assert!((2.3e9..2.7e9).contains(&m.h2d.bandwidth()));
+        assert!(bus.injector().total_fired() > 0, "plan never fired");
+    }
+
+    #[test]
+    fn checked_path_retries_transfer_errors() {
+        use crate::faulty::FaultyBus;
+        use gpp_fault::{FaultInjector, FaultPlan};
+        use std::sync::Arc;
+
+        let plan: FaultPlan = "seed=5;pcie.transfer.error:p=0.3".parse().unwrap();
+        let inner = BusSimulator::new(BusParams::pcie_v1_x16().quiet(), 8);
+        let mut bus = FaultyBus::new(inner, Arc::new(FaultInjector::new(plan)));
+        let m = Calibrator::default().calibrate_checked(&mut bus).unwrap();
+        assert!((2.3e9..2.7e9).contains(&m.h2d.bandwidth()));
+    }
+
+    #[test]
+    fn checked_path_reports_budget_exhaustion() {
+        use crate::faulty::FaultyBus;
+        use gpp_fault::{FaultInjector, FaultPlan};
+        use std::sync::Arc;
+
+        let plan: FaultPlan = "pcie.transfer.error:always".parse().unwrap();
+        let inner = BusSimulator::new(BusParams::pcie_v1_x16().quiet(), 8);
+        let mut bus = FaultyBus::new(inner, Arc::new(FaultInjector::new(plan)));
+        let err = Calibrator::default()
+            .calibrate_checked(&mut bus)
+            .unwrap_err();
+        assert_eq!(err.direction, Direction::HostToDevice);
+        assert!(err.message.contains("retry budget"), "{}", err.message);
+        let shown = err.to_string();
+        assert!(shown.contains("calibration failed"), "{shown}");
     }
 
     #[test]

@@ -46,6 +46,7 @@
 pub mod alloc;
 pub mod calibrate;
 pub mod error;
+pub mod faulty;
 pub mod model;
 pub mod params;
 pub mod piecewise;
@@ -53,8 +54,9 @@ pub mod replay;
 pub mod sim;
 
 pub use alloc::AllocModel;
-pub use calibrate::{CalibratedBus, Calibrator};
+pub use calibrate::{CalibratedBus, CalibrationError, Calibrator};
 pub use error::{error_magnitude, mean_error_magnitude, SweepValidation};
+pub use faulty::FaultyBus;
 pub use model::LinearModel;
 pub use params::{BusParams, Direction, MemType, PcieGen};
 pub use piecewise::PiecewiseModel;
@@ -72,8 +74,65 @@ pub trait Bus {
     /// returning the elapsed wall time in seconds.
     fn transfer(&mut self, bytes: u64, dir: Direction, mem: MemType) -> f64;
 
+    /// Fallible transfer: like [`Bus::transfer`], but a bus that can fail
+    /// (e.g. [`FaultyBus`] under an active fault plan) reports the failed
+    /// attempt instead of hiding it. The default implementation never
+    /// fails, so plain buses are unaffected.
+    fn try_transfer(
+        &mut self,
+        bytes: u64,
+        dir: Direction,
+        mem: MemType,
+    ) -> Result<f64, TransferError> {
+        Ok(self.transfer(bytes, dir, mem))
+    }
+
     /// Human-readable description of the bus (for reports).
     fn describe(&self) -> String {
         "unnamed bus".to_string()
     }
 }
+
+/// `&mut B` is itself a bus, so wrappers like [`FaultyBus`] can borrow a
+/// concretely-typed bus (e.g. a node's `BusSimulator`) without taking
+/// ownership.
+impl<B: Bus + ?Sized> Bus for &mut B {
+    fn transfer(&mut self, bytes: u64, dir: Direction, mem: MemType) -> f64 {
+        (**self).transfer(bytes, dir, mem)
+    }
+
+    fn try_transfer(
+        &mut self,
+        bytes: u64,
+        dir: Direction,
+        mem: MemType,
+    ) -> Result<f64, TransferError> {
+        (**self).try_transfer(bytes, dir, mem)
+    }
+
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+}
+
+/// A transfer attempt failed (only ever produced by fault-injecting buses;
+/// real and simulated buses complete every transfer).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransferError {
+    /// The fault point that produced the failure.
+    pub point: String,
+    /// 1-based attempt count at that point when it fired.
+    pub occurrence: u64,
+}
+
+impl std::fmt::Display for TransferError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "transfer failed at fault point {} (occurrence {})",
+            self.point, self.occurrence
+        )
+    }
+}
+
+impl std::error::Error for TransferError {}

@@ -35,10 +35,13 @@ pub struct CalibKey {
     pub seed: u64,
 }
 
-/// Cache of calibrated projectors, keyed by (machine, seed).
+/// Cache of calibrated projectors, keyed by (machine, seed), plus a
+/// per-machine **last-good** entry that survives any later calibration
+/// failures — the degraded-serving fallback.
 #[derive(Default)]
 pub struct CalibrationCache {
     map: RwLock<HashMap<CalibKey, Arc<Grophecy>>>,
+    last_good: RwLock<HashMap<String, Arc<Grophecy>>>,
 }
 
 impl CalibrationCache {
@@ -53,15 +56,36 @@ impl CalibrationCache {
         key: CalibKey,
         calibrate: impl FnOnce() -> Grophecy,
     ) -> (Arc<Grophecy>, bool) {
-        if let Some(g) = self.map.read().get(&key) {
-            return (g.clone(), true);
+        if let Some(g) = self.get(&key) {
+            return (g, true);
         }
         // Race window: two workers may both calibrate the same key; the
         // second insert wins and both results are identical (calibration
         // is deterministic per key), so this stays simple.
         let g = Arc::new(calibrate());
-        self.map.write().insert(key, g.clone());
+        self.insert(key, g.clone());
         (g, false)
+    }
+
+    /// Looks up a cached calibration.
+    pub fn get(&self, key: &CalibKey) -> Option<Arc<Grophecy>> {
+        self.map.read().get(key).cloned()
+    }
+
+    /// Caches a successful calibration and records it as the machine's
+    /// last-good fallback.
+    pub fn insert(&self, key: CalibKey, gro: Arc<Grophecy>) {
+        self.last_good
+            .write()
+            .insert(key.machine.clone(), gro.clone());
+        self.map.write().insert(key, gro);
+    }
+
+    /// The most recent successful calibration for a machine (any seed) —
+    /// what degraded mode serves, flagged stale, when fresh calibration
+    /// keeps failing.
+    pub fn last_good(&self, machine: &str) -> Option<Arc<Grophecy>> {
+        self.last_good.read().get(machine).cloned()
     }
 
     /// Number of cached calibrations.

@@ -27,6 +27,20 @@ pub struct Metrics {
     /// Projection memo hits / misses.
     pub proj_hits: AtomicU64,
     pub proj_misses: AtomicU64,
+    /// Request handlers that panicked and were isolated by the worker's
+    /// `catch_unwind` (the client still got a structured reply).
+    pub panics_caught: AtomicU64,
+    /// Workers that died outside per-request isolation and were respawned.
+    pub worker_respawns: AtomicU64,
+    /// Calibration attempts that failed and were retried with backoff.
+    pub calib_retries: AtomicU64,
+    /// Replies served from the last-good calibration because fresh
+    /// re-calibration kept failing (flagged `"stale":true`).
+    pub degraded_replies: AtomicU64,
+    /// Frames rejected with `too_large` before allocation.
+    pub too_large_rejected: AtomicU64,
+    /// Inbound frames corrupted by an injected fault before decoding.
+    pub frames_corrupted: AtomicU64,
     /// Ring buffer of recent request latencies, microseconds, split into
     /// (queued, compute): time spent waiting in the accept queue vs time
     /// inside the handler.
@@ -51,6 +65,12 @@ impl Default for Metrics {
             calib_misses: AtomicU64::new(0),
             proj_hits: AtomicU64::new(0),
             proj_misses: AtomicU64::new(0),
+            panics_caught: AtomicU64::new(0),
+            worker_respawns: AtomicU64::new(0),
+            calib_retries: AtomicU64::new(0),
+            degraded_replies: AtomicU64::new(0),
+            too_large_rejected: AtomicU64::new(0),
+            frames_corrupted: AtomicU64::new(0),
             latencies_us: Mutex::new(Ring {
                 buf: Vec::with_capacity(LATENCY_WINDOW),
                 next: 0,
@@ -72,6 +92,21 @@ pub struct StatsSnapshot {
     pub calib_misses: u64,
     pub proj_hits: u64,
     pub proj_misses: u64,
+    /// Handler panics isolated per-request.
+    pub panics_caught: u64,
+    /// Workers respawned after dying outside per-request isolation.
+    pub worker_respawns: u64,
+    /// Calibration retry attempts.
+    pub calib_retries: u64,
+    /// Replies served stale from the last-good calibration.
+    pub degraded_replies: u64,
+    /// Frames rejected with `too_large`.
+    pub too_large_rejected: u64,
+    /// Inbound frames corrupted by fault injection.
+    pub frames_corrupted: u64,
+    /// Total faults the active plan injected across the whole stack
+    /// (supplied by the caller from the injector; 0 without a plan).
+    pub faults_injected: u64,
     /// Median / tail total latency (queued + compute) over the recent
     /// window, microseconds. Zero when no request completed yet.
     pub p50_latency_us: u64,
@@ -112,12 +147,14 @@ impl Metrics {
         ring.next = (ring.next + 1) % LATENCY_WINDOW;
     }
 
-    /// Captures a snapshot; queue/cache gauges are supplied by the caller.
+    /// Captures a snapshot; queue/cache gauges and the injector's fault
+    /// total are supplied by the caller.
     pub fn snapshot(
         &self,
         queue_depth: usize,
         proj_cache_len: usize,
         calib_cache_len: usize,
+        faults_injected: u64,
     ) -> StatsSnapshot {
         let (total, queued, compute) = {
             let ring = self.latencies_us.lock();
@@ -137,6 +174,13 @@ impl Metrics {
             calib_misses: self.calib_misses.load(Ordering::Relaxed),
             proj_hits: self.proj_hits.load(Ordering::Relaxed),
             proj_misses: self.proj_misses.load(Ordering::Relaxed),
+            panics_caught: self.panics_caught.load(Ordering::Relaxed),
+            worker_respawns: self.worker_respawns.load(Ordering::Relaxed),
+            calib_retries: self.calib_retries.load(Ordering::Relaxed),
+            degraded_replies: self.degraded_replies.load(Ordering::Relaxed),
+            too_large_rejected: self.too_large_rejected.load(Ordering::Relaxed),
+            frames_corrupted: self.frames_corrupted.load(Ordering::Relaxed),
+            faults_injected,
             p50_latency_us: total.0,
             p99_latency_us: total.1,
             p50_queued_us: queued.0,
@@ -179,7 +223,7 @@ mod tests {
         for us in 1..=100u64 {
             m.record_latency(Duration::ZERO, Duration::from_micros(us));
         }
-        let s = m.snapshot(3, 2, 1);
+        let s = m.snapshot(3, 2, 1, 0);
         assert_eq!(s.p50_latency_us, 50);
         assert_eq!(s.p99_latency_us, 99);
         assert_eq!(s.queue_depth, 3);
@@ -193,7 +237,7 @@ mod tests {
         for us in 1..=100u64 {
             m.record_latency(Duration::from_micros(us * 10), Duration::from_micros(us));
         }
-        let s = m.snapshot(0, 0, 0);
+        let s = m.snapshot(0, 0, 0, 0);
         assert_eq!(s.p50_queued_us, 500);
         assert_eq!(s.p99_queued_us, 990);
         assert_eq!(s.p50_compute_us, 50);
@@ -209,7 +253,7 @@ mod tests {
         for _ in 0..(LATENCY_WINDOW + 10) {
             m.record_latency(Duration::from_micros(2), Duration::from_micros(5));
         }
-        let s = m.snapshot(0, 0, 0);
+        let s = m.snapshot(0, 0, 0, 0);
         assert_eq!(s.p50_latency_us, 7);
         assert_eq!(s.p99_latency_us, 7);
     }
@@ -217,7 +261,7 @@ mod tests {
     #[test]
     fn empty_window_reports_zero() {
         let m = Metrics::new();
-        let s = m.snapshot(0, 0, 0);
+        let s = m.snapshot(0, 0, 0, 0);
         assert_eq!((s.p50_latency_us, s.p99_latency_us), (0, 0));
     }
 }

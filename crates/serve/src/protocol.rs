@@ -258,6 +258,51 @@ impl std::fmt::Display for ProtocolError {
 
 impl std::error::Error for ProtocolError {}
 
+impl ProtocolError {
+    /// Recovers the structured error from a rendered
+    /// `{"ok":false,"error":{"kind":...,"message":...}}` response, so a
+    /// client can round-trip every error kind the server emits. Returns
+    /// `None` for success responses or non-error JSON.
+    pub fn from_response(response: &str) -> Option<ProtocolError> {
+        if !response.contains("\"ok\":false") {
+            return None;
+        }
+        Some(ProtocolError {
+            kind: extract_json_string(response, "kind")?,
+            message: extract_json_string(response, "message")?,
+        })
+    }
+}
+
+/// Pulls the string value of `"key":"..."` out of rendered JSON, undoing
+/// the escapes our renderer produces. Good enough for the flat error
+/// objects this protocol emits; not a general JSON parser.
+fn extract_json_string(json: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":\"");
+    let start = json.find(&needle)? + needle.len();
+    let rest = &json[start..];
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                'r' => out.push('\r'),
+                'u' => {
+                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                esc => out.push(esc),
+            },
+            other => out.push(other),
+        }
+    }
+    None
+}
+
 /// Writes one `<len>\n<payload>` frame.
 pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
     let bytes = payload.as_bytes();
@@ -266,8 +311,63 @@ pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
     w.flush()
 }
 
+/// Why a frame read failed: transport trouble, or a frame whose declared
+/// length exceeds the reader's budget (which deserves a structured
+/// `too_large` reply rather than a silent hang-up).
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying stream failed or carried garbage.
+    Io(io::Error),
+    /// The declared payload length exceeds the configured maximum. The
+    /// payload was **not** read (that is the point: the attacker-supplied
+    /// length never drives an allocation), so the connection cannot be
+    /// resynchronized and should be closed after replying.
+    TooLarge {
+        /// The declared length (at least — digits are abandoned once the
+        /// running value passes `max`).
+        declared: usize,
+        /// The limit in force.
+        max: usize,
+    },
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
+            FrameError::TooLarge { declared, max } => {
+                write!(f, "frame of {declared} B exceeds the {max} B limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
 /// Reads one frame; `Ok(None)` on clean EOF before any length byte.
+/// Equivalent to [`read_frame_limited`] at the protocol-wide
+/// [`MAX_FRAME_BYTES`], with oversize flattened into an I/O error.
 pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
+    read_frame_limited(r, MAX_FRAME_BYTES).map_err(|e| match e {
+        FrameError::Io(io) => io,
+        FrameError::TooLarge { .. } => {
+            io::Error::new(io::ErrorKind::InvalidData, "frame length too large")
+        }
+    })
+}
+
+/// Reads one frame, refusing to allocate more than `max_bytes` for the
+/// payload; `Ok(None)` on clean EOF before any length byte.
+pub fn read_frame_limited(
+    r: &mut impl Read,
+    max_bytes: usize,
+) -> Result<Option<String>, FrameError> {
     // Read the decimal length terminated by '\n', byte by byte (frames are
     // tiny relative to the skeleton body that follows).
     let mut len: usize = 0;
@@ -280,7 +380,8 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
                     return Err(io::Error::new(
                         io::ErrorKind::UnexpectedEof,
                         "EOF inside frame length",
-                    ));
+                    )
+                    .into());
                 }
                 return Ok(None);
             }
@@ -290,10 +391,13 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
                     len = len
                         .checked_mul(10)
                         .and_then(|l| l.checked_add((byte[0] - b'0') as usize))
-                        .filter(|l| *l <= MAX_FRAME_BYTES)
-                        .ok_or_else(|| {
-                            io::Error::new(io::ErrorKind::InvalidData, "frame length too large")
-                        })?;
+                        .unwrap_or(usize::MAX);
+                    if len > max_bytes {
+                        return Err(FrameError::TooLarge {
+                            declared: len,
+                            max: max_bytes,
+                        });
+                    }
                 }
                 b'\n' if saw_digit => break,
                 b'\r' => {}
@@ -301,16 +405,17 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
                     return Err(io::Error::new(
                         io::ErrorKind::InvalidData,
                         format!("bad byte {other:#x} in frame length"),
-                    ))
+                    )
+                    .into())
                 }
             },
         }
     }
     let mut buf = vec![0u8; len];
     r.read_exact(&mut buf)?;
-    String::from_utf8(buf)
-        .map(Some)
-        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame payload is not UTF-8"))
+    String::from_utf8(buf).map(Some).map_err(|_| {
+        io::Error::new(io::ErrorKind::InvalidData, "frame payload is not UTF-8").into()
+    })
 }
 
 #[cfg(test)]

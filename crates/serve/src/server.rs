@@ -19,11 +19,13 @@
 //! lets each worker drain the queue and finish in-flight requests before
 //! the pool joins — no request that was accepted is abandoned.
 
-use crate::protocol::{read_frame, write_frame};
-use crate::service::{busy_response, ServeConfig, ServiceState};
+use crate::metrics::Metrics;
+use crate::protocol::{read_frame_limited, write_frame, FrameError, ProtocolError};
+use crate::service::{busy_response, error_json, ServeConfig, ServiceState};
 use crossbeam::channel::{bounded, Receiver, TrySendError};
-use std::io;
+use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -82,7 +84,22 @@ impl Server {
             for w in 0..workers {
                 let rx: Receiver<(TcpStream, Instant)> = rx.clone();
                 let state = state.clone();
-                scope.spawn(move |_| worker_loop(w, &rx, &state));
+                let shutdown = shutdown.clone();
+                // The respawn loop: per-request panics are already isolated
+                // inside serve_connection; should anything else unwind, the
+                // logical worker restarts on the same OS thread instead of
+                // shrinking the pool (and instead of poisoning the scope
+                // join, which would take the whole server down).
+                scope.spawn(move |_| loop {
+                    match catch_unwind(AssertUnwindSafe(|| worker_loop(w, &rx, &state, &shutdown)))
+                    {
+                        Ok(()) => break, // channel disconnected: clean drain
+                        Err(_) => {
+                            Metrics::bump(&state.metrics.worker_respawns);
+                            eprintln!("gpp-serve: worker {w} died; respawning");
+                        }
+                    }
+                });
             }
             // Accept loop — owns `tx`; dropping it on exit disconnects the
             // workers once the queue drains.
@@ -161,12 +178,17 @@ impl ServerHandle {
     }
 }
 
-fn worker_loop(worker: usize, rx: &Receiver<(TcpStream, Instant)>, state: &ServiceState) {
+fn worker_loop(
+    worker: usize,
+    rx: &Receiver<(TcpStream, Instant)>,
+    state: &ServiceState,
+    shutdown: &AtomicBool,
+) {
     // recv() drains remaining queued connections after the acceptor drops
     // the sender, then reports Disconnected — exactly the shutdown drain
     // semantics we want.
     while let Ok((stream, enqueued)) = rx.recv() {
-        if let Err(e) = serve_connection(stream, enqueued.elapsed(), rx, state) {
+        if let Err(e) = serve_connection(stream, enqueued.elapsed(), rx, state, shutdown) {
             // Client went away mid-request or a socket error: not fatal to
             // the server; note it and move on.
             if e.kind() != io::ErrorKind::UnexpectedEof {
@@ -179,23 +201,152 @@ fn worker_loop(worker: usize, rx: &Receiver<(TcpStream, Instant)>, state: &Servi
 /// Serves one connection: any number of request frames until EOF. The
 /// connection's queue wait is attributed to its first request; follow-up
 /// frames on the same connection never waited, so they record zero.
+///
+/// Robustness properties, in the order they apply per request:
+///
+/// * **Total read deadline** — the whole frame must arrive within
+///   `request_timeout` ([`DeadlineRead`] re-arms the socket timeout to
+///   the remaining budget before every `read`), so a slow-loris client
+///   trickling bytes cannot pin a worker.
+/// * **Bounded allocation** — a frame declaring more than
+///   `max_frame_bytes` gets a structured `too_large` reply before any
+///   payload allocation, then the connection closes (it cannot be
+///   resynchronized past an unread body).
+/// * **Injected corruption** ([`gpp_fault::SERVE_FRAME_CORRUPT`]) mangles
+///   the payload before decoding; the handler answers it like any other
+///   malformed request.
+/// * **Panic isolation** — the handler (plus the injected
+///   [`gpp_fault::SERVE_WORKER_PANIC`]) runs under `catch_unwind`; a
+///   panic becomes a structured `internal` reply and the connection (and
+///   worker) live on.
 fn serve_connection(
     mut stream: TcpStream,
     queued: Duration,
     rx: &Receiver<(TcpStream, Instant)>,
     state: &ServiceState,
+    shutdown: &AtomicBool,
 ) -> io::Result<()> {
     let io_budget = state.config.request_timeout;
-    stream.set_read_timeout(Some(io_budget))?;
     stream.set_write_timeout(Some(io_budget))?;
     stream.set_nodelay(true).ok();
+    let faults = &state.config.faults;
     let mut queued = queued;
-    while let Some(payload) = read_frame(&mut stream)? {
-        let response = state.handle_timed(&payload, rx.len(), queued);
+    loop {
+        let mut reader = DeadlineRead::new(&stream, Instant::now() + io_budget, shutdown);
+        let payload = match read_frame_limited(&mut reader, state.config.max_frame_bytes) {
+            Ok(Some(p)) => p,
+            Ok(None) => return Ok(()),
+            Err(FrameError::TooLarge { declared, max }) => {
+                Metrics::bump(&state.metrics.too_large_rejected);
+                let reply = error_json(&ProtocolError::new(
+                    "too_large",
+                    format!("request frame of {declared} B exceeds the {max} B limit"),
+                ))
+                .render();
+                write_frame(&mut stream, &reply)?;
+                return Ok(());
+            }
+            Err(FrameError::Io(e)) => return Err(e),
+        };
+        let mut payload = payload;
+        if faults.is_active() && faults.fires(gpp_fault::SERVE_FRAME_CORRUPT) {
+            Metrics::bump(&state.metrics.frames_corrupted);
+            payload = corrupt_payload(&payload);
+        }
+        let response = catch_unwind(AssertUnwindSafe(|| {
+            if faults.is_active() && faults.fires(gpp_fault::SERVE_WORKER_PANIC) {
+                panic!("injected worker panic (serve.worker.panic)");
+            }
+            state.handle_timed(&payload, rx.len(), queued)
+        }))
+        .unwrap_or_else(|cause| {
+            Metrics::bump(&state.metrics.panics_caught);
+            let what = panic_message(&cause);
+            error_json(&ProtocolError::new(
+                "internal",
+                format!("request handler panicked: {what}"),
+            ))
+            .render()
+        });
         queued = Duration::ZERO;
         write_frame(&mut stream, &response)?;
     }
-    Ok(())
+}
+
+/// Deterministic frame corruption for [`gpp_fault::SERVE_FRAME_CORRUPT`]:
+/// the header magic is replaced, so decoding fails with `bad-magic` the
+/// way a bit-flipped frame would.
+fn corrupt_payload(payload: &str) -> String {
+    format!("xx!corrupt!{payload}")
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_message(cause: &Box<dyn std::any::Any + Send>) -> &str {
+    if let Some(s) = cause.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = cause.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
+/// How long one blocking read slice lasts before the shutdown flag is
+/// re-checked. Short enough that drain is prompt; long enough that an
+/// active connection pays a handful of extra syscalls at most.
+const READ_POLL: Duration = Duration::from_millis(50);
+
+/// An [`io::Read`] over a borrowed [`TcpStream`] that enforces a total
+/// deadline: before every read the socket timeout is re-armed to the
+/// remainder of the budget (sliced into [`READ_POLL`] chunks), so N slow
+/// reads cannot stretch the wait to N × the per-read timeout — the
+/// slow-loris pattern a fixed `set_read_timeout` allows. Between slices
+/// the shutdown flag is checked; a shutdown surfaces as EOF, which the
+/// frame reader treats as a clean close when it arrives between frames
+/// (an *incomplete* frame at shutdown was never an accepted request, so
+/// dropping it keeps the drain guarantee intact).
+struct DeadlineRead<'a> {
+    stream: &'a TcpStream,
+    deadline: Instant,
+    shutdown: &'a AtomicBool,
+}
+
+impl<'a> DeadlineRead<'a> {
+    fn new(stream: &'a TcpStream, deadline: Instant, shutdown: &'a AtomicBool) -> Self {
+        DeadlineRead {
+            stream,
+            deadline,
+            shutdown,
+        }
+    }
+}
+
+impl Read for DeadlineRead<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) || signals::requested() {
+                return Ok(0);
+            }
+            let remaining = self.deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "read deadline exceeded (slow client)",
+                ));
+            }
+            // set_read_timeout(Some(0)) would mean "no timeout"; clamp up.
+            self.stream
+                .set_read_timeout(Some(remaining.min(READ_POLL).max(Duration::from_millis(1))))?;
+            match self.stream.read(buf) {
+                Ok(n) => return Ok(n),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut
+                        || e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
 }
 
 /// Fast-path rejection when the queue is full: reply `busy` and hang up

@@ -9,6 +9,7 @@ use crate::cache::{fnv1a, CalibKey, CalibrationCache, ProjectionCache, Projectio
 use crate::metrics::{Metrics, StatsSnapshot};
 use crate::protocol::{Command, ProtocolError, Request};
 use gpp_datausage::{analyze, Hints};
+use gpp_fault::FaultInjector;
 use gpp_pcie::{Direction, MemType, SweepValidation};
 use gpp_skeleton::text;
 use gpp_skeleton::Program;
@@ -34,6 +35,13 @@ pub struct ServeConfig {
     pub request_timeout: Duration,
     /// Capacity of the projection LRU memo.
     pub projection_cache: usize,
+    /// Largest accepted request frame; bigger declared lengths get a
+    /// structured `too_large` error before any allocation happens.
+    pub max_frame_bytes: usize,
+    /// The fault plan in force (compiled). [`FaultInjector::disabled`]
+    /// — the default — leaves every code path bit-identical to a build
+    /// without fault support.
+    pub faults: Arc<FaultInjector>,
 }
 
 impl Default for ServeConfig {
@@ -44,9 +52,19 @@ impl Default for ServeConfig {
             queue_depth: 64,
             request_timeout: Duration::from_secs(30),
             projection_cache: 128,
+            max_frame_bytes: 4 << 20,
+            faults: FaultInjector::disabled(),
         }
     }
 }
+
+/// Fresh-calibration attempts (first try + retries with exponential
+/// backoff) before a request falls back to the last-good calibration.
+pub const CALIB_ATTEMPTS: u32 = 3;
+
+/// Base backoff between calibration retries; attempt `n` waits
+/// `2^(n-1)` times this.
+const CALIB_BACKOFF: Duration = Duration::from_millis(5);
 
 /// Shared state behind every worker.
 pub struct ServiceState {
@@ -132,22 +150,72 @@ impl ServiceState {
     }
 
     /// Resolves the calibrated projector for (machine, seed), via cache.
-    fn projector(&self, req: &Request) -> Result<Arc<Grophecy>, ProtocolError> {
+    /// The boolean is `true` when the result is **stale**: every fresh
+    /// calibration attempt (bounded retries with exponential backoff)
+    /// failed and the machine's last-good calibration is serving instead.
+    fn projector(&self, req: &Request) -> Result<(Arc<Grophecy>, bool), ProtocolError> {
         let machine = machine_by_name(&req.machine, req.seed)?;
         let key = CalibKey {
             machine: req.machine.clone(),
             seed: req.seed,
         };
-        let (gro, hit) = self.calibrations.get_or_calibrate(key, || {
+        if let Some(gro) = self.calibrations.get(&key) {
+            Metrics::bump(&self.metrics.calib_hits);
+            return Ok((gro, false));
+        }
+        Metrics::bump(&self.metrics.calib_misses);
+        let faults = &self.config.faults;
+        let mut last_err = String::new();
+        for attempt in 0..CALIB_ATTEMPTS {
+            if attempt > 0 {
+                Metrics::bump(&self.metrics.calib_retries);
+                std::thread::sleep(CALIB_BACKOFF * 2u32.pow(attempt - 1));
+            }
+            // One consultation per whole-calibration attempt: the knob
+            // chaos plans use to force degraded serving.
+            if faults.is_active() && faults.fires(gpp_fault::SERVE_CALIBRATE_FAIL) {
+                last_err = "injected calibration failure (serve.calibrate.fail)".to_string();
+                continue;
+            }
             let mut node = machine.node();
-            Grophecy::calibrate(&machine, &mut node)
-        });
-        Metrics::bump(if hit {
-            &self.metrics.calib_hits
-        } else {
-            &self.metrics.calib_misses
-        });
-        Ok(gro)
+            match Grophecy::try_calibrate(&machine, &mut node, faults.clone()) {
+                Ok(gro) => {
+                    let gro = Arc::new(gro);
+                    self.calibrations.insert(key, gro.clone());
+                    return Ok((gro, false));
+                }
+                Err(e) => last_err = e.to_string(),
+            }
+        }
+        if let Some(gro) = self.calibrations.last_good(&req.machine) {
+            Metrics::bump(&self.metrics.degraded_replies);
+            return Ok((gro, true));
+        }
+        Err(ProtocolError::new(
+            "calibration-failed",
+            format!(
+                "calibration for machine `{}` failed after {CALIB_ATTEMPTS} attempts and no \
+                 last-good calibration exists yet: {last_err}",
+                req.machine
+            ),
+        ))
+    }
+
+    /// The calibrated projector for commands that replay the single-shot
+    /// sequence on a fresh node (`measure`, `calibrate`): plain path when
+    /// no plan is active, fault-aware checked path otherwise. No degraded
+    /// fallback here — these commands exist to exercise the node itself.
+    fn calibrate_node(
+        &self,
+        machine: &MachineConfig,
+        node: &mut grophecy::machine::SimulatedNode,
+    ) -> Result<Grophecy, ProtocolError> {
+        let faults = &self.config.faults;
+        if !faults.is_active() {
+            return Ok(Grophecy::calibrate(machine, node));
+        }
+        Grophecy::try_calibrate(machine, node, faults.clone())
+            .map_err(|e| ProtocolError::new("calibration-failed", e.to_string()))
     }
 
     /// Parses the skeleton and resolves hint names.
@@ -201,16 +269,30 @@ impl ServiceState {
     fn cmd_project(&self, req: &Request, start: Instant) -> Result<Json, ProtocolError> {
         let (program, hints) = self.program_and_hints(req)?;
         self.check_deadline(start)?;
-        let gro = self.projector(req)?;
+        let (gro, stale) = self.projector(req)?;
         self.check_deadline(start)?;
-        let (proj, cached) = self.project_cached(req, &gro, &program, &hints);
-        Ok(Json::obj([
+        // Degraded results bypass the projection memo: they were computed
+        // from another key's calibration and must not be replayed as
+        // fresh once calibration recovers.
+        let (proj, cached) = if stale {
+            (Arc::new(gro.project(&program, &hints)), false)
+        } else {
+            self.project_cached(req, &gro, &program, &hints)
+        };
+        let mut fields = vec![
             ("ok", Json::Bool(true)),
             ("command", Json::Str("project".into())),
             ("machine", Json::Str(req.machine.clone())),
             ("seed", Json::Num(req.seed as f64)),
             ("iters", Json::Num(req.iters as f64)),
             ("cached", Json::Bool(cached)),
+        ];
+        // Only present when true, so fault-free replies stay byte-for-byte
+        // what they were before degraded mode existed.
+        if stale {
+            fields.push(("stale", Json::Bool(true)));
+        }
+        fields.extend([
             (
                 "pcie",
                 Json::obj([
@@ -220,7 +302,8 @@ impl ServiceState {
             ),
             ("projection", projection_json(&proj)),
             ("total_seconds", Json::Num(proj.total_time(req.iters))),
-        ]))
+        ]);
+        Ok(Json::obj(fields))
     }
 
     fn cmd_measure(&self, req: &Request, start: Instant) -> Result<Json, ProtocolError> {
@@ -233,7 +316,7 @@ impl ServiceState {
         // projection memo by design.
         let machine = machine_by_name(&req.machine, req.seed)?;
         let mut node = machine.node();
-        let gro = Grophecy::calibrate(&machine, &mut node);
+        let gro = self.calibrate_node(&machine, &mut node)?;
         let proj = gro.project(&program, &hints);
         self.check_deadline(start)?;
         let meas = measure(&mut node, &program, &proj);
@@ -304,7 +387,7 @@ impl ServiceState {
         // node's RNG stream right after calibration, like `gpp calibrate`.
         let machine = machine_by_name(&req.machine, req.seed)?;
         let mut node = machine.node();
-        let gro = Grophecy::calibrate(&machine, &mut node);
+        let gro = self.calibrate_node(&machine, &mut node)?;
         let sweeps = Direction::ALL
             .into_iter()
             .map(|dir| {
@@ -379,6 +462,18 @@ impl ServiceState {
                             ("parallel_regions", Json::Num(pool.parallel_regions as f64)),
                         ]),
                     ),
+                    (
+                        "resilience",
+                        Json::obj([
+                            ("faults_injected", Json::Num(s.faults_injected as f64)),
+                            ("calibration_retries", Json::Num(s.calib_retries as f64)),
+                            ("panics_caught", Json::Num(s.panics_caught as f64)),
+                            ("worker_respawns", Json::Num(s.worker_respawns as f64)),
+                            ("degraded_replies", Json::Num(s.degraded_replies as f64)),
+                            ("too_large_rejected", Json::Num(s.too_large_rejected as f64)),
+                            ("frames_corrupted", Json::Num(s.frames_corrupted as f64)),
+                        ]),
+                    ),
                 ]),
             ),
         ])
@@ -386,8 +481,12 @@ impl ServiceState {
 
     /// A typed snapshot (used by tests and the CLI).
     pub fn snapshot(&self, queue_depth: usize) -> StatsSnapshot {
-        self.metrics
-            .snapshot(queue_depth, self.projections.len(), self.calibrations.len())
+        self.metrics.snapshot(
+            queue_depth,
+            self.projections.len(),
+            self.calibrations.len(),
+            self.config.faults.total_fired(),
+        )
     }
 
     /// Marks one busy rejection (called by the acceptor).

@@ -1,0 +1,217 @@
+//! Table-driven adversarial tests for the wire protocol: malformed,
+//! truncated, and hostile payloads must produce *structured* errors (never
+//! a panic, never a silent success), and every error kind the server can
+//! emit must round-trip through `error_json` → `ProtocolError::from_response`.
+
+use gpp_serve::protocol::{
+    read_frame_limited, write_frame, FrameError, ProtocolError, Request, MAX_FRAME_BYTES,
+};
+use gpp_serve::service::error_json;
+
+/// Every malformed request payload decodes to exactly the expected kind.
+#[test]
+fn decode_rejects_each_malformed_payload_with_the_right_kind() {
+    // (payload, expected kind, what it exercises)
+    let cases: &[(&str, &str, &str)] = &[
+        ("", "bad-magic", "empty payload"),
+        ("\n", "bad-magic", "empty header line"),
+        ("gpp/2 project\nx", "bad-magic", "wrong protocol version"),
+        ("GPP/1 project\nx", "bad-magic", "magic is case-sensitive"),
+        (" gpp/1", "bad-command", "leading space, then no command"),
+        ("gpp/1", "bad-command", "magic only, no newline"),
+        ("gpp/1\n", "bad-command", "magic only, empty body"),
+        (
+            "gpp/1 PROJECT\nx",
+            "bad-command",
+            "command is case-sensitive",
+        ),
+        ("gpp/1 projject\nx", "bad-command", "typoed command"),
+        ("gpp/1 project extra\nx", "bad-option", "bare token, no ="),
+        ("gpp/1 project =value\nx", "bad-option", "empty key"),
+        ("gpp/1 project seed=\nx", "bad-option", "empty seed value"),
+        ("gpp/1 project seed=-1\nx", "bad-option", "negative seed"),
+        ("gpp/1 project seed=1e9\nx", "bad-option", "float seed"),
+        (
+            "gpp/1 project seed=99999999999999999999999\nx",
+            "bad-option",
+            "seed overflows u64",
+        ),
+        (
+            "gpp/1 project iters=ten\nx",
+            "bad-option",
+            "non-numeric iters",
+        ),
+        (
+            "gpp/1 project sparse=a\nx",
+            "bad-option",
+            "sparse missing :bytes",
+        ),
+        (
+            "gpp/1 project sparse=a:lots\nx",
+            "bad-option",
+            "sparse bytes not a number",
+        ),
+        (
+            "gpp/1 project shard=3\nx",
+            "bad-option",
+            "unknown option key",
+        ),
+        ("gpp/1 project\n", "missing-skeleton", "no body at all"),
+        (
+            "gpp/1 project\n   \n  ",
+            "missing-skeleton",
+            "whitespace body",
+        ),
+        (
+            "gpp/1 measure\n",
+            "missing-skeleton",
+            "measure needs a body",
+        ),
+        (
+            "gpp/1 analyze\n",
+            "missing-skeleton",
+            "analyze needs a body",
+        ),
+        ("gpp/1 deps\n", "missing-skeleton", "deps needs a body"),
+    ];
+    for (payload, want_kind, what) in cases {
+        match Request::decode(payload) {
+            Err(e) => assert_eq!(
+                &e.kind, want_kind,
+                "{what}: payload {payload:?} gave kind `{}` (message: {})",
+                e.kind, e.message
+            ),
+            Ok(req) => panic!("{what}: payload {payload:?} decoded to {req:?}"),
+        }
+    }
+}
+
+/// Payloads that look hostile but are legal must still decode.
+#[test]
+fn decode_accepts_edge_case_but_legal_payloads() {
+    // Commands without a skeleton accept an empty body.
+    for cmd in ["calibrate", "stats", "ping"] {
+        let payload = format!("gpp/1 {cmd}");
+        assert!(
+            Request::decode(&payload).is_ok(),
+            "{payload:?} should decode"
+        );
+    }
+    // Duplicate options: last (or merged) wins rather than erroring.
+    let req = Request::decode("gpp/1 project seed=1 seed=2\nx").unwrap();
+    assert_eq!(req.seed, 2);
+    // Empty list entries in hints are skipped, not errors.
+    let req = Request::decode("gpp/1 project temporary=,a,,b,\nx").unwrap();
+    assert_eq!(req.temporaries, vec!["a".to_string(), "b".to_string()]);
+    // A value containing '=' splits on the first one only.
+    let req = Request::decode("gpp/1 project machine=a=b\nx").unwrap();
+    assert_eq!(req.machine, "a=b");
+}
+
+/// Truncated and garbage *frames* fail cleanly at the transport layer.
+#[test]
+fn frame_reader_rejects_truncated_and_garbage_streams() {
+    let io_cases: &[(&[u8], &str)] = &[
+        (b"12", "EOF inside the length"),
+        (b"5\nab", "EOF inside the payload"),
+        (b"5", "length digits then EOF, no newline"),
+        (b"\n", "newline with no digits"),
+        (b"-5\nhello", "negative length"),
+        (b"5x\nhello", "letter inside the length"),
+        (b" 5\nhello", "leading space in length"),
+        (b"0x10\nhello", "hex length"),
+        (b"\xff\xfe", "binary garbage"),
+    ];
+    for (bytes, what) in io_cases {
+        let mut r = &bytes[..];
+        match read_frame_limited(&mut r, MAX_FRAME_BYTES) {
+            Err(FrameError::Io(_)) => {}
+            other => panic!("{what}: {bytes:?} gave {other:?}"),
+        }
+    }
+    // Non-UTF-8 payload of the declared length.
+    let mut r = &b"2\n\xff\xfe"[..];
+    assert!(matches!(
+        read_frame_limited(&mut r, MAX_FRAME_BYTES),
+        Err(FrameError::Io(_))
+    ));
+}
+
+/// Oversize declarations are caught before any allocation, including
+/// absurd lengths that would overflow the running accumulator.
+#[test]
+fn frame_reader_bounds_allocation_before_reading_the_payload() {
+    let cases: &[&str] = &[
+        "1025\n",
+        "99999999999999999999999999999999999999\n", // saturates, still too large
+        "10250000000\n",
+    ];
+    for frame in cases {
+        let mut r = frame.as_bytes();
+        match read_frame_limited(&mut r, 1024) {
+            Err(FrameError::TooLarge { declared, max }) => {
+                assert!(declared > 1024, "{frame:?}: declared {declared}");
+                assert_eq!(max, 1024);
+            }
+            other => panic!("{frame:?} gave {other:?}"),
+        }
+    }
+    // At the limit exactly: fine.
+    let mut buf = Vec::new();
+    write_frame(&mut buf, &"x".repeat(1024)).unwrap();
+    let mut r = &buf[..];
+    assert_eq!(
+        read_frame_limited(&mut r, 1024).unwrap().unwrap().len(),
+        1024
+    );
+}
+
+/// Every error kind the server can emit survives the wire: rendering it
+/// with `error_json` and re-parsing the JSON recovers kind and message.
+#[test]
+fn every_error_kind_round_trips_through_the_response_json() {
+    let kinds: &[(&str, &str)] = &[
+        ("bad-magic", "expected `gpp/1`, got `nope`"),
+        ("bad-command", "unknown command `explode`"),
+        ("bad-option", "expected key=value, got `extra`"),
+        (
+            "missing-skeleton",
+            "command `project` needs a skeleton body",
+        ),
+        ("parse", "1: expected `program`"),
+        (
+            "unknown-machine",
+            "unknown machine `cray-1` (known: eureka, v2)",
+        ),
+        ("unknown-array", "--temporary: no array named `tmp`"),
+        ("skeleton", "kernel `k` reads undeclared array"),
+        (
+            "calibration-failed",
+            "calibration failed (H2d, 3 attempts): budget",
+        ),
+        ("busy", "queue full (64 waiting); retry later"),
+        ("timeout", "deadline of 30s exceeded"),
+        (
+            "too_large",
+            "request frame of 9000000 B exceeds the 4194304 B limit",
+        ),
+        (
+            "internal",
+            "request handler panicked: injected worker panic",
+        ),
+    ];
+    for (kind, message) in kinds {
+        let err = ProtocolError::new(*kind, *message);
+        let rendered = error_json(&err).render();
+        assert!(rendered.starts_with("{\"ok\":false"), "{rendered}");
+        let back = ProtocolError::from_response(&rendered)
+            .unwrap_or_else(|| panic!("kind `{kind}` did not round-trip: {rendered}"));
+        assert_eq!(back, err, "render: {rendered}");
+    }
+    // Messages with characters the JSON renderer must escape.
+    let nasty = ProtocolError::new("parse", "line\t1:\n\"quoted\" \\ backslash");
+    let back = ProtocolError::from_response(&error_json(&nasty).render()).unwrap();
+    assert_eq!(back, nasty);
+    // Success responses are not misread as errors.
+    assert!(ProtocolError::from_response("{\"ok\":true,\"pong\":1}").is_none());
+}
