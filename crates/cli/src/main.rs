@@ -16,6 +16,11 @@ struct Options {
     temporaries: Vec<String>,
     sparse: Vec<(String, u64)>,
     file: Option<String>,
+    files: Vec<String>,
+    format_json: bool,
+    deny: Vec<String>,
+    allow: Vec<String>,
+    lint: bool,
     profile: bool,
     addr: String,
     workers: usize,
@@ -34,6 +39,8 @@ usage:
                                       simulated node and compare
   gpp analyze  <file.gsk> [options]   print the transfer plan
   gpp deps     <file.gsk>             inter-kernel dependence report
+  gpp lint     <file.gsk>... [options] static analysis: bounds, liveness,
+                                      races, transfer hints (GPP000-GPP008)
   gpp calibrate [options]             run the two-point PCIe calibration
   gpp fmt      <file.gsk>             parse and re-emit (normalize)
   gpp serve    [options]              run the projection service (TCP)
@@ -54,6 +61,10 @@ options:
   --timeout SECS          (serve/request) per-request budget (default 30)
   --command NAME          (request) project|measure|analyze|deps|calibrate|
                           stats|ping (default project)
+  --format json           (lint) one JSON object per file instead of text
+  --deny CODE|warnings    (lint) escalate a code (or all warnings) to error
+  --allow CODE            (lint) suppress a code (GPP000 cannot be allowed)
+  --no-lint               (request) skip the server-side lint gate
   --fault-plan PLAN       (serve) seeded fault-injection plan, e.g.
                           `seed=7;pcie.transfer.error:p=0.05` (default:
                           GPP_FAULT_PLAN env, else no faults)
@@ -80,6 +91,11 @@ fn main() -> ExitCode {
         temporaries: Vec::new(),
         sparse: Vec::new(),
         file: None,
+        files: Vec::new(),
+        format_json: false,
+        deny: Vec::new(),
+        allow: Vec::new(),
+        lint: true,
         profile: false,
         addr: "127.0.0.1:4513".into(),
         workers: 4,
@@ -188,12 +204,38 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--format" => match args.next().as_deref() {
+                Some("json") => opt.format_json = true,
+                Some("human") => opt.format_json = false,
+                _ => {
+                    eprintln!("--format needs `human` or `json`");
+                    return ExitCode::from(2);
+                }
+            },
+            "--deny" => match args.next() {
+                Some(c) => opt.deny.push(c),
+                None => {
+                    eprintln!("--deny needs a lint code or `warnings`");
+                    return ExitCode::from(2);
+                }
+            },
+            "--allow" => match args.next() {
+                Some(c) => opt.allow.push(c),
+                None => {
+                    eprintln!("--allow needs a lint code");
+                    return ExitCode::from(2);
+                }
+            },
+            "--no-lint" => opt.lint = false,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
-            other if opt.file.is_none() && !other.starts_with("--") => {
-                opt.file = Some(other.to_string())
+            other if !other.starts_with("--") => {
+                if opt.file.is_none() {
+                    opt.file = Some(other.to_string());
+                }
+                opt.files.push(other.to_string());
             }
             other => {
                 eprintln!("unknown option `{other}`");
@@ -202,7 +244,13 @@ fn main() -> ExitCode {
         }
     }
 
+    if cmd != "lint" && opt.files.len() > 1 {
+        eprintln!("`gpp {cmd}` takes a single skeleton file");
+        return ExitCode::from(2);
+    }
+
     match cmd.as_str() {
+        "lint" => cmd_lint(&opt),
         "project" => with_program(&opt, cmd_project),
         "measure" => with_program(&opt, cmd_measure),
         "analyze" => with_program(&opt, cmd_analyze),
@@ -263,7 +311,9 @@ fn with_program(opt: &Options, f: impl FnOnce(&Program, &Hints, &Options) -> Exi
             return ExitCode::FAILURE;
         }
     };
-    let mut hints = Hints::new();
+    // Arrays declared `temporary` in the skeleton seed the hints; flags
+    // add to them.
+    let mut hints = Hints::for_program(&program);
     for name in &opt.temporaries {
         let Some(a) = program.array_by_name(name) else {
             eprintln!("--temporary: no array named `{name}`");
@@ -279,6 +329,57 @@ fn with_program(opt: &Options, f: impl FnOnce(&Program, &Hints, &Options) -> Exi
         hints = hints.sparse_bound(a.id, *bytes);
     }
     f(&program, &hints, opt)
+}
+
+fn cmd_lint(opt: &Options) -> ExitCode {
+    use gpp_lint::{lint_source, render_human, render_json, Code, LintConfig};
+    if opt.files.is_empty() {
+        eprintln!("gpp lint needs at least one skeleton file");
+        return ExitCode::from(2);
+    }
+    let mut cfg = LintConfig::new();
+    for d in &opt.deny {
+        if d == "warnings" {
+            cfg.deny_warnings = true;
+        } else if let Some(c) = Code::parse(d) {
+            cfg.deny(c);
+        } else {
+            eprintln!("--deny: unknown lint `{d}` (GPP000..GPP008 or `warnings`)");
+            return ExitCode::from(2);
+        }
+    }
+    for a in &opt.allow {
+        match Code::parse(a) {
+            Some(c) => cfg.allow(c),
+            None => {
+                eprintln!("--allow: unknown lint code `{a}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let mut failed = false;
+    for path in &opt.files {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let report = lint_source(&src, path, &cfg);
+        if opt.format_json {
+            println!("{}", render_json(&report));
+        } else {
+            print!("{}", render_human(&report, Some(&src)));
+        }
+        failed |= report.has_errors();
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn cmd_project(program: &Program, hints: &Hints, opt: &Options) -> ExitCode {
@@ -463,6 +564,7 @@ fn cmd_request(opt: &Options) -> ExitCode {
     req.iters = opt.iters;
     req.temporaries = opt.temporaries.clone();
     req.sparse = opt.sparse.clone();
+    req.lint = opt.lint;
     if command.needs_skeleton() {
         let Some(path) = &opt.file else {
             eprintln!("`gpp request --command {command}` needs a skeleton file");

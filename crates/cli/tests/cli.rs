@@ -97,6 +97,87 @@ fn calibrate_reports_model() {
     assert!(stdout.contains("mean error"));
 }
 
+fn fixture_path(name: &str) -> String {
+    format!("{}/../../fixtures/bad/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn lint_clean_skeleton_exits_zero_with_no_output() {
+    let out = gpp()
+        .args(["lint", &skeleton_path("vector_add.gsk")])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(
+        out.stdout.is_empty(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn lint_defective_skeleton_exits_nonzero_with_spanned_report() {
+    let out = gpp()
+        .args(["lint", &fixture_path("gpp001_oob.gsk")])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("gpp001_oob.gsk:10:5: error[GPP001]"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("^"), "caret underline missing: {stdout}");
+    assert!(stdout.contains("1 error(s)"), "{stdout}");
+}
+
+#[test]
+fn lint_accepts_many_files_and_json_output() {
+    let out = gpp()
+        .args([
+            "lint",
+            &skeleton_path("vector_add.gsk"),
+            &fixture_path("gpp004_unused_array.gsk"),
+            "--format",
+            "json",
+        ])
+        .output()
+        .unwrap();
+    // Warnings alone don't fail the build...
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // ...one JSON object per file, in argument order.
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 2, "{stdout}");
+    assert!(lines[0].contains("\"diagnostics\":[]"), "{stdout}");
+    assert!(lines[1].contains("\"code\":\"GPP004\""), "{stdout}");
+
+    // ...unless --deny warnings promotes them.
+    let out = gpp()
+        .args([
+            "lint",
+            &fixture_path("gpp004_unused_array.gsk"),
+            "--deny",
+            "warnings",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    // And --allow silences the code entirely.
+    let out = gpp()
+        .args([
+            "lint",
+            &fixture_path("gpp004_unused_array.gsk"),
+            "--allow",
+            "GPP004",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(out.stdout.is_empty());
+}
+
 #[test]
 fn bad_inputs_fail_cleanly() {
     // Unknown file.

@@ -23,6 +23,21 @@ impl Hints {
         Hints::default()
     }
 
+    /// Hints seeded from the program itself: arrays declared `temporary`
+    /// in the skeleton (`array scratch f32 [64] temporary`) become
+    /// temporary hints, so the knowledge travels with the `.gsk` file
+    /// instead of needing a `--temporary` flag on every invocation.
+    /// Chain further builder calls for per-invocation additions.
+    pub fn for_program(p: &gpp_skeleton::Program) -> Self {
+        let mut h = Hints::new();
+        for a in &p.arrays {
+            if a.temporary {
+                h = h.temporary(a.id);
+            }
+        }
+        h
+    }
+
     /// Marks an array as a device-side temporary (not copied back).
     #[must_use]
     pub fn temporary(mut self, array: ArrayId) -> Self {
@@ -76,5 +91,28 @@ mod tests {
         assert_eq!(h.len(), 3);
         assert!(!h.is_empty());
         assert!(Hints::new().is_empty());
+    }
+
+    #[test]
+    fn for_program_seeds_declared_temporaries() {
+        use gpp_skeleton::builder::{idx, ProgramBuilder};
+        use gpp_skeleton::ElemType;
+        let mut p = ProgramBuilder::new("t");
+        let a = p.array("a", ElemType::F32, &[16]);
+        let scratch = p.temporary_array("scratch", ElemType::F32, &[16]);
+        let mut k = p.kernel("k");
+        let i = k.parallel_loop("i", 16);
+        k.statement()
+            .read(a, &[idx(i)])
+            .write(scratch, &[idx(i)])
+            .finish();
+        k.finish();
+        let prog = p.build().unwrap();
+        let h = Hints::for_program(&prog);
+        assert!(h.is_temporary(scratch));
+        assert!(!h.is_temporary(a));
+        // Still chainable for per-invocation additions.
+        let h = h.temporary(a);
+        assert!(h.is_temporary(a));
     }
 }

@@ -1,0 +1,1001 @@
+//! The analysis passes behind `gpp lint`.
+//!
+//! All passes share one precomputed view of the program: every array
+//! reference with its clamped section (via
+//! [`gpp_skeleton::sections::ref_section`]), in program order. On top of
+//! that they run:
+//!
+//! * **interval analysis** of affine indices against array extents
+//!   (GPP001),
+//! * **liveness** over the kernel sequence — uninitialized temporary
+//!   reads (GPP002), dead writes (GPP003), unused arrays (GPP004),
+//! * a **race detector** over parallel loop nests (GPP005),
+//! * **transfer-plan lints** layered on `gpp_datausage` — redundant
+//!   host-to-device traffic (GPP006) and missing `temporary` hints
+//!   (GPP007), and
+//! * **coalescing notes** from the synthesized kernel characteristics
+//!   (GPP008).
+//!
+//! Structurally invalid programs (failed [`gpp_skeleton::validate`])
+//! yield only GPP000 diagnostics: the dataflow passes assume a
+//! well-formed program.
+
+use crate::diag::{Code, Diagnostic, Severity};
+use gpp_brs::{AccessKind, ArrayId, Section, SectionSet};
+use gpp_datausage::plan::human_bytes;
+use gpp_datausage::{device_resident_arrays, Hints};
+use gpp_skeleton::expr::LoopId;
+use gpp_skeleton::sections::ref_section;
+use gpp_skeleton::{ArrayRef, CoalesceClass, IndexExpr, Program, SourceMap, Span, ValidationError};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Runs every pass over `program` and returns raw (unconfigured)
+/// diagnostics. Pass the [`SourceMap`] from
+/// [`gpp_skeleton::text::parse_with_spans`] to anchor findings to `.gsk`
+/// source; API-built programs pass `None` and get `Span::none()`.
+///
+/// `hints` should normally start from [`Hints::for_program`] so arrays
+/// declared `temporary` in the skeleton are honored.
+pub fn lint_program(program: &Program, map: Option<&SourceMap>, hints: &Hints) -> Vec<Diagnostic> {
+    if let Err(errs) = gpp_skeleton::validate::validate(program) {
+        return errs
+            .iter()
+            .map(|e| structural_diag(program, map, e))
+            .collect();
+    }
+    let ctx = Ctx::new(program, map, hints);
+    let mut diags = Vec::new();
+    ctx.out_of_bounds(&mut diags); // GPP001
+    ctx.liveness(&mut diags); // GPP002 + GPP006
+    ctx.dead_writes(&mut diags); // GPP003
+    ctx.unused_arrays(&mut diags); // GPP004
+    ctx.races(&mut diags); // GPP005
+    ctx.temporary_hints(&mut diags); // GPP007
+    ctx.coalescing(&mut diags); // GPP008
+    diags
+}
+
+/// One array reference with its precomputed section.
+struct Site<'a> {
+    /// Statement index within the kernel.
+    si: usize,
+    /// Reference index within the statement.
+    ri: usize,
+    r: &'a ArrayRef,
+    section: Section,
+    /// False if `section` over-approximates (irregular index or sparse
+    /// array).
+    exact: bool,
+    /// True if the statement executes unconditionally
+    /// (`active_fraction >= 1`), so its writes are guaranteed to cover
+    /// their section.
+    full: bool,
+}
+
+struct Ctx<'a> {
+    p: &'a Program,
+    map: Option<&'a SourceMap>,
+    hints: &'a Hints,
+    /// Per-kernel loop trip counts.
+    trips: Vec<Vec<u64>>,
+    /// Per-kernel reference sites in program order.
+    sites: Vec<Vec<Site<'a>>>,
+}
+
+impl<'a> Ctx<'a> {
+    fn new(p: &'a Program, map: Option<&'a SourceMap>, hints: &'a Hints) -> Ctx<'a> {
+        let trips: Vec<Vec<u64>> = p
+            .kernels
+            .iter()
+            .map(|k| k.loops.iter().map(|l| l.trip).collect())
+            .collect();
+        let sites = p
+            .kernels
+            .iter()
+            .enumerate()
+            .map(|(ki, k)| {
+                let mut v = Vec::new();
+                for (si, stmt) in k.statements.iter().enumerate() {
+                    for (ri, r) in stmt.refs.iter().enumerate() {
+                        let (section, exact) = ref_section(r, p.array(r.array), &trips[ki]);
+                        v.push(Site {
+                            si,
+                            ri,
+                            r,
+                            section,
+                            exact,
+                            full: stmt.active_fraction >= 1.0,
+                        });
+                    }
+                }
+                v
+            })
+            .collect();
+        Ctx {
+            p,
+            map,
+            hints,
+            trips,
+            sites,
+        }
+    }
+
+    fn ref_span(&self, ki: usize, si: usize, ri: usize) -> Span {
+        self.map.map(|m| m.ref_span(ki, si, ri)).unwrap_or_default()
+    }
+
+    fn array_span(&self, id: ArrayId) -> Span {
+        self.map.map(|m| m.array_span(id)).unwrap_or_default()
+    }
+
+    /// Temporary via hint *or* `.gsk` declaration.
+    fn is_temp(&self, id: ArrayId) -> bool {
+        self.hints.is_temporary(id) || self.p.array(id).temporary
+    }
+
+    /// GPP001: affine index ranges checked against extents. The section
+    /// machinery deliberately clamps (guarded-stencil convention), so
+    /// this is the only place out-of-bounds lattice points surface.
+    fn out_of_bounds(&self, diags: &mut Vec<Diagnostic>) {
+        for (ki, sites) in self.sites.iter().enumerate() {
+            for s in sites {
+                let decl = self.p.array(s.r.array);
+                if decl.sparse {
+                    continue; // data-dependent contents; extents are capacity
+                }
+                for (d, ix) in s.r.index.iter().enumerate() {
+                    let IndexExpr::Affine(e) = ix else { continue };
+                    let (lo, hi) = e.bounds(&self.trips[ki]);
+                    let extent = decl.extents[d] as i64;
+                    if lo < 0 || hi >= extent {
+                        diags.push(Diagnostic::new(
+                            Code::OutOfBounds,
+                            self.ref_span(ki, s.si, s.ri),
+                            format!(
+                                "out-of-bounds access to `{}`: dimension {} spans \
+                                 {}..={}, but valid indices are 0..={}",
+                                decl.name,
+                                d,
+                                lo,
+                                hi,
+                                extent - 1
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    /// GPP002 + GPP006: one forward walk over the kernel sequence,
+    /// tracking which sections have been written by *prior kernels* and
+    /// by *earlier statements of the current kernel* separately — the
+    /// transfer analysis (`gpp_datausage::analyze`) only subtracts the
+    /// former, which is exactly what GPP006 reports.
+    fn liveness(&self, diags: &mut Vec<Diagnostic>) {
+        let mut prior: BTreeMap<ArrayId, SectionSet> = BTreeMap::new();
+        for (ki, k) in self.p.kernels.iter().enumerate() {
+            let mut cur: BTreeMap<ArrayId, SectionSet> = BTreeMap::new();
+            for si in 0..k.statements.len() {
+                let sites: Vec<&Site> = self.sites[ki].iter().filter(|s| s.si == si).collect();
+                // Reads observe writes of *earlier* statements only.
+                for s in sites.iter().filter(|s| s.r.kind == AccessKind::Read) {
+                    let a = s.r.array;
+                    let decl = self.p.array(a);
+                    let nd = decl.ndims();
+                    let empty = SectionSet::empty(nd);
+                    let pset = prior.get(&a).unwrap_or(&empty);
+                    let cset = cur.get(&a).unwrap_or(&empty);
+                    if self.is_temp(a) {
+                        let mut written = pset.clone();
+                        written.union_with(cset);
+                        if !written.covers(&s.section) {
+                            diags.push(Diagnostic::new(
+                                Code::UninitializedRead,
+                                self.ref_span(ki, s.si, s.ri),
+                                format!(
+                                    "temporary `{}` is read before it is fully \
+                                     written — temporaries get no host-to-device \
+                                     copy, so this reads undefined device memory",
+                                    decl.name
+                                ),
+                            ));
+                        }
+                    } else if s.exact {
+                        let mut need = SectionSet::from_section(s.section.clone());
+                        need.subtract(pset);
+                        if !need.is_empty() {
+                            let mut rest = need.clone();
+                            rest.subtract(cset);
+                            if rest.is_empty() {
+                                diags.push(Diagnostic::new(
+                                    Code::RedundantH2d,
+                                    self.ref_span(ki, s.si, s.ri),
+                                    format!(
+                                        "`{}` is produced earlier in kernel `{}`, \
+                                         yet the per-kernel transfer analysis still \
+                                         schedules {} of host-to-device traffic for \
+                                         this read; hoist the producer into its own \
+                                         kernel to keep the data device-resident",
+                                        decl.name,
+                                        k.name,
+                                        human_bytes(need.byte_count(decl.elem.bytes())),
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+                // Then record this statement's guaranteed writes.
+                for s in sites
+                    .iter()
+                    .filter(|s| s.r.kind == AccessKind::Write && s.exact && s.full)
+                {
+                    cur.entry(s.r.array)
+                        .or_insert_with(|| SectionSet::empty(s.section.ndims()))
+                        .insert(s.section.clone());
+                }
+            }
+            for (a, set) in cur {
+                prior
+                    .entry(a)
+                    .or_insert_with(|| SectionSet::empty(set.ndims()))
+                    .union_with(&set);
+            }
+        }
+    }
+
+    /// GPP003: a write is dead if its section is fully overwritten before
+    /// any later read observes it — or, for a temporary (which is never
+    /// copied back to the host), if nothing ever reads it at all.
+    fn dead_writes(&self, diags: &mut Vec<Diagnostic>) {
+        for (ki, sites) in self.sites.iter().enumerate() {
+            for w in sites
+                .iter()
+                .filter(|s| s.r.kind == AccessKind::Write && s.exact && s.full)
+            {
+                let a = w.r.array;
+                let decl = self.p.array(a);
+                // Self-accumulation (`x[i] = x[i] + …`, possibly under a
+                // serial loop) keeps the write live: the same statement
+                // re-reads it on the next iteration.
+                let accumulates = sites.iter().any(|s| {
+                    s.si == w.si
+                        && s.r.kind == AccessKind::Read
+                        && s.r.array == a
+                        && s.section.overlaps(&w.section)
+                });
+                if accumulates {
+                    continue;
+                }
+                let mut remaining = SectionSet::from_section(w.section.clone());
+                let mut verdict = None; // None = scan ran to program end
+                'scan: for kj in ki..self.p.kernels.len() {
+                    for s in &self.sites[kj] {
+                        if (kj == ki && s.si <= w.si) || s.r.array != a {
+                            continue;
+                        }
+                        if s.r.kind == AccessKind::Read {
+                            let touches = if s.exact {
+                                remaining.overlaps(&s.section)
+                            } else {
+                                !remaining.is_empty()
+                            };
+                            if touches {
+                                verdict = Some(true); // live
+                                break 'scan;
+                            }
+                        } else if s.exact && s.full {
+                            remaining.subtract_section(&s.section);
+                            if remaining.is_empty() {
+                                verdict = Some(false); // overwritten
+                                break 'scan;
+                            }
+                        }
+                    }
+                }
+                match verdict {
+                    Some(true) => {}
+                    Some(false) => diags.push(Diagnostic::new(
+                        Code::DeadWrite,
+                        self.ref_span(ki, w.si, w.ri),
+                        format!(
+                            "dead write to `{}`: every element is overwritten \
+                             before it is ever read",
+                            decl.name
+                        ),
+                    )),
+                    // Never read and never fully overwritten: live for
+                    // host outputs (the final D2H copy observes it), dead
+                    // for temporaries.
+                    None if self.is_temp(a) => diags.push(Diagnostic::new(
+                        Code::DeadWrite,
+                        self.ref_span(ki, w.si, w.ri),
+                        format!(
+                            "write to temporary `{}` is never read — its \
+                             traffic is wasted",
+                            decl.name
+                        ),
+                    )),
+                    None => {}
+                }
+            }
+        }
+    }
+
+    /// GPP004: declared, never referenced.
+    fn unused_arrays(&self, diags: &mut Vec<Diagnostic>) {
+        let used: BTreeSet<ArrayId> = self.sites.iter().flatten().map(|s| s.r.array).collect();
+        for a in &self.p.arrays {
+            if !used.contains(&a.id) {
+                diags.push(Diagnostic::new(
+                    Code::UnusedArray,
+                    self.array_span(a.id),
+                    format!("array `{}` is declared but never referenced", a.name),
+                ));
+            }
+        }
+    }
+
+    /// GPP005: write-write and read-write conflicts between distinct
+    /// iterations of a parallel loop.
+    ///
+    /// Writes are linearized row-major; a parallel loop whose linear
+    /// coefficient is zero makes every one of its iterations store to
+    /// the same elements — a *definite* race (error). Otherwise a
+    /// positional-number argument proves injectivity: with coefficients
+    /// sorted by magnitude, each must exceed the largest offset the
+    /// smaller ones (plus all serial loops) can accumulate; failing that
+    /// the map *may* collide (warning).
+    fn races(&self, diags: &mut Vec<Diagnostic>) {
+        for (ki, k) in self.p.kernels.iter().enumerate() {
+            let par: Vec<(usize, &gpp_skeleton::Loop)> = k
+                .loops
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| l.parallel && l.trip > 1)
+                .collect();
+            if par.is_empty() {
+                continue; // single-iteration nest cannot race
+            }
+            for w in self.sites[ki]
+                .iter()
+                .filter(|s| s.r.kind == AccessKind::Write)
+            {
+                let decl = self.p.array(w.r.array);
+                if decl.sparse {
+                    continue; // contents and index sets are data-dependent
+                }
+                let span = self.ref_span(ki, w.si, w.ri);
+                if w.r.is_irregular() {
+                    diags.push(Diagnostic::new(
+                        Code::ParallelRace,
+                        span,
+                        format!(
+                            "data-dependent write to `{}` under a parallel loop \
+                             nest — distinct iterations cannot be proven to \
+                             write distinct elements",
+                            decl.name
+                        ),
+                    ));
+                    continue;
+                }
+                let lin = |lid: LoopId| -> i128 {
+                    w.r.index
+                        .iter()
+                        .enumerate()
+                        .map(|(d, ix)| {
+                            let row_stride: i128 =
+                                decl.extents[d + 1..].iter().map(|&e| e as i128).product();
+                            match ix {
+                                IndexExpr::Affine(e) => e.coeff(lid) as i128 * row_stride,
+                                _ => 0,
+                            }
+                        })
+                        .sum()
+                };
+                if let Some((_, l)) = par.iter().find(|(li, _)| lin(LoopId(*li as u32)) == 0) {
+                    diags.push(Diagnostic::with_severity(
+                        Code::ParallelRace,
+                        Severity::Error,
+                        span,
+                        format!(
+                            "write-write race on `{}`: the index does not vary \
+                             with parallel loop `{}`, so all {} of its \
+                             iterations store to the same elements",
+                            decl.name, l.name, l.trip
+                        ),
+                    ));
+                    continue;
+                }
+                let serial_slack: i128 = k
+                    .loops
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, l)| !l.parallel && l.trip > 1)
+                    .map(|(li, l)| lin(LoopId(li as u32)).abs() * (l.trip as i128 - 1))
+                    .sum();
+                let mut coeffs: Vec<(i128, u64)> = par
+                    .iter()
+                    .map(|(li, l)| (lin(LoopId(*li as u32)).abs(), l.trip))
+                    .collect();
+                coeffs.sort_unstable();
+                let mut reach = serial_slack;
+                for (c, trip) in coeffs {
+                    if c <= reach {
+                        diags.push(Diagnostic::new(
+                            Code::ParallelRace,
+                            span,
+                            format!(
+                                "writes to `{}` may collide: distinct parallel \
+                                 iterations can map to the same element \
+                                 (non-injective index)",
+                                decl.name
+                            ),
+                        ));
+                        break;
+                    }
+                    reach += c * (trip as i128 - 1);
+                }
+            }
+            // Read-write conflicts: a read whose section overlaps a
+            // concurrent write through a *different* index pattern sees
+            // either old or new values depending on thread order.
+            let mut flagged: BTreeSet<ArrayId> = BTreeSet::new();
+            for r in self.sites[ki]
+                .iter()
+                .filter(|s| s.r.kind == AccessKind::Read)
+            {
+                let a = r.r.array;
+                if flagged.contains(&a) || self.p.array(a).sparse {
+                    continue;
+                }
+                let conflicting = self.sites[ki].iter().any(|w| {
+                    w.r.kind == AccessKind::Write
+                        && w.r.array == a
+                        && !w.r.is_irregular()
+                        && w.r.index != r.r.index
+                        && if r.exact {
+                            w.section.overlaps(&r.section)
+                        } else {
+                            !w.section.is_empty()
+                        }
+                });
+                if conflicting {
+                    flagged.insert(a);
+                    diags.push(Diagnostic::new(
+                        Code::ParallelRace,
+                        self.ref_span(ki, r.si, r.ri),
+                        format!(
+                            "kernel `{}` reads `{}` at indices that overlap \
+                             elements concurrently written by other parallel \
+                             iterations — the value observed depends on thread \
+                             order (double-buffer the array to fix)",
+                            k.name,
+                            self.p.array(a).name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    /// GPP007: an array whose first access writes it and whose last
+    /// access reads it lives entirely on the device, yet without a
+    /// `temporary` hint the analyzer still copies it back.
+    fn temporary_hints(&self, diags: &mut Vec<Diagnostic>) {
+        let mut first: BTreeMap<ArrayId, AccessKind> = BTreeMap::new();
+        let mut last: BTreeMap<ArrayId, AccessKind> = BTreeMap::new();
+        for s in self.sites.iter().flatten() {
+            first.entry(s.r.array).or_insert(s.r.kind);
+            last.insert(s.r.array, s.r.kind);
+        }
+        for a in device_resident_arrays(self.p) {
+            if self.is_temp(a)
+                || first.get(&a) != Some(&AccessKind::Write)
+                || last.get(&a) != Some(&AccessKind::Read)
+            {
+                continue;
+            }
+            let decl = self.p.array(a);
+            let bytes = decl.extents.iter().product::<usize>() as u64 * decl.elem.bytes() as u64;
+            diags.push(Diagnostic::new(
+                Code::MissingTemporary,
+                self.array_span(a),
+                format!(
+                    "`{}` is produced and last consumed on the device but is \
+                     not declared `temporary`; marking it would drop {} of \
+                     device-to-host traffic",
+                    decl.name,
+                    human_bytes(bytes)
+                ),
+            ));
+        }
+    }
+
+    /// GPP008: coalescing notes from the synthesized characteristics,
+    /// using the default thread axis (the innermost parallel loop).
+    fn coalescing(&self, diags: &mut Vec<Diagnostic>) {
+        for (ki, k) in self.p.kernels.iter().enumerate() {
+            let ch = k.characteristics(self.p);
+            // `accesses` is 1:1 with refs in statement order.
+            let mut n = 0usize;
+            for (si, stmt) in k.statements.iter().enumerate() {
+                for (ri, r) in stmt.refs.iter().enumerate() {
+                    let acc = &ch.accesses[n];
+                    n += 1;
+                    let decl = self.p.array(r.array);
+                    if decl.sparse {
+                        continue; // layout is a property of the format
+                    }
+                    let span = self.ref_span(ki, si, ri);
+                    match acc.class {
+                        CoalesceClass::Strided(s) if s >= 16 => {
+                            diags.push(Diagnostic::new(
+                                Code::Uncoalesced,
+                                span,
+                                format!(
+                                    "stride-{} access to `{}`: consecutive \
+                                     threads touch elements {} apart, \
+                                     fragmenting each half-warp into {} \
+                                     transactions — interchange loops so the \
+                                     thread axis sweeps the contiguous dimension",
+                                    s,
+                                    decl.name,
+                                    s,
+                                    s.min(16)
+                                ),
+                            ));
+                        }
+                        CoalesceClass::Irregular => {
+                            diags.push(Diagnostic::new(
+                                Code::Uncoalesced,
+                                span,
+                                format!(
+                                    "data-dependent index into `{}` scatters each \
+                                     half-warp into 16 separate transactions",
+                                    decl.name
+                                ),
+                            ));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Maps one [`ValidationError`] to a GPP000 diagnostic with a
+/// best-effort span (the offending array, loop, kernel, or reference).
+fn structural_diag(p: &Program, map: Option<&SourceMap>, e: &ValidationError) -> Diagnostic {
+    let span = map.map(|m| structural_span(p, m, e)).unwrap_or_default();
+    Diagnostic::new(Code::Structural, span, e.to_string())
+}
+
+fn structural_span(p: &Program, m: &SourceMap, e: &ValidationError) -> Span {
+    let kernel_index = |name: &str| p.kernels.iter().position(|k| k.name == name);
+    let ref_span_where = |kname: &str, pred: &dyn Fn(&ArrayRef) -> bool| -> Span {
+        let Some(ki) = kernel_index(kname) else {
+            return Span::none();
+        };
+        for (si, stmt) in p.kernels[ki].statements.iter().enumerate() {
+            for (ri, r) in stmt.refs.iter().enumerate() {
+                if pred(r) {
+                    return m.ref_span(ki, si, ri);
+                }
+            }
+        }
+        m.kernel_span(ki)
+    };
+    match e {
+        ValidationError::ZeroExtent { array } => p
+            .array_by_name(array)
+            .map(|a| m.array_span(a.id))
+            .unwrap_or_default(),
+        ValidationError::EmptyLoopNest { kernel } | ValidationError::NoParallelism { kernel } => {
+            kernel_index(kernel)
+                .map(|ki| m.kernel_span(ki))
+                .unwrap_or_default()
+        }
+        ValidationError::ZeroTrip { kernel, loop_name } => kernel_index(kernel)
+            .and_then(|ki| {
+                let li = p.kernels[ki]
+                    .loops
+                    .iter()
+                    .position(|l| &l.name == loop_name)?;
+                m.kernels.get(ki)?.loops.get(li).copied()
+            })
+            .unwrap_or_default(),
+        ValidationError::UnknownArray { kernel, array } => {
+            ref_span_where(kernel, &|r: &ArrayRef| r.array.0 == *array)
+        }
+        ValidationError::DimMismatch {
+            kernel,
+            array,
+            expected,
+            ..
+        } => ref_span_where(kernel, &|r: &ArrayRef| {
+            p.arrays
+                .iter()
+                .any(|a| a.id == r.array && &a.name == array && r.index.len() != *expected)
+        }),
+        ValidationError::UnknownLoop { kernel, loop_id } => {
+            ref_span_where(kernel, &|r: &ArrayRef| {
+                r.index.iter().any(|ix| match ix {
+                    IndexExpr::Affine(e) => e.coeff(LoopId(*loop_id)) != 0,
+                    _ => false,
+                })
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpp_skeleton::builder::{cst, idx, irr, ProgramBuilder};
+    use gpp_skeleton::{ElemType, Flops};
+
+    fn codes(diags: &[Diagnostic]) -> Vec<Code> {
+        let mut v: Vec<Code> = diags.iter().map(|d| d.code).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    fn lint(p: &Program) -> Vec<Diagnostic> {
+        lint_program(p, None, &Hints::for_program(p))
+    }
+
+    #[test]
+    fn clean_program_has_no_diagnostics() {
+        let mut p = ProgramBuilder::new("clean");
+        let a = p.array("a", ElemType::F32, &[1024]);
+        let b = p.array("b", ElemType::F32, &[1024]);
+        let mut k = p.kernel("k");
+        let i = k.parallel_loop("i", 1024);
+        k.statement()
+            .read(a, &[idx(i)])
+            .write(b, &[idx(i)])
+            .flops(Flops {
+                adds: 1,
+                ..Flops::default()
+            })
+            .finish();
+        k.finish();
+        let p = p.build().unwrap();
+        assert_eq!(lint(&p), vec![]);
+    }
+
+    #[test]
+    fn oob_read_is_an_error() {
+        let mut p = ProgramBuilder::new("oob");
+        let a = p.array("a", ElemType::F32, &[64]);
+        let b = p.array("b", ElemType::F32, &[64]);
+        let mut k = p.kernel("k");
+        let i = k.parallel_loop("i", 64);
+        k.statement()
+            .read(a, &[idx(i) + 1])
+            .write(b, &[idx(i)])
+            .finish();
+        k.finish();
+        let p = p.build().unwrap();
+        let d = lint(&p);
+        assert_eq!(codes(&d), vec![Code::OutOfBounds]);
+        assert_eq!(d[0].severity, Severity::Error);
+        assert!(d[0].message.contains("1..=64"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn negative_index_is_oob() {
+        let mut p = ProgramBuilder::new("neg");
+        let a = p.array("a", ElemType::F32, &[64]);
+        let b = p.array("b", ElemType::F32, &[64]);
+        let mut k = p.kernel("k");
+        let i = k.parallel_loop("i", 64);
+        k.statement()
+            .read(a, &[idx(i) - 1])
+            .write(b, &[idx(i)])
+            .finish();
+        k.finish();
+        let p = p.build().unwrap();
+        assert_eq!(codes(&lint(&p)), vec![Code::OutOfBounds]);
+    }
+
+    #[test]
+    fn uninitialized_temporary_read_warns() {
+        let mut p = ProgramBuilder::new("uninit");
+        let a = p.array("a", ElemType::F32, &[64]);
+        let t = p.temporary_array("scratch", ElemType::F32, &[64]);
+        let mut k = p.kernel("k");
+        let i = k.parallel_loop("i", 64);
+        k.statement()
+            .read(t, &[idx(i)])
+            .write(a, &[idx(i)])
+            .finish();
+        k.statement()
+            .read(a, &[idx(i)])
+            .write(t, &[idx(i)])
+            .finish();
+        k.finish();
+        let p = p.build().unwrap();
+        let d = lint(&p);
+        assert!(d.iter().any(|d| d.code == Code::UninitializedRead), "{d:?}");
+    }
+
+    #[test]
+    fn temporary_written_then_read_is_clean() {
+        let mut p = ProgramBuilder::new("ok-temp");
+        let a = p.array("a", ElemType::F32, &[64]);
+        let t = p.temporary_array("scratch", ElemType::F32, &[64]);
+        let mut k1 = p.kernel("produce");
+        let i = k1.parallel_loop("i", 64);
+        k1.statement()
+            .read(a, &[idx(i)])
+            .write(t, &[idx(i)])
+            .finish();
+        k1.finish();
+        let mut k2 = p.kernel("consume");
+        let i = k2.parallel_loop("i", 64);
+        k2.statement()
+            .read(t, &[idx(i)])
+            .write(a, &[idx(i)])
+            .finish();
+        k2.finish();
+        let p = p.build().unwrap();
+        assert_eq!(lint(&p), vec![]);
+    }
+
+    #[test]
+    fn overwritten_before_read_is_dead() {
+        let mut p = ProgramBuilder::new("dead");
+        let a = p.array("a", ElemType::F32, &[64]);
+        let x = p.array("x", ElemType::F32, &[64]);
+        let mut k1 = p.kernel("first");
+        let i = k1.parallel_loop("i", 64);
+        k1.statement()
+            .read(a, &[idx(i)])
+            .write(x, &[idx(i)])
+            .finish();
+        k1.finish();
+        let mut k2 = p.kernel("second");
+        let i = k2.parallel_loop("i", 64);
+        k2.statement()
+            .read(a, &[idx(i)])
+            .write(x, &[idx(i)])
+            .finish();
+        k2.finish();
+        let p = p.build().unwrap();
+        let d = lint(&p);
+        assert_eq!(codes(&d), vec![Code::DeadWrite]);
+        assert!(d[0].message.contains("overwritten"));
+    }
+
+    #[test]
+    fn accumulation_is_not_dead() {
+        // x[i] = x[i] + a[i,t] under a serial loop: classic reduction.
+        let mut p = ProgramBuilder::new("acc");
+        let a = p.array("a", ElemType::F32, &[64, 8]);
+        let x = p.array("x", ElemType::F32, &[64]);
+        let mut k = p.kernel("k");
+        let i = k.parallel_loop("i", 64);
+        let t = k.serial_loop("t", 8);
+        k.statement()
+            .read(x, &[idx(i)])
+            .read(a, &[idx(i), idx(t)])
+            .write(x, &[idx(i)])
+            .finish();
+        k.finish();
+        let p = p.build().unwrap();
+        assert!(!lint(&p).iter().any(|d| d.code == Code::DeadWrite));
+    }
+
+    #[test]
+    fn unused_array_warns() {
+        let mut p = ProgramBuilder::new("unused");
+        let a = p.array("a", ElemType::F32, &[64]);
+        let b = p.array("b", ElemType::F32, &[64]);
+        let _ghost = p.array("ghost", ElemType::F64, &[128]);
+        let mut k = p.kernel("k");
+        let i = k.parallel_loop("i", 64);
+        k.statement()
+            .read(a, &[idx(i)])
+            .write(b, &[idx(i)])
+            .finish();
+        k.finish();
+        let p = p.build().unwrap();
+        let d = lint(&p);
+        assert_eq!(codes(&d), vec![Code::UnusedArray]);
+        assert!(d[0].message.contains("ghost"));
+    }
+
+    #[test]
+    fn thread_invariant_write_is_definite_race() {
+        let mut p = ProgramBuilder::new("race");
+        let a = p.array("a", ElemType::F32, &[64]);
+        let y = p.array("y", ElemType::F32, &[4]);
+        let mut k = p.kernel("k");
+        let i = k.parallel_loop("i", 64);
+        k.statement()
+            .read(a, &[idx(i)])
+            .write(y, &[cst(0)])
+            .finish();
+        k.finish();
+        let p = p.build().unwrap();
+        let d = lint(&p);
+        assert_eq!(codes(&d), vec![Code::ParallelRace]);
+        assert_eq!(d[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn folding_write_is_possible_race() {
+        // a[i + k] with i parallel (trip 10) and k serial (trip 5):
+        // threads 1 apart collide through serial offsets.
+        let mut p = ProgramBuilder::new("fold");
+        let a = p.array("a", ElemType::F32, &[32]);
+        let b = p.array("b", ElemType::F32, &[32]);
+        let mut k = p.kernel("k");
+        let i = k.parallel_loop("i", 10);
+        let s = k.serial_loop("s", 5);
+        k.statement()
+            .read(b, &[idx(i)])
+            .write(a, &[idx(i) + idx(s)])
+            .finish();
+        k.finish();
+        let p = p.build().unwrap();
+        let d = lint(&p);
+        let race: Vec<_> = d.iter().filter(|d| d.code == Code::ParallelRace).collect();
+        assert_eq!(race.len(), 1, "{d:?}");
+        assert_eq!(race[0].severity, Severity::Warning);
+        assert!(race[0].message.contains("collide"));
+    }
+
+    #[test]
+    fn stencil_read_write_overlap_is_race() {
+        // In-place stencil: reads img[i] and img[i+2] while writing
+        // img[i+1] in the same parallel nest.
+        let mut p = ProgramBuilder::new("inplace");
+        let img = p.array("img", ElemType::F32, &[64]);
+        let mut k = p.kernel("k");
+        let i = k.parallel_loop("i", 62);
+        k.statement()
+            .read(img, &[idx(i)])
+            .read(img, &[idx(i) + 2])
+            .write(img, &[idx(i) + 1])
+            .finish();
+        k.finish();
+        let p = p.build().unwrap();
+        let d = lint(&p);
+        let race: Vec<_> = d.iter().filter(|d| d.code == Code::ParallelRace).collect();
+        assert_eq!(race.len(), 1, "one warning per (kernel, array): {d:?}");
+        assert_eq!(race[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn double_buffered_stencil_has_no_race() {
+        let mut p = ProgramBuilder::new("buffered");
+        let a = p.array("in", ElemType::F32, &[64]);
+        let b = p.array("out", ElemType::F32, &[64]);
+        let mut k = p.kernel("k");
+        let i = k.parallel_loop("i", 62);
+        k.statement()
+            .read(a, &[idx(i)])
+            .read(a, &[idx(i) + 2])
+            .write(b, &[idx(i) + 1])
+            .finish();
+        k.finish();
+        let p = p.build().unwrap();
+        assert!(!lint(&p).iter().any(|d| d.code == Code::ParallelRace));
+    }
+
+    #[test]
+    fn same_kernel_producer_is_redundant_h2d() {
+        let mut p = ProgramBuilder::new("redundant");
+        let a = p.array("a", ElemType::F32, &[64]);
+        let tmp = p.array("tmp", ElemType::F32, &[64]);
+        let b = p.array("b", ElemType::F32, &[64]);
+        let mut k = p.kernel("k");
+        let i = k.parallel_loop("i", 64);
+        k.statement()
+            .read(a, &[idx(i)])
+            .write(tmp, &[idx(i)])
+            .finish();
+        k.statement()
+            .read(tmp, &[idx(i)])
+            .write(b, &[idx(i)])
+            .finish();
+        k.finish();
+        let p = p.build().unwrap();
+        let d = lint(&p);
+        assert!(d.iter().any(|d| d.code == Code::RedundantH2d), "{d:?}");
+    }
+
+    #[test]
+    fn device_intermediate_without_hint_warns() {
+        let mut p = ProgramBuilder::new("hint");
+        let img = p.array("img", ElemType::F32, &[256]);
+        let coeff = p.array("coeff", ElemType::F32, &[256]);
+        let mut k1 = p.kernel("prep");
+        let i = k1.parallel_loop("i", 256);
+        k1.statement()
+            .read(img, &[idx(i)])
+            .write(coeff, &[idx(i)])
+            .finish();
+        k1.finish();
+        let mut k2 = p.kernel("update");
+        let i = k2.parallel_loop("i", 256);
+        k2.statement()
+            .read(coeff, &[idx(i)])
+            .read(img, &[idx(i)])
+            .write(img, &[idx(i)])
+            .finish();
+        k2.finish();
+        let p = p.build().unwrap();
+        let d = lint(&p);
+        let hint: Vec<_> = d
+            .iter()
+            .filter(|d| d.code == Code::MissingTemporary)
+            .collect();
+        assert_eq!(hint.len(), 1, "{d:?}");
+        assert!(hint[0].message.contains("coeff"));
+        assert!(hint[0].message.contains("1024 B"), "{}", hint[0].message);
+        // With the hint supplied, the warning disappears.
+        let coeff_id = p.array_by_name("coeff").unwrap().id;
+        let hinted = Hints::new().temporary(coeff_id);
+        let d2 = lint_program(&p, None, &hinted);
+        assert!(!d2.iter().any(|d| d.code == Code::MissingTemporary));
+    }
+
+    #[test]
+    fn row_major_transpose_access_is_noted() {
+        let mut p = ProgramBuilder::new("stride");
+        let m = p.array("m", ElemType::F32, &[128, 128]);
+        let v = p.array("v", ElemType::F32, &[128]);
+        let mut k = p.kernel("k");
+        let i = k.parallel_loop("i", 128);
+        k.statement()
+            .read(m, &[idx(i), cst(0)])
+            .write(v, &[idx(i)])
+            .finish();
+        k.finish();
+        let p = p.build().unwrap();
+        let d = lint(&p);
+        assert_eq!(codes(&d), vec![Code::Uncoalesced]);
+        assert_eq!(d[0].severity, Severity::Note);
+        assert!(d[0].message.contains("stride-128"));
+    }
+
+    #[test]
+    fn irregular_gather_is_noted() {
+        let mut p = ProgramBuilder::new("gather");
+        let x = p.array("x", ElemType::F64, &[512]);
+        let y = p.array("y", ElemType::F64, &[64]);
+        let mut k = p.kernel("k");
+        let i = k.parallel_loop("i", 64);
+        k.statement()
+            .read_ix(x, &[irr()])
+            .write(y, &[idx(i)])
+            .finish();
+        k.finish();
+        let p = p.build().unwrap();
+        let d = lint(&p);
+        assert_eq!(codes(&d), vec![Code::Uncoalesced]);
+        assert!(d[0].message.contains("data-dependent"));
+    }
+
+    #[test]
+    fn invalid_program_yields_only_structural_errors() {
+        let mut p = ProgramBuilder::new("broken");
+        let a = p.array("a", ElemType::F32, &[0]); // zero extent
+        let mut k = p.kernel("k");
+        let i = k.serial_loop("i", 0); // zero trip + no parallelism
+        k.statement().read(a, &[idx(i)]).finish();
+        k.finish();
+        let p = p.build_unchecked();
+        let d = lint_program(&p, None, &Hints::new());
+        assert!(d.len() >= 3, "{d:?}");
+        assert!(d.iter().all(|d| d.code == Code::Structural));
+        assert!(d.iter().all(|d| d.severity == Severity::Error));
+    }
+}

@@ -1,0 +1,199 @@
+//! Diagnostic renderers: a human format with source snippets and carets,
+//! and a line-oriented JSON format for tooling.
+
+use crate::diag::LintReport;
+use std::fmt::Write as _;
+
+/// Renders a report the way compilers do:
+///
+/// ```text
+/// file.gsk:12:5: error[GPP001]: out-of-bounds access to `temp`: …
+///    12 |     read  temp  [i-1, j]
+///       |     ^^^^^^^^^^^^^^^^^^^^
+/// file.gsk: 1 error(s), 0 warning(s), 0 note(s)
+/// ```
+///
+/// Pass the original source to get the quoted line and caret; without it
+/// (or for diagnostics with no span) only header lines are printed. A
+/// clean report renders as the empty string.
+pub fn render_human(report: &LintReport, source: Option<&str>) -> String {
+    let lines: Vec<&str> = source.map(|s| s.lines().collect()).unwrap_or_default();
+    let mut out = String::new();
+    for d in &report.diagnostics {
+        if d.span.is_real() {
+            let _ = writeln!(
+                out,
+                "{}:{}:{}: {}[{}]: {}",
+                report.file, d.span.line, d.span.col, d.severity, d.code, d.message
+            );
+            if let Some(text) = lines.get(d.span.line - 1) {
+                let num = d.span.line.to_string();
+                let width = num.len().max(4);
+                let _ = writeln!(out, "{num:>width$} | {text}");
+                let _ = writeln!(
+                    out,
+                    "{:>width$} | {}{}",
+                    "",
+                    " ".repeat(d.span.col.saturating_sub(1)),
+                    "^".repeat(d.span.len.max(1)),
+                );
+            }
+        } else {
+            let _ = writeln!(
+                out,
+                "{}: {}[{}]: {}",
+                report.file, d.severity, d.code, d.message
+            );
+        }
+    }
+    if !report.diagnostics.is_empty() {
+        let _ = writeln!(
+            out,
+            "{}: {} error(s), {} warning(s), {} note(s)",
+            report.file,
+            report.errors(),
+            report.warnings(),
+            report.notes()
+        );
+    }
+    out
+}
+
+/// Renders a report as a single-line JSON object:
+///
+/// ```json
+/// {"file":"f.gsk","errors":1,"warnings":0,"notes":0,
+///  "diagnostics":[{"code":"GPP001","severity":"error",
+///                  "line":12,"col":5,"len":20,"message":"…"}]}
+/// ```
+///
+/// `line` 0 means "no source position". The schema is stable; new keys
+/// may be added but existing ones never change meaning.
+pub fn render_json(report: &LintReport) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"file\":\"{}\",\"errors\":{},\"warnings\":{},\"notes\":{},\"diagnostics\":[",
+        json_escape(&report.file),
+        report.errors(),
+        report.warnings(),
+        report.notes()
+    );
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"code\":\"{}\",\"severity\":\"{}\",\"line\":{},\"col\":{},\"len\":{},\"message\":\"{}\"}}",
+            d.code,
+            d.severity,
+            d.span.line,
+            d.span.col,
+            d.span.len,
+            json_escape(&d.message)
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Escapes a string for embedding in a JSON literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{Code, Diagnostic};
+    use gpp_skeleton::Span;
+
+    fn report() -> LintReport {
+        LintReport {
+            file: "f.gsk".into(),
+            diagnostics: vec![
+                Diagnostic::new(
+                    Code::OutOfBounds,
+                    Span {
+                        line: 2,
+                        col: 3,
+                        len: 10,
+                    },
+                    "boom \"quoted\"".into(),
+                ),
+                Diagnostic::new(Code::UnusedArray, Span::none(), "ghost".into()),
+            ],
+        }
+    }
+
+    #[test]
+    fn human_quotes_source_with_caret() {
+        let src = "array a f32 [4]\n  read a [i]\n";
+        let out = render_human(&report(), Some(src));
+        assert!(out.contains("f.gsk:2:3: error[GPP001]: boom"), "{out}");
+        assert!(out.contains("   2 |   read a [i]"), "{out}");
+        assert!(out.contains("     |   ^^^^^^^^^^"), "{out}");
+        // Span-less diagnostics still get a header line.
+        assert!(out.contains("f.gsk: warning[GPP004]: ghost"), "{out}");
+        assert!(
+            out.contains("f.gsk: 1 error(s), 1 warning(s), 0 note(s)"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn human_without_source_omits_snippets() {
+        let out = render_human(&report(), None);
+        assert!(out.contains("f.gsk:2:3: error[GPP001]"));
+        assert!(!out.contains(" | "));
+    }
+
+    #[test]
+    fn clean_report_renders_empty() {
+        let r = LintReport {
+            file: "f.gsk".into(),
+            diagnostics: vec![],
+        };
+        assert_eq!(render_human(&r, None), "");
+        assert_eq!(
+            render_json(&r),
+            "{\"file\":\"f.gsk\",\"errors\":0,\"warnings\":0,\"notes\":0,\"diagnostics\":[]}"
+        );
+    }
+
+    #[test]
+    fn json_is_escaped_and_stable() {
+        let out = render_json(&report());
+        assert_eq!(
+            out,
+            "{\"file\":\"f.gsk\",\"errors\":1,\"warnings\":1,\"notes\":0,\"diagnostics\":[\
+             {\"code\":\"GPP001\",\"severity\":\"error\",\"line\":2,\"col\":3,\"len\":10,\
+             \"message\":\"boom \\\"quoted\\\"\"},\
+             {\"code\":\"GPP004\",\"severity\":\"warning\",\"line\":0,\"col\":0,\"len\":0,\
+             \"message\":\"ghost\"}]}"
+        );
+    }
+
+    #[test]
+    fn control_chars_are_escaped() {
+        assert_eq!(
+            json_escape("a\nb\t\"c\"\\\u{1}"),
+            "a\\nb\\t\\\"c\\\"\\\\\\u0001"
+        );
+    }
+}

@@ -1,0 +1,201 @@
+//! Golden-snapshot tests over the `fixtures/bad/` corpus: every
+//! diagnostic code has one skeleton that demonstrates it, and both
+//! renderers are pinned byte-for-byte. Regenerate the snapshots with
+//! `UPDATE_GOLDEN=1 cargo test -p gpp-lint --test fixtures`.
+
+use gpp_lint::{lint_source, render_human, render_json, Code, LintConfig, Severity};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn fixtures() -> Vec<PathBuf> {
+    let dir = repo_root().join("fixtures/bad");
+    let mut files: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("read {}: {e}", dir.display()))
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "gsk"))
+        .collect();
+    files.sort();
+    assert_eq!(files.len(), 9, "one fixture per diagnostic code");
+    files
+}
+
+/// The code a fixture demonstrates, from its `gppNNN_…` name.
+fn expected_code(path: &Path) -> Code {
+    let name = path.file_name().unwrap().to_str().unwrap();
+    Code::parse(&name[..6].to_uppercase()).unwrap_or_else(|| panic!("bad fixture name {name}"))
+}
+
+fn check_golden(path: &Path, actual: &str) {
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::write(path, actual).unwrap();
+        return;
+    }
+    let want = fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual,
+        want,
+        "output drifted from {}; rerun with UPDATE_GOLDEN=1 and review the diff",
+        path.display()
+    );
+}
+
+#[test]
+fn every_code_has_a_demonstrating_fixture() {
+    let mut seen = Vec::new();
+    for f in fixtures() {
+        let code = expected_code(&f);
+        let src = fs::read_to_string(&f).unwrap();
+        let report = lint_source(
+            &src,
+            f.file_name().unwrap().to_str().unwrap(),
+            &LintConfig::new(),
+        );
+        assert!(
+            report.diagnostics.iter().any(|d| d.code == code),
+            "{}: expected {code}, got {:?}",
+            f.display(),
+            report.diagnostics
+        );
+        // Every diagnostic is anchored to a real source line.
+        for d in &report.diagnostics {
+            assert!(d.span.is_real(), "{}: unspanned {d:?}", f.display());
+        }
+        // And apart from GPP000 (which collects several structural
+        // errors), a fixture triggers exactly its own code — keeping the
+        // corpus a precise, minimal example per lint.
+        if code != Code::Structural {
+            assert!(
+                report.diagnostics.iter().all(|d| d.code == code),
+                "{}: extra diagnostics {:?}",
+                f.display(),
+                report.diagnostics
+            );
+        }
+        seen.push(code);
+    }
+    seen.sort_unstable();
+    seen.dedup();
+    assert_eq!(seen, Code::ALL.to_vec());
+}
+
+#[test]
+fn fixture_spans_point_at_the_culprit() {
+    let root = repo_root();
+    let case = |file: &str, line: usize, col: usize| {
+        let path = root.join("fixtures/bad").join(file);
+        let src = fs::read_to_string(&path).unwrap();
+        let report = lint_source(&src, file, &LintConfig::new());
+        let code = expected_code(&path);
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == code)
+            .unwrap_or_else(|| panic!("{file}: no {code}"));
+        assert_eq!(
+            (d.span.line, d.span.col),
+            (line, col),
+            "{file}: {code} anchored at {}",
+            d.span
+        );
+    };
+    case("gpp001_oob.gsk", 10, 5); // read  a [i+1]
+    case("gpp002_uninit_read.gsk", 10, 5); // read  scratch [i]
+    case("gpp003_dead_write.gsk", 11, 5); // write x [i] (kernel first)
+    case("gpp004_unused_array.gsk", 5, 1); // array ghost …
+    case("gpp005_race.gsk", 11, 5); // write y [0]
+    case("gpp006_redundant_h2d.gsk", 15, 5); // read  tmp [i]
+    case("gpp007_missing_temporary.gsk", 6, 1); // array coeff …
+    case("gpp008_uncoalesced.gsk", 10, 5); // read  m [i, 0]
+}
+
+#[test]
+fn golden_snapshots_human_and_json() {
+    for f in fixtures() {
+        let src = fs::read_to_string(&f).unwrap();
+        let name = f.file_name().unwrap().to_str().unwrap().to_string();
+        let report = lint_source(&src, &name, &LintConfig::new());
+        check_golden(
+            &f.with_extension("gsk.expected"),
+            &render_human(&report, Some(&src)),
+        );
+        let mut json = render_json(&report);
+        json.push('\n');
+        check_golden(&f.with_extension("gsk.expected.json"), &json);
+    }
+}
+
+#[test]
+fn deny_warnings_fails_every_defect_fixture() {
+    let mut cfg = LintConfig::new();
+    cfg.deny_warnings = true;
+    for f in fixtures() {
+        let src = fs::read_to_string(&f).unwrap();
+        let report = lint_source(&src, "f", &cfg);
+        let code = expected_code(&f);
+        if code == Code::Uncoalesced {
+            // Notes are advisory: they never fail the build unless
+            // explicitly denied.
+            assert!(
+                !report.has_errors(),
+                "{}: {:?}",
+                f.display(),
+                report.diagnostics
+            );
+            let mut deny = LintConfig::new();
+            deny.deny(Code::Uncoalesced);
+            assert!(lint_source(&src, "f", &deny).has_errors());
+        } else {
+            assert!(
+                report.has_errors(),
+                "{}: {:?}",
+                f.display(),
+                report.diagnostics
+            );
+        }
+    }
+}
+
+#[test]
+fn committed_skeletons_lint_clean_under_deny_warnings() {
+    let dir = repo_root().join("skeletons");
+    let mut cfg = LintConfig::new();
+    cfg.deny_warnings = true;
+    let mut checked = 0;
+    for entry in fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|x| x != "gsk") {
+            continue;
+        }
+        let src = fs::read_to_string(&path).unwrap();
+        let report = lint_source(&src, path.to_str().unwrap(), &cfg);
+        assert!(
+            !report.has_errors(),
+            "{}:\n{}",
+            path.display(),
+            render_human(&report, Some(&src))
+        );
+        // No warnings hide behind the gate either.
+        assert_eq!(
+            report
+                .diagnostics
+                .iter()
+                .filter(|d| d.severity != Severity::Note)
+                .count(),
+            0,
+            "{}: {:?}",
+            path.display(),
+            report.diagnostics
+        );
+        checked += 1;
+    }
+    assert!(checked >= 3, "skeleton corpus went missing");
+}

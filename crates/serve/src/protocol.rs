@@ -97,6 +97,8 @@ pub struct Request {
     pub temporaries: Vec<String>,
     /// Sparse-bound hints: (array name, useful bytes).
     pub sparse: Vec<(String, u64)>,
+    /// Run the static analyzer before projecting (on by default).
+    pub lint: bool,
     /// Skeleton source text (commands that need one).
     pub skeleton: String,
 }
@@ -111,6 +113,7 @@ impl Request {
             iters: 1,
             temporaries: Vec::new(),
             sparse: Vec::new(),
+            lint: true,
             skeleton: String::new(),
         }
     }
@@ -137,6 +140,9 @@ impl Request {
                 .map(|(n, b)| format!("{n}:{b}"))
                 .collect();
             header.push_str(&format!(" sparse={}", spec.join(",")));
+        }
+        if !self.lint {
+            header.push_str(" lint=0");
         }
         header.push('\n');
         header.push_str(&self.skeleton);
@@ -197,6 +203,18 @@ impl Request {
                         .filter(|s| !s.is_empty())
                         .map(str::to_string),
                 ),
+                "lint" => {
+                    req.lint = match value {
+                        "0" | "false" | "off" => false,
+                        "1" | "true" | "on" => true,
+                        _ => {
+                            return Err(ProtocolError::new(
+                                "bad-option",
+                                format!("lint=`{value}` is not a boolean"),
+                            ))
+                        }
+                    }
+                }
                 "sparse" => {
                     for spec in value.split(',').filter(|s| !s.is_empty()) {
                         let Some((name, bytes)) = spec.split_once(':') else {
@@ -233,12 +251,33 @@ impl Request {
     }
 }
 
+/// One static-analyzer finding on the wire: carried on a `lint`
+/// rejection (and echoed in successful replies when the analyzer has
+/// warnings or notes to report).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintDiagnostic {
+    /// Stable code, `GPP000`..`GPP008`.
+    pub code: String,
+    /// `error`, `warning`, or `note`.
+    pub severity: String,
+    /// 1-based source line (0 when the finding has no span).
+    pub line: usize,
+    /// 1-based source column.
+    pub col: usize,
+    /// Length of the underlined source text, in bytes.
+    pub len: usize,
+    pub message: String,
+}
+
 /// A structured protocol-level error (also serialized into responses).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProtocolError {
     /// Stable machine-readable kind: `busy`, `timeout`, `parse`, ...
     pub kind: String,
     pub message: String,
+    /// Non-empty only for `lint` rejections: the findings that caused
+    /// them, serialized as a top-level `diagnostics` array.
+    pub diagnostics: Vec<LintDiagnostic>,
 }
 
 impl ProtocolError {
@@ -246,6 +285,7 @@ impl ProtocolError {
         ProtocolError {
             kind: kind.into(),
             message: message.into(),
+            diagnostics: Vec::new(),
         }
     }
 }
@@ -270,6 +310,7 @@ impl ProtocolError {
         Some(ProtocolError {
             kind: extract_json_string(response, "kind")?,
             message: extract_json_string(response, "message")?,
+            diagnostics: Vec::new(),
         })
     }
 }
@@ -450,9 +491,27 @@ mod tests {
         req.iters = 50;
         req.temporaries = vec!["tmp".into()];
         req.sparse = vec![("val".into(), 4096)];
+        req.lint = false;
         req.skeleton = "program p\n".into();
+        assert!(req.encode().contains(" lint=0"));
         let decoded = Request::decode(&req.encode()).unwrap();
         assert_eq!(decoded, req);
+    }
+
+    #[test]
+    fn lint_defaults_on_and_stays_off_the_wire() {
+        let mut req = Request::new(Command::Project);
+        req.skeleton = "program p\n".into();
+        assert!(req.lint);
+        assert!(!req.encode().contains("lint"));
+        assert!(Request::decode("gpp/1 project lint=1\nx").unwrap().lint);
+        assert!(!Request::decode("gpp/1 project lint=off\nx").unwrap().lint);
+        assert_eq!(
+            Request::decode("gpp/1 project lint=maybe\nx")
+                .unwrap_err()
+                .kind,
+            "bad-option"
+        );
     }
 
     #[test]

@@ -7,12 +7,13 @@
 
 use crate::cache::{fnv1a, CalibKey, CalibrationCache, ProjectionCache, ProjectionKey};
 use crate::metrics::{Metrics, StatsSnapshot};
-use crate::protocol::{Command, ProtocolError, Request};
+use crate::protocol::{Command, LintDiagnostic, ProtocolError, Request};
 use gpp_datausage::{analyze, Hints};
 use gpp_fault::FaultInjector;
+use gpp_lint::{lint_program, Diagnostic, Severity};
 use gpp_pcie::{Direction, MemType, SweepValidation};
 use gpp_skeleton::text;
-use gpp_skeleton::Program;
+use gpp_skeleton::{Program, SourceMap};
 use grophecy::machine::MachineConfig;
 use grophecy::measurement::measure;
 use grophecy::projector::{AppProjection, Grophecy};
@@ -218,11 +219,20 @@ impl ServiceState {
             .map_err(|e| ProtocolError::new("calibration-failed", e.to_string()))
     }
 
-    /// Parses the skeleton and resolves hint names.
-    fn program_and_hints(&self, req: &Request) -> Result<(Program, Hints), ProtocolError> {
-        let program = text::parse(&req.skeleton)
+    /// Parses the skeleton (keeping the source map for spanned lint
+    /// diagnostics), validates it, and resolves hint names. Hints start
+    /// from the skeleton's own `temporary` declarations, so attributes in
+    /// the text and `temporary=` request options compose.
+    fn program_and_hints(
+        &self,
+        req: &Request,
+    ) -> Result<(Program, SourceMap, Hints), ProtocolError> {
+        let (program, map) = text::parse_with_spans(&req.skeleton)
             .map_err(|e| ProtocolError::new("skeleton", e.to_string()))?;
-        let mut hints = Hints::new();
+        gpp_skeleton::validate::validate(&program).map_err(|e| {
+            ProtocolError::new("skeleton", format!("line 0, col 0: validation failed: {e}"))
+        })?;
+        let mut hints = Hints::for_program(&program);
         for name in &req.temporaries {
             let a = program.array_by_name(name).ok_or_else(|| {
                 ProtocolError::new(
@@ -238,7 +248,41 @@ impl ServiceState {
             })?;
             hints = hints.sparse_bound(a.id, *bytes);
         }
-        Ok((program, hints))
+        Ok((program, map, hints))
+    }
+
+    /// Runs the static analyzer ahead of projection. Error-level
+    /// findings reject the request (kind `lint`, with the findings as a
+    /// structured `diagnostics` array) **before** any calibration work;
+    /// warnings and notes are returned so handlers can attach them to
+    /// the success reply. `lint=0` skips the analysis entirely.
+    fn lint_gate(
+        &self,
+        req: &Request,
+        program: &Program,
+        map: &SourceMap,
+        hints: &Hints,
+    ) -> Result<Vec<Diagnostic>, ProtocolError> {
+        if !req.lint {
+            return Ok(Vec::new());
+        }
+        let diags = lint_program(program, Some(map), hints);
+        let errors = diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count();
+        if errors > 0 {
+            let mut e = ProtocolError::new(
+                "lint",
+                format!(
+                    "skeleton rejected by the static analyzer: {errors} error(s); \
+                     pass lint=0 to project anyway"
+                ),
+            );
+            e.diagnostics = diags.iter().map(diag_wire).collect();
+            return Err(e);
+        }
+        Ok(diags)
     }
 
     /// Projects via the LRU memo. The key hashes the *normalized* program
@@ -267,7 +311,8 @@ impl ServiceState {
     }
 
     fn cmd_project(&self, req: &Request, start: Instant) -> Result<Json, ProtocolError> {
-        let (program, hints) = self.program_and_hints(req)?;
+        let (program, map, hints) = self.program_and_hints(req)?;
+        let diags = self.lint_gate(req, &program, &map, &hints)?;
         self.check_deadline(start)?;
         let (gro, stale) = self.projector(req)?;
         self.check_deadline(start)?;
@@ -292,6 +337,11 @@ impl ServiceState {
         if stale {
             fields.push(("stale", Json::Bool(true)));
         }
+        // Same convention: a clean skeleton's reply is byte-for-byte what
+        // it was before the analyzer existed.
+        if !diags.is_empty() {
+            fields.push(("diagnostics", diagnostics_json(&diags)));
+        }
         fields.extend([
             (
                 "pcie",
@@ -307,7 +357,8 @@ impl ServiceState {
     }
 
     fn cmd_measure(&self, req: &Request, start: Instant) -> Result<Json, ProtocolError> {
-        let (program, hints) = self.program_and_hints(req)?;
+        let (program, map, hints) = self.program_and_hints(req)?;
+        let diags = self.lint_gate(req, &program, &map, &hints)?;
         self.check_deadline(start)?;
         // The measurement path replays the single-shot sequence exactly
         // (fresh node, calibration consuming the same RNG stream as the
@@ -321,20 +372,26 @@ impl ServiceState {
         self.check_deadline(start)?;
         let meas = measure(&mut node, &program, &proj);
         let r = SpeedupReport::build(&program.name, "serve", &proj, &meas, req.iters);
-        Ok(Json::obj([
+        let mut fields = vec![
             ("ok", Json::Bool(true)),
             ("command", Json::Str("measure".into())),
             ("machine", Json::Str(req.machine.clone())),
             ("seed", Json::Num(req.seed as f64)),
             ("iters", Json::Num(req.iters as f64)),
+        ];
+        if !diags.is_empty() {
+            fields.push(("diagnostics", diagnostics_json(&diags)));
+        }
+        fields.extend([
             ("projection", projection_json(&proj)),
             ("measurement", measurement_json(&meas)),
             ("speedup", speedup_json(&r)),
-        ]))
+        ]);
+        Ok(Json::obj(fields))
     }
 
     fn cmd_analyze(&self, req: &Request) -> Result<Json, ProtocolError> {
-        let (program, hints) = self.program_and_hints(req)?;
+        let (program, _map, hints) = self.program_and_hints(req)?;
         let plan = analyze(&program, &hints);
         Ok(Json::obj([
             ("ok", Json::Bool(true)),
@@ -360,7 +417,7 @@ impl ServiceState {
     }
 
     fn cmd_deps(&self, req: &Request) -> Result<Json, ProtocolError> {
-        let (program, _hints) = self.program_and_hints(req)?;
+        let (program, _map, _hints) = self.program_and_hints(req)?;
         let deps = gpp_datausage::dependences(&program);
         let resident = gpp_datausage::device_resident_arrays(&program);
         Ok(Json::obj([
@@ -518,7 +575,7 @@ fn hints_fingerprint(req: &Request) -> String {
 
 /// The structured error response body.
 pub fn error_json(e: &ProtocolError) -> Json {
-    Json::obj([
+    let mut fields = vec![
         ("ok", Json::Bool(false)),
         (
             "error",
@@ -527,7 +584,50 @@ pub fn error_json(e: &ProtocolError) -> Json {
                 ("message", Json::Str(e.message.clone())),
             ]),
         ),
+    ];
+    // Only lint rejections carry findings; every other error reply stays
+    // byte-for-byte what it always was.
+    if !e.diagnostics.is_empty() {
+        fields.push((
+            "diagnostics",
+            Json::Arr(e.diagnostics.iter().map(wire_diag_json).collect()),
+        ));
+    }
+    Json::obj(fields)
+}
+
+/// A [`gpp_lint::Diagnostic`] flattened onto the wire.
+fn diag_wire(d: &Diagnostic) -> LintDiagnostic {
+    LintDiagnostic {
+        code: d.code.as_str().to_string(),
+        severity: d.severity.as_str().to_string(),
+        line: d.span.line,
+        col: d.span.col,
+        len: d.span.len,
+        message: d.message.clone(),
+    }
+}
+
+fn wire_diag_json(d: &LintDiagnostic) -> Json {
+    Json::obj([
+        ("code", Json::Str(d.code.clone())),
+        ("severity", Json::Str(d.severity.clone())),
+        ("line", Json::Num(d.line as f64)),
+        ("col", Json::Num(d.col as f64)),
+        ("len", Json::Num(d.len as f64)),
+        ("message", Json::Str(d.message.clone())),
     ])
+}
+
+/// The `diagnostics` array attached to successful replies when the
+/// analyzer produced warnings or notes.
+fn diagnostics_json(diags: &[Diagnostic]) -> Json {
+    Json::Arr(
+        diags
+            .iter()
+            .map(|d| wire_diag_json(&diag_wire(d)))
+            .collect(),
+    )
 }
 
 /// The canonical `busy` response payload (used by the acceptor fast path).

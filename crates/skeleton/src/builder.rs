@@ -10,7 +10,7 @@
 
 use crate::expr::{AffineExpr, IndexExpr, LoopId};
 use crate::ir::{ArrayDecl, ArrayRef, ElemType, Flops, Kernel, Loop, Program, Statement};
-use crate::validate::{validate, ValidationError};
+use crate::validate::{validate, ValidationErrors};
 use gpp_brs::{AccessKind, ArrayId};
 
 /// Shorthand for the affine expression `1·loop + 0`, for use in index
@@ -69,6 +69,26 @@ impl ProgramBuilder {
         self.declare(name, elem, extents, true)
     }
 
+    /// Declares a device-side temporary: an array whose final contents
+    /// never return to the host, so the analyzer skips its D2H transfer
+    /// without needing a per-invocation `--temporary` hint.
+    pub fn temporary_array(
+        &mut self,
+        name: impl Into<String>,
+        elem: ElemType,
+        extents: &[usize],
+    ) -> ArrayId {
+        let id = self.declare(name, elem, extents, false);
+        self.arrays[id.index()].temporary = true;
+        id
+    }
+
+    /// Marks an already-declared array as a device-side temporary (used
+    /// by the text parser, where attributes follow the declaration).
+    pub fn set_temporary(&mut self, id: ArrayId) {
+        self.arrays[id.index()].temporary = true;
+    }
+
     fn declare(
         &mut self,
         name: impl Into<String>,
@@ -83,6 +103,7 @@ impl ProgramBuilder {
             elem,
             extents: extents.to_vec(),
             sparse,
+            temporary: false,
         });
         id
     }
@@ -100,15 +121,23 @@ impl ProgramBuilder {
         }
     }
 
-    /// Validates and produces the program.
-    pub fn build(self) -> Result<Program, ValidationError> {
-        let p = Program {
+    /// Validates and produces the program. On failure, **every**
+    /// structural problem is returned, not just the first.
+    pub fn build(self) -> Result<Program, ValidationErrors> {
+        let p = self.build_unchecked();
+        validate(&p)?;
+        Ok(p)
+    }
+
+    /// Produces the program without validating it. Used by tooling that
+    /// wants to analyze malformed programs (the linter reports structural
+    /// errors itself, with source spans).
+    pub fn build_unchecked(self) -> Program {
+        Program {
             name: self.name,
             arrays: self.arrays,
             kernels: self.kernels,
-        };
-        validate(&p)?;
-        Ok(p)
+        }
     }
 
     /// Number of kernels added so far.

@@ -51,6 +51,12 @@ pub struct ArrayDecl {
     /// True for irregular (e.g. CSR-indexed) arrays whose referenced
     /// sections cannot be bounded statically.
     pub sparse: bool,
+    /// True for arrays declared as device-side temporaries: their
+    /// contents never need to return to the host, so the data usage
+    /// analyzer skips the D2H transfer (paper §III-B "hints"). Declaring
+    /// it in the skeleton keeps the knowledge with the program instead of
+    /// requiring a `--temporary` flag on every invocation.
+    pub temporary: bool,
 }
 
 impl ArrayDecl {
@@ -364,6 +370,7 @@ mod tests {
             elem: ElemType::F64,
             extents: vec![10, 20],
             sparse: false,
+            temporary: false,
         };
         assert_eq!(a.element_count(), 200);
         assert_eq!(a.byte_count(), 1600);
@@ -431,6 +438,7 @@ mod tests {
                 elem: ElemType::F32,
                 extents: vec![8],
                 sparse: false,
+                temporary: false,
             }],
             kernels: vec![simple_kernel()],
         };

@@ -7,7 +7,7 @@
 //! fall back to whole-dimension sections, flagged as inexact.
 
 use crate::expr::IndexExpr;
-use crate::ir::{Kernel, Program};
+use crate::ir::{ArrayDecl, ArrayRef, Kernel, Program};
 use gpp_brs::{AccessKind, ArrayId, Interval, Section, SectionSet};
 use std::collections::BTreeMap;
 
@@ -37,41 +37,50 @@ pub fn kernel_accesses(kernel: &Kernel, program: &Program) -> Vec<KernelAccess> 
     for stmt in &kernel.statements {
         for r in &stmt.refs {
             let decl = program.array(r.array);
-            let mut exact = !decl.sparse;
-            let dims: Vec<Interval> = r
-                .index
-                .iter()
-                .zip(&decl.extents)
-                .map(|(ix, &extent)| {
-                    let whole = Interval::dense(0, extent as i64 - 1);
-                    match ix {
-                        IndexExpr::Irregular | IndexExpr::IrregularBounded(_) => {
-                            exact = false;
-                            whole
-                        }
-                        IndexExpr::Affine(e) => {
-                            if decl.sparse {
-                                // Sparse arrays: contents are data-dependent
-                                // even when the index looks affine.
-                                return whole;
-                            }
-                            let (lo, hi) = e.bounds(&trips);
-                            let lo = lo.max(0);
-                            let hi = hi.min(extent as i64 - 1);
-                            Interval::new(lo, hi.max(lo.min(hi)), e.stride().max(1))
-                        }
-                    }
-                })
-                .collect();
+            let (section, exact) = ref_section(r, decl, &trips);
             out.push(KernelAccess {
                 array: r.array,
                 kind: r.kind,
-                section: Section::new(dims),
+                section,
                 exact,
             });
         }
     }
     out
+}
+
+/// Derives the (clamped) section one array reference may touch across all
+/// iterations of its loop nest, and whether that section is exact. This
+/// is the per-reference kernel of [`kernel_accesses`]; `gpp-lint` uses it
+/// directly for statement-granular dataflow.
+pub fn ref_section(r: &ArrayRef, decl: &ArrayDecl, trips: &[u64]) -> (Section, bool) {
+    let mut exact = !decl.sparse;
+    let dims: Vec<Interval> = r
+        .index
+        .iter()
+        .zip(&decl.extents)
+        .map(|(ix, &extent)| {
+            let whole = Interval::dense(0, extent as i64 - 1);
+            match ix {
+                IndexExpr::Irregular | IndexExpr::IrregularBounded(_) => {
+                    exact = false;
+                    whole
+                }
+                IndexExpr::Affine(e) => {
+                    if decl.sparse {
+                        // Sparse arrays: contents are data-dependent
+                        // even when the index looks affine.
+                        return whole;
+                    }
+                    let (lo, hi) = e.bounds(trips);
+                    let lo = lo.max(0);
+                    let hi = hi.min(extent as i64 - 1);
+                    Interval::new(lo, hi.max(lo.min(hi)), e.stride().max(1))
+                }
+            }
+        })
+        .collect();
+    (Section::new(dims), exact)
 }
 
 /// Union of all sections the kernel may **read**, per array.

@@ -28,7 +28,7 @@
 //!
 //! ```text
 //! program <name>
-//! array <name> <f32|f64|i32|i64|c64|c128> [e1, e2, ...] [sparse]
+//! array <name> <f32|f64|i32|i64|c64|c128> [e1, e2, ...] [sparse] [temporary]
 //! kernel <name> [gpu_scale=<x>] [cpu_scale=<x>]
 //!   parallel <var> <trip> | serial <var> <trip>
 //!   stmt [adds=N] [muls=N] [divs=N] [specials=N] [compares=N] [active=F]
@@ -40,24 +40,120 @@
 //! `?<span>` for a bounded-irregular one (e.g. `?8`).
 //!
 //! [`to_text`] writes the same format back out; `parse(to_text(p)) == p`.
+//!
+//! [`parse_with_spans`] additionally returns a [`SourceMap`]: the source
+//! location of every array declaration, kernel, loop, statement, and
+//! array reference, so diagnostics (`gpp lint`) can point at real text.
+//! Spans live in a side table rather than on IR nodes, keeping the
+//! `parse(to_text(p)) == p` identity exact.
 
 use crate::expr::{AffineExpr, IndexExpr, LoopId};
 use crate::ir::{ElemType, Flops, Program};
 use crate::ProgramBuilder;
 use gpp_brs::AccessKind;
 
-/// A parse failure with its 1-based line number.
+/// A location in `.gsk` source: 1-based line and column plus the length
+/// (in bytes) of the spanned directive text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column of the first non-blank character.
+    pub col: usize,
+    /// Length of the spanned text in bytes.
+    pub len: usize,
+}
+
+impl Span {
+    /// A span covering nothing (used when no source text exists, e.g.
+    /// builder-constructed programs).
+    pub fn none() -> Span {
+        Span::default()
+    }
+
+    /// True when this span points at real source text.
+    pub fn is_real(&self) -> bool {
+        self.line > 0
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Source locations for one statement: the `stmt` directive and each
+/// `read`/`write` reference in order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StmtSpans {
+    /// The `stmt` line.
+    pub span: Span,
+    /// One span per array reference, in statement order.
+    pub refs: Vec<Span>,
+}
+
+/// Source locations for one kernel: the `kernel` directive, each loop
+/// line, and each statement.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KernelSpans {
+    /// The `kernel` line.
+    pub span: Span,
+    /// One span per loop, in nest order.
+    pub loops: Vec<Span>,
+    /// One entry per statement.
+    pub stmts: Vec<StmtSpans>,
+}
+
+/// Side table mapping IR nodes back to `.gsk` source locations, produced
+/// by [`parse_with_spans`]. Indexed in parallel with the [`Program`]:
+/// `arrays[id.index()]`, `kernels[k].stmts[s].refs[r]`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SourceMap {
+    /// The `program` line.
+    pub program: Span,
+    /// One span per array declaration, in [`gpp_brs::ArrayId`] order.
+    pub arrays: Vec<Span>,
+    /// One entry per kernel, in program order.
+    pub kernels: Vec<KernelSpans>,
+}
+
+impl SourceMap {
+    /// The span of an array declaration, if recorded.
+    pub fn array_span(&self, id: gpp_brs::ArrayId) -> Span {
+        self.arrays.get(id.index()).copied().unwrap_or_default()
+    }
+
+    /// The span of a reference, if recorded.
+    pub fn ref_span(&self, kernel: usize, stmt: usize, r: usize) -> Span {
+        self.kernels
+            .get(kernel)
+            .and_then(|k| k.stmts.get(stmt))
+            .and_then(|s| s.refs.get(r))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// The span of a kernel directive, if recorded.
+    pub fn kernel_span(&self, kernel: usize) -> Span {
+        self.kernels.get(kernel).map(|k| k.span).unwrap_or_default()
+    }
+}
+
+/// A parse failure with its 1-based line and column.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     /// 1-based line of the offending input.
     pub line: usize,
+    /// 1-based column of the offending directive (0 when unknown).
+    pub col: usize,
     /// What went wrong.
     pub message: String,
 }
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        write!(f, "line {}, col {}: {}", self.line, self.col, self.message)
     }
 }
 
@@ -66,55 +162,88 @@ impl std::error::Error for ParseError {}
 fn err(line: usize, message: impl Into<String>) -> ParseError {
     ParseError {
         line,
+        col: if line == 0 { 0 } else { 1 },
         message: message.into(),
     }
 }
 
-/// Parses a `.gsk` skeleton document.
+fn err_at(at: Span, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line: at.line,
+        col: at.col,
+        message: message.into(),
+    }
+}
+
+/// Parses a `.gsk` skeleton document and validates the result.
 pub fn parse(input: &str) -> Result<Program, ParseError> {
+    let (p, _) = parse_with_spans(input)?;
+    crate::validate::validate(&p).map_err(|e| err(0, format!("validation failed: {e}")))?;
+    Ok(p)
+}
+
+/// Parses a `.gsk` skeleton document **without** validating it, returning
+/// the program plus a [`SourceMap`] of every IR node's source location.
+///
+/// This is the linter's entry point: structural problems (the ones
+/// [`crate::validate::validate`] reports) are left in the IR so they can
+/// be diagnosed with spans instead of aborting the parse.
+pub fn parse_with_spans(input: &str) -> Result<(Program, SourceMap), ParseError> {
     let mut builder: Option<ProgramBuilder> = None;
     // Kernel under construction: (name, gpu_scale, cpu_scale, loops,
-    // statements).
+    // statements), each with the span of its directive line.
     struct PendStmt {
         flops: Flops,
         active: f64,
-        refs: Vec<(String, Vec<IndexExpr>, AccessKind, usize)>,
+        refs: Vec<(String, Vec<IndexExpr>, AccessKind, Span)>,
+        span: Span,
     }
     struct PendKernel {
         name: String,
         gpu_scale: f64,
         cpu_scale: f64,
         loops: Vec<(String, u64, bool)>,
+        loop_spans: Vec<Span>,
         stmts: Vec<PendStmt>,
+        span: Span,
     }
     let mut kernel: Option<PendKernel> = None;
     let mut done: Vec<PendKernel> = Vec::new();
+    let mut program_span = Span::none();
+    let mut array_spans: Vec<Span> = Vec::new();
 
     for (lineno, raw) in input.lines().enumerate() {
         let lineno = lineno + 1;
-        let line = raw.split('#').next().unwrap_or("").trim();
+        let pre = raw.split('#').next().unwrap_or("");
+        let line = pre.trim();
         if line.is_empty() {
             continue;
         }
+        let at = Span {
+            line: lineno,
+            col: pre.len() - pre.trim_start().len() + 1,
+            len: line.len(),
+        };
         let mut words = line.split_whitespace();
         let head = words.next().expect("nonempty line has a word");
         match head {
             "program" => {
                 if builder.is_some() {
-                    return Err(err(lineno, "duplicate `program` line"));
+                    return Err(err_at(at, "duplicate `program` line"));
                 }
                 let name = words
                     .next()
-                    .ok_or_else(|| err(lineno, "program needs a name"))?;
+                    .ok_or_else(|| err_at(at, "program needs a name"))?;
                 builder = Some(ProgramBuilder::new(name));
+                program_span = at;
             }
             "array" => {
                 let b = builder
                     .as_mut()
-                    .ok_or_else(|| err(lineno, "`array` before `program`"))?;
+                    .ok_or_else(|| err_at(at, "`array` before `program`"))?;
                 let name = words
                     .next()
-                    .ok_or_else(|| err(lineno, "array needs a name"))?
+                    .ok_or_else(|| err_at(at, "array needs a name"))?
                     .to_string();
                 let elem = match words.next() {
                     Some("f32") => ElemType::F32,
@@ -124,31 +253,48 @@ pub fn parse(input: &str) -> Result<Program, ParseError> {
                     Some("c64") => ElemType::C64,
                     Some("c128") => ElemType::C128,
                     other => {
-                        return Err(err(lineno, format!("unknown element type {other:?}")));
+                        return Err(err_at(at, format!("unknown element type {other:?}")));
                     }
                 };
                 let rest: String = words.collect::<Vec<_>>().join(" ");
-                let (extents_src, sparse) = match rest.strip_suffix("sparse") {
-                    Some(pre) => (pre.trim(), true),
-                    None => (rest.as_str(), false),
+                // Attributes (`sparse`, `temporary`, in any order) follow
+                // the bracketed extents.
+                let (extents_src, attrs) = match rest.rfind(']') {
+                    Some(k) => (&rest[..=k], rest[k + 1..].trim()),
+                    None => (rest.as_str(), ""),
                 };
-                let extents = parse_extents(extents_src, lineno)?;
-                if sparse {
-                    b.sparse_array(name, elem, &extents);
-                } else {
-                    b.array(name, elem, &extents);
+                let extents = parse_extents(extents_src, at)?;
+                let mut sparse = false;
+                let mut temporary = false;
+                for w in attrs.split_whitespace() {
+                    match w {
+                        "sparse" => sparse = true,
+                        "temporary" => temporary = true,
+                        other => {
+                            return Err(err_at(at, format!("unknown array attribute `{other}`")))
+                        }
+                    }
                 }
+                let id = if sparse {
+                    b.sparse_array(name, elem, &extents)
+                } else {
+                    b.array(name, elem, &extents)
+                };
+                if temporary {
+                    b.set_temporary(id);
+                }
+                array_spans.push(at);
             }
             "kernel" => {
                 if builder.is_none() {
-                    return Err(err(lineno, "`kernel` before `program`"));
+                    return Err(err_at(at, "`kernel` before `program`"));
                 }
                 if let Some(k) = kernel.take() {
                     done.push(k);
                 }
                 let name = words
                     .next()
-                    .ok_or_else(|| err(lineno, "kernel needs a name"))?
+                    .ok_or_else(|| err_at(at, "kernel needs a name"))?
                     .to_string();
                 let mut gpu_scale = 1.0;
                 let mut cpu_scale = 1.0;
@@ -156,13 +302,13 @@ pub fn parse(input: &str) -> Result<Program, ParseError> {
                     if let Some(v) = w.strip_prefix("gpu_scale=") {
                         gpu_scale = v
                             .parse()
-                            .map_err(|_| err(lineno, format!("bad gpu_scale `{v}`")))?;
+                            .map_err(|_| err_at(at, format!("bad gpu_scale `{v}`")))?;
                     } else if let Some(v) = w.strip_prefix("cpu_scale=") {
                         cpu_scale = v
                             .parse()
-                            .map_err(|_| err(lineno, format!("bad cpu_scale `{v}`")))?;
+                            .map_err(|_| err_at(at, format!("bad cpu_scale `{v}`")))?;
                     } else {
-                        return Err(err(lineno, format!("unknown kernel option `{w}`")));
+                        return Err(err_at(at, format!("unknown kernel option `{w}`")));
                     }
                 }
                 kernel = Some(PendKernel {
@@ -170,53 +316,56 @@ pub fn parse(input: &str) -> Result<Program, ParseError> {
                     gpu_scale,
                     cpu_scale,
                     loops: Vec::new(),
+                    loop_spans: Vec::new(),
                     stmts: Vec::new(),
+                    span: at,
                 });
             }
             "parallel" | "serial" => {
                 let k = kernel
                     .as_mut()
-                    .ok_or_else(|| err(lineno, format!("`{head}` outside a kernel")))?;
+                    .ok_or_else(|| err_at(at, format!("`{head}` outside a kernel")))?;
                 if !k.stmts.is_empty() {
-                    return Err(err(lineno, "loops must precede statements"));
+                    return Err(err_at(at, "loops must precede statements"));
                 }
                 let var = words
                     .next()
-                    .ok_or_else(|| err(lineno, "loop needs a variable name"))?;
+                    .ok_or_else(|| err_at(at, "loop needs a variable name"))?;
                 let trip: u64 = words
                     .next()
-                    .ok_or_else(|| err(lineno, "loop needs a trip count"))?
+                    .ok_or_else(|| err_at(at, "loop needs a trip count"))?
                     .parse()
-                    .map_err(|_| err(lineno, "trip count must be an integer"))?;
+                    .map_err(|_| err_at(at, "trip count must be an integer"))?;
                 k.loops.push((var.to_string(), trip, head == "parallel"));
+                k.loop_spans.push(at);
             }
             "stmt" => {
                 let k = kernel
                     .as_mut()
-                    .ok_or_else(|| err(lineno, "`stmt` outside a kernel"))?;
+                    .ok_or_else(|| err_at(at, "`stmt` outside a kernel"))?;
                 let mut flops = Flops::default();
                 let mut active = 1.0f64;
                 for w in words {
                     let (key, val) = w
                         .split_once('=')
-                        .ok_or_else(|| err(lineno, format!("expected key=value, got `{w}`")))?;
+                        .ok_or_else(|| err_at(at, format!("expected key=value, got `{w}`")))?;
                     match key {
                         "active" => {
                             active = val
                                 .parse()
-                                .map_err(|_| err(lineno, format!("bad active `{val}`")))?
+                                .map_err(|_| err_at(at, format!("bad active `{val}`")))?
                         }
                         _ => {
                             let n: u32 = val
                                 .parse()
-                                .map_err(|_| err(lineno, format!("bad count `{val}`")))?;
+                                .map_err(|_| err_at(at, format!("bad count `{val}`")))?;
                             match key {
                                 "adds" => flops.adds = n,
                                 "muls" => flops.muls = n,
                                 "divs" => flops.divs = n,
                                 "specials" => flops.specials = n,
                                 "compares" => flops.compares = n,
-                                _ => return Err(err(lineno, format!("unknown stmt key `{key}`"))),
+                                _ => return Err(err_at(at, format!("unknown stmt key `{key}`"))),
                             }
                         }
                     }
@@ -225,30 +374,31 @@ pub fn parse(input: &str) -> Result<Program, ParseError> {
                     flops,
                     active,
                     refs: Vec::new(),
+                    span: at,
                 });
             }
             "read" | "write" => {
                 let k = kernel
                     .as_mut()
-                    .ok_or_else(|| err(lineno, format!("`{head}` outside a kernel")))?;
+                    .ok_or_else(|| err_at(at, format!("`{head}` outside a kernel")))?;
                 let stmt = k
                     .stmts
                     .last_mut()
-                    .ok_or_else(|| err(lineno, format!("`{head}` before any `stmt`")))?;
+                    .ok_or_else(|| err_at(at, format!("`{head}` before any `stmt`")))?;
                 let array = words
                     .next()
-                    .ok_or_else(|| err(lineno, "reference needs an array"))?;
+                    .ok_or_else(|| err_at(at, "reference needs an array"))?;
                 let rest: String = words.collect::<Vec<_>>().join(" ");
                 let loop_names: Vec<&str> = k.loops.iter().map(|(n, _, _)| n.as_str()).collect();
-                let index = parse_index_list(&rest, &loop_names, lineno)?;
+                let index = parse_index_list(&rest, &loop_names, at)?;
                 let kind = if head == "read" {
                     AccessKind::Read
                 } else {
                     AccessKind::Write
                 };
-                stmt.refs.push((array.to_string(), index, kind, lineno));
+                stmt.refs.push((array.to_string(), index, kind, at));
             }
-            other => return Err(err(lineno, format!("unknown directive `{other}`"))),
+            other => return Err(err_at(at, format!("unknown directive `{other}`"))),
         }
     }
     if let Some(k) = kernel.take() {
@@ -256,7 +406,17 @@ pub fn parse(input: &str) -> Result<Program, ParseError> {
     }
 
     let mut b = builder.ok_or_else(|| err(1, "missing `program` line"))?;
+    let mut map = SourceMap {
+        program: program_span,
+        arrays: array_spans,
+        kernels: Vec::new(),
+    };
     for pk in done {
+        let mut ks = KernelSpans {
+            span: pk.span,
+            loops: pk.loop_spans,
+            stmts: Vec::new(),
+        };
         let mut kb = b.kernel(&pk.name);
         kb.gpu_compute_scale(pk.gpu_scale);
         kb.cpu_compute_scale(pk.cpu_scale);
@@ -268,73 +428,79 @@ pub fn parse(input: &str) -> Result<Program, ParseError> {
             }
         }
         for st in pk.stmts {
+            let mut ss = StmtSpans {
+                span: st.span,
+                refs: Vec::new(),
+            };
             let mut sb = kb.statement().flops(st.flops);
             if st.active != 1.0 {
                 sb = sb.active(st.active);
             }
-            for (array, index, kind, line) in st.refs {
-                let id = resolve_array(&mut sb, &array, line)?;
+            for (array, index, kind, at) in st.refs {
+                let id = resolve_array(&mut sb, &array, at)?;
                 sb = match kind {
                     AccessKind::Read => sb.read_ix(id, &index),
                     AccessKind::Write => sb.write_ix(id, &index),
                 };
+                ss.refs.push(at);
             }
             sb.finish();
+            ks.stmts.push(ss);
         }
         kb.finish();
+        map.kernels.push(ks);
     }
-    b.build()
-        .map_err(|e| err(0, format!("validation failed: {e}")))
+    Ok((b.build_unchecked(), map))
 }
 
 /// Looks an array up by name through the statement builder's program.
 fn resolve_array(
     sb: &mut crate::builder::StatementBuilder<'_, '_>,
     name: &str,
-    line: usize,
+    at: Span,
 ) -> Result<gpp_brs::ArrayId, ParseError> {
     sb.lookup_array(name)
-        .ok_or_else(|| err(line, format!("unknown array `{name}`")))
+        .ok_or_else(|| err_at(at, format!("unknown array `{name}`")))
 }
 
-fn parse_extents(src: &str, line: usize) -> Result<Vec<usize>, ParseError> {
+fn parse_extents(src: &str, at: Span) -> Result<Vec<usize>, ParseError> {
     let src = src.trim();
     let inner = src
         .strip_prefix('[')
         .and_then(|s| s.strip_suffix(']'))
-        .ok_or_else(|| err(line, format!("extents must be bracketed, got `{src}`")))?;
+        .ok_or_else(|| err_at(at, format!("extents must be bracketed, got `{src}`")))?;
     inner
         .split(',')
         .map(|p| {
             p.trim()
                 .parse::<usize>()
-                .map_err(|_| err(line, format!("bad extent `{}`", p.trim())))
+                .map_err(|_| err_at(at, format!("bad extent `{}`", p.trim())))
         })
         .collect()
 }
 
-fn parse_index_list(src: &str, loops: &[&str], line: usize) -> Result<Vec<IndexExpr>, ParseError> {
+fn parse_index_list(src: &str, loops: &[&str], at: Span) -> Result<Vec<IndexExpr>, ParseError> {
     let src = src.trim();
     let inner = src
         .strip_prefix('[')
         .and_then(|s| s.strip_suffix(']'))
-        .ok_or_else(|| err(line, format!("index list must be bracketed, got `{src}`")))?;
+        .ok_or_else(|| err_at(at, format!("index list must be bracketed, got `{src}`")))?;
     inner
         .split(',')
-        .map(|p| parse_index(p.trim(), loops, line))
+        .map(|p| parse_index(p.trim(), loops, at))
         .collect()
 }
 
 /// Parses one index expression: `?`, `?<span>`, or an affine combination
 /// like `2*i - 3 + j`.
-fn parse_index(src: &str, loops: &[&str], line: usize) -> Result<IndexExpr, ParseError> {
+fn parse_index(src: &str, loops: &[&str], at: Span) -> Result<IndexExpr, ParseError> {
     if src == "?" {
         return Ok(IndexExpr::Irregular);
     }
     if let Some(span) = src.strip_prefix('?') {
         let span: u32 = span
             .parse()
-            .map_err(|_| err(line, format!("bad irregular span `{span}`")))?;
+            .map_err(|_| err_at(at, format!("bad irregular span `{span}`")))?;
         return Ok(IndexExpr::IrregularBounded(span));
     }
     // Tokenize into signed terms.
@@ -342,7 +508,7 @@ fn parse_index(src: &str, loops: &[&str], line: usize) -> Result<IndexExpr, Pars
     // Normalize: ensure a leading sign, then split on +/- keeping signs.
     let cleaned: String = src.chars().filter(|c| !c.is_whitespace()).collect();
     if cleaned.is_empty() {
-        return Err(err(line, "empty index expression"));
+        return Err(err_at(at, "empty index expression"));
     }
     let mut terms = Vec::new();
     let mut current = String::new();
@@ -359,30 +525,30 @@ fn parse_index(src: &str, loops: &[&str], line: usize) -> Result<IndexExpr, Pars
             None => (1, t.strip_prefix('+').unwrap_or(&t)),
         };
         if body.is_empty() {
-            return Err(err(line, format!("dangling sign in `{src}`")));
+            return Err(err_at(at, format!("dangling sign in `{src}`")));
         }
         // Forms: `<int>`, `<var>`, `<int>*<var>`.
         if let Some((coeff, var)) = body.split_once('*') {
             let c: i64 = coeff
                 .parse()
-                .map_err(|_| err(line, format!("bad coefficient `{coeff}`")))?;
-            let li = loop_index(var, loops, line, src)?;
+                .map_err(|_| err_at(at, format!("bad coefficient `{coeff}`")))?;
+            let li = loop_index(var, loops, at, src)?;
             expr.add_term(LoopId(li as u32), sign * c);
         } else if let Ok(c) = body.parse::<i64>() {
             expr.offset += sign * c;
         } else {
-            let li = loop_index(body, loops, line, src)?;
+            let li = loop_index(body, loops, at, src)?;
             expr.add_term(LoopId(li as u32), sign);
         }
     }
     Ok(IndexExpr::Affine(expr))
 }
 
-fn loop_index(var: &str, loops: &[&str], line: usize, ctx: &str) -> Result<usize, ParseError> {
+fn loop_index(var: &str, loops: &[&str], at: Span, ctx: &str) -> Result<usize, ParseError> {
     loops
         .iter()
         .position(|l| *l == var)
-        .ok_or_else(|| err(line, format!("unknown loop variable `{var}` in `{ctx}`")))
+        .ok_or_else(|| err_at(at, format!("unknown loop variable `{var}` in `{ctx}`")))
 }
 
 /// Renders a program back to the text format. `parse(to_text(p))`
@@ -403,11 +569,12 @@ pub fn to_text(p: &Program) -> String {
         let extents: Vec<String> = a.extents.iter().map(usize::to_string).collect();
         let _ = writeln!(
             s,
-            "array {} {} [{}]{}",
+            "array {} {} [{}]{}{}",
             a.name,
             elem,
             extents.join(", "),
-            if a.sparse { " sparse" } else { "" }
+            if a.sparse { " sparse" } else { "" },
+            if a.temporary { " temporary" } else { "" }
         );
     }
     for k in &p.kernels {
@@ -550,6 +717,8 @@ program full
 array a f32 [100]
 array b c128 [10, 20]
 array v f64 [345] sparse
+array scratch f32 [64] temporary
+array sv i32 [99] sparse temporary
 
 kernel k1 gpu_scale=38 cpu_scale=0.45
   parallel r 10
@@ -560,33 +729,46 @@ kernel k1 gpu_scale=38 cpu_scale=0.45
     read b [?8, c]
     read a [?]
     write b [r, c]
+    write scratch [2*r]
+    write sv [?]
   stmt divs=1 specials=2 compares=3
     read a [2*r-1]
 "#;
         let p = parse(src).unwrap();
         assert_eq!(p.kernels[0].gpu_compute_scale, 38.0);
         assert_eq!(p.kernels[0].cpu_compute_scale, 0.45);
+        let scratch = p.array_by_name("scratch").unwrap();
+        assert!(scratch.temporary && !scratch.sparse);
+        let sv = p.array_by_name("sv").unwrap();
+        assert!(sv.temporary && sv.sparse);
         let text = to_text(&p);
+        assert!(text.contains("[64] temporary"), "{text}");
+        assert!(text.contains("[99] sparse temporary"), "{text}");
         assert_eq!(parse(&text).unwrap(), p);
     }
 
     #[test]
     fn index_expression_parsing() {
         let loops = ["i", "j"];
-        let ix = parse_index("2*i - 3 + j", &loops, 1).unwrap();
+        let at = Span {
+            line: 1,
+            col: 1,
+            len: 0,
+        };
+        let ix = parse_index("2*i - 3 + j", &loops, at).unwrap();
         let IndexExpr::Affine(e) = ix else {
             panic!("expected affine")
         };
         assert_eq!(e.coeff(LoopId(0)), 2);
         assert_eq!(e.coeff(LoopId(1)), 1);
         assert_eq!(e.offset, -3);
-        assert_eq!(parse_index("?", &loops, 1).unwrap(), IndexExpr::Irregular);
+        assert_eq!(parse_index("?", &loops, at).unwrap(), IndexExpr::Irregular);
         assert_eq!(
-            parse_index("?16", &loops, 1).unwrap(),
+            parse_index("?16", &loops, at).unwrap(),
             IndexExpr::IrregularBounded(16)
         );
         assert!(matches!(
-            parse_index("7", &loops, 1).unwrap(),
+            parse_index("7", &loops, at).unwrap(),
             IndexExpr::Affine(e) if e.is_constant() && e.offset == 7
         ));
     }
@@ -597,7 +779,9 @@ kernel k1 gpu_scale=38 cpu_scale=0.45
             "program x\narray a f32 [10]\nkernel k\n  parallel i 10\n  stmt\n    read zzz [i]\n";
         let e = parse(bad).unwrap_err();
         assert_eq!(e.line, 6);
+        assert_eq!(e.col, 5);
         assert!(e.to_string().contains("zzz"));
+        assert!(e.to_string().contains("line 6, col 5"));
     }
 
     #[test]
@@ -606,10 +790,59 @@ kernel k1 gpu_scale=38 cpu_scale=0.45
         assert!(parse("array a f32 [10]").is_err()); // before program
         assert!(parse("program p\nfoo bar").is_err());
         assert!(parse("program p\narray a f32 10").is_err()); // no brackets
+        assert!(parse("program p\narray a f32 [10] shiny").is_err()); // bad attr
         assert!(parse("program p\narray a f32 [10]\nkernel k\n  stmt\n").is_err()); // no loops
         let e = parse("program p\narray a f32 [10]\nkernel k\n  parallel i 10\n  read a [i]\n")
             .unwrap_err();
         assert!(e.message.contains("before any `stmt`"));
+    }
+
+    #[test]
+    fn parse_with_spans_maps_every_node() {
+        let (p, map) = parse_with_spans(HOTSPOT).unwrap();
+        assert_eq!(map.program.line, 3);
+        assert_eq!(map.arrays.len(), p.arrays.len());
+        assert_eq!(map.arrays[0].line, 4);
+        assert_eq!(map.arrays[2].line, 6);
+        assert_eq!(map.kernels.len(), 1);
+        let k = &map.kernels[0];
+        assert_eq!(k.span.line, 8);
+        assert_eq!(k.loops.len(), 2);
+        assert_eq!(
+            k.loops[0],
+            Span {
+                line: 9,
+                col: 3,
+                len: 13
+            }
+        );
+        assert_eq!(k.stmts.len(), 1);
+        assert_eq!(k.stmts[0].span.line, 11);
+        assert_eq!(k.stmts[0].refs.len(), 7);
+        // First ref: `read  temp  [i-1, j]` on line 12, col 5.
+        let r0 = k.stmts[0].refs[0];
+        assert_eq!((r0.line, r0.col), (12, 5));
+        assert_eq!(r0.len, "read  temp  [i-1, j]".len());
+        // Accessors agree.
+        assert_eq!(map.ref_span(0, 0, 6).line, 18);
+        assert_eq!(map.array_span(p.arrays[1].id).line, 5);
+        assert_eq!(map.kernel_span(0).line, 8);
+        // Out-of-range lookups degrade to the empty span.
+        assert!(!map.ref_span(9, 9, 9).is_real());
+    }
+
+    #[test]
+    fn parse_with_spans_keeps_invalid_programs() {
+        // A dimension mismatch parses fine (spans available for lint);
+        // plain `parse` rejects it via validation.
+        let src =
+            "program p\narray a f32 [10, 10]\nkernel k\n  parallel i 10\n  stmt\n    read a [i]\n";
+        let (p, map) = parse_with_spans(src).unwrap();
+        assert_eq!(p.kernels[0].statements[0].refs[0].index.len(), 1);
+        assert_eq!(map.ref_span(0, 0, 0).line, 6);
+        let e = parse(src).unwrap_err();
+        assert_eq!(e.line, 0);
+        assert!(e.to_string().contains("validation failed"), "{e}");
     }
 
     #[test]

@@ -104,29 +104,80 @@ impl std::fmt::Display for ValidationError {
 
 impl std::error::Error for ValidationError {}
 
-/// Checks structural well-formedness of a program.
-pub fn validate(p: &Program) -> Result<(), ValidationError> {
+/// Every structural problem found in a program, in declaration order.
+/// Never empty when returned as an `Err`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationErrors(pub Vec<ValidationError>);
+
+impl ValidationErrors {
+    /// The first (usually most upstream) error.
+    pub fn first(&self) -> &ValidationError {
+        &self.0[0]
+    }
+
+    /// Iterates over all collected errors.
+    pub fn iter(&self) -> std::slice::Iter<'_, ValidationError> {
+        self.0.iter()
+    }
+
+    /// Number of errors collected.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Always false for an `Err` value; present for clippy symmetry.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl std::fmt::Display for ValidationErrors {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (k, e) in self.0.iter().enumerate() {
+            if k > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ValidationErrors {}
+
+impl IntoIterator for ValidationErrors {
+    type Item = ValidationError;
+    type IntoIter = std::vec::IntoIter<ValidationError>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+/// Checks structural well-formedness of a program, collecting **every**
+/// problem rather than stopping at the first, so downstream tooling
+/// (`gpp lint`, the serve gate) can report them all in one pass.
+pub fn validate(p: &Program) -> Result<(), ValidationErrors> {
+    let mut errs = Vec::new();
     for a in &p.arrays {
         if a.extents.contains(&0) {
-            return Err(ValidationError::ZeroExtent {
+            errs.push(ValidationError::ZeroExtent {
                 array: a.name.clone(),
             });
         }
     }
     for k in &p.kernels {
         if k.loops.is_empty() {
-            return Err(ValidationError::EmptyLoopNest {
+            errs.push(ValidationError::EmptyLoopNest {
                 kernel: k.name.clone(),
             });
-        }
-        if !k.loops.iter().any(|l| l.parallel) {
-            return Err(ValidationError::NoParallelism {
+        } else if !k.loops.iter().any(|l| l.parallel) {
+            errs.push(ValidationError::NoParallelism {
                 kernel: k.name.clone(),
             });
         }
         for l in &k.loops {
             if l.trip == 0 {
-                return Err(ValidationError::ZeroTrip {
+                errs.push(ValidationError::ZeroTrip {
                     kernel: k.name.clone(),
                     loop_name: l.name.clone(),
                 });
@@ -135,13 +186,14 @@ pub fn validate(p: &Program) -> Result<(), ValidationError> {
         for s in &k.statements {
             for r in &s.refs {
                 let Some(decl) = p.arrays.get(r.array.index()) else {
-                    return Err(ValidationError::UnknownArray {
+                    errs.push(ValidationError::UnknownArray {
                         kernel: k.name.clone(),
                         array: r.array.0,
                     });
+                    continue;
                 };
                 if r.index.len() != decl.ndims() {
-                    return Err(ValidationError::DimMismatch {
+                    errs.push(ValidationError::DimMismatch {
                         kernel: k.name.clone(),
                         array: decl.name.clone(),
                         expected: decl.ndims(),
@@ -152,7 +204,7 @@ pub fn validate(p: &Program) -> Result<(), ValidationError> {
                     if let IndexExpr::Affine(e) = ix {
                         for &(l, _) in &e.terms {
                             if l.index() >= k.loops.len() {
-                                return Err(ValidationError::UnknownLoop {
+                                errs.push(ValidationError::UnknownLoop {
                                     kernel: k.name.clone(),
                                     loop_id: l.0,
                                 });
@@ -163,7 +215,11 @@ pub fn validate(p: &Program) -> Result<(), ValidationError> {
             }
         }
     }
-    Ok(())
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(ValidationErrors(errs))
+    }
 }
 
 #[cfg(test)]
@@ -204,7 +260,7 @@ mod tests {
             kind: AccessKind::Read,
         });
         let e = validate(&p).unwrap_err();
-        assert!(matches!(e, ValidationError::UnknownArray { .. }));
+        assert!(matches!(e.first(), ValidationError::UnknownArray { .. }));
         assert!(e.to_string().contains("undeclared array"));
     }
 
@@ -213,7 +269,10 @@ mod tests {
         let mut p = good();
         p.kernels[0].statements[0].refs[0].index = vec![AffineExpr::var(LoopId(5)).into()];
         let e = validate(&p).unwrap_err();
-        assert!(matches!(e, ValidationError::UnknownLoop { loop_id: 5, .. }));
+        assert!(matches!(
+            e.first(),
+            ValidationError::UnknownLoop { loop_id: 5, .. }
+        ));
     }
 
     #[test]
@@ -227,7 +286,7 @@ mod tests {
             cpu_compute_scale: 1.0,
         });
         assert!(matches!(
-            validate(&p).unwrap_err(),
+            validate(&p).unwrap_err().first(),
             ValidationError::EmptyLoopNest { .. }
         ));
     }
@@ -251,7 +310,7 @@ mod tests {
             cpu_compute_scale: 1.0,
         });
         assert!(matches!(
-            validate(&p).unwrap_err(),
+            validate(&p).unwrap_err().first(),
             ValidationError::NoParallelism { .. }
         ));
     }
@@ -261,9 +320,35 @@ mod tests {
         let mut p = good();
         p.arrays[0].extents = vec![0];
         assert!(matches!(
-            validate(&p).unwrap_err(),
+            validate(&p).unwrap_err().first(),
             ValidationError::ZeroExtent { .. }
         ));
+    }
+
+    #[test]
+    fn all_errors_are_collected() {
+        // Zero extent, a zero-trip loop, AND a dimension mismatch in one
+        // program: validate must report all three, in program order.
+        let mut p = good();
+        p.arrays[0].extents = vec![0];
+        p.kernels[0].loops.push(Loop {
+            name: "z".into(),
+            trip: 0,
+            parallel: false,
+        });
+        p.kernels[0].statements[0].refs[0]
+            .index
+            .push(AffineExpr::constant(0).into());
+        let e = validate(&p).unwrap_err();
+        assert_eq!(e.len(), 3, "{e}");
+        assert!(matches!(e.0[0], ValidationError::ZeroExtent { .. }));
+        assert!(matches!(e.0[1], ValidationError::ZeroTrip { .. }));
+        assert!(matches!(e.0[2], ValidationError::DimMismatch { .. }));
+        let msg = e.to_string();
+        assert!(
+            msg.contains("zero extent") && msg.contains("zero trip"),
+            "{msg}"
+        );
     }
 
     #[test]
