@@ -23,6 +23,9 @@ echo "== gpp lint (committed skeletons, deny warnings)"
 cargo build $CARGO_FLAGS --release -p gpp-cli
 target/release/gpp lint skeletons/*.gsk --deny warnings
 
+echo "== gpp machines (committed datasheets round-trip)"
+target/release/gpp machines --check fixtures/machines/*.gmach
+
 echo "== chaos suite (pinned fault plan)"
 # The chaos tests pin their own seeds (7, 42, 2013); the env var pins the
 # plan for anything that consults GPP_FAULT_PLAN during the run.

@@ -6,6 +6,7 @@ use grophecy::machine::MachineConfig;
 use grophecy::measurement::{measure, AppMeasurement};
 use grophecy::projector::{AppProjection, Grophecy};
 use grophecy::speedup::{SpeedupReport, SpeedupSeries};
+use grophecy::MachineRegistry;
 
 /// The seed every headline experiment uses ("the day we measured").
 pub const EVAL_SEED: u64 = 2013;
@@ -133,11 +134,14 @@ impl Evaluation {
 /// node and a PCIe v2 + GT200 node, and report how each workload's
 /// projected bottleneck shifts.
 pub fn cross_machine(seed: u64) -> String {
+    cross_fleet(&MachineRegistry::builtin(), seed)
+}
+
+/// [`cross_machine`] over an arbitrary fleet: one column per registered
+/// machine, in registry (name) order.
+pub fn cross_fleet(registry: &MachineRegistry, seed: u64) -> String {
     use std::fmt::Write as _;
-    let machines = [
-        MachineConfig::anl_eureka_node(seed),
-        MachineConfig::pcie_v2_gt200_node(seed),
-    ];
+    let machines: Vec<MachineConfig> = registry.iter().map(|m| m.clone().with_seed(seed)).collect();
     let mut rows: Vec<Vec<String>> = Vec::new();
     for m in &machines {
         let mut node = m.node();
@@ -151,7 +155,8 @@ pub fn cross_machine(seed: u64) -> String {
                 rows.push(vec![format!("{:<9} {:>14}", case.app, case.dataset)]);
             }
             rows[k].push(format!(
-                "{:>8.2}ms kern + {:>8.2}ms xfer ({:>2.0}%)",
+                "{}: {:>8.2}ms kern + {:>8.2}ms xfer ({:>2.0}%)",
+                m.id,
                 proj.kernel_time * 1e3,
                 proj.transfer_time * 1e3,
                 100.0 * proj.transfer_time / proj.total_time(1)
@@ -159,13 +164,13 @@ pub fn cross_machine(seed: u64) -> String {
         }
     }
     let mut s = String::new();
-    let _ = writeln!(
-        s,
-        "CROSS-MACHINE PROJECTION — {} vs {}",
-        machines[0].gpu_spec.name, machines[1].gpu_spec.name
-    );
+    let names: Vec<String> = machines
+        .iter()
+        .map(|m| format!("{} ({})", m.gpu_spec.name, m.id))
+        .collect();
+    let _ = writeln!(s, "CROSS-MACHINE PROJECTION — {}", names.join(" vs "));
     for r in rows {
-        let _ = writeln!(s, "{}  | v1/G80: {} | v2/GT200: {}", r[0], r[1], r[2]);
+        let _ = writeln!(s, "{}  | {}", r[0], r[1..].join(" | "));
     }
     s.push_str(
         "faster links shrink the transfer share, but it stays substantial —
@@ -188,7 +193,26 @@ mod tests {
     #[test]
     fn cross_machine_report_covers_everything() {
         let s = cross_machine(EVAL_SEED);
-        assert!(s.contains("Quadro FX 5600") && s.contains("Tesla C1060"));
+        assert!(s.contains("Quadro FX 5600 (eureka)") && s.contains("Tesla C1060 (v2)"));
         assert_eq!(s.lines().count(), 1 + 10 + 2);
+    }
+
+    #[test]
+    fn cross_fleet_grows_a_column_per_registered_machine() {
+        let mut registry = MachineRegistry::builtin();
+        let mut third = grophecy::MachineConfig::anl_eureka_node(0);
+        third.id = "copy".to_string();
+        registry.insert(third);
+        let s = cross_fleet(&registry, EVAL_SEED);
+        let row = s.lines().nth(1).unwrap();
+        assert_eq!(row.matches(" | ").count(), 3, "{row}");
+        assert!(row.contains("copy:") && row.contains("eureka:") && row.contains("v2:"));
+        // The copy is eureka under another name: identical projections.
+        let eureka = row.split(" | ").find(|c| c.starts_with("eureka:")).unwrap();
+        let copy = row.split(" | ").find(|c| c.starts_with("copy:")).unwrap();
+        assert_eq!(
+            eureka.trim_start_matches("eureka:"),
+            copy.trim_start_matches("copy:")
+        );
     }
 }

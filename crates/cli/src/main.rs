@@ -7,10 +7,14 @@ use grophecy::machine::MachineConfig;
 use grophecy::measurement::measure;
 use grophecy::projector::Grophecy;
 use grophecy::speedup::SpeedupReport;
+use grophecy::MachineRegistry;
 use std::process::ExitCode;
 
 struct Options {
     machine: String,
+    machines_dir: Option<String>,
+    check: bool,
+    export: Option<String>,
     seed: u64,
     iters: u32,
     temporaries: Vec<String>,
@@ -42,12 +46,19 @@ usage:
   gpp lint     <file.gsk>... [options] static analysis: bounds, liveness,
                                       races, transfer hints (GPP000-GPP008)
   gpp calibrate [options]             run the two-point PCIe calibration
+  gpp machines [options]              list the machine registry; with
+                                      --check, validate .gmach datasheets
   gpp fmt      <file.gsk>             parse and re-emit (normalize)
   gpp serve    [options]              run the projection service (TCP)
   gpp request  [file.gsk] [options]   send one request to a running server
 
 options:
-  --machine eureka|v2     target system (default eureka)
+  --machine NAME          target system from the registry (default eureka)
+  --machines DIR          load extra machine datasheets (*.gmach) from DIR
+                          on top of the built-ins (eureka, v2)
+  --check                 (machines) parse each .gmach file and verify it
+                          round-trips through the canonical writer
+  --export NAME           (machines) print NAME's canonical .gmach datasheet
   --threads N             projection search threads (default: GPP_THREADS
                           env, else all cores; 1 = exact serial path)
   --profile               (project) print simulated kernel profiles
@@ -86,6 +97,9 @@ fn main() -> ExitCode {
     }
     let mut opt = Options {
         machine: "eureka".into(),
+        machines_dir: None,
+        check: false,
+        export: None,
         seed: 2013,
         iters: 1,
         temporaries: Vec::new(),
@@ -108,6 +122,21 @@ fn main() -> ExitCode {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--machine" => opt.machine = args.next().unwrap_or_default(),
+            "--machines" => match args.next() {
+                Some(d) => opt.machines_dir = Some(d),
+                None => {
+                    eprintln!("--machines needs a directory of .gmach files");
+                    return ExitCode::from(2);
+                }
+            },
+            "--check" => opt.check = true,
+            "--export" => match args.next() {
+                Some(n) => opt.export = Some(n),
+                None => {
+                    eprintln!("--export needs a machine name");
+                    return ExitCode::from(2);
+                }
+            },
             "--seed" => {
                 opt.seed = match args.next().and_then(|v| v.parse().ok()) {
                     Some(v) => v,
@@ -244,7 +273,7 @@ fn main() -> ExitCode {
         }
     }
 
-    if cmd != "lint" && opt.files.len() > 1 {
+    if cmd != "lint" && cmd != "machines" && opt.files.len() > 1 {
         eprintln!("`gpp {cmd}` takes a single skeleton file");
         return ExitCode::from(2);
     }
@@ -272,6 +301,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }),
         "calibrate" => cmd_calibrate(&opt),
+        "machines" => cmd_machines(&opt),
         "serve" => cmd_serve(&opt),
         "request" => cmd_request(&opt),
         other => {
@@ -281,15 +311,97 @@ fn main() -> ExitCode {
     }
 }
 
+/// The built-in registry, extended with `--machines DIR` datasheets.
+fn registry_for(opt: &Options) -> Option<MachineRegistry> {
+    let mut registry = MachineRegistry::builtin();
+    if let Some(dir) = &opt.machines_dir {
+        if let Err(e) = registry.load_dir(std::path::Path::new(dir)) {
+            eprintln!("--machines: {e}");
+            return None;
+        }
+    }
+    Some(registry)
+}
+
 fn machine_for(opt: &Options) -> Option<MachineConfig> {
-    match opt.machine.as_str() {
-        "eureka" => Some(MachineConfig::anl_eureka_node(opt.seed)),
-        "v2" => Some(MachineConfig::pcie_v2_gt200_node(opt.seed)),
-        other => {
-            eprintln!("unknown machine `{other}` (known: eureka, v2)");
+    let registry = registry_for(opt)?;
+    match registry.config(&opt.machine, opt.seed) {
+        Ok(machine) => Some(machine),
+        Err(e) => {
+            eprintln!("{e}");
             None
         }
     }
+}
+
+fn cmd_machines(opt: &Options) -> ExitCode {
+    if opt.check {
+        if opt.files.is_empty() {
+            eprintln!("gpp machines --check needs at least one .gmach file");
+            return ExitCode::from(2);
+        }
+        let mut failed = false;
+        for path in &opt.files {
+            // load_file parses the datasheet (resolving sidecar traces
+            // relative to it); re-parsing the canonical writer's output
+            // must then give back the same machine.
+            let mut scratch = MachineRegistry::empty();
+            match scratch.load_file(std::path::Path::new(path)) {
+                Ok(id) => {
+                    let machine = scratch.get(&id).expect("load_file inserted it");
+                    let text = grophecy::datasheet::to_text(machine);
+                    match grophecy::datasheet::parse(&text) {
+                        Ok(back) if &back == machine => println!("{path}: ok ({id})"),
+                        Ok(_) => {
+                            eprintln!("{path}: canonical form does not round-trip");
+                            failed = true;
+                        }
+                        Err(e) => {
+                            eprintln!("{path}: canonical form fails to re-parse: {e}");
+                            failed = true;
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    failed = true;
+                }
+            }
+        }
+        return if failed {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+    let Some(registry) = registry_for(opt) else {
+        return ExitCode::FAILURE;
+    };
+    if let Some(name) = &opt.export {
+        match registry.get(name) {
+            Some(m) => {
+                print!("{}", grophecy::datasheet::to_text(m));
+                return ExitCode::SUCCESS;
+            }
+            None => {
+                eprintln!(
+                    "unknown machine `{name}` (known: {})",
+                    registry.names().join(", ")
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    for m in registry.iter() {
+        println!(
+            "{:<12} bus {:<7} gpu {:<18} {}",
+            m.id,
+            m.bus.kind(),
+            m.gpu_spec.name,
+            m.name
+        );
+    }
+    ExitCode::SUCCESS
 }
 
 fn with_program(opt: &Options, f: impl FnOnce(&Program, &Hints, &Options) -> ExitCode) -> ExitCode {
@@ -517,12 +629,17 @@ fn cmd_serve(opt: &Options) -> ExitCode {
     if faults.is_active() {
         eprintln!("gpp-serve: fault injection armed: {}", faults.plan());
     }
+    let Some(registry) = registry_for(opt) else {
+        return ExitCode::from(2);
+    };
+    eprintln!("gpp-serve: machines: {}", registry.names().join(", "));
     let config = ServeConfig {
         addr: opt.addr.clone(),
         workers: opt.workers,
         queue_depth: opt.queue_depth,
         request_timeout: Duration::from_secs(opt.timeout_secs),
         faults,
+        machines: Arc::new(registry),
         ..ServeConfig::default()
     };
     let server = match Server::bind(config) {

@@ -101,6 +101,88 @@ fn fixture_path(name: &str) -> String {
     format!("{}/../../fixtures/bad/{name}", env!("CARGO_MANIFEST_DIR"))
 }
 
+fn machines_dir() -> String {
+    format!("{}/../../fixtures/machines", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn machines_lists_builtins_and_loaded_datasheets() {
+    let out = gpp().args(["machines"]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("eureka"), "{stdout}");
+    assert!(stdout.contains("v2"), "{stdout}");
+
+    let out = gpp()
+        .args(["machines", "--machines", &machines_dir()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in ["eureka", "recorded", "v2", "v3"] {
+        assert!(stdout.contains(name), "missing {name}: {stdout}");
+    }
+    assert!(stdout.contains("bus replay"), "{stdout}");
+}
+
+#[test]
+fn machines_check_validates_and_export_is_canonical() {
+    let dir = machines_dir();
+    let out = gpp()
+        .args([
+            "machines",
+            "--check",
+            &format!("{dir}/eureka.gmach"),
+            &format!("{dir}/recorded.gmach"),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{:?}", out);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("eureka.gmach: ok (eureka)"), "{stdout}");
+    assert!(stdout.contains("recorded.gmach: ok (recorded)"), "{stdout}");
+
+    // A corrupt datasheet fails --check with the offending line.
+    let tmp = std::env::temp_dir().join("gpp_bad_machine.gmach");
+    std::fs::write(&tmp, "machine broken\nname \"x\"\nwat 3\n").unwrap();
+    let out = gpp()
+        .args(["machines", "--check", tmp.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 3"), "{stderr}");
+
+    // --export prints the canonical datasheet: byte-identical to the
+    // committed golden fixture for the built-in.
+    let out = gpp()
+        .args(["machines", "--export", "eureka"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let golden = std::fs::read(format!("{dir}/eureka.gmach")).unwrap();
+    assert_eq!(out.stdout, golden, "eureka.gmach fixture drifted");
+}
+
+#[test]
+fn project_accepts_loaded_machines_including_replay() {
+    let out = gpp()
+        .args([
+            "project",
+            &skeleton_path("vector_add.gsk"),
+            "--machines",
+            &machines_dir(),
+            "--machine",
+            "recorded",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{:?}", out);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("replayed day-0"), "{stdout}");
+    assert!(stdout.contains("projected transfer time"), "{stdout}");
+}
+
 #[test]
 fn lint_clean_skeleton_exits_zero_with_no_output() {
     let out = gpp()
@@ -196,12 +278,17 @@ fn bad_inputs_fail_cleanly() {
     assert!(!out.status.success());
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("line 3"), "{stderr}");
-    // Unknown machine.
+    // Unknown machine: the error names the registry's roster.
     let out = gpp()
         .args(["calibrate", "--machine", "quantum"])
         .output()
         .unwrap();
     assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown machine `quantum` (known: eureka, v2)"),
+        "{stderr}"
+    );
     // Unknown hint target.
     let out = gpp()
         .args([

@@ -62,18 +62,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod datasheet;
 pub mod fusion;
 pub mod lowering;
 pub mod machine;
 pub mod measurement;
 pub mod memtype;
 pub mod projector;
+pub mod registry;
 pub mod report;
+pub mod seeds;
 pub mod speedup;
 
 pub use fusion::{explore_fusion, FusionAnalysis};
-pub use machine::{MachineConfig, SimulatedNode};
+pub use machine::{BusSpec, MachineConfig, ReplayTrace, SimulatedNode};
 pub use measurement::{measure, AppMeasurement};
 pub use memtype::{DualCalibration, MemTypeReport};
 pub use projector::{AppProjection, Grophecy};
+pub use registry::{MachineRegistry, UnknownMachine};
 pub use speedup::{SpeedupReport, SpeedupSeries};

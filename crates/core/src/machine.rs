@@ -1,9 +1,94 @@
 //! The modeled system: configuration + the simulated node.
 
+use crate::seeds;
 use gpp_cpu_sim::{CpuParams, CpuSim};
 use gpp_gpu_model::GpuSpec;
 use gpp_gpu_sim::{DeviceParams, GpuSim};
-use gpp_pcie::{BusParams, BusSimulator};
+use gpp_pcie::replay::TraceError;
+use gpp_pcie::{BusBackend, BusParams, BusSimulator, Direction, MemType, RecordedBus};
+
+/// What stands behind a machine's PCIe link: the mechanistic simulator, or
+/// a recorded trace replayed deterministically (for machines we cannot run
+/// code on). A datasheet declares one or the other; everything downstream
+/// talks to the resulting [`BusBackend`] through the `Bus` trait.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BusSpec {
+    /// Simulate the bus mechanistically from parameters.
+    Sim(BusParams),
+    /// Replay a recorded trace.
+    Replay(ReplayTrace),
+}
+
+/// A recorded transfer-time table, kept as raw samples so datasheets are
+/// plain comparable data; [`ReplayTrace::bus`] compiles it into the
+/// interpolating [`RecordedBus`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayTrace {
+    /// Trace label, for reports (e.g. the recording's origin).
+    pub label: String,
+    /// `(bytes, direction, memtype, seconds)` samples.
+    pub samples: Vec<(u64, Direction, MemType, f64)>,
+}
+
+impl ReplayTrace {
+    /// Compiles the samples into a replayable bus. Fails when a covered
+    /// curve has fewer than two distinct sizes.
+    pub fn bus(&self) -> Result<RecordedBus, TraceError> {
+        RecordedBus::from_samples(self.label.clone(), &self.samples)
+    }
+}
+
+impl BusSpec {
+    /// Short tag for reports: `sim` or `replay`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            BusSpec::Sim(_) => "sim",
+            BusSpec::Replay(_) => "replay",
+        }
+    }
+
+    /// The simulator parameters, when this is a simulated bus.
+    pub fn sim_params(&self) -> Option<&BusParams> {
+        match self {
+            BusSpec::Sim(p) => Some(p),
+            BusSpec::Replay(_) => None,
+        }
+    }
+
+    /// A noise-free copy (replay traces carry no fresh noise already).
+    pub fn quiet(self) -> Self {
+        match self {
+            BusSpec::Sim(p) => BusSpec::Sim(p.quiet()),
+            replay => replay,
+        }
+    }
+
+    /// Checks that the spec can be instantiated (a replay trace compiles).
+    pub fn validate(&self) -> Result<(), TraceError> {
+        match self {
+            BusSpec::Sim(_) => Ok(()),
+            BusSpec::Replay(t) => t.bus().map(|_| ()),
+        }
+    }
+
+    /// Instantiates the backend. `seed` feeds the simulator's noise stream
+    /// and is unused by replay (a recorded trace has no fresh noise).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a replay trace that fails [`BusSpec::validate`] — the
+    /// datasheet parser and registry validate at load time, so this only
+    /// trips on hand-built invalid configs.
+    pub fn backend(&self, seed: u64) -> BusBackend {
+        match self {
+            BusSpec::Sim(p) => BusBackend::Sim(BusSimulator::new(p.clone(), seed)),
+            BusSpec::Replay(t) => BusBackend::Replay(
+                t.bus()
+                    .unwrap_or_else(|e| panic!("invalid replay trace `{}`: {e}", t.label)),
+            ),
+        }
+    }
+}
 
 /// Everything that defines one target system.
 ///
@@ -11,8 +96,16 @@ use gpp_pcie::{BusParams, BusSimulator};
 /// and `bus` parameterize the simulators that stand in for the physical
 /// hardware. Keeping them separate is what makes the projection honest —
 /// the model plans from public numbers while "reality" has its own.
-#[derive(Debug, Clone)]
+///
+/// A `MachineConfig` is plain data: it serializes to the `.gmach` text
+/// format (see [`crate::datasheet`]) and is routed by its short `id`
+/// through the [`crate::registry::MachineRegistry`].
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineConfig {
+    /// Short registry identifier (e.g. `eureka`), used for routing
+    /// (`machine=<id>` on the wire), cache keys, and machine-scoped fault
+    /// points.
+    pub id: String,
     /// Name, for reports.
     pub name: String,
     /// The GPU datasheet the analytic model uses.
@@ -21,9 +114,10 @@ pub struct MachineConfig {
     pub gpu: DeviceParams,
     /// The simulated host CPU.
     pub cpu: CpuParams,
-    /// The simulated PCIe bus.
-    pub bus: BusParams,
+    /// The bus backend specification (simulated or replayed).
+    pub bus: BusSpec,
     /// Noise seed for the whole node ("which day you measured on").
+    /// Per-component streams derive from it via [`crate::seeds`].
     pub seed: u64,
 }
 
@@ -33,11 +127,12 @@ impl MachineConfig {
     /// PCIe v1 x16 (§IV-A).
     pub fn anl_eureka_node(seed: u64) -> Self {
         MachineConfig {
+            id: "eureka".into(),
             name: "ANL Eureka node (simulated): Xeon E5405 + Quadro FX 5600, PCIe v1 x16".into(),
             gpu_spec: GpuSpec::quadro_fx_5600(),
             gpu: DeviceParams::quadro_fx_5600(),
             cpu: CpuParams::xeon_e5405(),
-            bus: BusParams::pcie_v1_x16(),
+            bus: BusSpec::Sim(BusParams::pcie_v1_x16()),
             seed,
         }
     }
@@ -46,13 +141,20 @@ impl MachineConfig {
     /// PCIe v2), for cross-system experiments.
     pub fn pcie_v2_gt200_node(seed: u64) -> Self {
         MachineConfig {
+            id: "v2".into(),
             name: "PCIe v2 node (simulated): Xeon X5550 + Tesla C1060".into(),
             gpu_spec: GpuSpec::tesla_c1060(),
             gpu: DeviceParams::tesla_c1060(),
             cpu: CpuParams::xeon_x5550(),
-            bus: BusParams::pcie_v2_x16(),
+            bus: BusSpec::Sim(BusParams::pcie_v2_x16()),
             seed,
         }
+    }
+
+    /// A copy with a different node seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
     }
 
     /// A noise-free copy (for exactness tests).
@@ -62,12 +164,13 @@ impl MachineConfig {
         self
     }
 
-    /// Instantiates the simulated hardware.
+    /// Instantiates the simulated hardware. Seed streams derive from the
+    /// node seed through [`crate::seeds`] — one place, by design.
     pub fn node(&self) -> SimulatedNode {
         SimulatedNode {
-            gpu: GpuSim::new(self.gpu.clone(), self.seed),
+            gpu: GpuSim::new(self.gpu.clone(), seeds::gpu_seed(self.seed)),
             cpu: CpuSim::new(self.cpu.clone()),
-            bus: BusSimulator::new(self.bus.clone(), self.seed.wrapping_add(1)),
+            bus: self.bus.backend(seeds::bus_seed(self.seed)),
         }
     }
 }
@@ -79,8 +182,8 @@ pub struct SimulatedNode {
     pub gpu: GpuSim,
     /// The host CPU.
     pub cpu: CpuSim,
-    /// The PCIe bus between them.
-    pub bus: BusSimulator,
+    /// The bus between them (simulated or replayed).
+    pub bus: BusBackend,
 }
 
 #[cfg(test)]
@@ -91,25 +194,77 @@ mod tests {
     #[test]
     fn eureka_node_wires_the_right_parts() {
         let m = MachineConfig::anl_eureka_node(1);
+        assert_eq!(m.id, "eureka");
         assert!(m.name.contains("Eureka"));
         assert_eq!(m.gpu.sms, 16);
         assert_eq!(m.cpu.cores, 4);
         let node = m.node();
         assert_eq!(node.gpu.device().sms, 16);
         assert!(node.bus.describe().contains("V1"));
+        assert_eq!(node.bus.kind(), "sim");
     }
 
     #[test]
     fn quiet_node_strips_noise() {
         let m = MachineConfig::anl_eureka_node(1).quiet();
         assert_eq!(m.gpu.noise_rel_sigma, 0.0);
-        assert_eq!(m.bus.noise_rel_sigma, 0.0);
+        assert_eq!(m.bus.sim_params().unwrap().noise_rel_sigma, 0.0);
     }
 
     #[test]
     fn v2_node_differs() {
         let m = MachineConfig::pcie_v2_gt200_node(1);
+        assert_eq!(m.id, "v2");
         assert_eq!(m.gpu.sms, 30);
-        assert!(m.bus.effective_pinned_bw() > 5e9);
+        assert!(m.bus.sim_params().unwrap().effective_pinned_bw() > 5e9);
+    }
+
+    #[test]
+    fn node_seeding_is_unchanged_by_the_seeds_refactor() {
+        // The bus RNG stream must still start at seed + 1: instantiate the
+        // historical wiring directly and compare transfer-for-transfer.
+        let m = MachineConfig::anl_eureka_node(7);
+        let mut node = m.node();
+        let mut legacy = BusSimulator::new(BusParams::pcie_v1_x16(), 7u64.wrapping_add(1));
+        for &bytes in &[1u64, 4096, 1 << 20] {
+            let a = node
+                .bus
+                .transfer(bytes, Direction::HostToDevice, MemType::Pinned);
+            let b = legacy.transfer(bytes, Direction::HostToDevice, MemType::Pinned);
+            assert_eq!(a.to_bits(), b.to_bits(), "bytes={bytes}");
+        }
+    }
+
+    #[test]
+    fn replay_spec_builds_a_replay_node() {
+        let mut m = MachineConfig::anl_eureka_node(3);
+        m.bus = BusSpec::Replay(ReplayTrace {
+            label: "t".into(),
+            samples: vec![
+                (1, Direction::HostToDevice, MemType::Pinned, 9.9e-6),
+                (536870912, Direction::HostToDevice, MemType::Pinned, 0.215),
+                (1, Direction::DeviceToHost, MemType::Pinned, 1.13e-5),
+                (536870912, Direction::DeviceToHost, MemType::Pinned, 0.216),
+            ],
+        });
+        assert!(m.bus.validate().is_ok());
+        assert_eq!(m.bus.kind(), "replay");
+        assert!(m.bus.sim_params().is_none());
+        let mut node = m.node();
+        let t = node
+            .bus
+            .transfer(1, Direction::HostToDevice, MemType::Pinned);
+        assert_eq!(t, 9.9e-6); // replay is exact at a knot
+                               // quiet() must leave a replay spec untouched.
+        assert_eq!(m.clone().quiet().bus, m.bus);
+    }
+
+    #[test]
+    fn invalid_replay_trace_fails_validation() {
+        let t = ReplayTrace {
+            label: "short".into(),
+            samples: vec![(1, Direction::HostToDevice, MemType::Pinned, 1e-6)],
+        };
+        assert!(BusSpec::Replay(t).validate().is_err());
     }
 }

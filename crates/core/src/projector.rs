@@ -103,7 +103,7 @@ impl Grophecy {
             return Ok(Self::calibrate(machine, node));
         }
         node.gpu.arm_faults(faults.clone());
-        let mut bus = FaultyBus::new(&mut node.bus, faults);
+        let mut bus = FaultyBus::new(&mut node.bus, faults).with_machine(&machine.id);
         let pcie = Calibrator::default().calibrate_checked(&mut bus)?;
         Ok(Grophecy {
             spec: machine.gpu_spec.clone(),

@@ -1,0 +1,263 @@
+//! The machine registry: named [`MachineConfig`] datasheets, built-in and
+//! user-loaded.
+//!
+//! Every layer that used to string-match `eureka`/`v2` now routes through a
+//! registry lookup: the CLI (`--machine <name>`, `gpp machines`), the
+//! serving layer (per-machine calibration caches and stats), and the bench
+//! cross-machine evaluation. Built-ins are the registry's *definitions* of
+//! the two paper systems; user machines come from `.gmach` datasheets
+//! loaded out of a directory ([`MachineRegistry::load_dir`]).
+
+use crate::datasheet;
+use crate::machine::MachineConfig;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// A lookup for a machine name that isn't registered. Carries the sorted
+/// known-name list so every surface (serve replies, CLI stderr) can print
+/// the same hint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownMachine {
+    /// The name that was asked for.
+    pub requested: String,
+    /// All registered names, sorted.
+    pub known: Vec<String>,
+}
+
+impl std::fmt::Display for UnknownMachine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown machine `{}` (known: {})",
+            self.requested,
+            self.known.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownMachine {}
+
+/// A datasheet file that failed to load into the registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegistryError {
+    /// The file (or directory) that failed.
+    pub path: PathBuf,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.path.display(), self.message)
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// Named machine datasheets, keyed by their short `id`.
+///
+/// Iteration and name listings are in sorted (BTreeMap) order, so every
+/// consumer — reports, `stats`, error hints — is deterministic.
+#[derive(Debug, Clone)]
+pub struct MachineRegistry {
+    machines: BTreeMap<String, MachineConfig>,
+}
+
+impl Default for MachineRegistry {
+    fn default() -> Self {
+        Self::builtin()
+    }
+}
+
+impl MachineRegistry {
+    /// An empty registry (no machines at all).
+    pub fn empty() -> Self {
+        MachineRegistry {
+            machines: BTreeMap::new(),
+        }
+    }
+
+    /// The built-in registry: the two systems of the paper's cross-machine
+    /// experiment, `eureka` and `v2`. This is the single place that names
+    /// them; everything else looks them up.
+    pub fn builtin() -> Self {
+        let mut r = Self::empty();
+        r.insert(MachineConfig::anl_eureka_node(0));
+        r.insert(MachineConfig::pcie_v2_gt200_node(0));
+        r
+    }
+
+    /// Registers (or replaces) a machine under its `id`. Returns the
+    /// previous entry with that id, if any.
+    pub fn insert(&mut self, machine: MachineConfig) -> Option<MachineConfig> {
+        self.machines.insert(machine.id.clone(), machine)
+    }
+
+    /// Sorted registered names.
+    pub fn names(&self) -> Vec<String> {
+        self.machines.keys().cloned().collect()
+    }
+
+    /// The registered machine, as loaded (its own stored seed).
+    pub fn get(&self, name: &str) -> Option<&MachineConfig> {
+        self.machines.get(name)
+    }
+
+    /// Resolves a machine for use at `seed`, the way every routing layer
+    /// consumes the registry: clone the datasheet, override the node seed.
+    pub fn config(&self, name: &str, seed: u64) -> Result<MachineConfig, UnknownMachine> {
+        match self.machines.get(name) {
+            Some(m) => Ok(m.clone().with_seed(seed)),
+            None => Err(UnknownMachine {
+                requested: name.to_string(),
+                known: self.names(),
+            }),
+        }
+    }
+
+    /// All machines, in sorted-name order.
+    pub fn iter(&self) -> impl Iterator<Item = &MachineConfig> {
+        self.machines.values()
+    }
+
+    /// Number of registered machines.
+    pub fn len(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.machines.is_empty()
+    }
+
+    /// Loads one `.gmach` datasheet, resolving `bus replay ... from`
+    /// sidecar traces relative to the file's directory. Returns the
+    /// registered id.
+    pub fn load_file(&mut self, path: &Path) -> Result<String, RegistryError> {
+        let err = |message: String| RegistryError {
+            path: path.to_path_buf(),
+            message,
+        };
+        let text = std::fs::read_to_string(path).map_err(|e| err(e.to_string()))?;
+        let dir = path.parent().unwrap_or(Path::new(".")).to_path_buf();
+        let machine = datasheet::parse_with(&text, &mut |rel| {
+            std::fs::read_to_string(dir.join(rel)).map_err(|e| format!("{rel}: {e}"))
+        })
+        .map_err(|e| err(e.to_string()))?;
+        let id = machine.id.clone();
+        self.insert(machine);
+        Ok(id)
+    }
+
+    /// Loads every `*.gmach` in a directory (sorted by file name, so later
+    /// files win id collisions deterministically). Returns the registered
+    /// ids in load order.
+    pub fn load_dir(&mut self, dir: &Path) -> Result<Vec<String>, RegistryError> {
+        let err = |message: String| RegistryError {
+            path: dir.to_path_buf(),
+            message,
+        };
+        let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+            .map_err(|e| err(e.to_string()))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "gmach"))
+            .collect();
+        paths.sort();
+        let mut ids = Vec::with_capacity(paths.len());
+        for p in &paths {
+            ids.push(self.load_file(p)?);
+        }
+        Ok(ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_names_are_sorted_and_complete() {
+        let r = MachineRegistry::builtin();
+        assert_eq!(r.names(), vec!["eureka".to_string(), "v2".to_string()]);
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn config_overrides_the_seed() {
+        let r = MachineRegistry::builtin();
+        let m = r.config("eureka", 42).unwrap();
+        assert_eq!(m.seed, 42);
+        assert_eq!(m, MachineConfig::anl_eureka_node(42));
+        let m = r.config("v2", 7).unwrap();
+        assert_eq!(m, MachineConfig::pcie_v2_gt200_node(7));
+    }
+
+    #[test]
+    fn unknown_machines_list_the_known_ones() {
+        let e = MachineRegistry::builtin().config("cray-1", 1).unwrap_err();
+        assert_eq!(
+            e.to_string(),
+            "unknown machine `cray-1` (known: eureka, v2)"
+        );
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut r = MachineRegistry::builtin();
+        let mut extra = MachineConfig::anl_eureka_node(0);
+        extra.id = "aaa".into();
+        r.insert(extra);
+        let ids: Vec<&str> = r.iter().map(|m| m.id.as_str()).collect();
+        assert_eq!(ids, vec!["aaa", "eureka", "v2"]);
+    }
+
+    #[test]
+    fn load_dir_reads_datasheets_and_sidecar_traces() {
+        let dir = std::env::temp_dir().join(format!("gmach-registry-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let eureka = crate::datasheet::to_text(&MachineConfig::anl_eureka_node(2013));
+        std::fs::write(dir.join("eureka.gmach"), &eureka).unwrap();
+        let mut recorded = MachineConfig::anl_eureka_node(2013);
+        recorded.id = "recorded".into();
+        recorded.name = "replayed".into();
+        let sheet = crate::datasheet::to_text(&recorded)
+            .replace("bus sim\n", "bus replay \"trace\" from \"side.trace\"\n");
+        // Strip the sim key lines, now orphaned under the replay header.
+        let sheet: String = sheet
+            .lines()
+            .scan(false, |in_bus, l| {
+                if l.starts_with("bus ") {
+                    *in_bus = true;
+                } else if !l.starts_with("  ") {
+                    *in_bus = false;
+                }
+                Some((*in_bus && l.starts_with("  "), l))
+            })
+            .filter(|&(drop, _)| !drop)
+            .map(|(_, l)| format!("{l}\n"))
+            .collect();
+        std::fs::write(dir.join("recorded.gmach"), sheet).unwrap();
+        std::fs::write(
+            dir.join("side.trace"),
+            "1 h2d pinned 1e-5\n536870912 h2d pinned 0.2\n\
+             1 d2h pinned 1e-5\n536870912 d2h pinned 0.21\n",
+        )
+        .unwrap();
+
+        let mut r = MachineRegistry::builtin();
+        let ids = r.load_dir(&dir).unwrap();
+        assert_eq!(ids, vec!["eureka".to_string(), "recorded".to_string()]);
+        assert_eq!(r.len(), 3); // eureka overwritten, v2 kept, recorded new
+        assert_eq!(r.get("recorded").unwrap().bus.kind(), "replay");
+        assert_eq!(r.get("eureka").unwrap().seed, 2013);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_errors_carry_the_path() {
+        let mut r = MachineRegistry::empty();
+        let e = r.load_file(Path::new("/nonexistent/x.gmach")).unwrap_err();
+        assert!(e.to_string().contains("x.gmach"));
+    }
+}

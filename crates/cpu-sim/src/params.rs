@@ -1,7 +1,7 @@
 //! CPU hardware parameterization.
 
 /// Parameters of the modeled multicore CPU.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CpuParams {
     /// Physical cores.
     pub cores: u32,

@@ -93,6 +93,17 @@ pub const KNOWN_POINTS: &[&str] = &[
     SERVE_CALIBRATE_FAIL,
 ];
 
+/// The machine-scoped spelling of a fault point: `point@machine`.
+///
+/// Scoped rules let one plan target a single machine in a multi-machine
+/// registry (e.g. `pcie.transfer.error@v2:always`). The plan grammar treats
+/// the whole string as an opaque point name, so no parser change is needed;
+/// injection sites that know their machine consult the scoped name first
+/// via [`FaultInjector::fire_factor_scoped`].
+pub fn scoped_point(point: &str, machine: &str) -> String {
+    format!("{point}@{machine}")
+}
+
 /// Environment variable holding the process-wide fault plan.
 pub const ENV_FAULT_PLAN: &str = "GPP_FAULT_PLAN";
 
@@ -466,6 +477,35 @@ impl FaultInjector {
         }
     }
 
+    /// Machine-scoped variant of [`fires`](FaultInjector::fires): see
+    /// [`fire_factor_scoped`](FaultInjector::fire_factor_scoped).
+    pub fn fires_scoped(&self, point: &str, machine: Option<&str>) -> bool {
+        self.fire_factor_scoped(point, machine).is_some()
+    }
+
+    /// Like [`fire_factor`](FaultInjector::fire_factor), but consulted from
+    /// a site that knows which target machine it is acting for.
+    ///
+    /// A plan may scope a rule to one machine by naming the point
+    /// `point@machine` (e.g. `pcie.transfer.error@v2:p=0.5`) — the scoped
+    /// rule is consulted *instead of* the bare one for that machine, while
+    /// other machines keep using the bare rule. Plans without scoped rules
+    /// behave exactly as before: the scoped name misses `by_name` without
+    /// touching any counter or RNG stream, and the bare lookup proceeds
+    /// unchanged, so unscoped plans stay bit-identical.
+    pub fn fire_factor_scoped(&self, point: &str, machine: Option<&str>) -> Option<f64> {
+        if self.points.is_empty() {
+            return None;
+        }
+        if let Some(label) = machine {
+            let scoped = scoped_point(point, label);
+            if self.by_name.contains_key(&scoped) {
+                return self.fire_factor(&scoped);
+            }
+        }
+        self.fire_factor(point)
+    }
+
     /// Total faults injected across all points so far.
     pub fn total_fired(&self) -> u64 {
         self.points
@@ -628,5 +668,48 @@ mod tests {
         let inj = FaultInjector::new("s.s:always,factor=123.5".parse().unwrap());
         assert_eq!(inj.fire_factor("s.s"), Some(123.5));
         assert_eq!(inj.fire_factor("unlisted"), None);
+    }
+
+    #[test]
+    fn scoped_rules_parse_and_round_trip() {
+        let plan: FaultPlan = "seed=9;pcie.transfer.error@v2:p=0.5".parse().unwrap();
+        assert_eq!(plan.to_string(), "seed=9;pcie.transfer.error@v2:p=0.5");
+    }
+
+    #[test]
+    fn scoped_rule_overrides_bare_for_its_machine_only() {
+        let plan: FaultPlan = "t.t:always,factor=2;t.t@v2:always,factor=7"
+            .parse()
+            .unwrap();
+        let inj = FaultInjector::new(plan);
+        assert_eq!(inj.fire_factor_scoped("t.t", Some("v2")), Some(7.0));
+        assert_eq!(inj.fire_factor_scoped("t.t", Some("eureka")), Some(2.0));
+        assert_eq!(inj.fire_factor_scoped("t.t", None), Some(2.0));
+    }
+
+    #[test]
+    fn scoped_lookup_on_unscoped_plan_is_bit_identical_to_bare() {
+        // Two injectors from the same probabilistic plan: one consulted with
+        // a machine label, one without. Because the scoped name misses
+        // `by_name` without touching any state, the decision streams match
+        // exactly.
+        let plan: FaultPlan = "seed=3;t.t:p=0.4".parse().unwrap();
+        let bare = FaultInjector::new(plan.clone());
+        let scoped = FaultInjector::new(plan);
+        for _ in 0..64 {
+            assert_eq!(
+                bare.fire_factor("t.t"),
+                scoped.fire_factor_scoped("t.t", Some("eureka"))
+            );
+        }
+        assert_eq!(bare.trace(), scoped.trace());
+    }
+
+    #[test]
+    fn scoped_point_spelling() {
+        assert_eq!(
+            scoped_point(PCIE_TRANSFER_ERROR, "v2"),
+            "pcie.transfer.error@v2"
+        );
     }
 }

@@ -7,7 +7,7 @@
 /// Deliberately absent (the simulator knows them; the model must not):
 /// measured DRAM efficiency, scattered-traffic derating, exact load
 /// latency, launch overhead, misalignment penalties.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuSpec {
     /// Marketing name.
     pub name: String,

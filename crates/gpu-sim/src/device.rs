@@ -1,7 +1,7 @@
 //! GPU hardware parameterization.
 
 /// Parameters of the simulated GPU.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceParams {
     /// Marketing name, for reports.
     pub name: String,

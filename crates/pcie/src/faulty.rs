@@ -38,6 +38,7 @@ pub struct FaultyBus<B: Bus> {
     inner: B,
     faults: Arc<FaultInjector>,
     attempts: u64,
+    machine: Option<String>,
 }
 
 impl<B: Bus> FaultyBus<B> {
@@ -47,7 +48,17 @@ impl<B: Bus> FaultyBus<B> {
             inner,
             faults,
             attempts: 0,
+            machine: None,
         }
+    }
+
+    /// Labels this bus with the machine it belongs to, so plans can scope
+    /// rules to one machine via `point@machine` names (bare rules still
+    /// apply when no scoped rule exists — see
+    /// [`FaultInjector::fire_factor_scoped`]).
+    pub fn with_machine(mut self, machine: impl Into<String>) -> Self {
+        self.machine = Some(machine.into());
+        self
     }
 
     /// The injector this bus consults.
@@ -79,7 +90,11 @@ impl<B: Bus> FaultyBus<B> {
         if !self.faults.is_active() {
             return (t, None);
         }
-        if self.faults.fires(gpp_fault::PCIE_TRANSFER_ERROR) {
+        let machine = self.machine.as_deref();
+        if self
+            .faults
+            .fires_scoped(gpp_fault::PCIE_TRANSFER_ERROR, machine)
+        {
             return (
                 t,
                 Some(TransferError {
@@ -88,10 +103,16 @@ impl<B: Bus> FaultyBus<B> {
                 }),
             );
         }
-        if let Some(factor) = self.faults.fire_factor(gpp_fault::PCIE_TRANSFER_STALL) {
+        if let Some(factor) = self
+            .faults
+            .fire_factor_scoped(gpp_fault::PCIE_TRANSFER_STALL, machine)
+        {
             t *= factor;
         }
-        if let Some(factor) = self.faults.fire_factor(gpp_fault::PCIE_CALIBRATION_OUTLIER) {
+        if let Some(factor) = self
+            .faults
+            .fire_factor_scoped(gpp_fault::PCIE_CALIBRATION_OUTLIER, machine)
+        {
             t *= factor;
         }
         (t, None)
@@ -193,6 +214,19 @@ mod tests {
             bus.injector().total_fired(),
             u64::from(MAX_INTERNAL_RETRIES) + 1
         );
+    }
+
+    #[test]
+    fn machine_scoped_rules_hit_only_their_machine() {
+        let plan: FaultPlan = "pcie.transfer.stall@v2:always,factor=10".parse().unwrap();
+        let faults = Arc::new(FaultInjector::new(plan));
+        let clean = quiet_bus(3).transfer(8 << 20, Direction::HostToDevice, MemType::Pinned);
+        let mut on_v2 = FaultyBus::new(quiet_bus(3), faults.clone()).with_machine("v2");
+        let t = on_v2.transfer(8 << 20, Direction::HostToDevice, MemType::Pinned);
+        assert!(t > 9.0 * clean, "scoped stall missing: {t} vs {clean}");
+        let mut on_eureka = FaultyBus::new(quiet_bus(3), faults).with_machine("eureka");
+        let t = on_eureka.transfer(8 << 20, Direction::HostToDevice, MemType::Pinned);
+        assert_eq!(t.to_bits(), clean.to_bits(), "bare machine affected");
     }
 
     #[test]

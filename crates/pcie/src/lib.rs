@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod alloc;
+pub mod backend;
 pub mod calibrate;
 pub mod error;
 pub mod faulty;
@@ -54,6 +55,7 @@ pub mod replay;
 pub mod sim;
 
 pub use alloc::AllocModel;
+pub use backend::BusBackend;
 pub use calibrate::{CalibratedBus, CalibrationError, Calibrator};
 pub use error::{error_magnitude, mean_error_magnitude, SweepValidation};
 pub use faulty::FaultyBus;

@@ -76,7 +76,7 @@ impl PcieGen {
 /// a Quadro FX 5600 in a PCIe v1 x16 slot — whose measured characteristics
 /// are given in §III-C: α on the order of 10 µs and ~2.5 GB/s pinned
 /// bandwidth.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BusParams {
     /// Link generation.
     pub gen: PcieGen,

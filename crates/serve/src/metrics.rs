@@ -1,6 +1,7 @@
 //! Service counters and latency tracking for the `stats` command.
 
 use parking_lot::Mutex;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -45,6 +46,25 @@ pub struct Metrics {
     /// (queued, compute): time spent waiting in the accept queue vs time
     /// inside the handler.
     latencies_us: Mutex<Ring>,
+    /// Per-machine counter breakdown, keyed by machine name (sorted).
+    per_machine: Mutex<BTreeMap<String, MachineCounters>>,
+}
+
+/// Counters `stats` breaks out per target machine.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MachineCounters {
+    /// Requests routed to this machine (any machine-taking command).
+    pub requests: u64,
+    /// Calibration cache hits / misses for this machine's keys.
+    pub calib_hits: u64,
+    /// See [`MachineCounters::calib_hits`].
+    pub calib_misses: u64,
+    /// Projection memo hits / misses for this machine's keys.
+    pub proj_hits: u64,
+    /// See [`MachineCounters::proj_hits`].
+    pub proj_misses: u64,
+    /// Replies served stale from this machine's last-good calibration.
+    pub degraded_replies: u64,
 }
 
 struct Ring {
@@ -76,6 +96,7 @@ impl Default for Metrics {
                 next: 0,
                 filled: false,
             }),
+            per_machine: Mutex::new(BTreeMap::new()),
         }
     }
 }
@@ -124,6 +145,8 @@ pub struct StatsSnapshot {
     pub proj_cache_len: usize,
     /// Entries in the calibration cache right now.
     pub calib_cache_len: usize,
+    /// Per-machine breakdown, sorted by machine name.
+    pub machines: Vec<(String, MachineCounters)>,
 }
 
 impl Metrics {
@@ -190,12 +213,24 @@ impl Metrics {
             queue_depth,
             proj_cache_len,
             calib_cache_len,
+            machines: self
+                .per_machine
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
         }
     }
 
     /// Bumps a counter by one (helper so call sites stay terse).
     pub fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Updates the named machine's counter row.
+    pub fn bump_machine(&self, machine: &str, f: impl FnOnce(&mut MachineCounters)) {
+        let mut map = self.per_machine.lock();
+        f(map.entry(machine.to_string()).or_default());
     }
 }
 
@@ -263,5 +298,22 @@ mod tests {
         let m = Metrics::new();
         let s = m.snapshot(0, 0, 0, 0);
         assert_eq!((s.p50_latency_us, s.p99_latency_us), (0, 0));
+    }
+
+    #[test]
+    fn per_machine_rows_accumulate_and_sort() {
+        let m = Metrics::new();
+        m.bump_machine("v2", |c| c.requests += 1);
+        m.bump_machine("eureka", |c| {
+            c.requests += 1;
+            c.calib_misses += 1;
+        });
+        m.bump_machine("eureka", |c| c.calib_hits += 1);
+        let s = m.snapshot(0, 0, 0, 0);
+        let names: Vec<&str> = s.machines.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["eureka", "v2"]);
+        assert_eq!(s.machines[0].1.calib_hits, 1);
+        assert_eq!(s.machines[0].1.calib_misses, 1);
+        assert_eq!(s.machines[1].1.requests, 1);
     }
 }

@@ -10,7 +10,8 @@
 //! ```
 //!
 //! Commands: `project`, `measure`, `analyze`, `deps`, `calibrate`,
-//! `stats`, `ping`. Options: `machine=eureka|v2`, `seed=N`, `iters=N`,
+//! `stats`, `ping`. Options: `machine=<registry name>` (default `eureka`),
+//! `seed=N`, `iters=N`,
 //! `temporary=a,b` (device-temporary hint), `sparse=name:bytes,...`
 //! (sparse-bound hint). Responses are a single JSON object:
 //! `{"ok":true,...}` or `{"ok":false,"error":{"kind":...,"message":...}}`.
@@ -87,7 +88,8 @@ impl std::fmt::Display for Command {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Request {
     pub command: Command,
-    /// Target machine: `eureka` or `v2`.
+    /// Target machine: a registry name (built-ins `eureka`, `v2`, plus
+    /// any datasheets the server loaded).
     pub machine: String,
     /// Noise seed for the simulated node.
     pub seed: u64,

@@ -17,6 +17,7 @@ use gpp_skeleton::{Program, SourceMap};
 use grophecy::machine::MachineConfig;
 use grophecy::measurement::measure;
 use grophecy::projector::{AppProjection, Grophecy};
+use grophecy::registry::MachineRegistry;
 use grophecy::report::{measurement_json, projection_json, speedup_json, Json};
 use grophecy::speedup::SpeedupReport;
 use std::sync::atomic::Ordering;
@@ -43,6 +44,10 @@ pub struct ServeConfig {
     /// — the default — leaves every code path bit-identical to a build
     /// without fault support.
     pub faults: Arc<FaultInjector>,
+    /// The machines this instance serves. Defaults to the built-in
+    /// registry (`eureka`, `v2`); `gpp serve --machines dir/` loads user
+    /// datasheets on top.
+    pub machines: Arc<MachineRegistry>,
 }
 
 impl Default for ServeConfig {
@@ -55,6 +60,7 @@ impl Default for ServeConfig {
             projection_cache: 128,
             max_frame_bytes: 4 << 20,
             faults: FaultInjector::disabled(),
+            machines: Arc::new(MachineRegistry::builtin()),
         }
     }
 }
@@ -150,21 +156,34 @@ impl ServiceState {
         Ok(())
     }
 
+    /// Resolves the request's machine through the registry, tallying the
+    /// per-machine request counter. Unknown names reply kind `machine`
+    /// with the registry's sorted known-name list.
+    fn machine(&self, req: &Request) -> Result<MachineConfig, ProtocolError> {
+        let machine = resolve_machine(&self.config.machines, &req.machine, req.seed)?;
+        self.metrics.bump_machine(&machine.id, |c| c.requests += 1);
+        Ok(machine)
+    }
+
     /// Resolves the calibrated projector for (machine, seed), via cache.
     /// The boolean is `true` when the result is **stale**: every fresh
     /// calibration attempt (bounded retries with exponential backoff)
     /// failed and the machine's last-good calibration is serving instead.
     fn projector(&self, req: &Request) -> Result<(Arc<Grophecy>, bool), ProtocolError> {
-        let machine = machine_by_name(&req.machine, req.seed)?;
+        let machine = self.machine(req)?;
         let key = CalibKey {
             machine: req.machine.clone(),
             seed: req.seed,
         };
         if let Some(gro) = self.calibrations.get(&key) {
             Metrics::bump(&self.metrics.calib_hits);
+            self.metrics
+                .bump_machine(&machine.id, |c| c.calib_hits += 1);
             return Ok((gro, false));
         }
         Metrics::bump(&self.metrics.calib_misses);
+        self.metrics
+            .bump_machine(&machine.id, |c| c.calib_misses += 1);
         let faults = &self.config.faults;
         let mut last_err = String::new();
         for attempt in 0..CALIB_ATTEMPTS {
@@ -173,8 +192,11 @@ impl ServiceState {
                 std::thread::sleep(CALIB_BACKOFF * 2u32.pow(attempt - 1));
             }
             // One consultation per whole-calibration attempt: the knob
-            // chaos plans use to force degraded serving.
-            if faults.is_active() && faults.fires(gpp_fault::SERVE_CALIBRATE_FAIL) {
+            // chaos plans use to force degraded serving. Plans can scope
+            // it to one machine (`serve.calibrate.fail@v2`).
+            if faults.is_active()
+                && faults.fires_scoped(gpp_fault::SERVE_CALIBRATE_FAIL, Some(&machine.id))
+            {
                 last_err = "injected calibration failure (serve.calibrate.fail)".to_string();
                 continue;
             }
@@ -190,6 +212,8 @@ impl ServiceState {
         }
         if let Some(gro) = self.calibrations.last_good(&req.machine) {
             Metrics::bump(&self.metrics.degraded_replies);
+            self.metrics
+                .bump_machine(&machine.id, |c| c.degraded_replies += 1);
             return Ok((gro, true));
         }
         Err(ProtocolError::new(
@@ -302,9 +326,13 @@ impl ServiceState {
         };
         if let Some(p) = self.projections.get(&key) {
             Metrics::bump(&self.metrics.proj_hits);
+            self.metrics
+                .bump_machine(&req.machine, |c| c.proj_hits += 1);
             return (p, true);
         }
         Metrics::bump(&self.metrics.proj_misses);
+        self.metrics
+            .bump_machine(&req.machine, |c| c.proj_misses += 1);
         let proj = Arc::new(gro.project(program, hints));
         self.projections.insert(key, proj.clone());
         (proj, false)
@@ -365,7 +393,7 @@ impl ServiceState {
         // CLI) so served responses are bit-identical to `gpp measure`.
         // Measurements are side-effectful on the node, so they bypass the
         // projection memo by design.
-        let machine = machine_by_name(&req.machine, req.seed)?;
+        let machine = self.machine(req)?;
         let mut node = machine.node();
         let gro = self.calibrate_node(&machine, &mut node)?;
         let proj = gro.project(&program, &hints);
@@ -442,7 +470,7 @@ impl ServiceState {
     fn cmd_calibrate(&self, req: &Request) -> Result<Json, ProtocolError> {
         // Full single-shot sequence: the sweep validation consumes the
         // node's RNG stream right after calibration, like `gpp calibrate`.
-        let machine = machine_by_name(&req.machine, req.seed)?;
+        let machine = self.machine(req)?;
         let mut node = machine.node();
         let gro = self.calibrate_node(&machine, &mut node)?;
         let sweeps = Direction::ALL
@@ -531,6 +559,25 @@ impl ServiceState {
                             ("frames_corrupted", Json::Num(s.frames_corrupted as f64)),
                         ]),
                     ),
+                    (
+                        "machines",
+                        Json::Arr(
+                            s.machines
+                                .iter()
+                                .map(|(name, c)| {
+                                    Json::obj([
+                                        ("machine", Json::Str(name.clone())),
+                                        ("requests", Json::Num(c.requests as f64)),
+                                        ("calibration_hits", Json::Num(c.calib_hits as f64)),
+                                        ("calibration_misses", Json::Num(c.calib_misses as f64)),
+                                        ("projection_hits", Json::Num(c.proj_hits as f64)),
+                                        ("projection_misses", Json::Num(c.proj_misses as f64)),
+                                        ("degraded_replies", Json::Num(c.degraded_replies as f64)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
                 ]),
             ),
         ])
@@ -552,16 +599,17 @@ impl ServiceState {
     }
 }
 
-/// Resolves a machine name to its configuration.
-pub fn machine_by_name(name: &str, seed: u64) -> Result<MachineConfig, ProtocolError> {
-    match name {
-        "eureka" => Ok(MachineConfig::anl_eureka_node(seed)),
-        "v2" => Ok(MachineConfig::pcie_v2_gt200_node(seed)),
-        other => Err(ProtocolError::new(
-            "unknown-machine",
-            format!("unknown machine `{other}` (known: eureka, v2)"),
-        )),
-    }
+/// Resolves a machine name against a registry. Unknown names become a
+/// structured kind-`machine` error whose message carries the sorted list
+/// of known names — the same hint the CLI prints.
+pub fn resolve_machine(
+    registry: &MachineRegistry,
+    name: &str,
+    seed: u64,
+) -> Result<MachineConfig, ProtocolError> {
+    registry
+        .config(name, seed)
+        .map_err(|e| ProtocolError::new("machine", e.to_string()))
 }
 
 /// Canonical, order-insensitive fingerprint of a request's hints.
@@ -708,7 +756,11 @@ mod tests {
             "{bad}"
         );
         let unk = s.handle(&payload("project machine=cray", VEC_ADD), 0);
-        assert!(unk.contains("unknown-machine"), "{unk}");
+        assert!(
+            unk.contains("\"kind\":\"machine\"")
+                && unk.contains("unknown machine `cray` (known: eureka, v2)"),
+            "{unk}"
+        );
         let arr = s.handle(&format!("gpp/1 project temporary=ghost\n{VEC_ADD}"), 0);
         assert!(arr.contains("unknown-array"), "{arr}");
         assert_eq!(s.snapshot(0).served_err, 3);
@@ -726,6 +778,65 @@ mod tests {
             cal.contains("\"ok\":true") && cal.contains("mean_error_pct"),
             "{cal}"
         );
+    }
+
+    #[test]
+    fn stats_break_out_per_machine() {
+        let s = state();
+        s.handle(&payload("project", VEC_ADD), 0);
+        s.handle(&payload("project", VEC_ADD), 0);
+        s.handle(&payload("project machine=v2", VEC_ADD), 0);
+        let snap = s.snapshot(0);
+        let eureka = &snap.machines.iter().find(|(n, _)| n == "eureka").unwrap().1;
+        let v2 = &snap.machines.iter().find(|(n, _)| n == "v2").unwrap().1;
+        assert_eq!(
+            (eureka.requests, eureka.proj_misses, eureka.proj_hits),
+            (2, 1, 1)
+        );
+        assert_eq!((eureka.calib_misses, eureka.calib_hits), (1, 1));
+        assert_eq!((v2.requests, v2.proj_misses, v2.calib_misses), (1, 1, 1));
+        let stats = s.handle("gpp/1 stats", 0);
+        assert!(stats.contains("\"machines\":["), "{stats}");
+        assert!(
+            stats.contains("{\"machine\":\"eureka\",\"requests\":2"),
+            "{stats}"
+        );
+    }
+
+    #[test]
+    fn custom_registry_serves_extra_and_replay_machines() {
+        use grophecy::machine::{BusSpec, ReplayTrace};
+        let mut registry = MachineRegistry::builtin();
+        let mut recorded = grophecy::MachineConfig::anl_eureka_node(0);
+        recorded.id = "recorded".into();
+        recorded.bus = BusSpec::Replay(ReplayTrace {
+            label: "trace".into(),
+            samples: vec![
+                (1, Direction::HostToDevice, MemType::Pinned, 9.9e-6),
+                (536870912, Direction::HostToDevice, MemType::Pinned, 0.215),
+                (1, Direction::DeviceToHost, MemType::Pinned, 1.13e-5),
+                (536870912, Direction::DeviceToHost, MemType::Pinned, 0.216),
+            ],
+        });
+        registry.insert(recorded);
+        let s = ServiceState::new(ServeConfig {
+            machines: Arc::new(registry),
+            ..ServeConfig::default()
+        });
+        let out = s.handle(&payload("project machine=recorded", VEC_ADD), 0);
+        assert!(out.contains("\"ok\":true"), "{out}");
+        assert!(out.contains("\"machine\":\"recorded\""), "{out}");
+        // Deterministic: a replay bus has no fresh noise, so projecting at
+        // another seed gives the identical pcie model.
+        let again = s.handle(&payload("project machine=recorded seed=99", VEC_ADD), 0);
+        let pcie = |r: &str| {
+            let at = r.find("\"pcie\"").unwrap();
+            r[at..at + 120].to_string()
+        };
+        assert_eq!(pcie(&out), pcie(&again));
+        // Unknown names list the extended registry.
+        let unk = s.handle(&payload("project machine=nope", VEC_ADD), 0);
+        assert!(unk.contains("(known: eureka, recorded, v2)"), "{unk}");
     }
 
     #[test]

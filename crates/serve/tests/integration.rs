@@ -3,7 +3,10 @@
 //! bit-identical responses, plus backpressure and shutdown-drain checks.
 
 use gpp_serve::{Client, Command, Request, ServeConfig, Server, ServiceState};
+use grophecy::machine::{BusSpec, ReplayTrace};
+use grophecy::{MachineConfig, MachineRegistry};
 use std::net::TcpStream;
+use std::sync::Arc;
 use std::time::Duration;
 
 const VECTOR_ADD: &str = include_str!("../../../skeletons/vector_add.gsk");
@@ -105,6 +108,102 @@ fn repeated_request_hits_projection_cache() {
     assert!(stats.contains("\"projection_misses\":1"), "stats: {stats}");
     assert!(stats.contains("\"calibration_hits\":1"), "stats: {stats}");
     assert!(stats.contains("\"calibration_misses\":1"), "stats: {stats}");
+    handle.shutdown_and_join().unwrap();
+}
+
+/// The built-ins plus one replay-bus machine whose samples pin the bus
+/// model to known latencies/bandwidths, as a fleet of three targets.
+fn fleet_registry() -> MachineRegistry {
+    use gpp_pcie::{Direction, MemType};
+    let mut registry = MachineRegistry::builtin();
+    let mut recorded = MachineConfig::anl_eureka_node(0);
+    recorded.id = "recorded".to_string();
+    recorded.name = "Replayed measurement run".to_string();
+    recorded.bus = BusSpec::Replay(ReplayTrace {
+        label: "fleet-trace".to_string(),
+        samples: vec![
+            (1, Direction::HostToDevice, MemType::Pinned, 9.7e-6),
+            (536870912, Direction::HostToDevice, MemType::Pinned, 0.204),
+            (1, Direction::DeviceToHost, MemType::Pinned, 1.08e-5),
+            (536870912, Direction::DeviceToHost, MemType::Pinned, 0.209),
+            (1, Direction::HostToDevice, MemType::Pageable, 2.9e-5),
+            (536870912, Direction::HostToDevice, MemType::Pageable, 0.387),
+            (1, Direction::DeviceToHost, MemType::Pageable, 3.1e-5),
+            (536870912, Direction::DeviceToHost, MemType::Pageable, 0.391),
+        ],
+    });
+    registry.insert(recorded);
+    registry
+}
+
+#[test]
+fn one_request_per_registered_machine_routes_and_caches_per_machine() {
+    let registry = Arc::new(fleet_registry());
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        machines: Arc::clone(&registry),
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(config).unwrap();
+    let handle = server.spawn().unwrap();
+    let mut client = Client::connect(handle.addr(), CLIENT_TIMEOUT).unwrap();
+
+    let names = registry.names();
+    assert_eq!(names, vec!["eureka", "recorded", "v2"]);
+    let mut replies = Vec::new();
+    for name in &names {
+        let mut req = project_request(VECTOR_ADD, 2013);
+        req.machine = name.clone();
+        let first = client.call(&req).unwrap();
+        assert!(first.contains("\"ok\":true"), "{name}: {first}");
+        assert!(
+            first.contains(&format!("\"machine\":\"{name}\"")),
+            "{name}: {first}"
+        );
+        // Deterministic: the same request replays bit-identically (modulo
+        // the memo flag), and the repeat hits this machine's cache.
+        let second = client.call(&req).unwrap();
+        assert_eq!(
+            first.replace("\"cached\":false", "\"cached\":true"),
+            second,
+            "{name}: repeat diverged"
+        );
+        replies.push(first);
+    }
+    // Distinct machines produce distinct projections.
+    for i in 0..replies.len() {
+        for j in (i + 1)..replies.len() {
+            assert_ne!(
+                replies[i], replies[j],
+                "machines {} and {} projected identically",
+                names[i], names[j]
+            );
+        }
+    }
+
+    // Each machine got its own calibration and projection entry, and the
+    // stats command breaks the traffic out per machine.
+    let snap = handle.state().snapshot(0);
+    assert_eq!(snap.calib_cache_len, names.len());
+    assert_eq!(snap.proj_cache_len, names.len());
+    for (name, row) in &snap.machines {
+        assert!(names.contains(name), "unexpected stats row {name}");
+        assert_eq!((row.requests, row.proj_misses, row.proj_hits), (2, 1, 1));
+        assert_eq!(row.calib_misses, 1);
+    }
+    let stats = client.call(&Request::new(Command::Stats)).unwrap();
+    assert!(
+        stats.contains("{\"machine\":\"recorded\",\"requests\":2"),
+        "stats: {stats}"
+    );
+
+    // A name outside the registry gets the structured machine error with
+    // the fleet's roster.
+    let mut bad = project_request(VECTOR_ADD, 2013);
+    bad.machine = "cray-1".to_string();
+    let err = client.call(&bad).unwrap();
+    assert!(err.contains("\"kind\":\"machine\""), "{err}");
+    assert!(err.contains("(known: eureka, recorded, v2)"), "{err}");
     handle.shutdown_and_join().unwrap();
 }
 

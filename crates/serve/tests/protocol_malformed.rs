@@ -179,10 +179,7 @@ fn every_error_kind_round_trips_through_the_response_json() {
             "command `project` needs a skeleton body",
         ),
         ("parse", "1: expected `program`"),
-        (
-            "unknown-machine",
-            "unknown machine `cray-1` (known: eureka, v2)",
-        ),
+        ("machine", "unknown machine `cray-1` (known: eureka, v2)"),
         ("unknown-array", "--temporary: no array named `tmp`"),
         ("skeleton", "kernel `k` reads undeclared array"),
         (
