@@ -32,4 +32,11 @@ echo "== chaos suite (pinned fault plan)"
 GPP_FAULT_PLAN='seed=2013;pcie.transfer.error:p=0.02' \
     cargo test $CARGO_FLAGS -q -p gpp-serve --test chaos
 
+echo "== gateway chaos suite (shard kills mid-load, pinned fault plan)"
+# Seeds 7/42/2013 are pinned inside the tests (injected shard-down plans
+# plus a real shard shutdown under concurrent clients); the env var pins
+# the plan for anything that consults GPP_FAULT_PLAN during the run.
+GPP_FAULT_PLAN='seed=7;gateway.shard.down@shard1:after=2' \
+    cargo test $CARGO_FLAGS -q -p gpp-gateway --test chaos
+
 echo "CI OK"

@@ -30,6 +30,10 @@ struct Options {
     workers: usize,
     queue_depth: usize,
     timeout_secs: u64,
+    timeout_ms: Option<u64>,
+    retries: u32,
+    shards: usize,
+    shard_addrs: Vec<String>,
     remote_command: String,
     fault_plan: Option<String>,
 }
@@ -50,6 +54,8 @@ usage:
                                       --check, validate .gmach datasheets
   gpp fmt      <file.gsk>             parse and re-emit (normalize)
   gpp serve    [options]              run the projection service (TCP)
+  gpp gateway  [options]              front N serve shards: consistent-hash
+                                      routing, coalescing, fail-over
   gpp request  [file.gsk] [options]   send one request to a running server
 
 options:
@@ -66,17 +72,30 @@ options:
   --iters N               iteration count for speedups (default 1)
   --temporary NAME        hint: array is a device-side temporary
   --sparse NAME=BYTES     hint: bound a sparse array's useful bytes
-  --addr HOST:PORT        (serve/request) address (default 127.0.0.1:4513)
-  --workers N             (serve) worker threads (default 4)
-  --queue-depth N         (serve) bounded accept queue (default 64)
-  --timeout SECS          (serve/request) per-request budget (default 30)
+  --addr HOST:PORT        (serve/gateway/request) address; serve and
+                          gateway accept port 0 (ephemeral) and print the
+                          bound address on stdout as `GPP_ADDR=<addr>`
+                          (default 127.0.0.1:4513; gateway 127.0.0.1:0)
+  --workers N             (serve/gateway) worker threads (default 4)
+  --queue-depth N         (serve/gateway) bounded accept queue (default 64)
+  --timeout SECS          (serve/gateway/request) per-request budget
+                          (default 30)
+  --timeout-ms MS         (request) per-request budget in milliseconds
+                          (overrides --timeout)
+  --retries N             (request) extra attempts on transport errors and
+                          `busy` replies, exponential backoff (default 0)
+  --shards N              (gateway) spawn N embedded serve shards on
+                          ephemeral ports (each printed as
+                          `GPP_SHARD_ADDR=<addr>`)
+  --shard HOST:PORT       (gateway) add an externally running shard
+                          (repeatable; combines with --shards)
   --command NAME          (request) project|measure|analyze|deps|calibrate|
-                          stats|ping (default project)
+                          stats|ping|health (default project)
   --format json           (lint) one JSON object per file instead of text
   --deny CODE|warnings    (lint) escalate a code (or all warnings) to error
   --allow CODE            (lint) suppress a code (GPP000 cannot be allowed)
   --no-lint               (request) skip the server-side lint gate
-  --fault-plan PLAN       (serve) seeded fault-injection plan, e.g.
+  --fault-plan PLAN       (serve/gateway) seeded fault-injection plan, e.g.
                           `seed=7;pcie.transfer.error:p=0.05` (default:
                           GPP_FAULT_PLAN env, else no faults)
   --help, -h              print this help";
@@ -115,6 +134,10 @@ fn main() -> ExitCode {
         workers: 4,
         queue_depth: 64,
         timeout_secs: 30,
+        timeout_ms: None,
+        retries: 0,
+        shards: 0,
+        shard_addrs: Vec::new(),
         remote_command: "project".into(),
         fault_plan: None,
     };
@@ -219,6 +242,40 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--timeout-ms" => {
+                opt.timeout_ms = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(v) => Some(v),
+                    None => {
+                        eprintln!("--timeout-ms needs an integer (milliseconds)");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--retries" => {
+                opt.retries = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(v) => v,
+                    None => {
+                        eprintln!("--retries needs an integer");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--shards" => {
+                opt.shards = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(v) => v,
+                    None => {
+                        eprintln!("--shards needs an integer");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--shard" => match args.next() {
+                Some(a) => opt.shard_addrs.push(a),
+                None => {
+                    eprintln!("--shard needs HOST:PORT");
+                    return ExitCode::from(2);
+                }
+            },
             "--fault-plan" => match args.next() {
                 Some(p) => opt.fault_plan = Some(p),
                 None => {
@@ -303,6 +360,7 @@ fn main() -> ExitCode {
         "calibrate" => cmd_calibrate(&opt),
         "machines" => cmd_machines(&opt),
         "serve" => cmd_serve(&opt),
+        "gateway" => cmd_gateway(&opt),
         "request" => cmd_request(&opt),
         other => {
             eprintln!("unknown command `{other}`\n");
@@ -604,31 +662,40 @@ fn cmd_analyze(program: &Program, hints: &Hints, _opt: &Options) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_serve(opt: &Options) -> ExitCode {
+/// Resolves the fault plan for a long-running command: `--fault-plan`
+/// wins; otherwise `GPP_FAULT_PLAN`; otherwise no faults. `None` means a
+/// plan was given but does not parse (already reported).
+fn faults_for(opt: &Options, who: &str) -> Option<std::sync::Arc<gpp_fault::FaultInjector>> {
     use gpp_fault::{FaultInjector, FaultPlan};
-    use gpp_serve::{server::signals, ServeConfig, Server};
-    use std::sync::Arc;
-    use std::time::Duration;
-    // --fault-plan wins; otherwise GPP_FAULT_PLAN; otherwise no faults.
     let faults = match &opt.fault_plan {
         Some(spec) => match spec.parse::<FaultPlan>() {
-            Ok(plan) => Arc::new(FaultInjector::new(plan)),
+            Ok(plan) => std::sync::Arc::new(FaultInjector::new(plan)),
             Err(e) => {
                 eprintln!("--fault-plan: {e}");
-                return ExitCode::from(2);
+                return None;
             }
         },
         None => match FaultInjector::from_env() {
             Ok(inj) => inj,
             Err(e) => {
                 eprintln!("{}: {e}", gpp_fault::ENV_FAULT_PLAN);
-                return ExitCode::from(2);
+                return None;
             }
         },
     };
     if faults.is_active() {
-        eprintln!("gpp-serve: fault injection armed: {}", faults.plan());
+        eprintln!("{who}: fault injection armed: {}", faults.plan());
     }
+    Some(faults)
+}
+
+fn cmd_serve(opt: &Options) -> ExitCode {
+    use gpp_serve::{server::signals, ServeConfig, Server};
+    use std::sync::Arc;
+    use std::time::Duration;
+    let Some(faults) = faults_for(opt, "gpp-serve") else {
+        return ExitCode::from(2);
+    };
     let Some(registry) = registry_for(opt) else {
         return ExitCode::from(2);
     };
@@ -651,10 +718,15 @@ fn cmd_serve(opt: &Options) -> ExitCode {
     };
     signals::install();
     match server.local_addr() {
-        Ok(addr) => eprintln!(
-            "gpp-serve listening on {addr} ({} workers, queue {})",
-            opt.workers, opt.queue_depth
-        ),
+        Ok(addr) => {
+            // Machine-parsable bound address (meaningful with --addr
+            // host:0): scripts read this line to find the server.
+            println!("GPP_ADDR={addr}");
+            eprintln!(
+                "gpp-serve listening on {addr} ({} workers, queue {})",
+                opt.workers, opt.queue_depth
+            );
+        }
         Err(e) => eprintln!("gpp-serve listening ({e})"),
     }
     if let Err(e) = server.run() {
@@ -665,12 +737,109 @@ fn cmd_serve(opt: &Options) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_gateway(opt: &Options) -> ExitCode {
+    use gpp_gateway::{Gateway, GatewayConfig};
+    use gpp_serve::{server::signals, ServeConfig, Server};
+    use std::sync::atomic::Ordering;
+    use std::sync::Arc;
+    use std::time::Duration;
+    let Some(faults) = faults_for(opt, "gpp-gateway") else {
+        return ExitCode::from(2);
+    };
+    if opt.shards == 0 && opt.shard_addrs.is_empty() {
+        eprintln!("gpp gateway needs shards: --shards N (embedded) and/or --shard ADDR");
+        return ExitCode::from(2);
+    }
+    let Some(registry) = registry_for(opt) else {
+        return ExitCode::from(2);
+    };
+    let registry = Arc::new(registry);
+    // Embedded shards: in-process gpp-serve instances on ephemeral ports.
+    // They share the gateway's fault plan, so shard-scoped chaos points
+    // (serve.* ones) apply to them too.
+    let mut shard_handles = Vec::new();
+    let mut shard_addrs = Vec::new();
+    for i in 0..opt.shards {
+        let config = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: opt.workers,
+            queue_depth: opt.queue_depth,
+            request_timeout: Duration::from_secs(opt.timeout_secs),
+            faults: faults.clone(),
+            machines: registry.clone(),
+            ..ServeConfig::default()
+        };
+        let handle = match Server::bind(config).and_then(Server::spawn) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("cannot start embedded shard {i}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("GPP_SHARD_ADDR={}", handle.addr());
+        shard_addrs.push(handle.addr().to_string());
+        shard_handles.push(handle);
+    }
+    shard_addrs.extend(opt.shard_addrs.iter().cloned());
+    let config = GatewayConfig {
+        addr: if opt.addr == "127.0.0.1:4513" {
+            // The serve default port would collide with a local shard
+            // fleet; the gateway defaults to an ephemeral port instead.
+            "127.0.0.1:0".to_string()
+        } else {
+            opt.addr.clone()
+        },
+        workers: opt.workers,
+        queue_depth: opt.queue_depth,
+        request_timeout: Duration::from_secs(opt.timeout_secs),
+        faults,
+        ..GatewayConfig::default()
+    };
+    let gateway = match Gateway::bind(config, shard_addrs) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("cannot bind gateway: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    signals::install();
+    match gateway.local_addr() {
+        Ok(addr) => {
+            println!("GPP_ADDR={addr}");
+            eprintln!(
+                "gpp-gateway listening on {addr} ({} shard(s), {} workers)",
+                gateway.state().pool.len(),
+                opt.workers
+            );
+        }
+        Err(e) => eprintln!("gpp-gateway listening ({e})"),
+    }
+    // Gateway::run polls only its own flag; relay SIGINT/SIGTERM to it.
+    let flag = gateway.shutdown_flag();
+    std::thread::spawn(move || loop {
+        if signals::requested() {
+            flag.store(true, Ordering::SeqCst);
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    });
+    if let Err(e) = gateway.run() {
+        eprintln!("gpp-gateway failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    for handle in shard_handles {
+        let _ = handle.shutdown_and_join();
+    }
+    eprintln!("gpp-gateway: drained and stopped");
+    ExitCode::SUCCESS
+}
+
 fn cmd_request(opt: &Options) -> ExitCode {
-    use gpp_serve::{request_once, Command, Request};
+    use gpp_serve::{request_with_retries, Command, Request};
     use std::time::Duration;
     let Some(command) = Command::parse(&opt.remote_command) else {
         eprintln!(
-            "unknown request command `{}` (known: project, measure, analyze, deps, calibrate, stats, ping)",
+            "unknown request command `{}` (known: project, measure, analyze, deps, calibrate, stats, ping, health)",
             opt.remote_command
         );
         return ExitCode::from(2);
@@ -695,7 +864,17 @@ fn cmd_request(opt: &Options) -> ExitCode {
             }
         };
     }
-    match request_once(&opt.addr, &req, Duration::from_secs(opt.timeout_secs)) {
+    let timeout = match opt.timeout_ms {
+        Some(ms) => Duration::from_millis(ms),
+        None => Duration::from_secs(opt.timeout_secs),
+    };
+    match request_with_retries(
+        opt.addr.as_str(),
+        &req,
+        timeout,
+        opt.retries,
+        Duration::from_millis(100),
+    ) {
         Ok(response) => {
             println!("{response}");
             if response.starts_with("{\"ok\":false") {

@@ -301,3 +301,145 @@ fn bad_inputs_fail_cleanly() {
         .unwrap();
     assert!(!out.status.success());
 }
+
+// ---------------------------------------------------------------------------
+// Long-running modes: `gpp serve` and `gpp gateway` on ephemeral ports.
+
+/// Kills the child process when the test ends (pass or panic).
+struct Daemon(std::process::Child);
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// Spawns `gpp` with the given args, then reads stdout lines until the
+/// expected `PREFIX=value` machine-parsable lines appear (in order),
+/// returning their values.
+fn spawn_daemon(args: &[&str], prefixes: &[&str]) -> (Daemon, Vec<String>) {
+    use std::io::BufRead;
+    let mut child = gpp()
+        .args(args)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    let stdout = child.stdout.take().unwrap();
+    let mut daemon = Daemon(child);
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let mut values = Vec::new();
+    for prefix in prefixes {
+        let want = format!("{prefix}=");
+        loop {
+            let Some(Ok(line)) = lines.next() else {
+                let mut err = String::new();
+                if let Some(mut stderr) = daemon.0.stderr.take() {
+                    use std::io::Read;
+                    let _ = stderr.read_to_string(&mut err);
+                }
+                panic!("gpp {args:?} exited before printing {want}*: {err}");
+            };
+            if let Some(value) = line.strip_prefix(&want) {
+                values.push(value.to_string());
+                break;
+            }
+        }
+    }
+    (daemon, values)
+}
+
+#[test]
+fn serve_binds_port_zero_and_prints_machine_parsable_addr() {
+    let (_daemon, values) = spawn_daemon(
+        &["serve", "--addr", "127.0.0.1:0", "--workers", "1"],
+        &["GPP_ADDR"],
+    );
+    let addr = &values[0];
+    assert_ne!(addr.rsplit(':').next().unwrap(), "0", "real port: {addr}");
+
+    // `gpp request` reaches it, with the timeout/retry knobs accepted.
+    let out = gpp()
+        .args([
+            "request",
+            "--addr",
+            addr,
+            "--command",
+            "ping",
+            "--timeout-ms",
+            "5000",
+            "--retries",
+            "2",
+        ])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("\"ok\":true"), "{stdout}");
+}
+
+#[test]
+fn gateway_spawns_shards_and_prints_machine_parsable_addrs() {
+    let (_daemon, values) = spawn_daemon(
+        &["gateway", "--shards", "2", "--workers", "1"],
+        &["GPP_SHARD_ADDR", "GPP_SHARD_ADDR", "GPP_ADDR"],
+    );
+    let gateway_addr = &values[2];
+    assert_ne!(values[0], values[1], "shards get distinct ports");
+
+    // The gateway answers health with its role and pool occupancy.
+    let out = gpp()
+        .args(["request", "--addr", gateway_addr, "--command", "health"])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("\"role\":\"gateway\""), "{stdout}");
+    assert!(stdout.contains("\"healthy_shards\":2"), "{stdout}");
+
+    // And forwards a projection to a shard, fingerprint included.
+    let out = gpp()
+        .args([
+            "request",
+            "--addr",
+            gateway_addr,
+            "--command",
+            "project",
+            &skeleton_path("vector_add.gsk"),
+        ])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("\"fingerprint\":\""), "{stdout}");
+}
+
+#[test]
+fn request_retries_back_off_before_giving_up() {
+    // Nothing listens on port 1; with 2 retries at 100 ms base backoff
+    // the attempts land at +0, +100, +200 ms before failing.
+    let started = std::time::Instant::now();
+    let out = gpp()
+        .args([
+            "request",
+            "--addr",
+            "127.0.0.1:1",
+            "--command",
+            "ping",
+            "--retries",
+            "2",
+            "--timeout-ms",
+            "1000",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("failed"), "{stderr}");
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed >= std::time::Duration::from_millis(250),
+        "retries should have backed off: {elapsed:?}"
+    );
+}

@@ -26,6 +26,10 @@ pub enum Json {
     Arr(Vec<Json>),
     /// An object with insertion-ordered keys.
     Obj(Vec<(String, Json)>),
+    /// Pre-rendered JSON spliced in verbatim. The caller guarantees the
+    /// string is valid JSON — used when a reply embeds other replies
+    /// byte-for-byte (the `batch` frame).
+    Raw(String),
 }
 
 impl Json {
@@ -99,6 +103,7 @@ impl Json {
                 }
                 out.push('}');
             }
+            Json::Raw(json) => out.push_str(json),
         }
     }
 }

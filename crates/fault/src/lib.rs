@@ -79,6 +79,17 @@ pub const SERVE_FRAME_CORRUPT: &str = "serve.frame.corrupt";
 /// (consulted once per attempt — the knob for "re-calibration keeps
 /// failing" scenarios that must fall back to the last-good cache).
 pub const SERVE_CALIBRATE_FAIL: &str = "serve.calibrate.fail";
+/// Fault point: the gateway's forward to a shard fails as if the shard
+/// were dead (consulted once per forward attempt; scope it with
+/// `gateway.shard.down@shard1` to kill one shard of a pool). The gateway
+/// marks the shard unhealthy and fails over along the hash ring.
+pub const GATEWAY_SHARD_DOWN: &str = "gateway.shard.down";
+/// Fault point: a gateway→shard forward stalls — the gateway sleeps for
+/// the rule's `factor`, interpreted as **milliseconds**, before issuing
+/// the upstream call (scopeable per shard like
+/// [`GATEWAY_SHARD_DOWN`]). The chaos knob for widening the in-flight
+/// window that single-flight coalescing collapses.
+pub const GATEWAY_SHARD_SLOW: &str = "gateway.shard.slow";
 
 /// Every fault point the stack consults, for docs and plan validation
 /// diagnostics (plans may name other points; unknown points simply never
@@ -91,6 +102,8 @@ pub const KNOWN_POINTS: &[&str] = &[
     SERVE_WORKER_PANIC,
     SERVE_FRAME_CORRUPT,
     SERVE_CALIBRATE_FAIL,
+    GATEWAY_SHARD_DOWN,
+    GATEWAY_SHARD_SLOW,
 ];
 
 /// The machine-scoped spelling of a fault point: `point@machine`.

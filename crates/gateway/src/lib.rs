@@ -1,0 +1,538 @@
+//! `gpp-gateway`: a sharding front-end for `gpp-serve`.
+//!
+//! One gateway fronts N `gpp-serve` shards and speaks the same `gpp/1`
+//! framed protocol on both sides, so clients point at the gateway and
+//! notice nothing — except that the pool scales and survives shard death:
+//!
+//! * **consistent-hash routing** ([`ring`]) — requests are routed on
+//!   (machine, program structural fingerprint), so identical programs for
+//!   a machine always land on the shard whose calibration and projection
+//!   caches are already warm for them;
+//! * **single-flight coalescing** ([`flight`]) — concurrent identical
+//!   projections collapse into one upstream call; followers get a copy of
+//!   the leader's reply (projections are pure functions of the payload,
+//!   so the bytes are exactly what each would have received);
+//! * **batch fan-out** — a `batch` frame is unpacked, each sub-request
+//!   routed independently, and the sub-replies reassembled verbatim with
+//!   [`gpp_serve::protocol::batch_response`] — bit-for-bit what a single
+//!   shard would have produced;
+//! * **health-checked fail-over** ([`pool`]) — dead shards are evicted
+//!   (fail-fast on forward errors, probing in the background), requests
+//!   re-route along the ring's successor order, and recovered shards are
+//!   re-admitted automatically.
+//!
+//! Because every shard computes bit-identical replies for a given payload
+//! (calibration and projection are deterministic in (machine, seed)),
+//! fail-over is invisible: the chaos suite kills shards mid-load and
+//! asserts the full reply set equals a single-shard no-fault run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flight;
+pub mod pool;
+pub mod ring;
+
+use flight::{Joined, SingleFlight};
+use gpp_fault::FaultInjector;
+use gpp_serve::cache::fnv1a;
+use gpp_serve::protocol::{
+    batch_response, read_frame_limited, write_frame, Command, FrameError, ProtocolError, Request,
+};
+use gpp_serve::service::{busy_response, error_json};
+use gpp_serve::DeadlineRead;
+use grophecy::report::Json;
+use pool::ShardPool;
+use ring::routing_key;
+use std::io::{self};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tunables for one gateway instance.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Listen address (port 0 = ephemeral).
+    pub addr: String,
+    /// Worker threads handling client connections.
+    pub workers: usize,
+    /// Bounded accept-queue depth; connections beyond it get `busy`.
+    pub queue_depth: usize,
+    /// Per-connection read budget and upstream forward timeout.
+    pub request_timeout: Duration,
+    /// How often a healthy shard is re-probed.
+    pub probe_interval: Duration,
+    /// Base backoff before re-probing an unhealthy shard; doubles with
+    /// the failure streak.
+    pub probe_backoff: Duration,
+    /// Largest accepted request frame.
+    pub max_frame_bytes: usize,
+    /// The fault plan in force (for `gateway.shard.*` chaos points).
+    pub faults: Arc<FaultInjector>,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_depth: 64,
+            request_timeout: Duration::from_secs(30),
+            probe_interval: Duration::from_millis(500),
+            probe_backoff: Duration::from_millis(25),
+            max_frame_bytes: 8 << 20,
+            faults: FaultInjector::disabled(),
+        }
+    }
+}
+
+/// Monotonic gateway counters (all relaxed; read by `stats`).
+#[derive(Default)]
+pub struct GatewayMetrics {
+    /// Requests answered (any outcome).
+    pub served_ok: AtomicU64,
+    /// Requests answered with `"ok":false`.
+    pub served_err: AtomicU64,
+    /// Requests forwarded upstream.
+    pub routed_total: AtomicU64,
+    /// Requests answered from another caller's in-flight reply.
+    pub coalesced: AtomicU64,
+    /// Forwards that had to move past the primary shard.
+    pub failovers: AtomicU64,
+    /// Requests no shard could answer.
+    pub unavailable: AtomicU64,
+    /// Batch frames unpacked.
+    pub batch_frames: AtomicU64,
+    /// Sub-requests carried by those frames.
+    pub batch_subs: AtomicU64,
+    /// Connections rejected `busy` at the accept queue.
+    pub rejected_busy: AtomicU64,
+}
+
+impl GatewayMetrics {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Shared state behind every gateway worker. Handlers are pure functions
+/// of (state, payload) — tests drive them without sockets.
+pub struct GatewayState {
+    /// The configuration in force.
+    pub config: GatewayConfig,
+    /// The shard pool and its ring.
+    pub pool: ShardPool,
+    /// The single-flight coalescing map.
+    pub flights: SingleFlight,
+    /// Gateway counters.
+    pub metrics: GatewayMetrics,
+}
+
+impl GatewayState {
+    /// Builds the state for a pool of shard addresses.
+    pub fn new(config: GatewayConfig, shard_addrs: Vec<String>) -> GatewayState {
+        GatewayState {
+            flights: SingleFlight::new(config.request_timeout),
+            pool: ShardPool::new(shard_addrs),
+            metrics: GatewayMetrics::default(),
+            config,
+        }
+    }
+
+    /// Decodes and executes one request payload, returning the reply
+    /// JSON: locally for `ping`/`health`/`stats` and parse errors,
+    /// routed upstream for everything else.
+    pub fn handle(&self, payload: &str) -> String {
+        let reply = match Request::decode(payload) {
+            // Same mapping as the shard's own handler, so a malformed
+            // frame gets byte-identical bytes from gateway and shard.
+            Err(e) => error_json(&ProtocolError::new("parse", e.to_string())).render(),
+            Ok(req) => match req.command {
+                Command::Ping => Json::obj([
+                    ("ok", Json::Bool(true)),
+                    ("command", Json::Str("ping".into())),
+                ])
+                .render(),
+                Command::Health => self.health_json().render(),
+                Command::Stats => self.stats_json().render(),
+                Command::Batch => self.handle_batch(&req),
+                _ => self.route_one(payload, &req),
+            },
+        };
+        if reply.starts_with("{\"ok\":false") {
+            GatewayMetrics::bump(&self.metrics.served_err);
+        } else {
+            GatewayMetrics::bump(&self.metrics.served_ok);
+        }
+        reply
+    }
+
+    /// Unpacks a batch, routes every sub-request independently (each to
+    /// its own ring position), and reassembles the sub-replies verbatim.
+    fn handle_batch(&self, req: &Request) -> String {
+        GatewayMetrics::bump(&self.metrics.batch_frames);
+        let replies: Vec<String> = req
+            .batch
+            .iter()
+            .map(|sub| {
+                GatewayMetrics::bump(&self.metrics.batch_subs);
+                match Request::decode(sub) {
+                    Err(e) => error_json(&ProtocolError::new("parse", e.to_string())).render(),
+                    Ok(sub_req) => match sub_req.command {
+                        Command::Ping => Json::obj([
+                            ("ok", Json::Bool(true)),
+                            ("command", Json::Str("ping".into())),
+                        ])
+                        .render(),
+                        // Embedded stats/health describe the process that
+                        // answers them (load-dependent by nature), so the
+                        // gateway answers with its own view.
+                        Command::Health => self.health_json().render(),
+                        Command::Stats => self.stats_json().render(),
+                        Command::Batch => unreachable!("decoder rejects nested batches"),
+                        _ => self.route_one(sub, &sub_req),
+                    },
+                }
+            })
+            .collect();
+        batch_response(&replies)
+    }
+
+    /// Routes one skeleton-bearing (or calibrate) request: computes the
+    /// routing key, coalesces identical in-flight projections, and
+    /// forwards along the ring's fail-over order.
+    fn route_one(&self, payload: &str, req: &Request) -> String {
+        let fingerprint = structural_fingerprint(req, payload);
+        let key = routing_key(&req.machine, fingerprint);
+        // Coalescing is for `project` only: the reply is a pure function
+        // of the payload and the flight key includes the full payload
+        // hash, so leader and follower replies are interchangeable.
+        if req.command == Command::Project {
+            let flight_key =
+                (u128::from(fnv1a(payload.as_bytes())) << 64) ^ fingerprint ^ u128::from(key);
+            match self.flights.join(flight_key) {
+                Joined::Follower(reply) => {
+                    GatewayMetrics::bump(&self.metrics.coalesced);
+                    return reply;
+                }
+                Joined::Leader(guard) => {
+                    let reply = self.forward_failover(payload, key);
+                    guard.complete(&reply);
+                    return reply;
+                }
+                Joined::Orphaned => return self.forward_failover(payload, key),
+            }
+        }
+        self.forward_failover(payload, key)
+    }
+
+    /// Tries the key's shards in ring order: healthy ones first, then —
+    /// if every healthy attempt failed — the evicted ones as a last
+    /// resort (fail-fast marking may be stale). Every failure marks the
+    /// shard unhealthy so later requests skip it immediately.
+    fn forward_failover(&self, payload: &str, key: u64) -> String {
+        GatewayMetrics::bump(&self.metrics.routed_total);
+        let candidates = self.pool.route(key);
+        let timeout = self.config.request_timeout;
+        let faults = &self.config.faults;
+        // Snapshot health up front: healthy shards first (ring order),
+        // then the evicted ones as a last resort — fail-fast marking may
+        // be stale, and a full pool of "unhealthy" shards must still get
+        // one attempt each rather than an instant `unavailable`.
+        let healthy_first: Vec<_> = candidates
+            .iter()
+            .filter(|s| s.is_healthy())
+            .chain(candidates.iter().filter(|s| !s.is_healthy()))
+            .collect();
+        let mut tried = 0usize;
+        for shard in healthy_first {
+            tried += 1;
+            if tried > 1 {
+                GatewayMetrics::bump(&self.metrics.failovers);
+            }
+            match shard.forward(payload, timeout, faults) {
+                Ok(reply) => {
+                    shard.mark_healthy(self.config.probe_interval);
+                    shard.routed.fetch_add(1, Ordering::Relaxed);
+                    return reply;
+                }
+                Err(_) => {
+                    shard.forward_errors.fetch_add(1, Ordering::Relaxed);
+                    shard.mark_failed(self.config.probe_backoff);
+                }
+            }
+        }
+        GatewayMetrics::bump(&self.metrics.unavailable);
+        error_json(&ProtocolError::new(
+            "unavailable",
+            format!(
+                "no shard answered after {tried} attempt(s) across {} shard(s)",
+                candidates.len()
+            ),
+        ))
+        .render()
+    }
+
+    /// The gateway's `health` reply: its role and pool occupancy.
+    fn health_json(&self) -> Json {
+        Json::obj([
+            ("ok", Json::Bool(true)),
+            ("command", Json::Str("health".into())),
+            ("role", Json::Str("gateway".into())),
+            ("shards", Json::Num(self.pool.len() as f64)),
+            (
+                "healthy_shards",
+                Json::Num(self.pool.healthy_count() as f64),
+            ),
+        ])
+    }
+
+    /// The gateway's `stats` reply: per-shard health and routed counts
+    /// plus the coalescing and fail-over counters.
+    fn stats_json(&self) -> Json {
+        let m = &self.metrics;
+        let load = |c: &AtomicU64| Json::Num(c.load(Ordering::Relaxed) as f64);
+        Json::obj([
+            ("ok", Json::Bool(true)),
+            ("command", Json::Str("stats".into())),
+            (
+                "gateway",
+                Json::obj([
+                    (
+                        "shards",
+                        Json::Arr(
+                            self.pool
+                                .shards()
+                                .iter()
+                                .map(|s| {
+                                    Json::obj([
+                                        ("label", Json::Str(s.label.clone())),
+                                        ("addr", Json::Str(s.addr.clone())),
+                                        ("healthy", Json::Bool(s.is_healthy())),
+                                        ("routed", load(&s.routed)),
+                                        ("forward_errors", load(&s.forward_errors)),
+                                        ("probe_failures", load(&s.probe_failures)),
+                                        ("readmissions", load(&s.readmissions)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    ("served_ok", load(&m.served_ok)),
+                    ("served_err", load(&m.served_err)),
+                    ("routed_total", load(&m.routed_total)),
+                    ("coalesced", load(&m.coalesced)),
+                    ("failovers", load(&m.failovers)),
+                    ("unavailable", load(&m.unavailable)),
+                    ("batch_frames", load(&m.batch_frames)),
+                    ("batch_subs", load(&m.batch_subs)),
+                    ("rejected_busy", load(&m.rejected_busy)),
+                    ("in_flight", Json::Num(self.flights.in_flight() as f64)),
+                ]),
+            ),
+        ])
+    }
+
+    /// Marks one busy rejection (called by the acceptor).
+    pub fn note_busy(&self) {
+        GatewayMetrics::bump(&self.metrics.rejected_busy);
+    }
+}
+
+/// The routing fingerprint for a request: the program's structural
+/// fingerprint when the skeleton parses, else a content hash of the
+/// whole payload (malformed skeletons still route somewhere definite,
+/// and the shard reports the parse error).
+fn structural_fingerprint(req: &Request, payload: &str) -> u128 {
+    if req.command.needs_skeleton() {
+        if let Ok(program) = gpp_skeleton::text::parse(&req.skeleton) {
+            return gpp_gpu_model::program_fingerprint(&program);
+        }
+    }
+    u128::from(fnv1a(payload.as_bytes()))
+}
+
+/// How often idle loops re-check the shutdown flag.
+const POLL: Duration = Duration::from_millis(10);
+
+/// A bound, ready-to-run gateway.
+pub struct Gateway {
+    state: Arc<GatewayState>,
+    listener: TcpListener,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Gateway {
+    /// Binds the configured address (port 0 gives an ephemeral port).
+    pub fn bind(config: GatewayConfig, shard_addrs: Vec<String>) -> io::Result<Gateway> {
+        let listener = TcpListener::bind(&config.addr)?;
+        Ok(Gateway {
+            state: Arc::new(GatewayState::new(config, shard_addrs)),
+            listener,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The flag that stops the gateway when set.
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        self.shutdown.clone()
+    }
+
+    /// Shared state (stats, pool) — for embedding and tests.
+    pub fn state(&self) -> Arc<GatewayState> {
+        self.state.clone()
+    }
+
+    /// Runs until the shutdown flag is set (blocking). Accepted
+    /// connections drain before return; the prober thread stops with the
+    /// accept loop.
+    pub fn run(self) -> io::Result<()> {
+        let Gateway {
+            state,
+            listener,
+            shutdown,
+        } = self;
+        listener.set_nonblocking(true)?;
+        let workers = state.config.workers.max(1);
+        let (tx, rx) = crossbeam::channel::bounded::<TcpStream>(state.config.queue_depth.max(1));
+
+        crossbeam::thread::scope(|scope| {
+            // Background prober: evicts dead shards, re-admits recovered
+            // ones. Exits with the shutdown flag.
+            {
+                let state = state.clone();
+                let shutdown = shutdown.clone();
+                scope.spawn(move |_| {
+                    while !shutdown.load(Ordering::SeqCst) {
+                        state.pool.probe_due(
+                            state.config.probe_interval,
+                            state.config.probe_backoff,
+                            state.config.request_timeout.min(Duration::from_secs(2)),
+                            &state.config.faults,
+                        );
+                        std::thread::sleep(POLL);
+                    }
+                });
+            }
+            for _ in 0..workers {
+                let rx = rx.clone();
+                let state = state.clone();
+                let shutdown = shutdown.clone();
+                scope.spawn(move |_| {
+                    while let Ok(stream) = rx.recv() {
+                        let _ = serve_connection(stream, &state, &shutdown);
+                    }
+                });
+            }
+            loop {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        if let Err(crossbeam::channel::TrySendError::Full(stream)) =
+                            tx.try_send(stream)
+                        {
+                            state.note_busy();
+                            let mut stream = stream;
+                            let _ = write_frame(&mut stream, &busy_response());
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        eprintln!("gpp-gateway: accept failed: {e}");
+                        std::thread::sleep(POLL);
+                    }
+                }
+            }
+            drop(tx);
+        })
+        .expect("gpp-gateway worker panicked");
+        Ok(())
+    }
+
+    /// Runs the gateway on a background thread; returns a handle with the
+    /// bound address and a clean shutdown path.
+    pub fn spawn(self) -> io::Result<GatewayHandle> {
+        let addr = self.local_addr()?;
+        let shutdown = self.shutdown_flag();
+        let state = self.state();
+        let thread = std::thread::Builder::new()
+            .name("gpp-gateway-acceptor".to_string())
+            .spawn(move || self.run())?;
+        Ok(GatewayHandle {
+            addr,
+            shutdown,
+            state,
+            thread,
+        })
+    }
+}
+
+/// Handle to a gateway running on a background thread.
+pub struct GatewayHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    state: Arc<GatewayState>,
+    thread: std::thread::JoinHandle<io::Result<()>>,
+}
+
+impl GatewayHandle {
+    /// The gateway's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared state (stats, pool).
+    pub fn state(&self) -> Arc<GatewayState> {
+        self.state.clone()
+    }
+
+    /// Requests shutdown and waits for the drain to complete.
+    pub fn shutdown_and_join(self) -> io::Result<()> {
+        self.shutdown.store(true, Ordering::SeqCst);
+        match self.thread.join() {
+            Ok(r) => r,
+            Err(_) => Err(io::Error::other("gpp-gateway thread panicked")),
+        }
+    }
+}
+
+/// Serves one client connection: any number of frames until EOF. Reads
+/// go through [`DeadlineRead`] so an idle or trickling connection can
+/// neither pin a worker past the request timeout nor delay shutdown.
+fn serve_connection(
+    mut stream: TcpStream,
+    state: &GatewayState,
+    shutdown: &AtomicBool,
+) -> io::Result<()> {
+    let budget = state.config.request_timeout;
+    stream.set_write_timeout(Some(budget))?;
+    stream.set_nodelay(true).ok();
+    loop {
+        let mut reader = DeadlineRead::new(&stream, Instant::now() + budget, shutdown);
+        let payload = match read_frame_limited(&mut reader, state.config.max_frame_bytes) {
+            Ok(Some(p)) => p,
+            Ok(None) => return Ok(()),
+            Err(FrameError::TooLarge { declared, max }) => {
+                let reply = error_json(&ProtocolError::new(
+                    "too_large",
+                    format!("request frame of {declared} B exceeds the {max} B limit"),
+                ))
+                .render();
+                write_frame(&mut stream, &reply)?;
+                return Ok(());
+            }
+            Err(FrameError::Io(e)) => return Err(e),
+        };
+        let response = state.handle(&payload);
+        write_frame(&mut stream, &response)?;
+    }
+}

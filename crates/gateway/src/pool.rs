@@ -1,0 +1,250 @@
+//! The health-checked shard pool.
+//!
+//! Each shard is a running `gpp-serve` instance. The pool tracks one
+//! health bit per shard, maintained from two directions:
+//!
+//! * **fail-fast** — a forward that cannot reach its shard marks it
+//!   unhealthy immediately, so the very next request fails over without
+//!   paying a connect timeout;
+//! * **probing** — a background prober sends `health` frames. A healthy
+//!   shard is probed at the configured interval; an unhealthy one is
+//!   re-probed on an exponential backoff and **re-admitted** the moment a
+//!   probe succeeds.
+//!
+//! Fault points [`gpp_fault::GATEWAY_SHARD_DOWN`] (scoped per shard
+//! label) and [`gpp_fault::GATEWAY_SHARD_SLOW`] inject dead and slow
+//! shards without touching real processes, which is how the chaos suite
+//! kills shards mid-load reproducibly.
+
+use crate::ring::HashRing;
+use gpp_fault::FaultInjector;
+use gpp_serve::client::{backoff_delay, Client};
+use parking_lot::Mutex;
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Backoff exponent cap for unhealthy-shard re-probes: failures beyond
+/// this stop lengthening the wait (base × 2⁷ ≈ two orders of magnitude).
+const MAX_BACKOFF_EXP: u32 = 8;
+
+/// One upstream `gpp-serve` shard and its health state.
+pub struct Shard {
+    /// Stable ring label (`shard0`, `shard1`, ...); also the scope chaos
+    /// plans use (`gateway.shard.down@shard1`).
+    pub label: String,
+    /// The shard's TCP address.
+    pub addr: String,
+    healthy: AtomicBool,
+    consecutive_failures: AtomicU32,
+    next_probe: Mutex<Instant>,
+    /// Requests this shard answered through the gateway.
+    pub routed: AtomicU64,
+    /// Forward attempts that failed (marking the shard unhealthy).
+    pub forward_errors: AtomicU64,
+    /// Health probes that failed.
+    pub probe_failures: AtomicU64,
+    /// Times the shard went unhealthy → healthy (probe recoveries).
+    pub readmissions: AtomicU64,
+}
+
+impl Shard {
+    fn new(label: String, addr: String) -> Shard {
+        Shard {
+            label,
+            addr,
+            healthy: AtomicBool::new(true),
+            consecutive_failures: AtomicU32::new(0),
+            next_probe: Mutex::new(Instant::now()),
+            routed: AtomicU64::new(0),
+            forward_errors: AtomicU64::new(0),
+            probe_failures: AtomicU64::new(0),
+            readmissions: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether the shard is currently believed alive.
+    pub fn is_healthy(&self) -> bool {
+        self.healthy.load(Ordering::SeqCst)
+    }
+
+    /// Records a failed contact: the shard leaves the healthy set and its
+    /// next probe backs off exponentially with the failure streak.
+    pub fn mark_failed(&self, probe_backoff: Duration) {
+        self.healthy.store(false, Ordering::SeqCst);
+        let failures = self
+            .consecutive_failures
+            .fetch_add(1, Ordering::SeqCst)
+            .saturating_add(1)
+            .min(MAX_BACKOFF_EXP);
+        *self.next_probe.lock() = Instant::now() + backoff_delay(probe_backoff, failures);
+    }
+
+    /// Records a successful contact; an unhealthy shard is re-admitted.
+    pub fn mark_healthy(&self, probe_interval: Duration) {
+        if !self.healthy.swap(true, Ordering::SeqCst) {
+            self.readmissions.fetch_add(1, Ordering::SeqCst);
+        }
+        self.consecutive_failures.store(0, Ordering::SeqCst);
+        *self.next_probe.lock() = Instant::now() + probe_interval;
+    }
+
+    /// Sends one already-encoded payload to the shard and returns the raw
+    /// reply. Consults the injection points first so chaos plans can kill
+    /// (`gateway.shard.down`) or slow (`gateway.shard.slow`, factor =
+    /// milliseconds) this shard without a real process dying.
+    pub fn forward(
+        &self,
+        payload: &str,
+        timeout: Duration,
+        faults: &FaultInjector,
+    ) -> io::Result<String> {
+        if faults.is_active() {
+            if let Some(ms) =
+                faults.fire_factor_scoped(gpp_fault::GATEWAY_SHARD_SLOW, Some(&self.label))
+            {
+                std::thread::sleep(Duration::from_millis(ms.max(0.0) as u64));
+            }
+            if faults.fires_scoped(gpp_fault::GATEWAY_SHARD_DOWN, Some(&self.label)) {
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionRefused,
+                    format!("injected shard down ({})", self.label),
+                ));
+            }
+        }
+        Client::connect(self.addr.as_str(), timeout)?.call_raw(payload)
+    }
+
+    /// One health probe round-trip. The same injection point applies, so
+    /// an injected-down shard stays evicted until its rule stops firing.
+    fn probe(&self, timeout: Duration, faults: &FaultInjector) -> bool {
+        self.forward("gpp/1 health", timeout, faults)
+            .map(|reply| reply.contains("\"ok\":true"))
+            .unwrap_or(false)
+    }
+}
+
+/// The shard set plus its consistent-hash ring.
+pub struct ShardPool {
+    shards: Vec<Arc<Shard>>,
+    ring: HashRing,
+}
+
+impl ShardPool {
+    /// Builds the pool; shard `i` gets ring label `shard{i}`.
+    pub fn new(addrs: Vec<String>) -> ShardPool {
+        let shards: Vec<Arc<Shard>> = addrs
+            .into_iter()
+            .enumerate()
+            .map(|(i, addr)| Arc::new(Shard::new(format!("shard{i}"), addr)))
+            .collect();
+        let labels: Vec<String> = shards.iter().map(|s| s.label.clone()).collect();
+        ShardPool {
+            ring: HashRing::new(&labels),
+            shards,
+        }
+    }
+
+    /// All shards, in index order.
+    pub fn shards(&self) -> &[Arc<Shard>] {
+        &self.shards
+    }
+
+    /// Number of member shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Shards currently believed alive.
+    pub fn healthy_count(&self) -> usize {
+        self.shards.iter().filter(|s| s.is_healthy()).count()
+    }
+
+    /// The fail-over sequence for a routing key: primary first, then the
+    /// remaining shards in ring order.
+    pub fn route(&self, key: u64) -> Vec<Arc<Shard>> {
+        self.ring
+            .successors(key)
+            .map(|i| self.shards[i].clone())
+            .collect()
+    }
+
+    /// Probes every shard whose probe is due. Called repeatedly by the
+    /// gateway's prober thread.
+    pub fn probe_due(
+        &self,
+        probe_interval: Duration,
+        probe_backoff: Duration,
+        timeout: Duration,
+        faults: &FaultInjector,
+    ) {
+        for shard in &self.shards {
+            if Instant::now() < *shard.next_probe.lock() {
+                continue;
+            }
+            if shard.probe(timeout, faults) {
+                shard.mark_healthy(probe_interval);
+            } else {
+                shard.probe_failures.fetch_add(1, Ordering::SeqCst);
+                shard.mark_failed(probe_backoff);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failed_shard_leaves_and_rejoins() {
+        let pool = ShardPool::new(vec!["127.0.0.1:1".into(), "127.0.0.1:2".into()]);
+        assert_eq!(pool.healthy_count(), 2);
+        pool.shards()[0].mark_failed(Duration::from_millis(1));
+        assert_eq!(pool.healthy_count(), 1);
+        assert!(!pool.shards()[0].is_healthy());
+        pool.shards()[0].mark_healthy(Duration::from_secs(1));
+        assert_eq!(pool.healthy_count(), 2);
+        assert_eq!(pool.shards()[0].readmissions.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn backoff_grows_with_failure_streak() {
+        let shard = Shard::new("shard0".into(), "127.0.0.1:1".into());
+        let base = Duration::from_millis(8);
+        shard.mark_failed(base);
+        let first = *shard.next_probe.lock() - Instant::now();
+        for _ in 0..3 {
+            shard.mark_failed(base);
+        }
+        let later = *shard.next_probe.lock() - Instant::now();
+        assert!(later > first, "{later:?} vs {first:?}");
+    }
+
+    #[test]
+    fn injected_down_fails_forward_without_network() {
+        let faults =
+            gpp_fault::FaultInjector::new(gpp_fault::FaultPlan::empty().with_seed(7).with(
+                &gpp_fault::scoped_point(gpp_fault::GATEWAY_SHARD_DOWN, "shard0"),
+                gpp_fault::Rule::new(gpp_fault::Mode::Always),
+            ));
+        let shard = Shard::new("shard0".into(), "127.0.0.1:9".into());
+        let err = shard
+            .forward("gpp/1 ping", Duration::from_millis(100), &faults)
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused);
+        // Unscoped shard label: the point does not fire, so the forward
+        // fails on the real (dead) address instead — different error.
+        let other = Shard::new("shard1".into(), "127.0.0.1:9".into());
+        let err = other
+            .forward("gpp/1 ping", Duration::from_millis(100), &faults)
+            .unwrap_err();
+        assert_ne!(err.to_string(), "injected shard down (shard1)");
+    }
+}

@@ -46,6 +46,6 @@ pub use project::{
 };
 pub use spec::GpuSpec;
 pub use transform::{
-    candidate_space, synth_memo_stats, synthesize_cached, synthesize_cached_keyed,
-    synthesize_transformed, CharsKey, SynthesizedKernel, Transformation,
+    candidate_space, program_fingerprint, synth_memo_stats, synthesize_cached,
+    synthesize_cached_keyed, synthesize_transformed, CharsKey, SynthesizedKernel, Transformation,
 };

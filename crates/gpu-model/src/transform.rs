@@ -298,6 +298,32 @@ impl CharsKey {
     pub fn of(chars: &KernelCharacteristics) -> CharsKey {
         CharsKey(chars_fingerprint(chars))
     }
+
+    /// The raw 128-bit fingerprint value. Stable across processes (the
+    /// hash has no per-run seeding), so it doubles as a wire-observable
+    /// identity: served `project` replies expose it in hex, and the
+    /// gateway routes and coalesces on it.
+    pub fn value(self) -> u128 {
+        self.0
+    }
+}
+
+/// A 128-bit structural fingerprint of a whole program: the per-kernel
+/// characteristics fingerprints folded in kernel order (FNV-128 style).
+/// Formatting-only differences between two skeleton texts produce the
+/// same fingerprint; any structural change (shapes, accesses, kernel
+/// order) changes it. This is the consistent-hash routing and
+/// single-flight coalescing key used by `gpp gateway`.
+pub fn program_fingerprint(program: &gpp_skeleton::Program) -> u128 {
+    // FNV-128 offset basis / prime.
+    let mut h: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+    h = (h ^ program.kernels.len() as u128).wrapping_mul(PRIME);
+    for kernel in &program.kernels {
+        let f = CharsKey::of(&kernel.characteristics(program)).value();
+        h = (h ^ f).wrapping_mul(PRIME);
+    }
+    h
 }
 
 /// [`synthesize_transformed`] behind a process-wide memo keyed by

@@ -109,6 +109,11 @@ pub struct ProjectionKey {
     pub skeleton_hash: u64,
     /// FNV-1a of the canonical hint fingerprint.
     pub hints_hash: u64,
+    /// Structural program fingerprint
+    /// (`gpp_gpu_model::program_fingerprint`): identical for programs
+    /// whose kernels synthesize the same characteristics. Exposed in
+    /// replies and `stats` memo rows so a gateway can route cache-hot.
+    pub fingerprint: u128,
 }
 
 /// A bounded least-recently-used memo of projections.
@@ -173,6 +178,29 @@ impl ProjectionCache {
         self.inner.read().map.len()
     }
 
+    /// A snapshot of the memo's keys, sorted for stable presentation —
+    /// what the `stats` reply renders as its `projection_memo` rows.
+    pub fn keys(&self) -> Vec<ProjectionKey> {
+        let mut keys: Vec<ProjectionKey> = self.inner.read().map.keys().cloned().collect();
+        keys.sort_by(|a, b| {
+            (
+                &a.machine,
+                a.seed,
+                a.fingerprint,
+                a.skeleton_hash,
+                a.hints_hash,
+            )
+                .cmp(&(
+                    &b.machine,
+                    b.seed,
+                    b.fingerprint,
+                    b.skeleton_hash,
+                    b.hints_hash,
+                ))
+        });
+        keys
+    }
+
     /// Whether the memo is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
@@ -189,6 +217,7 @@ mod tests {
             seed: 1,
             skeleton_hash: n,
             hints_hash: 0,
+            fingerprint: n as u128,
         }
     }
 

@@ -56,3 +56,49 @@ pub fn request_once(
 ) -> io::Result<String> {
     Client::connect(addr, timeout)?.call(request)
 }
+
+/// The standard exponential-backoff delay before retry `attempt`
+/// (1-based): `base * 2^(attempt-1)`, saturating. Attempt 0 — the first
+/// try — waits nothing. Shared by the serve-side calibration retry loop,
+/// the retrying client below, and the gateway's shard re-admission probe.
+pub fn backoff_delay(base: Duration, attempt: u32) -> Duration {
+    if attempt == 0 {
+        return Duration::ZERO;
+    }
+    base.saturating_mul(2u32.saturating_pow(attempt - 1))
+}
+
+/// One-shot with retries: reconnects and resends on transport errors and
+/// on `busy` rejections, sleeping [`backoff_delay`] between attempts.
+/// `retries` is the number of *extra* attempts after the first.
+pub fn request_with_retries(
+    addr: impl ToSocketAddrs + Clone,
+    request: &Request,
+    timeout: Duration,
+    retries: u32,
+    base: Duration,
+) -> io::Result<String> {
+    let mut last_err: Option<io::Error> = None;
+    for attempt in 0..=retries {
+        std::thread::sleep(backoff_delay(base, attempt));
+        match request_once(addr.clone(), request, timeout) {
+            Ok(reply) => {
+                // A busy rejection is retryable by design: the server shed
+                // load and said so. Anything else — success or a
+                // structured error — is final.
+                let busy = crate::protocol::ProtocolError::from_response(&reply)
+                    .is_some_and(|e| e.kind == "busy");
+                if busy && attempt < retries {
+                    last_err = Some(io::Error::new(
+                        io::ErrorKind::WouldBlock,
+                        "server busy after retries",
+                    ));
+                    continue;
+                }
+                return Ok(reply);
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err.unwrap_or_else(|| io::Error::other("request failed with no attempt")))
+}

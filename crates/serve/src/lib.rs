@@ -26,7 +26,7 @@ pub mod protocol;
 pub mod server;
 pub mod service;
 
-pub use client::{request_once, Client};
-pub use protocol::{Command, ProtocolError, Request};
-pub use server::{Server, ServerHandle};
+pub use client::{backoff_delay, request_once, request_with_retries, Client};
+pub use protocol::{batch_response, Command, ProtocolError, Request};
+pub use server::{DeadlineRead, Server, ServerHandle};
 pub use service::{ServeConfig, ServiceState};

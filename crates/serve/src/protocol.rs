@@ -10,11 +10,26 @@
 //! ```
 //!
 //! Commands: `project`, `measure`, `analyze`, `deps`, `calibrate`,
-//! `stats`, `ping`. Options: `machine=<registry name>` (default `eureka`),
-//! `seed=N`, `iters=N`,
+//! `stats`, `ping`, `health`, `batch`. Options: `machine=<registry name>`
+//! (default `eureka`), `seed=N`, `iters=N`,
 //! `temporary=a,b` (device-temporary hint), `sparse=name:bytes,...`
 //! (sparse-bound hint). Responses are a single JSON object:
 //! `{"ok":true,...}` or `{"ok":false,"error":{"kind":...,"message":...}}`.
+//!
+//! # The batch frame
+//!
+//! A `batch` request packs many requests into one frame: the header is
+//! `gpp/1 batch n=<count>` and the body is exactly `count` embedded
+//! frames, each the usual `<decimal-length>\n<payload>` encoding of a
+//! complete non-batch request. The reply is a single JSON object whose
+//! `replies` array carries each sub-reply **verbatim**, in order:
+//!
+//! ```text
+//! {"ok":true,"command":"batch","count":N,"replies":[<r1>,<r2>,...]}
+//! ```
+//!
+//! so `batch(xs)` is bit-for-bit the concatenation of the single-shot
+//! replies for `xs`. Batches do not nest.
 
 use std::io::{self, Read, Write};
 
@@ -23,6 +38,9 @@ pub const MAGIC: &str = "gpp/1";
 
 /// Frames larger than this are rejected (malformed or abusive clients).
 pub const MAX_FRAME_BYTES: usize = 8 << 20;
+
+/// Most sub-requests one `batch` frame may carry.
+pub const MAX_BATCH: usize = 256;
 
 /// A service command.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -41,6 +59,11 @@ pub enum Command {
     Stats,
     /// Liveness probe.
     Ping,
+    /// Health probe: role, machine roster, and coarse served counters —
+    /// what a gateway polls to admit or evict a shard.
+    Health,
+    /// Many embedded requests in one frame, one combined reply out.
+    Batch,
 }
 
 impl Command {
@@ -53,6 +76,8 @@ impl Command {
             "calibrate" => Command::Calibrate,
             "stats" => Command::Stats,
             "ping" => Command::Ping,
+            "health" => Command::Health,
+            "batch" => Command::Batch,
             _ => return None,
         })
     }
@@ -66,6 +91,8 @@ impl Command {
             Command::Calibrate => "calibrate",
             Command::Stats => "stats",
             Command::Ping => "ping",
+            Command::Health => "health",
+            Command::Batch => "batch",
         }
     }
 
@@ -103,6 +130,9 @@ pub struct Request {
     pub lint: bool,
     /// Skeleton source text (commands that need one).
     pub skeleton: String,
+    /// For [`Command::Batch`]: the embedded sub-request payloads, each a
+    /// complete non-batch request (header + body), in frame order.
+    pub batch: Vec<String>,
 }
 
 impl Request {
@@ -117,11 +147,27 @@ impl Request {
             sparse: Vec::new(),
             lint: true,
             skeleton: String::new(),
+            batch: Vec::new(),
         }
+    }
+
+    /// A batch request from already-encoded sub-request payloads.
+    pub fn new_batch(subs: impl IntoIterator<Item = String>) -> Request {
+        let mut req = Request::new(Command::Batch);
+        req.batch = subs.into_iter().collect();
+        req
     }
 
     /// Canonical header + body payload for this request.
     pub fn encode(&self) -> String {
+        if self.command == Command::Batch {
+            let mut out = format!("{MAGIC} batch n={}\n", self.batch.len());
+            for sub in &self.batch {
+                out.push_str(&format!("{}\n", sub.len()));
+                out.push_str(sub);
+            }
+            return out;
+        }
         let mut header = format!("{MAGIC} {}", self.command);
         if self.machine != "eureka" {
             header.push_str(&format!(" machine={}", self.machine));
@@ -173,6 +219,9 @@ impl Request {
             })?,
             None => return Err(ProtocolError::new("bad-command", "missing command")),
         };
+        if command == Command::Batch {
+            return Self::decode_batch(tokens, body);
+        }
         let mut req = Request::new(command);
         for tok in tokens {
             let Some((key, value)) = tok.split_once('=') else {
@@ -251,6 +300,110 @@ impl Request {
         req.skeleton = body.to_string();
         Ok(req)
     }
+
+    /// Parses a `batch` header's remaining tokens and its body of embedded
+    /// frames. The count option is mandatory so a truncated body is always
+    /// distinguishable from a short batch.
+    fn decode_batch<'a>(
+        tokens: impl Iterator<Item = &'a str>,
+        body: &str,
+    ) -> Result<Request, ProtocolError> {
+        let mut count: Option<usize> = None;
+        for tok in tokens {
+            let Some((key, value)) = tok.split_once('=') else {
+                return Err(ProtocolError::new(
+                    "bad-option",
+                    format!("expected key=value, got `{tok}`"),
+                ));
+            };
+            match key {
+                "n" => {
+                    count = Some(value.parse().map_err(|_| {
+                        ProtocolError::new("bad-batch", format!("n=`{value}` is not an integer"))
+                    })?)
+                }
+                _ => {
+                    return Err(ProtocolError::new(
+                        "bad-option",
+                        format!("unknown option `{key}`"),
+                    ))
+                }
+            }
+        }
+        let count = count
+            .ok_or_else(|| ProtocolError::new("bad-batch", "batch needs a count option n=N"))?;
+        if count == 0 || count > MAX_BATCH {
+            return Err(ProtocolError::new(
+                "bad-batch",
+                format!("batch count {count} outside 1..={MAX_BATCH}"),
+            ));
+        }
+        let mut rest = body.as_bytes();
+        let mut batch = Vec::with_capacity(count);
+        for i in 0..count {
+            let sub = match read_frame_limited(&mut rest, MAX_FRAME_BYTES) {
+                Ok(Some(sub)) => sub,
+                Ok(None) => {
+                    return Err(ProtocolError::new(
+                        "bad-batch",
+                        format!("batch declared n={count} but body ends after {i} frames"),
+                    ))
+                }
+                Err(e) => {
+                    return Err(ProtocolError::new(
+                        "bad-batch",
+                        format!("embedded frame {i}: {e}"),
+                    ))
+                }
+            };
+            // Peek at the sub-request's command token: batches do not nest.
+            let sub_command = sub
+                .split('\n')
+                .next()
+                .unwrap_or("")
+                .split_ascii_whitespace()
+                .nth(1)
+                .unwrap_or("");
+            if sub_command == "batch" {
+                return Err(ProtocolError::new(
+                    "bad-batch",
+                    format!("embedded frame {i} is itself a batch; batches do not nest"),
+                ));
+            }
+            batch.push(sub);
+        }
+        if !rest.is_empty() {
+            return Err(ProtocolError::new(
+                "bad-batch",
+                format!(
+                    "{} trailing bytes after the {count} declared frames",
+                    rest.len()
+                ),
+            ));
+        }
+        let mut req = Request::new(Command::Batch);
+        req.batch = batch;
+        Ok(req)
+    }
+}
+
+/// Renders the combined `batch` reply from the sub-replies, splicing each
+/// one in **verbatim** so the batch reply is bit-for-bit the concatenation
+/// of the single-shot replies. Shared by the server and the gateway so
+/// both produce identical bytes for identical work.
+pub fn batch_response(replies: &[String]) -> String {
+    let mut out = format!(
+        "{{\"ok\":true,\"command\":\"batch\",\"count\":{},\"replies\":[",
+        replies.len()
+    );
+    for (i, reply) in replies.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(reply);
+    }
+    out.push_str("]}");
+    out
 }
 
 /// One static-analyzer finding on the wire: carried on a `lint`
@@ -514,6 +667,50 @@ mod tests {
                 .kind,
             "bad-option"
         );
+    }
+
+    #[test]
+    fn batch_roundtrip() {
+        let mut sub = Request::new(Command::Project);
+        sub.seed = 7;
+        sub.skeleton = "program p\n".into();
+        let ping = Request::new(Command::Ping);
+        let req = Request::new_batch([sub.encode(), ping.encode()]);
+        let payload = req.encode();
+        assert!(payload.starts_with("gpp/1 batch n=2\n"));
+        let decoded = Request::decode(&payload).unwrap();
+        assert_eq!(decoded, req);
+        assert_eq!(Request::decode(&decoded.batch[0]).unwrap(), sub);
+    }
+
+    #[test]
+    fn batch_response_concatenates_verbatim() {
+        let replies = vec![r#"{"ok":true,"a":1}"#.to_string(), "null".to_string()];
+        assert_eq!(
+            batch_response(&replies),
+            r#"{"ok":true,"command":"batch","count":2,"replies":[{"ok":true,"a":1},null]}"#
+        );
+        assert_eq!(
+            batch_response(&[]),
+            r#"{"ok":true,"command":"batch","count":0,"replies":[]}"#
+        );
+    }
+
+    #[test]
+    fn batch_decode_rejects_malformed() {
+        for (payload, why) in [
+            ("gpp/1 batch\n", "missing n="),
+            ("gpp/1 batch n=zero\n", "non-integer n"),
+            ("gpp/1 batch n=0\n", "zero count"),
+            (&format!("gpp/1 batch n={}\n", MAX_BATCH + 1), "over cap"),
+            ("gpp/1 batch n=2\n10\ngpp/1 ping", "short body"),
+            ("gpp/1 batch n=1\n10\ngpp/1 pingEXTRA", "trailing bytes"),
+            ("gpp/1 batch n=1\nxyz\nfoo", "garbage length"),
+            ("gpp/1 batch n=1\n15\ngpp/1 batch n=0\n", "nested batch"),
+        ] {
+            let err = Request::decode(payload).unwrap_err();
+            assert_eq!(err.kind, "bad-batch", "{why}: {err}");
+        }
     }
 
     #[test]

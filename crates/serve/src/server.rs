@@ -305,14 +305,16 @@ const READ_POLL: Duration = Duration::from_millis(50);
 /// frame reader treats as a clean close when it arrives between frames
 /// (an *incomplete* frame at shutdown was never an accepted request, so
 /// dropping it keeps the drain guarantee intact).
-struct DeadlineRead<'a> {
+pub struct DeadlineRead<'a> {
     stream: &'a TcpStream,
     deadline: Instant,
     shutdown: &'a AtomicBool,
 }
 
 impl<'a> DeadlineRead<'a> {
-    fn new(stream: &'a TcpStream, deadline: Instant, shutdown: &'a AtomicBool) -> Self {
+    /// A reader over `stream` that returns EOF once `shutdown` is set and
+    /// times out at `deadline`.
+    pub fn new(stream: &'a TcpStream, deadline: Instant, shutdown: &'a AtomicBool) -> Self {
         DeadlineRead {
             stream,
             deadline,

@@ -135,12 +135,52 @@ impl ServiceState {
                 ("command", Json::Str("ping".into())),
             ])),
             Command::Stats => Ok(self.stats_json(queue_depth)),
+            Command::Health => Ok(self.health_json()),
+            Command::Batch => self.cmd_batch(req, queue_depth),
             Command::Calibrate => self.cmd_calibrate(req),
             Command::Project => self.cmd_project(req, start),
             Command::Measure => self.cmd_measure(req, start),
             Command::Analyze => self.cmd_analyze(req),
             Command::Deps => self.cmd_deps(req),
         }
+    }
+
+    /// The `health` response: role, machine roster, and coarse served
+    /// counters — everything a gateway needs to admit or evict this shard.
+    fn health_json(&self) -> Json {
+        let s = self.snapshot(0);
+        Json::obj([
+            ("ok", Json::Bool(true)),
+            ("command", Json::Str("health".into())),
+            ("role", Json::Str("serve".into())),
+            (
+                "machines",
+                Json::Arr(
+                    self.config
+                        .machines
+                        .names()
+                        .into_iter()
+                        .map(Json::Str)
+                        .collect(),
+                ),
+            ),
+            ("served_ok", Json::Num(s.served_ok as f64)),
+            ("served_err", Json::Num(s.served_err as f64)),
+            ("uptime_seconds", Json::Num(s.uptime.as_secs_f64())),
+        ])
+    }
+
+    /// Executes each embedded sub-request through the ordinary
+    /// [`ServiceState::handle`] path, so every sub-reply (and every
+    /// counter bump) is bit-identical to what the same request would have
+    /// produced single-shot.
+    fn cmd_batch(&self, req: &Request, queue_depth: usize) -> Result<Json, ProtocolError> {
+        let replies: Vec<String> = req
+            .batch
+            .iter()
+            .map(|sub| self.handle(sub, queue_depth))
+            .collect();
+        Ok(Json::Raw(crate::protocol::batch_response(&replies)))
     }
 
     fn check_deadline(&self, start: Instant) -> Result<(), ProtocolError> {
@@ -189,7 +229,7 @@ impl ServiceState {
         for attempt in 0..CALIB_ATTEMPTS {
             if attempt > 0 {
                 Metrics::bump(&self.metrics.calib_retries);
-                std::thread::sleep(CALIB_BACKOFF * 2u32.pow(attempt - 1));
+                std::thread::sleep(crate::client::backoff_delay(CALIB_BACKOFF, attempt));
             }
             // One consultation per whole-calibration attempt: the knob
             // chaos plans use to force degraded serving. Plans can scope
@@ -317,12 +357,14 @@ impl ServiceState {
         gro: &Grophecy,
         program: &Program,
         hints: &Hints,
+        fingerprint: u128,
     ) -> (Arc<AppProjection>, bool) {
         let key = ProjectionKey {
             machine: req.machine.clone(),
             seed: req.seed,
             skeleton_hash: fnv1a(text::to_text(program).as_bytes()),
             hints_hash: fnv1a(hints_fingerprint(req).as_bytes()),
+            fingerprint,
         };
         if let Some(p) = self.projections.get(&key) {
             Metrics::bump(&self.metrics.proj_hits);
@@ -344,13 +386,14 @@ impl ServiceState {
         self.check_deadline(start)?;
         let (gro, stale) = self.projector(req)?;
         self.check_deadline(start)?;
+        let fingerprint = gpp_gpu_model::program_fingerprint(&program);
         // Degraded results bypass the projection memo: they were computed
         // from another key's calibration and must not be replayed as
         // fresh once calibration recovers.
         let (proj, cached) = if stale {
             (Arc::new(gro.project(&program, &hints)), false)
         } else {
-            self.project_cached(req, &gro, &program, &hints)
+            self.project_cached(req, &gro, &program, &hints, fingerprint)
         };
         let mut fields = vec![
             ("ok", Json::Bool(true)),
@@ -358,6 +401,7 @@ impl ServiceState {
             ("machine", Json::Str(req.machine.clone())),
             ("seed", Json::Num(req.seed as f64)),
             ("iters", Json::Num(req.iters as f64)),
+            ("fingerprint", Json::Str(format!("{fingerprint:032x}"))),
             ("cached", Json::Bool(cached)),
         ];
         // Only present when true, so fault-free replies stay byte-for-byte
@@ -537,6 +581,25 @@ impl ServiceState {
                     (
                         "calibration_cache_entries",
                         Json::Num(s.calib_cache_len as f64),
+                    ),
+                    (
+                        "projection_memo",
+                        Json::Arr(
+                            self.projections
+                                .keys()
+                                .into_iter()
+                                .map(|k| {
+                                    Json::obj([
+                                        ("machine", Json::Str(k.machine.clone())),
+                                        ("seed", Json::Num(k.seed as f64)),
+                                        (
+                                            "fingerprint",
+                                            Json::Str(format!("{:032x}", k.fingerprint)),
+                                        ),
+                                    ])
+                                })
+                                .collect(),
+                        ),
                     ),
                     (
                         "pool",

@@ -56,6 +56,71 @@ fn decode_rejects_each_malformed_payload_with_the_right_kind() {
             "bad-option",
             "unknown option key",
         ),
+        ("gpp/1 health extra\n", "bad-option", "health bare token"),
+        (
+            "gpp/1 health probe=1\n",
+            "bad-option",
+            "health takes no options",
+        ),
+        ("gpp/1 batch\n", "bad-batch", "batch without n="),
+        ("gpp/1 batch n=\n", "bad-batch", "empty batch count"),
+        (
+            "gpp/1 batch n=two\n",
+            "bad-batch",
+            "non-numeric batch count",
+        ),
+        ("gpp/1 batch n=-1\n", "bad-batch", "negative batch count"),
+        ("gpp/1 batch n=0\n", "bad-batch", "zero batch count"),
+        (
+            "gpp/1 batch n=257\n",
+            "bad-batch",
+            "batch count over the cap",
+        ),
+        (
+            "gpp/1 batch n=99999999999999999999\n",
+            "bad-batch",
+            "batch count overflows usize",
+        ),
+        (
+            "gpp/1 batch m=1\n10\ngpp/1 ping",
+            "bad-option",
+            "unknown batch option key",
+        ),
+        (
+            "gpp/1 batch n=1\n",
+            "bad-batch",
+            "declared one frame, empty body",
+        ),
+        (
+            "gpp/1 batch n=2\n10\ngpp/1 ping",
+            "bad-batch",
+            "body ends one frame short",
+        ),
+        (
+            "gpp/1 batch n=1\n10\ngpp/1 pi",
+            "bad-batch",
+            "embedded frame truncated mid-payload",
+        ),
+        (
+            "gpp/1 batch n=1\nxyz\nping",
+            "bad-batch",
+            "garbage embedded frame length",
+        ),
+        (
+            "gpp/1 batch n=1\n10\ngpp/1 pingTRAILING",
+            "bad-batch",
+            "trailing bytes after the declared frames",
+        ),
+        (
+            "gpp/1 batch n=1\n15\ngpp/1 batch n=1\n",
+            "bad-batch",
+            "nested batch",
+        ),
+        (
+            "gpp/1 batch n=1\n99999999999\nx",
+            "bad-batch",
+            "embedded frame declares an oversize length",
+        ),
         ("gpp/1 project\n", "missing-skeleton", "no body at all"),
         (
             "gpp/1 project\n   \n  ",
@@ -90,7 +155,7 @@ fn decode_rejects_each_malformed_payload_with_the_right_kind() {
 #[test]
 fn decode_accepts_edge_case_but_legal_payloads() {
     // Commands without a skeleton accept an empty body.
-    for cmd in ["calibrate", "stats", "ping"] {
+    for cmd in ["calibrate", "stats", "ping", "health"] {
         let payload = format!("gpp/1 {cmd}");
         assert!(
             Request::decode(&payload).is_ok(),
@@ -195,6 +260,11 @@ fn every_error_kind_round_trips_through_the_response_json() {
         (
             "internal",
             "request handler panicked: injected worker panic",
+        ),
+        ("bad-batch", "batch count 257 outside 1..=256"),
+        (
+            "unavailable",
+            "no shard answered after 3 attempt(s) across 3 shard(s)",
         ),
     ];
     for (kind, message) in kinds {
