@@ -15,6 +15,9 @@ cargo clippy $CARGO_FLAGS --workspace --all-targets -- -D warnings
 echo "== benches compile"
 cargo bench $CARGO_FLAGS --no-run
 
+echo "== workspace builds warning-free"
+RUSTFLAGS="-D warnings" cargo build $CARGO_FLAGS --workspace
+
 echo "== tier-1: build + tests"
 cargo build $CARGO_FLAGS --release
 cargo test $CARGO_FLAGS -q
@@ -25,6 +28,21 @@ target/release/gpp lint skeletons/*.gsk --deny warnings
 
 echo "== gpp machines (committed datasheets round-trip)"
 target/release/gpp machines --check fixtures/machines/*.gmach
+
+echo "== perf-regression gate (min-of-N vs committed BENCH_*.json)"
+# Re-measure both bench harnesses to temporary files and fail on >25%
+# regression against the committed baselines. Both harnesses report
+# min-of-N, so a single noisy round cannot trip the gate — only a
+# consistent slowdown across every round does.
+PERF_TMP=$(mktemp -d)
+trap 'rm -rf "$PERF_TMP"' EXIT
+GPP_BENCH_OUT="$PERF_TMP/project.json" \
+    cargo bench $CARGO_FLAGS -p gpp-bench --bench project_throughput >/dev/null
+GPP_BENCH_OUT="$PERF_TMP/serve.json" \
+    cargo bench $CARGO_FLAGS -p gpp-bench --bench serve_throughput >/dev/null
+cargo build $CARGO_FLAGS --release -p gpp-bench --bin perfgate
+target/release/perfgate BENCH_project.json "$PERF_TMP/project.json" --max-regress 0.25
+target/release/perfgate BENCH_serve.json "$PERF_TMP/serve.json" --max-regress 0.25
 
 echo "== chaos suite (pinned fault plan)"
 # The chaos tests pin their own seeds (7, 42, 2013); the env var pins the

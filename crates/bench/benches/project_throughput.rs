@@ -1,7 +1,8 @@
 //! Throughput of the transformation-space search itself: serial
-//! exhaustive vs pool-parallel exhaustive vs parallel + prune + memo, on
-//! the largest paper workload (CFD at 232K elements — three kernels, the
-//! widest candidate space in the suite).
+//! exhaustive vs pool-parallel exhaustive vs parallel + prune + memo vs
+//! the arena-backed SoA batch projector, on the largest paper workload
+//! (CFD at 232K elements — three kernels, the widest candidate space in
+//! the suite).
 //!
 //! The timed region is exactly the kernel × axis × transformation search
 //! (`project_best_with` over every task the app projector would spawn);
@@ -10,8 +11,11 @@
 //! bit-identical projections (the determinism suite asserts this); only
 //! wall-clock differs.
 //!
-//! Writes `BENCH_project.json` at the repository root with per-arm
-//! timings and the speedups over the serial baseline.
+//! Writes `BENCH_project.json` at the repository root (override the
+//! destination with `GPP_BENCH_OUT`) with per-arm timings and the
+//! speedups over the serial baseline. `ci.sh` re-runs this harness to a
+//! temporary file and gates on >25% regression against the committed
+//! JSON (see `perfgate`).
 //!
 //! Not a criterion harness: the serial arm must pin `GPP_THREADS=1` via
 //! `gpp_par::set_threads`, which is process-global state a shared
@@ -71,6 +75,11 @@ fn main() {
         },
         Arm {
             name: "parallel_prune",
+            threads: 0,
+            opts: gpp_gpu_model::SearchOpts::scalar(),
+        },
+        Arm {
+            name: "soa_prune",
             threads: 0,
             opts: gpp_gpu_model::SearchOpts::default(),
         },
@@ -137,7 +146,9 @@ fn main() {
     ]);
     let out = json.render();
     println!("{out}");
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_project.json");
-    std::fs::write(path, format!("{out}\n")).expect("write BENCH_project.json");
+    let path = std::env::var("GPP_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_project.json").to_string()
+    });
+    std::fs::write(&path, format!("{out}\n")).expect("write BENCH_project.json");
     eprintln!("wrote {path}");
 }

@@ -30,7 +30,8 @@ fn projections_are_bit_identical_across_thread_counts_and_options() {
             gpp_par::set_threads(threads);
             for (label, opts) in [
                 ("exhaustive", SearchOpts::exhaustive()),
-                ("prune+memo", SearchOpts::default()),
+                ("scalar prune+memo", SearchOpts::scalar()),
+                ("soa prune+memo", SearchOpts::default()),
             ] {
                 let got = format!("{:?}", gro.project_with(&case.program, &case.hints, opts));
                 assert_eq!(
@@ -102,13 +103,26 @@ fn pruning_never_changes_the_selected_best_config() {
                 let (exhaustive_best, _) = project_all(&kernel.name, &chars, &spec);
                 for opts in [
                     SearchOpts::default(),
+                    SearchOpts::scalar(),
                     SearchOpts {
                         prune: true,
                         memo: false,
+                        soa: false,
                     },
                     SearchOpts {
                         prune: false,
                         memo: true,
+                        soa: false,
+                    },
+                    SearchOpts {
+                        prune: true,
+                        memo: false,
+                        soa: true,
+                    },
+                    SearchOpts {
+                        prune: false,
+                        memo: false,
+                        soa: true,
                     },
                 ] {
                     let pruned = project_best_with(&kernel.name, &chars, &spec, opts);

@@ -26,6 +26,7 @@ struct Options {
     allow: Vec<String>,
     lint: bool,
     profile: bool,
+    stats: bool,
     addr: String,
     workers: usize,
     queue_depth: usize,
@@ -68,6 +69,9 @@ options:
   --threads N             projection search threads (default: GPP_THREADS
                           env, else all cores; 1 = exact serial path)
   --profile               (project) print simulated kernel profiles
+  --stats                 (project) print search statistics after the
+                          projection: synthesis-memo hits/misses and
+                          gpp-par pool utilization
   --seed N                noise seed (default 2013)
   --iters N               iteration count for speedups (default 1)
   --temporary NAME        hint: array is a device-side temporary
@@ -130,6 +134,7 @@ fn main() -> ExitCode {
         allow: Vec::new(),
         lint: true,
         profile: false,
+        stats: false,
         addr: "127.0.0.1:4513".into(),
         workers: 4,
         queue_depth: 64,
@@ -186,6 +191,7 @@ fn main() -> ExitCode {
                 }
             },
             "--profile" => opt.profile = true,
+            "--stats" => opt.stats = true,
             "--temporary" => match args.next() {
                 Some(n) => opt.temporaries.push(n),
                 None => {
@@ -596,6 +602,16 @@ fn cmd_project(program: &Program, hints: &Hints, opt: &Options) -> ExitCode {
         "projected total GPU time: {:>10.3} ms",
         proj.total_time(opt.iters) * 1e3
     );
+    if opt.stats {
+        let (hits, misses) = gpp_gpu_model::synth_memo_stats();
+        let pool = gpp_par::Pool::global().stats();
+        println!();
+        println!(
+            "search stats: synthesis memo {hits} hit(s) / {misses} miss(es); \
+             pool {} thread(s), {} task(s) in {} region(s)",
+            pool.threads, pool.tasks_executed, pool.parallel_regions
+        );
+    }
     ExitCode::SUCCESS
 }
 

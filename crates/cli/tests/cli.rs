@@ -38,6 +38,23 @@ fn project_reports_kernel_and_transfer_times() {
 }
 
 #[test]
+fn project_stats_reports_synthesis_memo_and_pool() {
+    let out = gpp()
+        .args(["project", &skeleton_path("hotspot_1024.gsk"), "--stats"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("search stats:"), "{stdout}");
+    assert!(stdout.contains("synthesis memo"), "{stdout}");
+    assert!(stdout.contains("miss(es)"), "{stdout}");
+    assert!(stdout.contains("thread(s)"), "{stdout}");
+    // A fresh process projecting one program must have synthesized at
+    // least one staging class per kernel search — misses cannot be zero.
+    assert!(!stdout.contains("0 miss(es)"), "{stdout}");
+}
+
+#[test]
 fn measure_vector_add_says_dont_port() {
     let out = gpp()
         .args(["measure", &skeleton_path("vector_add.gsk")])

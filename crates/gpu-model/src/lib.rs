@@ -36,6 +36,7 @@
 
 pub mod occupancy;
 pub mod project;
+mod soa;
 pub mod spec;
 pub mod transform;
 
@@ -46,6 +47,7 @@ pub use project::{
 };
 pub use spec::GpuSpec;
 pub use transform::{
-    candidate_space, program_fingerprint, synth_memo_stats, synthesize_cached,
-    synthesize_cached_keyed, synthesize_transformed, CharsKey, SynthesizedKernel, Transformation,
+    candidate_space, candidate_space_into, program_fingerprint, synth_memo_stats,
+    synthesize_cached, synthesize_cached_keyed, synthesize_transformed, CharsKey,
+    SynthesizedKernel, Transformation,
 };

@@ -27,7 +27,7 @@ use gpp_skeleton::KernelCharacteristics;
 use std::sync::Mutex;
 
 /// Pipeline-drain cost of one `__syncthreads()`, in cycles.
-const BARRIER_CYCLES: f64 = 24.0;
+pub(crate) const BARRIER_CYCLES: f64 = 24.0;
 
 /// Which analytic bound dominated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,13 +68,14 @@ pub struct KernelProjection {
 }
 
 /// The name-free evaluation of one candidate (what the search actually
-/// computes; the winner gets its `String` name exactly once).
+/// computes; the winner gets its `String` name exactly once). Shared
+/// with the SoA batch engine (`crate::soa`).
 #[derive(Debug, Clone, Copy)]
-struct Eval {
-    time: f64,
-    bound: ProjectionBound,
-    occupancy: ModelOccupancy,
-    dram_bytes: f64,
+pub(crate) struct Eval {
+    pub(crate) time: f64,
+    pub(crate) bound: ProjectionBound,
+    pub(crate) occupancy: ModelOccupancy,
+    pub(crate) dram_bytes: f64,
 }
 
 /// Projects the execution time of one synthesized kernel.
@@ -139,7 +140,7 @@ fn project_inner(spec: &GpuSpec, kernel: &SynthesizedKernel) -> Option<Eval> {
 }
 
 /// Options controlling the transformation-space search. The defaults are
-/// what production paths use; both switches are observationally pure —
+/// what production paths use; every switch is observationally pure —
 /// they change wall-clock time, never the selected best projection.
 #[derive(Debug, Clone, Copy)]
 pub struct SearchOpts {
@@ -150,6 +151,11 @@ pub struct SearchOpts {
     /// Route synthesis through the process-wide memo
     /// ([`synthesize_cached`]).
     pub memo: bool,
+    /// Evaluate candidates through the SoA batch engine (one synthesis
+    /// per staging class, structure-of-arrays lanes in a reusable
+    /// per-thread arena, work-stealing over candidate blocks) instead of
+    /// per-candidate scalar evaluation. Bit-identical output.
+    pub soa: bool,
 }
 
 impl Default for SearchOpts {
@@ -157,17 +163,31 @@ impl Default for SearchOpts {
         SearchOpts {
             prune: true,
             memo: true,
+            soa: true,
         }
     }
 }
 
 impl SearchOpts {
-    /// The legacy exhaustive search: no pruning, no memo. With
-    /// `GPP_THREADS=1` this is bit-for-bit the serial seed code path.
+    /// The legacy exhaustive search: no pruning, no memo, scalar
+    /// per-candidate evaluation. With `GPP_THREADS=1` this is
+    /// bit-for-bit the serial seed code path.
     pub fn exhaustive() -> Self {
         SearchOpts {
             prune: false,
             memo: false,
+            soa: false,
+        }
+    }
+
+    /// The pre-SoA production path: scalar evaluation with prune and
+    /// memo. Kept for benchmarks and bit-identity comparisons against
+    /// the batch engine.
+    pub fn scalar() -> Self {
+        SearchOpts {
+            prune: true,
+            memo: true,
+            soa: false,
         }
     }
 }
@@ -178,9 +198,9 @@ impl SearchOpts {
 /// order: a candidate is skipped only if it provably loses that
 /// tie-break to an already-evaluated candidate, which the final winner
 /// beats or equals.
-struct Threshold {
-    time: f64,
-    idx: usize,
+pub(crate) struct Threshold {
+    pub(crate) time: f64,
+    pub(crate) idx: usize,
 }
 
 /// Explores the transformation space and returns only the best
@@ -201,6 +221,9 @@ pub fn project_best_with(
     spec: &GpuSpec,
     opts: SearchOpts,
 ) -> KernelProjection {
+    if opts.soa {
+        return crate::soa::project_best_soa(name, chars, spec, opts);
+    }
     let candidates = candidate_space(chars, spec);
     // One fingerprint per search, shared by every candidate's memo lookup.
     let memo_key = opts.memo.then(|| CharsKey::of(chars));
@@ -323,7 +346,7 @@ pub fn project_all(
 /// Synthesis with or without the process-wide memo. The memo holds
 /// exactly the value the direct path computes (synthesis is pure), so
 /// both arms are interchangeable bit-for-bit.
-fn synthesize_for(
+pub(crate) fn synthesize_for(
     chars: &KernelCharacteristics,
     config: Transformation,
     memo_key: Option<CharsKey>,

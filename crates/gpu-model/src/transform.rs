@@ -52,26 +52,25 @@ impl Transformation {
 
 impl std::fmt::Display for Transformation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "block={}{}{}{}",
-            self.block_threads,
-            if self.use_shared { ", smem" } else { "" },
-            if self.unroll > 1 {
-                format!(", unroll={}", self.unroll)
-            } else {
-                String::new()
-            },
-            match self.thread_axis {
-                Some(l) => format!(", axis=i{}", l.0),
-                None => String::new(),
-            }
-        )
+        // Sequential conditional writes: formatting a candidate never
+        // allocates (no `format!` temporaries for absent options), so
+        // labels cost nothing until a winner is actually displayed.
+        write!(f, "block={}", self.block_threads)?;
+        if self.use_shared {
+            f.write_str(", smem")?;
+        }
+        if self.unroll > 1 {
+            write!(f, ", unroll={}", self.unroll)?;
+        }
+        if let Some(l) = self.thread_axis {
+            write!(f, ", axis=i{}", l.0)?;
+        }
+        Ok(())
     }
 }
 
 /// Baseline per-thread register estimate for a skeleton-derived kernel.
-const BASE_REGS: u32 = 10;
+pub(crate) const BASE_REGS: u32 = 10;
 
 /// Enumerates the candidate transformations for a kernel.
 ///
@@ -79,6 +78,19 @@ const BASE_REGS: u32 = 10;
 /// reusable loads; unrolling only when there is a serial loop to unroll.
 pub fn candidate_space(chars: &KernelCharacteristics, spec: &GpuSpec) -> Vec<Transformation> {
     let mut out = Vec::new();
+    candidate_space_into(chars, spec, &mut out);
+    out
+}
+
+/// [`candidate_space`] into a caller-owned buffer — the arena'd search
+/// reuses one `Vec` across searches so the steady state allocates
+/// nothing. The buffer is cleared first; capacity is retained.
+pub fn candidate_space_into(
+    chars: &KernelCharacteristics,
+    spec: &GpuSpec,
+    out: &mut Vec<Transformation>,
+) {
+    out.clear();
     let shared_options: &[bool] = if chars.sharable_load_fraction > 0.0 {
         &[false, true]
     } else {
@@ -108,7 +120,6 @@ pub fn candidate_space(chars: &KernelCharacteristics, spec: &GpuSpec) -> Vec<Tra
             }
         }
     }
-    out
 }
 
 /// The characteristics of a kernel *after* a transformation is applied —
@@ -135,6 +146,13 @@ pub struct SynthesizedKernel {
     pub regs_per_thread: u32,
     /// Shared memory per block, bytes.
     pub shared_per_block: u32,
+    /// Number of reuse groups staged into shared memory (0 when staging
+    /// is off or nothing qualified). Together with [`Self::tile_bytes`]
+    /// this lets the SoA batch projector recompute `shared_per_block`
+    /// for *other* block sizes without re-synthesizing.
+    pub staged_groups: usize,
+    /// Widest staged element size, bytes (0 when nothing is staged).
+    pub tile_bytes: usize,
 }
 
 /// Applies a transformation to a kernel's characteristics.
@@ -225,6 +243,8 @@ pub fn synthesize_transformed(
         active_fraction: chars.avg_active_fraction,
         regs_per_thread: regs,
         shared_per_block,
+        staged_groups: staged_groups.len(),
+        tile_bytes,
     }
 }
 
@@ -290,7 +310,7 @@ pub fn synth_memo_stats() -> (u64, u64) {
 /// A precomputed memo key for one kernel's characteristics. Computing
 /// the fingerprint walks every access, so the search computes it once
 /// per kernel and reuses it across the whole candidate space.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CharsKey(u128);
 
 impl CharsKey {

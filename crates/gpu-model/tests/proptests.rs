@@ -1,7 +1,8 @@
 //! Property tests for the analytic GPU model.
 
 use gpp_gpu_model::{
-    candidate_space, project, project_all, project_best, synthesize_transformed, GpuSpec,
+    candidate_space, project, project_all, project_best, project_best_with, synthesize_transformed,
+    GpuSpec, SearchOpts,
 };
 use gpp_skeleton::builder::{idx, ProgramBuilder};
 use gpp_skeleton::{ElemType, Flops, KernelCharacteristics};
@@ -27,6 +28,37 @@ fn chars(n: u64, loads: u8, flops: u32) -> KernelCharacteristics {
     k.finish();
     let prog = p.build().unwrap();
     prog.kernels[0].characteristics(&prog)
+}
+
+/// A 2D stencil kernel's characteristics — reuse groups make the
+/// shared-memory staging class real, and a serial-loop override turns on
+/// the unroll candidates, so the search space exercises every knob.
+fn stencil_chars(n: usize, serial_iters: u64) -> KernelCharacteristics {
+    let mut p = ProgramBuilder::new("s");
+    let a = p.array("in", ElemType::F32, &[n, n]);
+    let b = p.array("out", ElemType::F32, &[n, n]);
+    let mut k = p.kernel("k");
+    let i = k.parallel_loop("i", (n - 2) as u64);
+    let j = k.parallel_loop("j", (n - 2) as u64);
+    k.statement()
+        .read(a, &[idx(i), idx(j) + 1])
+        .read(a, &[idx(i) + 1, idx(j)])
+        .read(a, &[idx(i) + 1, idx(j) + 1])
+        .read(a, &[idx(i) + 1, idx(j) + 2])
+        .read(a, &[idx(i) + 2, idx(j) + 1])
+        .write(b, &[idx(i) + 1, idx(j) + 1])
+        .flops(Flops {
+            adds: 6,
+            muls: 4,
+            ..Flops::default()
+        })
+        .finish();
+    k.finish();
+    let prog = p.build().unwrap();
+    KernelCharacteristics {
+        serial_iters,
+        ..prog.kernels[0].characteristics(&prog)
+    }
 }
 
 proptest! {
@@ -98,6 +130,44 @@ proptest! {
         let t_base = project_best("k", &c, &base).time;
         let t_better = project_best("k", &c, &better).time;
         prop_assert!(t_better <= t_base * 1.001, "{t_better} > {t_base}");
+    }
+
+    /// The SoA batch engine selects the bit-identical projection the
+    /// scalar exhaustive search does — streaming and stencil kernels,
+    /// with and without prune/memo, at several thread counts.
+    #[test]
+    fn soa_search_is_bit_identical_to_scalar(
+        n in (1u64 << 10)..(1 << 22),
+        loads in 1u8..5,
+        flops in 0u32..64,
+        serial_sel in 0usize..3,
+    ) {
+        let serial_iters = [1u64, 2, 8][serial_sel];
+        let streaming = chars(n, loads, flops);
+        let stencil = stencil_chars(256, serial_iters);
+        for spec in [GpuSpec::quadro_fx_5600(), GpuSpec::tesla_c1060()] {
+            for c in [&streaming, &stencil] {
+                let scalar = project_best_with("k", c, &spec, SearchOpts::exhaustive());
+                let reference = format!("{scalar:?}");
+                for threads in [1usize, 2, 8] {
+                    gpp_par::set_threads(threads);
+                    for opts in [
+                        SearchOpts::default(),
+                        SearchOpts { prune: false, memo: false, soa: true },
+                    ] {
+                        let soa = project_best_with("k", c, &spec, opts);
+                        prop_assert_eq!(
+                            &format!("{soa:?}"),
+                            &reference,
+                            "threads={} opts={:?}",
+                            threads,
+                            opts
+                        );
+                    }
+                }
+                gpp_par::set_threads(0);
+            }
+        }
     }
 
     /// The projected DRAM traffic of a dense streaming kernel equals the

@@ -56,7 +56,7 @@ pub mod sim;
 
 pub use alloc::AllocModel;
 pub use backend::BusBackend;
-pub use calibrate::{CalibratedBus, CalibrationError, Calibrator};
+pub use calibrate::{CalibratedBus, CalibrationError, Calibrator, ProbeBatch, StreamingFit};
 pub use error::{error_magnitude, mean_error_magnitude, SweepValidation};
 pub use faulty::FaultyBus;
 pub use model::LinearModel;

@@ -173,13 +173,13 @@ impl ServiceState {
     /// Executes each embedded sub-request through the ordinary
     /// [`ServiceState::handle`] path, so every sub-reply (and every
     /// counter bump) is bit-identical to what the same request would have
-    /// produced single-shot.
+    /// produced single-shot. Sub-requests run on the `gpp-par` pool
+    /// (`ServiceState` is `Sync`; replies are placed by index), so one
+    /// big batch frame saturates the machine and still hits the SoA
+    /// projection path per sub-request.
     fn cmd_batch(&self, req: &Request, queue_depth: usize) -> Result<Json, ProtocolError> {
-        let replies: Vec<String> = req
-            .batch
-            .iter()
-            .map(|sub| self.handle(sub, queue_depth))
-            .collect();
+        let replies: Vec<String> =
+            gpp_par::par_map(req.batch.len(), |i| self.handle(&req.batch[i], queue_depth));
         Ok(Json::Raw(crate::protocol::batch_response(&replies)))
     }
 
@@ -552,6 +552,7 @@ impl ServiceState {
     pub fn stats_json(&self, queue_depth: usize) -> Json {
         let s = self.snapshot(queue_depth);
         let pool = gpp_par::Pool::global().stats();
+        let (synth_hits, synth_misses) = gpp_gpu_model::synth_memo_stats();
         Json::obj([
             ("ok", Json::Bool(true)),
             ("command", Json::Str("stats".into())),
@@ -608,6 +609,13 @@ impl ServiceState {
                             ("busy_workers", Json::Num(pool.busy_workers as f64)),
                             ("tasks_executed", Json::Num(pool.tasks_executed as f64)),
                             ("parallel_regions", Json::Num(pool.parallel_regions as f64)),
+                        ]),
+                    ),
+                    (
+                        "synthesis_memo",
+                        Json::obj([
+                            ("hits", Json::Num(synth_hits as f64)),
+                            ("misses", Json::Num(synth_misses as f64)),
                         ]),
                     ),
                     (

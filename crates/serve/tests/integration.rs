@@ -108,6 +108,13 @@ fn repeated_request_hits_projection_cache() {
     assert!(stats.contains("\"projection_misses\":1"), "stats: {stats}");
     assert!(stats.contains("\"calibration_hits\":1"), "stats: {stats}");
     assert!(stats.contains("\"calibration_misses\":1"), "stats: {stats}");
+    // Synthesis-memo efficacy rides along (process-wide counters, so
+    // only their presence and shape are stable here).
+    assert!(
+        stats.contains("\"synthesis_memo\":{\"hits\":"),
+        "stats: {stats}"
+    );
+    assert!(stats.contains("\"misses\":"), "stats: {stats}");
     handle.shutdown_and_join().unwrap();
 }
 
