@@ -57,4 +57,16 @@ echo "== gateway chaos suite (shard kills mid-load, pinned fault plan)"
 GPP_FAULT_PLAN='seed=7;gateway.shard.down@shard1:after=2' \
     cargo test $CARGO_FLAGS -q -p gpp-gateway --test chaos
 
+echo "== overload chaos suites (deadlines, shedding, hedging; pinned plans)"
+# Serve side: deadline admission against the observed median, mid-flight
+# deadline enforcement under an injected compute stall, retry pacing on
+# server hints. Gateway side: a slow shard under propagated deadlines —
+# hedged goodput must beat the no-hedge baseline, no ok reply may land
+# past its deadline, and fault-free replies stay bit-identical. The suites
+# pin their own plans; the env var pins anything else consulted mid-run.
+GPP_FAULT_PLAN='seed=7;serve.compute.slow:always,factor=40' \
+    cargo test $CARGO_FLAGS -q -p gpp-serve --test overload --test retries
+GPP_FAULT_PLAN='seed=7;gateway.shard.slow@shard1:after=2,factor=300' \
+    cargo test $CARGO_FLAGS -q -p gpp-gateway --test overload
+
 echo "CI OK"

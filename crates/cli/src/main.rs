@@ -33,6 +33,9 @@ struct Options {
     timeout_secs: u64,
     timeout_ms: Option<u64>,
     retries: u32,
+    retry_budget: Option<u32>,
+    deadline_ms: Option<u64>,
+    no_hedge: bool,
     shards: usize,
     shard_addrs: Vec<String>,
     remote_command: String,
@@ -87,7 +90,15 @@ options:
   --timeout-ms MS         (request) per-request budget in milliseconds
                           (overrides --timeout)
   --retries N             (request) extra attempts on transport errors and
-                          `busy` replies, exponential backoff (default 0)
+                          `busy`/`shed` replies, exponential backoff with
+                          seeded jitter, honoring server `retry_after_ms`
+                          hints (default 0)
+  --retry-budget N        (request) token-bucket cap on retry attempts
+                          across the run (default: no budget)
+  --deadline-ms MS        (request) end-to-end deadline propagated on the
+                          wire; gateway and shard shed the request once it
+                          cannot be met (default: none)
+  --no-hedge              (gateway) disable tail-latency request hedging
   --shards N              (gateway) spawn N embedded serve shards on
                           ephemeral ports (each printed as
                           `GPP_SHARD_ADDR=<addr>`)
@@ -141,6 +152,9 @@ fn main() -> ExitCode {
         timeout_secs: 30,
         timeout_ms: None,
         retries: 0,
+        retry_budget: None,
+        deadline_ms: None,
+        no_hedge: false,
         shards: 0,
         shard_addrs: Vec::new(),
         remote_command: "project".into(),
@@ -266,6 +280,25 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--retry-budget" => {
+                opt.retry_budget = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(v) => Some(v),
+                    None => {
+                        eprintln!("--retry-budget needs an integer");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--deadline-ms" => {
+                opt.deadline_ms = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(v) => Some(v),
+                    None => {
+                        eprintln!("--deadline-ms needs an integer (milliseconds)");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--no-hedge" => opt.no_hedge = true,
             "--shards" => {
                 opt.shards = match args.next().and_then(|v| v.parse().ok()) {
                     Some(v) => v,
@@ -808,6 +841,7 @@ fn cmd_gateway(opt: &Options) -> ExitCode {
         workers: opt.workers,
         queue_depth: opt.queue_depth,
         request_timeout: Duration::from_secs(opt.timeout_secs),
+        hedge: !opt.no_hedge,
         faults,
         ..GatewayConfig::default()
     };
@@ -851,7 +885,7 @@ fn cmd_gateway(opt: &Options) -> ExitCode {
 }
 
 fn cmd_request(opt: &Options) -> ExitCode {
-    use gpp_serve::{request_with_retries, Command, Request};
+    use gpp_serve::{request_with_retries_budgeted, Command, Request, RetryBudget};
     use std::time::Duration;
     let Some(command) = Command::parse(&opt.remote_command) else {
         eprintln!(
@@ -867,6 +901,7 @@ fn cmd_request(opt: &Options) -> ExitCode {
     req.temporaries = opt.temporaries.clone();
     req.sparse = opt.sparse.clone();
     req.lint = opt.lint;
+    req.deadline_ms = opt.deadline_ms;
     if command.needs_skeleton() {
         let Some(path) = &opt.file else {
             eprintln!("`gpp request --command {command}` needs a skeleton file");
@@ -884,12 +919,14 @@ fn cmd_request(opt: &Options) -> ExitCode {
         Some(ms) => Duration::from_millis(ms),
         None => Duration::from_secs(opt.timeout_secs),
     };
-    match request_with_retries(
+    let budget = opt.retry_budget.map(RetryBudget::new);
+    match request_with_retries_budgeted(
         opt.addr.as_str(),
         &req,
         timeout,
         opt.retries,
         Duration::from_millis(100),
+        budget.as_ref(),
     ) {
         Ok(response) => {
             println!("{response}");

@@ -90,6 +90,19 @@ pub const GATEWAY_SHARD_DOWN: &str = "gateway.shard.down";
 /// [`GATEWAY_SHARD_DOWN`]). The chaos knob for widening the in-flight
 /// window that single-flight coalescing collapses.
 pub const GATEWAY_SHARD_SLOW: &str = "gateway.shard.slow";
+/// Fault point: a serve worker's projection compute stalls — the worker
+/// sleeps for the rule's `factor`, interpreted as **milliseconds**, before
+/// computing (scopeable per machine like the pcie points). The chaos knob
+/// for driving deadline-aware admission: queued requests age past their
+/// `deadline_ms` budget and must be shed rather than computed.
+pub const SERVE_COMPUTE_SLOW: &str = "serve.compute.slow";
+/// Fault point: a gateway→shard forward hangs until the forward timeout —
+/// the gateway sleeps min(`factor` ms, the attempt's timeout) and then
+/// fails as timed out (scopeable per shard like [`GATEWAY_SHARD_DOWN`]).
+/// Unlike [`GATEWAY_SHARD_SLOW`], the upstream call never happens: this is
+/// the chaos knob for hedged requests, where the ring successor must win
+/// while the primary hangs.
+pub const GATEWAY_SHARD_HANG: &str = "gateway.shard.hang";
 
 /// Every fault point the stack consults, for docs and plan validation
 /// diagnostics (plans may name other points; unknown points simply never
@@ -104,6 +117,8 @@ pub const KNOWN_POINTS: &[&str] = &[
     SERVE_CALIBRATE_FAIL,
     GATEWAY_SHARD_DOWN,
     GATEWAY_SHARD_SLOW,
+    SERVE_COMPUTE_SLOW,
+    GATEWAY_SHARD_HANG,
 ];
 
 /// The machine-scoped spelling of a fault point: `point@machine`.

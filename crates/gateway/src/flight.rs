@@ -84,6 +84,15 @@ impl SingleFlight {
     /// Joins the flight for `key`: the first caller becomes the leader,
     /// later callers block until the leader publishes (or abandons).
     pub fn join(&self, key: u128) -> Joined {
+        self.join_with_budget(key, self.wait_budget)
+    }
+
+    /// [`SingleFlight::join`] with an explicit follower wait budget —
+    /// used for deadline-bearing requests, whose remaining budget may be
+    /// far shorter than the configured request timeout. A follower that
+    /// runs out of budget is [`Joined::Orphaned`] and re-flies (or fails)
+    /// on its own clock.
+    pub fn join_with_budget(&self, key: u128, wait_budget: Duration) -> Joined {
         let flight = {
             let mut map = self.map.lock();
             match map.get(&key) {
@@ -106,7 +115,7 @@ impl SingleFlight {
         let mut reply = flight.reply.lock();
         let mut waited = Duration::ZERO;
         const SLICE: Duration = Duration::from_millis(50);
-        while reply.is_none() && waited < self.wait_budget {
+        while reply.is_none() && waited < wait_budget {
             // A timed slice (not a bare wait) so a stuck leader can never
             // strand followers past their budget even if the wake is lost.
             flight.done.wait_for(&mut reply, SLICE);

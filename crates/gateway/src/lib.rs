@@ -16,10 +16,22 @@
 //!   routed independently, and the sub-replies reassembled verbatim with
 //!   [`gpp_serve::protocol::batch_response`] — bit-for-bit what a single
 //!   shard would have produced;
-//! * **health-checked fail-over** ([`pool`]) — dead shards are evicted
-//!   (fail-fast on forward errors, probing in the background), requests
+//! * **health-checked fail-over** ([`pool`]) — each shard carries a
+//!   circuit breaker (closed / open / half-open): forward errors trip it
+//!   open, the background prober runs the half-open trial, requests
 //!   re-route along the ring's successor order, and recovered shards are
-//!   re-admitted automatically.
+//!   re-admitted automatically;
+//! * **deadline propagation** — a `deadline_ms=` request is forwarded
+//!   with its deadline decremented by the time already spent in the
+//!   gateway (and its forward timeout capped at the remainder); an
+//!   expired deadline is answered locally with the same `deadline` error
+//!   a shard would produce. Requests without a deadline forward their
+//!   original bytes verbatim;
+//! * **hedged requests** — when a warm primary has not answered a
+//!   `project` within its rolling p99 forward latency, one budget-metered
+//!   hedge fires at the ring successor; the first reply wins and the
+//!   loser is dropped. Projections are pure functions of the payload, so
+//!   a hedged reply is byte-identical to the primary's.
 //!
 //! Because every shard computes bit-identical replies for a given payload
 //! (calibration and projection are deterministic in (machine, seed)),
@@ -36,19 +48,34 @@ pub mod ring;
 use flight::{Joined, SingleFlight};
 use gpp_fault::FaultInjector;
 use gpp_serve::cache::fnv1a;
+use gpp_serve::client::RetryBudget;
 use gpp_serve::protocol::{
     batch_response, read_frame_limited, write_frame, Command, FrameError, ProtocolError, Request,
 };
-use gpp_serve::service::{busy_response, error_json};
+use gpp_serve::service::{busy_response, deadline_exceeded, error_json};
 use gpp_serve::DeadlineRead;
 use grophecy::report::Json;
-use pool::ShardPool;
+use pool::{Shard, ShardPool};
 use ring::routing_key;
+use std::borrow::Cow;
 use std::io::{self};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Hedge-budget capacity: at most this many hedges can fire in a burst.
+const HEDGE_BUDGET_CAPACITY: u32 = 8;
+
+/// Hedge-budget refill rate (milli-tokens per second): sustained hedging
+/// is limited to ~4 extra upstream calls per second, so a pool-wide slow
+/// patch cannot double the gateway's upstream load.
+const HEDGE_BUDGET_REFILL: u64 = 4_000;
+
+/// Slack added to the forward timeout when waiting for an in-flight
+/// attempt's thread to report back (covers connect setup overhead).
+const ATTEMPT_SLACK: Duration = Duration::from_millis(250);
 
 /// Tunables for one gateway instance.
 #[derive(Debug, Clone)]
@@ -68,6 +95,8 @@ pub struct GatewayConfig {
     pub probe_backoff: Duration,
     /// Largest accepted request frame.
     pub max_frame_bytes: usize,
+    /// Whether tail-latency hedging is enabled (`--no-hedge` clears it).
+    pub hedge: bool,
     /// The fault plan in force (for `gateway.shard.*` chaos points).
     pub faults: Arc<FaultInjector>,
 }
@@ -82,6 +111,7 @@ impl Default for GatewayConfig {
             probe_interval: Duration::from_millis(500),
             probe_backoff: Duration::from_millis(25),
             max_frame_bytes: 8 << 20,
+            hedge: true,
             faults: FaultInjector::disabled(),
         }
     }
@@ -108,6 +138,12 @@ pub struct GatewayMetrics {
     pub batch_subs: AtomicU64,
     /// Connections rejected `busy` at the accept queue.
     pub rejected_busy: AtomicU64,
+    /// Hedge attempts fired (primary exceeded its rolling p99).
+    pub hedges_fired: AtomicU64,
+    /// Hedges whose reply beat the primary's.
+    pub hedges_won: AtomicU64,
+    /// Requests whose propagated deadline expired inside the gateway.
+    pub shed_deadline: AtomicU64,
 }
 
 impl GatewayMetrics {
@@ -127,6 +163,9 @@ pub struct GatewayState {
     pub flights: SingleFlight,
     /// Gateway counters.
     pub metrics: GatewayMetrics,
+    /// Token bucket metering hedge attempts (time-refilled: hedging is a
+    /// latency optimization, so its timing never shapes reply bytes).
+    pub hedge_budget: RetryBudget,
 }
 
 impl GatewayState {
@@ -136,6 +175,8 @@ impl GatewayState {
             flights: SingleFlight::new(config.request_timeout),
             pool: ShardPool::new(shard_addrs),
             metrics: GatewayMetrics::default(),
+            hedge_budget: RetryBudget::new(HEDGE_BUDGET_CAPACITY)
+                .with_refill_milli_per_sec(HEDGE_BUDGET_REFILL),
             config,
         }
     }
@@ -144,6 +185,13 @@ impl GatewayState {
     /// JSON: locally for `ping`/`health`/`stats` and parse errors,
     /// routed upstream for everything else.
     pub fn handle(&self, payload: &str) -> String {
+        self.handle_at(payload, Instant::now())
+    }
+
+    /// [`GatewayState::handle`] with an explicit arrival instant: the
+    /// clock `deadline_ms=` budgets are decremented against. The server
+    /// loop stamps arrival when the frame finishes reading.
+    pub fn handle_at(&self, payload: &str, arrival: Instant) -> String {
         let reply = match Request::decode(payload) {
             // Same mapping as the shard's own handler, so a malformed
             // frame gets byte-identical bytes from gateway and shard.
@@ -156,8 +204,8 @@ impl GatewayState {
                 .render(),
                 Command::Health => self.health_json().render(),
                 Command::Stats => self.stats_json().render(),
-                Command::Batch => self.handle_batch(&req),
-                _ => self.route_one(payload, &req),
+                Command::Batch => self.handle_batch(&req, arrival),
+                _ => self.route_one(payload, &req, arrival),
             },
         };
         if reply.starts_with("{\"ok\":false") {
@@ -170,7 +218,7 @@ impl GatewayState {
 
     /// Unpacks a batch, routes every sub-request independently (each to
     /// its own ring position), and reassembles the sub-replies verbatim.
-    fn handle_batch(&self, req: &Request) -> String {
+    fn handle_batch(&self, req: &Request, arrival: Instant) -> String {
         GatewayMetrics::bump(&self.metrics.batch_frames);
         let replies: Vec<String> = req
             .batch
@@ -191,7 +239,7 @@ impl GatewayState {
                         Command::Health => self.health_json().render(),
                         Command::Stats => self.stats_json().render(),
                         Command::Batch => unreachable!("decoder rejects nested batches"),
-                        _ => self.route_one(sub, &sub_req),
+                        _ => self.route_one(sub, &sub_req, arrival),
                     },
                 }
             })
@@ -199,42 +247,227 @@ impl GatewayState {
         batch_response(&replies)
     }
 
-    /// Routes one skeleton-bearing (or calibrate) request: computes the
-    /// routing key, coalesces identical in-flight projections, and
-    /// forwards along the ring's fail-over order.
-    fn route_one(&self, payload: &str, req: &Request) -> String {
+    /// Routes one skeleton-bearing (or calibrate) request: decrements the
+    /// propagated deadline (if any), computes the routing key, coalesces
+    /// identical in-flight projections, and forwards — hedged for
+    /// projections, along the ring's fail-over order otherwise.
+    fn route_one(&self, payload: &str, req: &Request, arrival: Instant) -> String {
         let fingerprint = structural_fingerprint(req, payload);
         let key = routing_key(&req.machine, fingerprint);
+        // A deadline-bearing request forwards a rewritten payload whose
+        // `deadline_ms` is what is left after gateway time; one without a
+        // deadline forwards its original bytes verbatim (the no-deadline
+        // wire contract stays byte-for-byte unchanged).
+        let (rewritten, remaining) = match req.deadline_ms {
+            None => (None, None),
+            Some(total) => {
+                let spent = u64::try_from(arrival.elapsed().as_millis()).unwrap_or(u64::MAX);
+                match total.checked_sub(spent).filter(|rem| *rem > 0) {
+                    None => {
+                        GatewayMetrics::bump(&self.metrics.shed_deadline);
+                        return error_json(&deadline_exceeded(total)).render();
+                    }
+                    Some(rem) => {
+                        let mut fwd = req.clone();
+                        fwd.deadline_ms = Some(rem);
+                        (Some(fwd.encode()), Some(Duration::from_millis(rem)))
+                    }
+                }
+            }
+        };
+        let fwd_payload = rewritten.as_deref().unwrap_or(payload);
         // Coalescing is for `project` only: the reply is a pure function
-        // of the payload and the flight key includes the full payload
-        // hash, so leader and follower replies are interchangeable.
-        if req.command == Command::Project {
+        // of the payload, so leader and follower replies are
+        // interchangeable. The flight key hashes the payload with its
+        // deadline stripped — callers asking for the same projection
+        // under different budgets still share one flight, and the
+        // gateway's own deadline rewriting cannot split it.
+        let reply = if req.command == Command::Project {
+            let key_payload: Cow<str> = match req.deadline_ms {
+                None => Cow::Borrowed(payload),
+                Some(_) => {
+                    let mut bare = req.clone();
+                    bare.deadline_ms = None;
+                    Cow::Owned(bare.encode())
+                }
+            };
             let flight_key =
-                (u128::from(fnv1a(payload.as_bytes())) << 64) ^ fingerprint ^ u128::from(key);
-            match self.flights.join(flight_key) {
+                (u128::from(fnv1a(key_payload.as_bytes())) << 64) ^ fingerprint ^ u128::from(key);
+            let wait = remaining.unwrap_or(self.config.request_timeout);
+            match self.flights.join_with_budget(flight_key, wait) {
                 Joined::Follower(reply) => {
-                    GatewayMetrics::bump(&self.metrics.coalesced);
-                    return reply;
+                    // A leader that died on *its* deadline (or was shed)
+                    // must not poison followers that still have budget:
+                    // those re-fly on their own clock.
+                    if reply.starts_with("{\"ok\":false")
+                        && (reply.contains("\"kind\":\"deadline\"")
+                            || reply.contains("\"kind\":\"shed\""))
+                    {
+                        self.forward_project(fwd_payload, key, remaining)
+                    } else {
+                        GatewayMetrics::bump(&self.metrics.coalesced);
+                        reply
+                    }
                 }
                 Joined::Leader(guard) => {
-                    let reply = self.forward_failover(payload, key);
+                    let reply = self.forward_project(fwd_payload, key, remaining);
                     guard.complete(&reply);
-                    return reply;
+                    reply
                 }
-                Joined::Orphaned => return self.forward_failover(payload, key),
+                Joined::Orphaned => self.forward_project(fwd_payload, key, remaining),
+            }
+        } else {
+            self.forward_failover(fwd_payload, key, remaining)
+        };
+        // No ok reply may cross its propagated deadline: an upstream
+        // success that arrived late (slow forward path, exhausted hedge
+        // budget) is worthless to the caller, so it is converted to the
+        // same structured error the shard itself would have produced.
+        if let Some(total) = req.deadline_ms {
+            if reply.starts_with("{\"ok\":true") && arrival.elapsed() > Duration::from_millis(total)
+            {
+                GatewayMetrics::bump(&self.metrics.shed_deadline);
+                return error_json(&deadline_exceeded(total)).render();
             }
         }
-        self.forward_failover(payload, key)
+        reply
+    }
+
+    /// The forward timeout for one attempt: the configured request
+    /// timeout, capped at the propagated deadline's remainder.
+    fn forward_timeout(&self, remaining: Option<Duration>) -> Duration {
+        remaining.map_or(self.config.request_timeout, |rem| {
+            rem.min(self.config.request_timeout)
+        })
+    }
+
+    /// Forwards a `project`: hedged when the pool is warm enough, else —
+    /// or after every hedge arm failed — the sequential fail-over walk.
+    fn forward_project(&self, payload: &str, key: u64, remaining: Option<Duration>) -> String {
+        GatewayMetrics::bump(&self.metrics.routed_total);
+        if let Some(reply) = self.hedged_attempt(payload, key, remaining) {
+            return reply;
+        }
+        self.failover_attempts(payload, key, remaining)
+    }
+
+    /// The hedging fast path: fire the primary, and if it has not
+    /// answered within its rolling p99 (clamped to ≥ 1 ms and to half
+    /// the remaining deadline), fire one budget-metered hedge at the ring
+    /// successor. The first reply wins; the loser's thread finishes its
+    /// own breaker/latency bookkeeping and its reply is dropped (a
+    /// blocking forward cannot be interrupted — dropping the receiver is
+    /// the cancellation). Returns `None` when hedging is not applicable
+    /// (disabled, fewer than two healthy shards, cold latency window) or
+    /// when every fired attempt failed, so the caller falls back to the
+    /// sequential walk.
+    fn hedged_attempt(
+        &self,
+        payload: &str,
+        key: u64,
+        remaining: Option<Duration>,
+    ) -> Option<String> {
+        if !self.config.hedge {
+            return None;
+        }
+        let healthy: Vec<Arc<Shard>> = self
+            .pool
+            .route(key)
+            .into_iter()
+            .filter(|s| s.is_healthy())
+            .collect();
+        if healthy.len() < 2 {
+            return None;
+        }
+        let p99 = healthy[0].p99_us()?;
+        let timeout = self.forward_timeout(remaining);
+        let mut delay = Duration::from_micros(p99).max(Duration::from_millis(1));
+        if let Some(rem) = remaining {
+            delay = delay.min(rem / 2);
+        }
+        let (tx, rx) = mpsc::channel();
+        self.spawn_attempt(&healthy[0], payload, timeout, false, tx.clone());
+        let mut expected = 1u32;
+        let mut outcome = rx.recv_timeout(delay);
+        if matches!(outcome, Err(RecvTimeoutError::Timeout)) {
+            // Primary is past its p99. Hedge if the budget allows; either
+            // way, keep waiting out the full forward timeout.
+            if self.hedge_budget.try_withdraw() {
+                GatewayMetrics::bump(&self.metrics.hedges_fired);
+                self.spawn_attempt(&healthy[1], payload, timeout, true, tx.clone());
+                expected = 2;
+            }
+            outcome = rx.recv_timeout(timeout.saturating_add(ATTEMPT_SLACK));
+        }
+        drop(tx);
+        let mut failures = 0u32;
+        loop {
+            match outcome {
+                Ok((is_hedge, Ok(reply))) => {
+                    if is_hedge {
+                        GatewayMetrics::bump(&self.metrics.hedges_won);
+                    }
+                    return Some(reply);
+                }
+                Ok((_, Err(_))) => {
+                    failures += 1;
+                    if failures >= expected {
+                        return None;
+                    }
+                }
+                Err(_) => return None,
+            }
+            outcome = rx.recv_timeout(timeout.saturating_add(ATTEMPT_SLACK));
+        }
+    }
+
+    /// One upstream attempt on its own thread. Bookkeeping (breaker
+    /// state, latency window, per-shard counters) happens on that thread,
+    /// so a losing hedge still records its outcome after the winner's
+    /// reply has been returned to the client.
+    fn spawn_attempt(
+        &self,
+        shard: &Arc<Shard>,
+        payload: &str,
+        timeout: Duration,
+        is_hedge: bool,
+        tx: mpsc::Sender<(bool, Result<String, String>)>,
+    ) {
+        let shard = shard.clone();
+        let payload = payload.to_string();
+        let faults = self.config.faults.clone();
+        let probe_interval = self.config.probe_interval;
+        let probe_backoff = self.config.probe_backoff;
+        std::thread::spawn(move || {
+            let started = Instant::now();
+            let result = shard.forward(&payload, timeout, &faults);
+            match &result {
+                Ok(_) => {
+                    shard.mark_healthy(probe_interval);
+                    shard.record_latency(started.elapsed());
+                    shard.routed.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    shard.forward_errors.fetch_add(1, Ordering::Relaxed);
+                    shard.mark_failed(probe_backoff);
+                }
+            }
+            let _ = tx.send((is_hedge, result.map_err(|e| e.to_string())));
+        });
     }
 
     /// Tries the key's shards in ring order: healthy ones first, then —
     /// if every healthy attempt failed — the evicted ones as a last
     /// resort (fail-fast marking may be stale). Every failure marks the
     /// shard unhealthy so later requests skip it immediately.
-    fn forward_failover(&self, payload: &str, key: u64) -> String {
+    fn forward_failover(&self, payload: &str, key: u64, remaining: Option<Duration>) -> String {
         GatewayMetrics::bump(&self.metrics.routed_total);
+        self.failover_attempts(payload, key, remaining)
+    }
+
+    fn failover_attempts(&self, payload: &str, key: u64, remaining: Option<Duration>) -> String {
         let candidates = self.pool.route(key);
-        let timeout = self.config.request_timeout;
+        let timeout = self.forward_timeout(remaining);
         let faults = &self.config.faults;
         // Snapshot health up front: healthy shards first (ring order),
         // then the evicted ones as a last resort — fail-fast marking may
@@ -251,9 +484,11 @@ impl GatewayState {
             if tried > 1 {
                 GatewayMetrics::bump(&self.metrics.failovers);
             }
+            let started = Instant::now();
             match shard.forward(payload, timeout, faults) {
                 Ok(reply) => {
                     shard.mark_healthy(self.config.probe_interval);
+                    shard.record_latency(started.elapsed());
                     shard.routed.fetch_add(1, Ordering::Relaxed);
                     return reply;
                 }
@@ -310,10 +545,12 @@ impl GatewayState {
                                         ("label", Json::Str(s.label.clone())),
                                         ("addr", Json::Str(s.addr.clone())),
                                         ("healthy", Json::Bool(s.is_healthy())),
+                                        ("breaker", Json::Str(s.breaker().as_str().into())),
                                         ("routed", load(&s.routed)),
                                         ("forward_errors", load(&s.forward_errors)),
                                         ("probe_failures", load(&s.probe_failures)),
                                         ("readmissions", load(&s.readmissions)),
+                                        ("breaker_opens", load(&s.breaker_opens)),
                                     ])
                                 })
                                 .collect(),
@@ -328,6 +565,23 @@ impl GatewayState {
                     ("batch_frames", load(&m.batch_frames)),
                     ("batch_subs", load(&m.batch_subs)),
                     ("rejected_busy", load(&m.rejected_busy)),
+                    ("hedges_fired", load(&m.hedges_fired)),
+                    ("hedges_won", load(&m.hedges_won)),
+                    ("shed_deadline", load(&m.shed_deadline)),
+                    (
+                        "breaker_opens",
+                        Json::Num(
+                            self.pool
+                                .shards()
+                                .iter()
+                                .map(|s| s.breaker_opens.load(Ordering::Relaxed))
+                                .sum::<u64>() as f64,
+                        ),
+                    ),
+                    (
+                        "retry_budget_exhausted",
+                        Json::Num(self.hedge_budget.exhausted_count() as f64),
+                    ),
                     ("in_flight", Json::Num(self.flights.in_flight() as f64)),
                 ]),
             ),
@@ -532,7 +786,10 @@ fn serve_connection(
             }
             Err(FrameError::Io(e)) => return Err(e),
         };
-        let response = state.handle(&payload);
+        // The deadline clock starts once the frame is fully read: the
+        // budget covers gateway queueing + forwarding, not a trickling
+        // client's own send time.
+        let response = state.handle_at(&payload, Instant::now());
         write_frame(&mut stream, &response)?;
     }
 }

@@ -1,27 +1,34 @@
 //! The health-checked shard pool.
 //!
 //! Each shard is a running `gpp-serve` instance. The pool tracks one
-//! health bit per shard, maintained from two directions:
+//! **circuit breaker** per shard — closed / open / half-open — maintained
+//! from two directions:
 //!
-//! * **fail-fast** — a forward that cannot reach its shard marks it
-//!   unhealthy immediately, so the very next request fails over without
-//!   paying a connect timeout;
-//! * **probing** — a background prober sends `health` frames. A healthy
-//!   shard is probed at the configured interval; an unhealthy one is
-//!   re-probed on an exponential backoff and **re-admitted** the moment a
-//!   probe succeeds.
+//! * **fail-fast** — a forward that cannot reach its shard trips its
+//!   breaker **open** immediately, so the very next request fails over
+//!   without paying a connect timeout;
+//! * **probing** — a background prober sends `health` frames. A closed
+//!   shard is probed at the configured interval; an open one moves to
+//!   **half-open** when its cooldown (exponential backoff on the failure
+//!   streak, seeded-jittered per shard) expires, gets exactly one trial
+//!   probe, and is either re-closed (re-admitted) on success or re-opened
+//!   with a longer cooldown on failure.
+//!
+//! Each shard also keeps a rolling window of successful forward
+//! latencies; its p99 is the gateway's hedging trigger.
 //!
 //! Fault points [`gpp_fault::GATEWAY_SHARD_DOWN`] (scoped per shard
-//! label) and [`gpp_fault::GATEWAY_SHARD_SLOW`] inject dead and slow
-//! shards without touching real processes, which is how the chaos suite
-//! kills shards mid-load reproducibly.
+//! label), [`gpp_fault::GATEWAY_SHARD_SLOW`], and
+//! [`gpp_fault::GATEWAY_SHARD_HANG`] inject dead, slow, and hung shards
+//! without touching real processes, which is how the chaos suites kill
+//! shards mid-load reproducibly.
 
 use crate::ring::HashRing;
 use gpp_fault::FaultInjector;
-use gpp_serve::client::{backoff_delay, Client};
+use gpp_serve::client::{backoff_delay, jitter_seed, Client};
 use parking_lot::Mutex;
 use std::io;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -29,24 +36,65 @@ use std::time::{Duration, Instant};
 /// this stop lengthening the wait (base × 2⁷ ≈ two orders of magnitude).
 const MAX_BACKOFF_EXP: u32 = 8;
 
-/// One upstream `gpp-serve` shard and its health state.
+/// Successful forward latencies each shard remembers for its rolling p99.
+const LATENCY_WINDOW: usize = 256;
+
+/// Fewest recorded latencies before the p99 is considered meaningful
+/// (hedging stays off below this).
+pub const MIN_LATENCY_SAMPLES: usize = 8;
+
+/// Circuit-breaker states, stored as a `u8` on the shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Breaker {
+    /// Healthy: requests flow, periodic probing.
+    Closed = 0,
+    /// Tripped: no requests until the cooldown expires.
+    Open = 1,
+    /// Cooldown expired: one trial probe in flight decides the rest.
+    HalfOpen = 2,
+}
+
+impl Breaker {
+    fn from_u8(v: u8) -> Breaker {
+        match v {
+            1 => Breaker::Open,
+            2 => Breaker::HalfOpen,
+            _ => Breaker::Closed,
+        }
+    }
+
+    /// The stats-reply spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Breaker::Closed => "closed",
+            Breaker::Open => "open",
+            Breaker::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// One upstream `gpp-serve` shard and its breaker state.
 pub struct Shard {
     /// Stable ring label (`shard0`, `shard1`, ...); also the scope chaos
     /// plans use (`gateway.shard.down@shard1`).
     pub label: String,
     /// The shard's TCP address.
     pub addr: String,
-    healthy: AtomicBool,
+    breaker: AtomicU8,
     consecutive_failures: AtomicU32,
     next_probe: Mutex<Instant>,
+    latencies_us: Mutex<Vec<u64>>,
+    latency_pos: AtomicU64,
     /// Requests this shard answered through the gateway.
     pub routed: AtomicU64,
-    /// Forward attempts that failed (marking the shard unhealthy).
+    /// Forward attempts that failed (tripping the breaker open).
     pub forward_errors: AtomicU64,
     /// Health probes that failed.
     pub probe_failures: AtomicU64,
-    /// Times the shard went unhealthy → healthy (probe recoveries).
+    /// Times the breaker re-closed (probe recoveries).
     pub readmissions: AtomicU64,
+    /// Times the breaker tripped closed → open.
+    pub breaker_opens: AtomicU64,
 }
 
 impl Shard {
@@ -54,46 +102,91 @@ impl Shard {
         Shard {
             label,
             addr,
-            healthy: AtomicBool::new(true),
+            breaker: AtomicU8::new(Breaker::Closed as u8),
             consecutive_failures: AtomicU32::new(0),
             next_probe: Mutex::new(Instant::now()),
+            latencies_us: Mutex::new(Vec::with_capacity(LATENCY_WINDOW)),
+            latency_pos: AtomicU64::new(0),
             routed: AtomicU64::new(0),
             forward_errors: AtomicU64::new(0),
             probe_failures: AtomicU64::new(0),
             readmissions: AtomicU64::new(0),
+            breaker_opens: AtomicU64::new(0),
         }
     }
 
-    /// Whether the shard is currently believed alive.
-    pub fn is_healthy(&self) -> bool {
-        self.healthy.load(Ordering::SeqCst)
+    /// The breaker's current state.
+    pub fn breaker(&self) -> Breaker {
+        Breaker::from_u8(self.breaker.load(Ordering::SeqCst))
     }
 
-    /// Records a failed contact: the shard leaves the healthy set and its
-    /// next probe backs off exponentially with the failure streak.
+    /// Whether requests may flow to this shard (breaker closed).
+    pub fn is_healthy(&self) -> bool {
+        self.breaker() == Breaker::Closed
+    }
+
+    /// Records a failed contact: the breaker trips open and the next
+    /// (half-open) trial backs off exponentially with the failure streak,
+    /// jittered on a per-shard seed so a pool of tripped shards does not
+    /// re-probe in lockstep.
     pub fn mark_failed(&self, probe_backoff: Duration) {
-        self.healthy.store(false, Ordering::SeqCst);
+        let was = self.breaker.swap(Breaker::Open as u8, Ordering::SeqCst);
+        if Breaker::from_u8(was) == Breaker::Closed {
+            self.breaker_opens.fetch_add(1, Ordering::SeqCst);
+        }
         let failures = self
             .consecutive_failures
             .fetch_add(1, Ordering::SeqCst)
             .saturating_add(1)
             .min(MAX_BACKOFF_EXP);
-        *self.next_probe.lock() = Instant::now() + backoff_delay(probe_backoff, failures);
+        *self.next_probe.lock() = Instant::now()
+            + backoff_delay(probe_backoff, failures, jitter_seed(self.label.as_bytes()));
     }
 
-    /// Records a successful contact; an unhealthy shard is re-admitted.
+    /// Records a successful contact; a tripped breaker re-closes.
     pub fn mark_healthy(&self, probe_interval: Duration) {
-        if !self.healthy.swap(true, Ordering::SeqCst) {
+        let was = self.breaker.swap(Breaker::Closed as u8, Ordering::SeqCst);
+        if Breaker::from_u8(was) != Breaker::Closed {
             self.readmissions.fetch_add(1, Ordering::SeqCst);
         }
         self.consecutive_failures.store(0, Ordering::SeqCst);
         *self.next_probe.lock() = Instant::now() + probe_interval;
     }
 
+    /// Adds one successful forward's latency to the rolling window.
+    pub fn record_latency(&self, elapsed: Duration) {
+        let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        let pos = self.latency_pos.fetch_add(1, Ordering::Relaxed) as usize % LATENCY_WINDOW;
+        let mut window = self.latencies_us.lock();
+        if window.len() < LATENCY_WINDOW {
+            window.push(us);
+        } else {
+            window[pos] = us;
+        }
+    }
+
+    /// The rolling p99 forward latency, or `None` until the window holds
+    /// [`MIN_LATENCY_SAMPLES`] — the hedging trigger stays conservative
+    /// while the shard is cold.
+    pub fn p99_us(&self) -> Option<u64> {
+        let window = self.latencies_us.lock();
+        if window.len() < MIN_LATENCY_SAMPLES {
+            return None;
+        }
+        let mut sorted: Vec<u64> = window.clone();
+        drop(window);
+        sorted.sort_unstable();
+        // Nearest-rank p99, matching serve's metrics.
+        let rank = (sorted.len() * 99).div_ceil(100).max(1);
+        Some(sorted[rank - 1])
+    }
+
     /// Sends one already-encoded payload to the shard and returns the raw
     /// reply. Consults the injection points first so chaos plans can kill
-    /// (`gateway.shard.down`) or slow (`gateway.shard.slow`, factor =
-    /// milliseconds) this shard without a real process dying.
+    /// (`gateway.shard.down`), slow (`gateway.shard.slow`, factor =
+    /// milliseconds), or hang (`gateway.shard.hang` — sleeps min(factor
+    /// ms, timeout) and fails as timed out, never reaching the wire) this
+    /// shard without a real process dying.
     pub fn forward(
         &self,
         payload: &str,
@@ -105,6 +198,15 @@ impl Shard {
                 faults.fire_factor_scoped(gpp_fault::GATEWAY_SHARD_SLOW, Some(&self.label))
             {
                 std::thread::sleep(Duration::from_millis(ms.max(0.0) as u64));
+            }
+            if let Some(ms) =
+                faults.fire_factor_scoped(gpp_fault::GATEWAY_SHARD_HANG, Some(&self.label))
+            {
+                std::thread::sleep(Duration::from_millis(ms.max(0.0) as u64).min(timeout));
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("injected shard hang ({})", self.label),
+                ));
             }
             if faults.fires_scoped(gpp_fault::GATEWAY_SHARD_DOWN, Some(&self.label)) {
                 return Err(io::Error::new(
@@ -188,6 +290,14 @@ impl ShardPool {
             if Instant::now() < *shard.next_probe.lock() {
                 continue;
             }
+            // An open breaker whose cooldown just expired gets exactly one
+            // half-open trial: the probe below either re-closes it
+            // (mark_healthy) or re-opens it with a longer cooldown.
+            if shard.breaker() == Breaker::Open {
+                shard
+                    .breaker
+                    .store(Breaker::HalfOpen as u8, Ordering::SeqCst);
+            }
             if shard.probe(timeout, faults) {
                 shard.mark_healthy(probe_interval);
             } else {
@@ -225,6 +335,63 @@ mod tests {
         }
         let later = *shard.next_probe.lock() - Instant::now();
         assert!(later > first, "{later:?} vs {first:?}");
+    }
+
+    #[test]
+    fn breaker_walks_closed_open_halfopen_and_counts_opens() {
+        let shard = Shard::new("shard0".into(), "127.0.0.1:1".into());
+        assert_eq!(shard.breaker(), Breaker::Closed);
+        shard.mark_failed(Duration::from_millis(1));
+        assert_eq!(shard.breaker(), Breaker::Open);
+        assert_eq!(shard.breaker_opens.load(Ordering::SeqCst), 1);
+        // Re-failing an already-open breaker is not a new trip.
+        shard.mark_failed(Duration::from_millis(1));
+        assert_eq!(shard.breaker_opens.load(Ordering::SeqCst), 1);
+        // The prober's half-open trial failing re-opens, succeeding closes.
+        shard
+            .breaker
+            .store(Breaker::HalfOpen as u8, Ordering::SeqCst);
+        shard.mark_failed(Duration::from_millis(1));
+        assert_eq!(shard.breaker(), Breaker::Open);
+        assert_eq!(shard.breaker_opens.load(Ordering::SeqCst), 1);
+        shard
+            .breaker
+            .store(Breaker::HalfOpen as u8, Ordering::SeqCst);
+        shard.mark_healthy(Duration::from_secs(1));
+        assert_eq!(shard.breaker(), Breaker::Closed);
+        assert_eq!(shard.readmissions.load(Ordering::SeqCst), 1);
+        assert_eq!(Breaker::HalfOpen.as_str(), "half-open");
+    }
+
+    #[test]
+    fn p99_needs_samples_then_tracks_the_tail() {
+        let shard = Shard::new("shard0".into(), "127.0.0.1:1".into());
+        for i in 0..MIN_LATENCY_SAMPLES - 1 {
+            shard.record_latency(Duration::from_micros(100 + i as u64));
+            assert_eq!(shard.p99_us(), None, "cold window must not hedge");
+        }
+        shard.record_latency(Duration::from_millis(50));
+        let p99 = shard.p99_us().expect("window is warm");
+        assert_eq!(p99, 50_000, "p99 must sit at the tail outlier");
+        // The window rolls: old samples eventually fall out.
+        for _ in 0..LATENCY_WINDOW {
+            shard.record_latency(Duration::from_micros(200));
+        }
+        assert_eq!(shard.p99_us(), Some(200));
+    }
+
+    #[test]
+    fn injected_hang_times_out_without_network() {
+        let faults =
+            gpp_fault::FaultInjector::new(gpp_fault::FaultPlan::empty().with_seed(7).with(
+                &gpp_fault::scoped_point(gpp_fault::GATEWAY_SHARD_HANG, "shard0"),
+                gpp_fault::Rule::new(gpp_fault::Mode::Always).factor(5.0),
+            ));
+        let shard = Shard::new("shard0".into(), "127.0.0.1:9".into());
+        let err = shard
+            .forward("gpp/1 ping", Duration::from_millis(50), &faults)
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
     }
 
     #[test]

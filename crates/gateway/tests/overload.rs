@@ -1,0 +1,258 @@
+//! The overload chaos suite: a pinned `gateway.shard.slow` plan makes the
+//! busiest shard stall for longer than the propagated deadline, and the
+//! gateway must degrade gracefully — hedged requests rescue the goodput a
+//! no-hedge gateway loses, no `ok` reply ever lands after its deadline,
+//! hedging stays within its token budget, and with a generous deadline
+//! (or none) the replies stay bit-identical to a single-shard no-fault
+//! run.
+
+use gpp_gateway::ring::{routing_key, HashRing};
+use gpp_gateway::{GatewayConfig, GatewayState};
+use gpp_serve::{Client, ServeConfig, Server, ServerHandle};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const TIMEOUT: Duration = Duration::from_secs(20);
+const SHARDS: usize = 3;
+/// Warm-phase repetitions of the script: enough traffic that every
+/// shard's rolling latency window passes `MIN_LATENCY_SAMPLES` and the
+/// projection caches are hot before the stall begins.
+const WARM_REPS: usize = 3;
+/// The injected stall, deliberately longer than the deadline.
+const SLOW_MS: u64 = 300;
+/// The end-to-end deadline propagated during the measured phase.
+const DEADLINE_MS: u64 = 150;
+
+/// Structurally distinct programs (same family as the kill chaos suite).
+fn skeleton(n: usize) -> String {
+    let size = 1usize << (12 + n % 8);
+    format!(
+        "program overload-{n}\n\
+         array a f32 [{size}]\n\
+         array b f32 [{size}]\n\
+         array c f32 [{size}]\n\
+         \n\
+         kernel add\n\
+         \x20 parallel i {size}\n\
+         \x20 stmt adds={adds}\n\
+         \x20   read  a [i]\n\
+         \x20   read  b [i]\n\
+         \x20   write c [i]\n",
+        adds = 1 + n / 8,
+    )
+}
+
+fn script(deadline_ms: Option<u64>) -> Vec<String> {
+    (0..12)
+        .map(|n| {
+            let deadline = deadline_ms
+                .map(|ms| format!(" deadline_ms={ms}"))
+                .unwrap_or_default();
+            format!("gpp/1 project seed={}{deadline}\n{}", 3000 + n, skeleton(n))
+        })
+        .collect()
+}
+
+fn spawn_shard() -> ServerHandle {
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        ..ServeConfig::default()
+    };
+    Server::bind(config).unwrap().spawn().unwrap()
+}
+
+/// How many script requests each shard label owns as primary.
+fn primary_counts(script: &[String]) -> Vec<usize> {
+    let labels: Vec<String> = (0..SHARDS).map(|i| format!("shard{i}")).collect();
+    let ring = HashRing::new(&labels);
+    let mut counts = vec![0usize; SHARDS];
+    for payload in script {
+        let skeleton = payload.split_once('\n').unwrap().1;
+        let program = gpp_skeleton::text::parse(skeleton).unwrap();
+        let fingerprint = gpp_gpu_model::program_fingerprint(&program);
+        let key = routing_key("eureka", fingerprint);
+        counts[ring.route(key).unwrap()] += 1;
+    }
+    counts
+}
+
+fn victim(script: &[String]) -> (usize, usize) {
+    let counts = primary_counts(script);
+    let idx = (0..SHARDS).max_by_key(|&i| counts[i]).unwrap();
+    assert!(counts[idx] >= 2, "ring gave no shard 2+ keys: {counts:?}");
+    (idx, counts[idx])
+}
+
+/// One slow-shard run: warm with `WARM_REPS` fault-free script passes
+/// (the `after=` guard), then the measured deadline-bearing pass under
+/// the stall. Returns (ok replies, per-request wall times, state).
+fn slow_shard_run(hedge: bool) -> (usize, Vec<(String, Duration)>, GatewayState) {
+    let warm_script = script(None);
+    let (victim_idx, victim_load) = victim(&warm_script);
+    let shards: Vec<ServerHandle> = (0..SHARDS).map(|_| spawn_shard()).collect();
+    // The stall arms only after the warm phase has used up the victim's
+    // fault-free consults.
+    let plan = format!(
+        "seed=7;gateway.shard.slow@shard{victim_idx}:after={},factor={SLOW_MS}",
+        WARM_REPS * victim_load
+    );
+    let config = GatewayConfig {
+        hedge,
+        faults: Arc::new(gpp_fault::FaultInjector::new(plan.parse().unwrap())),
+        ..GatewayConfig::default()
+    };
+    let state = GatewayState::new(
+        config,
+        shards.iter().map(|s| s.addr().to_string()).collect(),
+    );
+
+    for rep in 0..WARM_REPS {
+        for (i, payload) in warm_script.iter().enumerate() {
+            let reply = state.handle(payload);
+            assert!(
+                reply.starts_with("{\"ok\":true"),
+                "warm rep {rep} request {i}: {reply}"
+            );
+        }
+    }
+
+    let measured = script(Some(DEADLINE_MS));
+    let mut replies = Vec::new();
+    let mut ok = 0usize;
+    for payload in &measured {
+        let started = Instant::now();
+        let reply = state.handle(payload);
+        let elapsed = started.elapsed();
+        if reply.starts_with("{\"ok\":true") {
+            ok += 1;
+        } else {
+            assert!(
+                reply.contains("\"kind\":\"deadline\""),
+                "only deadline errors are acceptable degradation: {reply}"
+            );
+        }
+        replies.push((reply, elapsed));
+    }
+    // Shards shut down after the measured phase; abandoned hedge losers
+    // still sleeping in the injected stall just fail their sends.
+    for s in shards {
+        s.shutdown_and_join().unwrap();
+    }
+    (ok, replies, state)
+}
+
+#[test]
+fn hedging_beats_the_no_hedge_baseline_under_a_slow_shard() {
+    let (ok_without, _, baseline) = slow_shard_run(false);
+    let (ok_with, replies, state) = slow_shard_run(true);
+
+    // The no-hedge gateway loses the victim's keys to the deadline; the
+    // hedging gateway re-wins them on the ring successor.
+    assert!(
+        ok_with > ok_without,
+        "hedging goodput {ok_with}/12 must beat the no-hedge baseline {ok_without}/12"
+    );
+    assert_eq!(
+        baseline.metrics.hedges_fired.load(Ordering::Relaxed),
+        0,
+        "--no-hedge must keep hedging off"
+    );
+    let fired = state.metrics.hedges_fired.load(Ordering::Relaxed);
+    let won = state.metrics.hedges_won.load(Ordering::Relaxed);
+    assert!(fired >= 1, "the stalled primary never triggered a hedge");
+    assert!(won >= 1, "no hedge ever won against a {SLOW_MS}ms stall");
+    assert!(won <= fired);
+    // Hedges are budget-metered: capacity 8 plus a sub-second trickle of
+    // refill can never have fired more than a dozen extra attempts.
+    assert!(fired <= 12, "hedge budget overrun: {fired} fired");
+
+    // Zero replies after the deadline: every ok reply landed within the
+    // budget (plus scheduling slack).
+    let slack = Duration::from_millis(50);
+    for (reply, elapsed) in &replies {
+        if reply.starts_with("{\"ok\":true") {
+            assert!(
+                *elapsed <= Duration::from_millis(DEADLINE_MS) + slack,
+                "ok reply landed {elapsed:?} after a {DEADLINE_MS}ms deadline"
+            );
+        }
+    }
+}
+
+/// Ground truth for the identity check: one fresh shard, no gateway.
+fn reference_replies(script: &[String]) -> Vec<String> {
+    let shard = spawn_shard();
+    let mut client = Client::connect(shard.addr(), TIMEOUT).unwrap();
+    let replies: Vec<String> = script.iter().map(|p| client.call_raw(p).unwrap()).collect();
+    drop(client);
+    shard.shutdown_and_join().unwrap();
+    replies
+}
+
+#[test]
+fn fault_free_replies_stay_bit_identical_with_hedging_on_and_deadlines_met() {
+    // The reference never sees a deadline option; the serve protocol
+    // keeps replies deadline-free, so a generously-budgeted gateway run
+    // must produce the very same bytes.
+    let reference = reference_replies(&script(None));
+    let shards: Vec<ServerHandle> = (0..SHARDS).map(|_| spawn_shard()).collect();
+    let state = GatewayState::new(
+        GatewayConfig::default(),
+        shards.iter().map(|s| s.addr().to_string()).collect(),
+    );
+    let no_deadline: Vec<String> = script(None).iter().map(|p| state.handle(p)).collect();
+    assert_eq!(no_deadline, reference, "no-deadline bytes drifted");
+    let generous: Vec<String> = script(Some(60_000))
+        .iter()
+        .map(|p| state.handle(p))
+        .collect();
+    // The second pass hits warm projection caches upstream: identical
+    // except the cached flag, so compare with it normalized.
+    let normalize = |r: &String| r.replace("\"cached\":true", "\"cached\":false");
+    assert_eq!(
+        generous.iter().map(normalize).collect::<Vec<_>>(),
+        reference.iter().map(normalize).collect::<Vec<_>>(),
+        "a met deadline changed the reply bytes"
+    );
+    assert_eq!(state.metrics.shed_deadline.load(Ordering::Relaxed), 0);
+    for s in shards {
+        s.shutdown_and_join().unwrap();
+    }
+}
+
+#[test]
+fn expired_deadline_is_answered_locally_without_a_forward() {
+    let shards: Vec<ServerHandle> = (0..1).map(|_| spawn_shard()).collect();
+    let state = GatewayState::new(
+        GatewayConfig::default(),
+        shards.iter().map(|s| s.addr().to_string()).collect(),
+    );
+    let payload = &script(Some(50))[0];
+    // An arrival stamped 200ms in the past: the 50ms budget is gone
+    // before routing even starts.
+    let reply = state.handle_at(payload, Instant::now() - Duration::from_millis(200));
+    assert!(reply.contains("\"kind\":\"deadline\""), "{reply}");
+    assert_eq!(state.metrics.shed_deadline.load(Ordering::Relaxed), 1);
+    assert_eq!(
+        state.metrics.routed_total.load(Ordering::Relaxed),
+        0,
+        "an expired deadline must not reach a shard"
+    );
+    // The stats reply exposes the overload counters.
+    let stats = state.handle("gpp/1 stats");
+    for key in [
+        "\"hedges_fired\":",
+        "\"hedges_won\":",
+        "\"shed_deadline\":",
+        "\"breaker_opens\":",
+        "\"retry_budget_exhausted\":",
+        "\"breaker\":\"closed\"",
+    ] {
+        assert!(stats.contains(key), "stats missing {key}: {stats}");
+    }
+    for s in shards {
+        s.shutdown_and_join().unwrap();
+    }
+}

@@ -26,7 +26,10 @@ pub mod protocol;
 pub mod server;
 pub mod service;
 
-pub use client::{backoff_delay, request_once, request_with_retries, Client};
+pub use client::{
+    backoff_delay, request_once, request_with_retries, request_with_retries_budgeted, Client,
+    RetryBudget,
+};
 pub use protocol::{batch_response, Command, ProtocolError, Request};
 pub use server::{DeadlineRead, Server, ServerHandle};
 pub use service::{ServeConfig, ServiceState};

@@ -42,6 +42,16 @@ pub struct Metrics {
     pub too_large_rejected: AtomicU64,
     /// Inbound frames corrupted by an injected fault before decoding.
     pub frames_corrupted: AtomicU64,
+    /// Requests shed because their propagated `deadline_ms` budget could
+    /// not cover the observed median compute time (admission at dequeue),
+    /// or because the deadline expired before the reply was ready.
+    pub shed_deadline: AtomicU64,
+    /// Connections shed oldest-first from a saturated accept queue to
+    /// make room for a newcomer.
+    pub shed_queue: AtomicU64,
+    /// Retry withdrawals the calibration retry budget refused: the
+    /// token bucket was empty, so the retry loop stopped early.
+    pub retry_budget_exhausted: AtomicU64,
     /// Ring buffer of recent request latencies, microseconds, split into
     /// (queued, compute): time spent waiting in the accept queue vs time
     /// inside the handler.
@@ -91,6 +101,9 @@ impl Default for Metrics {
             degraded_replies: AtomicU64::new(0),
             too_large_rejected: AtomicU64::new(0),
             frames_corrupted: AtomicU64::new(0),
+            shed_deadline: AtomicU64::new(0),
+            shed_queue: AtomicU64::new(0),
+            retry_budget_exhausted: AtomicU64::new(0),
             latencies_us: Mutex::new(Ring {
                 buf: Vec::with_capacity(LATENCY_WINDOW),
                 next: 0,
@@ -125,6 +138,12 @@ pub struct StatsSnapshot {
     pub too_large_rejected: u64,
     /// Inbound frames corrupted by fault injection.
     pub frames_corrupted: u64,
+    /// Requests shed on deadline grounds (admission or late detection).
+    pub shed_deadline: u64,
+    /// Connections shed oldest-first from a saturated accept queue.
+    pub shed_queue: u64,
+    /// Calibration retries refused by an empty retry budget.
+    pub retry_budget_exhausted: u64,
     /// Total faults the active plan injected across the whole stack
     /// (supplied by the caller from the injector; 0 without a plan).
     pub faults_injected: u64,
@@ -203,6 +222,9 @@ impl Metrics {
             degraded_replies: self.degraded_replies.load(Ordering::Relaxed),
             too_large_rejected: self.too_large_rejected.load(Ordering::Relaxed),
             frames_corrupted: self.frames_corrupted.load(Ordering::Relaxed),
+            shed_deadline: self.shed_deadline.load(Ordering::Relaxed),
+            shed_queue: self.shed_queue.load(Ordering::Relaxed),
+            retry_budget_exhausted: self.retry_budget_exhausted.load(Ordering::Relaxed),
             faults_injected,
             p50_latency_us: total.0,
             p99_latency_us: total.1,
@@ -225,6 +247,16 @@ impl Metrics {
     /// Bumps a counter by one (helper so call sites stay terse).
     pub fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The observed median handler compute time over the recent window,
+    /// microseconds; 0 until a request completed. This is the admission
+    /// yardstick: a request whose remaining deadline budget cannot cover
+    /// it is shed instead of computed (a cold window of 0 sheds only
+    /// requests whose budget is already gone).
+    pub fn compute_p50_us(&self) -> u64 {
+        let ring = self.latencies_us.lock();
+        percentiles(ring.buf.iter().map(|&(_, c)| c)).0
     }
 
     /// Updates the named machine's counter row.

@@ -12,9 +12,13 @@
 //! Commands: `project`, `measure`, `analyze`, `deps`, `calibrate`,
 //! `stats`, `ping`, `health`, `batch`. Options: `machine=<registry name>`
 //! (default `eureka`), `seed=N`, `iters=N`,
-//! `temporary=a,b` (device-temporary hint), `sparse=name:bytes,...`
-//! (sparse-bound hint). Responses are a single JSON object:
-//! `{"ok":true,...}` or `{"ok":false,"error":{"kind":...,"message":...}}`.
+//! `deadline_ms=N` (remaining client budget — servers shed work that
+//! cannot finish inside it; absent means no deadline and byte-identical
+//! legacy behavior), `temporary=a,b` (device-temporary hint),
+//! `sparse=name:bytes,...` (sparse-bound hint). Responses are a single
+//! JSON object: `{"ok":true,...}` or
+//! `{"ok":false,"error":{"kind":...,"message":...}}`; `busy`/`shed`
+//! errors additionally carry a top-level `retry_after_ms` hint.
 //!
 //! # The batch frame
 //!
@@ -122,6 +126,13 @@ pub struct Request {
     pub seed: u64,
     /// Iteration count for totals/speedups.
     pub iters: u32,
+    /// Remaining client budget in milliseconds at send time. `None` (the
+    /// wire default) disables deadline handling entirely; the reply bytes
+    /// are then identical to a build that predates the field. Gateways
+    /// decrement this by elapsed time before forwarding; servers shed the
+    /// request when the remaining budget cannot cover the observed median
+    /// compute time.
+    pub deadline_ms: Option<u64>,
     /// Arrays hinted as device-side temporaries (names).
     pub temporaries: Vec<String>,
     /// Sparse-bound hints: (array name, useful bytes).
@@ -143,6 +154,7 @@ impl Request {
             machine: "eureka".to_string(),
             seed: 2013,
             iters: 1,
+            deadline_ms: None,
             temporaries: Vec::new(),
             sparse: Vec::new(),
             lint: true,
@@ -177,6 +189,9 @@ impl Request {
         }
         if self.iters != 1 {
             header.push_str(&format!(" iters={}", self.iters));
+        }
+        if let Some(ms) = self.deadline_ms {
+            header.push_str(&format!(" deadline_ms={ms}"));
         }
         if !self.temporaries.is_empty() {
             header.push_str(&format!(" temporary={}", self.temporaries.join(",")));
@@ -247,6 +262,14 @@ impl Request {
                             format!("iters=`{value}` is not an integer"),
                         )
                     })?
+                }
+                "deadline_ms" => {
+                    req.deadline_ms = Some(value.parse().map_err(|_| {
+                        ProtocolError::new(
+                            "bad-option",
+                            format!("deadline_ms=`{value}` is not an integer"),
+                        )
+                    })?)
                 }
                 "temporary" => req.temporaries.extend(
                     value
@@ -433,6 +456,12 @@ pub struct ProtocolError {
     /// Non-empty only for `lint` rejections: the findings that caused
     /// them, serialized as a top-level `diagnostics` array.
     pub diagnostics: Vec<LintDiagnostic>,
+    /// For `busy`/`shed` rejections: how long (ms) the server suggests
+    /// waiting before retrying, derived from current queue depth × the
+    /// observed median compute time. Serialized as a top-level
+    /// `retry_after_ms` field only when present, so every other error
+    /// keeps its exact pre-existing bytes.
+    pub retry_after_ms: Option<u64>,
 }
 
 impl ProtocolError {
@@ -441,7 +470,15 @@ impl ProtocolError {
             kind: kind.into(),
             message: message.into(),
             diagnostics: Vec::new(),
+            retry_after_ms: None,
         }
+    }
+
+    /// Attaches a `retry_after_ms` hint (for `busy`/`shed` replies).
+    #[must_use]
+    pub fn with_retry_after(mut self, ms: u64) -> Self {
+        self.retry_after_ms = Some(ms);
+        self
     }
 }
 
@@ -466,8 +503,22 @@ impl ProtocolError {
             kind: extract_json_string(response, "kind")?,
             message: extract_json_string(response, "message")?,
             diagnostics: Vec::new(),
+            retry_after_ms: retry_after_ms(response),
         })
     }
+}
+
+/// Pulls the top-level `retry_after_ms` hint out of a rendered `busy`/
+/// `shed` reply, if present. Clients use it to pace their next attempt
+/// instead of the fixed exponential base.
+pub fn retry_after_ms(response: &str) -> Option<u64> {
+    let needle = "\"retry_after_ms\":";
+    let start = response.find(needle)? + needle.len();
+    let digits: String = response[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
 }
 
 /// Pulls the string value of `"key":"..."` out of rendered JSON, undoing
@@ -666,6 +717,41 @@ mod tests {
                 .unwrap_err()
                 .kind,
             "bad-option"
+        );
+    }
+
+    #[test]
+    fn deadline_roundtrips_and_stays_off_the_wire_when_absent() {
+        let mut req = Request::new(Command::Project);
+        req.skeleton = "program p\n".into();
+        assert_eq!(req.deadline_ms, None);
+        // Absent deadline emits nothing: the bytes predate the field.
+        assert!(!req.encode().contains("deadline"));
+        req.deadline_ms = Some(250);
+        assert!(req.encode().contains(" deadline_ms=250"));
+        let decoded = Request::decode(&req.encode()).unwrap();
+        assert_eq!(decoded, req);
+        assert_eq!(
+            Request::decode("gpp/1 project deadline_ms=soon\nx")
+                .unwrap_err()
+                .kind,
+            "bad-option"
+        );
+    }
+
+    #[test]
+    fn retry_after_hint_extraction() {
+        let reply = r#"{"ok":false,"error":{"kind":"busy","message":"full"},"retry_after_ms":42}"#;
+        assert_eq!(retry_after_ms(reply), Some(42));
+        assert_eq!(
+            ProtocolError::from_response(reply).unwrap().retry_after_ms,
+            Some(42)
+        );
+        let plain = r#"{"ok":false,"error":{"kind":"busy","message":"full"}}"#;
+        assert_eq!(retry_after_ms(plain), None);
+        assert_eq!(
+            ProtocolError::from_response(plain).unwrap().retry_after_ms,
+            None
         );
     }
 

@@ -21,7 +21,9 @@
 
 use crate::metrics::Metrics;
 use crate::protocol::{read_frame_limited, write_frame, FrameError, ProtocolError};
-use crate::service::{busy_response, error_json, ServeConfig, ServiceState};
+use crate::service::{
+    busy_response_with_hint, error_json, shed_queue_response, ServeConfig, ServiceState,
+};
 use crossbeam::channel::{bounded, Receiver, TrySendError};
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -110,9 +112,30 @@ impl Server {
                 match listener.accept() {
                     Ok((stream, _peer)) => match tx.try_send((stream, Instant::now())) {
                         Ok(()) => {}
-                        Err(TrySendError::Full((stream, _))) => {
-                            state.note_busy();
-                            reply_busy(stream);
+                        Err(TrySendError::Full(pair)) => {
+                            // Shed-oldest-first (adaptive LIFO): the
+                            // longest-queued connection is the one most
+                            // likely past its caller's patience, so it is
+                            // displaced with a structured `shed` reply and
+                            // the fresh arrival takes its slot. Only if no
+                            // queued entry can be reclaimed (workers
+                            // drained the queue in the race window and it
+                            // refilled — impossible with one acceptor, but
+                            // cheap to guard) does the newcomer get the
+                            // legacy `busy`.
+                            let hint = state.retry_after_hint_ms(rx.len());
+                            if let Some((oldest, _enqueued)) = rx.try_recv() {
+                                state.note_shed_queue();
+                                reply_reject(oldest, shed_queue_response(hint));
+                            }
+                            match tx.try_send(pair) {
+                                Ok(()) => {}
+                                Err(TrySendError::Full((stream, _))) => {
+                                    state.note_busy();
+                                    reply_reject(stream, busy_response_with_hint(hint));
+                                }
+                                Err(TrySendError::Disconnected(_)) => break,
+                            }
                         }
                         Err(TrySendError::Disconnected(_)) => break,
                     },
@@ -351,13 +374,14 @@ impl Read for DeadlineRead<'_> {
     }
 }
 
-/// Fast-path rejection when the queue is full: reply `busy` and hang up
-/// without processing the request, on a short-lived thread so the accept
-/// loop keeps accepting. After the reply we send FIN and drain whatever
-/// the client already wrote — closing with unread data in the receive
-/// buffer makes the kernel RST the connection, which can destroy the
-/// reply before the client reads it.
-fn reply_busy(mut stream: TcpStream) {
+/// Fast-path rejection when the queue is full: reply `busy`/`shed` (with
+/// its `retry_after_ms` hint) and hang up without processing the request,
+/// on a short-lived thread so the accept loop keeps accepting. After the
+/// reply we send FIN and drain whatever the client already wrote —
+/// closing with unread data in the receive buffer makes the kernel RST
+/// the connection, which can destroy the reply before the client reads
+/// it.
+fn reply_reject(mut stream: TcpStream, response: String) {
     std::thread::spawn(move || {
         stream
             .set_read_timeout(Some(Duration::from_millis(500)))
@@ -366,7 +390,7 @@ fn reply_busy(mut stream: TcpStream) {
             .set_write_timeout(Some(Duration::from_millis(500)))
             .ok();
         stream.set_nodelay(true).ok();
-        let _ = write_frame(&mut stream, &busy_response());
+        let _ = write_frame(&mut stream, &response);
         let _ = stream.shutdown(std::net::Shutdown::Write);
         let mut sink = [0u8; 1024];
         while matches!(io::Read::read(&mut stream, &mut sink), Ok(n) if n > 0) {}

@@ -6,6 +6,7 @@
 //! worker pool, by benchmarks, or by tests without any networking.
 
 use crate::cache::{fnv1a, CalibKey, CalibrationCache, ProjectionCache, ProjectionKey};
+use crate::client::RetryBudget;
 use crate::metrics::{Metrics, StatsSnapshot};
 use crate::protocol::{Command, LintDiagnostic, ProtocolError, Request};
 use gpp_datausage::{analyze, Hints};
@@ -70,8 +71,19 @@ impl Default for ServeConfig {
 pub const CALIB_ATTEMPTS: u32 = 3;
 
 /// Base backoff between calibration retries; attempt `n` waits
-/// `2^(n-1)` times this.
+/// `2^(n-1)` times this (±25% seeded jitter).
 const CALIB_BACKOFF: Duration = Duration::from_millis(5);
+
+/// Whole tokens in the calibration retry budget. The bucket starts full;
+/// each calibration *retry* (never the first attempt) withdraws one.
+const CALIB_BUDGET_CAPACITY: u32 = 16;
+
+/// Milli-tokens each successful fresh calibration deposits back: four
+/// successes earn one retry. Deliberately **not** time-refilled — a
+/// wall-clock refill would make retry counts (and therefore RNG-stream
+/// consumption and reply bytes) timing-dependent, breaking the chaos
+/// suite's bit-identical-replay guarantee.
+const CALIB_BUDGET_DEPOSIT_MILLI: u64 = 250;
 
 /// Shared state behind every worker.
 pub struct ServiceState {
@@ -79,6 +91,8 @@ pub struct ServiceState {
     pub calibrations: CalibrationCache,
     pub projections: ProjectionCache,
     pub metrics: Metrics,
+    /// Token bucket metering calibration retries across all workers.
+    calib_budget: RetryBudget,
 }
 
 impl ServiceState {
@@ -87,6 +101,8 @@ impl ServiceState {
             projections: ProjectionCache::new(config.projection_cache),
             calibrations: CalibrationCache::new(),
             metrics: Metrics::new(),
+            calib_budget: RetryBudget::new(CALIB_BUDGET_CAPACITY)
+                .with_deposit_milli(CALIB_BUDGET_DEPOSIT_MILLI),
             config,
         }
     }
@@ -105,7 +121,20 @@ impl ServiceState {
         let start = Instant::now();
         let result = Request::decode(payload)
             .map_err(|e| ProtocolError::new("parse", e.to_string()))
-            .and_then(|req| self.dispatch(&req, start, queue_depth));
+            .and_then(|req| {
+                let remaining = self.admit(&req, queued, queue_depth)?;
+                let json = self.dispatch(&req, start, queue_depth, remaining)?;
+                // No ok reply may cross its propagated deadline: a result
+                // that finished too late is worthless to the caller, so it
+                // is converted to a structured deadline error instead.
+                if let Some(rem) = remaining {
+                    if start.elapsed() > rem {
+                        Metrics::bump(&self.metrics.shed_deadline);
+                        return Err(deadline_exceeded(req.deadline_ms.unwrap_or(0)));
+                    }
+                }
+                Ok(json)
+            });
         let response = match result {
             Ok(json) => {
                 Metrics::bump(&self.metrics.served_ok);
@@ -123,11 +152,47 @@ impl ServiceState {
         response.render()
     }
 
+    /// Deadline-aware admission at dequeue: a request carrying
+    /// `deadline_ms` whose remaining budget (after its accept-queue wait)
+    /// cannot cover the observed median compute time is shed *before* any
+    /// work happens — the caller has effectively already given up, so
+    /// computing for it only steals capacity from requests that can still
+    /// make their deadlines. Returns the remaining budget for the
+    /// handlers' own mid-flight checks; `None` means no deadline (legacy
+    /// requests are untouched).
+    fn admit(
+        &self,
+        req: &Request,
+        queued: Duration,
+        queue_depth: usize,
+    ) -> Result<Option<Duration>, ProtocolError> {
+        let Some(ms) = req.deadline_ms else {
+            return Ok(None);
+        };
+        let remaining = Duration::from_millis(ms).saturating_sub(queued);
+        let p50 = Duration::from_micros(self.metrics.compute_p50_us());
+        if remaining <= p50 {
+            Metrics::bump(&self.metrics.shed_deadline);
+            return Err(ProtocolError::new(
+                "shed",
+                format!(
+                    "request shed: {}ms remain of the {ms}ms deadline after queueing, \
+                     below the observed {}ms median compute time",
+                    remaining.as_millis(),
+                    p50.as_millis()
+                ),
+            )
+            .with_retry_after(self.retry_after_hint_ms(queue_depth)));
+        }
+        Ok(Some(remaining))
+    }
+
     fn dispatch(
         &self,
         req: &Request,
         start: Instant,
         queue_depth: usize,
+        remaining: Option<Duration>,
     ) -> Result<Json, ProtocolError> {
         match req.command {
             Command::Ping => Ok(Json::obj([
@@ -138,8 +203,8 @@ impl ServiceState {
             Command::Health => Ok(self.health_json()),
             Command::Batch => self.cmd_batch(req, queue_depth),
             Command::Calibrate => self.cmd_calibrate(req),
-            Command::Project => self.cmd_project(req, start),
-            Command::Measure => self.cmd_measure(req, start),
+            Command::Project => self.cmd_project(req, start, remaining),
+            Command::Measure => self.cmd_measure(req, start, remaining),
             Command::Analyze => self.cmd_analyze(req),
             Command::Deps => self.cmd_deps(req),
         }
@@ -183,8 +248,24 @@ impl ServiceState {
         Ok(Json::Raw(crate::protocol::batch_response(&replies)))
     }
 
-    fn check_deadline(&self, start: Instant) -> Result<(), ProtocolError> {
-        if start.elapsed() > self.config.request_timeout {
+    /// Mid-flight budget check between expensive pipeline stages. The
+    /// effective budget is the smaller of the server's own compute budget
+    /// and the request's remaining propagated deadline; which one binds
+    /// decides the error kind (`timeout` keeps its exact legacy message,
+    /// so deadline-free requests reply byte-identically to before).
+    fn check_deadline(
+        &self,
+        start: Instant,
+        remaining: Option<Duration>,
+    ) -> Result<(), ProtocolError> {
+        let elapsed = start.elapsed();
+        if let Some(rem) = remaining {
+            if rem < self.config.request_timeout && elapsed > rem {
+                Metrics::bump(&self.metrics.shed_deadline);
+                return Err(deadline_exceeded(rem.as_millis() as u64));
+            }
+        }
+        if elapsed > self.config.request_timeout {
             return Err(ProtocolError::new(
                 "timeout",
                 format!(
@@ -194,6 +275,29 @@ impl ServiceState {
             ));
         }
         Ok(())
+    }
+
+    /// Consults [`gpp_fault::SERVE_COMPUTE_SLOW`] (scoped by the request's
+    /// machine): when it fires, the worker sleeps the rule's factor in
+    /// milliseconds before computing. The chaos knob that ages queued
+    /// deadline requests past their budget.
+    fn injected_compute_stall(&self, req: &Request) {
+        let faults = &self.config.faults;
+        if faults.is_active() {
+            if let Some(ms) =
+                faults.fire_factor_scoped(gpp_fault::SERVE_COMPUTE_SLOW, Some(&req.machine))
+            {
+                std::thread::sleep(Duration::from_millis(ms.max(0.0) as u64));
+            }
+        }
+    }
+
+    /// The `retry_after_ms` hint attached to `busy`/`shed` rejections:
+    /// roughly how long the current backlog needs to drain — (queue
+    /// depth plus one) × the observed median compute time — floored at
+    /// 1ms so a cold window never invites a hot-spin retry.
+    pub fn retry_after_hint_ms(&self, queue_depth: usize) -> u64 {
+        (((queue_depth as u64 + 1) * self.metrics.compute_p50_us()) / 1000).max(1)
     }
 
     /// Resolves the request's machine through the registry, tallying the
@@ -228,8 +332,21 @@ impl ServiceState {
         let mut last_err = String::new();
         for attempt in 0..CALIB_ATTEMPTS {
             if attempt > 0 {
+                // Every retry is metered by the shared token bucket: when
+                // calibration is failing fleet-wide, burning the full
+                // retry schedule per request just multiplies the overload.
+                // An empty bucket falls straight through to the last-good
+                // fallback below.
+                if !self.calib_budget.try_withdraw() {
+                    Metrics::bump(&self.metrics.retry_budget_exhausted);
+                    break;
+                }
                 Metrics::bump(&self.metrics.calib_retries);
-                std::thread::sleep(crate::client::backoff_delay(CALIB_BACKOFF, attempt));
+                std::thread::sleep(crate::client::backoff_delay(
+                    CALIB_BACKOFF,
+                    attempt,
+                    crate::client::jitter_seed(machine.id.as_bytes()) ^ req.seed,
+                ));
             }
             // One consultation per whole-calibration attempt: the knob
             // chaos plans use to force degraded serving. Plans can scope
@@ -243,6 +360,7 @@ impl ServiceState {
             let mut node = machine.node();
             match Grophecy::try_calibrate(&machine, &mut node, faults.clone()) {
                 Ok(gro) => {
+                    self.calib_budget.deposit();
                     let gro = Arc::new(gro);
                     self.calibrations.insert(key, gro.clone());
                     return Ok((gro, false));
@@ -380,12 +498,18 @@ impl ServiceState {
         (proj, false)
     }
 
-    fn cmd_project(&self, req: &Request, start: Instant) -> Result<Json, ProtocolError> {
+    fn cmd_project(
+        &self,
+        req: &Request,
+        start: Instant,
+        remaining: Option<Duration>,
+    ) -> Result<Json, ProtocolError> {
+        self.injected_compute_stall(req);
         let (program, map, hints) = self.program_and_hints(req)?;
         let diags = self.lint_gate(req, &program, &map, &hints)?;
-        self.check_deadline(start)?;
+        self.check_deadline(start, remaining)?;
         let (gro, stale) = self.projector(req)?;
-        self.check_deadline(start)?;
+        self.check_deadline(start, remaining)?;
         let fingerprint = gpp_gpu_model::program_fingerprint(&program);
         // Degraded results bypass the projection memo: they were computed
         // from another key's calibration and must not be replayed as
@@ -428,10 +552,16 @@ impl ServiceState {
         Ok(Json::obj(fields))
     }
 
-    fn cmd_measure(&self, req: &Request, start: Instant) -> Result<Json, ProtocolError> {
+    fn cmd_measure(
+        &self,
+        req: &Request,
+        start: Instant,
+        remaining: Option<Duration>,
+    ) -> Result<Json, ProtocolError> {
+        self.injected_compute_stall(req);
         let (program, map, hints) = self.program_and_hints(req)?;
         let diags = self.lint_gate(req, &program, &map, &hints)?;
-        self.check_deadline(start)?;
+        self.check_deadline(start, remaining)?;
         // The measurement path replays the single-shot sequence exactly
         // (fresh node, calibration consuming the same RNG stream as the
         // CLI) so served responses are bit-identical to `gpp measure`.
@@ -441,7 +571,7 @@ impl ServiceState {
         let mut node = machine.node();
         let gro = self.calibrate_node(&machine, &mut node)?;
         let proj = gro.project(&program, &hints);
-        self.check_deadline(start)?;
+        self.check_deadline(start, remaining)?;
         let meas = measure(&mut node, &program, &proj);
         let r = SpeedupReport::build(&program.name, "serve", &proj, &meas, req.iters);
         let mut fields = vec![
@@ -628,6 +758,12 @@ impl ServiceState {
                             ("degraded_replies", Json::Num(s.degraded_replies as f64)),
                             ("too_large_rejected", Json::Num(s.too_large_rejected as f64)),
                             ("frames_corrupted", Json::Num(s.frames_corrupted as f64)),
+                            ("shed_deadline", Json::Num(s.shed_deadline as f64)),
+                            ("shed_queue", Json::Num(s.shed_queue as f64)),
+                            (
+                                "retry_budget_exhausted",
+                                Json::Num(s.retry_budget_exhausted as f64),
+                            ),
                         ]),
                     ),
                     (
@@ -667,6 +803,11 @@ impl ServiceState {
     /// Marks one busy rejection (called by the acceptor).
     pub fn note_busy(&self) {
         self.metrics.rejected_busy.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks one oldest-first queue shed (called by the acceptor).
+    pub fn note_shed_queue(&self) {
+        self.metrics.shed_queue.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -712,7 +853,23 @@ pub fn error_json(e: &ProtocolError) -> Json {
             Json::Arr(e.diagnostics.iter().map(wire_diag_json).collect()),
         ));
     }
+    // Same convention for the retry hint: only busy/shed rejections carry
+    // one, so every other error reply keeps its exact legacy bytes.
+    if let Some(ms) = e.retry_after_ms {
+        fields.push(("retry_after_ms", Json::Num(ms as f64)));
+    }
     Json::obj(fields)
+}
+
+/// The structured error for a request whose propagated deadline expired
+/// while it was being handled (as opposed to being shed at admission).
+/// Public so the gateway can report an expired deadline with the exact
+/// bytes a shard would have used.
+pub fn deadline_exceeded(deadline_ms: u64) -> ProtocolError {
+    ProtocolError::new(
+        "deadline",
+        format!("request exceeded its propagated {deadline_ms}ms deadline"),
+    )
 }
 
 /// A [`gpp_lint::Diagnostic`] flattened onto the wire.
@@ -749,12 +906,43 @@ fn diagnostics_json(diags: &[Diagnostic]) -> Json {
     )
 }
 
-/// The canonical `busy` response payload (used by the acceptor fast path).
+/// The canonical `busy` response payload (used by the acceptor fast path
+/// when shedding the oldest queued connection did not free a slot, and by
+/// the gateway when its own queue saturates).
 pub fn busy_response() -> String {
     error_json(&ProtocolError::new(
         "busy",
         "server at capacity: accept queue is full, retry later",
     ))
+    .render()
+}
+
+/// [`busy_response`] carrying a `retry_after_ms` hint — how long the
+/// server estimates the backlog needs to drain.
+pub fn busy_response_with_hint(retry_after_ms: u64) -> String {
+    error_json(
+        &ProtocolError::new(
+            "busy",
+            "server at capacity: accept queue is full, retry later",
+        )
+        .with_retry_after(retry_after_ms),
+    )
+    .render()
+}
+
+/// The `shed` response for a connection displaced oldest-first from a
+/// saturated accept queue: it waited longest, so it is the least likely
+/// to still be inside its caller's patience — the newcomer takes its
+/// slot and this one gets an immediate structured rejection instead of
+/// more queueing.
+pub fn shed_queue_response(retry_after_ms: u64) -> String {
+    error_json(
+        &ProtocolError::new(
+            "shed",
+            "request shed: displaced oldest-first from a saturated accept queue, retry later",
+        )
+        .with_retry_after(retry_after_ms),
+    )
     .render()
 }
 

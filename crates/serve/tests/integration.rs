@@ -220,7 +220,7 @@ fn over_capacity_requests_get_structured_busy_error() {
         addr: "127.0.0.1:0".to_string(),
         workers: 1,
         queue_depth: 1,
-        request_timeout: Duration::from_secs(5),
+        request_timeout: Duration::from_secs(1),
         ..ServeConfig::default()
     };
     let server = Server::bind(config).unwrap();
@@ -236,27 +236,55 @@ fn over_capacity_requests_get_structured_busy_error() {
     let holder_b = TcpStream::connect(addr).unwrap();
     std::thread::sleep(Duration::from_millis(200));
 
-    // Now every further connection must be turned away immediately with
-    // the structured busy error, not queued and not hung.
-    let mut saw_busy = false;
-    for _ in 0..20 {
-        let mut client = Client::connect(addr, CLIENT_TIMEOUT).unwrap();
-        let response = client.call(&Request::new(Command::Ping)).unwrap();
-        if response.contains("\"kind\":\"busy\"") {
+    // Saturate the full queue with concurrent pings. The server sheds
+    // oldest-first: each new arrival displaces the longest-queued
+    // connection with a structured `shed` reply (carrying a retry hint),
+    // falling back to `busy` when even the freed slot is contested. Every
+    // client must get *some* structured reply promptly — nobody hangs
+    // past the worker freeing up (the parked holder times out after the
+    // 1s request timeout).
+    let replies: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..20)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr, CLIENT_TIMEOUT).unwrap();
+                    client.call(&Request::new(Command::Ping)).unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut rejected = 0;
+    for reply in &replies {
+        if reply.contains("\"kind\":\"shed\"") || reply.contains("\"kind\":\"busy\"") {
             assert!(
-                response.starts_with("{\"ok\":false"),
-                "busy reply: {response}"
+                reply.starts_with("{\"ok\":false"),
+                "rejection reply: {reply}"
             );
-            saw_busy = true;
-            break;
+            assert!(
+                reply.contains("\"retry_after_ms\":"),
+                "rejection lacks retry hint: {reply}"
+            );
+            rejected += 1;
+        } else {
+            assert!(
+                reply.starts_with("{\"ok\":true"),
+                "unexpected reply: {reply}"
+            );
         }
-        std::thread::sleep(Duration::from_millis(50));
     }
     assert!(
-        saw_busy,
-        "no connection was rejected while the queue was full"
+        rejected >= 1,
+        "no connection was rejected while the queue was full: {replies:?}"
     );
-    assert!(handle.state().snapshot(0).rejected_busy >= 1);
+    let snap = handle.state().snapshot(0);
+    assert!(
+        snap.shed_queue + snap.rejected_busy >= 1,
+        "rejections not counted: shed_queue={} rejected_busy={}",
+        snap.shed_queue,
+        snap.rejected_busy
+    );
 
     drop((holder_a, holder_b));
     handle.shutdown_and_join().unwrap();
