@@ -26,6 +26,21 @@ echo "== gpp lint (committed skeletons, deny warnings)"
 cargo build $CARGO_FLAGS --release -p gpp-cli
 target/release/gpp lint skeletons/*.gsk --deny warnings
 
+echo "== gpp lint --fix (program corpus: fixes converge and are idempotent)"
+# Every whole-program fixture must (a) re-lint clean after one --fix run
+# (exit 0 under --deny warnings) and (b) be a byte-for-byte no-op on the
+# second run. A drifting fix-it engine fails here before it ships.
+FIX_TMP=$(mktemp -d)
+for f in fixtures/bad/gpp01*_program_*.gsk; do
+    cp "$f" "$FIX_TMP/work.gsk"
+    target/release/gpp lint --fix "$FIX_TMP/work.gsk" --deny warnings 2>/dev/null
+    cp "$FIX_TMP/work.gsk" "$FIX_TMP/once.gsk"
+    target/release/gpp lint --fix "$FIX_TMP/work.gsk" --deny warnings 2>/dev/null
+    cmp "$FIX_TMP/once.gsk" "$FIX_TMP/work.gsk" \
+        || { echo "non-idempotent fix for $f"; exit 1; }
+done
+rm -rf "$FIX_TMP"
+
 echo "== gpp machines (committed datasheets round-trip)"
 target/release/gpp machines --check fixtures/machines/*.gmach
 

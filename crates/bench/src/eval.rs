@@ -137,16 +137,47 @@ pub fn cross_machine(seed: u64) -> String {
     cross_fleet(&MachineRegistry::builtin(), seed)
 }
 
+/// Mirrors `gpp lint --fix`: apply the linter's fix-its until quiescent.
+fn lint_fixpoint(src: &str) -> (String, usize) {
+    let cfg = gpp_lint::LintConfig::new();
+    let mut cur = src.to_string();
+    let mut total = 0usize;
+    for _ in 0..16 {
+        let report = gpp_lint::lint_source(&cur, "case.gsk", &cfg);
+        let (next, n) = gpp_lint::apply_fixes(&cur, &report.diagnostics);
+        if n == 0 {
+            break;
+        }
+        cur = next;
+        total += n;
+    }
+    (cur, total)
+}
+
 /// [`cross_machine`] over an arbitrary fleet: one column per registered
-/// machine, in registry (name) order.
+/// machine, in registry (name) order. Each cell also reports `hr` — the
+/// transfer headroom the linter's fix-its would recover on that machine
+/// (0.00 when the schedule is already optimal).
 pub fn cross_fleet(registry: &MachineRegistry, seed: u64) -> String {
+    use gpp_datausage::Hints;
     use std::fmt::Write as _;
     let machines: Vec<MachineConfig> = registry.iter().map(|m| m.clone().with_seed(seed)).collect();
+    let cases = paper_cases();
+    // The fix-it rewrite is machine-independent: compute it once per case.
+    let optimized: Vec<_> = cases
+        .iter()
+        .map(|c| {
+            let (fixed, n) = lint_fixpoint(&gpp_skeleton::text::to_text(&c.program));
+            if n == 0 {
+                return None;
+            }
+            gpp_skeleton::text::parse(&fixed).ok()
+        })
+        .collect();
     let mut rows: Vec<Vec<String>> = Vec::new();
     for m in &machines {
         let mut node = m.node();
         let gro = Grophecy::calibrate(m, &mut node);
-        let cases = paper_cases();
         let projs = gpp_par::par_map(cases.len(), |i| {
             gro.project(&cases[i].program, &cases[i].hints)
         });
@@ -154,12 +185,20 @@ pub fn cross_fleet(registry: &MachineRegistry, seed: u64) -> String {
             if rows.len() <= k {
                 rows.push(vec![format!("{:<9} {:>14}", case.app, case.dataset)]);
             }
+            let headroom = optimized[k].as_ref().map_or(0.0, |opt| {
+                let w = gro
+                    .project(&case.program, &Hints::for_program(&case.program))
+                    .total_time(1);
+                let o = gro.project(opt, &Hints::for_program(opt)).total_time(1);
+                (w - o).max(0.0)
+            });
             rows[k].push(format!(
-                "{}: {:>8.2}ms kern + {:>8.2}ms xfer ({:>2.0}%)",
+                "{}: {:>8.2}ms kern + {:>8.2}ms xfer ({:>2.0}%) hr {:>6.2}ms",
                 m.id,
                 proj.kernel_time * 1e3,
                 proj.transfer_time * 1e3,
-                100.0 * proj.transfer_time / proj.total_time(1)
+                100.0 * proj.transfer_time / proj.total_time(1),
+                headroom * 1e3
             ));
         }
     }

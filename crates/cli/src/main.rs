@@ -24,6 +24,8 @@ struct Options {
     format_json: bool,
     deny: Vec<String>,
     allow: Vec<String>,
+    fix: bool,
+    explain: Option<String>,
     lint: bool,
     profile: bool,
     stats: bool,
@@ -52,7 +54,9 @@ usage:
   gpp analyze  <file.gsk> [options]   print the transfer plan
   gpp deps     <file.gsk>             inter-kernel dependence report
   gpp lint     <file.gsk>... [options] static analysis: bounds, liveness,
-                                      races, transfer hints (GPP000-GPP008)
+                                      races, transfer hints, whole-program
+                                      transfer dataflow (GPP000-GPP013;
+                                      exit 0 clean, 1 findings, 2 errors)
   gpp calibrate [options]             run the two-point PCIe calibration
   gpp machines [options]              list the machine registry; with
                                       --check, validate .gmach datasheets
@@ -106,9 +110,15 @@ options:
                           (repeatable; combines with --shards)
   --command NAME          (request) project|measure|analyze|deps|calibrate|
                           stats|ping|health (default project)
-  --format json           (lint) one JSON object per file instead of text
+  --format json           (lint) one JSON object per file instead of text;
+                          includes a per-machine `transfer_headroom` report
+                          when machine-applicable fixes exist
   --deny CODE|warnings    (lint) escalate a code (or all warnings) to error
   --allow CODE            (lint) suppress a code (GPP000 cannot be allowed)
+  --fix                   (lint) apply machine-applicable fix-its in place
+                          until a fixpoint, then report what remains
+  --explain CODE          (lint) print cause/example/fix docs for a stable
+                          code and exit
   --no-lint               (request) skip the server-side lint gate
   --fault-plan PLAN       (serve/gateway) seeded fault-injection plan, e.g.
                           `seed=7;pcie.transfer.error:p=0.05` (default:
@@ -143,6 +153,8 @@ fn main() -> ExitCode {
         format_json: false,
         deny: Vec::new(),
         allow: Vec::new(),
+        fix: false,
+        explain: None,
         lint: true,
         profile: false,
         stats: false,
@@ -351,6 +363,14 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--fix" => opt.fix = true,
+            "--explain" => match args.next() {
+                Some(c) => opt.explain = Some(c),
+                None => {
+                    eprintln!("--explain needs a lint code (e.g. GPP012)");
+                    return ExitCode::from(2);
+                }
+            },
             "--no-lint" => opt.lint = false,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -540,8 +560,71 @@ fn with_program(opt: &Options, f: impl FnOnce(&Program, &Hints, &Options) -> Exi
     f(&program, &hints, opt)
 }
 
+/// Applies fix-its to `src` until a fixpoint (each round re-lints the
+/// rewritten text; conflicting fixes resolve across rounds). Returns
+/// the final text and how many fixes were applied in total, or an
+/// error if a rewrite ever stops parsing (a fix-engine bug — the
+/// original file is left untouched).
+fn lint_fixpoint(
+    src: &str,
+    path: &str,
+    cfg: &gpp_lint::LintConfig,
+) -> Result<(String, usize), String> {
+    let mut cur = src.to_string();
+    let mut total = 0usize;
+    for _ in 0..16 {
+        let report = gpp_lint::lint_source(&cur, path, cfg);
+        let (next, n) = gpp_lint::apply_fixes(&cur, &report.diagnostics);
+        if n == 0 {
+            break;
+        }
+        if let Err(e) = text::parse(&next) {
+            return Err(format!("{path}: fixed source no longer parses: {e}"));
+        }
+        cur = next;
+        total += n;
+    }
+    Ok((cur, total))
+}
+
+/// Prices `src` against its fix-it-optimized form on every registered
+/// machine. `None` when there are no applicable fixes (or the fixed
+/// text fails to parse — already reported by `--fix`).
+fn lint_headroom(
+    src: &str,
+    path: &str,
+    cfg: &gpp_lint::LintConfig,
+    registry: &MachineRegistry,
+    seed: u64,
+) -> Option<Vec<grophecy::MachineHeadroom>> {
+    let (fixed, n) = lint_fixpoint(src, path, cfg).ok()?;
+    if n == 0 {
+        return None;
+    }
+    let as_written = text::parse(src).ok()?;
+    let optimized = text::parse(&fixed).ok()?;
+    Some(grophecy::transfer_headroom(
+        registry,
+        seed,
+        &as_written,
+        &optimized,
+    ))
+}
+
 fn cmd_lint(opt: &Options) -> ExitCode {
     use gpp_lint::{lint_source, render_human, render_json, Code, LintConfig};
+    if let Some(code) = &opt.explain {
+        return match gpp_lint::render_explain(code) {
+            Some(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("--explain: unknown lint code `{code}` (GPP000..GPP013)");
+                ExitCode::from(2)
+            }
+        };
+    }
     if opt.files.is_empty() {
         eprintln!("gpp lint needs at least one skeleton file");
         return ExitCode::from(2);
@@ -553,7 +636,7 @@ fn cmd_lint(opt: &Options) -> ExitCode {
         } else if let Some(c) = Code::parse(d) {
             cfg.deny(c);
         } else {
-            eprintln!("--deny: unknown lint `{d}` (GPP000..GPP008 or `warnings`)");
+            eprintln!("--deny: unknown lint `{d}` (GPP000..GPP013 or `warnings`)");
             return ExitCode::from(2);
         }
     }
@@ -566,29 +649,93 @@ fn cmd_lint(opt: &Options) -> ExitCode {
             }
         }
     }
-    let mut failed = false;
-    for path in &opt.files {
+    let registry = if opt.format_json {
+        match registry_for(opt) {
+            Some(r) => Some(r),
+            None => return ExitCode::from(2),
+        }
+    } else {
+        None
+    };
+    // Deterministic output and exit code regardless of argument order.
+    let mut files = opt.files.clone();
+    files.sort();
+    files.dedup();
+    // Exit severity: 0 clean, 1 findings at/above the deny level,
+    // 2 internal error (unreadable file, parse failure, broken fix).
+    let mut worst = 0u8;
+    for path in &files {
         let src = match std::fs::read_to_string(path) {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("cannot read {path}: {e}");
-                failed = true;
+                worst = worst.max(2);
                 continue;
             }
         };
-        let report = lint_source(&src, path, &cfg);
-        if opt.format_json {
-            println!("{}", render_json(&report));
+        // Headroom is always measured against the file as it was read,
+        // so `--fix` reports the savings it is about to bank.
+        let headroom = registry
+            .as_ref()
+            .and_then(|r| lint_headroom(&src, path, &cfg, r, opt.seed));
+        let effective = if opt.fix {
+            match lint_fixpoint(&src, path, &cfg) {
+                Ok((fixed, n)) => {
+                    if n > 0 && fixed != src {
+                        if let Err(e) = std::fs::write(path, &fixed) {
+                            eprintln!("cannot write {path}: {e}");
+                            worst = worst.max(2);
+                            continue;
+                        }
+                        eprintln!("{path}: applied {n} fix(es)");
+                    }
+                    fixed
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    worst = worst.max(2);
+                    continue;
+                }
+            }
         } else {
-            print!("{}", render_human(&report, Some(&src)));
+            src
+        };
+        let report = lint_source(&effective, path, &cfg);
+        if opt.format_json {
+            let mut line = render_json(&report);
+            if let Some(rows) = &headroom {
+                // Splice the per-machine headroom into the object.
+                line.pop();
+                line.push_str(",\"transfer_headroom\":[");
+                for (i, r) in rows.iter().enumerate() {
+                    if i > 0 {
+                        line.push(',');
+                    }
+                    line.push_str(&format!(
+                        "{{\"machine\":\"{}\",\"as_written\":{},\"optimized\":{},\"headroom\":{}}}",
+                        r.machine,
+                        r.as_written,
+                        r.optimized,
+                        r.headroom()
+                    ));
+                }
+                line.push_str("]}");
+            }
+            println!("{line}");
+        } else {
+            print!("{}", render_human(&report, Some(&effective)));
         }
-        failed |= report.has_errors();
+        let parse_failed = report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == Code::Structural && d.message.starts_with("parse error:"));
+        if parse_failed {
+            worst = worst.max(2);
+        } else if report.has_errors() {
+            worst = worst.max(1);
+        }
     }
-    if failed {
-        ExitCode::FAILURE
-    } else {
-        ExitCode::SUCCESS
-    }
+    ExitCode::from(worst)
 }
 
 fn cmd_project(program: &Program, hints: &Hints, opt: &Options) -> ExitCode {

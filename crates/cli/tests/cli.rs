@@ -245,11 +245,12 @@ fn lint_accepts_many_files_and_json_output() {
     // Warnings alone don't fail the build...
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
-    // ...one JSON object per file, in argument order.
+    // ...one JSON object per file, sorted by path (not argument order),
+    // so the output is deterministic for CI consumers.
     let lines: Vec<&str> = stdout.lines().collect();
     assert_eq!(lines.len(), 2, "{stdout}");
-    assert!(lines[0].contains("\"diagnostics\":[]"), "{stdout}");
-    assert!(lines[1].contains("\"code\":\"GPP004\""), "{stdout}");
+    assert!(lines[0].contains("\"code\":\"GPP004\""), "{stdout}");
+    assert!(lines[1].contains("\"diagnostics\":[]"), "{stdout}");
 
     // ...unless --deny warnings promotes them.
     let out = gpp()

@@ -64,6 +64,7 @@
 
 pub mod datasheet;
 pub mod fusion;
+pub mod headroom;
 pub mod lowering;
 pub mod machine;
 pub mod measurement;
@@ -75,6 +76,7 @@ pub mod seeds;
 pub mod speedup;
 
 pub use fusion::{explore_fusion, FusionAnalysis};
+pub use headroom::{transfer_headroom, MachineHeadroom};
 pub use machine::{BusSpec, MachineConfig, ReplayTrace, SimulatedNode};
 pub use measurement::{measure, AppMeasurement};
 pub use memtype::{DualCalibration, MemTypeReport};

@@ -4,7 +4,7 @@ use crate::hints::Hints;
 use crate::plan::{Transfer, TransferDir, TransferPlan};
 use gpp_brs::{ArrayId, SectionSet};
 use gpp_skeleton::sections::{read_sets, write_sets};
-use gpp_skeleton::Program;
+use gpp_skeleton::{Program, TransferKind};
 use std::collections::BTreeMap;
 
 /// Runs the data usage analysis on a program (a sequence of kernels), in
@@ -15,7 +15,17 @@ use std::collections::BTreeMap;
 /// not covered by prior device writes must be transferred host→device.
 /// The union of all written sections, minus hinted temporaries, must come
 /// back device→host.
+///
+/// Skeletons that pin an **explicit** transfer schedule (`h2d`/`d2h`
+/// directives; [`Program::has_explicit_transfers`]) are priced *as
+/// written* instead: one whole-array transfer per directive, in program
+/// order. That is what lets `gpp lint`'s whole-program passes quantify
+/// the cost of a wasteful schedule — the projector prices exactly what
+/// the skeleton says, not the minimum the analysis could derive.
 pub fn analyze(program: &Program, hints: &Hints) -> TransferPlan {
+    if program.has_explicit_transfers() {
+        return explicit_plan(program, hints);
+    }
     let mut written: BTreeMap<ArrayId, SectionSet> = BTreeMap::new();
     let mut inbound: BTreeMap<ArrayId, SectionSet> = BTreeMap::new();
 
@@ -56,6 +66,42 @@ pub fn analyze(program: &Program, hints: &Hints) -> TransferPlan {
         .map(|(array, set)| make_transfer(program, hints, array, &set, TransferDir::FromDevice))
         .collect();
 
+    TransferPlan { h2d, d2h }
+}
+
+/// Prices an explicit `h2d`/`d2h` schedule literally: one whole-array
+/// transfer per directive, in program order. Sparse arrays keep the
+/// conservative-fallback / hint rules of the derived path; everything
+/// else is exact (the directive names the whole allocation).
+fn explicit_plan(program: &Program, hints: &Hints) -> TransferPlan {
+    let mut h2d = Vec::new();
+    let mut d2h = Vec::new();
+    for t in &program.transfers {
+        let decl = program.array(t.array);
+        let (bytes, exact) = if decl.sparse {
+            match hints.sparse_bytes(t.array) {
+                Some(b) => (b.min(decl.byte_count()), true),
+                None => (decl.byte_count(), false),
+            }
+        } else {
+            (decl.byte_count(), true)
+        };
+        let dir = match t.kind {
+            TransferKind::HostToDevice => TransferDir::ToDevice,
+            TransferKind::DeviceToHost => TransferDir::FromDevice,
+        };
+        let rec = Transfer {
+            array: t.array,
+            name: decl.name.clone(),
+            bytes,
+            dir,
+            exact,
+        };
+        match dir {
+            TransferDir::ToDevice => h2d.push(rec),
+            TransferDir::FromDevice => d2h.push(rec),
+        }
+    }
     TransferPlan { h2d, d2h }
 }
 
@@ -258,6 +304,81 @@ mod tests {
         let plan = analyze(&prog, &Hints::new());
         assert_eq!(plan.transfer_count(), 2);
         assert!(plan.all().all(|t| t.name == "a"));
+    }
+
+    #[test]
+    fn explicit_schedule_is_priced_as_written() {
+        use gpp_skeleton::TransferKind;
+        // Same SRAD-like dataflow, but with a deliberately wasteful
+        // explicit schedule: img uploaded twice, coeff downloaded too.
+        let mut p = ProgramBuilder::new("explicit");
+        let n = 64usize;
+        let img = p.array("img", ElemType::F32, &[n, n]);
+        let coeff = p.array("coeff", ElemType::F32, &[n, n]);
+        p.transfer(img, TransferKind::HostToDevice);
+        let mut k1 = p.kernel("prep");
+        let i = k1.parallel_loop("i", n as u64);
+        let j = k1.parallel_loop("j", n as u64);
+        k1.statement()
+            .read(img, &[idx(i), idx(j)])
+            .write(coeff, &[idx(i), idx(j)])
+            .finish();
+        k1.finish();
+        p.transfer(img, TransferKind::HostToDevice); // redundant re-upload
+        let mut k2 = p.kernel("update");
+        let i = k2.parallel_loop("i", n as u64);
+        let j = k2.parallel_loop("j", n as u64);
+        k2.statement()
+            .read(img, &[idx(i), idx(j)])
+            .read(coeff, &[idx(i), idx(j)])
+            .write(img, &[idx(i), idx(j)])
+            .finish();
+        k2.finish();
+        p.transfer(img, TransferKind::DeviceToHost);
+        p.transfer(coeff, TransferKind::DeviceToHost);
+        let prog = p.build().unwrap();
+
+        let plan = analyze(&prog, &Hints::new());
+        let full = (n * n * 4) as u64;
+        // Priced literally: 2 uploads + 2 downloads, all whole-array.
+        assert_eq!(plan.h2d.len(), 2);
+        assert_eq!(plan.d2h.len(), 2);
+        assert_eq!(plan.h2d_bytes(), 2 * full);
+        assert_eq!(plan.d2h_bytes(), 2 * full);
+        assert!(plan.is_exact());
+        // The derived plan for the same kernels is strictly smaller.
+        let mut derived = prog.clone();
+        derived.transfers.clear();
+        let minimal = analyze(&derived, &Hints::new());
+        assert!(minimal.total_bytes() < plan.total_bytes());
+    }
+
+    #[test]
+    fn explicit_schedule_keeps_sparse_hint_rules() {
+        use gpp_skeleton::TransferKind;
+        let mut p = ProgramBuilder::new("explicit-sparse");
+        let vals = p.sparse_array("vals", ElemType::F64, &[10_000]);
+        let y = p.array("y", ElemType::F64, &[100]);
+        p.transfer(vals, TransferKind::HostToDevice);
+        let mut k = p.kernel("k");
+        let i = k.parallel_loop("i", 100);
+        k.statement()
+            .read_ix(vals, &[irr()])
+            .write(y, &[idx(i)])
+            .finish();
+        k.finish();
+        p.transfer(y, TransferKind::DeviceToHost);
+        let prog = p.build().unwrap();
+
+        let plan = analyze(&prog, &Hints::new());
+        assert_eq!(plan.h2d[0].bytes, 80_000);
+        assert!(!plan.h2d[0].exact);
+        let hinted = analyze(
+            &prog,
+            &Hints::new().sparse_bound(prog.array_by_name("vals").unwrap().id, 500 * 8),
+        );
+        assert_eq!(hinted.h2d[0].bytes, 4000);
+        assert!(hinted.is_exact());
     }
 
     #[test]

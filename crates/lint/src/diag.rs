@@ -37,11 +37,28 @@ pub enum Code {
     /// GPP008 — a large-stride or data-dependent access on the thread
     /// axis that fragments half-warp coalescing.
     Uncoalesced,
+    /// GPP010 — an explicit `h2d` re-uploads data that is already
+    /// resident on the device and has not changed on the host since the
+    /// previous upload. The copy is pure waste. (GPP009 is reserved.)
+    CrossKernelH2d,
+    /// GPP011 — an explicit `d2h` whose downloaded bytes are never
+    /// observed on the host: either the device copy is already in sync,
+    /// or a later `d2h` of the same array overwrites the host copy
+    /// before anything could read it.
+    DeadD2h,
+    /// GPP012 — a round-trip through the host: an array is downloaded
+    /// and immediately re-uploaded with no kernel touching it in
+    /// between. The producer/consumer pair should keep it resident.
+    MissingResidency,
+    /// GPP013 — an `h2d` placed after kernels that never reference the
+    /// array; hoisting it before the first kernel lets the upload
+    /// overlap (or at least precede) unrelated compute.
+    HoistableTransfer,
 }
 
 impl Code {
-    /// Every code, in numeric order.
-    pub const ALL: [Code; 9] = [
+    /// Every code, in numeric order. GPP009 is reserved and absent.
+    pub const ALL: [Code; 13] = [
         Code::Structural,
         Code::OutOfBounds,
         Code::UninitializedRead,
@@ -51,9 +68,13 @@ impl Code {
         Code::RedundantH2d,
         Code::MissingTemporary,
         Code::Uncoalesced,
+        Code::CrossKernelH2d,
+        Code::DeadD2h,
+        Code::MissingResidency,
+        Code::HoistableTransfer,
     ];
 
-    /// The stable wire name, `GPP000` … `GPP008`.
+    /// The stable wire name, `GPP000` … `GPP013` (GPP009 reserved).
     pub fn as_str(self) -> &'static str {
         match self {
             Code::Structural => "GPP000",
@@ -65,6 +86,10 @@ impl Code {
             Code::RedundantH2d => "GPP006",
             Code::MissingTemporary => "GPP007",
             Code::Uncoalesced => "GPP008",
+            Code::CrossKernelH2d => "GPP010",
+            Code::DeadD2h => "GPP011",
+            Code::MissingResidency => "GPP012",
+            Code::HoistableTransfer => "GPP013",
         }
     }
 
@@ -81,7 +106,7 @@ impl Code {
     pub fn default_severity(self) -> Severity {
         match self {
             Code::Structural | Code::OutOfBounds => Severity::Error,
-            Code::Uncoalesced => Severity::Note,
+            Code::Uncoalesced | Code::HoistableTransfer => Severity::Note,
             _ => Severity::Warning,
         }
     }
@@ -136,6 +161,9 @@ pub struct Diagnostic {
     pub message: String,
     /// Anchor in the `.gsk` source; `Span::none()` when unknown.
     pub span: Span,
+    /// A machine-applicable rewrite that resolves the finding, when one
+    /// exists (`gpp lint --fix` applies these).
+    pub fix: Option<crate::fixit::FixIt>,
 }
 
 impl Diagnostic {
@@ -146,6 +174,7 @@ impl Diagnostic {
             severity: code.default_severity(),
             message,
             span,
+            fix: None,
         }
     }
 
@@ -161,7 +190,14 @@ impl Diagnostic {
             severity,
             message,
             span,
+            fix: None,
         }
+    }
+
+    /// Attaches a machine-applicable fix-it.
+    pub fn with_fix(mut self, fix: crate::fixit::FixIt) -> Diagnostic {
+        self.fix = Some(fix);
+        self
     }
 }
 
@@ -260,11 +296,15 @@ mod tests {
 
     #[test]
     fn codes_roundtrip_and_order() {
-        for (i, c) in Code::ALL.into_iter().enumerate() {
-            assert_eq!(c.as_str(), format!("GPP{i:03}"));
+        // GPP009 is reserved: numbers ascend but skip it.
+        let numbers = [0, 1, 2, 3, 4, 5, 6, 7, 8, 10, 11, 12, 13];
+        assert_eq!(Code::ALL.len(), numbers.len());
+        for (n, c) in numbers.into_iter().zip(Code::ALL) {
+            assert_eq!(c.as_str(), format!("GPP{n:03}"));
             assert_eq!(Code::parse(c.as_str()), Some(c));
             assert_eq!(Code::parse(&c.as_str().to_lowercase()), Some(c));
         }
+        assert_eq!(Code::parse("GPP009"), None);
         assert_eq!(Code::parse("GPP999"), None);
         assert_eq!(Code::parse("warnings"), None);
     }

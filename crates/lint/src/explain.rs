@@ -1,0 +1,169 @@
+//! Long-form documentation for every stable diagnostic code, behind
+//! `gpp lint --explain GPPnnn`.
+//!
+//! Each entry explains what the code means, shows a minimal `.gsk`
+//! fragment that triggers it, and says how to fix it — the same
+//! contract as `rustc --explain`. The [`explain`] text is the single
+//! source of truth; a test asserts every code in [`Code::ALL`] has an
+//! entry so a new lint cannot ship undocumented.
+
+use crate::diag::Code;
+
+/// One documentation entry for a stable code.
+#[derive(Debug, Clone, Copy)]
+pub struct Explanation {
+    /// What the analyzer detected and why it matters for projections.
+    pub cause: &'static str,
+    /// A minimal `.gsk` fragment that triggers the diagnostic.
+    pub example: &'static str,
+    /// How to resolve it (and whether `--fix` can do it automatically).
+    pub fix: &'static str,
+}
+
+/// Returns the documentation for `code`. Every code has an entry.
+pub fn explain(code: Code) -> Explanation {
+    match code {
+        Code::Structural => Explanation {
+            cause: "The skeleton fails parsing or structural validation \
+                    (unknown array, zero extent, empty loop nest, …). No \
+                    other analysis can run, and no projection is possible.",
+            example: "kernel k\n  parallel i 64\n  stmt\n    read ghost [i]   # `ghost` was never declared",
+            fix: "Fix the reported structural problem; GPP000 cannot be \
+                  allowed away and has no automatic fix.",
+        },
+        Code::OutOfBounds => Explanation {
+            cause: "An affine index provably escapes the array's declared \
+                    extents, so the modeled working set is wrong.",
+            example: "array a f32 [64]\nkernel k\n  parallel i 64\n  stmt\n    read a [i+1]   # i+1 reaches 64",
+            fix: "Shrink the loop trip or adjust the index offset so every \
+                  access stays inside the extents.",
+        },
+        Code::UninitializedRead => Explanation {
+            cause: "A `temporary` array is read before it is fully written. \
+                    Temporaries get no host-to-device copy, so the read \
+                    observes undefined device memory.",
+            example: "array t f32 [64] temporary\nkernel k\n  parallel i 64\n  stmt\n    read t [i]   # nothing wrote t yet",
+            fix: "Write the temporary before reading it, or drop the \
+                  `temporary` attribute if the host really initializes it.",
+        },
+        Code::DeadWrite => Explanation {
+            cause: "A write whose values are never observed: fully \
+                    overwritten before any read, or a temporary never read \
+                    after its last write. The work and traffic are wasted.",
+            example: "kernel first\n  …\n    write x [i]\nkernel second\n  …\n    write x [i]   # overwrites before any read",
+            fix: "Delete the dead write or reorder the kernels so the \
+                  values are consumed.",
+        },
+        Code::UnusedArray => Explanation {
+            cause: "An array is declared but never referenced by any \
+                    kernel; it only inflates the modeled footprint.",
+            example: "array ghost f32 [128]   # no kernel touches it",
+            fix: "Delete the declaration.",
+        },
+        Code::ParallelRace => Explanation {
+            cause: "Distinct iterations of a parallel loop may touch the \
+                    same element with at least one write, so results depend \
+                    on thread order.",
+            example: "kernel k\n  parallel i 64\n  stmt\n    write y [0]   # every iteration stores to y[0]",
+            fix: "Make the write injective in the parallel index, serialize \
+                  the loop, or double-buffer the array.",
+        },
+        Code::RedundantH2d => Explanation {
+            cause: "Data produced earlier in the same kernel is still \
+                    counted as host-to-device traffic by the per-kernel \
+                    transfer analysis, inflating the projection.",
+            example: "kernel k\n  stmt\n    write tmp [i]\n  stmt\n    read  tmp [i]   # same-kernel producer",
+            fix: "Split the producer into its own kernel so the analyzer \
+                  sees the data stay device-resident.",
+        },
+        Code::MissingTemporary => Explanation {
+            cause: "An array produced and last consumed on the device lacks \
+                    a `temporary` hint, so the analyzer schedules an \
+                    avoidable device-to-host copy.",
+            example: "array coeff f32 [256]   # written by kernel 1, read by kernel 2, never needed on host",
+            fix: "Add the `temporary` attribute to the declaration \
+                  (`--fix` appends it automatically).",
+        },
+        Code::Uncoalesced => Explanation {
+            cause: "A large-stride or data-dependent access on the thread \
+                    axis fragments half-warp coalescing, multiplying memory \
+                    transactions.",
+            example: "array m f32 [128, 128]\nkernel k\n  parallel i 128\n  stmt\n    read m [i, 0]   # stride-128 on the thread axis",
+            fix: "Interchange loops (or transpose the layout) so the thread \
+                  axis sweeps the contiguous dimension.",
+        },
+        Code::CrossKernelH2d => Explanation {
+            cause: "An explicit `h2d` re-uploads an array that is already \
+                    resident and unmodified since the previous upload — the \
+                    copy adds transfer time and moves no new bytes.",
+            example: "h2d a\nkernel k1\n  …      # reads a, never writes it\nh2d a   # device copy is still current",
+            fix: "Delete the second upload (`--fix` does this \
+                  automatically).",
+        },
+        Code::DeadD2h => Explanation {
+            cause: "An explicit `d2h` downloads bytes the host never \
+                    observes: the copies already agree, or a later `d2h` of \
+                    the same array overwrites the host copy before any \
+                    re-upload.",
+            example: "d2h b   # dead: overwritten below\nkernel k2\n  …      # rewrites b on the device\nd2h b",
+            fix: "Delete the dead download (`--fix` does this \
+                  automatically).",
+        },
+        Code::MissingResidency => Explanation {
+            cause: "An array is downloaded and immediately re-uploaded with \
+                    no kernel touching it in between — a round-trip through \
+                    the host where the data should have stayed resident.",
+            example: "kernel produce\n  …      # writes t\nd2h t\nh2d t   # nothing touched t on the host\nkernel consume",
+            fix: "Delete both transfers to keep the array device-resident \
+                  (`--fix` does this automatically); mark it `temporary` if \
+                  the host never needs it at all.",
+        },
+        Code::HoistableTransfer => Explanation {
+            cause: "An `h2d` is scheduled after kernels that never \
+                    reference the array. Hoisting it before the first \
+                    kernel cannot change semantics and lets the upload \
+                    precede (or overlap) unrelated compute.",
+            example: "kernel k1\n  …      # never touches b\nh2d b   # could run before k1\nkernel k2",
+            fix: "Move the upload before the first kernel (`--fix` does \
+                  this automatically).",
+        },
+    }
+}
+
+/// Renders the explanation for a wire-name code (`GPP004`, case
+/// insensitive). `None` if the code is unknown.
+pub fn render_explain(code_name: &str) -> Option<String> {
+    let code = Code::parse(code_name)?;
+    let e = explain(code);
+    let mut out = String::new();
+    out.push_str(&format!("{code} — {}\n\n", code.default_severity()));
+    out.push_str(&format!("{}\n\nexample:\n", e.cause));
+    for line in e.example.lines() {
+        out.push_str(&format!("    {line}\n"));
+    }
+    out.push_str(&format!("\nfix: {}\n", e.fix));
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_code_has_a_nonempty_explanation() {
+        for c in Code::ALL {
+            let e = explain(c);
+            assert!(!e.cause.is_empty(), "{c} has no cause");
+            assert!(!e.example.is_empty(), "{c} has no example");
+            assert!(!e.fix.is_empty(), "{c} has no fix");
+        }
+    }
+
+    #[test]
+    fn render_resolves_case_insensitively() {
+        let out = render_explain("gpp012").expect("known code");
+        assert!(out.starts_with("GPP012 — warning"), "{out}");
+        assert!(out.contains("round-trip"), "{out}");
+        assert!(render_explain("GPP999").is_none());
+    }
+}

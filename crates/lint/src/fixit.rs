@@ -1,0 +1,212 @@
+//! Machine-applicable fix-its and the line-edit engine behind
+//! `gpp lint --fix`.
+//!
+//! A [`FixIt`] is a small, structured rewrite of the `.gsk` source that
+//! resolves one diagnostic: delete a redundant transfer line, move a
+//! hoistable upload, or append a `temporary` hint to an array
+//! declaration. Edits are expressed against 1-based source lines — the
+//! same coordinates diagnostics use — so they can be rendered, shipped
+//! over the serve protocol, and applied without re-running analysis.
+//!
+//! [`apply_fixes`] applies every fix from a lint report in one batch.
+//! It is written so that a *second* `--fix` pass over its own output
+//! finds nothing to do: deletions and moves remove the lines the
+//! diagnostics anchored on, so re-linting the rewritten text is the
+//! idempotency check.
+
+use crate::diag::Diagnostic;
+
+/// One primitive source rewrite, in 1-based line coordinates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Edit {
+    /// Remove line `line` entirely (including its terminator).
+    DeleteLine {
+        /// 1-based line to delete.
+        line: usize,
+    },
+    /// Remove line `line` and re-insert it immediately before line
+    /// `before` (both in *original* coordinates).
+    MoveLine {
+        /// 1-based line to move.
+        line: usize,
+        /// 1-based line the moved text is inserted before.
+        before: usize,
+    },
+    /// Append `text` to the end of line `line`.
+    Append {
+        /// 1-based line to extend.
+        line: usize,
+        /// Text appended verbatim (include any leading space).
+        text: String,
+    },
+}
+
+impl Edit {
+    /// The primary line this edit touches (for conflict detection).
+    fn target(&self) -> usize {
+        match self {
+            Edit::DeleteLine { line } | Edit::MoveLine { line, .. } | Edit::Append { line, .. } => {
+                *line
+            }
+        }
+    }
+}
+
+/// A machine-applicable resolution for one diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FixIt {
+    /// One-line human description, e.g. `delete redundant h2d`.
+    pub summary: String,
+    /// The edits, all in coordinates of the *original* source.
+    pub edits: Vec<Edit>,
+}
+
+impl FixIt {
+    /// Convenience constructor.
+    pub fn new(summary: impl Into<String>, edits: Vec<Edit>) -> FixIt {
+        FixIt {
+            summary: summary.into(),
+            edits,
+        }
+    }
+}
+
+/// Applies every fix carried by `diags` to `src` in one batch and
+/// returns the rewritten text plus how many fixes were applied.
+///
+/// All edits use original line numbers; the engine resolves them
+/// simultaneously, so later edits are not skewed by earlier deletions.
+/// If two fixes touch the same line (e.g. a GPP012 round-trip pair
+/// whose `h2d` line a GPP010 also flagged), the first fix wins and the
+/// conflicting one is skipped — re-running `--fix` converges because
+/// the surviving diagnostics are recomputed from the rewritten text.
+pub fn apply_fixes(src: &str, diags: &[Diagnostic]) -> (String, usize) {
+    let lines: Vec<&str> = src.lines().collect();
+    // Per original line: delete it? move it before X? text to append?
+    let mut delete = vec![false; lines.len()];
+    let mut append: Vec<Option<&str>> = vec![None; lines.len()];
+    // insert_before[i] = indices of original lines to re-emit before line i+1.
+    let mut insert_before: Vec<Vec<usize>> = vec![Vec::new(); lines.len() + 1];
+    let mut touched = vec![false; lines.len()];
+    let mut applied = 0usize;
+
+    'fix: for d in diags {
+        let Some(fix) = &d.fix else { continue };
+        let in_range = |line: usize| line >= 1 && line <= lines.len();
+        // Reject the whole fix if any edit conflicts or is out of range.
+        for e in &fix.edits {
+            let t = e.target();
+            if !in_range(t) || touched[t - 1] {
+                continue 'fix;
+            }
+            if let Edit::MoveLine { before, .. } = e {
+                if *before < 1 || *before > lines.len() + 1 {
+                    continue 'fix;
+                }
+            }
+        }
+        for e in &fix.edits {
+            touched[e.target() - 1] = true;
+            match e {
+                Edit::DeleteLine { line } => delete[line - 1] = true,
+                Edit::MoveLine { line, before } => {
+                    delete[line - 1] = true;
+                    insert_before[before - 1].push(line - 1);
+                }
+                Edit::Append { line, text } => append[line - 1] = Some(text),
+            }
+        }
+        applied += 1;
+    }
+
+    if applied == 0 {
+        return (src.to_string(), 0);
+    }
+
+    let mut out = String::with_capacity(src.len());
+    for (i, line) in lines.iter().enumerate() {
+        for &moved in &insert_before[i] {
+            out.push_str(lines[moved]);
+            out.push('\n');
+        }
+        if delete[i] {
+            continue;
+        }
+        out.push_str(line);
+        if let Some(extra) = append[i] {
+            out.push_str(extra);
+        }
+        out.push('\n');
+    }
+    for &moved in &insert_before[lines.len()] {
+        out.push_str(lines[moved]);
+        out.push('\n');
+    }
+    (out, applied)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Code;
+    use gpp_skeleton::Span;
+
+    fn diag_with(edits: Vec<Edit>) -> Diagnostic {
+        Diagnostic::new(Code::CrossKernelH2d, Span::none(), "x".into())
+            .with_fix(FixIt::new("fix", edits))
+    }
+
+    #[test]
+    fn delete_move_append_compose() {
+        let src = "a\nb\nc\nd\n";
+        let diags = vec![
+            diag_with(vec![Edit::DeleteLine { line: 2 }]),
+            diag_with(vec![Edit::MoveLine { line: 4, before: 1 }]),
+            diag_with(vec![Edit::Append {
+                line: 3,
+                text: " tail".into(),
+            }]),
+        ];
+        let (out, n) = apply_fixes(src, &diags);
+        assert_eq!(n, 3);
+        assert_eq!(out, "d\na\nc tail\n");
+    }
+
+    #[test]
+    fn conflicting_fixes_apply_first_only() {
+        let src = "a\nb\n";
+        let diags = vec![
+            diag_with(vec![Edit::DeleteLine { line: 2 }]),
+            diag_with(vec![
+                Edit::DeleteLine { line: 1 },
+                Edit::DeleteLine { line: 2 }, // conflicts with the first fix
+            ]),
+        ];
+        let (out, n) = apply_fixes(src, &diags);
+        assert_eq!(n, 1);
+        assert_eq!(out, "a\n");
+    }
+
+    #[test]
+    fn out_of_range_fix_is_skipped() {
+        let (out, n) = apply_fixes("a\n", &[diag_with(vec![Edit::DeleteLine { line: 9 }])]);
+        assert_eq!((out.as_str(), n), ("a\n", 0));
+    }
+
+    #[test]
+    fn no_fixes_returns_source_verbatim() {
+        let d = Diagnostic::new(Code::DeadWrite, Span::none(), "m".into());
+        let (out, n) = apply_fixes("x\ny\n", &[d]);
+        assert_eq!((out.as_str(), n), ("x\ny\n", 0));
+    }
+
+    #[test]
+    fn move_to_end_appends() {
+        let (out, n) = apply_fixes(
+            "a\nb\n",
+            &[diag_with(vec![Edit::MoveLine { line: 1, before: 3 }])],
+        );
+        assert_eq!(n, 1);
+        assert_eq!(out, "b\na\n");
+    }
+}

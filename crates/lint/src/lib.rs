@@ -12,8 +12,12 @@
 //! [`gpp_skeleton::validate`] for structural integrity,
 //! [`gpp_skeleton::sections`] for per-reference bounded regular sections,
 //! and [`gpp_datausage`] for the transfer plan the lints reason about.
-//! Each finding carries a stable code (`GPP000`–`GPP008`), a severity,
-//! and — when the program came from `.gsk` text — a source span.
+//! Each finding carries a stable code (`GPP000`–`GPP013`; GPP009 is
+//! reserved), a severity, and — when the program came from `.gsk`
+//! text — a source span. Skeletons with an explicit `h2d`/`d2h`
+//! schedule additionally get whole-program transfer dataflow
+//! (GPP010–GPP013), whose findings carry machine-applicable
+//! [`fixit::FixIt`]s that `gpp lint --fix` applies.
 //!
 //! ```
 //! use gpp_lint::{lint_source, LintConfig};
@@ -38,10 +42,15 @@
 #![warn(missing_docs)]
 
 pub mod diag;
+pub mod explain;
+pub mod fixit;
 pub mod passes;
+mod program;
 pub mod render;
 
 pub use diag::{Code, Diagnostic, LintConfig, LintReport, Severity};
+pub use explain::{explain, render_explain, Explanation};
+pub use fixit::{apply_fixes, Edit, FixIt};
 pub use passes::lint_program;
 pub use render::{render_human, render_json};
 

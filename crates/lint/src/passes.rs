@@ -52,6 +52,7 @@ pub fn lint_program(program: &Program, map: Option<&SourceMap>, hints: &Hints) -
     ctx.races(&mut diags); // GPP005
     ctx.temporary_hints(&mut diags); // GPP007
     ctx.coalescing(&mut diags); // GPP008
+    crate::program::transfer_dataflow(program, map, &mut diags); // GPP010–GPP013
     diags
 }
 
@@ -499,9 +500,10 @@ impl<'a> Ctx<'a> {
             }
             let decl = self.p.array(a);
             let bytes = decl.extents.iter().product::<usize>() as u64 * decl.elem.bytes() as u64;
-            diags.push(Diagnostic::new(
+            let span = self.array_span(a);
+            let mut d = Diagnostic::new(
                 Code::MissingTemporary,
-                self.array_span(a),
+                span,
                 format!(
                     "`{}` is produced and last consumed on the device but is \
                      not declared `temporary`; marking it would drop {} of \
@@ -509,7 +511,17 @@ impl<'a> Ctx<'a> {
                     decl.name,
                     human_bytes(bytes)
                 ),
-            ));
+            );
+            if span.is_real() {
+                d = d.with_fix(crate::fixit::FixIt::new(
+                    format!("declare `{}` temporary", decl.name),
+                    vec![crate::fixit::Edit::Append {
+                        line: span.line,
+                        text: " temporary".into(),
+                    }],
+                ));
+            }
+            diags.push(d);
         }
     }
 

@@ -1,0 +1,502 @@
+//! Whole-program transfer dataflow: the GPP010–GPP013 pass family.
+//!
+//! These lints only run when the skeleton spells out its transfer
+//! schedule with explicit `h2d`/`d2h` directives
+//! ([`Program::has_explicit_transfers`]); derived schedules are optimal
+//! by construction, so there is nothing to critique. The pass tracks a
+//! per-array *residency lattice* over the interleaved kernel/transfer
+//! sequence:
+//!
+//! * `HostOnly` — the array has never been uploaded,
+//! * `Synced` — host and device copies agree,
+//! * `DeviceAhead` — a kernel wrote the device copy since the last sync.
+//!
+//! Kernels that write an array move it to `DeviceAhead`; an `h2d` or
+//! `d2h` moves it to `Synced`. Transfers that cannot change the visible
+//! state are redundant:
+//!
+//! * **GPP010** — `h2d` while `Synced`: the device already holds these
+//!   exact bytes.
+//! * **GPP011** — `d2h` while `Synced`, or a `d2h` whose host copy is
+//!   overwritten by a later `d2h` before any `h2d` could observe it.
+//! * **GPP012** — a `d2h` immediately followed (in the array's own
+//!   event stream) by an `h2d` of the same array: a round-trip through
+//!   the host where the data should have stayed resident.
+//! * **GPP013** (note) — an `h2d` scheduled after kernels that never
+//!   reference the array: hoisting it before the first kernel cannot
+//!   change semantics and lets the upload precede unrelated compute.
+//!
+//! Every finding carries a machine-applicable [`FixIt`] when the
+//! program came from `.gsk` text (fixes edit source lines, so spans are
+//! required); `gpp lint --fix` applies them.
+
+use crate::diag::{Code, Diagnostic};
+use crate::fixit::{Edit, FixIt};
+use gpp_brs::{AccessKind, ArrayId};
+use gpp_skeleton::{Program, SourceMap, Span, TransferKind};
+use std::collections::BTreeSet;
+
+/// Device-residency state of one array at one program point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Residency {
+    HostOnly,
+    Synced,
+    DeviceAhead,
+}
+
+/// One event in a single array's timeline.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// Transfer index into `program.transfers`.
+    Xfer(usize, TransferKind),
+    /// A kernel that references the array; `true` if it writes it.
+    Kernel(bool),
+}
+
+/// Runs the GPP010–GPP013 family. No-op unless the program carries an
+/// explicit transfer schedule.
+pub(crate) fn transfer_dataflow(p: &Program, map: Option<&SourceMap>, diags: &mut Vec<Diagnostic>) {
+    if !p.has_explicit_transfers() {
+        return;
+    }
+    // Which arrays each kernel reads/writes.
+    let touches: Vec<Vec<(ArrayId, bool)>> = p
+        .kernels
+        .iter()
+        .map(|k| {
+            let mut v: Vec<(ArrayId, bool)> = Vec::new();
+            for r in k.statements.iter().flat_map(|s| s.refs.iter()) {
+                let w = r.kind == AccessKind::Write;
+                match v.iter_mut().find(|(a, _)| *a == r.array) {
+                    Some(e) => e.1 |= w,
+                    None => v.push((r.array, w)),
+                }
+            }
+            v
+        })
+        .collect();
+
+    let t_span = |ti: usize| -> Span { map.map(|m| m.transfer_span(ti)).unwrap_or_default() };
+    let first_kernel_line = map
+        .filter(|_| !p.kernels.is_empty())
+        .map(|m| m.kernel_span(0).line)
+        .unwrap_or(0);
+
+    // Per-array event streams in program order (transfer at pos q comes
+    // before kernel q).
+    let streams: Vec<(ArrayId, Vec<Ev>)> = p
+        .arrays
+        .iter()
+        .map(|decl| {
+            let a = decl.id;
+            let mut evs = Vec::new();
+            let mut ti = 0;
+            for (ki, t) in touches.iter().enumerate() {
+                while ti < p.transfers.len() && p.transfers[ti].pos <= ki {
+                    if p.transfers[ti].array == a {
+                        evs.push(Ev::Xfer(ti, p.transfers[ti].kind));
+                    }
+                    ti += 1;
+                }
+                if let Some(&(_, w)) = t.iter().find(|(id, _)| *id == a) {
+                    evs.push(Ev::Kernel(w));
+                }
+            }
+            while ti < p.transfers.len() {
+                if p.transfers[ti].array == a {
+                    evs.push(Ev::Xfer(ti, p.transfers[ti].kind));
+                }
+                ti += 1;
+            }
+            (a, evs)
+        })
+        .collect();
+
+    // GPP012 first: round-trip pairs suppress GPP010/GPP011 on their
+    // members (the pair fix already deletes both lines).
+    let mut paired: BTreeSet<usize> = BTreeSet::new();
+    for (a, evs) in &streams {
+        let name = &p.array(*a).name;
+        let mut i = 0;
+        while i + 1 < evs.len() {
+            if let (
+                Ev::Xfer(ti, TransferKind::DeviceToHost),
+                Ev::Xfer(tj, TransferKind::HostToDevice),
+            ) = (evs[i], evs[i + 1])
+            {
+                paired.insert(ti);
+                paired.insert(tj);
+                let (da, ha) = (t_span(ti), t_span(tj));
+                let mut d = Diagnostic::new(
+                    Code::MissingResidency,
+                    da,
+                    format!(
+                        "`{name}` makes a round-trip through the host: downloaded \
+                         here and re-uploaded with no kernel touching it in \
+                         between — keep it device-resident",
+                    ),
+                );
+                if da.is_real() && ha.is_real() {
+                    d = d.with_fix(FixIt::new(
+                        format!("keep `{name}` device-resident: delete the d2h/h2d round-trip"),
+                        vec![
+                            Edit::DeleteLine { line: da.line },
+                            Edit::DeleteLine { line: ha.line },
+                        ],
+                    ));
+                }
+                diags.push(d);
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    // Residency walk: GPP010 and the synced form of GPP011.
+    let mut flagged: BTreeSet<usize> = BTreeSet::new();
+    for (a, evs) in &streams {
+        let decl = p.array(*a);
+        let mut state = Residency::HostOnly;
+        for ev in evs {
+            match *ev {
+                Ev::Kernel(true) => state = Residency::DeviceAhead,
+                Ev::Kernel(false) => {}
+                Ev::Xfer(ti, TransferKind::HostToDevice) => {
+                    if state == Residency::Synced && !paired.contains(&ti) {
+                        flagged.insert(ti);
+                        let span = t_span(ti);
+                        let mut d = Diagnostic::new(
+                            Code::CrossKernelH2d,
+                            span,
+                            format!(
+                                "redundant h2d of `{}`: the device copy is already \
+                                 in sync and no kernel modified it since the last \
+                                 upload — this re-sends {}",
+                                decl.name,
+                                gpp_datausage::plan::human_bytes(decl.byte_count()),
+                            ),
+                        );
+                        if span.is_real() {
+                            d = d.with_fix(FixIt::new(
+                                format!("delete the redundant `h2d {}`", decl.name),
+                                vec![Edit::DeleteLine { line: span.line }],
+                            ));
+                        }
+                        diags.push(d);
+                    }
+                    state = Residency::Synced;
+                }
+                Ev::Xfer(ti, TransferKind::DeviceToHost) => {
+                    if state == Residency::Synced && !paired.contains(&ti) {
+                        flagged.insert(ti);
+                        let span = t_span(ti);
+                        let mut d = Diagnostic::new(
+                            Code::DeadD2h,
+                            span,
+                            format!(
+                                "dead d2h of `{}`: host and device copies already \
+                                 agree, so this downloads nothing new",
+                                decl.name
+                            ),
+                        );
+                        if span.is_real() {
+                            d = d.with_fix(FixIt::new(
+                                format!("delete the dead `d2h {}`", decl.name),
+                                vec![Edit::DeleteLine { line: span.line }],
+                            ));
+                        }
+                        diags.push(d);
+                    }
+                    state = Residency::Synced;
+                }
+            }
+        }
+    }
+
+    // GPP011, overwritten form: a d2h whose host copy is clobbered by
+    // the array's next transfer (another d2h) before any h2d could
+    // consume it. The final d2h of an array is always live — program
+    // end observes the host copy.
+    for (a, evs) in &streams {
+        let decl = p.array(*a);
+        let xfers: Vec<(usize, TransferKind)> = evs
+            .iter()
+            .filter_map(|e| match *e {
+                Ev::Xfer(ti, k) => Some((ti, k)),
+                _ => None,
+            })
+            .collect();
+        for w in xfers.windows(2) {
+            let ((ti, k0), (_, k1)) = (w[0], w[1]);
+            if k0 == TransferKind::DeviceToHost
+                && k1 == TransferKind::DeviceToHost
+                && !paired.contains(&ti)
+                && !flagged.contains(&ti)
+            {
+                flagged.insert(ti);
+                let span = t_span(ti);
+                let mut d = Diagnostic::new(
+                    Code::DeadD2h,
+                    span,
+                    format!(
+                        "dead d2h of `{}`: the downloaded bytes are overwritten \
+                         by a later d2h before anything re-uploads them",
+                        decl.name
+                    ),
+                );
+                if span.is_real() {
+                    d = d.with_fix(FixIt::new(
+                        format!("delete the dead `d2h {}`", decl.name),
+                        vec![Edit::DeleteLine { line: span.line }],
+                    ));
+                }
+                diags.push(d);
+            }
+        }
+    }
+
+    // GPP013: an h2d after kernels that never reference the array — it
+    // can be hoisted to the top of the program without changing what
+    // any kernel observes.
+    for (ti, t) in p.transfers.iter().enumerate() {
+        if t.kind != TransferKind::HostToDevice
+            || t.pos == 0
+            || paired.contains(&ti)
+            || flagged.contains(&ti)
+        {
+            continue;
+        }
+        let earlier_xfer = p.transfers[..ti].iter().any(|u| u.array == t.array);
+        let referenced_before = touches[..t.pos.min(touches.len())]
+            .iter()
+            .any(|k| k.iter().any(|(a, _)| *a == t.array));
+        if earlier_xfer || referenced_before {
+            continue;
+        }
+        let decl = p.array(t.array);
+        let span = t_span(ti);
+        let mut d = Diagnostic::new(
+            Code::HoistableTransfer,
+            span,
+            format!(
+                "`h2d {}` runs after {} kernel(s) that never touch `{}` — \
+                 hoist the upload before the first kernel",
+                decl.name, t.pos, decl.name
+            ),
+        );
+        if span.is_real() && first_kernel_line > 0 {
+            d = d.with_fix(FixIt::new(
+                format!("hoist `h2d {}` before the first kernel", decl.name),
+                vec![Edit::MoveLine {
+                    line: span.line,
+                    before: first_kernel_line,
+                }],
+            ));
+        }
+        diags.push(d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint_source;
+    use crate::LintConfig;
+
+    fn codes(src: &str) -> Vec<(Code, usize)> {
+        lint_source(src, "t.gsk", &LintConfig::new())
+            .diagnostics
+            .iter()
+            .map(|d| (d.code, d.span.line))
+            .collect()
+    }
+
+    const REUPLOAD: &str = "\
+program p
+array a f32 [64]
+array b f32 [64]
+array c f32 [64]
+h2d a
+kernel k1
+  parallel i 64
+  stmt adds=1
+    read  a [i]
+    write b [i]
+h2d a
+kernel k2
+  parallel i 64
+  stmt adds=1
+    read  a [i]
+    write c [i]
+d2h b
+d2h c
+";
+
+    #[test]
+    fn synced_reupload_is_gpp010_with_delete_fix() {
+        let report = lint_source(REUPLOAD, "t.gsk", &LintConfig::new());
+        let got: Vec<(Code, usize)> = report
+            .diagnostics
+            .iter()
+            .map(|d| (d.code, d.span.line))
+            .collect();
+        assert_eq!(
+            got,
+            vec![(Code::CrossKernelH2d, 11)],
+            "{:?}",
+            report.diagnostics
+        );
+        let fix = report.diagnostics[0].fix.as_ref().expect("fix");
+        assert_eq!(fix.edits, vec![Edit::DeleteLine { line: 11 }]);
+    }
+
+    #[test]
+    fn kernel_write_invalidates_residency() {
+        // The kernel writes `a` between the uploads: re-upload is live.
+        let src = REUPLOAD.replace("    write b [i]\nh2d a", "    write a [i]\nh2d a");
+        assert!(
+            !codes(&src).iter().any(|(c, _)| *c == Code::CrossKernelH2d),
+            "{:?}",
+            codes(&src)
+        );
+    }
+
+    #[test]
+    fn roundtrip_is_gpp012_and_suppresses_members() {
+        let src = "\
+program p
+array a f32 [64]
+array t f32 [64] temporary
+array c f32 [64]
+h2d a
+kernel produce
+  parallel i 64
+  stmt adds=1
+    read  a [i]
+    write t [i]
+d2h t
+h2d t
+kernel consume
+  parallel i 64
+  stmt adds=1
+    read  t [i]
+    write c [i]
+d2h c
+";
+        let report = lint_source(src, "t.gsk", &LintConfig::new());
+        let got: Vec<Code> = report.diagnostics.iter().map(|d| d.code).collect();
+        assert_eq!(
+            got,
+            vec![Code::MissingResidency],
+            "{:?}",
+            report.diagnostics
+        );
+        let fix = report.diagnostics[0].fix.as_ref().unwrap();
+        assert_eq!(
+            fix.edits,
+            vec![Edit::DeleteLine { line: 11 }, Edit::DeleteLine { line: 12 }]
+        );
+    }
+
+    #[test]
+    fn overwritten_download_is_gpp011() {
+        let src = "\
+program p
+array a f32 [64]
+array b f32 [64]
+h2d a
+kernel k1
+  parallel i 64
+  stmt adds=1
+    read  a [i]
+    write b [i]
+d2h b
+kernel k2
+  parallel i 64
+  stmt adds=1
+    read  b [i]
+    write b [i]
+d2h b
+";
+        let report = lint_source(src, "t.gsk", &LintConfig::new());
+        let got: Vec<(Code, usize)> = report
+            .diagnostics
+            .iter()
+            .map(|d| (d.code, d.span.line))
+            .collect();
+        assert_eq!(got, vec![(Code::DeadD2h, 10)], "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn late_upload_of_untouched_array_is_hoistable() {
+        let src = "\
+program p
+array a f32 [64]
+array b f32 [64]
+array c f32 [64] temporary
+array d f32 [64]
+h2d a
+kernel k1
+  parallel i 64
+  stmt adds=1
+    read  a [i]
+    write c [i]
+h2d b
+kernel k2
+  parallel i 64
+  stmt adds=1
+    read  b [i]
+    read  c [i]
+    write d [i]
+d2h d
+";
+        let report = lint_source(src, "t.gsk", &LintConfig::new());
+        let got: Vec<Code> = report.diagnostics.iter().map(|d| d.code).collect();
+        assert_eq!(
+            got,
+            vec![Code::HoistableTransfer],
+            "{:?}",
+            report.diagnostics
+        );
+        let d = &report.diagnostics[0];
+        assert_eq!(d.severity, crate::Severity::Note);
+        let fix = d.fix.as_ref().unwrap();
+        assert_eq!(
+            fix.edits,
+            vec![Edit::MoveLine {
+                line: 12,
+                before: 7
+            }]
+        );
+    }
+
+    #[test]
+    fn derived_schedules_are_exempt() {
+        // Same program as REUPLOAD minus the transfer directives: the
+        // pass must stay silent when the schedule is derived.
+        let src: String = REUPLOAD
+            .lines()
+            .filter(|l| !l.starts_with("h2d") && !l.starts_with("d2h"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(codes(&src), vec![], "derived schedule must not lint");
+    }
+
+    #[test]
+    fn sane_explicit_schedule_is_clean() {
+        let src = "\
+program p
+array a f32 [64]
+array b f32 [64]
+h2d a
+kernel k
+  parallel i 64
+  stmt adds=1
+    read  a [i]
+    write b [i]
+d2h b
+";
+        assert_eq!(codes(src), vec![]);
+    }
+}

@@ -2,6 +2,7 @@
 //! and a line-oriented JSON format for tooling.
 
 use crate::diag::LintReport;
+use crate::fixit::{Edit, FixIt};
 use std::fmt::Write as _;
 
 /// Renders a report the way compilers do:
@@ -37,6 +38,9 @@ pub fn render_human(report: &LintReport, source: Option<&str>) -> String {
                     " ".repeat(d.span.col.saturating_sub(1)),
                     "^".repeat(d.span.len.max(1)),
                 );
+                if let Some(fix) = &d.fix {
+                    let _ = writeln!(out, "{:>width$} = fix: {}", "", fix.summary);
+                }
             }
         } else {
             let _ = writeln!(
@@ -85,7 +89,7 @@ pub fn render_json(report: &LintReport) -> String {
         }
         let _ = write!(
             out,
-            "{{\"code\":\"{}\",\"severity\":\"{}\",\"line\":{},\"col\":{},\"len\":{},\"message\":\"{}\"}}",
+            "{{\"code\":\"{}\",\"severity\":\"{}\",\"line\":{},\"col\":{},\"len\":{},\"message\":\"{}\"",
             d.code,
             d.severity,
             d.span.line,
@@ -93,6 +97,46 @@ pub fn render_json(report: &LintReport) -> String {
             d.span.len,
             json_escape(&d.message)
         );
+        if let Some(fix) = &d.fix {
+            out.push_str(",\"fix\":");
+            out.push_str(&fix_json(fix));
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders one fix-it as a JSON object (`summary` + structured edits).
+fn fix_json(fix: &FixIt) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"summary\":\"{}\",\"edits\":[",
+        json_escape(&fix.summary)
+    );
+    for (i, e) in fix.edits.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match e {
+            Edit::DeleteLine { line } => {
+                let _ = write!(out, "{{\"op\":\"delete\",\"line\":{line}}}");
+            }
+            Edit::MoveLine { line, before } => {
+                let _ = write!(
+                    out,
+                    "{{\"op\":\"move\",\"line\":{line},\"before\":{before}}}"
+                );
+            }
+            Edit::Append { line, text } => {
+                let _ = write!(
+                    out,
+                    "{{\"op\":\"append\",\"line\":{line},\"text\":\"{}\"}}",
+                    json_escape(text)
+                );
+            }
+        }
     }
     out.push_str("]}");
     out
@@ -186,6 +230,39 @@ mod tests {
              \"message\":\"boom \\\"quoted\\\"\"},\
              {\"code\":\"GPP004\",\"severity\":\"warning\",\"line\":0,\"col\":0,\"len\":0,\
              \"message\":\"ghost\"}]}"
+        );
+    }
+
+    #[test]
+    fn fix_its_render_in_json_and_human() {
+        let r = LintReport {
+            file: "f.gsk".into(),
+            diagnostics: vec![Diagnostic::new(
+                Code::CrossKernelH2d,
+                Span {
+                    line: 2,
+                    col: 1,
+                    len: 5,
+                },
+                "redundant h2d".into(),
+            )
+            .with_fix(FixIt::new(
+                "delete the redundant `h2d a`",
+                vec![Edit::DeleteLine { line: 2 }],
+            ))],
+        };
+        let json = render_json(&r);
+        assert!(
+            json.contains(
+                "\"fix\":{\"summary\":\"delete the redundant `h2d a`\",\
+                 \"edits\":[{\"op\":\"delete\",\"line\":2}]}"
+            ),
+            "{json}"
+        );
+        let human = render_human(&r, Some("h2d b\nh2d a\n"));
+        assert!(
+            human.contains("     = fix: delete the redundant `h2d a`"),
+            "{human}"
         );
     }
 

@@ -19,7 +19,7 @@ fn fixtures() -> Vec<PathBuf> {
         .filter(|p| p.extension().is_some_and(|x| x == "gsk"))
         .collect();
     files.sort();
-    assert_eq!(files.len(), 9, "one fixture per diagnostic code");
+    assert_eq!(files.len(), 13, "one fixture per diagnostic code");
     files
 }
 
@@ -115,6 +115,10 @@ fn fixture_spans_point_at_the_culprit() {
     case("gpp006_redundant_h2d.gsk", 15, 5); // read  tmp [i]
     case("gpp007_missing_temporary.gsk", 6, 1); // array coeff …
     case("gpp008_uncoalesced.gsk", 10, 5); // read  m [i, 0]
+    case("gpp010_program_reupload.gsk", 11, 1); // second h2d a
+    case("gpp011_program_dead_d2h.gsk", 10, 1); // first d2h b
+    case("gpp012_program_roundtrip.gsk", 11, 1); // d2h t of the pair
+    case("gpp013_program_hoist.gsk", 12, 1); // late h2d b
 }
 
 #[test]
@@ -141,9 +145,9 @@ fn deny_warnings_fails_every_defect_fixture() {
         let src = fs::read_to_string(&f).unwrap();
         let report = lint_source(&src, "f", &cfg);
         let code = expected_code(&f);
-        if code == Code::Uncoalesced {
-            // Notes are advisory: they never fail the build unless
-            // explicitly denied.
+        if code.default_severity() == Severity::Note {
+            // Notes (GPP008, GPP013) are advisory: they never fail the
+            // build unless explicitly denied.
             assert!(
                 !report.has_errors(),
                 "{}: {:?}",
@@ -151,7 +155,7 @@ fn deny_warnings_fails_every_defect_fixture() {
                 report.diagnostics
             );
             let mut deny = LintConfig::new();
-            deny.deny(Code::Uncoalesced);
+            deny.deny(code);
             assert!(lint_source(&src, "f", &deny).has_errors());
         } else {
             assert!(
@@ -162,6 +166,44 @@ fn deny_warnings_fails_every_defect_fixture() {
             );
         }
     }
+}
+
+#[test]
+fn program_fixture_fixes_relint_clean_and_are_idempotent() {
+    let transfer_codes = [
+        Code::CrossKernelH2d,
+        Code::DeadD2h,
+        Code::MissingResidency,
+        Code::HoistableTransfer,
+    ];
+    let cfg = LintConfig::new();
+    let mut checked = 0;
+    for f in fixtures() {
+        let name = f.file_name().unwrap().to_str().unwrap().to_string();
+        if !transfer_codes.contains(&expected_code(&f)) {
+            continue;
+        }
+        let src = fs::read_to_string(&f).unwrap();
+        let report = lint_source(&src, &name, &cfg);
+        let (fixed, n) = gpp_lint::apply_fixes(&src, &report.diagnostics);
+        assert!(n > 0, "{name}: fixture carries no fix");
+        // The fixed text re-lints clean of the whole pass family…
+        let report2 = lint_source(&fixed, &name, &cfg);
+        assert!(
+            report2
+                .diagnostics
+                .iter()
+                .all(|d| !transfer_codes.contains(&d.code)),
+            "{name} after fix:\n{}",
+            render_human(&report2, Some(&fixed))
+        );
+        // …and a second pass is a byte-for-byte no-op.
+        let (fixed2, n2) = gpp_lint::apply_fixes(&fixed, &report2.diagnostics);
+        assert_eq!(n2, 0, "{name}: second --fix pass still had work");
+        assert_eq!(fixed2, fixed, "{name}: fix is not idempotent");
+        checked += 1;
+    }
+    assert_eq!(checked, 4, "one fix round-trip per GPP010–GPP013");
 }
 
 #[test]

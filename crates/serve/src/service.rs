@@ -537,6 +537,15 @@ impl ServiceState {
         // it was before the analyzer existed.
         if !diags.is_empty() {
             fields.push(("diagnostics", diagnostics_json(&diags)));
+            // Findings with machine-applicable fixes also price the
+            // skeleton as written against its fix-it-optimized schedule
+            // on every machine this instance serves. Absent otherwise,
+            // so legacy replies keep their exact bytes.
+            if diags.iter().any(|d| d.fix.is_some()) {
+                if let Some(rows) = self.transfer_headroom_json(req, &program) {
+                    fields.push(("transfer_headroom", rows));
+                }
+            }
         }
         fields.extend([
             (
@@ -550,6 +559,45 @@ impl ServiceState {
             ("total_seconds", Json::Num(proj.total_time(req.iters))),
         ]);
         Ok(Json::obj(fields))
+    }
+
+    /// Applies the linter's fix-its to the request's skeleton until a
+    /// fixpoint and prices both versions on every registered machine.
+    /// `None` when no fix applies or a rewrite fails to re-parse.
+    fn transfer_headroom_json(&self, req: &Request, program: &Program) -> Option<Json> {
+        let cfg = gpp_lint::LintConfig::new();
+        let mut cur = req.skeleton.clone();
+        let mut applied = 0usize;
+        for _ in 0..16 {
+            let report = gpp_lint::lint_source(&cur, "request.gsk", &cfg);
+            let (next, n) = gpp_lint::apply_fixes(&cur, &report.diagnostics);
+            if n == 0 {
+                break;
+            }
+            if text::parse(&next).is_err() {
+                return None;
+            }
+            cur = next;
+            applied += n;
+        }
+        if applied == 0 {
+            return None;
+        }
+        let optimized = text::parse(&cur).ok()?;
+        let rows =
+            grophecy::transfer_headroom(&self.config.machines, req.seed, program, &optimized);
+        Some(Json::Arr(
+            rows.iter()
+                .map(|r| {
+                    Json::obj([
+                        ("machine", Json::Str(r.machine.clone())),
+                        ("as_written", Json::Num(r.as_written)),
+                        ("optimized", Json::Num(r.optimized)),
+                        ("headroom", Json::Num(r.headroom())),
+                    ])
+                })
+                .collect(),
+        ))
     }
 
     fn cmd_measure(
@@ -1096,6 +1144,47 @@ mod tests {
         // Unknown names list the extended registry.
         let unk = s.handle(&payload("project machine=nope", VEC_ADD), 0);
         assert!(unk.contains("(known: eureka, recorded, v2)"), "{unk}");
+    }
+
+    #[test]
+    fn fixable_findings_carry_transfer_headroom() {
+        // Second `h2d a` is GPP010 with a delete fix: the reply must price
+        // the schedule as written against the fixed one on every machine.
+        let redundant = "program reupload\n\
+                         array a f32 [4096]\n\
+                         array b f32 [4096]\n\
+                         array c f32 [4096]\n\
+                         h2d a\n\
+                         kernel k1\n  parallel i 4096\n  stmt adds=1\n    read  a [i]\n    write b [i]\n\
+                         h2d a\n\
+                         kernel k2\n  parallel i 4096\n  stmt adds=1\n    read  a [i]\n    write c [i]\n\
+                         d2h b\n\
+                         d2h c\n";
+        let s = state();
+        let out = s.handle(&payload("project", redundant), 0);
+        assert!(out.contains("\"ok\":true"), "{out}");
+        assert!(out.contains("\"code\":\"GPP010\""), "{out}");
+        assert!(
+            out.contains("\"transfer_headroom\":[{\"machine\":\"eureka\","),
+            "{out}"
+        );
+        // One row per registered machine, each with the full schema.
+        assert!(out.contains("\"machine\":\"v2\""), "{out}");
+        for key in ["\"as_written\":", "\"optimized\":", "\"headroom\":"] {
+            assert!(out.contains(key), "{out}");
+        }
+        // Silencing the analyzer silences the report with it.
+        let unlinted = s.handle(&format!("gpp/1 project lint=0\n{redundant}"), 0);
+        assert!(!unlinted.contains("transfer_headroom"), "{unlinted}");
+    }
+
+    #[test]
+    fn clean_skeletons_omit_transfer_headroom() {
+        let s = state();
+        let out = s.handle(&payload("project", VEC_ADD), 0);
+        assert!(out.contains("\"ok\":true"), "{out}");
+        assert!(!out.contains("transfer_headroom"), "{out}");
+        assert!(!out.contains("diagnostics"), "{out}");
     }
 
     #[test]

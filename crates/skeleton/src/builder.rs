@@ -9,7 +9,10 @@
 //! projections.
 
 use crate::expr::{AffineExpr, IndexExpr, LoopId};
-use crate::ir::{ArrayDecl, ArrayRef, ElemType, Flops, Kernel, Loop, Program, Statement};
+use crate::ir::{
+    ArrayDecl, ArrayRef, ElemType, Flops, Kernel, Loop, Program, Statement, TransferDecl,
+    TransferKind,
+};
 use crate::validate::{validate, ValidationErrors};
 use gpp_brs::{AccessKind, ArrayId};
 
@@ -40,6 +43,7 @@ pub struct ProgramBuilder {
     name: String,
     arrays: Vec<ArrayDecl>,
     kernels: Vec<Kernel>,
+    transfers: Vec<TransferDecl>,
 }
 
 impl ProgramBuilder {
@@ -49,6 +53,7 @@ impl ProgramBuilder {
             name: name.into(),
             arrays: Vec::new(),
             kernels: Vec::new(),
+            transfers: Vec::new(),
         }
     }
 
@@ -108,6 +113,26 @@ impl ProgramBuilder {
         id
     }
 
+    /// Resolves a declared array id by name (used by the text parser and
+    /// by callers scheduling explicit transfers).
+    pub fn array_id(&self, name: &str) -> Option<ArrayId> {
+        self.arrays.iter().find(|a| a.name == name).map(|a| a.id)
+    }
+
+    /// Appends an explicit whole-array transfer at the current program
+    /// position (after every kernel finished so far).
+    pub fn transfer(&mut self, array: ArrayId, kind: TransferKind) {
+        let pos = self.kernels.len();
+        self.transfer_at(array, kind, pos);
+    }
+
+    /// Appends an explicit transfer at an explicit position (number of
+    /// kernels preceding it). Positions must be non-decreasing across
+    /// calls so the schedule stays in program order.
+    pub fn transfer_at(&mut self, array: ArrayId, kind: TransferKind, pos: usize) {
+        self.transfers.push(TransferDecl { array, kind, pos });
+    }
+
     /// Opens a kernel builder. Call [`KernelBuilder::finish`] to append the
     /// kernel to the program.
     pub fn kernel(&mut self, name: impl Into<String>) -> KernelBuilder<'_> {
@@ -137,6 +162,7 @@ impl ProgramBuilder {
             name: self.name,
             arrays: self.arrays,
             kernels: self.kernels,
+            transfers: self.transfers,
         }
     }
 
@@ -397,6 +423,30 @@ mod tests {
         let mut k = p.kernel("k");
         let i = k.parallel_loop("i", 10);
         k.statement().read(a, &[idx(i)]).active(1.5).finish();
+    }
+
+    #[test]
+    fn explicit_transfers_record_position() {
+        let mut p = ProgramBuilder::new("xfer");
+        let a = p.array("a", ElemType::F32, &[16]);
+        let b = p.array("b", ElemType::F32, &[16]);
+        assert_eq!(p.array_id("a"), Some(a));
+        assert_eq!(p.array_id("nope"), None);
+        p.transfer(a, TransferKind::HostToDevice); // pos 0
+        let mut k = p.kernel("k");
+        let i = k.parallel_loop("i", 16);
+        k.statement()
+            .read(a, &[idx(i)])
+            .write(b, &[idx(i)])
+            .finish();
+        k.finish();
+        p.transfer(b, TransferKind::DeviceToHost); // pos 1
+        let prog = p.build().unwrap();
+        assert_eq!(prog.transfers.len(), 2);
+        assert_eq!(prog.transfers[0].pos, 0);
+        assert_eq!(prog.transfers[0].kind, TransferKind::HostToDevice);
+        assert_eq!(prog.transfers[1].pos, 1);
+        assert_eq!(prog.transfers[1].array, b);
     }
 
     #[test]

@@ -273,6 +273,38 @@ impl Kernel {
     }
 }
 
+/// Direction of an explicit transfer directive (`h2d` / `d2h` in `.gsk`).
+///
+/// Kept in the skeleton crate (rather than reusing the analyzer's
+/// direction type) so the IR stays dependency-free; `gpp-datausage` maps
+/// between the two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TransferKind {
+    /// Host → device upload (`h2d`).
+    HostToDevice,
+    /// Device → host download (`d2h`).
+    DeviceToHost,
+}
+
+/// One explicit whole-array transfer in the kernel/transfer sequence.
+///
+/// Most skeletons carry no explicit transfers and let the data usage
+/// analyzer derive the minimal plan (paper §III-B). A skeleton that spells
+/// its schedule out with `h2d`/`d2h` directives is priced *as written*,
+/// which is what lets `gpp lint`'s whole-program passes find cross-kernel
+/// transfer waste and quantify the headroom of fixing it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransferDecl {
+    /// The array moved (whole allocation).
+    pub array: ArrayId,
+    /// Upload or download.
+    pub kind: TransferKind,
+    /// Number of kernels that execute before this transfer: 0 places it
+    /// before the first kernel, `kernels.len()` after the last. Must be
+    /// non-decreasing across `Program::transfers`.
+    pub pos: usize,
+}
+
 /// A whole modeled application region: arrays plus an ordered sequence of
 /// kernels (the part of the CPU code being considered for GPU offload).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -283,6 +315,9 @@ pub struct Program {
     pub arrays: Vec<ArrayDecl>,
     /// Kernels in execution order.
     pub kernels: Vec<Kernel>,
+    /// Explicit transfer schedule, in program order (empty = derived by
+    /// the data usage analyzer).
+    pub transfers: Vec<TransferDecl>,
 }
 
 impl Program {
@@ -307,6 +342,12 @@ impl Program {
     /// Total bytes across all declared arrays.
     pub fn total_array_bytes(&self) -> u64 {
         self.arrays.iter().map(ArrayDecl::byte_count).sum()
+    }
+
+    /// True if the skeleton spells out its transfer schedule with
+    /// `h2d`/`d2h` directives instead of leaving it to the analyzer.
+    pub fn has_explicit_transfers(&self) -> bool {
+        !self.transfers.is_empty()
     }
 }
 
@@ -441,11 +482,44 @@ mod tests {
                 temporary: false,
             }],
             kernels: vec![simple_kernel()],
+            transfers: vec![],
         };
         assert_eq!(p.array(ArrayId(0)).name, "grid");
         assert!(p.array_by_name("grid").is_some());
         assert!(p.array_by_name("nope").is_none());
         assert!(p.kernel_by_name("k").is_some());
         assert_eq!(p.total_array_bytes(), 32);
+        assert!(!p.has_explicit_transfers());
+    }
+
+    #[test]
+    fn explicit_transfers_are_carried() {
+        let p = Program {
+            name: "app".into(),
+            arrays: vec![ArrayDecl {
+                id: ArrayId(0),
+                name: "grid".into(),
+                elem: ElemType::F32,
+                extents: vec![8],
+                sparse: false,
+                temporary: false,
+            }],
+            kernels: vec![simple_kernel()],
+            transfers: vec![
+                TransferDecl {
+                    array: ArrayId(0),
+                    kind: TransferKind::HostToDevice,
+                    pos: 0,
+                },
+                TransferDecl {
+                    array: ArrayId(0),
+                    kind: TransferKind::DeviceToHost,
+                    pos: 1,
+                },
+            ],
+        };
+        assert!(p.has_explicit_transfers());
+        assert_eq!(p.transfers[0].kind, TransferKind::HostToDevice);
+        assert_eq!(p.transfers[1].pos, 1);
     }
 }

@@ -65,6 +65,9 @@ pub use characteristics::{
 };
 pub use expr::{AffineExpr, IndexExpr, LoopId};
 pub use gpp_brs::{AccessKind, ArrayId};
-pub use ir::{ArrayDecl, ArrayRef, ElemType, Flops, Kernel, Loop, Program, Statement};
+pub use ir::{
+    ArrayDecl, ArrayRef, ElemType, Flops, Kernel, Loop, Program, Statement, TransferDecl,
+    TransferKind,
+};
 pub use text::{KernelSpans, SourceMap, Span, StmtSpans};
 pub use validate::{ValidationError, ValidationErrors};

@@ -29,11 +29,18 @@
 //! ```text
 //! program <name>
 //! array <name> <f32|f64|i32|i64|c64|c128> [e1, e2, ...] [sparse] [temporary]
+//! h2d <array> | d2h <array>
 //! kernel <name> [gpu_scale=<x>] [cpu_scale=<x>]
 //!   parallel <var> <trip> | serial <var> <trip>
 //!   stmt [adds=N] [muls=N] [divs=N] [specials=N] [compares=N] [active=F]
 //!     read|write <array> [<index>, <index>, ...]
 //! ```
+//!
+//! `h2d`/`d2h` lines are top-level directives that may appear anywhere
+//! between kernels: they pin an *explicit* whole-array transfer schedule
+//! (priced as written by the analyzer) instead of letting the data usage
+//! analysis derive the minimal plan. A transfer line closes the kernel
+//! being parsed, exactly like a `kernel` line does.
 //!
 //! Index expressions: affine combinations of loop variables and integers
 //! (`i`, `i+1`, `2*i-3`, `4*i+j`, `7`), `?` for an irregular index, or
@@ -48,7 +55,7 @@
 //! `parse(to_text(p)) == p` identity exact.
 
 use crate::expr::{AffineExpr, IndexExpr, LoopId};
-use crate::ir::{ElemType, Flops, Program};
+use crate::ir::{ElemType, Flops, Program, TransferKind};
 use crate::ProgramBuilder;
 use gpp_brs::AccessKind;
 
@@ -116,6 +123,9 @@ pub struct SourceMap {
     pub arrays: Vec<Span>,
     /// One entry per kernel, in program order.
     pub kernels: Vec<KernelSpans>,
+    /// One span per explicit `h2d`/`d2h` directive, parallel to
+    /// [`Program::transfers`].
+    pub transfers: Vec<Span>,
 }
 
 impl SourceMap {
@@ -137,6 +147,11 @@ impl SourceMap {
     /// The span of a kernel directive, if recorded.
     pub fn kernel_span(&self, kernel: usize) -> Span {
         self.kernels.get(kernel).map(|k| k.span).unwrap_or_default()
+    }
+
+    /// The span of the `i`-th explicit transfer directive, if recorded.
+    pub fn transfer_span(&self, i: usize) -> Span {
+        self.transfers.get(i).copied().unwrap_or_default()
     }
 }
 
@@ -211,6 +226,8 @@ pub fn parse_with_spans(input: &str) -> Result<(Program, SourceMap), ParseError>
     let mut done: Vec<PendKernel> = Vec::new();
     let mut program_span = Span::none();
     let mut array_spans: Vec<Span> = Vec::new();
+    // Explicit transfers: (array, kind, kernels-before-it, span).
+    let mut transfers: Vec<(gpp_brs::ArrayId, TransferKind, usize, Span)> = Vec::new();
 
     for (lineno, raw) in input.lines().enumerate() {
         let lineno = lineno + 1;
@@ -284,6 +301,34 @@ pub fn parse_with_spans(input: &str) -> Result<(Program, SourceMap), ParseError>
                     b.set_temporary(id);
                 }
                 array_spans.push(at);
+            }
+            "h2d" | "d2h" => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| err_at(at, format!("`{head}` before `program`")))?;
+                // A transfer directive sits between kernels: close the one
+                // being parsed, exactly like a `kernel` line.
+                if let Some(k) = kernel.take() {
+                    done.push(k);
+                }
+                let name = words
+                    .next()
+                    .ok_or_else(|| err_at(at, format!("`{head}` needs an array name")))?;
+                if let Some(extra) = words.next() {
+                    return Err(err_at(
+                        at,
+                        format!("unexpected `{extra}` after `{head} {name}`"),
+                    ));
+                }
+                let id = b
+                    .array_id(name)
+                    .ok_or_else(|| err_at(at, format!("unknown array `{name}`")))?;
+                let kind = if head == "h2d" {
+                    TransferKind::HostToDevice
+                } else {
+                    TransferKind::DeviceToHost
+                };
+                transfers.push((id, kind, done.len(), at));
             }
             "kernel" => {
                 if builder.is_none() {
@@ -410,7 +455,12 @@ pub fn parse_with_spans(input: &str) -> Result<(Program, SourceMap), ParseError>
         program: program_span,
         arrays: array_spans,
         kernels: Vec::new(),
+        transfers: Vec::new(),
     };
+    for (id, kind, pos, at) in transfers {
+        b.transfer_at(id, kind, pos);
+        map.transfers.push(at);
+    }
     for pk in done {
         let mut ks = KernelSpans {
             span: pk.span,
@@ -577,7 +627,19 @@ pub fn to_text(p: &Program) -> String {
             if a.temporary { " temporary" } else { "" }
         );
     }
-    for k in &p.kernels {
+    let transfer_line = |s: &mut String, t: &crate::ir::TransferDecl| {
+        let dir = match t.kind {
+            TransferKind::HostToDevice => "h2d",
+            TransferKind::DeviceToHost => "d2h",
+        };
+        let _ = writeln!(s, "\n{dir} {}", p.array(t.array).name);
+    };
+    let mut ti = 0; // next explicit transfer to emit, in program order
+    for (ki, k) in p.kernels.iter().enumerate() {
+        while ti < p.transfers.len() && p.transfers[ti].pos <= ki {
+            transfer_line(&mut s, &p.transfers[ti]);
+            ti += 1;
+        }
         let _ = write!(s, "\nkernel {}", k.name);
         if k.gpu_compute_scale != 1.0 {
             let _ = write!(s, " gpu_scale={}", k.gpu_compute_scale);
@@ -632,6 +694,10 @@ pub fn to_text(p: &Program) -> String {
                 );
             }
         }
+    }
+    while ti < p.transfers.len() {
+        transfer_line(&mut s, &p.transfers[ti]);
+        ti += 1;
     }
     s
 }
@@ -858,6 +924,103 @@ kernel k1 gpu_scale=38 cpu_scale=0.45
         assert_eq!(coalesced, 7);
         assert!(chars.accesses.iter().any(|a| a.aligned));
         assert!(chars.accesses.iter().any(|a| !a.aligned));
+    }
+
+    const STAGED: &str = r#"
+program staged
+array a f32 [128]
+array b f32 [128]
+
+h2d a
+
+kernel k1
+  parallel i 128
+  stmt adds=1
+    read  a [i]
+    write b [i]
+
+h2d a
+
+kernel k2
+  parallel i 128
+  stmt adds=1
+    read  a [i]
+    write b [i]
+
+d2h b
+"#;
+
+    #[test]
+    fn explicit_transfers_parse_with_positions_and_spans() {
+        let (p, map) = parse_with_spans(STAGED).unwrap();
+        assert_eq!(p.transfers.len(), 3);
+        let a = p.array_by_name("a").unwrap().id;
+        let b = p.array_by_name("b").unwrap().id;
+        assert_eq!(
+            (
+                p.transfers[0].array,
+                p.transfers[0].kind,
+                p.transfers[0].pos
+            ),
+            (a, TransferKind::HostToDevice, 0)
+        );
+        assert_eq!(
+            (
+                p.transfers[1].array,
+                p.transfers[1].kind,
+                p.transfers[1].pos
+            ),
+            (a, TransferKind::HostToDevice, 1)
+        );
+        assert_eq!(
+            (
+                p.transfers[2].array,
+                p.transfers[2].kind,
+                p.transfers[2].pos
+            ),
+            (b, TransferKind::DeviceToHost, 2)
+        );
+        assert_eq!(map.transfers.len(), 3);
+        assert_eq!(map.transfer_span(0).line, 6);
+        assert_eq!(map.transfer_span(1).line, 14);
+        assert_eq!(map.transfer_span(2).line, 22);
+        assert_eq!(map.transfer_span(0).len, "h2d a".len());
+        assert!(!map.transfer_span(9).is_real());
+    }
+
+    #[test]
+    fn explicit_transfers_roundtrip() {
+        let p = parse(STAGED).unwrap();
+        let text = to_text(&p);
+        assert!(text.contains("\nh2d a\n"), "{text}");
+        assert!(text.contains("\nd2h b\n"), "{text}");
+        assert_eq!(parse(&text).unwrap(), p);
+        // And the rendered form re-parses to identical positions.
+        let p2 = parse(&text).unwrap();
+        assert_eq!(p2.transfers, p.transfers);
+    }
+
+    #[test]
+    fn transfer_errors_are_spanned() {
+        let e = parse("program p\narray a f32 [4]\nh2d ghost\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("unknown array `ghost`"), "{e}");
+        let e = parse("h2d a\n").unwrap_err();
+        assert!(e.message.contains("before `program`"), "{e}");
+        let e = parse("program p\narray a f32 [4]\nd2h\n").unwrap_err();
+        assert!(e.message.contains("needs an array name"), "{e}");
+        let e = parse("program p\narray a f32 [4]\nh2d a extra\n").unwrap_err();
+        assert!(e.message.contains("unexpected `extra`"), "{e}");
+    }
+
+    #[test]
+    fn transfer_closes_open_kernel() {
+        // A `d2h` between two kernels closes the first, like `kernel` does.
+        let src = "program p\narray a f32 [8]\narray b f32 [8]\nkernel k1\n  parallel i 8\n  stmt adds=1\n    read a [i]\n    write b [i]\nd2h b\nkernel k2\n  parallel i 8\n  stmt adds=1\n    read b [i]\n    write a [i]\n";
+        let p = parse(src).unwrap();
+        assert_eq!(p.kernels.len(), 2);
+        assert_eq!(p.transfers.len(), 1);
+        assert_eq!(p.transfers[0].pos, 1);
     }
 
     #[test]
