@@ -44,6 +44,18 @@ rm -rf "$FIX_TMP"
 echo "== gpp machines (committed datasheets round-trip)"
 target/release/gpp machines --check fixtures/machines/*.gmach
 
+echo "== cross-fleet matrix (multi-GPU fixtures, pinned seed)"
+# The crossfleet experiment loads every committed .gmach — including the
+# multi-GPU dual-v2/quad-v2 nodes — under the pinned evaluation seed.
+# Every machine column must quote an overlap delta, and the multi-GPU
+# columns must carry their data-parallel split totals.
+cargo build $CARGO_FLAGS --release -p gpp-bench --bin repro
+CROSSFLEET=$(target/release/repro crossfleet)
+for needle in "dual-v2:" "quad-v2:" " split2 " " split4 " " ov "; do
+    grep -qF -- "$needle" <<<"$CROSSFLEET" \
+        || { echo "crossfleet output lacks \`$needle\`"; exit 1; }
+done
+
 echo "== perf-regression gate (min-of-N vs committed BENCH_*.json)"
 # Re-measure both bench harnesses to temporary files and fail on >25%
 # regression against the committed baselines. Both harnesses report

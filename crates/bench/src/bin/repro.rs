@@ -31,6 +31,7 @@ fn main() {
             "ablations",
             "memtype",
             "crossmachine",
+            "crossfleet",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -96,8 +97,21 @@ fn render_one(id: &str, json: bool, ev: Option<&Evaluation>) -> String {
         "ablations" => ablation::render(EVAL_SEED),
         "memtype" => render::memtype(EVAL_SEED),
         "crossmachine" => gpp_bench::eval::cross_machine(EVAL_SEED),
+        "crossfleet" => {
+            // The built-ins plus every committed `.gmach` datasheet —
+            // including the multi-GPU machines, whose columns carry the
+            // data-parallel split.
+            let mut registry = grophecy::MachineRegistry::builtin();
+            let dir = std::path::Path::new("fixtures/machines");
+            if dir.is_dir() {
+                registry
+                    .load_dir(dir)
+                    .expect("fixtures/machines should load");
+            }
+            gpp_bench::eval::cross_fleet(&registry, EVAL_SEED)
+        }
         other => {
-            eprintln!("unknown experiment `{other}`; known: fig2..fig12, table1, table2, ablations, memtype, all");
+            eprintln!("unknown experiment `{other}`; known: fig2..fig12, table1, table2, ablations, memtype, crossfleet, all");
             std::process::exit(2);
         }
     }

@@ -157,7 +157,10 @@ fn lint_fixpoint(src: &str) -> (String, usize) {
 /// [`cross_machine`] over an arbitrary fleet: one column per registered
 /// machine, in registry (name) order. Each cell also reports `hr` — the
 /// transfer headroom the linter's fix-its would recover on that machine
-/// (0.00 when the schedule is already optimal).
+/// (0.00 when the schedule is already optimal) — and `ov`, the
+/// overlap-vs-serial delta a 4-chunk pipelined schedule would realize.
+/// Multi-device machines append a `splitD` column with the data-parallel
+/// split's straggler-bound total.
 pub fn cross_fleet(registry: &MachineRegistry, seed: u64) -> String {
     use gpp_datausage::Hints;
     use std::fmt::Write as _;
@@ -192,14 +195,29 @@ pub fn cross_fleet(registry: &MachineRegistry, seed: u64) -> String {
                 let o = gro.project(opt, &Hints::for_program(opt)).total_time(1);
                 (w - o).max(0.0)
             });
-            rows[k].push(format!(
+            let mut cell = format!(
                 "{}: {:>8.2}ms kern + {:>8.2}ms xfer ({:>2.0}%) hr {:>6.2}ms",
                 m.id,
                 proj.kernel_time * 1e3,
                 proj.transfer_time * 1e3,
                 100.0 * proj.transfer_time / proj.total_time(1),
                 headroom * 1e3
-            ));
+            );
+            // Overlap-vs-serial delta: what pipelining the whole transfer
+            // volume against the compute in 4 chunks would save over the
+            // serial schedule.
+            let serial = proj.kernel_time + proj.transfer_time;
+            let overlapped = gpp_pcie::pipelined_window(proj.transfer_time, proj.kernel_time, 4);
+            let _ = write!(cell, " ov {:>6.2}ms", (serial - overlapped) * 1e3);
+            if let Some(mg) = &proj.multi_gpu {
+                let _ = write!(
+                    cell,
+                    " split{} {:>8.2}ms",
+                    mg.device_count(),
+                    mg.total_time(1) * 1e3
+                );
+            }
+            rows[k].push(cell);
         }
     }
     let mut s = String::new();
@@ -234,6 +252,29 @@ mod tests {
         let s = cross_machine(EVAL_SEED);
         assert!(s.contains("Quadro FX 5600 (eureka)") && s.contains("Tesla C1060 (v2)"));
         assert_eq!(s.lines().count(), 1 + 10 + 2);
+    }
+
+    #[test]
+    fn multi_device_machines_gain_a_split_column() {
+        let mut registry = MachineRegistry::builtin();
+        let mut dual = grophecy::MachineConfig::anl_eureka_node(0);
+        dual.id = "dual".to_string();
+        dual.devices.push(grophecy::machine::DeviceLink {
+            id: 1,
+            bus: gpp_pcie::BusParams::pcie_v2_x16(),
+        });
+        registry.insert(dual);
+        let s = cross_fleet(&registry, EVAL_SEED);
+        let row = s.lines().nth(1).unwrap();
+        let dual_cell = row.split(" | ").find(|c| c.starts_with("dual:")).unwrap();
+        assert!(dual_cell.contains(" split2 "), "{dual_cell}");
+        assert!(dual_cell.contains(" ov "), "{dual_cell}");
+        // Single-device columns carry the overlap delta but no split.
+        let eureka = row.split(" | ").find(|c| c.starts_with("eureka:")).unwrap();
+        assert!(
+            eureka.contains(" ov ") && !eureka.contains("split"),
+            "{eureka}"
+        );
     }
 
     #[test]

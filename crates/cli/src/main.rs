@@ -55,7 +55,7 @@ usage:
   gpp deps     <file.gsk>             inter-kernel dependence report
   gpp lint     <file.gsk>... [options] static analysis: bounds, liveness,
                                       races, transfer hints, whole-program
-                                      transfer dataflow (GPP000-GPP013;
+                                      transfer dataflow (GPP000-GPP014;
                                       exit 0 clean, 1 findings, 2 errors)
   gpp calibrate [options]             run the two-point PCIe calibration
   gpp machines [options]              list the machine registry; with
@@ -620,7 +620,7 @@ fn cmd_lint(opt: &Options) -> ExitCode {
                 ExitCode::SUCCESS
             }
             None => {
-                eprintln!("--explain: unknown lint code `{code}` (GPP000..GPP013)");
+                eprintln!("--explain: unknown lint code `{code}` (GPP000..GPP014)");
                 ExitCode::from(2)
             }
         };
@@ -636,7 +636,7 @@ fn cmd_lint(opt: &Options) -> ExitCode {
         } else if let Some(c) = Code::parse(d) {
             cfg.deny(c);
         } else {
-            eprintln!("--deny: unknown lint `{d}` (GPP000..GPP013 or `warnings`)");
+            eprintln!("--deny: unknown lint `{d}` (GPP000..GPP014 or `warnings`)");
             return ExitCode::from(2);
         }
     }
@@ -782,6 +782,46 @@ fn cmd_project(program: &Program, hints: &Hints, opt: &Options) -> ExitCode {
         "projected total GPU time: {:>10.3} ms",
         proj.total_time(opt.iters) * 1e3
     );
+    if let Some(tl) = &proj.timeline {
+        // Stream-annotated schedules also quote the overlapped pass: what
+        // the pipelined copies save against the serial schedule above.
+        println!(
+            "with stream overlap     : {:>10.3} ms   (saves {:.3} ms/iter pass)",
+            proj.overlapped_total_time(opt.iters) * 1e3,
+            tl.saved() * 1e3
+        );
+        if !tl.has_overlap() {
+            println!(
+                "  note: no transfer overlaps a kernel — annotations are sync or at schedule edges"
+            );
+        }
+    }
+    if let Some(mg) = &proj.multi_gpu {
+        println!();
+        println!(
+            "data-parallel split across {} device(s){}:",
+            mg.device_count(),
+            if mg.is_contended() {
+                " (root-complex contended)"
+            } else {
+                ""
+            }
+        );
+        for d in &mg.devices {
+            println!(
+                "  device {:>2}: kernel {:>10.3} ms + transfers {:>10.3} ms   (bus factor {:.2})",
+                d.id,
+                d.kernel_seconds * 1e3,
+                d.transfer_seconds * 1e3,
+                d.bandwidth_factor
+            );
+        }
+        println!(
+            "  split total GPU time  : {:>10.3} ms  (straggler: device {})",
+            mg.total_time(opt.iters) * 1e3,
+            mg.straggler().id
+        );
+    }
     if opt.stats {
         let (hits, misses) = gpp_gpu_model::synth_memo_stats();
         let pool = gpp_par::Pool::global().stats();

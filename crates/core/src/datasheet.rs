@@ -43,6 +43,23 @@
 //! # or: bus replay "eureka-2009-06" from "eureka.trace"
 //! ```
 //!
+//! A multi-GPU node appends one `device <id>` section per *extra* device
+//! (same key set as `bus sim`; the primary device is the top-level
+//! `gpu_spec`/`gpu`/`bus`) and optionally a `root_complex` section giving
+//! the aggregate host-side bandwidth all links contend for. Both are
+//! omitted entirely for single-GPU machines, so existing datasheets are
+//! byte-identical:
+//!
+//! ```text
+//! device 1
+//!   gen v2
+//!   lanes 16
+//!   ...
+//!
+//! root_complex
+//!   shared_bw 12000000000
+//! ```
+//!
 //! # Round trip
 //!
 //! [`to_text`] is byte-stable and [`parse`] is its exact inverse:
@@ -54,7 +71,7 @@
 //!
 //! [`RecordedBus`]: gpp_pcie::RecordedBus
 
-use crate::machine::{BusSpec, MachineConfig, ReplayTrace};
+use crate::machine::{BusSpec, DeviceLink, MachineConfig, ReplayTrace, RootComplex};
 use gpp_cpu_sim::CpuParams;
 use gpp_gpu_model::GpuSpec;
 use gpp_gpu_sim::DeviceParams;
@@ -188,30 +205,7 @@ pub fn to_text(m: &MachineConfig) -> String {
     match &m.bus {
         BusSpec::Sim(b) => {
             out.push_str("\nbus sim\n");
-            push_kv(&mut out, "gen", gen_tag(b.gen));
-            push_kv(&mut out, "lanes", b.lanes);
-            push_kv(&mut out, "max_payload", b.max_payload);
-            push_kv(&mut out, "tlp_overhead", b.tlp_overhead);
-            push_kv(&mut out, "link_efficiency", b.link_efficiency);
-            push_kv(&mut out, "dma_setup_h2d", b.dma_setup_h2d);
-            push_kv(&mut out, "dma_setup_d2h", b.dma_setup_d2h);
-            push_kv(&mut out, "host_copy_bw", b.host_copy_bw);
-            push_kv(&mut out, "staging_chunk", b.staging_chunk);
-            push_kv(&mut out, "staging_overhead", b.staging_overhead);
-            push_kv(&mut out, "staging_overlap", b.staging_overlap);
-            push_kv(
-                &mut out,
-                "pageable_fastpath_bytes",
-                b.pageable_fastpath_bytes,
-            );
-            push_kv(
-                &mut out,
-                "pageable_fastpath_latency",
-                b.pageable_fastpath_latency,
-            );
-            push_kv(&mut out, "noise_rel_sigma", b.noise_rel_sigma);
-            push_kv(&mut out, "noise_abs_sigma", b.noise_abs_sigma);
-            push_kv(&mut out, "hiccup_prob", b.hiccup_prob);
+            push_bus_params(&mut out, b);
         }
         BusSpec::Replay(t) => {
             let _ = writeln!(out, "\nbus replay \"{}\"", t.label);
@@ -225,7 +219,41 @@ pub fn to_text(m: &MachineConfig) -> String {
             }
         }
     }
+
+    for d in &m.devices {
+        let _ = writeln!(out, "\ndevice {}", d.id);
+        push_bus_params(&mut out, &d.bus);
+    }
+    if let Some(rc) = &m.root_complex {
+        out.push_str("\nroot_complex\n");
+        push_kv(&mut out, "shared_bw", rc.shared_bw);
+    }
     out
+}
+
+/// Emits the canonical key lines of one [`BusParams`] block — shared by
+/// the `bus sim` section and each extra `device <id>` section.
+fn push_bus_params(out: &mut String, b: &BusParams) {
+    push_kv(out, "gen", gen_tag(b.gen));
+    push_kv(out, "lanes", b.lanes);
+    push_kv(out, "max_payload", b.max_payload);
+    push_kv(out, "tlp_overhead", b.tlp_overhead);
+    push_kv(out, "link_efficiency", b.link_efficiency);
+    push_kv(out, "dma_setup_h2d", b.dma_setup_h2d);
+    push_kv(out, "dma_setup_d2h", b.dma_setup_d2h);
+    push_kv(out, "host_copy_bw", b.host_copy_bw);
+    push_kv(out, "staging_chunk", b.staging_chunk);
+    push_kv(out, "staging_overhead", b.staging_overhead);
+    push_kv(out, "staging_overlap", b.staging_overlap);
+    push_kv(out, "pageable_fastpath_bytes", b.pageable_fastpath_bytes);
+    push_kv(
+        out,
+        "pageable_fastpath_latency",
+        b.pageable_fastpath_latency,
+    );
+    push_kv(out, "noise_rel_sigma", b.noise_rel_sigma);
+    push_kv(out, "noise_abs_sigma", b.noise_abs_sigma);
+    push_kv(out, "hiccup_prob", b.hiccup_prob);
 }
 
 // ---------------------------------------------------------------- lexing
@@ -338,6 +366,45 @@ enum Section {
     Cpu,
     BusSim,
     BusReplay,
+    /// Index into the parser's per-device fields vector.
+    Device(usize),
+    RootComplex,
+}
+
+/// Builds one [`BusParams`] from a collected key/value section — shared by
+/// `bus sim` and each `device <id>` section. Does not call `finish`; the
+/// caller reports leftovers under its own section name.
+fn bus_params_from_fields(sec: &str, f: &mut Fields) -> Result<BusParams, GmachError> {
+    let (gen_line, gen_word) = f.take(sec, "gen")?;
+    let gen = match gen_word.as_str() {
+        "v1" => PcieGen::V1,
+        "v2" => PcieGen::V2,
+        "v3" => PcieGen::V3,
+        other => {
+            return Err(GmachError::new(
+                gen_line,
+                format!("`gen` must be v1|v2|v3, got `{other}`"),
+            ));
+        }
+    };
+    Ok(BusParams {
+        gen,
+        lanes: f.u32(sec, "lanes")?,
+        max_payload: f.u32(sec, "max_payload")?,
+        tlp_overhead: f.u32(sec, "tlp_overhead")?,
+        link_efficiency: f.f64(sec, "link_efficiency")?,
+        dma_setup_h2d: f.f64(sec, "dma_setup_h2d")?,
+        dma_setup_d2h: f.f64(sec, "dma_setup_d2h")?,
+        host_copy_bw: f.f64(sec, "host_copy_bw")?,
+        staging_chunk: f.u64(sec, "staging_chunk")?,
+        staging_overhead: f.f64(sec, "staging_overhead")?,
+        staging_overlap: f.f64(sec, "staging_overlap")?,
+        pageable_fastpath_bytes: f.u64(sec, "pageable_fastpath_bytes")?,
+        pageable_fastpath_latency: f.f64(sec, "pageable_fastpath_latency")?,
+        noise_rel_sigma: f.f64(sec, "noise_rel_sigma")?,
+        noise_abs_sigma: f.f64(sec, "noise_abs_sigma")?,
+        hiccup_prob: f.f64(sec, "hiccup_prob")?,
+    })
 }
 
 /// Parses `.gmach` text into a machine. Inline datasheets only: a
@@ -369,10 +436,13 @@ pub fn parse_with(
     let mut replay_samples: Vec<(u64, Direction, MemType, f64)> = Vec::new();
     let mut saw_cpu = false;
     let mut bus_seen = false;
+    let mut saw_root_complex = false;
     let mut gpu_spec_fields = Fields::default();
     let mut gpu_fields = Fields::default();
     let mut cpu_fields = Fields::default();
     let mut bus_fields = Fields::default();
+    let mut device_sections: Vec<(u32, Fields)> = Vec::new();
+    let mut rc_fields = Fields::default();
     let mut section = Section::None;
 
     for (lineno, raw) in input.lines().enumerate() {
@@ -475,6 +545,38 @@ pub fn parse_with(
                     }
                 }
             }
+            "device" => {
+                let [_, Token::Word(v)] = &tokens[..] else {
+                    return Err(GmachError::new(lineno, "usage: device <id>"));
+                };
+                let dev_id: u32 = v
+                    .parse()
+                    .map_err(|_| GmachError::new(lineno, format!("bad device id `{v}`")))?;
+                if dev_id == 0 {
+                    return Err(GmachError::new(
+                        lineno,
+                        "device 0 is the primary device (the top-level `bus` section)",
+                    ));
+                }
+                if device_sections.iter().any(|(id, _)| *id == dev_id) {
+                    return Err(GmachError::new(
+                        lineno,
+                        format!("duplicate `device {dev_id}` section"),
+                    ));
+                }
+                device_sections.push((dev_id, Fields::default()));
+                section = Section::Device(device_sections.len() - 1);
+            }
+            "root_complex" => {
+                if tokens.len() != 1 {
+                    return Err(GmachError::new(lineno, "usage: root_complex"));
+                }
+                if saw_root_complex {
+                    return Err(GmachError::new(lineno, "duplicate `root_complex` section"));
+                }
+                saw_root_complex = true;
+                section = Section::RootComplex;
+            }
             "sample" => {
                 if !matches!(section, Section::BusReplay) {
                     return Err(GmachError::new(
@@ -514,6 +616,8 @@ pub fn parse_with(
                         Section::Gpu => &mut gpu_fields,
                         Section::Cpu => &mut cpu_fields,
                         Section::BusSim => &mut bus_fields,
+                        Section::Device(i) => &mut device_sections[*i].1,
+                        Section::RootComplex => &mut rc_fields,
                         Section::BusReplay => {
                             return Err(GmachError::new(
                                 lineno,
@@ -614,39 +718,32 @@ pub fn parse_with(
         })
     } else {
         let sec = "bus sim";
-        let f = &mut bus_fields;
-        let (gen_line, gen_word) = f.take(sec, "gen")?;
-        let gen = match gen_word.as_str() {
-            "v1" => PcieGen::V1,
-            "v2" => PcieGen::V2,
-            "v3" => PcieGen::V3,
-            other => {
-                return Err(GmachError::new(
-                    gen_line,
-                    format!("`gen` must be v1|v2|v3, got `{other}`"),
-                ));
-            }
-        };
-        let bus = BusParams {
-            gen,
-            lanes: f.u32(sec, "lanes")?,
-            max_payload: f.u32(sec, "max_payload")?,
-            tlp_overhead: f.u32(sec, "tlp_overhead")?,
-            link_efficiency: f.f64(sec, "link_efficiency")?,
-            dma_setup_h2d: f.f64(sec, "dma_setup_h2d")?,
-            dma_setup_d2h: f.f64(sec, "dma_setup_d2h")?,
-            host_copy_bw: f.f64(sec, "host_copy_bw")?,
-            staging_chunk: f.u64(sec, "staging_chunk")?,
-            staging_overhead: f.f64(sec, "staging_overhead")?,
-            staging_overlap: f.f64(sec, "staging_overlap")?,
-            pageable_fastpath_bytes: f.u64(sec, "pageable_fastpath_bytes")?,
-            pageable_fastpath_latency: f.f64(sec, "pageable_fastpath_latency")?,
-            noise_rel_sigma: f.f64(sec, "noise_rel_sigma")?,
-            noise_abs_sigma: f.f64(sec, "noise_abs_sigma")?,
-            hiccup_prob: f.f64(sec, "hiccup_prob")?,
-        };
+        let bus = bus_params_from_fields(sec, &mut bus_fields)?;
         bus_fields.finish(sec)?;
         BusSpec::Sim(bus)
+    };
+
+    let mut devices = Vec::with_capacity(device_sections.len());
+    for (dev_id, mut fields) in device_sections {
+        let sec = format!("device {dev_id}");
+        let dev_bus = bus_params_from_fields(&sec, &mut fields)?;
+        fields.finish(&sec)?;
+        devices.push(DeviceLink {
+            id: dev_id,
+            bus: dev_bus,
+        });
+    }
+
+    let root_complex = if saw_root_complex {
+        let sec = "root_complex";
+        let shared_bw = rc_fields.f64(sec, "shared_bw")?;
+        rc_fields.finish(sec)?;
+        if !(shared_bw.is_finite() && shared_bw > 0.0) {
+            return Err(GmachError::new(0, "`shared_bw` must be positive"));
+        }
+        Some(RootComplex { shared_bw })
+    } else {
+        None
     };
 
     let config = MachineConfig {
@@ -657,6 +754,8 @@ pub fn parse_with(
         cpu,
         bus,
         seed,
+        devices,
+        root_complex,
     };
     config
         .bus
@@ -779,6 +878,49 @@ mod tests {
         assert!(e.to_string().contains("bogus"), "{e}");
         let e = parse(&(good + "seed 4\n")).unwrap_err();
         assert!(e.to_string().contains("duplicate"), "{e}");
+    }
+
+    #[test]
+    fn multi_device_machines_round_trip_exactly() {
+        let mut m = MachineConfig::anl_eureka_node(7);
+        m.id = "dual".into();
+        let mut second = BusParams::pcie_v1_x16();
+        second.lanes = 8; // asymmetric slot wiring
+        m.devices.push(DeviceLink { id: 1, bus: second });
+        m.root_complex = Some(RootComplex { shared_bw: 5.0e9 });
+        let text = to_text(&m);
+        assert!(text.contains("\ndevice 1\n"));
+        assert!(text.contains("\nroot_complex\n  shared_bw 5000000000\n"));
+        let back = parse(&text).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(to_text(&back), text);
+        assert_eq!(back.device_count(), 2);
+        assert!(back.is_multi_device());
+    }
+
+    #[test]
+    fn device_section_errors_name_the_problem() {
+        let base = to_text(&MachineConfig::anl_eureka_node(1));
+        let e = parse(&(base.clone() + "\ndevice 0\n")).unwrap_err();
+        assert!(e.to_string().contains("primary device"), "{e}");
+        let e = parse(&(base.clone() + "\ndevice x\n")).unwrap_err();
+        assert!(e.to_string().contains("bad device id"), "{e}");
+        let dev = {
+            let mut s = String::from("\ndevice 1\n");
+            push_bus_params(&mut s, &BusParams::pcie_v1_x16());
+            s
+        };
+        let e = parse(&(base.clone() + &dev + &dev)).unwrap_err();
+        assert!(e.to_string().contains("duplicate `device 1`"), "{e}");
+        let e = parse(&(base.clone() + "\ndevice 1\n  gen v1\n")).unwrap_err();
+        assert!(
+            e.to_string().contains("section `device 1` is missing"),
+            "{e}"
+        );
+        let e = parse(&(base.clone() + "\nroot_complex\n  shared_bw -3\n")).unwrap_err();
+        assert!(e.to_string().contains("must be positive"), "{e}");
+        let e = parse(&(base + "\nroot_complex\n  shared_bw 1e9\n\nroot_complex\n")).unwrap_err();
+        assert!(e.to_string().contains("duplicate `root_complex`"), "{e}");
     }
 
     #[test]

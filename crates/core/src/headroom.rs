@@ -3,12 +3,15 @@
 //!
 //! `gpp lint` can rewrite a `.gsk` with an explicit `h2d`/`d2h`
 //! schedule into an equivalent one without the redundant traffic it
-//! diagnosed (GPP010–GPP013). This module prices both versions with
-//! the full projector on every registered machine: the *headroom* is
-//! the projector-measured delta between the program as written and the
-//! fix-it-optimized schedule. Because kernel projections are
-//! schedule-invariant (the plan only feeds the PCIe model), the delta
-//! is pure transfer time — zero when the schedule is already optimal.
+//! diagnosed (GPP010–GPP013), or with stream/chunk annotations that
+//! pipeline large copies against compute (GPP014). This module prices
+//! both versions with the full projector on every registered machine:
+//! the *headroom* is the projector-measured delta between the program
+//! as written and the fix-it-optimized schedule. Each side is priced at
+//! its overlapped total when it carries stream annotations (identical
+//! to the serial total otherwise), so both traffic-removing and
+//! overlap-adding fixes surface their win; the delta is zero when the
+//! schedule is already optimal.
 
 use crate::projector::Grophecy;
 use crate::registry::MachineRegistry;
@@ -21,9 +24,11 @@ use gpp_skeleton::Program;
 pub struct MachineHeadroom {
     /// Machine id (registry name).
     pub machine: String,
-    /// Projected total time of the program as written.
+    /// Projected total time of the program as written (overlapped total
+    /// when the schedule carries stream annotations).
     pub as_written: f64,
-    /// Projected total time of the fix-it-optimized program.
+    /// Projected total time of the fix-it-optimized program (overlapped
+    /// total when the fix added stream annotations).
     pub optimized: f64,
 }
 
@@ -59,8 +64,8 @@ pub fn transfer_headroom(
             let gro = Grophecy::calibrate(&cfg, &mut node);
             MachineHeadroom {
                 machine: name,
-                as_written: gro.project(as_written, &h0).total_time(1),
-                optimized: gro.project(optimized, &h1).total_time(1),
+                as_written: gro.project(as_written, &h0).overlapped_total_time(1),
+                optimized: gro.project(optimized, &h1).overlapped_total_time(1),
             }
         })
         .collect()
@@ -122,6 +127,38 @@ d2h b
         let reg = MachineRegistry::builtin();
         for r in transfer_headroom(&reg, 7, &parse(TIGHT), &parse(TIGHT)) {
             assert_eq!(r.headroom(), 0.0, "{}", r.machine);
+        }
+    }
+
+    #[test]
+    fn overlap_annotations_surface_positive_headroom() {
+        // The GPP014 rewrite: same traffic, but pipelined against the
+        // kernel on a concurrent stream. The overlapped pricing must
+        // credit the overlap.
+        let serial = "\
+program p
+array a f32 [1048576]
+array b f32 [1048576]
+h2d a
+kernel k
+  parallel i 1048576
+  stmt adds=1
+    read  a [i]
+    write b [i]
+d2h b
+";
+        let streamed = serial
+            .replace("h2d a", "h2d a stream 1 chunks=4")
+            .replace("d2h b", "d2h b stream 1 chunks=4");
+        let reg = MachineRegistry::builtin();
+        for r in transfer_headroom(&reg, 7, &parse(serial), &parse(&streamed)) {
+            assert!(
+                r.headroom() > 0.0,
+                "{}: {} vs {}",
+                r.machine,
+                r.as_written,
+                r.optimized
+            );
         }
     }
 

@@ -74,6 +74,7 @@ pub mod registry;
 pub mod report;
 pub mod seeds;
 pub mod speedup;
+pub mod timeline;
 
 pub use fusion::{explore_fusion, FusionAnalysis};
 pub use headroom::{transfer_headroom, MachineHeadroom};
@@ -83,3 +84,4 @@ pub use memtype::{DualCalibration, MemTypeReport};
 pub use projector::{AppProjection, Grophecy};
 pub use registry::{MachineRegistry, UnknownMachine};
 pub use speedup::{SpeedupReport, SpeedupSeries};
+pub use timeline::{DeviceSlice, MultiGpuProjection, Timeline, TimelineEvent};

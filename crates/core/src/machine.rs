@@ -90,6 +90,33 @@ impl BusSpec {
     }
 }
 
+/// One additional GPU device behind the node's root complex, with its own
+/// bus link. The machine's primary device is described by the top-level
+/// `gpu_spec`/`gpu`/`bus` fields; `MachineConfig::devices` lists the
+/// extras, so single-GPU datasheets are untouched by multi-GPU support.
+///
+/// Extra devices share the primary GPU's datasheet (a homogeneous fleet —
+/// the common multi-GPU node) but each has its own link parameters, so
+/// asymmetric slot wiring (x16 vs x8) is expressible.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceLink {
+    /// Device index as declared in the datasheet (`device 1`, `device 2`,
+    /// …; 0 is the primary device and never appears here).
+    pub id: u32,
+    /// The device's own bus link.
+    pub bus: BusParams,
+}
+
+/// Root-complex contention: all device links funnel through one host
+/// interface with `shared_bw` bytes/second of aggregate bandwidth. When
+/// `D` devices transfer concurrently, each link's effective bandwidth is
+/// `min(link_bw, shared_bw / D)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RootComplex {
+    /// Aggregate host-side bandwidth shared by all device links, bytes/s.
+    pub shared_bw: f64,
+}
+
 /// Everything that defines one target system.
 ///
 /// The `gpu_spec` is the *datasheet* the analytic model sees; `gpu`, `cpu`
@@ -119,6 +146,13 @@ pub struct MachineConfig {
     /// Noise seed for the whole node ("which day you measured on").
     /// Per-component streams derive from it via [`crate::seeds`].
     pub seed: u64,
+    /// Additional GPU devices (`device N` datasheet blocks). Empty for a
+    /// single-GPU machine — the overwhelmingly common case, and the one
+    /// whose projections must stay bit-identical to pre-multi-GPU builds.
+    pub devices: Vec<DeviceLink>,
+    /// Root-complex contention model shared by every device link (`None`
+    /// = unconstrained, the single-device default).
+    pub root_complex: Option<RootComplex>,
 }
 
 impl MachineConfig {
@@ -134,6 +168,8 @@ impl MachineConfig {
             cpu: CpuParams::xeon_e5405(),
             bus: BusSpec::Sim(BusParams::pcie_v1_x16()),
             seed,
+            devices: Vec::new(),
+            root_complex: None,
         }
     }
 
@@ -148,7 +184,20 @@ impl MachineConfig {
             cpu: CpuParams::xeon_x5550(),
             bus: BusSpec::Sim(BusParams::pcie_v2_x16()),
             seed,
+            devices: Vec::new(),
+            root_complex: None,
         }
+    }
+
+    /// Total GPU devices on the node: the primary plus every extra
+    /// [`DeviceLink`].
+    pub fn device_count(&self) -> usize {
+        1 + self.devices.len()
+    }
+
+    /// True when the node hosts more than one GPU.
+    pub fn is_multi_device(&self) -> bool {
+        !self.devices.is_empty()
     }
 
     /// A copy with a different node seed.

@@ -1,11 +1,15 @@
 //! The GROPHECY++ projector: kernel time + transfer time, from a skeleton.
 
-use crate::machine::{MachineConfig, SimulatedNode};
+use crate::machine::{BusSpec, DeviceLink, MachineConfig, RootComplex, SimulatedNode};
+use crate::timeline::{MultiGpuProjection, Timeline};
 use gpp_datausage::{analyze, Hints, TransferDir, TransferPlan};
 use gpp_fault::FaultInjector;
 use gpp_gpu_model::{project_best_with, GpuSpec, KernelProjection, SearchOpts};
 use gpp_pcie::model::DirectionalModel;
-use gpp_pcie::{AllocModel, Bus, CalibrationError, Calibrator, Direction, FaultyBus, MemType};
+use gpp_pcie::overlap::DEFAULT_STAGING_LATENCY;
+use gpp_pcie::{
+    AllocModel, Bus, CalibrationError, Calibrator, ChunkedModel, Direction, FaultyBus, MemType,
+};
 use gpp_skeleton::Program;
 use std::sync::Arc;
 
@@ -19,6 +23,23 @@ pub struct Grophecy {
     pcie: DirectionalModel,
     mem: MemType,
     alloc: Option<AllocModel>,
+    /// Per-chunk pinned-staging latency σ for chunked transfer pricing:
+    /// derived from the machine's mechanistic bus parameters when it has
+    /// them, the replay-era default otherwise.
+    staging_latency: f64,
+    /// Extra GPU devices of a multi-GPU node (empty = single GPU).
+    devices: Vec<DeviceLink>,
+    /// Root-complex contention shared by all device links.
+    root_complex: Option<RootComplex>,
+}
+
+/// Staging latency for a machine: mechanistic buses derive it from their
+/// parameters, replay traces use the default.
+fn staging_latency_of(machine: &MachineConfig) -> f64 {
+    match &machine.bus {
+        BusSpec::Sim(p) => p.staging_overhead * (1.0 - p.staging_overlap),
+        BusSpec::Replay(_) => DEFAULT_STAGING_LATENCY,
+    }
 }
 
 /// A complete application projection.
@@ -43,6 +64,13 @@ pub struct AppProjection {
     pub transfer_time: f64,
     /// Optional one-time allocation overhead (future-work feature, §VII).
     pub alloc_time: f64,
+    /// The priced event timeline, present only when the skeleton carries
+    /// stream/chunk annotations (`None` keeps annotation-free projections
+    /// bit-identical to pre-timeline builds).
+    pub timeline: Option<Timeline>,
+    /// The data-parallel split across all devices of a multi-GPU node
+    /// (`None` on single-GPU machines).
+    pub multi_gpu: Option<MultiGpuProjection>,
 }
 
 impl AppProjection {
@@ -50,6 +78,22 @@ impl AppProjection {
     /// sequence: kernels repeat, transfers happen once (§IV-B).
     pub fn total_time(&self, iters: u32) -> f64 {
         self.kernel_time * iters as f64 + self.transfer_time + self.alloc_time
+    }
+
+    /// Projected total honoring the annotated concurrent schedule:
+    /// transfers happen once, overlapped against the pass they bracket;
+    /// the remaining `iters - 1` passes are pure kernel time. Falls back
+    /// to the serial [`AppProjection::total_time`] when the program pinned
+    /// no concurrent schedule.
+    pub fn overlapped_total_time(&self, iters: u32) -> f64 {
+        match &self.timeline {
+            Some(tl) => {
+                self.kernel_time * (iters.saturating_sub(1)) as f64
+                    + tl.overlapped_pass
+                    + self.alloc_time
+            }
+            None => self.total_time(iters),
+        }
     }
 
     /// Projected speedup over a measured CPU time (`cpu_time` must cover
@@ -81,6 +125,9 @@ impl Grophecy {
             pcie,
             mem: MemType::Pinned,
             alloc: None,
+            staging_latency: staging_latency_of(machine),
+            devices: machine.devices.clone(),
+            root_complex: machine.root_complex.clone(),
         }
     }
 
@@ -110,6 +157,9 @@ impl Grophecy {
             pcie,
             mem: MemType::Pinned,
             alloc: None,
+            staging_latency: staging_latency_of(machine),
+            devices: machine.devices.clone(),
+            root_complex: machine.root_complex.clone(),
         })
     }
 
@@ -121,6 +171,9 @@ impl Grophecy {
             pcie,
             mem: MemType::Pinned,
             alloc: None,
+            staging_latency: DEFAULT_STAGING_LATENCY,
+            devices: Vec::new(),
+            root_complex: None,
         }
     }
 
@@ -132,6 +185,9 @@ impl Grophecy {
             pcie,
             mem: MemType::Pinned,
             alloc: None,
+            staging_latency: DEFAULT_STAGING_LATENCY,
+            devices: Vec::new(),
+            root_complex: None,
         }
     }
 
@@ -228,9 +284,40 @@ impl Grophecy {
         let kernel_time = kernels.iter().map(|k| k.time).sum();
 
         let plan = analyze(program, hints);
+        // Per-transfer annotations in `plan.all()` (bucket) order: an
+        // explicit schedule's h2d directives map to `plan.h2d` in program
+        // order and d2h likewise; derived plans have no annotations.
+        let annotations: Vec<(u32, u32)> = if program.has_explicit_transfers() {
+            let side = |kind: gpp_skeleton::TransferKind| {
+                program
+                    .transfers
+                    .iter()
+                    .filter(move |t| t.kind == kind)
+                    .map(|t| (t.stream, t.chunks.max(1)))
+            };
+            side(gpp_skeleton::TransferKind::HostToDevice)
+                .chain(side(gpp_skeleton::TransferKind::DeviceToHost))
+                .collect()
+        } else {
+            vec![(0, 1); plan.transfer_count()]
+        };
         let transfer_times: Vec<f64> = plan
             .all()
-            .map(|t| self.predict_transfer(t.bytes, t.dir))
+            .zip(&annotations)
+            .map(|(t, &(_, chunks))| {
+                if chunks > 1 {
+                    // Chunked pricing: each chunk pays α plus a staging
+                    // rotation — executed serially this costs *more* than
+                    // Equation 1; the timeline below is what wins it back.
+                    let dir = match t.dir {
+                        TransferDir::ToDevice => self.pcie.h2d,
+                        TransferDir::FromDevice => self.pcie.d2h,
+                    };
+                    ChunkedModel::new(dir, self.staging_latency).serial_time(t.bytes, chunks)
+                } else {
+                    self.predict_transfer(t.bytes, t.dir)
+                }
+            })
             .collect();
         let transfer_time = transfer_times.iter().sum();
 
@@ -246,6 +333,20 @@ impl Grophecy {
             )
         });
 
+        let timeline = program.has_stream_annotations().then(|| {
+            let kernel_times: Vec<f64> = kernels.iter().map(|k| k.time).collect();
+            Timeline::build(program, &kernel_times, &plan, &transfer_times)
+        });
+        let multi_gpu = (!self.devices.is_empty()).then(|| {
+            MultiGpuProjection::build(
+                &self.pcie,
+                &self.devices,
+                self.root_complex.as_ref(),
+                &plan,
+                kernel_time,
+            )
+        });
+
         AppProjection {
             kernels,
             kernel_time,
@@ -253,6 +354,8 @@ impl Grophecy {
             transfer_times,
             transfer_time,
             alloc_time,
+            timeline,
+            multi_gpu,
         }
     }
 }
@@ -431,6 +534,141 @@ mod tests {
             panic!("calibration should have failed");
         };
         assert!(err.to_string().contains("calibration failed"));
+    }
+
+    /// vadd with an explicit chunked-async schedule: inputs stream in
+    /// against the kernel, the output streams out behind it.
+    fn vadd_streamed(n: usize, stream: u32, chunks: u32) -> Program {
+        use gpp_skeleton::TransferKind;
+        let mut p = ProgramBuilder::new("vadd-streamed");
+        let a = p.array("a", ElemType::F32, &[n]);
+        let b = p.array("b", ElemType::F32, &[n]);
+        let c = p.array("c", ElemType::F32, &[n]);
+        p.transfer_with(a, TransferKind::HostToDevice, 0, stream, chunks);
+        p.transfer_with(b, TransferKind::HostToDevice, 0, stream, chunks);
+        let mut k = p.kernel("add");
+        let i = k.parallel_loop("i", n as u64);
+        k.statement()
+            .read(a, &[idx(i)])
+            .read(b, &[idx(i)])
+            .write(c, &[idx(i)])
+            .flops(Flops {
+                adds: 1,
+                ..Flops::default()
+            })
+            .finish();
+        k.finish();
+        p.transfer_with(c, TransferKind::DeviceToHost, 1, stream, chunks);
+        p.build().unwrap()
+    }
+
+    #[test]
+    fn plain_programs_have_no_timeline_or_split() {
+        let gro = projector();
+        let proj = gro.project(&vadd(1 << 20), &Hints::new());
+        assert!(proj.timeline.is_none());
+        assert!(proj.multi_gpu.is_none());
+        assert_eq!(proj.overlapped_total_time(3), proj.total_time(3));
+    }
+
+    #[test]
+    fn streamed_schedule_lands_strictly_between_max_and_sum() {
+        // §acceptance: a committed overlapped multi-stream case must be
+        // strictly between max(transfer, compute) and their sum.
+        let gro = projector();
+        let proj = gro.project(&vadd_streamed(1 << 22, 1, 8), &Hints::new());
+        let tl = proj.timeline.as_ref().expect("annotated program");
+        assert!(tl.has_overlap());
+        let lo = proj.transfer_time.max(proj.kernel_time);
+        let hi = proj.transfer_time + proj.kernel_time;
+        assert!(
+            tl.overlapped_pass > lo && tl.overlapped_pass < hi,
+            "{} not in ({lo}, {hi})",
+            tl.overlapped_pass
+        );
+        assert!(proj.overlapped_total_time(1) < proj.total_time(1));
+        // Later iterations are pure kernel passes in both schedules, so
+        // the saving is iteration-invariant.
+        let saved_1 = proj.total_time(1) - proj.overlapped_total_time(1);
+        let saved_9 = proj.total_time(9) - proj.overlapped_total_time(9);
+        assert!((saved_1 - saved_9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sync_annotations_price_like_the_serial_paper_model() {
+        // stream 0, chunks=1 on every directive is the paper's serial
+        // schedule: no timeline, and per-transfer pricing identical to
+        // the derived plan's.
+        let gro = projector();
+        let proj = gro.project(&vadd_streamed(1 << 20, 0, 1), &Hints::new());
+        assert!(proj.timeline.is_none());
+        let derived = gro.project(&vadd(1 << 20), &Hints::new());
+        // Same plan shape → same serial pricing per transfer.
+        assert_eq!(proj.plan.transfer_count(), derived.plan.transfer_count());
+        assert_eq!(
+            proj.transfer_time.to_bits(),
+            derived.transfer_time.to_bits()
+        );
+    }
+
+    #[test]
+    fn chunking_without_overlap_costs_more_serially() {
+        let gro = projector();
+        let plain = gro.project(&vadd_streamed(1 << 22, 0, 1), &Hints::new());
+        let chunked = gro.project(&vadd_streamed(1 << 22, 0, 8), &Hints::new());
+        // chunks=8 on the sync stream: pays 8 α/σ rotations, overlaps
+        // nothing.
+        assert!(chunked.transfer_time > plain.transfer_time);
+        let tl = chunked.timeline.as_ref().expect("annotated");
+        assert!(!tl.has_overlap());
+        assert_eq!(tl.serial_pass, tl.overlapped_pass);
+    }
+
+    #[test]
+    fn multi_gpu_split_shows_contention_degraded_bandwidth() {
+        // §acceptance: a dual-GPU machine with a tight root complex must
+        // show per-device bandwidth strictly below the uncontended link
+        // rate, and the split total must beat the single-GPU serial total.
+        use crate::machine::{DeviceLink, RootComplex};
+        let mut machine = MachineConfig::anl_eureka_node(7);
+        machine.devices.push(DeviceLink {
+            id: 1,
+            bus: gpp_pcie::BusParams::pcie_v1_x16(),
+        });
+        machine.root_complex = Some(RootComplex { shared_bw: 3.0e9 });
+        let mut node = machine.node();
+        let gro = Grophecy::calibrate(&machine, &mut node);
+        let proj = gro.project(&vadd(1 << 22), &Hints::new());
+        let split = proj.multi_gpu.as_ref().expect("multi-GPU machine");
+        assert_eq!(split.device_count(), 2);
+        assert!(split.is_contended());
+        for d in &split.devices {
+            assert!(d.bandwidth_factor < 1.0, "{}", d.bandwidth_factor);
+            assert!(d.kernel_seconds < proj.kernel_time);
+        }
+        assert!(split.total_time(1) < proj.total_time(1));
+    }
+
+    #[test]
+    fn multi_gpu_calibration_matches_single_gpu_twin_bitwise() {
+        // Registering extra devices must not consume calibration RNG:
+        // the primary model — and every scalar projection field — is
+        // bit-identical to the single-GPU twin.
+        use crate::machine::{DeviceLink, RootComplex};
+        let single = MachineConfig::anl_eureka_node(7);
+        let mut dual = single.clone();
+        dual.devices.push(DeviceLink {
+            id: 1,
+            bus: gpp_pcie::BusParams::pcie_v2_x16(),
+        });
+        dual.root_complex = Some(RootComplex { shared_bw: 4.0e9 });
+        let mut node_s = single.node();
+        let p_s = Grophecy::calibrate(&single, &mut node_s).project(&vadd(1 << 20), &Hints::new());
+        let mut node_d = dual.node();
+        let p_d = Grophecy::calibrate(&dual, &mut node_d).project(&vadd(1 << 20), &Hints::new());
+        assert_eq!(p_s.kernel_time.to_bits(), p_d.kernel_time.to_bits());
+        assert_eq!(p_s.transfer_time.to_bits(), p_d.transfer_time.to_bits());
+        assert!(p_s.multi_gpu.is_none() && p_d.multi_gpu.is_some());
     }
 
     #[test]

@@ -108,9 +108,12 @@ impl Json {
     }
 }
 
-/// Serializes a projection.
+/// Serializes a projection. The `timeline` and `multi_gpu` keys appear
+/// only when the projection carries them (stream-annotated programs /
+/// multi-device machines), so reports for plain programs on single-GPU
+/// machines are byte-identical to pre-overlap builds.
 pub fn projection_json(p: &AppProjection) -> Json {
-    Json::obj([
+    let mut fields = vec![
         (
             "kernels",
             Json::Arr(
@@ -149,7 +152,72 @@ pub fn projection_json(p: &AppProjection) -> Json {
         ),
         ("transfer_seconds", Json::Num(p.transfer_time)),
         ("total_seconds_1_iter", Json::Num(p.total_time(1))),
-    ])
+    ];
+    if let Some(tl) = &p.timeline {
+        fields.push((
+            "timeline",
+            Json::obj([
+                (
+                    "events",
+                    Json::Arr(
+                        tl.events
+                            .iter()
+                            .map(|e| {
+                                Json::obj([
+                                    ("array", Json::Str(e.array.clone())),
+                                    ("direction", Json::Str(e.dir.to_string())),
+                                    ("pos", Json::Num(e.pos as f64)),
+                                    ("stream", Json::Num(e.stream as f64)),
+                                    ("chunks", Json::Num(e.chunks as f64)),
+                                    ("bytes", Json::Num(e.bytes as f64)),
+                                    ("seconds", Json::Num(e.seconds)),
+                                    (
+                                        "overlaps_kernel",
+                                        e.overlaps_kernel
+                                            .map_or(Json::Null, |k| Json::Num(k as f64)),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("serial_pass_seconds", Json::Num(tl.serial_pass)),
+                ("overlapped_pass_seconds", Json::Num(tl.overlapped_pass)),
+                ("saved_seconds", Json::Num(tl.saved())),
+                (
+                    "overlapped_total_1_iter",
+                    Json::Num(p.overlapped_total_time(1)),
+                ),
+            ]),
+        ));
+    }
+    if let Some(mg) = &p.multi_gpu {
+        fields.push((
+            "multi_gpu",
+            Json::obj([
+                ("device_count", Json::Num(mg.device_count() as f64)),
+                ("contended", Json::Bool(mg.is_contended())),
+                (
+                    "devices",
+                    Json::Arr(
+                        mg.devices
+                            .iter()
+                            .map(|d| {
+                                Json::obj([
+                                    ("device", Json::Num(d.id as f64)),
+                                    ("kernel_seconds", Json::Num(d.kernel_seconds)),
+                                    ("transfer_seconds", Json::Num(d.transfer_seconds)),
+                                    ("bandwidth_factor", Json::Num(d.bandwidth_factor)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("total_seconds_1_iter", Json::Num(mg.total_time(1))),
+            ]),
+        ));
+    }
+    Json::obj(fields)
 }
 
 /// Serializes a measurement.
@@ -263,6 +331,60 @@ mod tests {
         }
         assert!(!json.contains("NaN"));
         let _ = Hints::new();
+    }
+
+    #[test]
+    fn overlap_keys_appear_only_when_present() {
+        use gpp_skeleton::builder::{idx, ProgramBuilder};
+        use gpp_skeleton::{ElemType, Flops, TransferKind};
+
+        let build = |stream, chunks| {
+            let mut p = ProgramBuilder::new("vadd");
+            let n = 1 << 20;
+            let a = p.array("a", ElemType::F32, &[n]);
+            let b = p.array("b", ElemType::F32, &[n]);
+            let mut k = p.kernel("add");
+            let i = k.parallel_loop("i", n as u64);
+            k.statement()
+                .read(a, &[idx(i)])
+                .write(b, &[idx(i)])
+                .flops(Flops {
+                    adds: 1,
+                    ..Flops::default()
+                })
+                .finish();
+            k.finish();
+            p.transfer_with(a, TransferKind::HostToDevice, 0, stream, chunks);
+            p.transfer_with(b, TransferKind::DeviceToHost, 1, stream, chunks);
+            p.build().unwrap()
+        };
+
+        let mut machine = MachineConfig::anl_eureka_node(3);
+        let mut node = machine.node();
+        let gro = Grophecy::calibrate(&machine, &mut node);
+        // Synchronous schedule, single device: legacy shape exactly.
+        let plain = projection_json(&gro.project(&build(0, 1), &Hints::new())).render();
+        assert!(!plain.contains(r#""timeline""#), "{plain}");
+        assert!(!plain.contains(r#""multi_gpu""#), "{plain}");
+
+        // Streamed schedule on a dual-GPU machine: both sections appear.
+        machine.devices.push(crate::machine::DeviceLink {
+            id: 1,
+            bus: gpp_pcie::BusParams::pcie_v2_x16(),
+        });
+        let mut node = machine.node();
+        let gro = Grophecy::calibrate(&machine, &mut node);
+        let rich = projection_json(&gro.project(&build(1, 4), &Hints::new())).render();
+        for key in [
+            r#""timeline""#,
+            r#""overlapped_pass_seconds""#,
+            r#""overlaps_kernel""#,
+            r#""multi_gpu""#,
+            r#""bandwidth_factor""#,
+        ] {
+            assert!(rich.contains(key), "missing {key} in {rich}");
+        }
+        assert_eq!(rich.matches('{').count(), rich.matches('}').count());
     }
 
     #[test]

@@ -2,8 +2,8 @@
 //! round-trips (property + golden fixtures) and replay-bus calibration
 //! parity between the registry path and a bare [`RecordedBus`].
 
-use gpp_pcie::{Calibrator, Direction, MemType, RecordedBus};
-use grophecy::machine::{BusSpec, ReplayTrace};
+use gpp_pcie::{BusParams, Calibrator, Direction, MemType, RecordedBus};
+use grophecy::machine::{BusSpec, DeviceLink, ReplayTrace, RootComplex};
 use grophecy::projector::Grophecy;
 use grophecy::{datasheet, MachineConfig, MachineRegistry};
 use proptest::prelude::*;
@@ -30,6 +30,8 @@ fn build_machine(
     clock: u64,
     replay: bool,
     times: Vec<f64>,
+    extras: u32,
+    shared_bw: Option<f64>,
 ) -> MachineConfig {
     let mut m = if base == 0 {
         MachineConfig::anl_eureka_node(seed)
@@ -64,6 +66,15 @@ fn build_machine(
         p.lanes = lanes;
         p.link_efficiency = link_eff;
     }
+    for i in 0..extras {
+        // Extra GPU links, alternating slot widths (asymmetric wiring).
+        let mut bus = BusParams::pcie_v2_x16();
+        bus.lanes = if i % 2 == 0 { 16 } else { 8 };
+        m.devices.push(DeviceLink { id: i + 1, bus });
+    }
+    if let Some(shared_bw) = shared_bw {
+        m.root_complex = Some(RootComplex { shared_bw });
+    }
     m
 }
 
@@ -81,9 +92,15 @@ proptest! {
         clock in 100_000_000u64..3_000_000_000,
         replay in any::<bool>(),
         times in proptest::collection::vec(1e-6f64..1.0, 4..8),
+        extras in 0u32..4,
+        contended in any::<bool>(),
+        shared_bw in 1e8f64..1e11,
     ) {
         let lanes = [1u32, 4, 8, 16][lanes_pick];
-        let m = build_machine(base, idx, seed, lanes, link_eff, mem_eff, clock, replay, times);
+        let m = build_machine(
+            base, idx, seed, lanes, link_eff, mem_eff, clock, replay, times, extras,
+            contended.then_some(shared_bw),
+        );
         let text = datasheet::to_text(&m);
         let back = datasheet::parse(&text)
             .unwrap_or_else(|e| panic!("canonical text failed to parse: {e}\n{text}"));
@@ -121,8 +138,9 @@ fn fixture_directory_loads_into_the_registry() {
     let dir = format!("{}/../../fixtures/machines", env!("CARGO_MANIFEST_DIR"));
     let mut registry = MachineRegistry::builtin();
     let loaded = registry.load_dir(std::path::Path::new(&dir)).unwrap();
-    assert_eq!(loaded, vec!["eureka", "recorded", "v2", "v3"]);
-    assert_eq!(registry.names(), vec!["eureka", "recorded", "v2", "v3"]);
+    let expect = vec!["dual-v2", "eureka", "quad-v2", "recorded", "v2", "v3"];
+    assert_eq!(loaded, expect);
+    assert_eq!(registry.names(), expect);
     let recorded = registry.get("recorded").unwrap();
     assert_eq!(recorded.bus.kind(), "replay");
     // Loaded built-ins are identical to the compiled-in ones.
@@ -130,6 +148,28 @@ fn fixture_directory_loads_into_the_registry() {
         registry.get("eureka").unwrap(),
         &MachineConfig::anl_eureka_node(0)
     );
+}
+
+/// The committed multi-GPU fixtures are byte-for-byte canonical (the
+/// writer's fixed point) and carry the topology they claim: extra
+/// `device` links and a shared root complex.
+#[test]
+fn multi_gpu_fixtures_are_canonical_and_contended() {
+    let dir = format!("{}/../../fixtures/machines", env!("CARGO_MANIFEST_DIR"));
+    for (file, extra_devices) in [("dual-v2.gmach", 1), ("quad-v2.gmach", 3)] {
+        let text = std::fs::read_to_string(format!("{dir}/{file}")).unwrap();
+        let m = datasheet::parse(&text).unwrap();
+        assert_eq!(
+            datasheet::to_text(&m),
+            text,
+            "{file} is not the canonical writer's fixed point"
+        );
+        assert!(m.is_multi_device(), "{file}");
+        assert_eq!(m.devices.len(), extra_devices, "{file}");
+        assert_eq!(m.device_count(), extra_devices + 1, "{file}");
+        let rc = m.root_complex.as_ref().expect("shared root complex");
+        assert!(rc.shared_bw > 0.0);
+    }
 }
 
 /// Calibrating through the registry's replay machine gives exactly the

@@ -54,11 +54,15 @@ pub enum Code {
     /// array; hoisting it before the first kernel lets the upload
     /// overlap (or at least precede) unrelated compute.
     HoistableTransfer,
+    /// GPP014 — a large synchronous transfer sits adjacent to a kernel
+    /// it could overlap: annotating it `stream N chunks=K` would pipeline
+    /// the copy against the compute instead of serializing the schedule.
+    SerializedTransfer,
 }
 
 impl Code {
     /// Every code, in numeric order. GPP009 is reserved and absent.
-    pub const ALL: [Code; 13] = [
+    pub const ALL: [Code; 14] = [
         Code::Structural,
         Code::OutOfBounds,
         Code::UninitializedRead,
@@ -72,9 +76,10 @@ impl Code {
         Code::DeadD2h,
         Code::MissingResidency,
         Code::HoistableTransfer,
+        Code::SerializedTransfer,
     ];
 
-    /// The stable wire name, `GPP000` … `GPP013` (GPP009 reserved).
+    /// The stable wire name, `GPP000` … `GPP014` (GPP009 reserved).
     pub fn as_str(self) -> &'static str {
         match self {
             Code::Structural => "GPP000",
@@ -90,6 +95,7 @@ impl Code {
             Code::DeadD2h => "GPP011",
             Code::MissingResidency => "GPP012",
             Code::HoistableTransfer => "GPP013",
+            Code::SerializedTransfer => "GPP014",
         }
     }
 
@@ -106,7 +112,9 @@ impl Code {
     pub fn default_severity(self) -> Severity {
         match self {
             Code::Structural | Code::OutOfBounds => Severity::Error,
-            Code::Uncoalesced | Code::HoistableTransfer => Severity::Note,
+            Code::Uncoalesced | Code::HoistableTransfer | Code::SerializedTransfer => {
+                Severity::Note
+            }
             _ => Severity::Warning,
         }
     }
@@ -297,7 +305,7 @@ mod tests {
     #[test]
     fn codes_roundtrip_and_order() {
         // GPP009 is reserved: numbers ascend but skip it.
-        let numbers = [0, 1, 2, 3, 4, 5, 6, 7, 8, 10, 11, 12, 13];
+        let numbers = [0, 1, 2, 3, 4, 5, 6, 7, 8, 10, 11, 12, 13, 14];
         assert_eq!(Code::ALL.len(), numbers.len());
         for (n, c) in numbers.into_iter().zip(Code::ALL) {
             assert_eq!(c.as_str(), format!("GPP{n:03}"));

@@ -95,7 +95,10 @@ pub fn explain(code: Code) -> Explanation {
         Code::CrossKernelH2d => Explanation {
             cause: "An explicit `h2d` re-uploads an array that is already \
                     resident and unmodified since the previous upload — the \
-                    copy adds transfer time and moves no new bytes.",
+                    copy adds transfer time and moves no new bytes. \
+                    Transfers on distinct non-zero streams at the same \
+                    schedule position are concurrent and unordered, so the \
+                    pass never concludes redundancy across them.",
             example: "h2d a\nkernel k1\n  …      # reads a, never writes it\nh2d a   # device copy is still current",
             fix: "Delete the second upload (`--fix` does this \
                   automatically).",
@@ -104,7 +107,10 @@ pub fn explain(code: Code) -> Explanation {
             cause: "An explicit `d2h` downloads bytes the host never \
                     observes: the copies already agree, or a later `d2h` of \
                     the same array overwrites the host copy before any \
-                    re-upload.",
+                    re-upload. Downloads on distinct non-zero streams at the \
+                    same schedule position run concurrently with no defined \
+                    order, so the overwrite argument does not apply across \
+                    them.",
             example: "d2h b   # dead: overwritten below\nkernel k2\n  …      # rewrites b on the device\nd2h b",
             fix: "Delete the dead download (`--fix` does this \
                   automatically).",
@@ -112,7 +118,10 @@ pub fn explain(code: Code) -> Explanation {
         Code::MissingResidency => Explanation {
             cause: "An array is downloaded and immediately re-uploaded with \
                     no kernel touching it in between — a round-trip through \
-                    the host where the data should have stayed resident.",
+                    the host where the data should have stayed resident. A \
+                    d2h/h2d pair on distinct non-zero streams at the same \
+                    position is concurrent, not a round-trip, and is left \
+                    alone.",
             example: "kernel produce\n  …      # writes t\nd2h t\nh2d t   # nothing touched t on the host\nkernel consume",
             fix: "Delete both transfers to keep the array device-resident \
                   (`--fix` does this automatically); mark it `temporary` if \
@@ -122,10 +131,24 @@ pub fn explain(code: Code) -> Explanation {
             cause: "An `h2d` is scheduled after kernels that never \
                     reference the array. Hoisting it before the first \
                     kernel cannot change semantics and lets the upload \
-                    precede (or overlap) unrelated compute.",
+                    precede (or overlap) unrelated compute. Uploads already \
+                    annotated with a non-zero stream are deliberate \
+                    prefetches — they overlap the adjacent kernel in place, \
+                    so the pass does not suggest moving them.",
             example: "kernel k1\n  …      # never touches b\nh2d b   # could run before k1\nkernel k2",
             fix: "Move the upload before the first kernel (`--fix` does \
                   this automatically).",
+        },
+        Code::SerializedTransfer => Explanation {
+            cause: "A large synchronous transfer sits next to a kernel it \
+                    could overlap: the schedule pays \
+                    `transfer + compute` where a `stream N chunks=K` \
+                    annotation would pipeline the copy against the kernel \
+                    and pay close to `max(transfer, compute)` instead.",
+            example: "h2d a          # 32 MB, synchronous\nkernel k       # consumes a — copy and compute serialize\n  …",
+            fix: "Annotate the transfer with a non-zero stream and a \
+                  chunk count, e.g. `h2d a stream 1 chunks=4` (`--fix` \
+                  appends this automatically).",
         },
     }
 }

@@ -12,11 +12,11 @@
 //! [`gpp_skeleton::validate`] for structural integrity,
 //! [`gpp_skeleton::sections`] for per-reference bounded regular sections,
 //! and [`gpp_datausage`] for the transfer plan the lints reason about.
-//! Each finding carries a stable code (`GPP000`–`GPP013`; GPP009 is
+//! Each finding carries a stable code (`GPP000`–`GPP014`; GPP009 is
 //! reserved), a severity, and — when the program came from `.gsk`
 //! text — a source span. Skeletons with an explicit `h2d`/`d2h`
 //! schedule additionally get whole-program transfer dataflow
-//! (GPP010–GPP013), whose findings carry machine-applicable
+//! (GPP010–GPP014), whose findings carry machine-applicable
 //! [`fixit::FixIt`]s that `gpp lint --fix` applies.
 //!
 //! ```

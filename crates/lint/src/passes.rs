@@ -640,6 +640,18 @@ fn structural_span(p: &Program, m: &SourceMap, e: &ValidationError) -> Span {
                 })
             })
         }
+        ValidationError::ZeroChunks { array } => p
+            .transfers
+            .iter()
+            .position(|t| t.chunks == 0 && p.array(t.array).name == *array)
+            .map(|i| m.transfer_span(i))
+            .unwrap_or_default(),
+        ValidationError::TransferOrder { array, pos, .. } => p
+            .transfers
+            .iter()
+            .position(|t| t.pos == *pos && p.array(t.array).name == *array)
+            .map(|i| m.transfer_span(i))
+            .unwrap_or_default(),
     }
 }
 

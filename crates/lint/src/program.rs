@@ -1,4 +1,4 @@
-//! Whole-program transfer dataflow: the GPP010–GPP013 pass family.
+//! Whole-program transfer dataflow: the GPP010–GPP014 pass family.
 //!
 //! These lints only run when the skeleton spells out its transfer
 //! schedule with explicit `h2d`/`d2h` directives
@@ -25,6 +25,17 @@
 //! * **GPP013** (note) — an `h2d` scheduled after kernels that never
 //!   reference the array: hoisting it before the first kernel cannot
 //!   change semantics and lets the upload precede unrelated compute.
+//! * **GPP014** (note) — a large synchronous transfer adjacent to a
+//!   kernel it could overlap: a `stream N chunks=K` annotation would
+//!   pipeline the copy against the compute instead of serializing.
+//!
+//! Events carry stream ids. Two transfers on *distinct non-zero*
+//! streams at the same schedule position are concurrent with no defined
+//! order, so the redundancy arguments above do not hold across them:
+//! GPP010–GPP012 never fire on such a pair, and GPP013 leaves
+//! stream-annotated uploads alone (async placement is a deliberate
+//! prefetch). Stream 0 is the synchronous stream and orders with
+//! everything.
 //!
 //! Every finding carries a machine-applicable [`FixIt`] when the
 //! program came from `.gsk` text (fixes edit source lines, so spans are
@@ -77,6 +88,14 @@ pub(crate) fn transfer_dataflow(p: &Program, map: Option<&SourceMap>, diags: &mu
         .collect();
 
     let t_span = |ti: usize| -> Span { map.map(|m| m.transfer_span(ti)).unwrap_or_default() };
+    // Two transfer directives are concurrent — no defined order between
+    // them — when they sit at the same schedule position on distinct
+    // non-zero streams. Stream 0 is synchronous and orders with
+    // everything, so it never forms a concurrent pair.
+    let concurrent = |ti: usize, tj: usize| -> bool {
+        let (a, b) = (&p.transfers[ti], &p.transfers[tj]);
+        a.pos == b.pos && a.stream != 0 && b.stream != 0 && a.stream != b.stream
+    };
     let first_kernel_line = map
         .filter(|_| !p.kernels.is_empty())
         .map(|m| m.kernel_span(0).line)
@@ -124,6 +143,12 @@ pub(crate) fn transfer_dataflow(p: &Program, map: Option<&SourceMap>, diags: &mu
                 Ev::Xfer(tj, TransferKind::HostToDevice),
             ) = (evs[i], evs[i + 1])
             {
+                if concurrent(ti, tj) {
+                    // Unordered pair: not a round-trip, just two copies
+                    // in flight at once.
+                    i += 1;
+                    continue;
+                }
                 paired.insert(ti);
                 paired.insert(tj);
                 let (da, ha) = (t_span(ti), t_span(tj));
@@ -158,12 +183,17 @@ pub(crate) fn transfer_dataflow(p: &Program, map: Option<&SourceMap>, diags: &mu
     for (a, evs) in &streams {
         let decl = p.array(*a);
         let mut state = Residency::HostOnly;
+        // The transfer that last touched this array's residency: when
+        // the current directive is concurrent with it, their order is
+        // undefined and no redundancy conclusion holds.
+        let mut last_xfer: Option<usize> = None;
         for ev in evs {
             match *ev {
                 Ev::Kernel(true) => state = Residency::DeviceAhead,
                 Ev::Kernel(false) => {}
                 Ev::Xfer(ti, TransferKind::HostToDevice) => {
-                    if state == Residency::Synced && !paired.contains(&ti) {
+                    let racy = last_xfer.is_some_and(|tj| concurrent(ti, tj));
+                    if state == Residency::Synced && !racy && !paired.contains(&ti) {
                         flagged.insert(ti);
                         let span = t_span(ti);
                         let mut d = Diagnostic::new(
@@ -186,9 +216,11 @@ pub(crate) fn transfer_dataflow(p: &Program, map: Option<&SourceMap>, diags: &mu
                         diags.push(d);
                     }
                     state = Residency::Synced;
+                    last_xfer = Some(ti);
                 }
                 Ev::Xfer(ti, TransferKind::DeviceToHost) => {
-                    if state == Residency::Synced && !paired.contains(&ti) {
+                    let racy = last_xfer.is_some_and(|tj| concurrent(ti, tj));
+                    if state == Residency::Synced && !racy && !paired.contains(&ti) {
                         flagged.insert(ti);
                         let span = t_span(ti);
                         let mut d = Diagnostic::new(
@@ -209,6 +241,7 @@ pub(crate) fn transfer_dataflow(p: &Program, map: Option<&SourceMap>, diags: &mu
                         diags.push(d);
                     }
                     state = Residency::Synced;
+                    last_xfer = Some(ti);
                 }
             }
         }
@@ -228,9 +261,10 @@ pub(crate) fn transfer_dataflow(p: &Program, map: Option<&SourceMap>, diags: &mu
             })
             .collect();
         for w in xfers.windows(2) {
-            let ((ti, k0), (_, k1)) = (w[0], w[1]);
+            let ((ti, k0), (tj, k1)) = (w[0], w[1]);
             if k0 == TransferKind::DeviceToHost
                 && k1 == TransferKind::DeviceToHost
+                && !concurrent(ti, tj)
                 && !paired.contains(&ti)
                 && !flagged.contains(&ti)
             {
@@ -259,9 +293,14 @@ pub(crate) fn transfer_dataflow(p: &Program, map: Option<&SourceMap>, diags: &mu
     // GPP013: an h2d after kernels that never reference the array — it
     // can be hoisted to the top of the program without changing what
     // any kernel observes.
+    let mut hoisted: BTreeSet<usize> = BTreeSet::new();
     for (ti, t) in p.transfers.iter().enumerate() {
+        // A stream-annotated upload is a deliberate prefetch: it already
+        // overlaps the adjacent kernel in place, so moving it is not an
+        // improvement.
         if t.kind != TransferKind::HostToDevice
             || t.pos == 0
+            || t.stream != 0
             || paired.contains(&ti)
             || flagged.contains(&ti)
         {
@@ -274,6 +313,7 @@ pub(crate) fn transfer_dataflow(p: &Program, map: Option<&SourceMap>, diags: &mu
         if earlier_xfer || referenced_before {
             continue;
         }
+        hoisted.insert(ti);
         let decl = p.array(t.array);
         let span = t_span(ti);
         let mut d = Diagnostic::new(
@@ -291,6 +331,58 @@ pub(crate) fn transfer_dataflow(p: &Program, map: Option<&SourceMap>, diags: &mu
                 vec![Edit::MoveLine {
                     line: span.line,
                     before: first_kernel_line,
+                }],
+            ));
+        }
+        diags.push(d);
+    }
+
+    // GPP014 (note): a large synchronous, unchunked transfer sitting
+    // next to a kernel it could overlap — an `h2d` before its consumer
+    // or a `d2h` after its producer. Annotating `stream 1 chunks=4`
+    // pipelines the copy against that kernel; copies under 1 MB are
+    // latency-bound and not worth the note. Transfers already flagged
+    // (or hoisted) get one actionable finding, not two.
+    const OVERLAP_WORTHWHILE_BYTES: u64 = 1 << 20;
+    for (ti, t) in p.transfers.iter().enumerate() {
+        if t.stream != 0
+            || t.chunks > 1
+            || paired.contains(&ti)
+            || flagged.contains(&ti)
+            || hoisted.contains(&ti)
+        {
+            continue;
+        }
+        let overlappable = match t.kind {
+            TransferKind::HostToDevice => t.pos < p.kernels.len(),
+            TransferKind::DeviceToHost => t.pos > 0,
+        };
+        let decl = p.array(t.array);
+        if !overlappable || decl.byte_count() < OVERLAP_WORTHWHILE_BYTES {
+            continue;
+        }
+        let (dir, neighbor) = match t.kind {
+            TransferKind::HostToDevice => ("h2d", "next"),
+            TransferKind::DeviceToHost => ("d2h", "previous"),
+        };
+        let span = t_span(ti);
+        let mut d = Diagnostic::new(
+            Code::SerializedTransfer,
+            span,
+            format!(
+                "synchronous `{dir} {}` ({}) serializes with the {neighbor} \
+                 kernel — `stream 1 chunks=4` would overlap the copy with \
+                 that compute",
+                decl.name,
+                gpp_datausage::plan::human_bytes(decl.byte_count()),
+            ),
+        );
+        if span.is_real() {
+            d = d.with_fix(FixIt::new(
+                format!("pipeline `{dir} {}` on a concurrent stream", decl.name),
+                vec![Edit::Append {
+                    line: span.line,
+                    text: " stream 1 chunks=4".into(),
                 }],
             ));
         }
@@ -481,6 +573,180 @@ d2h d
             .map(|l| format!("{l}\n"))
             .collect();
         assert_eq!(codes(&src), vec![], "derived schedule must not lint");
+    }
+
+    #[test]
+    fn concurrent_streams_suppress_gpp010() {
+        // Two re-uploads of `a` at the same position: the stream-1 copy
+        // is ordered after the original upload (GPP010 fires), but the
+        // stream-2 copy is concurrent with it — no defined order, no
+        // redundancy conclusion.
+        let src = "\
+program p
+array a f32 [64]
+array b f32 [64]
+array c f32 [64]
+h2d a
+kernel k1
+  parallel i 64
+  stmt adds=1
+    read  a [i]
+    write b [i]
+h2d a stream 1
+h2d a stream 2
+kernel k2
+  parallel i 64
+  stmt adds=1
+    read  a [i]
+    write c [i]
+d2h b
+d2h c
+";
+        assert_eq!(codes(src), vec![(Code::CrossKernelH2d, 11)]);
+    }
+
+    #[test]
+    fn concurrent_roundtrip_is_not_gpp012() {
+        // d2h/h2d of the same array on distinct non-zero streams at the
+        // same position run concurrently — not a host round-trip.
+        let src = "\
+program p
+array a f32 [64]
+array t f32 [64] temporary
+array c f32 [64]
+h2d a
+kernel produce
+  parallel i 64
+  stmt adds=1
+    read  a [i]
+    write t [i]
+d2h t stream 1
+h2d t stream 2
+kernel consume
+  parallel i 64
+  stmt adds=1
+    read  t [i]
+    write c [i]
+d2h c
+";
+        assert_eq!(codes(src), vec![]);
+    }
+
+    #[test]
+    fn concurrent_downloads_are_not_dead() {
+        // Two d2h of `b` at the same position on different streams:
+        // neither "overwrites" the other — order is undefined.
+        let src = "\
+program p
+array a f32 [64]
+array b f32 [64]
+h2d a
+kernel k1
+  parallel i 64
+  stmt adds=1
+    read  a [i]
+    write b [i]
+d2h b stream 1
+d2h b stream 2
+";
+        assert_eq!(codes(src), vec![]);
+    }
+
+    #[test]
+    fn async_upload_is_not_hoistable() {
+        // The stream annotation marks the late upload as a deliberate
+        // prefetch that overlaps k1 in place; GPP013 leaves it alone.
+        let src = "\
+program p
+array a f32 [64]
+array b f32 [64]
+array c f32 [64] temporary
+array d f32 [64]
+h2d a
+kernel k1
+  parallel i 64
+  stmt adds=1
+    read  a [i]
+    write c [i]
+h2d b async
+kernel k2
+  parallel i 64
+  stmt adds=1
+    read  b [i]
+    read  c [i]
+    write d [i]
+d2h d
+";
+        assert_eq!(codes(src), vec![]);
+    }
+
+    #[test]
+    fn large_sync_transfers_are_gpp014_with_append_fix() {
+        // 4 MB arrays on a fully synchronous schedule: both the upload
+        // (before its consumer) and the download (after its producer)
+        // could overlap compute.
+        let src = "\
+program p
+array a f32 [1048576]
+array b f32 [1048576]
+h2d a
+kernel k
+  parallel i 1048576
+  stmt adds=1
+    read  a [i]
+    write b [i]
+d2h b
+";
+        let report = lint_source(src, "t.gsk", &LintConfig::new());
+        let got: Vec<(Code, usize)> = report
+            .diagnostics
+            .iter()
+            .map(|d| (d.code, d.span.line))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                (Code::SerializedTransfer, 4),
+                (Code::SerializedTransfer, 10)
+            ],
+            "{:?}",
+            report.diagnostics
+        );
+        for d in &report.diagnostics {
+            assert_eq!(d.severity, crate::Severity::Note);
+            let fix = d.fix.as_ref().expect("fix");
+            assert_eq!(
+                fix.edits,
+                vec![Edit::Append {
+                    line: d.span.line,
+                    text: " stream 1 chunks=4".into(),
+                }]
+            );
+        }
+        // Applying the fixes annotates the schedule; a re-lint is clean
+        // (the pass is idempotent).
+        let (fixed, n) = crate::fixit::apply_fixes(src, &report.diagnostics);
+        assert_eq!(n, 2);
+        assert_eq!(codes(&fixed), vec![]);
+    }
+
+    #[test]
+    fn small_or_annotated_transfers_are_not_gpp014() {
+        // Tiny copies are latency-bound; chunked or streamed copies are
+        // already pipelined. None of them warrant the note.
+        let src = "\
+program p
+array a f32 [1048576]
+array b f32 [64]
+h2d a stream 1 chunks=4
+kernel k
+  parallel i 64
+  stmt adds=1
+    read  a [i]
+    write b [i]
+d2h b
+";
+        assert_eq!(codes(src), vec![]);
     }
 
     #[test]

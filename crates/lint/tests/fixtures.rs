@@ -19,7 +19,10 @@ fn fixtures() -> Vec<PathBuf> {
         .filter(|p| p.extension().is_some_and(|x| x == "gsk"))
         .collect();
     files.sort();
-    assert_eq!(files.len(), 13, "one fixture per diagnostic code");
+    // One fixture per diagnostic code, plus the stream-suppression case
+    // (`gpp013_program_hoist_streams`) pinning that annotated transfers
+    // are exempt.
+    assert_eq!(files.len(), 15, "fixture corpus changed size");
     files
 }
 
@@ -119,6 +122,8 @@ fn fixture_spans_point_at_the_culprit() {
     case("gpp011_program_dead_d2h.gsk", 10, 1); // first d2h b
     case("gpp012_program_roundtrip.gsk", 11, 1); // d2h t of the pair
     case("gpp013_program_hoist.gsk", 12, 1); // late h2d b
+    case("gpp013_program_hoist_streams.gsk", 13, 1); // sync h2d b; async h2d e exempt
+    case("gpp014_program_serialized.gsk", 4, 1); // 4 MB sync h2d a
 }
 
 #[test]
@@ -175,6 +180,7 @@ fn program_fixture_fixes_relint_clean_and_are_idempotent() {
         Code::DeadD2h,
         Code::MissingResidency,
         Code::HoistableTransfer,
+        Code::SerializedTransfer,
     ];
     let cfg = LintConfig::new();
     let mut checked = 0;
@@ -203,7 +209,7 @@ fn program_fixture_fixes_relint_clean_and_are_idempotent() {
         assert_eq!(fixed2, fixed, "{name}: fix is not idempotent");
         checked += 1;
     }
-    assert_eq!(checked, 4, "one fix round-trip per GPP010–GPP013");
+    assert_eq!(checked, 6, "one fix round-trip per GPP010–GPP014 fixture");
 }
 
 #[test]

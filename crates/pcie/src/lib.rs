@@ -49,6 +49,7 @@ pub mod calibrate;
 pub mod error;
 pub mod faulty;
 pub mod model;
+pub mod overlap;
 pub mod params;
 pub mod piecewise;
 pub mod replay;
@@ -60,6 +61,7 @@ pub use calibrate::{CalibratedBus, CalibrationError, Calibrator, ProbeBatch, Str
 pub use error::{error_magnitude, mean_error_magnitude, SweepValidation};
 pub use faulty::FaultyBus;
 pub use model::LinearModel;
+pub use overlap::{pipelined_window, ChunkedModel};
 pub use params::{BusParams, Direction, MemType, PcieGen};
 pub use piecewise::PiecewiseModel;
 pub use replay::RecordedBus;

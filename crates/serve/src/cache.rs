@@ -229,6 +229,8 @@ mod tests {
             transfer_times: Vec::new(),
             transfer_time: 0.0,
             alloc_time: 0.0,
+            timeline: None,
+            multi_gpu: None,
         })
     }
 

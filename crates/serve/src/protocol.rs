@@ -434,7 +434,7 @@ pub fn batch_response(replies: &[String]) -> String {
 /// warnings or notes to report).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LintDiagnostic {
-    /// Stable code, `GPP000`..`GPP013`.
+    /// Stable code, `GPP000`..`GPP014`.
     pub code: String,
     /// `error`, `warning`, or `note`.
     pub severity: String,

@@ -558,6 +558,14 @@ impl ServiceState {
             ("projection", projection_json(&proj)),
             ("total_seconds", Json::Num(proj.total_time(req.iters))),
         ]);
+        // Stream-annotated programs also quote the overlapped-schedule
+        // total; absent otherwise so legacy replies keep their bytes.
+        if proj.timeline.is_some() {
+            fields.push((
+                "overlapped_total_seconds",
+                Json::Num(proj.overlapped_total_time(req.iters)),
+            ));
+        }
         Ok(Json::obj(fields))
     }
 
@@ -1144,6 +1152,28 @@ mod tests {
         // Unknown names list the extended registry.
         let unk = s.handle(&payload("project machine=nope", VEC_ADD), 0);
         assert!(unk.contains("(known: eureka, recorded, v2)"), "{unk}");
+    }
+
+    #[test]
+    fn streamed_schedules_quote_the_overlapped_total() {
+        let streamed = "program pipelined\n\
+                        array a f32 [1048576]\n\
+                        array b f32 [1048576]\n\
+                        h2d a stream 1 chunks=4\n\
+                        kernel k\n  parallel i 1048576\n  stmt adds=1\n    read  a [i]\n    write b [i]\n\
+                        d2h b stream 2 chunks=4\n";
+        let s = state();
+        let out = s.handle(&payload("project", streamed), 0);
+        assert!(out.contains("\"ok\":true"), "{out}");
+        assert!(out.contains("\"timeline\":"), "{out}");
+        assert!(out.contains("\"overlapped_total_seconds\":"), "{out}");
+        // A plain request reply carries none of the overlap machinery —
+        // legacy clients see byte-compatible replies.
+        let plain = s.handle(&payload("project", VEC_ADD), 0);
+        assert!(plain.contains("\"ok\":true"), "{plain}");
+        assert!(!plain.contains("timeline"), "{plain}");
+        assert!(!plain.contains("overlapped_total_seconds"), "{plain}");
+        assert!(!plain.contains("multi_gpu"), "{plain}");
     }
 
     #[test]

@@ -130,7 +130,27 @@ impl ProgramBuilder {
     /// kernels preceding it). Positions must be non-decreasing across
     /// calls so the schedule stays in program order.
     pub fn transfer_at(&mut self, array: ArrayId, kind: TransferKind, pos: usize) {
-        self.transfers.push(TransferDecl { array, kind, pos });
+        self.transfer_with(array, kind, pos, 0, 1);
+    }
+
+    /// [`ProgramBuilder::transfer_at`] with stream/pipelining annotations:
+    /// `stream` 0 is the default synchronous stream, `chunks` 1 a single
+    /// unchunked copy (see [`TransferDecl`]).
+    pub fn transfer_with(
+        &mut self,
+        array: ArrayId,
+        kind: TransferKind,
+        pos: usize,
+        stream: u32,
+        chunks: u32,
+    ) {
+        self.transfers.push(TransferDecl {
+            array,
+            kind,
+            pos,
+            stream,
+            chunks,
+        });
     }
 
     /// Opens a kernel builder. Call [`KernelBuilder::finish`] to append the

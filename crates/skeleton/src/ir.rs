@@ -303,6 +303,24 @@ pub struct TransferDecl {
     /// before the first kernel, `kernels.len()` after the last. Must be
     /// non-decreasing across `Program::transfers`.
     pub pos: usize,
+    /// Stream the transfer is enqueued on. Stream 0 is the default
+    /// synchronous stream: the transfer serializes with adjacent kernels.
+    /// A non-zero stream (`stream N` or `async` in `.gsk`) declares the
+    /// copy asynchronous — the projector overlaps it with the adjacent
+    /// kernel and the linter treats same-position transfers on different
+    /// streams as concurrent.
+    pub stream: u32,
+    /// Pipelining hint: number of chunks the copy is split into for
+    /// double-buffering (`chunks=K` in `.gsk`). 1 = one unchunked copy.
+    pub chunks: u32,
+}
+
+impl TransferDecl {
+    /// True when the directive carries no stream/pipelining annotations —
+    /// i.e. it behaves exactly like a pre-stream-semantics transfer.
+    pub fn is_plain(&self) -> bool {
+        self.stream == 0 && self.chunks <= 1
+    }
 }
 
 /// A whole modeled application region: arrays plus an ordered sequence of
@@ -348,6 +366,14 @@ impl Program {
     /// `h2d`/`d2h` directives instead of leaving it to the analyzer.
     pub fn has_explicit_transfers(&self) -> bool {
         !self.transfers.is_empty()
+    }
+
+    /// True if any transfer carries a stream or pipelining annotation —
+    /// the trigger for the event-timeline projection path. Annotation-free
+    /// programs take the legacy scalar-sum path and project bit-identically
+    /// to pre-stream-semantics builds.
+    pub fn has_stream_annotations(&self) -> bool {
+        self.transfers.iter().any(|t| !t.is_plain())
     }
 }
 
@@ -510,16 +536,24 @@ mod tests {
                     array: ArrayId(0),
                     kind: TransferKind::HostToDevice,
                     pos: 0,
+                    stream: 0,
+                    chunks: 1,
                 },
                 TransferDecl {
                     array: ArrayId(0),
                     kind: TransferKind::DeviceToHost,
                     pos: 1,
+                    stream: 1,
+                    chunks: 4,
                 },
             ],
         };
         assert!(p.has_explicit_transfers());
         assert_eq!(p.transfers[0].kind, TransferKind::HostToDevice);
         assert_eq!(p.transfers[1].pos, 1);
+        // Annotation predicates see through to the stream/chunk fields.
+        assert!(p.transfers[0].is_plain());
+        assert!(!p.transfers[1].is_plain());
+        assert!(p.has_stream_annotations());
     }
 }

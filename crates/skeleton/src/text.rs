@@ -29,7 +29,8 @@
 //! ```text
 //! program <name>
 //! array <name> <f32|f64|i32|i64|c64|c128> [e1, e2, ...] [sparse] [temporary]
-//! h2d <array> | d2h <array>
+//! h2d <array> [async | stream <N>] [chunks=<K>]
+//! d2h <array> [async | stream <N>] [chunks=<K>]
 //! kernel <name> [gpu_scale=<x>] [cpu_scale=<x>]
 //!   parallel <var> <trip> | serial <var> <trip>
 //!   stmt [adds=N] [muls=N] [divs=N] [specials=N] [compares=N] [active=F]
@@ -41,6 +42,12 @@
 //! (priced as written by the analyzer) instead of letting the data usage
 //! analysis derive the minimal plan. A transfer line closes the kernel
 //! being parsed, exactly like a `kernel` line does.
+//!
+//! Transfer annotations opt into stream/overlap semantics: `stream <N>`
+//! enqueues the copy on stream N (`async` is shorthand for stream 1;
+//! stream 0 is the default synchronous stream), and `chunks=<K>` splits
+//! the copy into K pipelined chunks for double-buffered overlap with the
+//! adjacent kernel. Both are rendered back only when non-default.
 //!
 //! Index expressions: affine combinations of loop variables and integers
 //! (`i`, `i+1`, `2*i-3`, `4*i+j`, `7`), `?` for an irregular index, or
@@ -226,8 +233,9 @@ pub fn parse_with_spans(input: &str) -> Result<(Program, SourceMap), ParseError>
     let mut done: Vec<PendKernel> = Vec::new();
     let mut program_span = Span::none();
     let mut array_spans: Vec<Span> = Vec::new();
-    // Explicit transfers: (array, kind, kernels-before-it, span).
-    let mut transfers: Vec<(gpp_brs::ArrayId, TransferKind, usize, Span)> = Vec::new();
+    // Explicit transfers: (array, kind, stream, chunks, kernels-before-it,
+    // span).
+    let mut transfers: Vec<(gpp_brs::ArrayId, TransferKind, u32, u32, usize, Span)> = Vec::new();
 
     for (lineno, raw) in input.lines().enumerate() {
         let lineno = lineno + 1;
@@ -314,11 +322,30 @@ pub fn parse_with_spans(input: &str) -> Result<(Program, SourceMap), ParseError>
                 let name = words
                     .next()
                     .ok_or_else(|| err_at(at, format!("`{head}` needs an array name")))?;
-                if let Some(extra) = words.next() {
-                    return Err(err_at(
-                        at,
-                        format!("unexpected `{extra}` after `{head} {name}`"),
-                    ));
+                // Optional annotations: `async` (shorthand for stream 1),
+                // `stream <N>`, and `chunks=<K>`, in any order.
+                let mut stream = 0u32;
+                let mut chunks = 1u32;
+                while let Some(w) = words.next() {
+                    if w == "async" {
+                        stream = 1;
+                    } else if w == "stream" {
+                        let v = words.next().ok_or_else(|| {
+                            err_at(at, format!("`stream` needs a number after `{head} {name}`"))
+                        })?;
+                        stream = v
+                            .parse()
+                            .map_err(|_| err_at(at, format!("bad stream `{v}`")))?;
+                    } else if let Some(v) = w.strip_prefix("chunks=") {
+                        chunks = v
+                            .parse()
+                            .map_err(|_| err_at(at, format!("bad chunks `{v}`")))?;
+                    } else {
+                        return Err(err_at(
+                            at,
+                            format!("unexpected `{w}` after `{head} {name}`"),
+                        ));
+                    }
                 }
                 let id = b
                     .array_id(name)
@@ -328,7 +355,7 @@ pub fn parse_with_spans(input: &str) -> Result<(Program, SourceMap), ParseError>
                 } else {
                     TransferKind::DeviceToHost
                 };
-                transfers.push((id, kind, done.len(), at));
+                transfers.push((id, kind, stream, chunks, done.len(), at));
             }
             "kernel" => {
                 if builder.is_none() {
@@ -457,8 +484,8 @@ pub fn parse_with_spans(input: &str) -> Result<(Program, SourceMap), ParseError>
         kernels: Vec::new(),
         transfers: Vec::new(),
     };
-    for (id, kind, pos, at) in transfers {
-        b.transfer_at(id, kind, pos);
+    for (id, kind, stream, chunks, pos, at) in transfers {
+        b.transfer_with(id, kind, pos, stream, chunks);
         map.transfers.push(at);
     }
     for pk in done {
@@ -632,7 +659,16 @@ pub fn to_text(p: &Program) -> String {
             TransferKind::HostToDevice => "h2d",
             TransferKind::DeviceToHost => "d2h",
         };
-        let _ = writeln!(s, "\n{dir} {}", p.array(t.array).name);
+        let _ = write!(s, "\n{dir} {}", p.array(t.array).name);
+        // Annotations are emitted only when non-default, so pre-stream
+        // skeletons render byte-for-byte as they always did.
+        if t.stream != 0 {
+            let _ = write!(s, " stream {}", t.stream);
+        }
+        if t.chunks > 1 {
+            let _ = write!(s, " chunks={}", t.chunks);
+        }
+        let _ = writeln!(s);
     };
     let mut ti = 0; // next explicit transfer to emit, in program order
     for (ki, k) in p.kernels.iter().enumerate() {
@@ -998,6 +1034,63 @@ d2h b
         // And the rendered form re-parses to identical positions.
         let p2 = parse(&text).unwrap();
         assert_eq!(p2.transfers, p.transfers);
+    }
+
+    const STREAMED: &str = r#"
+program streamed
+array a f32 [128]
+array b f32 [128]
+array c f32 [128]
+
+h2d a stream 2 chunks=4
+h2d c async
+
+kernel k1
+  parallel i 128
+  stmt adds=1
+    read  a [i]
+    read  c [i]
+    write b [i]
+
+d2h b chunks=8
+"#;
+
+    #[test]
+    fn stream_annotations_parse() {
+        let p = parse(STREAMED).unwrap();
+        assert_eq!(p.transfers.len(), 3);
+        assert_eq!((p.transfers[0].stream, p.transfers[0].chunks), (2, 4));
+        // `async` is shorthand for stream 1.
+        assert_eq!((p.transfers[1].stream, p.transfers[1].chunks), (1, 1));
+        assert_eq!((p.transfers[2].stream, p.transfers[2].chunks), (0, 8));
+        assert!(p.has_stream_annotations());
+    }
+
+    #[test]
+    fn stream_annotations_roundtrip() {
+        let p = parse(STREAMED).unwrap();
+        let text = to_text(&p);
+        assert!(text.contains("\nh2d a stream 2 chunks=4\n"), "{text}");
+        // Canonical rendering spells `async` as `stream 1`.
+        assert!(text.contains("\nh2d c stream 1\n"), "{text}");
+        assert!(text.contains("\nd2h b chunks=8\n"), "{text}");
+        assert_eq!(parse(&text).unwrap(), p);
+        // The canonical form is a fixed point of the writer.
+        assert_eq!(to_text(&parse(&text).unwrap()), text);
+    }
+
+    #[test]
+    fn stream_annotation_errors_are_spanned() {
+        let e = parse("program p\narray a f32 [4]\nh2d a stream\n").unwrap_err();
+        assert!(e.message.contains("`stream` needs a number"), "{e}");
+        let e = parse("program p\narray a f32 [4]\nh2d a stream x\n").unwrap_err();
+        assert!(e.message.contains("bad stream `x`"), "{e}");
+        let e = parse("program p\narray a f32 [4]\nh2d a chunks=zero\n").unwrap_err();
+        assert!(e.message.contains("bad chunks `zero`"), "{e}");
+        // chunks=0 parses but fails validation.
+        let e = parse("program p\narray a f32 [4]\nh2d a chunks=0\nkernel k\n  parallel i 4\n  stmt adds=1\n    read a [i]\n")
+            .unwrap_err();
+        assert!(e.message.contains("zero chunks"), "{e}");
     }
 
     #[test]

@@ -53,6 +53,21 @@ pub enum ValidationError {
         /// Array name.
         array: String,
     },
+    /// An explicit transfer asks for zero pipelined chunks.
+    ZeroChunks {
+        /// Array name.
+        array: String,
+    },
+    /// Explicit transfer positions decrease — the schedule is not in
+    /// program order.
+    TransferOrder {
+        /// Array name of the out-of-order transfer.
+        array: String,
+        /// Its position.
+        pos: usize,
+        /// The position of the transfer before it.
+        prev: usize,
+    },
 }
 
 impl std::fmt::Display for ValidationError {
@@ -97,6 +112,19 @@ impl std::fmt::Display for ValidationError {
             }
             ValidationError::ZeroExtent { array } => {
                 write!(f, "array `{array}` has a zero extent")
+            }
+            ValidationError::ZeroChunks { array } => {
+                write!(
+                    f,
+                    "transfer of `{array}` asks for zero chunks (chunks must be >= 1)"
+                )
+            }
+            ValidationError::TransferOrder { array, pos, prev } => {
+                write!(
+                    f,
+                    "transfer of `{array}` at position {pos} follows one at \
+                     position {prev}; the schedule must be in program order"
+                )
             }
         }
     }
@@ -214,6 +242,26 @@ pub fn validate(p: &Program) -> Result<(), ValidationErrors> {
                 }
             }
         }
+    }
+    let mut prev_pos = 0usize;
+    for t in &p.transfers {
+        let array = p
+            .arrays
+            .get(t.array.index())
+            .map_or_else(|| format!("#{}", t.array.0), |a| a.name.clone());
+        if t.chunks == 0 {
+            errs.push(ValidationError::ZeroChunks {
+                array: array.clone(),
+            });
+        }
+        if t.pos < prev_pos {
+            errs.push(ValidationError::TransferOrder {
+                array,
+                pos: t.pos,
+                prev: prev_pos,
+            });
+        }
+        prev_pos = prev_pos.max(t.pos);
     }
     if errs.is_empty() {
         Ok(())
@@ -349,6 +397,38 @@ mod tests {
             msg.contains("zero extent") && msg.contains("zero trip"),
             "{msg}"
         );
+    }
+
+    #[test]
+    fn zero_chunks_detected() {
+        let mut p = good();
+        p.transfers.push(crate::ir::TransferDecl {
+            array: ArrayId(0),
+            kind: crate::ir::TransferKind::HostToDevice,
+            pos: 0,
+            stream: 1,
+            chunks: 0,
+        });
+        let e = validate(&p).unwrap_err();
+        assert!(matches!(e.first(), ValidationError::ZeroChunks { .. }));
+        assert!(e.to_string().contains("zero chunks"), "{e}");
+    }
+
+    #[test]
+    fn decreasing_transfer_positions_detected() {
+        let mut p = good();
+        for pos in [1usize, 0] {
+            p.transfers.push(crate::ir::TransferDecl {
+                array: ArrayId(0),
+                kind: crate::ir::TransferKind::HostToDevice,
+                pos,
+                stream: 0,
+                chunks: 1,
+            });
+        }
+        let e = validate(&p).unwrap_err();
+        assert!(matches!(e.first(), ValidationError::TransferOrder { .. }));
+        assert!(e.to_string().contains("program order"), "{e}");
     }
 
     #[test]

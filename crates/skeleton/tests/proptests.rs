@@ -5,7 +5,7 @@
 use gpp_skeleton::builder::ProgramBuilder;
 use gpp_skeleton::expr::{AffineExpr, LoopId};
 use gpp_skeleton::text;
-use gpp_skeleton::{ElemType, Flops, IndexExpr, Program};
+use gpp_skeleton::{ElemType, Flops, IndexExpr, Program, TransferKind};
 use proptest::prelude::*;
 
 fn any_elem() -> impl Strategy<Value = ElemType> {
@@ -138,6 +138,46 @@ proptest! {
         let reparsed = text::parse(&rendered)
             .map_err(|e| TestCaseError::fail(format!("reparse failed: {e}\n{rendered}")))?;
         prop_assert_eq!(reparsed, p);
+    }
+
+    /// Stream/chunk transfer annotations survive
+    /// `parse_with_spans` → `to_text` losslessly, every directive gets a
+    /// span, and the canonical rendering is a fixed point of the writer.
+    #[test]
+    fn transfer_annotations_roundtrip_with_spans(
+        p in any_program(),
+        decls in prop::collection::vec(
+            (any::<bool>(), 0usize..3, 0u32..5, 1u32..9),
+            1..6,
+        ),
+    ) {
+        let mut p = p;
+        let mut pos = 0usize;
+        for (h2d, pos_delta, stream, chunks) in decls {
+            pos = (pos + pos_delta).min(p.kernels.len());
+            let array = p.arrays[(stream as usize + pos) % p.arrays.len()].id;
+            let kind = if h2d { TransferKind::HostToDevice } else { TransferKind::DeviceToHost };
+            p.transfers.push(gpp_skeleton::TransferDecl { array, kind, pos, stream, chunks });
+        }
+        let rendered = text::to_text(&p);
+        let (reparsed, map) = text::parse_with_spans(&rendered)
+            .map_err(|e| TestCaseError::fail(format!("reparse failed: {e}\n{rendered}")))?;
+        prop_assert_eq!(&reparsed, &p);
+        prop_assert_eq!(map.transfers.len(), p.transfers.len());
+        for (i, t) in p.transfers.iter().enumerate() {
+            let span = map.transfer_span(i);
+            prop_assert!(span.is_real(), "transfer {i} has no span");
+            // The spanned text is the whole directive, annotations included.
+            let line = rendered.lines().nth(span.line - 1).unwrap();
+            prop_assert!(line.starts_with("h2d ") || line.starts_with("d2h "));
+            if t.stream != 0 {
+                prop_assert!(line.contains(&format!("stream {}", t.stream)), "{line}");
+            }
+            if t.chunks > 1 {
+                prop_assert!(line.contains(&format!("chunks={}", t.chunks)), "{line}");
+            }
+        }
+        prop_assert_eq!(text::to_text(&reparsed), rendered);
     }
 
     /// Characteristics are internally consistent for any program.
